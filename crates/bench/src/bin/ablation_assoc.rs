@@ -1,0 +1,50 @@
+//! Ablation (the paper's stated future work, §7): limited
+//! associativity in the shared cluster cache. "The main disadvantages
+//! of clustering are ... the interference among the reference streams
+//! of the clustered processors, particularly when the clustered level
+//! of the hierarchy is a cache with small associativity."
+//!
+//! We sweep associativity {1, 2, 4, full} at 4 KB/processor and report
+//! normalized execution time per cluster size — destructive
+//! interference shows up as the direct-mapped clustered cache losing
+//! the benefit the fully-associative one gains.
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::trace_for;
+use cluster_study::study::{run_config, CLUSTER_SIZES};
+use coherence::config::CacheSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    let apps = ["barnes", "ocean", "volrend"];
+    println!(
+        "Ablation: shared-cache associativity at 4KB/processor ({} sizes)\n",
+        cli.size_label()
+    );
+    for app in apps {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
+        println!("{app}:");
+        println!("  {:<8} {:>8} {:>8} {:>8} {:>8}", "assoc", "1p", "2p", "4p", "8p");
+        let specs = [
+            ("1-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 1 }),
+            ("2-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 2 }),
+            ("4-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 4 }),
+            ("full", CacheSpec::PerProcBytes(4096)),
+        ];
+        // Normalize everything to the fully-associative 1p run so the
+        // interference cost is directly visible.
+        let base = run_config(&trace, 1, CacheSpec::PerProcBytes(4096)).exec_time;
+        for (name, spec) in specs {
+            print!("  {name:<8}");
+            for c in CLUSTER_SIZES {
+                let rs = run_config(&trace, c, spec);
+                print!(" {:>8.1}", rs.percent_total_of(base));
+            }
+            println!();
+        }
+        println!();
+    }
+}

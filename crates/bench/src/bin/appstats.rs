@@ -1,0 +1,50 @@
+//! Diagnostic: per-app trace composition and miss breakdown at one
+//! configuration. Not a paper artifact — a calibration tool.
+
+use cluster_bench::Cli;
+use cluster_study::apps::trace_for;
+use cluster_study::study::run_config;
+use coherence::config::CacheSpec;
+use simcore::ops::Op;
+
+fn main() {
+    let cli = Cli::parse();
+    for app in cluster_study::apps::FIG2_APPS {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = trace_for(app, cli.size, cli.procs);
+        let (mut reads, mut writes, mut compute, mut locks) = (0u64, 0u64, 0u64, 0u64);
+        for ops in &trace.per_proc {
+            for op in ops {
+                match op.unpack() {
+                    Op::Read(_) => reads += 1,
+                    Op::Write(_) => writes += 1,
+                    Op::Compute(c) => compute += c,
+                    Op::Lock(_) => locks += 1,
+                    _ => {}
+                }
+            }
+        }
+        let rs = run_config(&trace, 1, CacheSpec::Infinite);
+        let m = &rs.mem;
+        println!(
+            "{app}: ops={} reads={reads} writes={writes} compute={compute} locks={locks}",
+            trace.total_ops()
+        );
+        println!(
+            "  1p/inf: exec={} read_miss={} ({:.1}% of reads) write_miss={} upgrades={} inval={} merges={}",
+            rs.exec_time,
+            m.read_misses,
+            100.0 * m.read_misses as f64 / (m.read_hits + m.read_misses).max(1) as f64,
+            m.write_misses,
+            m.upgrade_misses,
+            m.invalidations,
+            m.merge_stalls,
+        );
+        println!(
+            "  lat classes [local30, localdirty100, remote100, third150] = {:?}",
+            m.by_latency
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 2: "The Benefits with Infinite Caches" — all nine
+//! applications, cluster sizes 1/2/4/8, infinite cluster caches,
+//! execution time normalized to the 1-processor-per-cluster run and
+//! decomposed into cpu / load / merge / sync.
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::{trace_for, FIG2_APPS};
+use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
+use cluster_study::study::sweep_clusters;
+use cluster_study::paper_data;
+use coherence::config::CacheSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "Figure 2: infinite caches, {} processors, {} problem sizes\n",
+        cli.procs,
+        cli.size_label()
+    );
+    for app in FIG2_APPS {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = timed(&format!("{app} gen"), || {
+            trace_for(app, cli.size, cli.procs)
+        });
+        let sweep = timed(&format!("{app} sim"), || {
+            sweep_clusters(&trace, CacheSpec::Infinite)
+        });
+        let paper = paper_data::fig2_totals(app);
+        print!("{}", render_sweep(app, &sweep, paper));
+        if let Some(p) = paper {
+            let totals = sweep.normalized_totals();
+            println!(
+                "  shape: mean |Δ| = {:.1} points vs paper, direction {}\n",
+                shape_distance(&totals, p),
+                if direction_agrees(&totals, p) {
+                    "agrees"
+                } else {
+                    "DISAGREES"
+                }
+            );
+        }
+    }
+}

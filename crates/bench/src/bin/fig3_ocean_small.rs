@@ -1,0 +1,34 @@
+//! Figure 3: Ocean on the smaller 66×66 grid with infinite caches —
+//! higher communication miss rates make the clustering benefit larger,
+//! at the cost of growing load imbalance.
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::ocean_small_grid_trace;
+use cluster_study::paper_data;
+use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
+use cluster_study::study::sweep_clusters;
+use coherence::config::CacheSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "Figure 3: Ocean 66x66, infinite caches, {} processors\n",
+        cli.procs
+    );
+    let trace = timed("ocean-66 gen", || {
+        ocean_small_grid_trace(cli.size, cli.procs)
+    });
+    let sweep = timed("ocean-66 sim", || sweep_clusters(&trace, CacheSpec::Infinite));
+    let paper = paper_data::fig3_ocean_small_totals();
+    print!("{}", render_sweep("ocean (66x66)", &sweep, Some(paper)));
+    let totals = sweep.normalized_totals();
+    println!(
+        "  shape: mean |Δ| = {:.1} points vs paper, direction {}",
+        shape_distance(&totals, paper),
+        if direction_agrees(&totals, paper) {
+            "agrees"
+        } else {
+            "DISAGREES"
+        }
+    );
+}

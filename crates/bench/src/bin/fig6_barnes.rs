@@ -1,0 +1,9 @@
+//! Figure 6: finite-capacity clustering study for barnes (4 KB / 16 KB /
+//! 32 KB per processor and infinite caches, cluster sizes 1/2/4/8).
+
+use cluster_bench::{run_capacity_figure, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    run_capacity_figure("Figure 6", "barnes", &cli);
+}

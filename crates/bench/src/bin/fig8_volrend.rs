@@ -1,0 +1,9 @@
+//! Figure 8: finite-capacity clustering study for volrend (4 KB / 16 KB /
+//! 32 KB per processor and infinite caches, cluster sizes 1/2/4/8).
+
+use cluster_bench::{run_capacity_figure, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    run_capacity_figure("Figure 8", "volrend", &cli);
+}

@@ -1,0 +1,61 @@
+//! Table 3 (working-set column): measures each application's
+//! per-processor working set by sweeping the unclustered cache size
+//! and reporting the read miss rate at each size — the knee of the
+//! curve is the working set the paper tabulates.
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::{trace_for, FIG2_APPS};
+use cluster_study::study::run_config;
+use coherence::config::CacheSpec;
+
+const SIZES: [u64; 7] = [1024, 2048, 4096, 8192, 16384, 32768, 65536];
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "Table 3 (measured): read miss rate vs per-processor cache size, 1p clusters ({} sizes)\n",
+        cli.size_label()
+    );
+    print!("  app       ");
+    for s in SIZES {
+        print!(" {:>6}", format!("{}k", s / 1024));
+    }
+    println!("    inf   knee (paper)");
+    for app in FIG2_APPS {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = timed(app, || trace_for(app, cli.size, cli.procs));
+        print!("  {app:<10}");
+        let mut rates = Vec::new();
+        for s in SIZES {
+            let rs = run_config(&trace, 1, CacheSpec::PerProcBytes(s));
+            let r = rs.mem.read_miss_rate() * 100.0;
+            rates.push(r);
+            print!(" {r:>6.2}");
+        }
+        let inf = run_config(&trace, 1, CacheSpec::Infinite);
+        let inf_rate = inf.mem.read_miss_rate() * 100.0;
+        print!(" {inf_rate:>6.2}");
+        // Knee: first size whose miss rate is within 25% of infinite.
+        let knee = SIZES
+            .iter()
+            .zip(&rates)
+            .find(|(_, &r)| r <= inf_rate * 1.25 + 0.05)
+            .map(|(s, _)| format!("{}k", s / 1024))
+            .unwrap_or_else(|| ">64k".into());
+        let paper = match app {
+            "barnes" => "12k",
+            "fmm" => "4k",
+            "fft" => "4k",
+            "lu" => "2k",
+            "mp3d" => "large",
+            "ocean" => "partition",
+            "radix" => "small+large",
+            "raytrace" => "large",
+            "volrend" => "small",
+            _ => "?",
+        };
+        println!("   {knee} ({paper})");
+    }
+}

@@ -1,0 +1,6 @@
+//! Table 4: probabilities of bank conflict at the multi-banked shared
+//! cache, `C = 1 - ((m-1)/m)^(n-1)` with four banks per processor.
+
+fn main() {
+    print!("{}", cluster_study::report::render_table4());
+}

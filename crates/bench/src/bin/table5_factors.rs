@@ -1,0 +1,28 @@
+//! Table 5: load-latency execution-time factors. The paper measured
+//! these with Pixie on the uniprocessor instruction streams; we measure
+//! them by replaying each trace with the engine's load latency at 1–4
+//! cycles and taking execution-time ratios.
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::{trace_for, TABLE5_APPS};
+use cluster_study::measure_latency_factors;
+use cluster_study::report::render_table5_row;
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "Table 5: load-latency execution-time factors ({} sizes)\n",
+        cli.size_label()
+    );
+    println!("  app          1 cyc   2 cyc   3 cyc   4 cyc");
+    for app in TABLE5_APPS {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = trace_for(app, cli.size, cli.procs);
+        let f = timed(&format!("{app} factors"), || {
+            measure_latency_factors(&trace)
+        });
+        print!("{}", render_table5_row(app, &f));
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 6: relative execution time of clustering with 4 KB caches,
+//! including the Section 6 shared-cache cost model (bank conflicts ×
+//! latency factors applied to the simulated times).
+
+use cluster_bench::{timed, Cli};
+use cluster_study::apps::{trace_for, TABLE6_APPS};
+use cluster_study::measure_latency_factors;
+use cluster_study::paper_data;
+use cluster_study::report::{cluster_header, costed_relative_times, render_costed_row};
+use cluster_study::study::sweep_clusters;
+use coherence::config::CacheSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "Table 6: clustering with 4KB caches incl. shared-cache costs ({} sizes)\n",
+        cli.size_label()
+    );
+    print!("{}", cluster_header());
+    for app in TABLE6_APPS {
+        if !cli.wants(app) {
+            continue;
+        }
+        let trace = trace_for(app, cli.size, cli.procs);
+        let (sweep, factors) = timed(app, || {
+            (
+                sweep_clusters(&trace, CacheSpec::PerProcBytes(4096)),
+                measure_latency_factors(&trace),
+            )
+        });
+        let rel = costed_relative_times(&sweep, &factors);
+        print!("{}", render_costed_row(app, &rel, paper_data::table6(app)));
+    }
+}

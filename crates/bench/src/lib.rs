@@ -1,0 +1,157 @@
+//! Shared helpers for the benchmark-harness binaries (one per paper
+//! table/figure).
+
+use splash::ProblemSize;
+
+/// Options common to every regenerator binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Problem size: `--paper` (default) or `--small`.
+    pub size: ProblemSize,
+    /// Simulated processors (default 64, the paper's machine).
+    pub procs: usize,
+    /// Optional application filter (`--apps lu,fft`).
+    pub apps: Option<Vec<String>>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Cli {
+        let mut size = ProblemSize::Paper;
+        let mut procs = 64usize;
+        let mut apps = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--small" => size = ProblemSize::Small,
+                "--paper" => size = ProblemSize::Paper,
+                "--procs" => {
+                    procs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--procs needs a number"));
+                }
+                "--apps" => {
+                    let list = args.next().unwrap_or_else(|| usage("--apps needs a list"));
+                    apps = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        Cli { size, procs, apps }
+    }
+
+    /// Whether `app` passes the `--apps` filter.
+    pub fn wants(&self, app: &str) -> bool {
+        self.apps
+            .as_ref()
+            .map(|list| list.iter().any(|a| a == app))
+            .unwrap_or(true)
+    }
+
+    /// Label for the chosen size.
+    pub fn size_label(&self) -> &'static str {
+        match self.size {
+            ProblemSize::Paper => "paper",
+            ProblemSize::Small => "small",
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--paper|--small] [--procs N] [--apps a,b,c]\n\
+         \n\
+         --paper   paper problem sizes (default)\n\
+         --small   reduced sizes for quick runs\n\
+         --procs   simulated processors (default 64)\n\
+         --apps    comma-separated application filter"
+    );
+    std::process::exit(2)
+}
+
+/// Runs one Section 5 capacity figure (Figures 4–8): the named app
+/// swept over cluster sizes at 4K/16K/32K/∞ per-processor caches,
+/// printed next to the paper's approximate bar-chart values.
+pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
+    use cluster_study::apps::trace_for;
+    use cluster_study::paper_data::capacity_totals;
+    use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
+    use cluster_study::study::sweep_capacities;
+
+    println!(
+        "{fig}: {app}, finite capacity, {} processors, {} sizes\n",
+        cli.procs,
+        cli.size_label()
+    );
+    let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
+    let caps = timed(&format!("{app} sim"), || sweep_capacities(&trace));
+    for sweep in &caps.sweeps {
+        let label = sweep.cache.label();
+        let paper = capacity_totals(app, &label);
+        print!("{}", render_sweep(app, sweep, paper));
+        if let Some(p) = paper {
+            let totals = sweep.normalized_totals();
+            println!(
+                "  shape: mean |Δ| = {:.1} points vs paper, direction {}\n",
+                shape_distance(&totals, p),
+                if direction_agrees(&totals, p) {
+                    "agrees"
+                } else {
+                    "DISAGREES"
+                }
+            );
+        }
+    }
+}
+
+/// Wall-clock timing helper for progress output.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let r = f();
+    eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wants_filters_by_app_list() {
+        let cli = Cli {
+            size: ProblemSize::Small,
+            procs: 64,
+            apps: Some(vec!["lu".into(), "fft".into()]),
+        };
+        assert!(cli.wants("lu"));
+        assert!(cli.wants("fft"));
+        assert!(!cli.wants("ocean"));
+        let all = Cli {
+            apps: None,
+            ..cli.clone()
+        };
+        assert!(all.wants("anything"));
+    }
+
+    #[test]
+    fn size_labels() {
+        let mut cli = Cli {
+            size: ProblemSize::Paper,
+            procs: 64,
+            apps: None,
+        };
+        assert_eq!(cli.size_label(), "paper");
+        cli.size = ProblemSize::Small;
+        assert_eq!(cli.size_label(), "small");
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("noop", || 42), 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! The miss-latency model of the paper's Table 1.
+//!
+//! | Memory operation | Cycles |
+//! |---|---|
+//! | Hit in cache (1 processor per cluster) | 1 |
+//! | Hit in cache (2 processors per cluster) | 2 |
+//! | Hit in cache (4 and 8 processors per cluster) | 3 |
+//! | Miss to local home, satisfied by home (dir SHARED/NOT CACHED) | 30 |
+//! | Miss to local home, satisfied by remote cluster (dir EXCL) | 100 |
+//! | Miss to remote home, satisfied by home (dir NOT CACHED/SHARED) | 100 |
+//! | Miss to remote home, satisfied by third-party cluster (dir EXCL) | 150 |
+//!
+//! Note that the event-driven simulation itself always uses single-cycle
+//! cache hits ("This simulator produces application execution times by
+//! simulating with single cycle cache hits", §3.1); the 2- and 3-cycle
+//! shared-cache hit times enter only through the analytic cost model of
+//! Section 6 (see `cluster_study::contention`).
+
+use simcore::stats::LatencyClass;
+
+/// Miss latencies in processor cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Miss to local home, satisfied by home cluster (dir SHARED or
+    /// NOT CACHED).
+    pub local_clean: u64,
+    /// Miss to local home, satisfied by a remote dirty cluster.
+    pub local_dirty_remote: u64,
+    /// Miss to remote home, satisfied by the home (dir NOT CACHED,
+    /// SHARED, or EXCL *at the home itself*).
+    pub remote_clean: u64,
+    /// Miss to remote home, satisfied by a dirty third-party cluster.
+    pub remote_dirty_third: u64,
+}
+
+impl LatencyTable {
+    /// The paper's Table 1 values.
+    pub fn paper() -> Self {
+        LatencyTable {
+            local_clean: 30,
+            local_dirty_remote: 100,
+            remote_clean: 100,
+            remote_dirty_third: 150,
+        }
+    }
+
+    /// A uniform-latency table, useful for tests and ablations.
+    pub fn uniform(miss: u64) -> Self {
+        LatencyTable {
+            local_clean: miss,
+            local_dirty_remote: miss,
+            remote_clean: miss,
+            remote_dirty_third: miss,
+        }
+    }
+
+    /// Latency of a miss in the given class.
+    #[inline]
+    pub fn of(&self, class: LatencyClass) -> u64 {
+        match class {
+            LatencyClass::LocalClean => self.local_clean,
+            LatencyClass::LocalDirtyRemote => self.local_dirty_remote,
+            LatencyClass::RemoteClean => self.remote_clean,
+            LatencyClass::RemoteDirtyThird => self.remote_dirty_third,
+        }
+    }
+
+    /// Target shared-cache hit time by cluster size (Table 1, first
+    /// three rows). Used by the Section 6 analytic model, not by the
+    /// cycle simulation.
+    pub fn hit_cycles(procs_per_cluster: u32) -> u64 {
+        match procs_per_cluster {
+            0 => panic!("cluster size must be positive"),
+            1 => 1,
+            2 => 2,
+            _ => 3,
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_1() {
+        let t = LatencyTable::paper();
+        assert_eq!(t.of(LatencyClass::LocalClean), 30);
+        assert_eq!(t.of(LatencyClass::LocalDirtyRemote), 100);
+        assert_eq!(t.of(LatencyClass::RemoteClean), 100);
+        assert_eq!(t.of(LatencyClass::RemoteDirtyThird), 150);
+    }
+
+    #[test]
+    fn hit_cycles_match_table_1() {
+        assert_eq!(LatencyTable::hit_cycles(1), 1);
+        assert_eq!(LatencyTable::hit_cycles(2), 2);
+        assert_eq!(LatencyTable::hit_cycles(4), 3);
+        assert_eq!(LatencyTable::hit_cycles(8), 3);
+    }
+
+    #[test]
+    fn three_hop_is_most_expensive() {
+        let t = LatencyTable::paper();
+        for c in LatencyClass::ALL {
+            assert!(t.of(c) <= t.of(LatencyClass::RemoteDirtyThird));
+            assert!(t.of(c) >= t.of(LatencyClass::LocalClean));
+        }
+    }
+
+    #[test]
+    fn uniform_table() {
+        let t = LatencyTable::uniform(42);
+        for c in LatencyClass::ALL {
+            assert_eq!(t.of(c), 42);
+        }
+    }
+}

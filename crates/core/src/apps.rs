@@ -1,0 +1,68 @@
+//! Workload registry binding the `splash` suite to the study.
+
+use simcore::ops::Trace;
+use splash::{by_name, ProblemSize, SplashApp};
+
+/// The nine applications in the paper's Figure 2 order.
+pub const FIG2_APPS: [&str; 9] = [
+    "lu", "fft", "ocean", "radix", "raytrace", "volrend", "barnes", "fmm", "mp3d",
+];
+
+/// The applications of the Section 5 capacity figures (Figures 4–8).
+pub const CAPACITY_APPS: [&str; 5] = ["raytrace", "mp3d", "barnes", "fmm", "volrend"];
+
+/// The applications of Table 5 / Table 6 / Table 7.
+pub const TABLE5_APPS: [&str; 6] = ["barnes", "lu", "ocean", "radix", "volrend", "mp3d"];
+/// Table 6 applications (4 KB caches).
+pub const TABLE6_APPS: [&str; 4] = ["barnes", "radix", "volrend", "mp3d"];
+/// Table 7 applications (infinite caches).
+pub const TABLE7_APPS: [&str; 2] = ["ocean", "lu"];
+
+/// The paper's machine size.
+pub const PAPER_PROCS: usize = 64;
+
+/// Generates the trace for a named application at the given size and
+/// processor count. Panics on unknown names.
+pub fn trace_for(name: &str, size: ProblemSize, n_procs: usize) -> Trace {
+    let app = by_name(name, size)
+        .unwrap_or_else(|| panic!("unknown application {name:?}"));
+    app.generate(n_procs)
+}
+
+/// The Figure 3 workload: Ocean on the smaller 66×66 grid.
+pub fn ocean_small_grid_trace(size: ProblemSize, n_procs: usize) -> Trace {
+    let app = match size {
+        ProblemSize::Paper => splash::ocean::Ocean::paper_small_grid(),
+        ProblemSize::Small => splash::ocean::Ocean::small(),
+    };
+    app.generate(n_procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_figure_apps() {
+        for name in FIG2_APPS {
+            assert!(
+                by_name(name, ProblemSize::Small).is_some(),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_and_table_apps_are_subsets_of_fig2() {
+        for name in CAPACITY_APPS.iter().chain(&TABLE5_APPS).chain(&TABLE6_APPS).chain(&TABLE7_APPS)
+        {
+            assert!(FIG2_APPS.contains(name), "{name} not in figure 2 set");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_app_panics() {
+        let _ = trace_for("quicksort", ProblemSize::Small, 4);
+    }
+}

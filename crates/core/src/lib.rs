@@ -1,0 +1,27 @@
+//! The SC'95 clustering study (Erlichson, Nayfeh, Singh, Olukotun):
+//! experiment sweeps, the analytic shared-cache cost model, and the
+//! figure/table drivers.
+//!
+//! * [`study`] — run an application trace across cluster sizes
+//!   {1,2,4,8} and cache sizes {4K,16K,32K,∞} per processor (Sections
+//!   4 and 5).
+//! * [`contention`] — the multi-banked shared-cache bank-conflict model
+//!   and the combined execution-time cost factor (Section 6, Table 4).
+//! * [`latency_factor`] — the Pixie-analogue load-latency execution-
+//!   time expansion factors (Section 6, Table 5).
+//! * [`apps`] — the workload registry binding the `splash` suite to the
+//!   study.
+//! * [`report`] — text renderings of every figure and table.
+//! * [`paper_data`] — the paper's published numbers, embedded for
+//!   side-by-side comparison.
+
+pub mod apps;
+pub mod contention;
+pub mod latency_factor;
+pub mod paper_data;
+pub mod report;
+pub mod study;
+
+pub use contention::{bank_conflict_probability, shared_cache_factor};
+pub use latency_factor::{measure_latency_factors, LatencyFactors};
+pub use study::{run_config, sweep_clusters, CapacitySweep, ClusterSweep};

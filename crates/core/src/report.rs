@@ -1,0 +1,208 @@
+//! Plain-text renderings of the paper's figures and tables, printing
+//! measured values next to the paper's published ones.
+
+use std::fmt::Write as _;
+
+use crate::contention::{banks_for, shared_cache_factor, table4};
+use crate::latency_factor::LatencyFactors;
+use crate::paper_data;
+use crate::study::{ClusterSweep, CLUSTER_SIZES};
+
+/// Renders one figure panel (a [`ClusterSweep`]) in the paper's
+/// stacked-bar layout: one column per cluster size, rows for the total
+/// and each component, all as percent of the 1p baseline.
+pub fn render_sweep(title: &str, sweep: &ClusterSweep, paper: Option<[f64; 4]>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}  (cache: {})", sweep.cache.label());
+    let _ = writeln!(
+        s,
+        "  {:<9} {:>8} {:>8} {:>8} {:>8}",
+        "", "1p", "2p", "4p", "8p"
+    );
+    let rows = sweep.normalized_breakdowns();
+    let totals = sweep.normalized_totals();
+    let field = |f: usize| -> Vec<f64> { rows.iter().map(|(_, b)| b[f]).collect() };
+    let print_row = |s: &mut String, name: &str, vals: &[f64]| {
+        let _ = write!(s, "  {name:<9}");
+        for v in vals {
+            let _ = write!(s, " {v:>8.1}");
+        }
+        let _ = writeln!(s);
+    };
+    print_row(
+        &mut s,
+        "total",
+        &totals.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+    );
+    print_row(&mut s, "cpu", &field(0));
+    print_row(&mut s, "load", &field(1));
+    print_row(&mut s, "merge", &field(2));
+    print_row(&mut s, "sync", &field(3));
+    if let Some(p) = paper {
+        print_row(&mut s, "paper tot", &p);
+    }
+    s
+}
+
+/// Renders the Table 4 bank-conflict probabilities.
+pub fn render_table4() -> String {
+    let mut s = String::from(
+        "Table 4: Probabilities of Bank Conflict\n  procs  banks  C(measured)  C(paper)\n",
+    );
+    let paper = [0.0, 0.125, 0.176, 0.199];
+    for ((n, m, c), p) in table4().into_iter().zip(paper) {
+        let _ = writeln!(s, "  {n:>5}  {m:>5}  {c:>11.3}  {p:>8.3}");
+    }
+    s
+}
+
+/// Renders one application's Table 5 row: measured factors vs paper.
+pub fn render_table5_row(app: &str, f: &LatencyFactors) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "  {app:<10}");
+    for l in 1..=4 {
+        let _ = write!(s, " {:>7.3}", f.at(l));
+    }
+    if let Some(p) = paper_data::table5(app) {
+        let _ = write!(s, "   | paper:");
+        for v in p {
+            let _ = write!(s, " {v:>6.3}");
+        }
+    }
+    s.push('\n');
+    s
+}
+
+/// Computes a Table 6/7 row: relative execution time of clustering
+/// including the shared-cache cost factor.
+pub fn costed_relative_times(sweep: &ClusterSweep, f: &LatencyFactors) -> Vec<(u32, f64)> {
+    let base = sweep.baseline_time() as f64 * shared_cache_factor(1, f);
+    sweep
+        .runs
+        .iter()
+        .map(|(n, stats)| {
+            let t = stats.exec_time as f64 * shared_cache_factor(*n, f);
+            (*n, t / base)
+        })
+        .collect()
+}
+
+/// Renders a Table 6/7 row next to the paper's.
+pub fn render_costed_row(app: &str, rel: &[(u32, f64)], paper: Option<[f64; 4]>) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "  {app:<10}");
+    for (_, v) in rel {
+        let _ = write!(s, " {v:>6.2}");
+    }
+    if let Some(p) = paper {
+        let _ = write!(s, "   | paper:");
+        for v in p {
+            let _ = write!(s, " {v:>5.2}");
+        }
+    }
+    s.push('\n');
+    s
+}
+
+/// The standard table header for cluster-size columns.
+pub fn cluster_header() -> String {
+    let mut s = String::from("  app       ");
+    for c in CLUSTER_SIZES {
+        let _ = write!(s, " {:>5}p", c);
+    }
+    s.push('\n');
+    s
+}
+
+/// Summary line comparing measured and paper totals: mean absolute
+/// difference in normalized points.
+pub fn shape_distance(measured: &[(u32, f64)], paper: [f64; 4]) -> f64 {
+    measured
+        .iter()
+        .zip(paper)
+        .map(|((_, m), p)| (m - p).abs())
+        .sum::<f64>()
+        / measured.len() as f64
+}
+
+/// One-line directional check: does clustering help (8p < 1p) in both
+/// the measurement and the paper?
+pub fn direction_agrees(measured: &[(u32, f64)], paper: [f64; 4]) -> bool {
+    let m_helps = measured.last().unwrap().1 < measured[0].1 - 0.5;
+    let p_helps = paper[3] < paper[0] - 0.5;
+    m_helps == p_helps
+}
+
+/// Renders the bank utilization note used by the ablation benches.
+pub fn render_factors_banner(app: &str, n: u32, f: &LatencyFactors) -> String {
+    format!(
+        "{app}: {n} procs/cluster, {} banks, cost factor {:.3}\n",
+        banks_for(n),
+        shared_cache_factor(n, f)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coherence::config::CacheSpec;
+    use simcore::stats::{MissStats, RunStats};
+
+    fn fake_sweep() -> ClusterSweep {
+        let mk = |t: u64| RunStats {
+            per_proc: vec![simcore::stats::Breakdown {
+                cpu: t / 2,
+                load: t / 4,
+                merge: 0,
+                sync: t - t / 2 - t / 4,
+            }],
+            mem: MissStats::default(),
+            exec_time: t,
+        };
+        ClusterSweep {
+            cache: CacheSpec::Infinite,
+            runs: vec![(1, mk(1000)), (2, mk(950)), (4, mk(900)), (8, mk(860))],
+        }
+    }
+
+    #[test]
+    fn render_sweep_contains_all_rows() {
+        let s = render_sweep("fig", &fake_sweep(), Some([100.0, 99.0, 98.0, 97.0]));
+        for key in ["total", "cpu", "load", "merge", "sync", "paper tot"] {
+            assert!(s.contains(key), "missing row {key}: {s}");
+        }
+    }
+
+    #[test]
+    fn costed_rows_apply_factors() {
+        let f = LatencyFactors {
+            by_latency: [1.0, 1.05, 1.1, 1.15],
+        };
+        let rel = costed_relative_times(&fake_sweep(), &f);
+        assert_eq!(rel[0].1, 1.0);
+        // 8p raw = 0.86; cost factor >1 so the costed value is larger
+        // than raw.
+        assert!(rel[3].1 > 0.86);
+        assert!(rel[3].1 < 1.0, "costed 8p {rel:?}");
+    }
+
+    #[test]
+    fn shape_distance_zero_for_exact_match() {
+        let m = vec![(1, 100.0), (2, 99.0), (4, 98.0), (8, 97.0)];
+        assert_eq!(shape_distance(&m, [100.0, 99.0, 98.0, 97.0]), 0.0);
+    }
+
+    #[test]
+    fn direction_agreement() {
+        let helps = vec![(1, 100.0), (2, 95.0), (4, 90.0), (8, 85.0)];
+        assert!(direction_agrees(&helps, [100.0, 96.0, 92.0, 88.0]));
+        assert!(!direction_agrees(&helps, [100.0, 100.0, 100.1, 100.2]));
+    }
+
+    #[test]
+    fn table4_renders() {
+        let s = render_table4();
+        assert!(s.contains("0.125"));
+        assert!(s.contains("0.199"));
+    }
+}

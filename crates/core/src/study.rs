@@ -1,0 +1,167 @@
+//! Experiment sweeps over cluster and cache sizes.
+//!
+//! The paper's core experiment: fix the machine at 64 processors and a
+//! given total cache per processor, vary the number of processors per
+//! cluster over {1, 2, 4, 8}, and report execution time (decomposed
+//! into CPU / load / merge / sync) normalized to the
+//! 1-processor-per-cluster run.
+
+use coherence::config::CacheSpec;
+use coherence::{LatencyTable, MachineConfig};
+use simcore::ops::Trace;
+use simcore::stats::RunStats;
+
+/// The cluster sizes the paper studies.
+pub const CLUSTER_SIZES: [u32; 4] = [1, 2, 4, 8];
+
+/// The finite per-processor cache sizes of Section 5, in bytes.
+pub const FINITE_CACHES: [u64; 3] = [4096, 16384, 32768];
+
+/// Replays `trace` on a 64-processor machine (or however many
+/// processors the trace has) with the given cluster size and cache
+/// specification.
+pub fn run_config(trace: &Trace, per_cluster: u32, cache: CacheSpec) -> RunStats {
+    let machine = MachineConfig {
+        n_procs: trace.n_procs() as u32,
+        per_cluster,
+        cache,
+        lat: LatencyTable::paper(),
+    };
+    tango::run(trace, machine)
+}
+
+/// Results of one cache size across all cluster sizes.
+#[derive(Debug, Clone)]
+pub struct ClusterSweep {
+    /// The cache specification swept.
+    pub cache: CacheSpec,
+    /// `(processors per cluster, stats)` in ascending cluster size;
+    /// the first entry is the normalization baseline.
+    pub runs: Vec<(u32, RunStats)>,
+}
+
+impl ClusterSweep {
+    /// Execution time of the 1-processor-per-cluster baseline.
+    pub fn baseline_time(&self) -> u64 {
+        self.runs[0].1.exec_time
+    }
+
+    /// Normalized total execution time (percent of baseline) per
+    /// cluster size.
+    pub fn normalized_totals(&self) -> Vec<(u32, f64)> {
+        let base = self.baseline_time();
+        self.runs
+            .iter()
+            .map(|(c, s)| (*c, s.percent_total_of(base)))
+            .collect()
+    }
+
+    /// Normalized breakdown `[cpu, load, merge, sync]` in percent of
+    /// the baseline execution time, per cluster size.
+    pub fn normalized_breakdowns(&self) -> Vec<(u32, [f64; 4])> {
+        let base = self.baseline_time();
+        self.runs
+            .iter()
+            .map(|(c, s)| (*c, s.percent_of(base)))
+            .collect()
+    }
+}
+
+/// Sweeps the paper's cluster sizes at one cache specification.
+pub fn sweep_clusters(trace: &Trace, cache: CacheSpec) -> ClusterSweep {
+    sweep_clusters_sizes(trace, cache, &CLUSTER_SIZES)
+}
+
+/// Sweeps explicit cluster sizes at one cache specification.
+pub fn sweep_clusters_sizes(trace: &Trace, cache: CacheSpec, sizes: &[u32]) -> ClusterSweep {
+    ClusterSweep {
+        cache,
+        runs: sizes
+            .iter()
+            .map(|&c| (c, run_config(trace, c, cache)))
+            .collect(),
+    }
+}
+
+/// Results across the finite capacities of Section 5 plus the infinite
+/// cache, each swept over all cluster sizes (one paper figure).
+#[derive(Debug, Clone)]
+pub struct CapacitySweep {
+    /// Sweeps in figure order: 4K, 16K, 32K, infinite.
+    pub sweeps: Vec<ClusterSweep>,
+}
+
+/// Runs the full Section 5 capacity experiment for one application
+/// trace.
+pub fn sweep_capacities(trace: &Trace) -> CapacitySweep {
+    let mut sweeps: Vec<ClusterSweep> = FINITE_CACHES
+        .iter()
+        .map(|&b| sweep_clusters(trace, CacheSpec::PerProcBytes(b)))
+        .collect();
+    sweeps.push(sweep_clusters(trace, CacheSpec::Infinite));
+    CapacitySweep { sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ops::TraceBuilder;
+
+    /// A toy trace where 8 processors stream over a shared read-only
+    /// region — clustering should monotonically help.
+    fn shared_readers(n_procs: usize, lines: u64) -> Trace {
+        let mut b = TraceBuilder::new(n_procs);
+        let base = b.space_mut().alloc_shared(lines * 64);
+        for p in 0..n_procs as u32 {
+            b.compute(p, p as u64 * 500);
+            for l in 0..lines {
+                b.read(p, base + l * 64);
+                b.compute(p, 20);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_normalizes_to_first_entry() {
+        let t = shared_readers(8, 64);
+        let sweep = sweep_clusters_sizes(&t, CacheSpec::Infinite, &[1, 2, 4, 8]);
+        let totals = sweep.normalized_totals();
+        assert_eq!(totals[0].1, 100.0);
+        // Clustering shared readers helps.
+        assert!(totals[3].1 < totals[0].1);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let t = shared_readers(8, 32);
+        let sweep = sweep_clusters_sizes(&t, CacheSpec::PerProcBytes(4096), &[1, 2]);
+        for ((_, parts), (_, total)) in sweep
+            .normalized_breakdowns()
+            .iter()
+            .zip(sweep.normalized_totals())
+        {
+            let sum: f64 = parts.iter().sum();
+            assert!(
+                (sum - total).abs() < 0.5,
+                "breakdown sums to {sum}, total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_has_four_cache_points() {
+        let t = shared_readers(8, 16);
+        let cs = sweep_capacities(&t);
+        assert_eq!(cs.sweeps.len(), 4);
+        assert_eq!(cs.sweeps[3].cache, CacheSpec::Infinite);
+    }
+
+    #[test]
+    fn infinite_cache_never_slower_than_finite() {
+        let t = shared_readers(8, 256); // bigger than 4KB/proc worth of lines
+        let fin = sweep_clusters_sizes(&t, CacheSpec::PerProcBytes(4096), &[1]);
+        let inf = sweep_clusters_sizes(&t, CacheSpec::Infinite, &[1]);
+        assert!(inf.runs[0].1.exec_time <= fin.runs[0].1.exec_time);
+    }
+}

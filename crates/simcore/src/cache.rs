@@ -1,0 +1,473 @@
+//! Cache structures used for the per-cluster shared caches.
+//!
+//! The paper simulates *fully associative* caches with LRU replacement
+//! "to exclude the effect of conflict misses from the performance
+//! characterizations" (§3.1). [`FullLruCache`] implements that with an
+//! O(1) hash map + intrusive doubly-linked recency list.
+//!
+//! The paper defers limited associativity (and the destructive
+//! interference it causes in shared caches) to future work; we provide
+//! [`SetAssocCache`] so the ablation benches can explore it.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+
+/// A line evicted by an insertion, returned to the caller so the
+/// coherence layer can issue a replacement hint / writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine<V> {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// Its payload (coherence state) at eviction.
+    pub val: V,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    line: LineAddr,
+    val: V,
+    prev: u32,
+    next: u32,
+}
+
+/// A fully-associative cache with true LRU replacement.
+///
+/// Capacity is measured in cache lines; `usize::MAX` models the paper's
+/// infinite caches (no replacement ever occurs).
+#[derive(Debug, Clone)]
+pub struct FullLruCache<V> {
+    map: HashMap<LineAddr, u32>,
+    slots: Vec<Slot<V>>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+}
+
+impl<V> FullLruCache<V> {
+    /// Creates a cache holding at most `capacity_lines` lines.
+    pub fn new(capacity_lines: usize) -> Self {
+        assert!(capacity_lines > 0, "cache capacity must be positive");
+        FullLruCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity_lines,
+        }
+    }
+
+    /// Creates an effectively infinite cache.
+    pub fn infinite() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `line` is resident (does not affect recency).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.map.contains_key(&line)
+    }
+
+    /// Payload of `line` without touching recency.
+    pub fn peek(&self, line: LineAddr) -> Option<&V> {
+        self.map.get(&line).map(|&i| &self.slots[i as usize].val)
+    }
+
+    /// Mutable payload of `line`, promoting it to most-recently-used.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let &idx = self.map.get(&line)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&mut self.slots[idx as usize].val)
+    }
+
+    /// Mutable payload of `line` without touching recency.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let &idx = self.map.get(&line)?;
+        Some(&mut self.slots[idx as usize].val)
+    }
+
+    /// Inserts `line` as most-recently-used. The line must not already
+    /// be resident. If the cache is full the LRU line is evicted and
+    /// returned.
+    pub fn insert(&mut self, line: LineAddr, val: V) -> Option<EvictedLine<V>> {
+        assert!(
+            !self.map.contains_key(&line),
+            "insert of already-resident line {line:#x}"
+        );
+        
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let slot = &mut self.slots[victim as usize];
+            let old_line = slot.line;
+            self.map.remove(&old_line);
+            slot.line = line;
+            let old_val = std::mem::replace(&mut slot.val, val);
+            self.map.insert(line, victim);
+            self.push_front(victim);
+            Some(EvictedLine {
+                line: old_line,
+                val: old_val,
+            })
+        } else {
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slots[i as usize] = Slot {
+                        line,
+                        val,
+                        prev: NIL,
+                        next: NIL,
+                    };
+                    i
+                }
+                None => {
+                    self.slots.push(Slot {
+                        line,
+                        val,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            self.map.insert(line, idx);
+            self.push_front(idx);
+            None
+        }
+    }
+
+    /// Removes `line` (invalidation), returning its payload.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V>
+    where
+        V: Default,
+    {
+        let idx = self.map.remove(&line)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(std::mem::take(&mut self.slots[idx as usize].val))
+    }
+
+    /// Iterates resident lines from most- to least-recently-used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (LineAddr, &V)> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let slot = &self.slots[cur as usize];
+            cur = slot.next;
+            Some((slot.line, &slot.val))
+        })
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        let s = &mut self.slots[idx as usize];
+        s.prev = NIL;
+        s.next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// A set-associative cache with per-set LRU, for the limited-associativity
+/// extension study. Set index is taken from the low bits of the line
+/// address, as in a physically indexed cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<(LineAddr, V)>>, // front = MRU
+    ways: usize,
+    set_mask: u64,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache of `capacity_lines` total lines with `ways`
+    /// associativity. `capacity_lines / ways` must be a power of two.
+    pub fn new(capacity_lines: usize, ways: usize) -> Self {
+        assert!(ways > 0 && capacity_lines >= ways);
+        let n_sets = capacity_lines / ways;
+        assert!(
+            n_sets.is_power_of_two(),
+            "number of sets ({n_sets}) must be a power of two"
+        );
+        assert_eq!(n_sets * ways, capacity_lines, "capacity must be ways * sets");
+        SetAssocCache {
+            sets: (0..n_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: (n_sets - 1) as u64,
+        }
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Whether `line` is resident (does not affect recency).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)].iter().any(|(l, _)| *l == line)
+    }
+
+    /// Payload of `line` without touching recency.
+    pub fn peek(&self, line: LineAddr) -> Option<&V> {
+        self.sets[self.set_of(line)]
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, v)| v)
+    }
+
+    /// Mutable payload of `line`, promoting it to MRU within its set.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|(l, _)| *l == line)?;
+        let entry = set.remove(pos);
+        set.insert(0, entry);
+        Some(&mut set[0].1)
+    }
+
+    /// Mutable payload of `line` without touching recency.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let set_idx = self.set_of(line);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|(l, _)| *l == line)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts `line` as MRU of its set; evicts the set's LRU line when
+    /// the set is full. The line must not already be resident.
+    pub fn insert(&mut self, line: LineAddr, val: V) -> Option<EvictedLine<V>> {
+        let set_idx = self.set_of(line);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        assert!(
+            !set.iter().any(|(l, _)| *l == line),
+            "insert of already-resident line {line:#x}"
+        );
+        let evicted = if set.len() == ways {
+            let (l, v) = set.pop().expect("full set is non-empty");
+            Some(EvictedLine { line: l, val: v })
+        } else {
+            None
+        };
+        set.insert(0, (line, val));
+        evicted
+    }
+
+    /// Removes `line` (invalidation), returning its payload.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|(l, _)| *l == line)?;
+        Some(set.remove(pos).1)
+    }
+}
+
+/// Cache organization selector for a cluster cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// Infinite capacity (compulsory + coherence misses only; §4).
+    Infinite,
+    /// Fully associative LRU of the given capacity in lines (§5).
+    FullLru {
+        /// Total capacity in lines.
+        lines: usize,
+    },
+    /// Set-associative LRU (extension study).
+    SetAssoc {
+        /// Total capacity in lines.
+        lines: usize,
+        /// Associativity.
+        ways: usize,
+    },
+}
+
+impl CacheKind {
+    /// A fully-associative cache sized in bytes per processor, scaled by
+    /// the cluster size (the paper keeps *total* cache per processor
+    /// fixed: an 8-processor cluster with 4 KB/processor has one 32 KB
+    /// shared cache).
+    pub fn full_lru_per_proc(bytes_per_proc: u64, procs_per_cluster: usize) -> CacheKind {
+        let lines = (bytes_per_proc / crate::addr::LINE_BYTES) as usize * procs_per_cluster;
+        CacheKind::FullLru {
+            lines: lines.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = FullLruCache::new(2);
+        assert!(c.insert(1, 'a').is_none());
+        assert!(c.insert(2, 'b').is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get_mut(1), Some(&mut 'a'));
+        let ev = c.insert(3, 'c').unwrap();
+        assert_eq!(ev, EvictedLine { line: 2, val: 'b' });
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn lru_peek_does_not_promote() {
+        let mut c = FullLruCache::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        assert!(c.peek(1).is_some());
+        let ev = c.insert(3, ()).unwrap();
+        assert_eq!(ev.line, 1, "peek must not refresh recency");
+    }
+
+    #[test]
+    fn lru_remove_frees_capacity() {
+        let mut c = FullLruCache::new(2);
+        c.insert(1, 0u8);
+        c.insert(2, 0u8);
+        assert_eq!(c.remove(1), Some(0));
+        assert_eq!(c.remove(1), None);
+        assert!(c.insert(3, 0).is_none(), "removal freed a slot");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_iter_mru_order() {
+        let mut c = FullLruCache::new(8);
+        for l in 0..4 {
+            c.insert(l, ());
+        }
+        c.get_mut(0);
+        let order: Vec<_> = c.iter_mru().map(|(l, _)| l).collect();
+        assert_eq!(order, vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn infinite_cache_never_evicts() {
+        let mut c = FullLruCache::infinite();
+        for l in 0..10_000u64 {
+            assert!(c.insert(l, ()).is_none());
+        }
+        assert_eq!(c.len(), 10_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_insert_panics() {
+        let mut c = FullLruCache::new(4);
+        c.insert(1, ());
+        c.insert(1, ());
+    }
+
+    #[test]
+    fn set_assoc_conflict_eviction() {
+        // 4 lines, 2 ways => 2 sets. Lines 0,2,4 map to set 0.
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(c.insert(0, 'a').is_none());
+        assert!(c.insert(2, 'b').is_none());
+        // Set 0 now full even though the cache is half empty.
+        let ev = c.insert(4, 'c').unwrap();
+        assert_eq!(ev.line, 0, "LRU of set 0 is evicted");
+        assert_eq!(c.len(), 2);
+        // Set 1 unaffected.
+        assert!(c.insert(1, 'd').is_none());
+    }
+
+    #[test]
+    fn set_assoc_touch_promotes_within_set() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(0, ());
+        c.insert(2, ());
+        c.get_mut(0);
+        let ev = c.insert(4, ()).unwrap();
+        assert_eq!(ev.line, 2);
+    }
+
+    #[test]
+    fn set_assoc_direct_mapped() {
+        let mut c = SetAssocCache::new(4, 1);
+        c.insert(0, ());
+        let ev = c.insert(4, ()).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn cache_kind_scaling() {
+        match CacheKind::full_lru_per_proc(4096, 8) {
+            CacheKind::FullLru { lines } => assert_eq!(lines, 4096 / 64 * 8),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_assoc_requires_pow2_sets() {
+        let _: SetAssocCache<()> = SetAssocCache::new(24, 2); // 12 sets, not a power of two
+    }
+}

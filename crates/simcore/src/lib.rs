@@ -1,0 +1,30 @@
+//! Memory-system substrate for the clustered shared-address-space
+//! multiprocessor study (Erlichson et al., SC'95).
+//!
+//! This crate provides the timing- and protocol-agnostic building blocks
+//! shared by the rest of the workspace:
+//!
+//! * [`addr`] — cache-line address arithmetic (64-byte lines, as in the
+//!   paper).
+//! * [`space`] — a shared virtual address space with an allocator and the
+//!   *placement policies* the paper describes (round-robin first touch,
+//!   owner-local for stacks and explicitly placed data).
+//! * [`ops`] — the packed trace-operation encoding used by the workload
+//!   suite and replayed by the timing engine.
+//! * [`cache`] — fully-associative LRU caches (the paper's configuration)
+//!   and set-associative caches (for the paper's stated future work on
+//!   limited associativity).
+//! * [`stats`] — execution-time breakdowns (CPU busy / load stall / merge
+//!   stall / sync wait) and miss classification counters.
+
+pub mod addr;
+pub mod cache;
+pub mod ops;
+pub mod space;
+pub mod stats;
+
+pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
+pub use cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+pub use ops::{Op, PackedOp, Trace, TraceBuilder};
+pub use space::{AddressSpace, Placement, ProcId, Region, SharedArray};
+pub use stats::{Breakdown, MissClass, MissStats, RunStats};

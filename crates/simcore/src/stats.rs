@@ -1,0 +1,320 @@
+//! Execution-time breakdowns and miss statistics.
+//!
+//! The paper reports normalized execution times "divided into CPU busy
+//! time, load stall time, load merge stall time and synchronization wait
+//! time" (§4), and classifies misses as READ, WRITE and UPGRADE (§3.1).
+
+use std::ops::{Add, AddAssign};
+
+/// Per-processor execution time decomposition, in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// CPU busy cycles: compute, single-cycle cache hits, lock/barrier
+    /// instruction overhead.
+    pub cpu: u64,
+    /// Load stall cycles: READ-miss latency (the only misses the paper
+    /// charges to the processor).
+    pub load: u64,
+    /// Load merge stall cycles: waiting for a line already pending from
+    /// another processor's outstanding miss.
+    pub merge: u64,
+    /// Synchronization wait cycles: barrier and lock waiting.
+    pub sync: u64,
+}
+
+impl Breakdown {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.cpu + self.load + self.merge + self.sync
+    }
+
+    /// Each component as a fraction of `denom` (typically another run's
+    /// total), in the order `[cpu, load, merge, sync]`.
+    pub fn fractions_of(&self, denom: u64) -> [f64; 4] {
+        let d = denom.max(1) as f64;
+        [
+            self.cpu as f64 / d,
+            self.load as f64 / d,
+            self.merge as f64 / d,
+            self.sync as f64 / d,
+        ]
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+    fn add(self, rhs: Breakdown) -> Breakdown {
+        Breakdown {
+            cpu: self.cpu + rhs.cpu,
+            load: self.load + rhs.load,
+            merge: self.merge + rhs.merge,
+            sync: self.sync + rhs.sync,
+        }
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Miss classification, following §3.1: "Misses are broken up into 3
+/// categories, READ, WRITE and UPGRADE."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// A read access that does not find the line in the cluster cache.
+    Read,
+    /// A write access that does not find the line in the cluster cache.
+    Write,
+    /// A write that finds the line in SHARED state.
+    Upgrade,
+}
+
+/// Latency classes of Table 1 for misses that leave the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyClass {
+    /// Miss to local home, satisfied by home cluster (30 cycles).
+    LocalClean,
+    /// Miss to local home, satisfied by remote dirty cluster (100).
+    LocalDirtyRemote,
+    /// Miss to remote home, satisfied by home (100).
+    RemoteClean,
+    /// Miss to remote home, satisfied by a dirty third cluster (150).
+    RemoteDirtyThird,
+}
+
+impl LatencyClass {
+    /// Index for compact array storage.
+    pub fn idx(self) -> usize {
+        match self {
+            LatencyClass::LocalClean => 0,
+            LatencyClass::LocalDirtyRemote => 1,
+            LatencyClass::RemoteClean => 2,
+            LatencyClass::RemoteDirtyThird => 3,
+        }
+    }
+
+    /// All four classes, in `idx` order.
+    pub const ALL: [LatencyClass; 4] = [
+        LatencyClass::LocalClean,
+        LatencyClass::LocalDirtyRemote,
+        LatencyClass::RemoteClean,
+        LatencyClass::RemoteDirtyThird,
+    ];
+}
+
+/// Aggregate memory-system statistics for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissStats {
+    /// Read accesses that hit a resident, non-pending line.
+    pub read_hits: u64,
+    /// Write accesses that hit an EXCLUSIVE line.
+    pub write_hits: u64,
+    /// READ misses.
+    pub read_misses: u64,
+    /// WRITE misses.
+    pub write_misses: u64,
+    /// UPGRADE misses.
+    pub upgrade_misses: u64,
+    /// Reads that merge-stalled on a pending line (each retry counted
+    /// once per stall episode).
+    pub merge_stalls: u64,
+    /// Misses per latency class (READ and WRITE together), indexed by
+    /// [`LatencyClass::idx`].
+    pub by_latency: [u64; 4],
+    /// Lines invalidated in *other* clusters by upgrades/write misses.
+    pub invalidations: u64,
+    /// Capacity evictions from cluster caches.
+    pub evictions: u64,
+    /// Evictions of EXCLUSIVE (dirty) lines (writebacks).
+    pub writebacks: u64,
+    /// Misses satisfied entirely within the issuing cluster's home
+    /// memory *because the home is local* (the 30-cycle case) — a
+    /// measure of locality.
+    pub local_satisfied: u64,
+    /// Shared-memory-cluster mode only: private-cache misses supplied
+    /// by a cluster mate over the snoopy bus.
+    pub bus_transfers: u64,
+    /// Shared-memory-cluster mode only: copies invalidated in cluster
+    /// mates' private caches by a local write.
+    pub bus_invalidations: u64,
+}
+
+impl MissStats {
+    /// Total read accesses.
+    pub fn reads(&self) -> u64 {
+        self.read_hits + self.read_misses + self.merge_stalls + self.bus_transfers
+    }
+
+    /// Total cache misses (all classes).
+    pub fn total_misses(&self) -> u64 {
+        self.read_misses + self.write_misses + self.upgrade_misses
+    }
+
+    /// Read miss rate over read accesses that completed as hit or miss.
+    pub fn read_miss_rate(&self) -> f64 {
+        let denom = self.read_hits + self.read_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / denom as f64
+        }
+    }
+}
+
+impl AddAssign for MissStats {
+    fn add_assign(&mut self, r: MissStats) {
+        self.read_hits += r.read_hits;
+        self.write_hits += r.write_hits;
+        self.read_misses += r.read_misses;
+        self.write_misses += r.write_misses;
+        self.upgrade_misses += r.upgrade_misses;
+        self.merge_stalls += r.merge_stalls;
+        for i in 0..4 {
+            self.by_latency[i] += r.by_latency[i];
+        }
+        self.invalidations += r.invalidations;
+        self.evictions += r.evictions;
+        self.writebacks += r.writebacks;
+        self.local_satisfied += r.local_satisfied;
+        self.bus_transfers += r.bus_transfers;
+        self.bus_invalidations += r.bus_invalidations;
+    }
+}
+
+/// Complete result of replaying one trace under one machine
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-processor time breakdowns. Because every trace ends with a
+    /// global barrier, each processor's `total()` equals `exec_time`.
+    pub per_proc: Vec<Breakdown>,
+    /// Aggregate memory-system counters.
+    pub mem: MissStats,
+    /// Execution time: the cycle at which the last processor finishes.
+    pub exec_time: u64,
+}
+
+impl RunStats {
+    /// Mean breakdown across processors. Since all processors finish at
+    /// `exec_time`, the mean components sum to `exec_time`.
+    pub fn mean_breakdown(&self) -> Breakdown {
+        let n = self.per_proc.len().max(1) as u64;
+        let sum = self
+            .per_proc
+            .iter()
+            .fold(Breakdown::default(), |a, &b| a + b);
+        Breakdown {
+            cpu: sum.cpu / n,
+            load: sum.load / n,
+            merge: sum.merge / n,
+            sync: sum.sync / n,
+        }
+    }
+
+    /// Components of the mean breakdown as percentages of a baseline
+    /// execution time (the paper normalizes each cluster size to the
+    /// 1-processor-per-cluster run), in order `[cpu, load, merge, sync]`.
+    pub fn percent_of(&self, baseline_exec_time: u64) -> [f64; 4] {
+        let f = self.mean_breakdown().fractions_of(baseline_exec_time);
+        [f[0] * 100.0, f[1] * 100.0, f[2] * 100.0, f[3] * 100.0]
+    }
+
+    /// Total normalized execution time in percent of a baseline.
+    pub fn percent_total_of(&self, baseline_exec_time: u64) -> f64 {
+        self.exec_time as f64 / baseline_exec_time.max(1) as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_add() {
+        let a = Breakdown {
+            cpu: 10,
+            load: 5,
+            merge: 1,
+            sync: 4,
+        };
+        let b = Breakdown {
+            cpu: 1,
+            load: 1,
+            merge: 1,
+            sync: 1,
+        };
+        assert_eq!(a.total(), 20);
+        assert_eq!((a + b).total(), 24);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn fractions() {
+        let a = Breakdown {
+            cpu: 50,
+            load: 25,
+            merge: 0,
+            sync: 25,
+        };
+        let f = a.fractions_of(100);
+        assert_eq!(f, [0.5, 0.25, 0.0, 0.25]);
+        // Zero denominator is safe.
+        let _ = a.fractions_of(0);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn miss_stats_accumulate() {
+        let mut m = MissStats::default();
+        m.read_misses = 3;
+        m.read_hits = 7;
+        let mut n = MissStats::default();
+        n.read_misses = 1;
+        n.by_latency[LatencyClass::RemoteClean.idx()] = 4;
+        m += n;
+        assert_eq!(m.read_misses, 4);
+        assert_eq!(m.by_latency[2], 4);
+        assert!((m.read_miss_rate() - 4.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_class_indices_unique() {
+        let mut seen = [false; 4];
+        for c in LatencyClass::ALL {
+            assert!(!seen[c.idx()]);
+            seen[c.idx()] = true;
+        }
+    }
+
+    #[test]
+    fn run_stats_mean_and_percent() {
+        let rs = RunStats {
+            per_proc: vec![
+                Breakdown {
+                    cpu: 80,
+                    load: 10,
+                    merge: 0,
+                    sync: 10,
+                },
+                Breakdown {
+                    cpu: 60,
+                    load: 20,
+                    merge: 0,
+                    sync: 20,
+                },
+            ],
+            mem: MissStats::default(),
+            exec_time: 100,
+        };
+        let m = rs.mean_breakdown();
+        assert_eq!(m.cpu, 70);
+        assert_eq!(m.total(), 100);
+        let pct = rs.percent_of(200);
+        assert!((pct[0] - 35.0).abs() < 1e-12);
+        assert!((rs.percent_total_of(200) - 50.0).abs() < 1e-12);
+    }
+}

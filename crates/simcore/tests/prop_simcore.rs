@@ -1,0 +1,174 @@
+//! Property-based tests for the simcore substrate: the LRU and
+//! set-associative caches against an executable reference model, and
+//! the packed trace-op encoding.
+
+use proptest::prelude::*;
+use simcore::cache::{FullLruCache, SetAssocCache};
+use simcore::ops::{Op, PackedOp};
+
+/// A straightforward Vec-based LRU reference: front = MRU.
+#[derive(Default)]
+struct ModelLru {
+    items: Vec<(u64, u32)>,
+    cap: usize,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        ModelLru {
+            items: Vec::new(),
+            cap,
+        }
+    }
+
+    fn get(&mut self, k: u64) -> Option<u32> {
+        let pos = self.items.iter().position(|(l, _)| *l == k)?;
+        let e = self.items.remove(pos);
+        self.items.insert(0, e);
+        Some(self.items[0].1)
+    }
+
+    fn insert(&mut self, k: u64, v: u32) -> Option<(u64, u32)> {
+        assert!(!self.items.iter().any(|(l, _)| *l == k));
+        let evicted = if self.items.len() == self.cap {
+            self.items.pop()
+        } else {
+            None
+        };
+        self.items.insert(0, (k, v));
+        evicted
+    }
+
+    fn remove(&mut self, k: u64) -> Option<u32> {
+        let pos = self.items.iter().position(|(l, _)| *l == k)?;
+        Some(self.items.remove(pos).1)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u64),
+    Insert(u64, u32),
+    Remove(u64),
+}
+
+fn cache_ops(max_key: u64) -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_key).prop_map(CacheOp::Get),
+            (0..max_key, any::<u32>()).prop_map(|(k, v)| CacheOp::Insert(k, v)),
+            (0..max_key).prop_map(CacheOp::Remove),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(ops in cache_ops(24), cap in 1usize..16) {
+        let mut real = FullLruCache::new(cap);
+        let mut model = ModelLru::new(cap);
+        for op in ops {
+            match op {
+                CacheOp::Get(k) => {
+                    let r = real.get_mut(k).map(|v| *v);
+                    let m = model.get(k);
+                    prop_assert_eq!(r, m);
+                }
+                CacheOp::Insert(k, v) => {
+                    // Skip inserts of resident lines (API precondition).
+                    if real.contains(k) {
+                        continue;
+                    }
+                    let r = real.insert(k, v).map(|e| (e.line, e.val));
+                    let m = model.insert(k, v);
+                    prop_assert_eq!(r, m);
+                }
+                CacheOp::Remove(k) => {
+                    prop_assert_eq!(real.remove(k), model.remove(k));
+                }
+            }
+            prop_assert_eq!(real.len(), model.items.len());
+            prop_assert!(real.len() <= cap);
+        }
+        // Final recency order agrees.
+        let real_order: Vec<u64> = real.iter_mru().map(|(l, _)| l).collect();
+        let model_order: Vec<u64> = model.items.iter().map(|(l, _)| *l).collect();
+        prop_assert_eq!(real_order, model_order);
+    }
+
+    #[test]
+    fn set_assoc_is_lru_within_each_set(ops in cache_ops(32), ways in 1usize..5) {
+        // A set-associative cache with S sets behaves exactly like S
+        // independent LRU caches of `ways` entries, keyed by the set
+        // bits.
+        let n_sets = 4usize;
+        let mut real = SetAssocCache::new(n_sets * ways, ways);
+        let mut models: Vec<ModelLru> = (0..n_sets).map(|_| ModelLru::new(ways)).collect();
+        for op in ops {
+            match op {
+                CacheOp::Get(k) => {
+                    let set = (k % n_sets as u64) as usize;
+                    prop_assert_eq!(real.get_mut(k).map(|v| *v), models[set].get(k));
+                }
+                CacheOp::Insert(k, v) => {
+                    if real.contains(k) {
+                        continue;
+                    }
+                    let set = (k % n_sets as u64) as usize;
+                    let r = real.insert(k, v).map(|e| (e.line, e.val));
+                    prop_assert_eq!(r, models[set].insert(k, v));
+                }
+                CacheOp::Remove(k) => {
+                    let set = (k % n_sets as u64) as usize;
+                    prop_assert_eq!(real.remove(k), models[set].remove(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_op_roundtrips(tag in 0u8..6, payload in 0u64..(1 << 61)) {
+        let op = match tag {
+            0 => Op::Read(payload),
+            1 => Op::Write(payload),
+            2 => Op::Compute(payload),
+            3 => Op::Barrier(payload as u32),
+            4 => Op::Lock(payload as u32),
+            _ => Op::Unlock(payload as u32),
+        };
+        prop_assert_eq!(PackedOp::pack(op).unpack(), op);
+    }
+
+    #[test]
+    fn allocator_regions_never_overlap(sizes in prop::collection::vec(1u64..10_000, 1..40)) {
+        let mut space = simcore::space::AddressSpace::new();
+        let mut regions = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let base = if i % 2 == 0 {
+                space.alloc_shared(s)
+            } else {
+                space.alloc_owned(s, (i % 7) as u32)
+            };
+            regions.push((base, s));
+        }
+        for (i, &(a, sa)) in regions.iter().enumerate() {
+            // Lookups hit the right region at both ends.
+            prop_assert!(space.placement_of(a).is_some());
+            prop_assert!(space.placement_of(a + sa - 1).is_some());
+            for &(b, _) in &regions[i + 1..] {
+                prop_assert!(a + sa <= b || a >= b, "regions overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn lines_in_range_counts_exactly(base in 0u64..100_000, bytes in 0u64..10_000) {
+        let expect: std::collections::HashSet<u64> =
+            (base..base + bytes).map(simcore::addr::line_of).collect();
+        prop_assert_eq!(
+            simcore::addr::lines_in_range(base, bytes),
+            expect.len() as u64
+        );
+    }
+}

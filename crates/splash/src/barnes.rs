@@ -1,0 +1,699 @@
+//! Barnes–Hut hierarchical N-body simulation (SPLASH-2 Barnes).
+//!
+//! "Barnes simulates the evolution of galaxies using the Barnes-Hut
+//! hierarchical N-body method. It represents the space containing the
+//! particles as an octree, and processors traverse the octree partially
+//! once for each particle they own. ... The working sets are quite
+//! small, and overlap substantially because processors overlap in the
+//! parts of the tree they touch" (§3.2). Paper size: 8192 particles,
+//! θ = 1.0.
+//!
+//! Per time step: concurrent octree build with hashed per-cell locks,
+//! an upward center-of-mass pass, per-body force walks with the θ
+//! opening criterion, position/velocity update, and a Morton-order
+//! spatial re-partition (a simplified costzones). The gravity is
+//! computed for real; tests check the Barnes-Hut force against direct
+//! summation.
+
+use rand::Rng;
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::space::Placement;
+
+use crate::util::{chunk_range, morton3, rng_for};
+use crate::SplashApp;
+
+/// Gravitational softening.
+const EPS: f64 = 0.05;
+/// Leapfrog time step.
+const DT: f64 = 0.025;
+/// Cycles charged per visited cell during a walk (distance test).
+const CYCLES_PER_VISIT: u64 = 45;
+/// Cycles charged per accepted gravitational interaction: ~30 flops
+/// including a square root and reciprocal, each tens of cycles on the
+/// scalar FPUs of the era.
+const CYCLES_PER_INTERACT: u64 = 200;
+/// Hashed cell-lock array size (SPLASH-2 hashes cell locks the same
+/// way).
+const N_LOCKS: u32 = 512;
+
+/// Bytes per body record: position+mass on the first line,
+/// velocity+acceleration on the second (SPLASH-2 bodies are ~120
+/// bytes).
+const BODY_BYTES: u64 = 128;
+/// Bytes per cell record: children pointers on the first line, center
+/// of mass on the second, moments/geometry on the third and fourth
+/// (SPLASH-2 cells are ~200+ bytes).
+const CELL_BYTES: u64 = 256;
+
+/// Barnes-Hut workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Barnes {
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Opening criterion θ: a cell of diameter `s` at distance `d` is
+    /// accepted when `s/d < θ`.
+    pub theta: f64,
+    /// Simulated time steps.
+    pub steps: usize,
+}
+
+impl Barnes {
+    /// The paper's Table 2 size: 8192 particles, θ = 1.0.
+    pub fn paper() -> Self {
+        Barnes {
+            n_bodies: 8192,
+            theta: 1.0,
+            steps: 2,
+        }
+    }
+
+    /// Reduced size for tests.
+    pub fn small() -> Self {
+        Barnes {
+            n_bodies: 512,
+            theta: 1.0,
+            steps: 2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Real Barnes-Hut gravity (verified against direct summation).
+// ---------------------------------------------------------------------
+
+/// A point mass.
+#[derive(Debug, Clone, Copy)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+/// Octree node: children are cell indices (`>= 0`), body leaves
+/// (`-(body+2)`), or [`EMPTY`].
+#[derive(Debug, Clone)]
+struct Cell {
+    children: [i64; 8],
+    center: [f64; 3],
+    half: f64,
+    com: [f64; 3],
+    mass: f64,
+}
+
+const EMPTY: i64 = i64::MIN;
+
+impl Cell {
+    fn new(center: [f64; 3], half: f64) -> Cell {
+        Cell {
+            children: [EMPTY; 8],
+            center,
+            half,
+            com: [0.0; 3],
+            mass: 0.0,
+        }
+    }
+
+    fn octant_of(&self, p: &[f64; 3]) -> usize {
+        (usize::from(p[0] >= self.center[0]) << 2)
+            | (usize::from(p[1] >= self.center[1]) << 1)
+            | usize::from(p[2] >= self.center[2])
+    }
+
+    fn child_center(&self, o: usize) -> [f64; 3] {
+        let h = self.half * 0.5;
+        [
+            self.center[0] + if o & 4 != 0 { h } else { -h },
+            self.center[1] + if o & 2 != 0 { h } else { -h },
+            self.center[2] + if o & 1 != 0 { h } else { -h },
+        ]
+    }
+}
+
+/// The Barnes-Hut octree, rebuilt each step.
+pub struct Octree {
+    cells: Vec<Cell>,
+    /// Per-body insertion path (cell indices visited), used by the
+    /// trace emitter to replay the concurrent build.
+    insert_paths: Vec<Vec<usize>>,
+    /// For each cell, the body whose insertion created it (the root is
+    /// attributed to body 0). The creator's owner computes the cell's
+    /// center of mass, giving the upward pass the same spatial
+    /// locality the original program gets from insertion ownership.
+    creator: Vec<usize>,
+}
+
+impl Octree {
+    /// Builds the tree over `bodies` within a cube covering all
+    /// positions, recording the per-body insertion paths.
+    pub fn build(bodies: &[Body]) -> Octree {
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for b in bodies {
+            for d in 0..3 {
+                lo[d] = lo[d].min(b.pos[d]);
+                hi[d] = hi[d].max(b.pos[d]);
+            }
+        }
+        let center = [
+            (lo[0] + hi[0]) * 0.5,
+            (lo[1] + hi[1]) * 0.5,
+            (lo[2] + hi[2]) * 0.5,
+        ];
+        let half = (0..3)
+            .map(|d| (hi[d] - lo[d]) * 0.5)
+            .fold(1e-9f64, f64::max)
+            * 1.0001;
+        let mut tree = Octree {
+            cells: vec![Cell::new(center, half)],
+            insert_paths: Vec::with_capacity(bodies.len()),
+            creator: vec![0],
+        };
+        for i in 0..bodies.len() {
+            let mut path = Vec::with_capacity(12);
+            tree.insert(0, i, bodies[i].pos, bodies, &mut path);
+            tree.insert_paths.push(path);
+        }
+        tree.compute_coms(0, bodies);
+        tree
+    }
+
+    fn insert(
+        &mut self,
+        cell: usize,
+        body: usize,
+        pos: [f64; 3],
+        bodies: &[Body],
+        path: &mut Vec<usize>,
+    ) {
+        path.push(cell);
+        let o = self.cells[cell].octant_of(&pos);
+        match self.cells[cell].children[o] {
+            EMPTY => self.cells[cell].children[o] = -(body as i64 + 2),
+            c if c >= 0 => self.insert(c as usize, body, pos, bodies, path),
+            occupied => {
+                // Split: replace the body leaf with a new cell holding
+                // both bodies.
+                let prev = (-occupied - 2) as usize;
+                let center = self.cells[cell].child_center(o);
+                let half = self.cells[cell].half * 0.5;
+                let new_idx = self.cells.len();
+                self.cells.push(Cell::new(center, half));
+                self.creator.push(body);
+                self.cells[cell].children[o] = new_idx as i64;
+                // The displaced occupant moves down without extending
+                // the inserting body's recorded path.
+                let mut scratch = Vec::new();
+                self.insert(new_idx, prev, bodies[prev].pos, bodies, &mut scratch);
+                self.insert(new_idx, body, pos, bodies, path);
+            }
+        }
+    }
+
+    fn compute_coms(&mut self, cell: usize, bodies: &[Body]) {
+        let mut mass = 0.0;
+        let mut com = [0.0f64; 3];
+        for o in 0..8 {
+            match self.cells[cell].children[o] {
+                EMPTY => {}
+                c if c >= 0 => {
+                    self.compute_coms(c as usize, bodies);
+                    let ch = &self.cells[c as usize];
+                    mass += ch.mass;
+                    for d in 0..3 {
+                        com[d] += ch.mass * ch.com[d];
+                    }
+                }
+                leaf => {
+                    let b = &bodies[(-leaf - 2) as usize];
+                    mass += b.mass;
+                    for d in 0..3 {
+                        com[d] += b.mass * b.pos[d];
+                    }
+                }
+            }
+        }
+        if mass > 0.0 {
+            for d in 0..3 {
+                com[d] /= mass;
+            }
+        }
+        self.cells[cell].mass = mass;
+        self.cells[cell].com = com;
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The body whose insertion created cell `c`.
+    pub fn creator(&self, c: usize) -> usize {
+        self.creator[c]
+    }
+
+    /// Root-cell total mass (for conservation checks).
+    pub fn root_mass(&self) -> f64 {
+        self.cells[0].mass
+    }
+
+    /// Computes the acceleration on `pos` (skipping body `skip`) with
+    /// opening angle `theta`. When `visit` is provided it receives
+    /// `(cell_index, accepted)` for every visited cell, letting the
+    /// trace emitter replay the walk.
+    pub fn accel(
+        &self,
+        pos: [f64; 3],
+        skip: usize,
+        theta: f64,
+        bodies: &[Body],
+        mut visit: Option<&mut dyn FnMut(usize, bool)>,
+    ) -> [f64; 3] {
+        let mut acc = [0.0f64; 3];
+        let mut stack = vec![0usize];
+        while let Some(c) = stack.pop() {
+            let cell = &self.cells[c];
+            if cell.mass == 0.0 {
+                continue;
+            }
+            let dx = [
+                cell.com[0] - pos[0],
+                cell.com[1] - pos[1],
+                cell.com[2] - pos[2],
+            ];
+            let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+            let d = d2.sqrt();
+            // Corner-distance opening criterion (cell diagonal vs θ·d),
+            // the conservative variant used by SPLASH-2-era codes to
+            // bound worst-case error.
+            let accepted = (2.0 * cell.half) * 1.732 < theta * d;
+            if let Some(v) = visit.as_deref_mut() {
+                v(c, accepted);
+            }
+            if accepted {
+                let r2 = d2 + EPS * EPS;
+                let f = cell.mass / (r2 * r2.sqrt());
+                for dim in 0..3 {
+                    acc[dim] += f * dx[dim];
+                }
+            } else {
+                for o in 0..8 {
+                    match cell.children[o] {
+                        EMPTY => {}
+                        ch if ch >= 0 => stack.push(ch as usize),
+                        leaf => {
+                            let bi = (-leaf - 2) as usize;
+                            if bi == skip {
+                                continue;
+                            }
+                            let b = &bodies[bi];
+                            let dx = [
+                                b.pos[0] - pos[0],
+                                b.pos[1] - pos[1],
+                                b.pos[2] - pos[2],
+                            ];
+                            let r2 =
+                                dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + EPS * EPS;
+                            let f = b.mass / (r2 * r2.sqrt());
+                            for dim in 0..3 {
+                                acc[dim] += f * dx[dim];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Direct O(n²) acceleration for verification.
+pub fn direct_accel(bodies: &[Body], i: usize) -> [f64; 3] {
+    let mut acc = [0.0f64; 3];
+    for (j, b) in bodies.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let dx = [
+            b.pos[0] - bodies[i].pos[0],
+            b.pos[1] - bodies[i].pos[1],
+            b.pos[2] - bodies[i].pos[2],
+        ];
+        let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + EPS * EPS;
+        let f = b.mass / (r2 * r2.sqrt());
+        for d in 0..3 {
+            acc[d] += f * dx[d];
+        }
+    }
+    acc
+}
+
+/// Deterministic initial conditions: a uniform sphere with small random
+/// velocities.
+pub fn initial_bodies(n: usize) -> Vec<Body> {
+    let mut rng = rng_for("barnes", n as u64);
+    (0..n)
+        .map(|_| {
+            // Rejection-sample the unit ball.
+            let pos = loop {
+                let p = [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ];
+                if p[0] * p[0] + p[1] * p[1] + p[2] * p[2] <= 1.0 {
+                    break p;
+                }
+            };
+            Body {
+                pos,
+                vel: [
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                ],
+                mass: 1.0 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Morton-order partition of body indices into `n_procs` chunks — the
+/// simplified costzones assignment.
+fn partition(bodies: &[Body], n_procs: usize) -> Vec<Vec<usize>> {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for b in bodies {
+        for d in 0..3 {
+            lo[d] = lo[d].min(b.pos[d]);
+            hi[d] = hi[d].max(b.pos[d]);
+        }
+    }
+    let mut order: Vec<usize> = (0..bodies.len()).collect();
+    let code = |b: &Body| {
+        let q = |d: usize| {
+            let span = (hi[d] - lo[d]).max(1e-12);
+            (((b.pos[d] - lo[d]) / span) * 1023.0) as u32
+        };
+        morton3(q(0), q(1), q(2))
+    };
+    order.sort_by_key(|&i| code(&bodies[i]));
+    (0..n_procs)
+        .map(|p| {
+            chunk_range(bodies.len(), n_procs, p)
+                .map(|k| order[k])
+                .collect()
+        })
+        .collect()
+}
+
+impl SplashApp for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn generate(&self, n_procs: usize) -> Trace {
+        let n = self.n_bodies;
+        let mut bodies = initial_bodies(n);
+
+        let mut t = TraceBuilder::new(n_procs);
+        let _lock_base = t.new_locks(N_LOCKS);
+
+        // Bodies: one line each, distributed round-robin (ownership
+        // rotates between steps, so no static home is right).
+        let body_arr = t
+            .space_mut()
+            .alloc_array(n as u64, BODY_BYTES, Placement::RoundRobin);
+        // Cells: rebuilt each step; a generous shared pool.
+        let cell_arr = t
+            .space_mut()
+            .alloc_array(2 * n as u64, CELL_BYTES, Placement::RoundRobin);
+        // Per-processor private scratch (work lists, per-body local
+        // state — SPLASH keeps substantial private per-body arrays),
+        // one line per locally owned body slot.
+        let scratch: Vec<simcore::space::SharedArray> = (0..n_procs)
+            .map(|p| {
+                t.space_mut().alloc_array(
+                    (n / n_procs + 1) as u64,
+                    64,
+                    Placement::Owner(p as u32),
+                )
+            })
+            .collect();
+        let cell_children = |c: usize| cell_arr.addr(c as u64);
+        let cell_com = |c: usize| cell_arr.addr(c as u64) + 64;
+        let cell_moments = |c: usize| cell_arr.addr(c as u64) + 128;
+        let body_pos = |b: u64| body_arr.addr(b);
+        let body_vel = |b: u64| body_arr.addr(b) + 64;
+
+        for _step in 0..self.steps {
+            let owner_of = partition(&bodies, n_procs);
+            let tree = Octree::build(&bodies);
+            assert!(tree.n_cells() <= 2 * n, "cell pool exhausted");
+
+            // Phase 1: concurrent tree build. Each processor inserts
+            // its bodies: read the child pointers along the recorded
+            // path, then lock and update the insertion cell.
+            for (p, mine) in owner_of.iter().enumerate() {
+                let pid = p as u32;
+                for &b in mine {
+                    let path = &tree.insert_paths[b];
+                    t.read(pid, body_pos(b as u64));
+                    for &c in path {
+                        t.read(pid, cell_children(c));
+                        t.compute(pid, 12);
+                    }
+                    if let Some(&last) = path.last() {
+                        let lock = (last as u32) % N_LOCKS;
+                        t.lock(pid, lock);
+                        t.write(pid, cell_children(last));
+                        t.unlock(pid, lock);
+                    }
+                }
+            }
+            t.barrier_all();
+
+            // Phase 2: center-of-mass upward pass. Each cell is
+            // computed by the processor that owns the body whose
+            // insertion created it, mirroring the original's
+            // insertion-based cell ownership (and its spatial
+            // locality).
+            let mut body_owner = vec![0u32; n];
+            for (p, mine) in owner_of.iter().enumerate() {
+                for &b in mine {
+                    body_owner[b] = p as u32;
+                }
+            }
+            for c in 0..tree.n_cells() {
+                let pid = body_owner[tree.creator(c)];
+                t.read(pid, cell_children(c));
+                for o in 0..8 {
+                    let ch = tree.cells[c].children[o];
+                    if ch >= 0 {
+                        t.read(pid, cell_com(ch as usize));
+                        t.read(pid, cell_moments(ch as usize));
+                    } else if ch != EMPTY {
+                        t.read(pid, body_pos((-ch - 2) as u64));
+                    }
+                }
+                t.compute(pid, 200);
+                t.write(pid, cell_com(c));
+                t.write(pid, cell_moments(c));
+            }
+            t.barrier_all();
+
+            // Phase 3: force walks.
+            let mut accs = vec![[0.0f64; 3]; n];
+            for (p, mine) in owner_of.iter().enumerate() {
+                let pid = p as u32;
+                for (k, &b) in mine.iter().enumerate() {
+                    t.read(pid, body_pos(b as u64));
+                    t.read(pid, scratch[p].addr((k % scratch[p].len as usize) as u64));
+                    let mut visited: Vec<(usize, bool)> = Vec::new();
+                    accs[b] = tree.accel(
+                        bodies[b].pos,
+                        b,
+                        self.theta,
+                        &bodies,
+                        Some(&mut |c, acc| visited.push((c, acc))),
+                    );
+                    for (c, accepted) in visited {
+                        t.read(pid, cell_com(c));
+                        t.compute(pid, CYCLES_PER_VISIT);
+                        if accepted {
+                            // The accepted interaction also reads the
+                            // cell's multipole moments.
+                            t.read(pid, cell_moments(c));
+                            t.compute(pid, CYCLES_PER_INTERACT);
+                        } else {
+                            t.read(pid, cell_children(c));
+                            // Opening a cell also examines its extent
+                            // (geometry shares the moments line).
+                            t.read(pid, cell_moments(c));
+                            // Leaf bodies under an opened cell.
+                            for o in 0..8 {
+                                let ch = tree.cells[c].children[o];
+                                if ch < 0 && ch != EMPTY && (-ch - 2) as usize != b {
+                                    t.read(pid, body_pos((-ch - 2) as u64));
+                                    t.compute(pid, CYCLES_PER_INTERACT);
+                                }
+                            }
+                        }
+                    }
+                    t.write(pid, body_vel(b as u64)); // store acc
+                    t.write(pid, scratch[p].addr((k % scratch[p].len as usize) as u64));
+                }
+            }
+            t.barrier_all();
+
+            // Phase 4: leapfrog update of owned bodies.
+            for (p, mine) in owner_of.iter().enumerate() {
+                let pid = p as u32;
+                for &b in mine {
+                    t.read(pid, body_pos(b as u64));
+                    t.read(pid, body_vel(b as u64));
+                    t.compute(pid, 140);
+                    t.write(pid, body_pos(b as u64));
+                    t.write(pid, body_vel(b as u64));
+                    for d in 0..3 {
+                        bodies[b].vel[d] += accs[b][d] * DT;
+                        bodies[b].pos[d] += bodies[b].vel[d] * DT;
+                    }
+                }
+            }
+            t.barrier_all();
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ops::Op;
+
+    #[test]
+    fn tree_force_matches_direct_sum_at_small_theta() {
+        let bodies = initial_bodies(128);
+        let tree = Octree::build(&bodies);
+        for i in (0..128).step_by(17) {
+            let bh = tree.accel(bodies[i].pos, i, 0.01, &bodies, None);
+            let ds = direct_accel(&bodies, i);
+            for d in 0..3 {
+                assert!(
+                    (bh[d] - ds[d]).abs() < 1e-6 * (1.0 + ds[d].abs()),
+                    "body {i} dim {d}: bh {} vs direct {}",
+                    bh[d],
+                    ds[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_is_reasonable_approximation() {
+        // Individual bodies near the cluster center can have near-zero
+        // net force, so pointwise relative error is meaningless; use
+        // the aggregate RMS error over the body set, the standard
+        // Barnes-Hut accuracy metric.
+        let bodies = initial_bodies(256);
+        let tree = Octree::build(&bodies);
+        let mut err2 = 0.0f64;
+        let mut mag2 = 0.0f64;
+        for i in 0..256 {
+            let bh = tree.accel(bodies[i].pos, i, 1.0, &bodies, None);
+            let ds = direct_accel(&bodies, i);
+            for d in 0..3 {
+                err2 += (bh[d] - ds[d]).powi(2);
+                mag2 += ds[d].powi(2);
+            }
+        }
+        let rel = (err2 / mag2).sqrt();
+        assert!(rel < 0.15, "θ=1 RMS relative error {rel}");
+    }
+
+    #[test]
+    fn tree_mass_is_conserved() {
+        let bodies = initial_bodies(200);
+        let tree = Octree::build(&bodies);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((tree.root_mass() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_shrinks_with_larger_theta() {
+        let bodies = initial_bodies(512);
+        let tree = Octree::build(&bodies);
+        let count = |theta: f64| {
+            let mut c = 0usize;
+            let _ = tree.accel(bodies[0].pos, 0, theta, &bodies, Some(&mut |_, _| c += 1));
+            c
+        };
+        assert!(count(1.0) < count(0.3));
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let bodies = initial_bodies(300);
+        let parts = partition(&bodies, 8);
+        let mut seen = vec![false; 300];
+        for part in &parts {
+            for &b in part {
+                assert!(!seen[b]);
+                seen[b] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn trace_valid_and_deterministic() {
+        let app = Barnes {
+            n_bodies: 128,
+            theta: 1.0,
+            steps: 2,
+        };
+        let t1 = app.generate(4);
+        let t2 = app.generate(4);
+        t1.validate().unwrap();
+        assert_eq!(t1.per_proc, t2.per_proc);
+        // 4 barriers per step + final.
+        assert_eq!(t1.n_barriers, 4 * 2 + 1);
+    }
+
+    #[test]
+    fn walks_share_upper_tree() {
+        // Different processors' walks must overlap on shared cell COM
+        // lines — the working-set overlap the paper highlights.
+        let t = Barnes::small().generate(4);
+        let read_lines = |p: usize| -> std::collections::HashSet<u64> {
+            t.per_proc[p]
+                .iter()
+                .filter_map(|o| match o.unpack() {
+                    Op::Read(a) => Some(simcore::addr::line_of(a)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = read_lines(0);
+        let b = read_lines(3);
+        let common = a.intersection(&b).count();
+        assert!(
+            common * 5 > a.len().min(b.len()),
+            "walks share only {common} of {} lines",
+            a.len().min(b.len())
+        );
+    }
+
+    #[test]
+    fn tree_build_uses_locks() {
+        let t = Barnes::small().generate(4);
+        let locks = t.per_proc[0]
+            .iter()
+            .filter(|o| matches!(o.unpack(), Op::Lock(_)))
+            .count();
+        assert!(locks > 0);
+    }
+}

@@ -1,0 +1,597 @@
+//! 2-D Fast Multipole Method (SPLASH-2 FMM).
+//!
+//! "FMM is similar to Barnes in these respects [low, unstructured,
+//! hierarchical communication], but has a smaller working set" (§3.2).
+//! Paper size: 8192 particles.
+//!
+//! The implementation is the classic Greengard–Rokhlin 2-D Laplace FMM
+//! on a uniform quadtree: P2M at the leaves, M2M up, M2L over the
+//! standard interaction lists, L2L down, and direct P2P between
+//! adjacent leaves. The expansions are computed for real; tests check
+//! the evaluated potential against direct summation.
+
+use rand::Rng;
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::space::Placement;
+
+use crate::util::{chunk_range, morton2, rng_for};
+use crate::SplashApp;
+
+/// Multipole/local expansion order (SPLASH-2 FMM's default
+/// high-accuracy configuration carries 40-term expansions).
+const ORDER: usize = 40;
+/// Cycles per M2L translation (O(ORDER²) complex madds).
+const CYCLES_M2L: u64 = (ORDER * ORDER * 4) as u64;
+/// Cycles per M2M / L2L translation.
+const CYCLES_SHIFT: u64 = (ORDER * ORDER * 2) as u64;
+/// Cycles per direct particle-particle interaction.
+const CYCLES_P2P: u64 = 15;
+/// Bytes per particle record (x, y, q, potential).
+const PARTICLE_BYTES: u64 = 32;
+/// Bytes per expansion: ORDER+1 complex coefficients, line-aligned
+/// (41 × 16 bytes rounded up to 10 lines).
+const EXPANSION_BYTES: u64 = 640;
+/// Bytes per box record: multipole expansion followed by the local
+/// expansion.
+const BOX_BYTES: u64 = 2 * EXPANSION_BYTES;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct C(f64, f64);
+
+impl C {
+    const ZERO: C = C(0.0, 0.0);
+    fn add(self, o: C) -> C {
+        C(self.0 + o.0, self.1 + o.1)
+    }
+    fn sub(self, o: C) -> C {
+        C(self.0 - o.0, self.1 - o.1)
+    }
+    fn mul(self, o: C) -> C {
+        C(
+            self.0 * o.0 - self.1 * o.1,
+            self.0 * o.1 + self.1 * o.0,
+        )
+    }
+    fn scale(self, s: f64) -> C {
+        C(self.0 * s, self.1 * s)
+    }
+    fn inv(self) -> C {
+        let d = self.0 * self.0 + self.1 * self.1;
+        C(self.0 / d, -self.1 / d)
+    }
+    fn ln(self) -> C {
+        C(
+            (self.0 * self.0 + self.1 * self.1).sqrt().ln(),
+            self.1.atan2(self.0),
+        )
+    }
+    fn powi(self, k: usize) -> C {
+        let mut r = C(1.0, 0.0);
+        for _ in 0..k {
+            r = r.mul(self);
+        }
+        r
+    }
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    let mut r = 1.0f64;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// A charged 2-D particle.
+#[derive(Debug, Clone, Copy)]
+pub struct Particle {
+    /// Position x.
+    pub x: f64,
+    /// Position y.
+    pub y: f64,
+    /// Charge.
+    pub q: f64,
+}
+
+/// The uniform quadtree FMM solver.
+pub struct FmmSolver {
+    /// Tree depth: leaves are at level `depth`, 4^depth of them.
+    pub depth: usize,
+    particles: Vec<Particle>,
+    /// Particle indices per leaf (leaf indexed by Morton code).
+    pub leaf_particles: Vec<Vec<usize>>,
+    /// Multipole coefficients per (level, box-in-level).
+    multipole: Vec<Vec<[C; ORDER + 1]>>,
+    local: Vec<Vec<[C; ORDER + 1]>>,
+}
+
+/// Box center at `level`, Morton index `m` (unit square domain).
+fn box_center(level: usize, m: usize) -> C {
+    let side = 1usize << level;
+    let (x, y) = demorton(m);
+    let w = 1.0 / side as f64;
+    C((x as f64 + 0.5) * w, (y as f64 + 0.5) * w)
+}
+
+fn demorton(m: usize) -> (u32, u32) {
+    let mut x = 0u32;
+    let mut y = 0u32;
+    for b in 0..16 {
+        x |= (((m >> (2 * b)) & 1) as u32) << b;
+        y |= (((m >> (2 * b + 1)) & 1) as u32) << b;
+    }
+    (x, y)
+}
+
+/// Whether two boxes (same level, Morton indices) are adjacent or
+/// identical.
+fn adjacent(a: usize, b: usize) -> bool {
+    let (ax, ay) = demorton(a);
+    let (bx, by) = demorton(b);
+    ax.abs_diff(bx) <= 1 && ay.abs_diff(by) <= 1
+}
+
+/// Interaction list of box `m` at `level`: children of the parent's
+/// neighbors that are not adjacent to `m`.
+pub fn interaction_list(level: usize, m: usize) -> Vec<usize> {
+    if level < 2 {
+        return Vec::new();
+    }
+    let side = 1usize << level;
+    let parent = m >> 2;
+    let (px, py) = demorton(parent);
+    let mut out = Vec::new();
+    for dx in -1i64..=1 {
+        for dy in -1i64..=1 {
+            let nx = px as i64 + dx;
+            let ny = py as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= (side / 2) as i64 || ny >= (side / 2) as i64 {
+                continue;
+            }
+            let nb = morton2(nx as u32, ny as u32) as usize;
+            for c in 0..4 {
+                let cand = (nb << 2) | c;
+                if !adjacent(m, cand) {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Neighbor leaves (including self) of leaf `m` at `level`.
+pub fn neighbors(level: usize, m: usize) -> Vec<usize> {
+    let side = 1usize << level;
+    let (x, y) = demorton(m);
+    let mut out = Vec::new();
+    for dx in -1i64..=1 {
+        for dy in -1i64..=1 {
+            let nx = x as i64 + dx;
+            let ny = y as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= side as i64 || ny >= side as i64 {
+                continue;
+            }
+            out.push(morton2(nx as u32, ny as u32) as usize);
+        }
+    }
+    out
+}
+
+impl FmmSolver {
+    /// Builds the solver: bins particles into leaves and runs the full
+    /// FMM (upward, M2L, downward).
+    pub fn run(particles: Vec<Particle>, depth: usize) -> FmmSolver {
+        let n_leaves = 1usize << (2 * depth);
+        let side = 1usize << depth;
+        let mut leaf_particles = vec![Vec::new(); n_leaves];
+        for (i, p) in particles.iter().enumerate() {
+            let lx = ((p.x * side as f64) as usize).min(side - 1);
+            let ly = ((p.y * side as f64) as usize).min(side - 1);
+            leaf_particles[morton2(lx as u32, ly as u32) as usize].push(i);
+        }
+        let mut s = FmmSolver {
+            depth,
+            particles,
+            leaf_particles,
+            multipole: (0..=depth)
+                .map(|l| vec![[C::ZERO; ORDER + 1]; 1 << (2 * l)])
+                .collect(),
+            local: (0..=depth)
+                .map(|l| vec![[C::ZERO; ORDER + 1]; 1 << (2 * l)])
+                .collect(),
+        };
+        s.upward();
+        s.translate();
+        s.downward();
+        s
+    }
+
+    /// P2M at leaves, then M2M up.
+    fn upward(&mut self) {
+        let d = self.depth;
+        for m in 0..self.multipole[d].len() {
+            let z0 = box_center(d, m);
+            let mut a = [C::ZERO; ORDER + 1];
+            for &i in &self.leaf_particles[m] {
+                let p = self.particles[i];
+                let dz = C(p.x, p.y).sub(z0);
+                a[0] = a[0].add(C(p.q, 0.0));
+                let mut pw = C(1.0, 0.0);
+                for (k, ak) in a.iter_mut().enumerate().skip(1) {
+                    pw = pw.mul(dz);
+                    *ak = ak.add(pw.scale(-p.q / k as f64));
+                }
+            }
+            self.multipole[d][m] = a;
+        }
+        for l in (0..d).rev() {
+            for m in 0..self.multipole[l].len() {
+                let z0 = box_center(l, m);
+                let mut b = [C::ZERO; ORDER + 1];
+                for c in 0..4 {
+                    let child = (m << 2) | c;
+                    let a = self.multipole[l + 1][child];
+                    let t = box_center(l + 1, child).sub(z0);
+                    b[0] = b[0].add(a[0]);
+                    for (lidx, bl) in b.iter_mut().enumerate().skip(1) {
+                        let mut s = a[0].mul(t.powi(lidx)).scale(-1.0 / lidx as f64);
+                        for k in 1..=lidx {
+                            s = s.add(
+                                a[k].mul(t.powi(lidx - k)).scale(binom(lidx - 1, k - 1)),
+                            );
+                        }
+                        *bl = bl.add(s);
+                    }
+                }
+                self.multipole[l][m] = b;
+            }
+        }
+    }
+
+    /// M2L over the interaction lists at every level.
+    fn translate(&mut self) {
+        for l in 2..=self.depth {
+            for m in 0..self.local[l].len() {
+                let zl = box_center(l, m);
+                let mut b = self.local[l][m];
+                for src in interaction_list(l, m) {
+                    let a = self.multipole[l][src];
+                    let z0 = box_center(l, src);
+                    let t = z0.sub(zl); // z0 - zl
+                    // b0 += a0·log(zl - z0) + Σ a_k (-1)^k / t^k
+                    let mut s = a[0].mul(zl.sub(z0).ln());
+                    let tinv = t.inv();
+                    let mut tk = C(1.0, 0.0);
+                    for (k, &ak) in a.iter().enumerate().skip(1) {
+                        tk = tk.mul(tinv);
+                        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                        s = s.add(ak.mul(tk).scale(sign));
+                    }
+                    b[0] = b[0].add(s);
+                    // b_l += (1/t^l)[ -a0/l + Σ_k a_k (-1)^k C(l+k-1,k-1)/t^k ]
+                    for (lidx, bl) in b.iter_mut().enumerate().skip(1) {
+                        let mut s = a[0].scale(-1.0 / lidx as f64);
+                        let mut tk = C(1.0, 0.0);
+                        for (k, &ak) in a.iter().enumerate().skip(1) {
+                            tk = tk.mul(tinv);
+                            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                            s = s.add(ak.mul(tk).scale(sign * binom(lidx + k - 1, k - 1)));
+                        }
+                        *bl = bl.add(s.mul(tinv.powi(lidx)));
+                    }
+                }
+                self.local[l][m] = b;
+            }
+        }
+    }
+
+    /// L2L down the tree.
+    fn downward(&mut self) {
+        for l in 2..self.depth {
+            for m in 0..self.local[l].len() {
+                let parent_b = self.local[l][m];
+                let zp = box_center(l, m);
+                for c in 0..4 {
+                    let child = (m << 2) | c;
+                    let zc = box_center(l + 1, child);
+                    let t = zc.sub(zp);
+                    // Horner-style shift: b'_l = Σ_{k>=l} b_k C(k,l) t^{k-l}
+                    let mut shifted = [C::ZERO; ORDER + 1];
+                    for (lidx, sh) in shifted.iter_mut().enumerate() {
+                        let mut s = C::ZERO;
+                        for (k, &bk) in parent_b.iter().enumerate().skip(lidx) {
+                            s = s.add(bk.mul(t.powi(k - lidx)).scale(binom(k, lidx)));
+                        }
+                        *sh = s;
+                    }
+                    let cur = &mut self.local[l + 1][child];
+                    for (dst, src) in cur.iter_mut().zip(shifted.iter()) {
+                        *dst = dst.add(*src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Potential at particle `i`: local expansion + direct near field.
+    pub fn potential(&self, i: usize) -> f64 {
+        let p = self.particles[i];
+        let z = C(p.x, p.y);
+        let side = 1usize << self.depth;
+        let lx = ((p.x * side as f64) as usize).min(side - 1);
+        let ly = ((p.y * side as f64) as usize).min(side - 1);
+        let leaf = morton2(lx as u32, ly as u32) as usize;
+        // Far field from the local expansion.
+        let zl = box_center(self.depth, leaf);
+        let dz = z.sub(zl);
+        let b = self.local[self.depth][leaf];
+        let mut phi = C::ZERO;
+        let mut pw = C(1.0, 0.0);
+        for &bl in b.iter() {
+            phi = phi.add(bl.mul(pw));
+            pw = pw.mul(dz);
+        }
+        // Near field directly.
+        let mut near = 0.0;
+        for nb in neighbors(self.depth, leaf) {
+            for &j in &self.leaf_particles[nb] {
+                if j == i {
+                    continue;
+                }
+                let q = self.particles[j];
+                let d2 = (p.x - q.x).powi(2) + (p.y - q.y).powi(2);
+                near += q.q * 0.5 * d2.ln();
+            }
+        }
+        phi.0 + near
+    }
+
+    /// Direct O(n²) potential for verification.
+    pub fn direct_potential(&self, i: usize) -> f64 {
+        let p = self.particles[i];
+        let mut phi = 0.0;
+        for (j, q) in self.particles.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let d2 = (p.x - q.x).powi(2) + (p.y - q.y).powi(2);
+            phi += q.q * 0.5 * d2.ln();
+        }
+        phi
+    }
+}
+
+/// Deterministic particle set in the unit square.
+pub fn initial_particles(n: usize) -> Vec<Particle> {
+    let mut rng = rng_for("fmm", n as u64);
+    (0..n)
+        .map(|_| Particle {
+            x: rng.gen_range(0.0..1.0),
+            y: rng.gen_range(0.0..1.0),
+            q: rng.gen_range(0.5..1.5),
+        })
+        .collect()
+}
+
+/// FMM workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fmm {
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Quadtree depth.
+    pub depth: usize,
+}
+
+impl Fmm {
+    /// The paper's Table 2 size: 8192 particles.
+    pub fn paper() -> Self {
+        Fmm {
+            n_particles: 8192,
+            depth: 5,
+        }
+    }
+
+    /// Reduced size for tests.
+    pub fn small() -> Self {
+        Fmm {
+            n_particles: 512,
+            depth: 3,
+        }
+    }
+}
+
+impl SplashApp for Fmm {
+    fn name(&self) -> &'static str {
+        "fmm"
+    }
+
+    fn generate(&self, n_procs: usize) -> Trace {
+        let solver = FmmSolver::run(initial_particles(self.n_particles), self.depth);
+        let d = self.depth;
+        let n_leaves = 1usize << (2 * d);
+
+        let mut t = TraceBuilder::new(n_procs);
+
+        // Leaves (and their particles) are chunked over processors in
+        // Morton order — spatially contiguous ownership.
+        let leaf_owner = |m: usize| crate::util::chunk_owner(n_leaves, n_procs, m) as u32;
+
+        // Particle storage: per-leaf contiguous, so a processor's
+        // particles are contiguous too; regions are owner-local.
+        let mut particle_addr = vec![0u64; self.n_particles];
+        for p in 0..n_procs {
+            let leaves = chunk_range(n_leaves, n_procs, p);
+            let count: usize = leaves.clone().map(|m| solver.leaf_particles[m].len()).sum();
+            let base = t
+                .space_mut()
+                .alloc_owned((count.max(1) as u64) * PARTICLE_BYTES, p as u32);
+            let mut off = 0u64;
+            for m in leaves {
+                for &i in &solver.leaf_particles[m] {
+                    particle_addr[i] = base + off * PARTICLE_BYTES;
+                    off += 1;
+                }
+            }
+        }
+
+        // Box storage per level: shared round-robin (the upper tree is
+        // read by everyone).
+        let levels: Vec<_> = (0..=d)
+            .map(|l| {
+                t.space_mut()
+                    .alloc_array(1u64 << (2 * l), BOX_BYTES, Placement::RoundRobin)
+            })
+            .collect();
+        let mult_addr = |l: usize, m: usize| levels[l].addr(m as u64);
+        let local_addr = |l: usize, m: usize| levels[l].addr(m as u64) + EXPANSION_BYTES;
+
+        // Phase 1: P2M at owned leaves.
+        for m in 0..n_leaves {
+            let pid = leaf_owner(m);
+            for &i in &solver.leaf_particles[m] {
+                t.read(pid, particle_addr[i]);
+                t.compute(pid, ORDER as u64 * 4);
+            }
+            t.write_span(pid, mult_addr(d, m), EXPANSION_BYTES);
+        }
+        t.barrier_all();
+
+        // Phase 2: M2M up, one barrier per level; the parent's owner is
+        // the owner of its first child's subtree.
+        for l in (0..d).rev() {
+            let n_boxes = 1usize << (2 * l);
+            for m in 0..n_boxes {
+                let pid = leaf_owner((m << 2) << (2 * (d - l - 1)));
+                for c in 0..4 {
+                    t.read_span(pid, mult_addr(l + 1, (m << 2) | c), EXPANSION_BYTES);
+                    t.compute(pid, CYCLES_SHIFT);
+                }
+                t.write_span(pid, mult_addr(l, m), EXPANSION_BYTES);
+            }
+            t.barrier_all();
+        }
+
+        // Phase 3: M2L — the dominant communication: each box's owner
+        // reads the multipoles of its interaction list.
+        for l in 2..=d {
+            let n_boxes = 1usize << (2 * l);
+            for m in 0..n_boxes {
+                let pid = leaf_owner(m << (2 * (d - l)));
+                for src in interaction_list(l, m) {
+                    t.read_span(pid, mult_addr(l, src), EXPANSION_BYTES);
+                    t.compute(pid, CYCLES_M2L);
+                }
+                t.write_span(pid, local_addr(l, m), EXPANSION_BYTES);
+            }
+            t.barrier_all();
+        }
+
+        // Phase 4: L2L down.
+        for l in 2..d {
+            let n_boxes = 1usize << (2 * l);
+            for m in 0..n_boxes {
+                let pid = leaf_owner(m << (2 * (d - l)));
+                t.read_span(pid, local_addr(l, m), EXPANSION_BYTES);
+                for c in 0..4 {
+                    t.compute(pid, CYCLES_SHIFT);
+                    t.write_span(pid, local_addr(l + 1, (m << 2) | c), EXPANSION_BYTES);
+                }
+            }
+            t.barrier_all();
+        }
+
+        // Phase 5: leaf evaluation + P2P with adjacent leaves.
+        for m in 0..n_leaves {
+            let pid = leaf_owner(m);
+            t.read_span(pid, local_addr(d, m), EXPANSION_BYTES);
+            for &i in &solver.leaf_particles[m] {
+                t.read(pid, particle_addr[i]);
+                t.compute(pid, ORDER as u64 * 4);
+                for nb in neighbors(d, m) {
+                    for &j in &solver.leaf_particles[nb] {
+                        if j == i {
+                            continue;
+                        }
+                        t.read(pid, particle_addr[j]);
+                        t.compute(pid, CYCLES_P2P);
+                    }
+                }
+                t.write(pid, particle_addr[i]);
+            }
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmm_potential_matches_direct() {
+        let solver = FmmSolver::run(initial_particles(256), 3);
+        let mut worst: f64 = 0.0;
+        for i in 0..256 {
+            let fmm = solver.potential(i);
+            let direct = solver.direct_potential(i);
+            worst = worst.max((fmm - direct).abs() / (1.0 + direct.abs()));
+        }
+        assert!(worst < 1e-3, "FMM relative error {worst}");
+    }
+
+    #[test]
+    fn interaction_lists_are_well_separated() {
+        for m in 0..64 {
+            for src in interaction_list(3, m) {
+                assert!(!adjacent(m, src), "box {src} adjacent to {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_list_sizes_bounded() {
+        // At most 27 in 2-D for interior boxes.
+        for m in 0..256 {
+            let len = interaction_list(4, m).len();
+            assert!(len <= 27, "box {m}: list of {len}");
+        }
+    }
+
+    #[test]
+    fn neighbors_include_self_and_are_adjacent() {
+        for m in 0..64 {
+            let nb = neighbors(3, m);
+            assert!(nb.contains(&m));
+            assert!(nb.len() <= 9);
+            for x in nb {
+                assert!(adjacent(m, x));
+            }
+        }
+    }
+
+    #[test]
+    fn demorton_roundtrip() {
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                assert_eq!(demorton(morton2(x, y) as usize), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn every_particle_lands_in_exactly_one_leaf() {
+        let solver = FmmSolver::run(initial_particles(500), 3);
+        let total: usize = solver.leaf_particles.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn trace_valid_and_deterministic() {
+        let app = Fmm::small();
+        let t1 = app.generate(4);
+        let t2 = app.generate(4);
+        t1.validate().unwrap();
+        assert_eq!(t1.per_proc, t2.per_proc);
+    }
+}

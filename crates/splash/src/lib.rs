@@ -1,0 +1,99 @@
+//! SPLASH-style workload suite for the clustering study (Table 2 of the
+//! paper).
+//!
+//! Each application *actually computes* its algorithm (octree builds,
+//! FFT butterflies, LU factorization, multigrid sweeps, particle
+//! advection, ray casting, ...) while recording, per logical processor,
+//! the stream of shared-memory references and synchronization
+//! operations the parallel program would issue. The resulting
+//! [`simcore::Trace`] is replayed by the `tango` engine under the
+//! different cluster configurations.
+//!
+//! Two granularities of reference are emitted (see DESIGN.md):
+//! element-granular reads/writes wherever access order is irregular and
+//! matters (tree walks, particle/cell interactions, scatter writes),
+//! and line-granular touches with explicit `Compute` filler for dense
+//! regular sweeps, where the per-line miss sequence is provably the
+//! same.
+//!
+//! | Module | Application | Representative of |
+//! |---|---|---|
+//! | [`barnes`] | Barnes-Hut N-body | hierarchical N-body codes |
+//! | [`fft`] | six-step 1-D FFT | transform methods, high radix |
+//! | [`fmm`] | 2-D adaptive Fast Multipole | FMM N-body |
+//! | [`lu`] | blocked dense LU | blocked dense linear algebra |
+//! | [`mp3d`] | rarefied-gas particle-in-cell | high-comm. unstructured |
+//! | [`ocean`] | regular-grid multigrid solver | regular-grid iterative |
+//! | [`radix`] | radix sort | parallel sorting |
+//! | [`raytrace`] | recursive ray tracer | graphics, large read-only set |
+//! | [`volrend`] | volume renderer | graphics, small read-only set |
+
+// Coordinate-indexed loops (`for d in 0..3`) are the clearest form for
+// the numeric kernels in this crate.
+#![allow(clippy::needless_range_loop)]
+
+pub mod barnes;
+pub mod fft;
+pub mod fmm;
+pub mod lu;
+pub mod mp3d;
+pub mod ocean;
+pub mod radix;
+pub mod raytrace;
+pub mod volrend;
+pub mod util;
+
+use simcore::Trace;
+
+/// A workload that can generate its multi-processor reference trace.
+pub trait SplashApp {
+    /// Short name matching the paper's figures ("barnes", "lu", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm for `n_procs` logical processors and records
+    /// the trace. Deterministic: equal configurations yield equal
+    /// traces.
+    fn generate(&self, n_procs: usize) -> Trace;
+}
+
+/// Problem-size selector used across the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemSize {
+    /// The paper's Table 2 sizes.
+    Paper,
+    /// Reduced sizes for tests and CI-speed benches.
+    Small,
+}
+
+/// All nine applications at the given size, boxed for uniform driving.
+pub fn suite(size: ProblemSize) -> Vec<Box<dyn SplashApp>> {
+    match size {
+        ProblemSize::Paper => vec![
+            Box::new(barnes::Barnes::paper()),
+            Box::new(fmm::Fmm::paper()),
+            Box::new(fft::Fft::paper()),
+            Box::new(lu::Lu::paper()),
+            Box::new(mp3d::Mp3d::paper()),
+            Box::new(ocean::Ocean::paper()),
+            Box::new(radix::Radix::paper()),
+            Box::new(raytrace::Raytrace::paper()),
+            Box::new(volrend::Volrend::paper()),
+        ],
+        ProblemSize::Small => vec![
+            Box::new(barnes::Barnes::small()),
+            Box::new(fmm::Fmm::small()),
+            Box::new(fft::Fft::small()),
+            Box::new(lu::Lu::small()),
+            Box::new(mp3d::Mp3d::small()),
+            Box::new(ocean::Ocean::small()),
+            Box::new(radix::Radix::small()),
+            Box::new(raytrace::Raytrace::small()),
+            Box::new(volrend::Volrend::small()),
+        ],
+    }
+}
+
+/// Looks up a single application by its figure name.
+pub fn by_name(name: &str, size: ProblemSize) -> Option<Box<dyn SplashApp>> {
+    suite(size).into_iter().find(|a| a.name() == name)
+}

@@ -1,0 +1,285 @@
+//! MP3D: rarefied-gas particle-in-cell simulation (SPLASH MP3D).
+//!
+//! "MP3D is our communication stress test. It is a particle-in-cell
+//! code that is written with vector rather than parallel machines in
+//! mind. The communication volume is large, and the communication
+//! patterns are very unstructured and are read-write in nature" (§3.2).
+//!
+//! Particles are statically partitioned over processors while the
+//! space-cell array they scatter into is shared by everyone — every
+//! move performs an unsynchronized read-modify-write of a cell record
+//! (the original program tolerates these races), and in-cell collisions
+//! read and write particles owned by other processors. Paper size:
+//! 50,000 particles.
+
+use rand::Rng;
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::space::SharedArray;
+
+use crate::util::{chunk_range, rng_for};
+use crate::SplashApp;
+
+/// Cycles charged per particle move (position integration, cell index
+/// arithmetic, boundary tests).
+const CYCLES_PER_MOVE: u64 = 72;
+
+/// Cycles charged per collision.
+const CYCLES_PER_COLLISION: u64 = 96;
+
+/// Bytes per particle record (3 position + 3 velocity f32 + cell id +
+/// padding — two particles per cache line, as in the original).
+const PARTICLE_BYTES: u64 = 32;
+
+/// Bytes per space-cell record (counters and accumulators — two cells
+/// per cache line, so false sharing on the cell array is represented).
+const CELL_BYTES: u64 = 32;
+
+/// MP3D workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Mp3d {
+    /// Number of gas particles.
+    pub n_particles: usize,
+    /// Simulated time steps.
+    pub steps: usize,
+    /// Space-cell grid dimensions (wind tunnel).
+    pub cells: (usize, usize, usize),
+}
+
+impl Mp3d {
+    /// The paper's Table 2 size: 50,000 particles.
+    pub fn paper() -> Self {
+        Mp3d {
+            n_particles: 50_000,
+            steps: 4,
+            cells: (16, 16, 8),
+        }
+    }
+
+    /// Reduced size for tests.
+    pub fn small() -> Self {
+        Mp3d {
+            n_particles: 2000,
+            steps: 2,
+            cells: (8, 8, 4),
+        }
+    }
+
+    fn n_cells(&self) -> usize {
+        self.cells.0 * self.cells.1 * self.cells.2
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    pos: [f32; 3],
+    vel: [f32; 3],
+}
+
+impl SplashApp for Mp3d {
+    fn name(&self) -> &'static str {
+        "mp3d"
+    }
+
+    fn generate(&self, n_procs: usize) -> Trace {
+        let n = self.n_particles;
+        let (cx, cy, cz) = self.cells;
+        let dims = [cx as f32, cy as f32, cz as f32];
+        let mut rng = rng_for("mp3d", n as u64);
+
+        let mut parts: Vec<Particle> = (0..n)
+            .map(|_| Particle {
+                pos: [
+                    rng.gen_range(0.0..dims[0]),
+                    rng.gen_range(0.0..dims[1]),
+                    rng.gen_range(0.0..dims[2]),
+                ],
+                vel: [
+                    rng.gen_range(-0.9..0.9),
+                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.4..0.4),
+                ],
+            })
+            .collect();
+
+        let mut t = TraceBuilder::new(n_procs);
+
+        // Particle chunks are owner-local (the assignment is static; its
+        // mismatch with the spatial cell structure is MP3D's defining
+        // pathology).
+        let part_arr: Vec<SharedArray> = (0..n_procs)
+            .map(|p| {
+                let range = chunk_range(n, n_procs, p);
+                let base = t
+                    .space_mut()
+                    .alloc_owned(range.len() as u64 * PARTICLE_BYTES, p as u32);
+                SharedArray {
+                    base,
+                    elem_bytes: PARTICLE_BYTES,
+                    len: range.len() as u64,
+                }
+            })
+            .collect();
+        let part_addr = |i: usize| {
+            let p = crate::util::chunk_owner(n, n_procs, i);
+            let local = i - chunk_range(n, n_procs, p).start;
+            part_arr[p].addr(local as u64)
+        };
+
+        // The shared cell array, homed round-robin.
+        let cells = t
+            .space_mut()
+            .alloc_array(self.n_cells() as u64, CELL_BYTES, simcore::space::Placement::RoundRobin);
+
+        let cell_of = |pos: &[f32; 3]| -> usize {
+            let ix = (pos[0].clamp(0.0, dims[0] - 1e-3)) as usize;
+            let iy = (pos[1].clamp(0.0, dims[1] - 1e-3)) as usize;
+            let iz = (pos[2].clamp(0.0, dims[2] - 1e-3)) as usize;
+            (ix * cy + iy) * cz + iz
+        };
+
+        for _step in 0..self.steps {
+            // Collision pairing from the cell occupancy at the start of
+            // the step: consecutive co-resident particles collide, and
+            // the pair is processed (and the partner's record touched)
+            // by the owner of the pair's *first* member — partners mix
+            // processors freely, which is exactly MP3D's unstructured
+            // read-write sharing.
+            let mut partner_of: Vec<Option<usize>> = vec![None; n];
+            {
+                let mut cell_lists: Vec<Vec<usize>> = vec![Vec::new(); self.n_cells()];
+                for (i, part) in parts.iter().enumerate() {
+                    cell_lists[cell_of(&part.pos)].push(i);
+                }
+                for list in &cell_lists {
+                    for pair in list.chunks_exact(2) {
+                        partner_of[pair[0]] = Some(pair[1]);
+                    }
+                }
+            }
+
+            for p in 0..n_procs {
+                let pid = p as u32;
+                let range = chunk_range(n, n_procs, p);
+                for i in range {
+                    // Move: read + write own particle record.
+                    t.read(pid, part_addr(i));
+                    t.compute(pid, CYCLES_PER_MOVE);
+
+                    let part = &mut parts[i];
+                    for d in 0..3 {
+                        part.pos[d] += part.vel[d];
+                        // Specular walls.
+                        if part.pos[d] < 0.0 {
+                            part.pos[d] = -part.pos[d];
+                            part.vel[d] = -part.vel[d];
+                        }
+                        let hi = dims[d];
+                        if part.pos[d] > hi {
+                            part.pos[d] = 2.0 * hi - part.pos[d];
+                            part.vel[d] = -part.vel[d];
+                        }
+                    }
+                    t.write(pid, part_addr(i));
+
+                    // Unsynchronized read-modify-write of the cell
+                    // record (the unstructured shared traffic).
+                    let c = cell_of(&parts[i].pos);
+                    t.read(pid, cells.addr(c as u64));
+                    t.write(pid, cells.addr(c as u64));
+
+                    // Collision with this particle's paired partner,
+                    // wherever (whosever) it is.
+                    if let Some(j) = partner_of[i] {
+                        t.read(pid, part_addr(j));
+                        t.compute(pid, CYCLES_PER_COLLISION);
+                        t.write(pid, part_addr(j));
+                        // Head-on hard-sphere exchange: swap the two
+                        // velocity vectors (momentum conserving for
+                        // equal masses).
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        let (lo, hi) = parts.split_at_mut(b);
+                        std::mem::swap(&mut lo[a].vel, &mut hi[0].vel);
+                    }
+                }
+            }
+            t.barrier_all();
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ops::Op;
+    use simcore::space::Placement;
+
+    #[test]
+    fn trace_valid_and_deterministic() {
+        let app = Mp3d::small();
+        let t1 = app.generate(4);
+        let t2 = app.generate(4);
+        t1.validate().unwrap();
+        assert_eq!(t1.per_proc, t2.per_proc);
+        assert_eq!(t1.n_barriers as usize, app.steps + 1);
+    }
+
+    #[test]
+    fn cell_traffic_is_shared_by_all_procs() {
+        let t = Mp3d::small().generate(4);
+        // Every processor must read round-robin-placed (cell) data.
+        for (p, ops) in t.per_proc.iter().enumerate() {
+            let shared_reads = ops
+                .iter()
+                .filter(|o| match o.unpack() {
+                    Op::Read(a) => {
+                        matches!(t.space.placement_of(a), Some(Placement::RoundRobin))
+                    }
+                    _ => false,
+                })
+                .count();
+            assert!(shared_reads > 0, "proc {p} never read the cell array");
+        }
+    }
+
+    #[test]
+    fn collisions_touch_remote_particles() {
+        let t = Mp3d::small().generate(4);
+        // Proc 0 should read particle records owned by other procs
+        // (collision partners).
+        let mut foreign = 0;
+        for op in &t.per_proc[0] {
+            if let Op::Read(a) = op.unpack() {
+                if let Some(Placement::Owner(o)) = t.space.placement_of(a) {
+                    if o != 0 {
+                        foreign += 1;
+                    }
+                }
+            }
+        }
+        assert!(foreign > 0, "no cross-processor collision reads");
+    }
+
+    #[test]
+    fn communication_volume_is_high() {
+        // MP3D is the stress test: shared (cell + foreign particle)
+        // references should be a large fraction of all references.
+        let t = Mp3d::small().generate(8);
+        let mut shared = 0u64;
+        let mut total = 0u64;
+        for (p, ops) in t.per_proc.iter().enumerate() {
+            for op in ops {
+                if let Op::Read(a) | Op::Write(a) = op.unpack() {
+                    total += 1;
+                    match t.space.placement_of(a) {
+                        Some(Placement::RoundRobin) => shared += 1,
+                        Some(Placement::Owner(o)) if o as usize != p => shared += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let frac = shared as f64 / total as f64;
+        assert!(frac > 0.25, "shared fraction {frac} too low for MP3D");
+    }
+}

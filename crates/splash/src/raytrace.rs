@@ -1,0 +1,602 @@
+//! Recursive ray tracer (SPLASH-2 Raytrace; the paper renders the SPD
+//! "Balls4" scene).
+//!
+//! "Both [Raytrace and Volrend] have a pixel plane that is divided
+//! among processors in the same manner as the grid in Ocean, and
+//! processors write only their own assigned pixels. The main data
+//! structure in both programs is a large volume data set that is read
+//! only and is distributed randomly among processors. ... the rays that
+//! a processor shoots through its assigned pixels ... do reflect in
+//! Raytrace. Thus, Raytrace has much larger and more unstructured
+//! working sets" (§3.2).
+//!
+//! The scene is a deterministic fractal sphere pyramid (the classic SPD
+//! "balls" construction: one parent sphere with nine children at 1/3
+//! scale, recursively) over a ground plane, traced through an octree
+//! acceleration structure with shadow rays and specular reflection.
+//! The rendering is computed for real; tests check the octree traversal
+//! against brute-force intersection.
+
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::space::Placement;
+
+use crate::util::TilePartition;
+use crate::SplashApp;
+
+/// Cycles per ray-sphere intersection test.
+const CYCLES_PER_TEST: u64 = 100;
+/// Cycles per octree node step.
+const CYCLES_PER_NODE: u64 = 40;
+/// Cycles per shading computation.
+const CYCLES_PER_SHADE: u64 = 140;
+/// Bytes per sphere record (center, radius, material: one line).
+const SPHERE_BYTES: u64 = 64;
+/// Bytes per octree node record (bbox + children/leaf list header).
+const NODE_BYTES: u64 = 64;
+/// Max spheres per octree leaf before splitting.
+const LEAF_CAP: usize = 8;
+/// Max octree depth.
+const MAX_OCT_DEPTH: usize = 8;
+/// Pixel-tile side for the interleaved work partition.
+const TILE: usize = 4;
+
+/// A sphere in the scene.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    /// Center.
+    pub c: [f64; 3],
+    /// Radius.
+    pub r: f64,
+    /// Specular reflectance (0..1).
+    pub reflect: f64,
+}
+
+/// A ray with origin and (normalized) direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Origin.
+    pub o: [f64; 3],
+    /// Direction (unit length).
+    pub d: [f64; 3],
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn add_scaled(a: [f64; 3], b: [f64; 3], s: f64) -> [f64; 3] {
+    [a[0] + b[0] * s, a[1] + b[1] * s, a[2] + b[2] * s]
+}
+
+fn normalize(a: [f64; 3]) -> [f64; 3] {
+    let l = dot(a, a).sqrt();
+    [a[0] / l, a[1] / l, a[2] / l]
+}
+
+/// Nearest positive intersection parameter of `ray` with `s`, if any.
+pub fn hit_sphere(ray: &Ray, s: &Sphere) -> Option<f64> {
+    let oc = sub(ray.o, s.c);
+    let b = dot(oc, ray.d);
+    let c = dot(oc, oc) - s.r * s.r;
+    let disc = b * b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let t0 = -b - sq;
+    if t0 > 1e-9 {
+        return Some(t0);
+    }
+    let t1 = -b + sq;
+    (t1 > 1e-9).then_some(t1)
+}
+
+/// Builds the SPD-style fractal ball scene: `depth` recursion levels.
+/// Depth 4 yields 1 + 9 + 81 + 729 + 6561 = 7381 spheres (Balls4).
+pub fn balls_scene(depth: usize) -> Vec<Sphere> {
+    let mut out = Vec::new();
+    fn recur(out: &mut Vec<Sphere>, c: [f64; 3], r: f64, depth: usize) {
+        out.push(Sphere {
+            c,
+            r,
+            reflect: 0.7,
+        });
+        if depth == 0 {
+            return;
+        }
+        let cr = r / 3.0;
+        let off = r + cr;
+        // Nine children: eight around the equator-ish ring plus one on
+        // top (the SPD flake arrangement).
+        for k in 0..8 {
+            let a = std::f64::consts::PI * 2.0 * k as f64 / 8.0;
+            let (s, co) = a.sin_cos();
+            recur(
+                out,
+                [c[0] + off * co, c[1] + off * s, c[2] - r * 0.3],
+                cr,
+                depth - 1,
+            );
+        }
+        recur(out, [c[0], c[1], c[2] + off], cr, depth - 1);
+    }
+    recur(&mut out, [0.0, 0.0, 0.0], 1.0, depth);
+    out
+}
+
+/// Octree over sphere indices.
+pub struct SceneOctree {
+    nodes: Vec<OctNode>,
+    spheres: Vec<Sphere>,
+}
+
+struct OctNode {
+    lo: [f64; 3],
+    hi: [f64; 3],
+    children: Option<[usize; 8]>,
+    items: Vec<u32>,
+}
+
+fn sphere_overlaps_box(s: &Sphere, lo: &[f64; 3], hi: &[f64; 3]) -> bool {
+    let mut d2 = 0.0;
+    for d in 0..3 {
+        let v = s.c[d].clamp(lo[d], hi[d]) - s.c[d];
+        d2 += v * v;
+    }
+    d2 <= s.r * s.r
+}
+
+fn ray_hits_box(ray: &Ray, lo: &[f64; 3], hi: &[f64; 3]) -> bool {
+    let mut tmin = 0.0f64;
+    let mut tmax = f64::INFINITY;
+    for d in 0..3 {
+        if ray.d[d].abs() < 1e-12 {
+            if ray.o[d] < lo[d] || ray.o[d] > hi[d] {
+                return false;
+            }
+            continue;
+        }
+        let inv = 1.0 / ray.d[d];
+        let (t0, t1) = {
+            let a = (lo[d] - ray.o[d]) * inv;
+            let b = (hi[d] - ray.o[d]) * inv;
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        tmin = tmin.max(t0);
+        tmax = tmax.min(t1);
+        if tmin > tmax {
+            return false;
+        }
+    }
+    true
+}
+
+impl SceneOctree {
+    /// Builds the octree over `spheres`.
+    pub fn build(spheres: Vec<Sphere>) -> SceneOctree {
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for s in &spheres {
+            for d in 0..3 {
+                lo[d] = lo[d].min(s.c[d] - s.r);
+                hi[d] = hi[d].max(s.c[d] + s.r);
+            }
+        }
+        let items: Vec<u32> = (0..spheres.len() as u32).collect();
+        let mut tree = SceneOctree {
+            nodes: vec![OctNode {
+                lo,
+                hi,
+                children: None,
+                items,
+            }],
+            spheres,
+        };
+        tree.split(0, 0);
+        tree
+    }
+
+    fn split(&mut self, node: usize, depth: usize) {
+        if self.nodes[node].items.len() <= LEAF_CAP || depth >= MAX_OCT_DEPTH {
+            return;
+        }
+        let (lo, hi) = (self.nodes[node].lo, self.nodes[node].hi);
+        let mid = [
+            (lo[0] + hi[0]) * 0.5,
+            (lo[1] + hi[1]) * 0.5,
+            (lo[2] + hi[2]) * 0.5,
+        ];
+        let items = std::mem::take(&mut self.nodes[node].items);
+        let parent_count = items.len();
+        let mut kids = [0usize; 8];
+        for (o, kid) in kids.iter_mut().enumerate() {
+            let clo = [
+                if o & 4 != 0 { mid[0] } else { lo[0] },
+                if o & 2 != 0 { mid[1] } else { lo[1] },
+                if o & 1 != 0 { mid[2] } else { lo[2] },
+            ];
+            let chi = [
+                if o & 4 != 0 { hi[0] } else { mid[0] },
+                if o & 2 != 0 { hi[1] } else { mid[1] },
+                if o & 1 != 0 { hi[2] } else { mid[2] },
+            ];
+            let sub: Vec<u32> = items
+                .iter()
+                .copied()
+                .filter(|&i| sphere_overlaps_box(&self.spheres[i as usize], &clo, &chi))
+                .collect();
+            *kid = self.nodes.len();
+            self.nodes.push(OctNode {
+                lo: clo,
+                hi: chi,
+                children: None,
+                items: sub,
+            });
+        }
+        self.nodes[node].children = Some(kids);
+        for kid in kids {
+            // Guard against non-shrinking recursion when a child
+            // inherits everything its parent held.
+            if self.nodes[kid].items.len() < parent_count {
+                self.split(kid, depth + 1);
+            }
+        }
+    }
+
+    /// Number of octree nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The spheres.
+    pub fn spheres(&self) -> &[Sphere] {
+        &self.spheres
+    }
+
+    /// Nearest hit of `ray`, visiting nodes/spheres through `visit`
+    /// callbacks `(node_or_sphere_index, is_sphere)`.
+    pub fn trace(
+        &self,
+        ray: &Ray,
+        mut visit: Option<&mut dyn FnMut(usize, bool)>,
+    ) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        let mut tested = std::collections::HashSet::new();
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !ray_hits_box(ray, &node.lo, &node.hi) {
+                continue;
+            }
+            if let Some(v) = visit.as_deref_mut() {
+                v(n, false);
+            }
+            match node.children {
+                Some(kids) => stack.extend(kids),
+                None => {
+                    for &i in &node.items {
+                        if !tested.insert(i) {
+                            continue;
+                        }
+                        if let Some(v) = visit.as_deref_mut() {
+                            v(i as usize, true);
+                        }
+                        if let Some(t) = hit_sphere(ray, &self.spheres[i as usize]) {
+                            if best.is_none_or(|(bt, _)| t < bt) {
+                                best = Some((t, i as usize));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Brute-force nearest hit, for verification.
+    pub fn trace_brute(&self, ray: &Ray) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in self.spheres.iter().enumerate() {
+            if let Some(t) = hit_sphere(ray, s) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Raytrace workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Raytrace {
+    /// Image side in pixels (square image).
+    pub image: usize,
+    /// Fractal recursion depth of the ball scene (4 = Balls4).
+    pub balls_depth: usize,
+    /// Maximum reflection bounces.
+    pub max_bounce: usize,
+}
+
+impl Raytrace {
+    /// The paper's scene: Balls4 (7381 spheres) at a 256×256 image
+    /// (SPLASH-2's default antialiased resolution class).
+    pub fn paper() -> Self {
+        Raytrace {
+            image: 256,
+            balls_depth: 4,
+            max_bounce: 4,
+        }
+    }
+
+    /// Reduced size for tests.
+    pub fn small() -> Self {
+        Raytrace {
+            image: 32,
+            balls_depth: 2,
+            max_bounce: 2,
+        }
+    }
+
+    /// Renders the image, calling `touch(pixel, node_or_sphere, is_sphere)`
+    /// for every data access if given. Returns grayscale pixels.
+    pub fn render(
+        &self,
+        tree: &SceneOctree,
+        mut touch: Option<&mut dyn FnMut(usize, usize, bool)>,
+    ) -> Vec<f32> {
+        let w = self.image;
+        let light = normalize([0.6, -0.4, 0.8]);
+        let mut img = vec![0.0f32; w * w];
+        for py in 0..w {
+            for px in 0..w {
+                let pixel = py * w + px;
+                // Orthographic camera looking down -z from above.
+                let x = (px as f64 / w as f64 - 0.5) * 6.0;
+                let y = (py as f64 / w as f64 - 0.5) * 6.0;
+                let mut ray = Ray {
+                    o: [x, y, 8.0],
+                    d: [0.0, 0.0, -1.0],
+                };
+                let mut weight = 1.0f64;
+                let mut color = 0.0f64;
+                for _bounce in 0..=self.max_bounce {
+                    let mut cb = touch.as_deref_mut().map(|f| {
+                        move |i: usize, is_sphere: bool| f(pixel, i, is_sphere)
+                    });
+                    let hit = tree.trace(
+                        &ray,
+                        cb.as_mut().map(|f| f as &mut dyn FnMut(usize, bool)),
+                    );
+                    let Some((t, si)) = hit else {
+                        color += weight * 0.1; // background
+                        break;
+                    };
+                    let s = tree.spheres()[si];
+                    let p = add_scaled(ray.o, ray.d, t);
+                    let n = normalize(sub(p, s.c));
+                    // Shadow ray.
+                    let sray = Ray {
+                        o: add_scaled(p, n, 1e-6),
+                        d: light,
+                    };
+                    let mut cb2 = touch.as_deref_mut().map(|f| {
+                        move |i: usize, is_sphere: bool| f(pixel, i, is_sphere)
+                    });
+                    let lit = tree
+                        .trace(
+                            &sray,
+                            cb2.as_mut().map(|f| f as &mut dyn FnMut(usize, bool)),
+                        )
+                        .is_none();
+                    let diffuse = if lit { dot(n, light).max(0.0) } else { 0.0 };
+                    color += weight * (0.15 + 0.7 * diffuse) * (1.0 - s.reflect);
+                    weight *= s.reflect;
+                    if weight < 0.02 {
+                        break;
+                    }
+                    // Reflect.
+                    let r = add_scaled(ray.d, n, -2.0 * dot(ray.d, n));
+                    ray = Ray {
+                        o: add_scaled(p, n, 1e-6),
+                        d: normalize(r),
+                    };
+                }
+                img[pixel] = color as f32;
+            }
+        }
+        img
+    }
+}
+
+impl SplashApp for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn generate(&self, n_procs: usize) -> Trace {
+        let tree = SceneOctree::build(balls_scene(self.balls_depth));
+        let w = self.image;
+        // Small interleaved tiles stand in for the original's
+        // distributed task queues: tight load balance, with cluster
+        // mates on adjacent tiles.
+        let tp = TilePartition::new(w, TILE.min(w), n_procs);
+
+        let mut t = TraceBuilder::new(n_procs);
+
+        // Read-only scene data, distributed round-robin as the paper
+        // says.
+        let spheres = t
+            .space_mut()
+            .alloc_array(tree.spheres().len() as u64, SPHERE_BYTES, Placement::RoundRobin);
+        let nodes = t
+            .space_mut()
+            .alloc_array(tree.n_nodes() as u64, NODE_BYTES, Placement::RoundRobin);
+
+        // Pixel plane: each processor's owned pixels are owner-local.
+        let tiles: Vec<simcore::space::SharedArray> = (0..n_procs)
+            .map(|p| {
+                t.space_mut().alloc_array(
+                    tp.pixels_of(p).max(1) as u64,
+                    4,
+                    Placement::Owner(p as u32),
+                )
+            })
+            .collect();
+
+        // Render once, collecting accesses per pixel; then emit per
+        // processor in its tile-scan order (the order it really works
+        // in).
+        let mut per_pixel: Vec<Vec<(u32, bool)>> = vec![Vec::new(); w * w];
+        let _img = self.render(
+            &tree,
+            Some(&mut |pixel, idx, is_sphere| {
+                per_pixel[pixel].push((idx as u32, is_sphere));
+            }),
+        );
+
+        for p in 0..n_procs {
+            let pid = p as u32;
+            let mut local = 0u64;
+            for tile in tp.tiles_of(p) {
+                for (px, py) in tp.tile_pixels(tile) {
+                    let pixel = py * w + px;
+                    for &(idx, is_sphere) in &per_pixel[pixel] {
+                        if is_sphere {
+                            t.read(pid, spheres.addr(idx as u64));
+                            t.compute(pid, CYCLES_PER_TEST);
+                        } else {
+                            t.read(pid, nodes.addr(idx as u64));
+                            t.compute(pid, CYCLES_PER_NODE);
+                        }
+                    }
+                    t.compute(pid, CYCLES_PER_SHADE);
+                    t.write(pid, tiles[p].addr(local));
+                    local += 1;
+                }
+            }
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_intersection_basics() {
+        let s = Sphere {
+            c: [0.0, 0.0, 0.0],
+            r: 1.0,
+            reflect: 0.0,
+        };
+        let hit = hit_sphere(
+            &Ray {
+                o: [0.0, 0.0, 5.0],
+                d: [0.0, 0.0, -1.0],
+            },
+            &s,
+        );
+        assert!((hit.unwrap() - 4.0).abs() < 1e-9);
+        let miss = hit_sphere(
+            &Ray {
+                o: [3.0, 0.0, 5.0],
+                d: [0.0, 0.0, -1.0],
+            },
+            &s,
+        );
+        assert!(miss.is_none());
+        // From inside: hits the far side.
+        let inside = hit_sphere(
+            &Ray {
+                o: [0.0, 0.0, 0.0],
+                d: [0.0, 0.0, 1.0],
+            },
+            &s,
+        );
+        assert!((inside.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balls_scene_counts() {
+        assert_eq!(balls_scene(0).len(), 1);
+        assert_eq!(balls_scene(1).len(), 10);
+        assert_eq!(balls_scene(2).len(), 91);
+        assert_eq!(balls_scene(4).len(), 7381); // Balls4
+    }
+
+    #[test]
+    fn octree_matches_brute_force() {
+        let tree = SceneOctree::build(balls_scene(2));
+        let mut rng = crate::util::rng_for("raytrace-test", 0);
+        use rand::Rng;
+        for _ in 0..200 {
+            let ray = Ray {
+                o: [
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                    8.0,
+                ],
+                d: normalize([
+                    rng.gen_range(-0.3..0.3),
+                    rng.gen_range(-0.3..0.3),
+                    -1.0,
+                ]),
+            };
+            let fast = tree.trace(&ray, None);
+            let brute = tree.trace_brute(&ray);
+            match (fast, brute) {
+                (None, None) => {}
+                (Some((tf, _)), Some((tb, _))) => {
+                    assert!((tf - tb).abs() < 1e-9, "t mismatch {tf} vs {tb}");
+                }
+                other => panic!("hit mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn image_has_contrast() {
+        let app = Raytrace::small();
+        let tree = SceneOctree::build(balls_scene(app.balls_depth));
+        let img = app.render(&tree, None);
+        let min = img.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = img.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > min + 0.1, "flat image: {min}..{max}");
+    }
+
+    #[test]
+    fn trace_valid_and_deterministic() {
+        let app = Raytrace::small();
+        let t1 = app.generate(4);
+        let t2 = app.generate(4);
+        t1.validate().unwrap();
+        assert_eq!(t1.per_proc, t2.per_proc);
+    }
+
+    #[test]
+    fn scene_reads_are_shared_readonly() {
+        use simcore::ops::Op;
+        let t = Raytrace::small().generate(4);
+        // No processor ever writes round-robin (scene) data.
+        for ops in &t.per_proc {
+            for op in ops {
+                if let Op::Write(a) = op.unpack() {
+                    assert!(matches!(
+                        t.space.placement_of(a),
+                        Some(Placement::Owner(_))
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared helpers for the workload generators: deterministic RNG,
+//! partitioning, and space-filling-curve ordering.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for workload inputs. Seeds are derived from the
+/// app name so different apps decorrelate but every run of the same app
+/// is identical.
+pub fn rng_for(app: &str, salt: u64) -> SmallRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in app.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    seed ^= salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Splits `n` items into `parts` contiguous chunks as evenly as
+/// possible; returns the half-open range of chunk `i`.
+pub fn chunk_range(n: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..start + len
+}
+
+/// Inverse of [`chunk_range`]: which chunk owns item `idx`.
+pub fn chunk_owner(n: usize, parts: usize, idx: usize) -> usize {
+    debug_assert!(idx < n);
+    let base = n / parts;
+    let rem = n % parts;
+    let big = rem * (base + 1);
+    if idx < big {
+        idx / (base + 1)
+    } else {
+        rem + (idx - big) / base
+    }
+}
+
+/// The processor grid used by grid-partitioned apps: the most square
+/// `rows × cols` factorization of `p` with `rows <= cols`.
+pub fn proc_grid(p: usize) -> (usize, usize) {
+    let mut rows = (p as f64).sqrt() as usize;
+    while rows > 1 && !p.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), p / rows.max(1))
+}
+
+/// Interleaved tile partition of a `w`×`w` pixel plane: square tiles of
+/// `tile` pixels on a side, assigned round-robin to processors in
+/// row-major tile order. This stands in for the graphics programs'
+/// dynamic task distribution: tight load balance, while consecutive
+/// processors (cluster mates) still work on adjacent tiles and so share
+/// scene data.
+#[derive(Debug, Clone, Copy)]
+pub struct TilePartition {
+    /// Image side in pixels.
+    pub w: usize,
+    /// Tile side in pixels.
+    pub tile: usize,
+    /// Number of processors.
+    pub n_procs: usize,
+}
+
+impl TilePartition {
+    /// Creates the partition. The tile size must divide the image side.
+    pub fn new(w: usize, tile: usize, n_procs: usize) -> TilePartition {
+        assert!(w.is_multiple_of(tile), "tile {tile} must divide image {w}");
+        TilePartition { w, tile, n_procs }
+    }
+
+    /// Tiles per side.
+    pub fn tiles_x(&self) -> usize {
+        self.w / self.tile
+    }
+
+    /// Total tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tiles_x() * self.tiles_x()
+    }
+
+    /// Owner of tile `t`. Within every group of `n_procs` consecutive
+    /// tiles each processor owns exactly one (balance); successive
+    /// groups rotate by 7 so a processor's tiles do not line up in a
+    /// fixed image column (which would recreate the center-vs-edge
+    /// imbalance this partition exists to avoid).
+    pub fn owner_of_tile(&self, t: usize) -> usize {
+        (t + (t / self.n_procs) * 7) % self.n_procs
+    }
+
+    /// Tiles owned by processor `p`, in scan order.
+    pub fn tiles_of(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n_tiles()).filter(move |&t| self.owner_of_tile(t) == p)
+    }
+
+    /// Number of pixels processor `p` owns.
+    pub fn pixels_of(&self, p: usize) -> usize {
+        self.tiles_of(p).count() * self.tile * self.tile
+    }
+
+    /// Pixel coordinates `(x, y)` of tile `t`, in row-major order
+    /// within the tile.
+    pub fn tile_pixels(&self, t: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let tx = (t % self.tiles_x()) * self.tile;
+        let ty = (t / self.tiles_x()) * self.tile;
+        (0..self.tile * self.tile)
+            .map(move |i| (tx + i % self.tile, ty + i / self.tile))
+    }
+}
+
+/// Interleaves the low 16 bits of `x` and `y` into a Morton (Z-order)
+/// code, used to give N-body partitions spatial locality.
+pub fn morton2(x: u32, y: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+/// Interleaves the low 10 bits of `x`, `y`, `z` into a 3-D Morton code.
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0x3ff;
+        v = (v | (v << 16)) & 0x30000ff;
+        v = (v | (v << 8)) & 0x300f00f;
+        v = (v | (v << 4)) & 0x30c30c3;
+        v = (v | (v << 2)) & 0x9249249;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1) | (spread(z as u64) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic_and_app_specific() {
+        let a: u64 = rng_for("lu", 0).gen();
+        let b: u64 = rng_for("lu", 0).gen();
+        let c: u64 = rng_for("fft", 0).gen();
+        let d: u64 = rng_for("lu", 1).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 3, 8, 64] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..parts {
+                    let r = chunk_range(n, parts, i);
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_owner_inverts_chunk_range() {
+        for n in [1usize, 7, 64, 100, 1000] {
+            for parts in [1usize, 3, 8, 64] {
+                for i in 0..parts {
+                    for idx in chunk_range(n, parts, i) {
+                        assert_eq!(chunk_owner(n, parts, idx), i, "n={n} parts={parts} idx={idx}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_balanced() {
+        for i in 0..8 {
+            let len = chunk_range(100, 8, i).len();
+            assert!(len == 12 || len == 13);
+        }
+    }
+
+    #[test]
+    fn proc_grids() {
+        assert_eq!(proc_grid(64), (8, 8));
+        assert_eq!(proc_grid(16), (4, 4));
+        assert_eq!(proc_grid(8), (2, 4));
+        assert_eq!(proc_grid(2), (1, 2));
+        assert_eq!(proc_grid(1), (1, 1));
+        assert_eq!(proc_grid(7), (1, 7));
+    }
+
+    #[test]
+    fn tile_partition_covers_image_once() {
+        let tp = TilePartition::new(32, 4, 5);
+        let mut seen = vec![false; 32 * 32];
+        let mut total = 0usize;
+        for p in 0..5 {
+            for t in tp.tiles_of(p) {
+                assert_eq!(tp.owner_of_tile(t), p);
+                for (x, y) in tp.tile_pixels(t) {
+                    assert!(!seen[y * 32 + x], "pixel ({x},{y}) double-owned");
+                    seen[y * 32 + x] = true;
+                    total += 1;
+                }
+            }
+        }
+        assert_eq!(total, 32 * 32);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tile_partition_balances_load() {
+        let tp = TilePartition::new(128, 4, 64);
+        let counts: Vec<usize> = (0..64).map(|p| tp.pixels_of(p)).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert_eq!(min, max, "1024 tiles over 64 procs divides evenly");
+    }
+
+    #[test]
+    fn morton_orders_locally() {
+        // Adjacent cells differ less in code than distant ones, on
+        // average; just sanity-check monotone block structure.
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 1);
+        assert_eq!(morton2(0, 1), 2);
+        assert_eq!(morton2(1, 1), 3);
+        assert_eq!(morton2(2, 0), 4);
+        assert_eq!(morton3(1, 1, 1), 7);
+    }
+}

@@ -1,0 +1,499 @@
+//! Volume renderer (SPLASH-2 Volrend; the paper renders a CT head).
+//!
+//! Like Raytrace, the pixel plane is tiled over processors and the
+//! volume data set is read-only and distributed among processors; but
+//! "the rays that a processor shoots through its assigned pixels do not
+//! reflect in Volrend ... (so Volrend's working sets are smaller and
+//! more structured)" (§3.2).
+//!
+//! The volume is a synthetic head: nested ellipsoid shells (skin,
+//! skull, brain) with deterministic texture. Rays march front-to-back
+//! with trilinear sampling, early termination, and a min/max octree for
+//! space leaping. Rendering is computed for real; tests verify the
+//! octree is consistent with the volume and that space leaping does not
+//! change the image.
+
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::space::Placement;
+
+use crate::util::TilePartition;
+use crate::SplashApp;
+
+/// Opacity threshold below which a voxel region is transparent.
+const TRANSPARENT: u8 = 30;
+/// Early ray termination opacity.
+const TERM_OPACITY: f32 = 0.95;
+/// Cycles per trilinear sample + compositing step.
+const CYCLES_PER_SAMPLE: u64 = 140;
+/// Cycles per octree skip test.
+const CYCLES_PER_SKIP: u64 = 40;
+
+/// A cubic density volume.
+pub struct Volume {
+    /// Side length.
+    pub n: usize,
+    data: Vec<u8>,
+}
+
+impl Volume {
+    /// Builds the synthetic head: skin, skull and brain as nested
+    /// ellipsoid shells with a deterministic wiggle.
+    pub fn head(n: usize) -> Volume {
+        let mut data = vec![0u8; n * n * n];
+        let c = (n as f64 - 1.0) / 2.0;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let dx = (x as f64 - c) / c;
+                    let dy = (y as f64 - c) / (c * 0.85);
+                    let dz = (z as f64 - c) / (c * 0.95);
+                    let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                    // Deterministic texture wiggle.
+                    let wiggle =
+                        0.03 * ((x as f64 * 0.9).sin() * (y as f64 * 0.7).cos()
+                            + (z as f64 * 0.5).sin());
+                    let r = r + wiggle;
+                    let d = if r > 0.95 {
+                        0 // air
+                    } else if r > 0.85 {
+                        80 // skin
+                    } else if r > 0.70 {
+                        220 // skull
+                    } else if r > 0.25 {
+                        120 // brain
+                    } else {
+                        150 // deep structure
+                    };
+                    data[(z * n + y) * n + x] = d;
+                }
+            }
+        }
+        Volume { n, data }
+    }
+
+    /// Density at integer voxel coordinates (zero outside).
+    #[inline]
+    pub fn at(&self, x: i64, y: i64, z: i64) -> u8 {
+        let n = self.n as i64;
+        if x < 0 || y < 0 || z < 0 || x >= n || y >= n || z >= n {
+            return 0;
+        }
+        self.data[((z * n + y) * n + x) as usize]
+    }
+
+    /// Byte offset of a voxel within the volume array.
+    #[inline]
+    pub fn offset(&self, x: usize, y: usize, z: usize) -> u64 {
+        ((z * self.n + y) * self.n + x) as u64
+    }
+
+    /// Trilinear sample at a continuous position.
+    pub fn sample(&self, p: [f64; 3]) -> f64 {
+        let f = [p[0].floor(), p[1].floor(), p[2].floor()];
+        let (x, y, z) = (f[0] as i64, f[1] as i64, f[2] as i64);
+        let (fx, fy, fz) = (p[0] - f[0], p[1] - f[1], p[2] - f[2]);
+        let mut acc = 0.0;
+        for (dz, wz) in [(0, 1.0 - fz), (1, fz)] {
+            for (dy, wy) in [(0, 1.0 - fy), (1, fy)] {
+                for (dx, wx) in [(0, 1.0 - fx), (1, fx)] {
+                    acc += wx * wy * wz * self.at(x + dx, y + dy, z + dz) as f64;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Min/max octree over the volume for space leaping. Level 0 is the
+/// coarsest (a single node); the finest level has `brick` voxels per
+/// node side.
+pub struct MinMaxOctree {
+    /// Per level: side length in nodes and the (min,max) grid.
+    pub levels: Vec<(usize, Vec<(u8, u8)>)>,
+    /// Voxels per finest-level node side.
+    pub brick: usize,
+}
+
+impl MinMaxOctree {
+    /// Builds the octree with `brick`-voxel leaves.
+    pub fn build(vol: &Volume, brick: usize) -> MinMaxOctree {
+        assert!(vol.n.is_multiple_of(brick));
+        let fine_side = vol.n / brick;
+        assert!(fine_side.is_power_of_two());
+        let mut levels = Vec::new();
+        // Finest level from the volume.
+        let mut cur: Vec<(u8, u8)> = vec![(u8::MAX, 0); fine_side * fine_side * fine_side];
+        for z in 0..vol.n {
+            for y in 0..vol.n {
+                for x in 0..vol.n {
+                    let d = vol.at(x as i64, y as i64, z as i64);
+                    let i = ((z / brick) * fine_side + y / brick) * fine_side + x / brick;
+                    cur[i].0 = cur[i].0.min(d);
+                    cur[i].1 = cur[i].1.max(d);
+                }
+            }
+        }
+        levels.push((fine_side, cur));
+        // Coarser levels by 2x reduction.
+        while levels.last().unwrap().0 > 1 {
+            let (side, fine) = levels.last().unwrap();
+            let cs = side / 2;
+            let mut coarse = vec![(u8::MAX, 0u8); cs * cs * cs];
+            for z in 0..*side {
+                for y in 0..*side {
+                    for x in 0..*side {
+                        let f = fine[(z * side + y) * side + x];
+                        let i = ((z / 2) * cs + y / 2) * cs + x / 2;
+                        coarse[i].0 = coarse[i].0.min(f.0);
+                        coarse[i].1 = coarse[i].1.max(f.1);
+                    }
+                }
+            }
+            levels.push((cs, coarse));
+        }
+        levels.reverse(); // coarsest first
+
+        // Dilate the finest-level maxima over the 26-neighborhood so a
+        // trilinear stencil whose floor lies in a node can never read a
+        // voxel brighter than the node's (dilated) max — making space
+        // leaps exact.
+        {
+            let li = levels.len() - 1;
+            let (side, nodes) = &levels[li];
+            let side = *side;
+            let orig = nodes.clone();
+            let nodes = &mut levels[li].1;
+            for z in 0..side {
+                for y in 0..side {
+                    for x in 0..side {
+                        let mut m = 0u8;
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    let (nx, ny, nz) =
+                                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    if nx < 0
+                                        || ny < 0
+                                        || nz < 0
+                                        || nx >= side as i64
+                                        || ny >= side as i64
+                                        || nz >= side as i64
+                                    {
+                                        continue;
+                                    }
+                                    let i = ((nz as usize * side) + ny as usize) * side
+                                        + nx as usize;
+                                    m = m.max(orig[i].1);
+                                }
+                            }
+                        }
+                        nodes[(z * side + y) * side + x].1 = m;
+                    }
+                }
+            }
+        }
+        MinMaxOctree { levels, brick }
+    }
+
+    /// Probes the finest-level node containing position `p`. Returns
+    /// `(level_index, node_index, transparent, node_lo, node_span)`;
+    /// when transparent, every trilinear sample whose base voxel lies
+    /// inside the node is below the opacity threshold, so the caller
+    /// may leap to the node's exit.
+    pub fn probe(&self, vol_n: usize, p: [f64; 3]) -> (usize, usize, bool, [f64; 3], f64) {
+        let li = self.levels.len() - 1;
+        let (side, nodes) = &self.levels[li];
+        let scale = vol_n / side;
+        let clampi = |v: f64| (v.max(0.0) as usize).min(vol_n - 1) / scale;
+        let (x, y, z) = (clampi(p[0]), clampi(p[1]), clampi(p[2]));
+        let idx = (z * side + y) * side + x;
+        let lo = [
+            (x * scale) as f64,
+            (y * scale) as f64,
+            (z * scale) as f64,
+        ];
+        (li, idx, nodes[idx].1 < TRANSPARENT, lo, scale as f64)
+    }
+}
+
+/// Volrend workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Volrend {
+    /// Volume side (cubic volume).
+    pub vol: usize,
+    /// Image side in pixels.
+    pub image: usize,
+}
+
+impl Volrend {
+    /// The paper's configuration: a head volume (we synthesize 128³)
+    /// rendered at 128×128.
+    pub fn paper() -> Self {
+        Volrend {
+            vol: 128,
+            image: 256,
+        }
+    }
+
+    /// Reduced size for tests.
+    pub fn small() -> Self {
+        Volrend { vol: 32, image: 32 }
+    }
+
+    /// Renders the volume. `touch(pixel, kind)` receives every data
+    /// access when given: `VolAccess::Voxel(offset)` for voxel loads and
+    /// `VolAccess::Node(level, index)` for octree probes.
+    pub fn render(
+        &self,
+        vol: &Volume,
+        tree: Option<&MinMaxOctree>,
+        mut touch: Option<&mut dyn FnMut(usize, VolAccess)>,
+    ) -> Vec<f32> {
+        let w = self.image;
+        let n = vol.n as f64;
+        // View rotated 30° about the vertical axis.
+        let (s30, c30) = (30f64.to_radians().sin(), 30f64.to_radians().cos());
+        let dir = [s30, 0.15, -c30];
+        let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+        let dir = [dir[0] / norm, dir[1] / norm, dir[2] / norm];
+        let right = [c30, 0.0, s30];
+        let up = [0.0, 1.0, 0.0];
+        let mut img = vec![0.0f32; w * w];
+        for py in 0..w {
+            for px in 0..w {
+                let pixel = py * w + px;
+                let u = (px as f64 / w as f64 - 0.5) * n * 1.4;
+                let v = (py as f64 / w as f64 - 0.5) * n * 1.4;
+                let center = [n / 2.0, n / 2.0, n / 2.0];
+                let start = [
+                    center[0] + right[0] * u + up[0] * v - dir[0] * n,
+                    center[1] + right[1] * u + up[1] * v - dir[1] * n,
+                    center[2] + right[2] * u + up[2] * v - dir[2] * n,
+                ];
+                let mut t = 0.0f64;
+                let t_max = 2.2 * n;
+                let mut opacity = 0.0f32;
+                let mut color = 0.0f32;
+                while t < t_max && opacity < TERM_OPACITY {
+                    let p = [
+                        start[0] + dir[0] * t,
+                        start[1] + dir[1] * t,
+                        start[2] + dir[2] * t,
+                    ];
+                    let inside = p.iter().all(|&c| c >= 0.0 && c < n - 1.0);
+                    if !inside {
+                        t += 1.0;
+                        continue;
+                    }
+                    if let Some(tree) = tree {
+                        let (li, idx, transparent, lo, span) = tree.probe(vol.n, p);
+                        if let Some(f) = touch.as_deref_mut() {
+                            f(pixel, VolAccess::Node(li, idx));
+                        }
+                        if transparent {
+                            // Leap by whole unit steps while staying
+                            // inside the node, preserving the sampling
+                            // phase so the image is bit-identical to
+                            // unaccelerated marching (maxima are
+                            // dilated, so skipped samples are zero).
+                            let mut exit = f64::INFINITY;
+                            for d in 0..3 {
+                                if dir[d].abs() > 1e-12 {
+                                    let bound =
+                                        if dir[d] > 0.0 { lo[d] + span } else { lo[d] };
+                                    exit = exit.min((bound - p[d]) / dir[d]);
+                                }
+                            }
+                            t += (exit - 1e-9).floor().max(1.0);
+                            continue;
+                        }
+                    }
+                    let d = vol.sample(p);
+                    if let Some(f) = touch.as_deref_mut() {
+                        // The trilinear stencil touches two x-runs on
+                        // two rows of two slices: report the 4 row
+                        // starts (the distinct cache regions).
+                        let (x, y, z) =
+                            (p[0] as usize, p[1] as usize, p[2] as usize);
+                        for (dy, dz) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                            let yy = (y + dy).min(vol.n - 1);
+                            let zz = (z + dz).min(vol.n - 1);
+                            f(pixel, VolAccess::Voxel(vol.offset(x, yy, zz)));
+                        }
+                    }
+                    let a = ((d - 40.0) / 200.0).clamp(0.0, 1.0) as f32 * 0.25;
+                    color += (1.0 - opacity) * a * (d as f32 / 255.0);
+                    opacity += (1.0 - opacity) * a;
+                    t += 1.0;
+                }
+                img[pixel] = color;
+            }
+        }
+        img
+    }
+}
+
+/// One data access performed during rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolAccess {
+    /// A voxel load at the given byte offset within the volume.
+    Voxel(u64),
+    /// A min/max octree probe of `(level, node index)`.
+    Node(usize, usize),
+}
+
+impl SplashApp for Volrend {
+    fn name(&self) -> &'static str {
+        "volrend"
+    }
+
+    fn generate(&self, n_procs: usize) -> Trace {
+        let vol = Volume::head(self.vol);
+        let brick = (self.vol / 16).max(2);
+        let tree = MinMaxOctree::build(&vol, brick);
+        let w = self.image;
+        // Interleaved small tiles stand in for the original's task
+        // stealing; cluster mates still get adjacent tiles.
+        let tp = TilePartition::new(w, 4.min(w), n_procs);
+
+        let mut t = TraceBuilder::new(n_procs);
+        // Volume voxels: read-only, distributed round-robin.
+        let vol_arr = t
+            .space_mut()
+            .alloc_array((self.vol * self.vol * self.vol) as u64, 1, Placement::RoundRobin);
+        // Octree nodes: 2 bytes each, per level.
+        let node_arrs: Vec<simcore::space::SharedArray> = tree
+            .levels
+            .iter()
+            .map(|(side, _)| {
+                t.space_mut()
+                    .alloc_array((side * side * side) as u64, 2, Placement::RoundRobin)
+            })
+            .collect();
+        // Pixel tiles, owner-local.
+        let tiles: Vec<simcore::space::SharedArray> = (0..n_procs)
+            .map(|p| {
+                t.space_mut().alloc_array(
+                    tp.pixels_of(p).max(1) as u64,
+                    4,
+                    Placement::Owner(p as u32),
+                )
+            })
+            .collect();
+
+        let mut per_pixel: Vec<Vec<VolAccess>> = vec![Vec::new(); w * w];
+        let _img = self.render(
+            &vol,
+            Some(&tree),
+            Some(&mut |pixel, acc| per_pixel[pixel].push(acc)),
+        );
+
+        for p in 0..n_procs {
+            let pid = p as u32;
+            let mut local = 0u64;
+            for tile in tp.tiles_of(p) {
+                for (px, py) in tp.tile_pixels(tile) {
+                    let pixel = py * w + px;
+                    for &acc in &per_pixel[pixel] {
+                        match acc {
+                            VolAccess::Voxel(off) => {
+                                t.read(pid, vol_arr.base + off);
+                                t.compute(pid, CYCLES_PER_SAMPLE / 4);
+                            }
+                            VolAccess::Node(li, idx) => {
+                                t.read(pid, node_arrs[li].addr(idx as u64));
+                                t.compute(pid, CYCLES_PER_SKIP);
+                            }
+                        }
+                    }
+                    t.compute(pid, 10);
+                    t.write(pid, tiles[p].addr(local));
+                    local += 1;
+                }
+            }
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_volume_has_structure() {
+        let v = Volume::head(32);
+        // Center is dense, corner is air.
+        assert!(v.at(16, 16, 16) > 0);
+        assert_eq!(v.at(0, 0, 0), 0);
+        // Out of bounds is air.
+        assert_eq!(v.at(-1, 0, 0), 0);
+        assert_eq!(v.at(32, 0, 0), 0);
+    }
+
+    #[test]
+    fn trilinear_interpolates_between_voxels() {
+        let v = Volume::head(32);
+        let a = v.at(16, 16, 16) as f64;
+        let exact = v.sample([16.0, 16.0, 16.0]);
+        assert!((exact - a).abs() < 1e-9);
+        let mid = v.sample([16.5, 16.0, 16.0]);
+        let b = v.at(17, 16, 16) as f64;
+        assert!((mid - (a + b) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn octree_bounds_are_sound() {
+        let v = Volume::head(32);
+        let tree = MinMaxOctree::build(&v, 4);
+        // Every voxel's density lies within its finest node's (min,max).
+        let (side, nodes) = tree.levels.last().unwrap();
+        for z in 0..32i64 {
+            for y in 0..32i64 {
+                for x in 0..32i64 {
+                    let d = v.at(x, y, z);
+                    let i = ((z as usize / 4) * side + y as usize / 4) * side
+                        + x as usize / 4;
+                    let (lo, hi) = nodes[i];
+                    assert!(lo <= d && d <= hi);
+                }
+            }
+        }
+        // Coarsest level is a single node spanning everything.
+        assert_eq!(tree.levels[0].0, 1);
+    }
+
+    #[test]
+    fn space_leaping_preserves_image() {
+        let app = Volrend::small();
+        let v = Volume::head(app.vol);
+        let tree = MinMaxOctree::build(&v, 4);
+        let with = app.render(&v, Some(&tree), None);
+        let without = app.render(&v, None, None);
+        for (a, b) in with.iter().zip(&without) {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "space leaping changed the image: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_has_contrast() {
+        let app = Volrend::small();
+        let v = Volume::head(app.vol);
+        let img = app.render(&v, None, None);
+        let max = img.iter().cloned().fold(0.0f32, f32::max);
+        let min = img.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(max > min + 0.05, "flat image {min}..{max}");
+    }
+
+    #[test]
+    fn trace_valid_and_deterministic() {
+        let app = Volrend::small();
+        let t1 = app.generate(4);
+        let t2 = app.generate(4);
+        t1.validate().unwrap();
+        assert_eq!(t1.per_proc, t2.per_proc);
+    }
+}

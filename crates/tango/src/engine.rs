@@ -1,0 +1,488 @@
+//! The discrete-event replay engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use coherence::{MachineConfig, MemorySystem, Outcome};
+use simcore::ops::{Op, Trace};
+use simcore::stats::{Breakdown, RunStats};
+
+/// Tunables beyond the machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Effective load latency in cycles for the Pixie-analogue
+    /// measurements of Table 5. The default of 1 reproduces the paper's
+    /// simulation proper (single-cycle hits). Values 2–4 charge
+    /// `load_latency - 1` extra cycles on *dependent* loads.
+    pub load_latency: u64,
+    /// One explicit load in every `dependent_load_period` is treated as
+    /// having its destination register consumed before the pipeline can
+    /// hide extra latency ("the processor will not stall on a load
+    /// instruction until the register destination of the load is
+    /// used"). The default of 4 models a compiler that hides ~75% of
+    /// the added latency.
+    pub dependent_load_period: u64,
+    /// `Compute(k)` blocks stand for dense loops whose element loads
+    /// were coalesced at trace generation (see DESIGN.md); for the
+    /// Pixie-analogue factor measurements they must still feel the
+    /// longer load latency. One *dependent* implicit load is assumed
+    /// per this many compute cycles (≈25% load density with 1-in-4
+    /// unhideable), which puts the measured Table 5 factors in the
+    /// paper's band.
+    pub implicit_load_period: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            load_latency: 1,
+            dependent_load_period: 4,
+            implicit_load_period: 18,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcStatus {
+    Runnable,
+    InBarrier,
+    WaitingLock,
+    Done,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    clock: u64,
+    idx: usize,
+    bd: Breakdown,
+    status: ProcStatus,
+    reads_issued: u64,
+    /// Clock value when the processor blocked (barrier arrival or lock
+    /// request time).
+    blocked_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<u32>,
+    queue: VecDeque<u32>,
+}
+
+/// Replays `trace` on the machine described by `machine` with default
+/// options, returning the run statistics.
+pub fn run(trace: &Trace, machine: MachineConfig) -> RunStats {
+    run_with(trace, machine, EngineOptions::default())
+}
+
+/// Replays `trace` with explicit [`EngineOptions`].
+pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> RunStats {
+    let n = trace.n_procs();
+    assert_eq!(
+        n as u32, machine.n_procs,
+        "trace has {n} processors but machine expects {}",
+        machine.n_procs
+    );
+    assert!(opts.load_latency >= 1 && opts.dependent_load_period >= 1);
+
+    let mut mem = MemorySystem::new(machine, &trace.space);
+    let mut procs: Vec<ProcState> = (0..n)
+        .map(|_| ProcState {
+            clock: 0,
+            idx: 0,
+            bd: Breakdown::default(),
+            status: ProcStatus::Runnable,
+            reads_issued: 0,
+            blocked_at: 0,
+        })
+        .collect();
+    let mut locks: Vec<LockState> = (0..trace.n_locks).map(|_| LockState::default()).collect();
+
+    // Barrier bookkeeping: every processor participates in every
+    // barrier, in id order (Trace::validate guarantees this).
+    let mut barrier_waiting: Vec<u32> = Vec::with_capacity(n);
+    let mut barrier_id: u32 = 0;
+
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..n as u32).map(|p| Reverse((0, p))).collect();
+    let mut done = 0usize;
+    let extra_load = opts.load_latency - 1;
+
+    while let Some(Reverse((t, pid))) = heap.pop() {
+        let pidx = pid as usize;
+        debug_assert_eq!(procs[pidx].clock, t, "stale heap entry");
+        debug_assert_eq!(procs[pidx].status, ProcStatus::Runnable);
+
+        // Run this processor while it remains the globally earliest.
+        'steps: loop {
+            let horizon = heap.peek().map(|Reverse((c, _))| *c).unwrap_or(u64::MAX);
+            if procs[pidx].clock > horizon {
+                heap.push(Reverse((procs[pidx].clock, pid)));
+                break 'steps;
+            }
+            let ops = &trace.per_proc[pidx];
+            if procs[pidx].idx >= ops.len() {
+                procs[pidx].status = ProcStatus::Done;
+                done += 1;
+                break 'steps;
+            }
+            let op = ops[procs[pidx].idx].unpack();
+            match op {
+                Op::Compute(c) => {
+                    let p = &mut procs[pidx];
+                    p.bd.cpu += c;
+                    p.clock += c;
+                    if extra_load > 0 {
+                        // Dependent implicit loads inside the coalesced
+                        // dense loop feel the longer latency.
+                        let stall = c / opts.implicit_load_period * extra_load;
+                        p.bd.load += stall;
+                        p.clock += stall;
+                    }
+                    p.idx += 1;
+                }
+                Op::Read(a) => {
+                    let now = procs[pidx].clock;
+                    match mem.read(pid, a, now) {
+                        Outcome::ReadHit => {
+                            let p = &mut procs[pidx];
+                            p.bd.cpu += 1;
+                            p.clock += 1;
+                            p.reads_issued += 1;
+                            if extra_load > 0 && p.reads_issued.is_multiple_of(opts.dependent_load_period) {
+                                p.bd.load += extra_load;
+                                p.clock += extra_load;
+                            }
+                            p.idx += 1;
+                        }
+                        Outcome::ReadMiss { stall, .. } | Outcome::ReadBus { stall } => {
+                            let p = &mut procs[pidx];
+                            p.bd.cpu += 1;
+                            p.bd.load += stall;
+                            p.clock += 1 + stall;
+                            p.reads_issued += 1;
+                            if extra_load > 0 && p.reads_issued.is_multiple_of(opts.dependent_load_period) {
+                                p.bd.load += extra_load;
+                                p.clock += extra_load;
+                            }
+                            p.idx += 1;
+                        }
+                        Outcome::MergeWait { ready_at } => {
+                            // Wait out the outstanding fill, then retry
+                            // the same op (the line may have been
+                            // invalidated meanwhile).
+                            let p = &mut procs[pidx];
+                            debug_assert!(ready_at > p.clock);
+                            p.bd.merge += ready_at - p.clock;
+                            p.clock = ready_at;
+                            // idx NOT advanced: retry.
+                        }
+                        o @ (Outcome::WriteHit | Outcome::WriteMiss | Outcome::Upgrade) => {
+                            unreachable!("read returned write outcome {o:?}")
+                        }
+                    }
+                }
+                Op::Write(a) => {
+                    let now = procs[pidx].clock;
+                    let _ = mem.write(pid, a, now);
+                    let p = &mut procs[pidx];
+                    p.bd.cpu += 1;
+                    p.clock += 1;
+                    p.idx += 1;
+                }
+                Op::Barrier(id) => {
+                    assert_eq!(id, barrier_id, "barrier out of order on proc {pid}");
+                    let p = &mut procs[pidx];
+                    p.bd.cpu += 1;
+                    p.clock += 1;
+                    p.idx += 1;
+                    p.blocked_at = p.clock;
+                    if barrier_waiting.len() + 1 == n {
+                        // Last arrival: release everyone at this time.
+                        // Because the heap serves smallest clocks first,
+                        // this arrival time is the maximum.
+                        let release = p.clock;
+                        barrier_id += 1;
+                        for w in barrier_waiting.drain(..) {
+                            let wp = &mut procs[w as usize];
+                            debug_assert!(wp.blocked_at <= release);
+                            wp.bd.sync += release - wp.blocked_at;
+                            wp.clock = release;
+                            wp.status = ProcStatus::Runnable;
+                            heap.push(Reverse((release, w)));
+                        }
+                        // This processor continues immediately.
+                    } else {
+                        barrier_waiting.push(pid);
+                        procs[pidx].status = ProcStatus::InBarrier;
+                        break 'steps;
+                    }
+                }
+                Op::Lock(id) => {
+                    let lock = &mut locks[id as usize];
+                    if lock.holder.is_none() {
+                        lock.holder = Some(pid);
+                        let p = &mut procs[pidx];
+                        p.bd.cpu += 1;
+                        p.clock += 1;
+                        p.idx += 1;
+                    } else {
+                        lock.queue.push_back(pid);
+                        let p = &mut procs[pidx];
+                        p.blocked_at = p.clock;
+                        p.status = ProcStatus::WaitingLock;
+                        p.idx += 1; // acquisition completes at grant time
+                        break 'steps;
+                    }
+                }
+                Op::Unlock(id) => {
+                    {
+                        let p = &mut procs[pidx];
+                        p.bd.cpu += 1;
+                        p.clock += 1;
+                        p.idx += 1;
+                    }
+                    let release = procs[pidx].clock;
+                    let lock = &mut locks[id as usize];
+                    debug_assert_eq!(lock.holder, Some(pid), "unlock by non-holder");
+                    match lock.queue.pop_front() {
+                        Some(w) => {
+                            lock.holder = Some(w);
+                            let wp = &mut procs[w as usize];
+                            debug_assert!(wp.blocked_at <= release);
+                            wp.bd.sync += release - wp.blocked_at;
+                            // The grant itself costs the acquire cycle.
+                            wp.bd.cpu += 1;
+                            wp.clock = release + 1;
+                            wp.status = ProcStatus::Runnable;
+                            heap.push(Reverse((wp.clock, w)));
+                        }
+                        None => lock.holder = None,
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(done, n, "deadlock: {} processors never finished", n - done);
+    let exec_time = procs.iter().map(|p| p.clock).max().unwrap_or(0);
+    // The terminal barrier aligns all clocks; fold any residue (possible
+    // only for truncated traces without one) into sync wait.
+    for p in &mut procs {
+        p.bd.sync += exec_time - p.clock;
+        debug_assert_eq!(p.bd.total(), exec_time, "breakdown must sum to exec time");
+    }
+    RunStats {
+        per_proc: procs.into_iter().map(|p| p.bd).collect(),
+        mem: mem.stats,
+        exec_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coherence::config::CacheSpec;
+    use simcore::ops::TraceBuilder;
+
+    fn cfg(n_procs: u32, per_cluster: u32) -> MachineConfig {
+        MachineConfig {
+            n_procs,
+            per_cluster,
+            cache: CacheSpec::Infinite,
+            lat: coherence::LatencyTable::paper(),
+        }
+    }
+
+    #[test]
+    fn single_proc_breakdown() {
+        let mut b = TraceBuilder::new(1);
+        let a = b.space_mut().alloc_shared(64);
+        b.compute(0, 10);
+        b.read(0, a); // miss: home local (only cluster) => 30
+        b.read(0, a); // hit
+        b.write(0, a); // upgrade, free
+        let t = b.finish();
+        let rs = run(&t, cfg(1, 1));
+        let bd = rs.per_proc[0];
+        // cpu: 10 compute + 2 reads + 1 write + 1 barrier = 14
+        assert_eq!(bd.cpu, 14);
+        assert_eq!(bd.load, 30);
+        assert_eq!(bd.merge, 0);
+        assert_eq!(bd.sync, 0);
+        assert_eq!(rs.exec_time, 44);
+    }
+
+    #[test]
+    fn barrier_sync_accounting() {
+        let mut b = TraceBuilder::new(2);
+        b.compute(0, 5);
+        b.compute(1, 100);
+        b.barrier_all();
+        let t = b.finish();
+        let rs = run(&t, cfg(2, 1));
+        // Proc 0 arrives at 6 (5 compute + 1 barrier cycle), proc 1 at
+        // 101; release at 101.
+        assert_eq!(rs.per_proc[0].sync, 95);
+        assert_eq!(rs.per_proc[1].sync, 0);
+        assert_eq!(rs.exec_time, 102); // + final barrier cycle
+        for bd in &rs.per_proc {
+            assert_eq!(bd.total(), rs.exec_time);
+        }
+    }
+
+    #[test]
+    fn lock_contention_fifo_and_sync() {
+        let mut b = TraceBuilder::new(3);
+        let l = b.new_lock();
+        for p in 0..3 {
+            b.compute(p, p as u64); // stagger arrival: 0, 1, 2
+            b.lock(p, l);
+            b.compute(p, 50); // critical section
+            b.unlock(p, l);
+        }
+        let t = b.finish();
+        let rs = run(&t, cfg(3, 1));
+        // Critical sections serialize: three 50-cycle sections plus
+        // acquire/release overhead must exceed 150 cycles end to end.
+        assert!(rs.exec_time > 150, "exec {} not serialized", rs.exec_time);
+        // Everyone waited: the two lock waiters on the lock, the first
+        // holder at the final barrier.
+        for bd in &rs.per_proc {
+            assert!(bd.sync > 0);
+            assert_eq!(bd.total(), rs.exec_time);
+        }
+        // FIFO grant: exec time is exactly the fully serialized span.
+        // proc0 unlocks at 52; proc1 granted (clock 53), unlocks at 104;
+        // proc2 granted (clock 105), unlocks at 156; final barrier +1.
+        assert_eq!(rs.exec_time, 157);
+    }
+
+    #[test]
+    fn merge_stall_charged_to_cluster_mate() {
+        // Two procs in one cluster read the same cold line back to back.
+        let mut b = TraceBuilder::new(2);
+        let a = b.space_mut().alloc_shared(64);
+        b.read(0, a);
+        b.compute(1, 5); // proc 1 slightly behind
+        b.read(1, a);
+        let t = b.finish();
+        let rs = run(&t, cfg(2, 2));
+        assert_eq!(rs.mem.read_misses, 1, "one miss for the cluster");
+        assert_eq!(rs.mem.merge_stalls, 1);
+        assert!(rs.per_proc[1].merge > 0, "follower merge-stalled");
+        assert_eq!(rs.per_proc[0].merge, 0);
+    }
+
+    #[test]
+    fn clustering_reduces_exec_time_on_shared_reads() {
+        // 4 procs all read the same 64-line region; clustered they
+        // prefetch for each other.
+        let build = || {
+            let mut b = TraceBuilder::new(4);
+            let base = b.space_mut().alloc_shared(64 * 64);
+            for p in 0..4u32 {
+                b.compute(p, p as u64 * 200); // stagger so merges resolve
+                for l in 0..64u64 {
+                    b.read(p, base + l * 64);
+                    b.compute(p, 10);
+                }
+            }
+            b.finish()
+        };
+        let t = build();
+        let solo = run(&t, cfg(4, 1));
+        let clustered = run(&t, cfg(4, 4));
+        assert!(
+            clustered.exec_time < solo.exec_time,
+            "clustered {} !< unclustered {}",
+            clustered.exec_time,
+            solo.exec_time
+        );
+        assert!(clustered.mem.read_misses < solo.mem.read_misses);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut b = TraceBuilder::new(4);
+        let a = b.space_mut().alloc_shared(64 * 32);
+        let l = b.new_lock();
+        for p in 0..4u32 {
+            for i in 0..32u64 {
+                b.read(p, a + ((i * 7 + p as u64 * 13) % 32) * 64);
+                if i % 8 == 0 {
+                    b.lock(p, l);
+                    b.write(p, a);
+                    b.unlock(p, l);
+                }
+            }
+        }
+        b.barrier_all();
+        let t = b.finish();
+        let r1 = run(&t, cfg(4, 2));
+        let r2 = run(&t, cfg(4, 2));
+        assert_eq!(r1.exec_time, r2.exec_time);
+        assert_eq!(r1.mem, r2.mem);
+    }
+
+    #[test]
+    fn extra_load_latency_slows_execution() {
+        let mut b = TraceBuilder::new(1);
+        let a = b.space_mut().alloc_shared(64 * 16);
+        for i in 0..160u64 {
+            b.read(0, a + (i % 16) * 64);
+            b.compute(0, 2);
+        }
+        let t = b.finish();
+        let base = run(&t, cfg(1, 1));
+        let slow = run_with(
+            &t,
+            cfg(1, 1),
+            EngineOptions {
+                load_latency: 4,
+                dependent_load_period: 4,
+                implicit_load_period: 18,
+            },
+        );
+        assert!(slow.exec_time > base.exec_time);
+        // 160 reads, every 4th dependent => 40 * 3 extra cycles.
+        assert_eq!(slow.exec_time, base.exec_time + 40 * 3);
+    }
+
+    #[test]
+    fn merge_retry_observes_invalidation() {
+        // Cluster 0 (procs 0,1) reads; while pending, cluster 1 (proc 2)
+        // writes, invalidating the pending line. Proc 1's merged read
+        // must re-miss rather than silently hit stale data.
+        let mut b = TraceBuilder::new(4);
+        let a = b.space_mut().alloc_shared(64 * 4);
+        b.read(0, a); // t=0 miss, pending until ~30 or 100
+        b.compute(1, 2);
+        b.read(1, a); // merges at t=2
+        b.compute(2, 10);
+        b.write(2, a); // t=10: invalidates cluster 0's pending line
+        let t = b.finish();
+        let rs = run(&t, cfg(4, 2));
+        // Proc 1 retried and missed again: at least 2 read misses total.
+        assert!(
+            rs.mem.read_misses >= 2,
+            "expected retry to re-miss, got {:?}",
+            rs.mem
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_proc_count_panics() {
+        let b = TraceBuilder::new(2);
+        let t = b.finish();
+        let _ = run(&t, cfg(4, 1));
+    }
+
+    #[test]
+    fn empty_trace_runs() {
+        let b = TraceBuilder::new(3);
+        let t = b.finish(); // just the final barrier
+        let rs = run(&t, cfg(3, 1));
+        assert_eq!(rs.exec_time, 1);
+        assert_eq!(rs.mem.total_misses(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Writing your own workload: build a trace directly with
+//! [`simcore::TraceBuilder`] and run it through the clustered machine.
+//!
+//! The (deliberately simple) workload is a producer/consumer pipeline:
+//! even processors produce blocks that their odd neighbors consume —
+//! a pattern clustering captures perfectly when producer and consumer
+//! share a cluster.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use cluster_study::report::render_sweep;
+use cluster_study::study::sweep_clusters;
+use coherence::config::CacheSpec;
+use simcore::ops::TraceBuilder;
+
+const PROCS: usize = 64;
+const BLOCK_LINES: u64 = 64; // 4 KB blocks
+const ROUNDS: usize = 20;
+
+fn main() {
+    let mut b = TraceBuilder::new(PROCS);
+
+    // One block per producer, allocated at the producer.
+    let blocks: Vec<u64> = (0..PROCS / 2)
+        .map(|i| {
+            b.space_mut()
+                .alloc_owned(BLOCK_LINES * 64, (2 * i) as u32)
+        })
+        .collect();
+    let lock = b.new_lock();
+    let counter = b.space_mut().alloc_shared(64);
+
+    for _round in 0..ROUNDS {
+        // Producers (even procs) write their block.
+        for (i, &blk) in blocks.iter().enumerate() {
+            let p = (2 * i) as u32;
+            b.compute(p, 2000);
+            b.write_span(p, blk, BLOCK_LINES * 64);
+        }
+        b.barrier_all();
+        // Consumers (odd procs) read the neighbor's block and bump a
+        // shared counter under a lock.
+        for (i, &blk) in blocks.iter().enumerate() {
+            let p = (2 * i + 1) as u32;
+            b.read_span(p, blk, BLOCK_LINES * 64);
+            b.compute(p, 2000);
+            b.lock(p, lock);
+            b.read(p, counter);
+            b.write(p, counter);
+            b.unlock(p, lock);
+        }
+        b.barrier_all();
+    }
+    let trace = b.finish();
+    trace.validate().expect("structurally valid trace");
+
+    let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+    print!(
+        "{}",
+        render_sweep("producer/consumer pipeline", &sweep, None)
+    );
+    println!(
+        "\nWith 2+ processors per cluster the producer-consumer pair shares\n\
+         a cache: the hand-off that cost a remote 3-hop miss per line now\n\
+         hits in the cluster cache."
+    );
+}

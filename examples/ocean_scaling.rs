@@ -1,0 +1,48 @@
+//! Ocean grid-size study: how the clustering benefit grows as the
+//! problem shrinks relative to the machine (the paper's Figure 2 vs
+//! Figure 3 comparison, extended to a sweep).
+//!
+//! Near-neighbor communication is a perimeter-to-area ratio, so smaller
+//! grids communicate proportionally more — and clustering, which
+//! captures the left/right border exchange inside the cluster, helps
+//! proportionally more. The flip side the paper notes: load imbalance
+//! and synchronization grow too.
+//!
+//! ```text
+//! cargo run --release --example ocean_scaling
+//! ```
+
+use cluster_study::study::sweep_clusters;
+use coherence::config::CacheSpec;
+use splash::{ocean::Ocean, SplashApp};
+
+fn main() {
+    println!("Ocean: normalized 8-way-cluster execution time vs grid size\n");
+    println!(
+        "  {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "grid", "refs", "1p", "2p", "4p", "8p"
+    );
+    for n_interior in [32usize, 64, 128, 256] {
+        let app = Ocean {
+            n_interior,
+            steps: 2,
+        };
+        let trace = app.generate(64);
+        let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+        let totals = sweep.normalized_totals();
+        print!(
+            "  {:>10} {:>10}",
+            format!("{0}x{0}", n_interior + 2),
+            trace.total_refs()
+        );
+        for (_, t) in totals {
+            print!(" {t:>8.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nSmaller grids benefit more from clustering (communication is a\n\
+         larger share), exactly as the paper's Figure 3 shows for 66x66 vs\n\
+         Figure 2's 130x130."
+    );
+}

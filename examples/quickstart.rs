@@ -1,0 +1,39 @@
+//! Quickstart: simulate one application on a clustered 64-processor
+//! machine and print the paper-style normalized breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster_study::report::render_sweep;
+use cluster_study::study::sweep_clusters;
+use coherence::config::CacheSpec;
+use splash::{ocean::Ocean, SplashApp};
+
+fn main() {
+    // 1. Pick a workload and generate its 64-processor reference trace.
+    //    The generator runs the real algorithm (here: a multigrid ocean
+    //    solver) and records every shared-memory access.
+    let app = Ocean::paper();
+    let trace = app.generate(64);
+    println!(
+        "{}: {} ops, {} shared refs, {} barriers",
+        app.name(),
+        trace.total_ops(),
+        trace.total_refs(),
+        trace.n_barriers,
+    );
+
+    // 2. Replay it under cluster sizes 1/2/4/8 with infinite caches
+    //    (the paper's Section 4 experiment).
+    let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+
+    // 3. Report execution time normalized to the unclustered machine,
+    //    decomposed into cpu / load / merge / sync.
+    print!("{}", render_sweep("ocean, infinite caches", &sweep, None));
+
+    // 4. The same, at 16 KB per processor (Section 5): capacity effects
+    //    and working-set overlap enter the picture.
+    let sweep16 = sweep_clusters(&trace, CacheSpec::PerProcBytes(16 * 1024));
+    print!("{}", render_sweep("ocean, 16KB/processor", &sweep16, None));
+}

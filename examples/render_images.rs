@@ -1,0 +1,51 @@
+//! The graphics workloads are real renderers: this example writes the
+//! images they compute (the same computations whose memory traces the
+//! study replays) to `raytrace.pgm` and `volrend.pgm`.
+//!
+//! ```text
+//! cargo run --release --example render_images
+//! ```
+
+use splash::raytrace::{balls_scene, Raytrace, SceneOctree};
+use splash::volrend::{MinMaxOctree, Volrend, Volume};
+
+fn write_pgm(path: &str, w: usize, pixels: &[f32]) -> std::io::Result<()> {
+    let max = pixels.iter().cloned().fold(1e-6f32, f32::max);
+    let mut data = format!("P2\n{w} {w}\n255\n");
+    for row in pixels.chunks(w) {
+        for &p in row {
+            data.push_str(&format!("{} ", ((p / max) * 255.0) as u8));
+        }
+        data.push('\n');
+    }
+    std::fs::write(path, data)
+}
+
+fn main() -> std::io::Result<()> {
+    let rt = Raytrace {
+        image: 128,
+        balls_depth: 3,
+        max_bounce: 3,
+    };
+    let tree = SceneOctree::build(balls_scene(rt.balls_depth));
+    let img = rt.render(&tree, None);
+    write_pgm("raytrace.pgm", rt.image, &img)?;
+    println!(
+        "raytrace.pgm: {}x{} image of {} spheres through {} octree nodes",
+        rt.image,
+        rt.image,
+        tree.spheres().len(),
+        tree.n_nodes()
+    );
+
+    let vr = Volrend { vol: 64, image: 128 };
+    let vol = Volume::head(vr.vol);
+    let oct = MinMaxOctree::build(&vol, 4);
+    let img = vr.render(&vol, Some(&oct), None);
+    write_pgm("volrend.pgm", vr.image, &img)?;
+    println!(
+        "volrend.pgm: {}x{} rendering of the synthetic {}³ head volume",
+        vr.image, vr.image, vr.vol
+    );
+    Ok(())
+}

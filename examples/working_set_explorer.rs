@@ -1,0 +1,42 @@
+//! Working-set explorer: sweep the per-processor cache size for one
+//! application and watch the miss-rate knee — then watch clustering
+//! move the knee by overlapping the working sets (the paper's Section
+//! 5 mechanism).
+//!
+//! ```text
+//! cargo run --release --example working_set_explorer [app]
+//! ```
+
+use cluster_study::apps::trace_for;
+use cluster_study::study::run_config;
+use coherence::config::CacheSpec;
+use splash::ProblemSize;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "barnes".into());
+    let trace = trace_for(&app, ProblemSize::Paper, 64);
+    println!("{app}: read miss rate (%) vs per-processor cache size\n");
+    println!(
+        "  {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cache", "1p", "2p", "4p", "8p"
+    );
+    for kb in [2u64, 4, 8, 16, 32, 64] {
+        print!("  {:>7}k", kb);
+        for per_cluster in [1u32, 2, 4, 8] {
+            let rs = run_config(&trace, per_cluster, CacheSpec::PerProcBytes(kb * 1024));
+            print!(" {:>8.2}", rs.mem.read_miss_rate() * 100.0);
+        }
+        println!();
+    }
+    let inf = run_config(&trace, 1, CacheSpec::Infinite);
+    println!(
+        "  {:>8} {:>8.2} (compulsory + coherence misses only)",
+        "inf",
+        inf.mem.read_miss_rate() * 100.0
+    );
+    println!(
+        "\nReading across a row: the same total cache per processor, shared\n\
+         by more processors, misses less once the overlapped working set\n\
+         fits — the knee shifts left with cluster size."
+    );
+}

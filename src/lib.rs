@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full clustered-SMP reproduction stack.
+//!
+//! See the individual crates for details:
+//! - [`simcore`]: caches, address space, trace ops, statistics.
+//! - [`coherence`]: the clustered directory-based memory system (Fig. 1).
+//! - [`tango`]: the event-driven multiprocessor timing engine.
+//! - [`splash`]: the nine SPLASH-style applications (Table 2).
+//! - [`cluster_study`]: the clustering study itself (Sections 4-6).
+pub use cluster_study;
+pub use coherence;
+pub use simcore;
+pub use splash;
+pub use tango;

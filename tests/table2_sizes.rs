@@ -1,0 +1,44 @@
+//! The suite's paper configurations must match the paper's Table 2.
+
+use splash::{suite, ProblemSize};
+
+#[test]
+fn suite_has_nine_uniquely_named_apps() {
+    let apps = suite(ProblemSize::Paper);
+    assert_eq!(apps.len(), 9);
+    let names: std::collections::HashSet<_> = apps.iter().map(|a| a.name()).collect();
+    assert_eq!(names.len(), 9);
+}
+
+#[test]
+fn paper_sizes_match_table_2() {
+    assert_eq!(splash::barnes::Barnes::paper().n_bodies, 8192);
+    assert_eq!(splash::barnes::Barnes::paper().theta, 1.0);
+    assert_eq!(splash::fmm::Fmm::paper().n_particles, 8192);
+    assert_eq!(splash::fft::Fft::paper().n_points, 64 * 1024);
+    assert_eq!(splash::lu::Lu::paper().n, 512);
+    assert_eq!(splash::lu::Lu::paper().b, 16);
+    assert_eq!(splash::mp3d::Mp3d::paper().n_particles, 50_000);
+    // "130-by-130 grids" = 128 interior + border.
+    assert_eq!(splash::ocean::Ocean::paper().n_interior, 128);
+    assert_eq!(splash::ocean::Ocean::paper_small_grid().n_interior, 64);
+    assert_eq!(splash::radix::Radix::paper().n_keys, 256 * 1024);
+    assert_eq!(splash::radix::Radix::paper().radix, 256);
+    // Balls4: depth-4 fractal = 7381 spheres.
+    assert_eq!(
+        splash::raytrace::balls_scene(splash::raytrace::Raytrace::paper().balls_depth).len(),
+        7381
+    );
+    assert_eq!(splash::volrend::Volrend::paper().vol, 128);
+}
+
+#[test]
+fn small_sizes_support_the_full_64_processor_machine() {
+    // Every small configuration must still generate a valid trace for
+    // the paper's 64-processor machine (CI sweeps rely on this).
+    for app in suite(ProblemSize::Small) {
+        let t = app.generate(64);
+        t.validate()
+            .unwrap_or_else(|e| panic!("{} small/64p: {e}", app.name()));
+    }
+}
