@@ -1,94 +1,77 @@
-//! Criterion benches that exercise each paper figure/table pipeline at
-//! reduced problem size — one bench per table/figure, so `cargo bench`
-//! covers the full evaluation surface quickly. The paper-size
-//! regenerators live in `src/bin/` (fig2_infinite, fig3_ocean_small,
-//! fig4..fig8, table3..table7); run those for the actual
-//! reproduction numbers.
+//! Benches that exercise each paper figure/table pipeline at reduced
+//! problem size — one bench per table/figure, so `cargo bench` covers
+//! the full evaluation surface quickly. The paper-size regenerators
+//! live in `src/bin/` (fig2_infinite, fig3_ocean_small, fig4..fig8,
+//! table3..table7); run those for the actual reproduction numbers.
+//!
+//! Built on the in-tree `cluster_bench::timer` (the workspace is
+//! hermetic; Criterion is a registry dependency and was dropped).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use cluster_bench::timer::bench;
 use cluster_study::apps::trace_for;
 use cluster_study::study::{run_config, sweep_clusters};
 use cluster_study::{bank_conflict_probability, measure_latency_factors};
 use coherence::config::CacheSpec;
 use splash::ProblemSize;
 
-fn fig2_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_infinite_small");
-    g.sample_size(10);
+fn fig2_benches() {
     for app in cluster_study::apps::FIG2_APPS {
         let trace = trace_for(app, ProblemSize::Small, 16);
-        g.bench_function(app, |b| {
-            b.iter(|| black_box(sweep_clusters(&trace, CacheSpec::Infinite)))
+        bench(&format!("fig2_infinite_small/{app}"), 1, 10, || {
+            black_box(sweep_clusters(&trace, CacheSpec::Infinite))
         });
     }
-    g.finish();
 }
 
-fn fig3_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_ocean_small_grid");
-    g.sample_size(10);
+fn fig3_bench() {
     let trace = cluster_study::apps::ocean_small_grid_trace(ProblemSize::Small, 16);
-    g.bench_function("ocean66", |b| {
-        b.iter(|| black_box(sweep_clusters(&trace, CacheSpec::Infinite)))
+    bench("fig3_ocean_small_grid/ocean66", 1, 10, || {
+        black_box(sweep_clusters(&trace, CacheSpec::Infinite))
     });
-    g.finish();
 }
 
-fn capacity_figure_benches(c: &mut Criterion) {
+fn capacity_figure_benches() {
     // Figures 4-8: one capacity point per app keeps the bench quick
     // while touching the whole finite-cache path.
-    let mut g = c.benchmark_group("fig4_to_8_capacity_small");
-    g.sample_size(10);
     for app in cluster_study::apps::CAPACITY_APPS {
         let trace = trace_for(app, ProblemSize::Small, 16);
-        g.bench_function(app, |b| {
-            b.iter(|| black_box(run_config(&trace, 4, CacheSpec::PerProcBytes(4096))))
+        bench(&format!("fig4_to_8_capacity_small/{app}"), 1, 10, || {
+            black_box(run_config(&trace, 4, CacheSpec::PerProcBytes(4096)))
         });
     }
-    g.finish();
 }
 
-fn table4_bench(c: &mut Criterion) {
-    c.bench_function("table4_conflict_model", |b| {
-        b.iter(|| {
-            for n in [1u32, 2, 4, 8] {
-                black_box(bank_conflict_probability(n, 4 * n.max(1)));
-            }
-        })
+fn table4_bench() {
+    bench("table4_conflict_model", 3, 20, || {
+        for n in [1u32, 2, 4, 8] {
+            black_box(bank_conflict_probability(n, 4 * n.max(1)));
+        }
     });
 }
 
-fn table5_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_factors_small");
-    g.sample_size(10);
+fn table5_bench() {
     let trace = trace_for("lu", ProblemSize::Small, 16);
-    g.bench_function("lu", |b| b.iter(|| black_box(measure_latency_factors(&trace))));
-    g.finish();
-}
-
-fn table6_7_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table6_7_costed_small");
-    g.sample_size(10);
-    let trace = trace_for("barnes", ProblemSize::Small, 16);
-    g.bench_function("barnes_4kb_costed", |b| {
-        b.iter(|| {
-            let sweep = sweep_clusters(&trace, CacheSpec::PerProcBytes(4096));
-            let f = measure_latency_factors(&trace);
-            black_box(cluster_study::report::costed_relative_times(&sweep, &f))
-        })
+    bench("table5_factors_small/lu", 1, 10, || {
+        black_box(measure_latency_factors(&trace))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    fig2_benches,
-    fig3_bench,
-    capacity_figure_benches,
-    table4_bench,
-    table5_bench,
-    table6_7_bench
-);
-criterion_main!(benches);
+fn table6_7_bench() {
+    let trace = trace_for("barnes", ProblemSize::Small, 16);
+    bench("table6_7_costed_small/barnes_4kb_costed", 1, 10, || {
+        let sweep = sweep_clusters(&trace, CacheSpec::PerProcBytes(4096));
+        let f = measure_latency_factors(&trace);
+        black_box(cluster_study::report::costed_relative_times(&sweep, &f))
+    });
+}
+
+fn main() {
+    fig2_benches();
+    fig3_bench();
+    capacity_figure_benches();
+    table4_bench();
+    table5_bench();
+    table6_7_bench();
+}

@@ -1,82 +1,71 @@
-//! Criterion microbenchmarks of the simulator substrate itself: cache
+//! Microbenchmarks of the simulator substrate itself: cache
 //! operations, coherence protocol throughput, and engine replay speed.
 //! These measure the *harness*, not the simulated machine — they exist
 //! so regressions in simulator performance are caught.
+//!
+//! Built on the in-tree `cluster_bench::timer` (the workspace is
+//! hermetic; Criterion is a registry dependency and was dropped).
+//! Compare the printed medians across commits.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use cluster_bench::timer::{bench, report_throughput};
 use coherence::config::CacheSpec;
 use coherence::{LatencyTable, MachineConfig, MemorySystem};
 use simcore::cache::FullLruCache;
 use simcore::ops::TraceBuilder;
 use simcore::space::AddressSpace;
 
-fn bench_lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru_cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("hit_heavy_10k", |b| {
-        let mut cache = FullLruCache::new(256);
-        for l in 0..256u64 {
-            cache.insert(l, ());
+fn bench_lru() {
+    let mut cache = FullLruCache::new(256);
+    for l in 0..256u64 {
+        cache.insert(l, ());
+    }
+    let s = bench("lru_cache/hit_heavy_10k", 3, 20, || {
+        for i in 0..10_000u64 {
+            black_box(cache.get_mut(i % 256));
         }
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                black_box(cache.get_mut(i % 256));
+    });
+    report_throughput(&s, 10_000);
+
+    let s = bench("lru_cache/evict_heavy_10k", 3, 20, || {
+        let mut cache = FullLruCache::new(64);
+        for i in 0..10_000u64 {
+            if !cache.contains(i % 1024) {
+                cache.insert(i % 1024, ());
             }
-        });
+        }
+        cache
     });
-    g.bench_function("evict_heavy_10k", |b| {
-        b.iter_batched(
-            || FullLruCache::new(64),
-            |mut cache| {
-                for i in 0..10_000u64 {
-                    if !cache.contains(i % 1024) {
-                        cache.insert(i % 1024, ());
-                    }
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+    report_throughput(&s, 10_000);
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coherence");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("mixed_traffic_10k", |b| {
-        let mut space = AddressSpace::new();
-        let base = space.alloc_shared(64 * 1024);
-        let cfg = MachineConfig {
-            n_procs: 64,
-            per_cluster: 4,
-            cache: CacheSpec::PerProcBytes(4096),
-            lat: LatencyTable::paper(),
-        };
-        b.iter_batched(
-            || MemorySystem::new(cfg, &space),
-            |mut m| {
-                for i in 0..10_000u64 {
-                    let p = (i % 64) as u32;
-                    let addr = base + (i * 97 % 1024) * 64;
-                    if i % 5 == 0 {
-                        black_box(m.write(p, addr, i));
-                    } else {
-                        black_box(m.read(p, addr, i));
-                    }
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_protocol() {
+    let mut space = AddressSpace::new();
+    let base = space.alloc_shared(64 * 1024);
+    let cfg = MachineConfig {
+        n_procs: 64,
+        per_cluster: 4,
+        cache: CacheSpec::PerProcBytes(4096),
+        lat: LatencyTable::paper(),
+    };
+    let s = bench("coherence/mixed_traffic_10k", 3, 20, || {
+        let mut m = MemorySystem::new(cfg, &space);
+        for i in 0..10_000u64 {
+            let p = (i % 64) as u32;
+            let addr = base + (i * 97 % 1024) * 64;
+            if i % 5 == 0 {
+                black_box(m.write(p, addr, i));
+            } else {
+                black_box(m.read(p, addr, i));
+            }
+        }
+        m
     });
-    g.finish();
+    report_throughput(&s, 10_000);
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn bench_engine() {
     // A 16-processor synthetic trace of ~100k ops.
     let mut b = TraceBuilder::new(16);
     let base = b.space_mut().alloc_shared(64 * 2048);
@@ -90,33 +79,34 @@ fn bench_engine(c: &mut Criterion) {
         }
     }
     let trace = b.finish();
-    g.throughput(Throughput::Elements(trace.total_ops()));
+    let total_ops = trace.total_ops();
     let machine = MachineConfig {
         n_procs: 16,
         per_cluster: 4,
         cache: CacheSpec::PerProcBytes(8192),
         lat: LatencyTable::paper(),
     };
-    g.bench_function("replay_100k_ops", |bch| {
-        bch.iter(|| black_box(tango::run(&trace, machine)));
+    let s = bench("engine/replay_100k_ops", 2, 10, || {
+        black_box(tango::run(&trace, machine))
     });
-    g.finish();
+    report_throughput(&s, total_ops);
 }
 
-fn bench_trace_gen(c: &mut Criterion) {
+fn bench_trace_gen() {
     use splash::SplashApp;
-    let mut g = c.benchmark_group("trace_gen");
-    g.sample_size(10);
-    g.bench_function("lu_small_16p", |b| {
-        let app = splash::lu::Lu::small();
-        b.iter(|| black_box(app.generate(16)));
+    let lu = splash::lu::Lu::small();
+    bench("trace_gen/lu_small_16p", 2, 10, || {
+        black_box(lu.generate(16))
     });
-    g.bench_function("ocean_small_16p", |b| {
-        let app = splash::ocean::Ocean::small();
-        b.iter(|| black_box(app.generate(16)));
+    let ocean = splash::ocean::Ocean::small();
+    bench("trace_gen/ocean_small_16p", 2, 10, || {
+        black_box(ocean.generate(16))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_lru, bench_protocol, bench_engine, bench_trace_gen);
-criterion_main!(benches);
+fn main() {
+    bench_lru();
+    bench_protocol();
+    bench_engine();
+    bench_trace_gen();
+}

@@ -25,13 +25,36 @@ fn main() {
         if !cli.wants(app) {
             continue;
         }
-        let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
+        let trace = timed(&format!("{app} gen"), || {
+            trace_for(app, cli.size, cli.procs)
+        });
         println!("{app}:");
-        println!("  {:<8} {:>8} {:>8} {:>8} {:>8}", "assoc", "1p", "2p", "4p", "8p");
+        println!(
+            "  {:<8} {:>8} {:>8} {:>8} {:>8}",
+            "assoc", "1p", "2p", "4p", "8p"
+        );
         let specs = [
-            ("1-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 1 }),
-            ("2-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 2 }),
-            ("4-way", CacheSpec::PerProcSetAssoc { bytes: 4096, ways: 4 }),
+            (
+                "1-way",
+                CacheSpec::PerProcSetAssoc {
+                    bytes: 4096,
+                    ways: 1,
+                },
+            ),
+            (
+                "2-way",
+                CacheSpec::PerProcSetAssoc {
+                    bytes: 4096,
+                    ways: 2,
+                },
+            ),
+            (
+                "4-way",
+                CacheSpec::PerProcSetAssoc {
+                    bytes: 4096,
+                    ways: 4,
+                },
+            ),
             ("full", CacheSpec::PerProcBytes(4096)),
         ];
         // Normalize everything to the fully-associative 1p run so the

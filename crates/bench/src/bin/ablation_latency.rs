@@ -20,8 +20,15 @@ fn main() {
         if !cli.wants(app) {
             continue;
         }
-        let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
-        for (name, scale) in [("0.5x remote", 0.5f64), ("1x (paper)", 1.0), ("2x remote", 2.0), ("4x remote", 4.0)] {
+        let trace = timed(&format!("{app} gen"), || {
+            trace_for(app, cli.size, cli.procs)
+        });
+        for (name, scale) in [
+            ("0.5x remote", 0.5f64),
+            ("1x (paper)", 1.0),
+            ("2x remote", 2.0),
+            ("4x remote", 4.0),
+        ] {
             let paper = LatencyTable::paper();
             let lat = LatencyTable {
                 local_clean: paper.local_clean,

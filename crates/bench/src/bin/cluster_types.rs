@@ -30,7 +30,9 @@ fn main() {
         if !cli.wants(app) {
             continue;
         }
-        let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
+        let trace = timed(&format!("{app} gen"), || {
+            trace_for(app, cli.size, cli.procs)
+        });
         for bytes in [4096u64, 16384] {
             // Normalize both organizations to the *unclustered private
             // cache* machine: that is the build-nothing baseline both

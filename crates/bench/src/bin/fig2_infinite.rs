@@ -5,9 +5,9 @@
 
 use cluster_bench::{timed, Cli};
 use cluster_study::apps::{trace_for, FIG2_APPS};
+use cluster_study::paper_data;
 use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
 use cluster_study::study::sweep_clusters;
-use cluster_study::paper_data;
 use coherence::config::CacheSpec;
 
 fn main() {

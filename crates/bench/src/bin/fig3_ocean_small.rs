@@ -18,7 +18,9 @@ fn main() {
     let trace = timed("ocean-66 gen", || {
         ocean_small_grid_trace(cli.size, cli.procs)
     });
-    let sweep = timed("ocean-66 sim", || sweep_clusters(&trace, CacheSpec::Infinite));
+    let sweep = timed("ocean-66 sim", || {
+        sweep_clusters(&trace, CacheSpec::Infinite)
+    });
     let paper = paper_data::fig3_ocean_small_totals();
     print!("{}", render_sweep("ocean (66x66)", &sweep, Some(paper)));
     let totals = sweep.normalized_totals();

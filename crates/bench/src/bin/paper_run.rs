@@ -1,0 +1,104 @@
+//! The full paper study in one driver: every application × cluster
+//! sizes {1,2,4,8} × caches {4K,16K,32K,∞}, fanned out over std
+//! threads (`--jobs`). Prints the normalized execution-time totals per
+//! app plus per-run wall-clock and the aggregate speedup (sum of
+//! per-run times ÷ elapsed wall), so the benefit of the parallel
+//! runner is directly visible. `results/paper_run_small.txt` holds a
+//! recorded run.
+
+use cluster_bench::Cli;
+use cluster_study::apps::{trace_for, FIG2_APPS};
+use cluster_study::parallel::run_items_timed;
+use cluster_study::study::{run_config, ClusterSweep, CLUSTER_SIZES, FINITE_CACHES};
+use coherence::config::CacheSpec;
+use simcore::ops::Trace;
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse();
+    let apps: Vec<&str> = FIG2_APPS.iter().copied().filter(|a| cli.wants(a)).collect();
+    println!(
+        "paper_run: {} apps x {} cluster sizes x 4 caches, {} procs, {} sizes, {} jobs\n",
+        apps.len(),
+        CLUSTER_SIZES.len(),
+        cli.procs,
+        cli.size_label(),
+        cli.jobs
+    );
+
+    let wall = Instant::now();
+
+    // Trace generation fans out per app.
+    let traces: Vec<(String, Trace, std::time::Duration)> =
+        run_items_timed(&apps, cli.jobs, |&a| {
+            (a.to_string(), trace_for(a, cli.size, cli.procs))
+        })
+        .into_iter()
+        .map(|((name, trace), wall)| (name, trace, wall))
+        .collect();
+    let gen_wall = wall.elapsed();
+
+    // One flat (app × cache × cluster) item pool for the simulations.
+    let caches: Vec<CacheSpec> = FINITE_CACHES
+        .iter()
+        .map(|&b| CacheSpec::PerProcBytes(b))
+        .chain([CacheSpec::Infinite])
+        .collect();
+    let items: Vec<(usize, CacheSpec, u32)> = (0..traces.len())
+        .flat_map(|t| {
+            caches
+                .iter()
+                .flat_map(move |&cache| CLUSTER_SIZES.iter().map(move |&c| (t, cache, c)))
+        })
+        .collect();
+    let sim_start = Instant::now();
+    let runs = run_items_timed(&items, cli.jobs, |&(t, cache, c)| {
+        (c, run_config(&traces[t].1, c, cache))
+    });
+    let sim_wall = sim_start.elapsed();
+
+    // Report, grouped back app-by-app in input order.
+    let per_trace = caches.len() * CLUSTER_SIZES.len();
+    let mut busy = std::time::Duration::ZERO;
+    for (t, (name, _, gen_time)) in traces.iter().enumerate() {
+        println!("== {name} ==  (trace gen {:.2}s)", gen_time.as_secs_f64());
+        for (i, &cache) in caches.iter().enumerate() {
+            let at = t * per_trace + i * CLUSTER_SIZES.len();
+            let slice = &runs[at..at + CLUSTER_SIZES.len()];
+            let sweep = ClusterSweep {
+                cache,
+                runs: slice.iter().map(|((c, rs), _)| (*c, rs.clone())).collect(),
+            };
+            let totals = sweep.normalized_totals();
+            let times: Vec<String> = slice
+                .iter()
+                .map(|(_, w)| format!("{:.2}s", w.as_secs_f64()))
+                .collect();
+            busy += slice.iter().map(|(_, w)| *w).sum::<std::time::Duration>();
+            println!(
+                "  {:<5} total {}   wall [{}]",
+                sweep.cache.label(),
+                totals
+                    .iter()
+                    .map(|(c, v)| format!("{c}p {v:6.1}"))
+                    .collect::<Vec<_>>()
+                    .join("  "),
+                times.join(", ")
+            );
+        }
+        println!();
+    }
+
+    let total_wall = wall.elapsed();
+    println!(
+        "timing: {} simulations, cumulative run time {:.2}s, sim wall {:.2}s \
+         (speedup {:.2}x on {} jobs), gen wall {:.2}s, total {:.2}s",
+        runs.len(),
+        busy.as_secs_f64(),
+        sim_wall.as_secs_f64(),
+        busy.as_secs_f64() / sim_wall.as_secs_f64().max(1e-9),
+        cli.jobs,
+        gen_wall.as_secs_f64(),
+        total_wall.as_secs_f64()
+    );
+}

@@ -7,14 +7,16 @@ use coherence::config::CacheSpec;
 fn main() {
     let cli = Cli::parse();
     for app in cluster_study::apps::FIG2_APPS {
-        if !cli.wants(app) { continue; }
+        if !cli.wants(app) {
+            continue;
+        }
         let trace = trace_for(app, cli.size, cli.procs);
         let inf = run_config(&trace, 1, CacheSpec::Infinite).exec_time as f64;
         print!("{app:<10} inf=1.0 ");
         for s in [4096u64, 16384, 32768] {
             for c in [1u32, 2, 4, 8] {
                 let e = run_config(&trace, c, CacheSpec::PerProcBytes(s)).exec_time as f64;
-                print!("{}k/{c}p={:.2} ", s/1024, e/inf);
+                print!("{}k/{c}p={:.2} ", s / 1024, e / inf);
             }
         }
         println!();

@@ -1,7 +1,11 @@
 //! Shared helpers for the benchmark-harness binaries (one per paper
-//! table/figure).
+//! table/figure): CLI parsing, the capacity-figure driver, and a
+//! zero-dependency micro-bench timer (`cargo bench` previously used
+//! Criterion, which cannot be fetched in the offline hermetic build).
 
 use splash::ProblemSize;
+
+pub mod timer;
 
 /// Options common to every regenerator binary.
 #[derive(Debug, Clone)]
@@ -12,6 +16,9 @@ pub struct Cli {
     pub procs: usize,
     /// Optional application filter (`--apps lu,fft`).
     pub apps: Option<Vec<String>>,
+    /// Simulation fan-out threads (`--jobs N`; default `STUDY_JOBS`
+    /// or all cores). `--jobs 1` forces the serial path.
+    pub jobs: usize,
 }
 
 impl Cli {
@@ -20,6 +27,7 @@ impl Cli {
         let mut size = ProblemSize::Paper;
         let mut procs = 64usize;
         let mut apps = None;
+        let mut jobs = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -35,11 +43,24 @@ impl Cli {
                     let list = args.next().unwrap_or_else(|| usage("--apps needs a list"));
                     apps = Some(list.split(',').map(|s| s.trim().to_string()).collect());
                 }
+                "--jobs" => {
+                    jobs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&j: &usize| j >= 1)
+                            .unwrap_or_else(|| usage("--jobs needs a positive number")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
-        Cli { size, procs, apps }
+        Cli {
+            size,
+            procs,
+            apps,
+            jobs: cluster_study::parallel::resolve_jobs(jobs),
+        }
     }
 
     /// Whether `app` passes the `--apps` filter.
@@ -64,32 +85,40 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--paper|--small] [--procs N] [--apps a,b,c]\n\
+        "usage: <bin> [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
          \n\
          --paper   paper problem sizes (default)\n\
          --small   reduced sizes for quick runs\n\
          --procs   simulated processors (default 64)\n\
-         --apps    comma-separated application filter"
+         --apps    comma-separated application filter\n\
+         --jobs    simulation threads (default: STUDY_JOBS or all cores;\n\
+         \u{20}         1 = serial)"
     );
     std::process::exit(2)
 }
 
 /// Runs one Section 5 capacity figure (Figures 4–8): the named app
-/// swept over cluster sizes at 4K/16K/32K/∞ per-processor caches,
-/// printed next to the paper's approximate bar-chart values.
+/// swept over cluster sizes at 4K/16K/32K/∞ per-processor caches —
+/// in parallel over the 16 (cache × cluster) work items — printed
+/// next to the paper's approximate bar-chart values.
 pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
     use cluster_study::apps::trace_for;
     use cluster_study::paper_data::capacity_totals;
     use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
-    use cluster_study::study::sweep_capacities;
+    use cluster_study::study::sweep_capacities_jobs;
 
     println!(
-        "{fig}: {app}, finite capacity, {} processors, {} sizes\n",
+        "{fig}: {app}, finite capacity, {} processors, {} sizes, {} jobs\n",
         cli.procs,
-        cli.size_label()
+        cli.size_label(),
+        cli.jobs
     );
-    let trace = timed(&format!("{app} gen"), || trace_for(app, cli.size, cli.procs));
-    let caps = timed(&format!("{app} sim"), || sweep_capacities(&trace));
+    let trace = timed(&format!("{app} gen"), || {
+        trace_for(app, cli.size, cli.procs)
+    });
+    let caps = timed(&format!("{app} sim"), || {
+        sweep_capacities_jobs(&trace, cli.jobs)
+    });
     for sweep in &caps.sweeps {
         let label = sweep.cache.label();
         let paper = capacity_totals(app, &label);
@@ -127,6 +156,7 @@ mod tests {
             size: ProblemSize::Small,
             procs: 64,
             apps: Some(vec!["lu".into(), "fft".into()]),
+            jobs: 1,
         };
         assert!(cli.wants("lu"));
         assert!(cli.wants("fft"));
@@ -144,6 +174,7 @@ mod tests {
             size: ProblemSize::Paper,
             procs: 64,
             apps: None,
+            jobs: 1,
         };
         assert_eq!(cli.size_label(), "paper");
         cli.size = ProblemSize::Small;

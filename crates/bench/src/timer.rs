@@ -1,0 +1,107 @@
+//! A minimal micro-benchmark timer for the `cargo bench` targets.
+//!
+//! The workspace is hermetic — no registry dependencies — so the old
+//! Criterion benches are rewritten against this ~80-line harness. It
+//! keeps the parts that matter for regression-spotting: warmup,
+//! repeated sampling, and median/min/mean reporting. It does not do
+//! Criterion's statistical change detection; compare the printed
+//! medians across commits instead.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's collected samples.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Bench label.
+    pub name: String,
+    /// Wall-clock per sample (each sample runs the closure once).
+    pub times: Vec<Duration>,
+}
+
+impl Sample {
+    /// Median sample time.
+    pub fn median(&self) -> Duration {
+        let mut ts = self.times.clone();
+        ts.sort_unstable();
+        ts[ts.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        *self.times.iter().min().unwrap()
+    }
+
+    /// Mean sample time.
+    pub fn mean(&self) -> Duration {
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+/// Runs `f` `samples` times after `warmup` unrecorded runs, printing a
+/// one-line summary; returns the samples for further use. The closure
+/// result is passed through [`black_box`] so the work is not elided.
+pub fn bench<T>(name: &str, warmup: u32, samples: u32, mut f: impl FnMut() -> T) -> Sample {
+    assert!(samples >= 1);
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    let s = Sample {
+        name: name.to_string(),
+        times,
+    };
+    println!(
+        "{:<44} median {:>10.3?}  min {:>10.3?}  mean {:>10.3?}  ({} samples)",
+        s.name,
+        s.median(),
+        s.min(),
+        s.mean(),
+        s.times.len()
+    );
+    s
+}
+
+/// Per-element throughput line for streaming benches.
+pub fn report_throughput(s: &Sample, elements: u64) {
+    let per = s.median().as_nanos() as f64 / elements as f64;
+    let meps = 1e3 / per; // million elements per second
+    println!(
+        "{:<44} {per:.1} ns/element  ({meps:.1} M elem/s)",
+        format!("  ↳ {} throughput", s.name)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_requested_samples() {
+        let s = bench("noop", 1, 5, || 1 + 1);
+        assert_eq!(s.times.len(), 5);
+        assert!(s.min() <= s.median());
+        assert!(s.median() <= s.times.iter().max().copied().unwrap());
+    }
+
+    #[test]
+    fn median_of_known_times() {
+        let s = Sample {
+            name: "x".into(),
+            times: vec![
+                Duration::from_nanos(30),
+                Duration::from_nanos(10),
+                Duration::from_nanos(20),
+            ],
+        };
+        assert_eq!(s.median(), Duration::from_nanos(20));
+        assert_eq!(s.min(), Duration::from_nanos(10));
+        assert_eq!(s.mean(), Duration::from_nanos(20));
+    }
+}

@@ -203,7 +203,11 @@ impl MemorySystem {
             crate::config::CacheSpec::PrivatePerProc { bus_cycles, .. } => (true, bus_cycles),
             _ => (false, 0),
         };
-        let n_caches = if private { cfg.n_procs } else { cfg.n_clusters() };
+        let n_caches = if private {
+            cfg.n_procs
+        } else {
+            cfg.n_clusters()
+        };
         MemorySystem {
             cfg,
             caches: (0..n_caches).map(|_| ClusterCache::new(kind)).collect(),
@@ -238,7 +242,8 @@ impl MemorySystem {
 
     /// Whether any cache of cluster `c` holds `line`.
     fn cluster_holds(&self, c: u32, line: LineAddr) -> bool {
-        self.member_caches(c).any(|i| self.caches[i].peek(line).is_some())
+        self.member_caches(c)
+            .any(|i| self.caches[i].peek(line).is_some())
     }
 
     /// The machine configuration.
@@ -451,9 +456,7 @@ impl MemorySystem {
                     .member_caches(owner)
                     .find(|&i| self.caches[i].peek(line).is_some())
                     .expect("dirty owner cluster must hold the line");
-                let oc = self.caches[holder]
-                    .peek_mut(line)
-                    .expect("just found it");
+                let oc = self.caches[holder].peek_mut(line).expect("just found it");
                 oc.state = LineState::Shared;
             }
         }
@@ -699,7 +702,10 @@ mod tests {
         let (mut m, a, _) = machine(2, CacheSpec::Infinite);
         // Processor 0 misses at t=0 (remote home? first touch -> home 0,
         // proc 0 is cluster 0 => local, 30 cycles, ready at 30).
-        assert!(matches!(m.read(0, a, 0), Outcome::ReadMiss { stall: 30, .. }));
+        assert!(matches!(
+            m.read(0, a, 0),
+            Outcome::ReadMiss { stall: 30, .. }
+        ));
         // Cluster-mate processor 1 reads at t=10: merge until 30.
         match m.read(1, a, 10) {
             Outcome::MergeWait { ready_at } => assert_eq!(ready_at, 30),
@@ -930,8 +936,8 @@ mod tests {
     fn private_mode_write_keeps_ownership_in_cluster() {
         let (mut m, a) = private_machine(4, 1 << 20);
         let _ = m.write(0, a, 0); // proc 0 owns dirty
-        // Cluster mate proc 1 writes: bus invalidation, no network
-        // invalidations, directory still shows the same cluster dirty.
+                                  // Cluster mate proc 1 writes: bus invalidation, no network
+                                  // invalidations, directory still shows the same cluster dirty.
         let out = m.write(1, a, 1_000);
         assert_eq!(out, Outcome::Upgrade);
         assert_eq!(m.stats.bus_invalidations, 1);

@@ -2,13 +2,19 @@
 //! reads and writes from any processors, the global invariants hold
 //! (single-writer/multiple-reader, directory-cache agreement), and the
 //! latency classification is consistent with the home assignment.
+//! Runs on the in-tree `simcore::propcheck` harness; case count is
+//! controlled by `PROPCHECK_CASES` (default 64 here, matching the old
+//! proptest config).
 
 use coherence::config::CacheSpec;
 use coherence::protocol::Outcome;
 use coherence::{LatencyTable, MachineConfig, MemorySystem};
-use proptest::prelude::*;
+use simcore::propcheck::{self, halves, no_shrink, Gen};
 use simcore::space::AddressSpace;
 use simcore::stats::LatencyClass;
+use simcore::{prop_ensure, prop_ensure_eq};
+
+const CASES: u32 = 64;
 
 #[derive(Debug, Clone)]
 struct Access {
@@ -17,15 +23,18 @@ struct Access {
     is_write: bool,
 }
 
-fn accesses(n_procs: u32, n_lines: u64) -> impl Strategy<Value = Vec<Access>> {
-    prop::collection::vec(
-        (0..n_procs, 0..n_lines, any::<bool>()).prop_map(|(proc, line, is_write)| Access {
-            proc,
-            line,
-            is_write,
-        }),
-        1..250,
-    )
+fn accesses(g: &mut Gen, n_procs: u32, n_lines: u64) -> Vec<Access> {
+    g.vec_of(1..250, |g| Access {
+        proc: g.u32_in(0..n_procs),
+        line: g.u64_in(0..n_lines),
+        is_write: g.any_bool(),
+    })
+}
+
+/// Shrinks an access sequence but never to empty (the generators keep
+/// at least one access, and the properties assume nothing either way).
+fn shrink_accesses(ops: &[Access]) -> Vec<Vec<Access>> {
+    halves(ops).into_iter().filter(|h| !h.is_empty()).collect()
 }
 
 fn machine(per_cluster: u32, cache_lines: Option<u64>) -> (MemorySystem, u64) {
@@ -58,137 +67,182 @@ fn private_machine(per_cluster: u32, cache_lines: u64) -> (MemorySystem, u64) {
     (MemorySystem::new(cfg, &space), base)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn invariants_hold_under_random_traffic(
-        ops in accesses(8, 32),
-        per_cluster in prop::sample::select(vec![1u32, 2, 4, 8]),
-        finite in any::<bool>(),
-    ) {
-        let (mut m, base) = machine(per_cluster, finite.then_some(4));
-        let mut now = 0u64;
-        for a in &ops {
-            let addr = base + a.line * 64;
-            if a.is_write {
-                let _ = m.write(a.proc, addr, now);
-            } else {
-                if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+#[test]
+fn invariants_hold_under_random_traffic() {
+    propcheck::check_cases(
+        CASES,
+        "invariants_hold_under_random_traffic",
+        |g| (accesses(g, 8, 32), g.pick(&[1u32, 2, 4, 8]), g.any_bool()),
+        |(ops, pc, fin)| {
+            shrink_accesses(ops)
+                .into_iter()
+                .map(|h| (h, *pc, *fin))
+                .collect()
+        },
+        |(ops, per_cluster, finite)| {
+            let (mut m, base) = machine(*per_cluster, finite.then_some(4));
+            let mut now = 0u64;
+            for a in ops {
+                let addr = base + a.line * 64;
+                if a.is_write {
+                    let _ = m.write(a.proc, addr, now);
+                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
                     now = ready_at;
                     let _ = m.read(a.proc, addr, now);
                 }
+                now += 7;
+                m.check_invariants()
+                    .map_err(|e| format!("invariant violated: {e}"))?;
             }
-            now += 7;
-            m.check_invariants().map_err(|e| {
-                TestCaseError::fail(format!("invariant violated: {e}"))
-            })?;
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn invariants_hold_in_shared_memory_clusters(
-        ops in accesses(8, 32),
-        per_cluster in prop::sample::select(vec![2u32, 4, 8]),
-        cache_lines in prop::sample::select(vec![2u64, 8, 1024]),
-    ) {
-        let (mut m, base) = private_machine(per_cluster, cache_lines);
-        let mut now = 0u64;
-        for a in &ops {
-            let addr = base + a.line * 64;
-            if a.is_write {
-                let _ = m.write(a.proc, addr, now);
-            } else {
-                if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+#[test]
+fn invariants_hold_in_shared_memory_clusters() {
+    propcheck::check_cases(
+        CASES,
+        "invariants_hold_in_shared_memory_clusters",
+        |g| {
+            (
+                accesses(g, 8, 32),
+                g.pick(&[2u32, 4, 8]),
+                g.pick(&[2u64, 8, 1024]),
+            )
+        },
+        |(ops, pc, cl)| {
+            shrink_accesses(ops)
+                .into_iter()
+                .map(|h| (h, *pc, *cl))
+                .collect()
+        },
+        |(ops, per_cluster, cache_lines)| {
+            let (mut m, base) = private_machine(*per_cluster, *cache_lines);
+            let mut now = 0u64;
+            for a in ops {
+                let addr = base + a.line * 64;
+                if a.is_write {
+                    let _ = m.write(a.proc, addr, now);
+                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
                     now = ready_at;
                     let _ = m.read(a.proc, addr, now);
                 }
+                now += 7;
+                m.check_invariants()
+                    .map_err(|e| format!("private-mode invariant violated: {e}"))?;
             }
-            now += 7;
-            m.check_invariants().map_err(|e| {
-                TestCaseError::fail(format!("private-mode invariant violated: {e}"))
-            })?;
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn read_after_write_same_cluster_hits(
-        writer in 0u32..8,
-        line in 0u64..16,
-    ) {
-        // After a write, a read by any processor of the same cluster is
-        // a hit (pending window aside — we read after the fill).
-        let (mut m, base) = machine(4, None);
-        let addr = base + line * 64;
-        let _ = m.write(writer, addr, 0);
-        let mate = (writer / 4) * 4 + (writer + 1) % 4;
-        let outcome = m.read(mate, addr, 1_000);
-        prop_assert_eq!(outcome, Outcome::ReadHit);
-    }
+#[test]
+fn read_after_write_same_cluster_hits() {
+    propcheck::check_cases(
+        CASES,
+        "read_after_write_same_cluster_hits",
+        |g| (g.u32_in(0..8), g.u64_in(0..16)),
+        no_shrink,
+        |&(writer, line)| {
+            // After a write, a read by any processor of the same cluster is
+            // a hit (pending window aside — we read after the fill).
+            let (mut m, base) = machine(4, None);
+            let addr = base + line * 64;
+            let _ = m.write(writer, addr, 0);
+            let mate = (writer / 4) * 4 + (writer + 1) % 4;
+            let outcome = m.read(mate, addr, 1_000);
+            prop_ensure_eq!(outcome, Outcome::ReadHit);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn miss_latency_matches_home_relation(
-        reader in 0u32..8,
-        line in 0u64..32,
-    ) {
-        // On a cold machine, the first read's latency class must be
-        // LocalClean iff the line's round-robin home equals the
-        // reader's cluster.
-        let (mut m, base) = machine(2, None);
-        let addr = base + line * 64;
-        match m.read(reader, addr, 0) {
-            Outcome::ReadMiss { class, stall } => {
-                // Cold lines are never dirty anywhere.
-                prop_assert!(
-                    class == LatencyClass::LocalClean || class == LatencyClass::RemoteClean
-                );
-                let lat = LatencyTable::paper();
-                prop_assert_eq!(stall, lat.of(class));
+#[test]
+fn miss_latency_matches_home_relation() {
+    propcheck::check_cases(
+        CASES,
+        "miss_latency_matches_home_relation",
+        |g| (g.u32_in(0..8), g.u64_in(0..32)),
+        no_shrink,
+        |&(reader, line)| {
+            // On a cold machine, the first read's latency class must be
+            // LocalClean iff the line's round-robin home equals the
+            // reader's cluster.
+            let (mut m, base) = machine(2, None);
+            let addr = base + line * 64;
+            match m.read(reader, addr, 0) {
+                Outcome::ReadMiss { class, stall } => {
+                    // Cold lines are never dirty anywhere.
+                    prop_ensure!(
+                        class == LatencyClass::LocalClean || class == LatencyClass::RemoteClean,
+                        "cold miss classified dirty: {class:?}"
+                    );
+                    let lat = LatencyTable::paper();
+                    prop_ensure_eq!(stall, lat.of(class));
+                    Ok(())
+                }
+                o => Err(format!("expected miss, got {o:?}")),
             }
-            o => return Err(TestCaseError::fail(format!("expected miss, got {o:?}"))),
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn at_most_one_dirty_copy_everywhere(ops in accesses(8, 16)) {
-        let (mut m, base) = machine(1, None);
-        for (i, a) in ops.iter().enumerate() {
-            let addr = base + a.line * 64;
-            let now = i as u64 * 3;
-            if a.is_write {
-                let _ = m.write(a.proc, addr, now);
-            } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
-                let _ = m.read(a.proc, addr, ready_at);
+#[test]
+fn at_most_one_dirty_copy_everywhere() {
+    propcheck::check_cases(
+        CASES,
+        "at_most_one_dirty_copy_everywhere",
+        |g| accesses(g, 8, 16),
+        |ops| shrink_accesses(ops),
+        |ops| {
+            let (mut m, base) = machine(1, None);
+            for (i, a) in ops.iter().enumerate() {
+                let addr = base + a.line * 64;
+                let now = i as u64 * 3;
+                if a.is_write {
+                    let _ = m.write(a.proc, addr, now);
+                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                    let _ = m.read(a.proc, addr, ready_at);
+                }
             }
-        }
-        // check_invariants already asserts the SWMR property; run it
-        // once more at the end for the final state.
-        m.check_invariants().map_err(|e| {
-            TestCaseError::fail(format!("invariant violated at end: {e}"))
-        })?;
-    }
+            // check_invariants already asserts the SWMR property; run it
+            // once more at the end for the final state.
+            m.check_invariants()
+                .map_err(|e| format!("invariant violated at end: {e}"))
+        },
+    );
+}
 
-    #[test]
-    fn stats_balance(ops in accesses(8, 16)) {
-        let (mut m, base) = machine(2, Some(2));
-        let mut reads = 0u64;
-        let mut writes = 0u64;
-        for (i, a) in ops.iter().enumerate() {
-            let addr = base + a.line * 64;
-            let now = i as u64 * 200; // spaced out: no merges
-            if a.is_write {
-                writes += 1;
-                let _ = m.write(a.proc, addr, now);
-            } else {
-                reads += 1;
-                let _ = m.read(a.proc, addr, now);
+#[test]
+fn stats_balance() {
+    propcheck::check_cases(
+        CASES,
+        "stats_balance",
+        |g| accesses(g, 8, 16),
+        |ops| shrink_accesses(ops),
+        |ops| {
+            let (mut m, base) = machine(2, Some(2));
+            let mut reads = 0u64;
+            let mut writes = 0u64;
+            for (i, a) in ops.iter().enumerate() {
+                let addr = base + a.line * 64;
+                let now = i as u64 * 200; // spaced out: no merges
+                if a.is_write {
+                    writes += 1;
+                    let _ = m.write(a.proc, addr, now);
+                } else {
+                    reads += 1;
+                    let _ = m.read(a.proc, addr, now);
+                }
             }
-        }
-        let s = &m.stats;
-        prop_assert_eq!(s.read_hits + s.read_misses, reads);
-        prop_assert_eq!(s.write_hits + s.write_misses + s.upgrade_misses, writes);
-        // Every latency-classified miss is a read or write miss.
-        let classified: u64 = s.by_latency.iter().sum();
-        prop_assert_eq!(classified, s.read_misses + s.write_misses);
-    }
+            let s = &m.stats;
+            prop_ensure_eq!(s.read_hits + s.read_misses, reads);
+            prop_ensure_eq!(s.write_hits + s.write_misses + s.upgrade_misses, writes);
+            // Every latency-classified miss is a read or write miss.
+            let classified: u64 = s.by_latency.iter().sum();
+            prop_ensure_eq!(classified, s.read_misses + s.write_misses);
+            Ok(())
+        },
+    );
 }

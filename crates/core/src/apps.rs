@@ -24,8 +24,7 @@ pub const PAPER_PROCS: usize = 64;
 /// Generates the trace for a named application at the given size and
 /// processor count. Panics on unknown names.
 pub fn trace_for(name: &str, size: ProblemSize, n_procs: usize) -> Trace {
-    let app = by_name(name, size)
-        .unwrap_or_else(|| panic!("unknown application {name:?}"));
+    let app = by_name(name, size).unwrap_or_else(|| panic!("unknown application {name:?}"));
     app.generate(n_procs)
 }
 
@@ -54,7 +53,11 @@ mod tests {
 
     #[test]
     fn capacity_and_table_apps_are_subsets_of_fig2() {
-        for name in CAPACITY_APPS.iter().chain(&TABLE5_APPS).chain(&TABLE6_APPS).chain(&TABLE7_APPS)
+        for name in CAPACITY_APPS
+            .iter()
+            .chain(&TABLE5_APPS)
+            .chain(&TABLE6_APPS)
+            .chain(&TABLE7_APPS)
         {
             assert!(FIG2_APPS.contains(name), "{name} not in figure 2 set");
         }

@@ -73,10 +73,7 @@ mod tests {
         for ((n, m, c), (wn, wm, wc)) in t.iter().zip(want) {
             assert_eq!(*n, wn);
             assert_eq!(*m, wm);
-            assert!(
-                (c - wc).abs() < 5e-4,
-                "n={n}: C={c} want {wc}"
-            );
+            assert!((c - wc).abs() < 5e-4, "n={n}: C={c} want {wc}");
         }
     }
 
@@ -93,9 +90,7 @@ mod tests {
 
     #[test]
     fn more_banks_fewer_conflicts() {
-        assert!(
-            bank_conflict_probability(4, 32) < bank_conflict_probability(4, 8)
-        );
+        assert!(bank_conflict_probability(4, 32) < bank_conflict_probability(4, 8));
     }
 
     #[test]

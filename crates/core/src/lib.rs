@@ -14,14 +14,18 @@
 //! * [`report`] — text renderings of every figure and table.
 //! * [`paper_data`] — the paper's published numbers, embedded for
 //!   side-by-side comparison.
+//! * [`parallel`] — scoped-thread fan-out for the embarrassingly
+//!   parallel experiment matrix (`--jobs` / `STUDY_JOBS`).
 
 pub mod apps;
 pub mod contention;
 pub mod latency_factor;
 pub mod paper_data;
+pub mod parallel;
 pub mod report;
 pub mod study;
 
 pub use contention::{bank_conflict_probability, shared_cache_factor};
 pub use latency_factor::{measure_latency_factors, LatencyFactors};
+pub use parallel::{resolve_jobs, run_items, run_items_timed};
 pub use study::{run_config, sweep_clusters, CapacitySweep, ClusterSweep};

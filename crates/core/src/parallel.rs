@@ -1,0 +1,133 @@
+//! Std-thread fan-out for the study's embarrassingly parallel sweeps.
+//!
+//! The paper's core experiment — 9 applications × 4 cluster sizes × 4
+//! cache specifications — replays independent deterministic
+//! simulations, so the only thing serial execution buys is wasted
+//! wall-clock. This module provides a scoped-thread work-stealing
+//! runner with a `--jobs` knob (`STUDY_JOBS` env var, default: all
+//! available cores) used by [`crate::study`]'s sweeps, the `paper_run`
+//! driver, and the `cluster-bench` binaries.
+//!
+//! Simulations are pure functions of `(trace, machine config)`, so the
+//! parallel runner is **bit-identical** to the serial path: results
+//! are returned in input order regardless of completion order, and a
+//! root integration test asserts `RunStats` equality per item.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resolves a job count: explicit request, else `STUDY_JOBS`, else
+/// every available core.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| {
+            std::env::var("STUDY_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over every item on up to `jobs` scoped threads, returning
+/// outputs **in input order**. `jobs <= 1` degenerates to a plain
+/// serial loop (no threads spawned at all), which is the comparison
+/// baseline for the bit-identical guarantee.
+pub fn run_items<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`run_items`] with per-item wall-clock, for speedup reporting.
+pub fn run_items_timed<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<(O, Duration)>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_items(items, jobs, |item| {
+        let start = Instant::now();
+        let out = f(item);
+        (out, start.elapsed())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 4, 16] {
+            let out = run_items(&items, jobs, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn serial_path_spawns_no_threads() {
+        // jobs = 1 must work even for closures that would not enjoy
+        // contention: detectable only behaviorally — order of side
+        // effects is exactly input order.
+        let log = Mutex::new(Vec::new());
+        let items: Vec<u32> = (0..10).collect();
+        run_items(&items, 1, |&x| log.lock().unwrap().push(x));
+        assert_eq!(*log.lock().unwrap(), items);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let out = run_items(&[1u32, 2], 64, |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(run_items(&none, 8, |&x| x).is_empty());
+        assert_eq!(run_items(&[7u32], 8, |&x| x), vec![7]);
+    }
+
+    #[test]
+    fn timed_wraps_same_results() {
+        let items: Vec<u64> = (0..20).collect();
+        let timed = run_items_timed(&items, 4, |&x| x * 3);
+        let vals: Vec<u64> = timed.iter().map(|(v, _)| *v).collect();
+        assert_eq!(vals, items.iter().map(|&x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

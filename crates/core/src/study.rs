@@ -72,14 +72,25 @@ pub fn sweep_clusters(trace: &Trace, cache: CacheSpec) -> ClusterSweep {
     sweep_clusters_sizes(trace, cache, &CLUSTER_SIZES)
 }
 
-/// Sweeps explicit cluster sizes at one cache specification.
+/// Sweeps explicit cluster sizes at one cache specification, fanning
+/// the independent replays out over std threads (`STUDY_JOBS` env var
+/// or all cores; see [`crate::parallel`]). Results are bit-identical
+/// to the serial path.
 pub fn sweep_clusters_sizes(trace: &Trace, cache: CacheSpec, sizes: &[u32]) -> ClusterSweep {
+    sweep_clusters_sizes_jobs(trace, cache, sizes, crate::parallel::resolve_jobs(None))
+}
+
+/// [`sweep_clusters_sizes`] with an explicit job count; `jobs <= 1`
+/// runs the plain serial loop.
+pub fn sweep_clusters_sizes_jobs(
+    trace: &Trace,
+    cache: CacheSpec,
+    sizes: &[u32],
+    jobs: usize,
+) -> ClusterSweep {
     ClusterSweep {
         cache,
-        runs: sizes
-            .iter()
-            .map(|&c| (c, run_config(trace, c, cache)))
-            .collect(),
+        runs: crate::parallel::run_items(sizes, jobs, |&c| (c, run_config(trace, c, cache))),
     }
 }
 
@@ -92,14 +103,74 @@ pub struct CapacitySweep {
 }
 
 /// Runs the full Section 5 capacity experiment for one application
-/// trace.
+/// trace, parallel over all (cache, cluster size) work items.
 pub fn sweep_capacities(trace: &Trace) -> CapacitySweep {
-    let mut sweeps: Vec<ClusterSweep> = FINITE_CACHES
+    sweep_capacities_jobs(trace, crate::parallel::resolve_jobs(None))
+}
+
+/// [`sweep_capacities`] with an explicit job count. The fan-out is
+/// over the full 16-item (cache × cluster size) cross product, not
+/// cache-by-cache, so all cores stay busy to the end of the sweep.
+pub fn sweep_capacities_jobs(trace: &Trace, jobs: usize) -> CapacitySweep {
+    let caches: Vec<CacheSpec> = FINITE_CACHES
         .iter()
-        .map(|&b| sweep_clusters(trace, CacheSpec::PerProcBytes(b)))
+        .map(|&b| CacheSpec::PerProcBytes(b))
+        .chain([CacheSpec::Infinite])
         .collect();
-    sweeps.push(sweep_clusters(trace, CacheSpec::Infinite));
+    let items: Vec<(CacheSpec, u32)> = caches
+        .iter()
+        .flat_map(|&cache| CLUSTER_SIZES.iter().map(move |&c| (cache, c)))
+        .collect();
+    let runs =
+        crate::parallel::run_items(&items, jobs, |&(cache, c)| (c, run_config(trace, c, cache)));
+    let sweeps = caches
+        .iter()
+        .enumerate()
+        .map(|(i, &cache)| ClusterSweep {
+            cache,
+            runs: runs[i * CLUSTER_SIZES.len()..(i + 1) * CLUSTER_SIZES.len()].to_vec(),
+        })
+        .collect();
     CapacitySweep { sweeps }
+}
+
+/// The full capacity study over many application traces as one flat
+/// fan-out over (app × cache × cluster size) work items — the paper's
+/// §5 experiment matrix. A flat item pool keeps every core busy to the
+/// end instead of serializing app by app. Returns one [`CapacitySweep`]
+/// per input trace, in input order, bit-identical to the serial path.
+pub fn study_capacities_jobs(traces: &[Trace], jobs: usize) -> Vec<CapacitySweep> {
+    let caches: Vec<CacheSpec> = FINITE_CACHES
+        .iter()
+        .map(|&b| CacheSpec::PerProcBytes(b))
+        .chain([CacheSpec::Infinite])
+        .collect();
+    let items: Vec<(usize, CacheSpec, u32)> = (0..traces.len())
+        .flat_map(|t| {
+            caches
+                .iter()
+                .flat_map(move |&cache| CLUSTER_SIZES.iter().map(move |&c| (t, cache, c)))
+        })
+        .collect();
+    let runs = crate::parallel::run_items(&items, jobs, |&(t, cache, c)| {
+        (c, run_config(&traces[t], c, cache))
+    });
+    let per_trace = caches.len() * CLUSTER_SIZES.len();
+    (0..traces.len())
+        .map(|t| CapacitySweep {
+            sweeps: caches
+                .iter()
+                .enumerate()
+                .map(|(i, &cache)| {
+                    let at = t * per_trace + i * CLUSTER_SIZES.len();
+                    ClusterSweep {
+                        cache,
+                        runs: runs[at..at + CLUSTER_SIZES.len()].to_vec(),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -113,7 +113,7 @@ impl<V> FullLruCache<V> {
             !self.map.contains_key(&line),
             "insert of already-resident line {line:#x}"
         );
-        
+
         if self.map.len() == self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
@@ -233,7 +233,11 @@ impl<V> SetAssocCache<V> {
             n_sets.is_power_of_two(),
             "number of sets ({n_sets}) must be a power of two"
         );
-        assert_eq!(n_sets * ways, capacity_lines, "capacity must be ways * sets");
+        assert_eq!(
+            n_sets * ways,
+            capacity_lines,
+            "capacity must be ways * sets"
+        );
         SetAssocCache {
             sets: (0..n_sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,

@@ -16,15 +16,22 @@
 //!   limited associativity).
 //! * [`stats`] — execution-time breakdowns (CPU busy / load stall / merge
 //!   stall / sync wait) and miss classification counters.
+//! * [`rng`] — self-contained seedable PRNG (SplitMix64-seeded
+//!   xoshiro256**), so workload generation needs no external crates.
+//! * [`propcheck`] — an in-tree deterministic property-test harness
+//!   (seeded cases, `PROPCHECK_CASES`, shrinking by halving).
 
 pub mod addr;
 pub mod cache;
 pub mod ops;
+pub mod propcheck;
+pub mod rng;
 pub mod space;
 pub mod stats;
 
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
 pub use ops::{Op, PackedOp, Trace, TraceBuilder};
+pub use rng::Rng64;
 pub use space::{AddressSpace, Placement, ProcId, Region, SharedArray};
 pub use stats::{Breakdown, MissClass, MissStats, RunStats};

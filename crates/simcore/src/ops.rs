@@ -372,12 +372,7 @@ mod tests {
         let ops: Vec<Op> = t.per_proc[0].iter().map(|p| p.unpack()).collect();
         assert_eq!(
             ops,
-            vec![
-                Op::Compute(12),
-                Op::Read(a),
-                Op::Compute(1),
-                Op::Barrier(0)
-            ]
+            vec![Op::Compute(12), Op::Read(a), Op::Compute(1), Op::Barrier(0)]
         );
     }
 

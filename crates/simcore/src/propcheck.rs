@@ -1,0 +1,374 @@
+//! A small deterministic property-based testing harness.
+//!
+//! The workspace previously used the `proptest` crate, which cannot be
+//! fetched in the offline build environment. This module replaces it
+//! with an in-tree harness that keeps the parts the test suites
+//! actually rely on:
+//!
+//! * **Seeded case generation** — every case is derived from a fixed
+//!   base seed, so failures are reproducible by construction.
+//! * **Configurable case counts** — set `PROPCHECK_CASES` to raise or
+//!   lower the number of cases per property (CI can afford more than a
+//!   laptop edit-compile loop).
+//! * **Failure-case shrinking by halving** — on failure the harness
+//!   asks the caller's shrinker for smaller candidates (typically the
+//!   halves of the offending vector, see [`halves`]) and greedily
+//!   descends to a locally minimal failing case before panicking.
+//!
+//! A property is a plain function from a generated case to
+//! `Result<(), String>`; tests call [`check`] from an ordinary
+//! `#[test]`. Reproduce a reported failure exactly with
+//! `PROPCHECK_SEED=<seed> PROPCHECK_CASES=1 cargo test <name>`.
+
+use crate::rng::{mix_seed, Rng64};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Default number of cases per property when `PROPCHECK_CASES` is
+/// unset and the test does not override it.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; case `i` runs with a seed mixed from this and `i`
+    /// (case 0 uses the base seed verbatim so single-case repro works).
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps before giving up.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// Configuration from the environment with a per-test default case
+    /// count. `PROPCHECK_CASES` and `PROPCHECK_SEED` override.
+    pub fn from_env(default_cases: u32) -> Config {
+        let cases = std::env::var("PROPCHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases)
+            .max(1);
+        let seed = std::env::var("PROPCHECK_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(0x5eed_cafe_f00d_d00d);
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 1_000,
+        }
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Case-generation handle: a seeded RNG plus convenience constructors
+/// mirroring the old `proptest` strategies the suites used.
+pub struct Gen {
+    rng: Rng64,
+}
+
+impl Gen {
+    /// A generator for one case.
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Access the underlying RNG for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Uniform `u64` in a half-open range.
+    pub fn u64_in(&mut self, r: Range<u64>) -> u64 {
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `u32` in a half-open range.
+    pub fn u32_in(&mut self, r: Range<u32>) -> u32 {
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, r: Range<usize>) -> usize {
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `u8` in a half-open range.
+    pub fn u8_in(&mut self, r: Range<u8>) -> u8 {
+        self.rng.gen_range(r)
+    }
+
+    /// Uniform `f64` in a half-open range.
+    pub fn f64_in(&mut self, r: Range<f64>) -> f64 {
+        self.rng.gen_range(r)
+    }
+
+    /// Arbitrary `u32` (the old `any::<u32>()`).
+    pub fn any_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Arbitrary `bool` (the old `any::<bool>()`).
+    pub fn any_bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// One element of a slice, uniformly (the old
+    /// `prop::sample::select`).
+    pub fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        assert!(!xs.is_empty());
+        xs[self.rng.bounded_u64(xs.len() as u64) as usize]
+    }
+
+    /// A vector with uniformly chosen length, each element drawn by
+    /// `f` (the old `prop::collection::vec(strategy, len_range)`).
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Shrinking helper: candidate reductions of a vector by halving —
+/// the first half, the second half, and the vector with one element
+/// dropped (for the final descent once halving overshoots).
+pub fn halves<T: Clone>(xs: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if xs.len() >= 2 {
+        let mid = xs.len() / 2;
+        out.push(xs[..mid].to_vec());
+        out.push(xs[mid..].to_vec());
+    }
+    if !xs.is_empty() {
+        let mut all_but_last = xs.to_vec();
+        all_but_last.pop();
+        out.push(all_but_last);
+    }
+    out
+}
+
+/// A shrinker for cases with nothing useful to shrink.
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Runs `prop` against `cfg.cases` generated cases; on failure,
+/// greedily shrinks via `shrink` and panics with the minimal failing
+/// case and its reproduction seed.
+pub fn check_with<T, G, S, P>(cfg: &Config, name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Debug + Clone,
+    G: Fn(&mut Gen) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for i in 0..cfg.cases {
+        let case_seed = if i == 0 {
+            cfg.seed
+        } else {
+            mix_seed(cfg.seed, i as u64)
+        };
+        let case = gen(&mut Gen::from_seed(case_seed));
+        let Err(first_err) = prop(&case) else {
+            continue;
+        };
+
+        // Greedy shrink: repeatedly move to the first still-failing
+        // candidate the shrinker offers.
+        let mut minimal = case;
+        let mut last_err = first_err;
+        let mut steps = 0u32;
+        'outer: while steps < cfg.max_shrink_steps {
+            for candidate in shrink(&minimal) {
+                if let Err(e) = prop(&candidate) {
+                    minimal = candidate;
+                    last_err = e;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break; // locally minimal
+        }
+
+        panic!(
+            "property '{name}' failed (case {i} of {cases}, seed {case_seed:#x}, \
+             {steps} shrink steps)\n\
+             error: {last_err}\n\
+             minimal failing case: {minimal:#?}\n\
+             reproduce with: PROPCHECK_SEED={case_seed:#x} PROPCHECK_CASES=1",
+            cases = cfg.cases,
+        );
+    }
+}
+
+/// [`check_with`] using [`Config::from_env`] and the default case
+/// count.
+pub fn check<T, G, S, P>(name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Debug + Clone,
+    G: Fn(&mut Gen) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::from_env(DEFAULT_CASES), name, gen, shrink, prop)
+}
+
+/// [`check`] with an explicit default case count (still overridable
+/// via `PROPCHECK_CASES`).
+pub fn check_cases<T, G, S, P>(default_cases: u32, name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Debug + Clone,
+    G: Fn(&mut Gen) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::from_env(default_cases), name, gen, shrink, prop)
+}
+
+/// Early-return assertion for property bodies: `prop_ensure!(cond,
+/// "format", args...)` yields `Err(message)` when `cond` is false.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion with both sides in the failure message.
+#[macro_export]
+macro_rules! prop_ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{}: {:?} vs {:?}",
+                format!($($fmt)*),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config {
+            cases: 10,
+            seed: 1,
+            max_shrink_steps: 10,
+        };
+        check_with(
+            &cfg,
+            "always_true",
+            |g| g.u64_in(0..100),
+            no_shrink,
+            |_| Ok(()),
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let gen = |g: &mut Gen| (g.u64_in(0..1000), g.vec_of(0..10, |g| g.any_u32()));
+        let a = gen(&mut Gen::from_seed(77));
+        let b = gen(&mut Gen::from_seed(77));
+        assert_eq!(a, b);
+        let c = gen(&mut Gen::from_seed(78));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vector() {
+        // Property: no vector contains a value >= 50. The minimal
+        // failing case is a single offending element.
+        let cfg = Config {
+            cases: 50,
+            seed: 3,
+            max_shrink_steps: 1_000,
+        };
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &cfg,
+                "all_below_50",
+                |g| g.vec_of(0..40, |g| g.u64_in(0..60)),
+                |v| halves(v.as_slice()),
+                |v| {
+                    if v.iter().all(|&x| x < 50) {
+                        Ok(())
+                    } else {
+                        Err("element >= 50".into())
+                    }
+                },
+            )
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(e) => *e.downcast::<String>().expect("panic payload is String"),
+        };
+        assert!(msg.contains("all_below_50"), "{msg}");
+        assert!(msg.contains("reproduce with"), "{msg}");
+        // Shrinking by halving must reach a single-element vector.
+        assert!(msg.contains("minimal failing case"), "{msg}");
+        let ones = msg.split("minimal failing case:").nth(1).unwrap();
+        let elems = ones.split(',').count();
+        assert!(elems <= 3, "not shrunk far enough: {msg}");
+    }
+
+    #[test]
+    fn halves_shrink_candidates() {
+        let v = vec![1, 2, 3, 4];
+        let c = halves(&v);
+        assert!(c.contains(&vec![1, 2]));
+        assert!(c.contains(&vec![3, 4]));
+        assert!(c.contains(&vec![1, 2, 3]));
+        assert!(halves::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn env_config_defaults() {
+        let cfg = Config::from_env(17);
+        // In the normal test environment neither var is set; if a
+        // caller sets PROPCHECK_CASES this still must parse to >= 1.
+        assert!(cfg.cases >= 1);
+        assert!(cfg.max_shrink_steps > 0);
+    }
+
+    #[test]
+    fn pick_and_bool_cover_choices() {
+        let mut g = Gen::from_seed(5);
+        let mut saw = [false; 3];
+        let mut bools = [false; 2];
+        for _ in 0..200 {
+            saw[g.pick(&[0usize, 1, 2])] = true;
+            bools[g.any_bool() as usize] = true;
+        }
+        assert!(saw.iter().all(|&s| s));
+        assert!(bools.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,296 @@
+//! Self-contained deterministic pseudo-random number generation.
+//!
+//! The workspace must build and test with **zero registry
+//! dependencies** (the build environment has no network), so this
+//! module replaces the former `rand` crate usage. It provides a
+//! seedable [`Rng64`] built from the xoshiro256** generator of
+//! Blackman & Vigna, state-initialized with SplitMix64 — the exact
+//! combination the xoshiro authors recommend. Both algorithms are
+//! public domain.
+//!
+//! Everything here is deterministic: the same seed always yields the
+//! same stream on every platform (the implementation is pure integer
+//! arithmetic; floats are derived from fixed high bits).
+
+use std::ops::Range;
+
+/// One SplitMix64 step: advances `*state` and returns the next output.
+/// Used both for seed expansion and as a cheap mixing function.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one well-distributed seed (order-sensitive).
+#[inline]
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.rotate_left(32).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// A small, fast, seedable PRNG: xoshiro256** with SplitMix64 seeding.
+///
+/// Not cryptographically secure — it generates workload inputs and
+/// property-test cases, where all that matters is determinism and good
+/// statistical distribution.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0)
+    /// is valid: SplitMix64 expansion guarantees a non-zero state.
+    pub fn new(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (the high half, which has the best quality).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 random bits.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias (Lemire's
+    /// widening-multiply method with rejection).
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 needs a positive bound");
+        let threshold = bound.wrapping_neg() % bound; // 2^64 mod bound
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform sample from a half-open range. Implemented for the
+    /// integer and float range types the workloads use.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A fresh generator whose seed is drawn from this one — handy for
+    /// decorrelated sub-streams.
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64())
+    }
+}
+
+/// Range types [`Rng64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.bounded_u64(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(rng.bounded_u64(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f32() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng64::new(0);
+        // SplitMix64 expansion means the all-zero state is unreachable.
+        assert!((0..16).any(|_| r.next_u64() != 0));
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::new(9);
+        for _ in 0..10_000 {
+            let a = r.gen_range(5u32..17);
+            assert!((5..17).contains(&a));
+            let b = r.gen_range(-3i32..4);
+            assert!((-3..4).contains(&b));
+            let c = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&c));
+            let d = r.gen_range(0usize..1);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn bounded_covers_all_residues() {
+        let mut r = Rng64::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.bounded_u64(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut r = Rng64::new(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn known_answer_xoshiro() {
+        // Pin the stream so accidental algorithm changes are caught:
+        // golden workload traces depend on these exact values.
+        let mut r = Rng64::new(0xdead_beef);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut again = Rng64::new(0xdead_beef);
+        let got2: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(got, got2);
+        // First output must be stable across builds on this platform
+        // and any other (pure u64 arithmetic).
+        assert_eq!(got[0], {
+            let mut sm = 0xdead_beefu64;
+            let s0 = splitmix64(&mut sm);
+            let s1 = splitmix64(&mut sm);
+            let _ = (s0, s1);
+            s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9)
+        });
+    }
+}

@@ -30,8 +30,15 @@ impl Breakdown {
 
     /// Each component as a fraction of `denom` (typically another run's
     /// total), in the order `[cpu, load, merge, sync]`.
+    ///
+    /// A zero denominator yields the explicit all-zero array rather
+    /// than silently treating the denominator as 1 (which misreported
+    /// nonzero breakdowns against a degenerate zero-cycle baseline).
     pub fn fractions_of(&self, denom: u64) -> [f64; 4] {
-        let d = denom.max(1) as f64;
+        if denom == 0 {
+            return [0.0; 4];
+        }
+        let d = denom as f64;
         [
             self.cpu as f64 / d,
             self.load as f64 / d,
@@ -184,8 +191,11 @@ impl AddAssign for MissStats {
 }
 
 /// Complete result of replaying one trace under one machine
-/// configuration.
-#[derive(Debug, Clone)]
+/// configuration. `Eq` because every field is exact (integer cycles
+/// and counters): the parallel study runner is required to reproduce
+/// the serial path **bit-identically**, and tests compare whole
+/// `RunStats` values for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Per-processor time breakdowns. Because every trace ends with a
     /// global barrier, each processor's `total()` equals `exec_time`.
@@ -262,8 +272,20 @@ mod tests {
         };
         let f = a.fractions_of(100);
         assert_eq!(f, [0.5, 0.25, 0.0, 0.25]);
-        // Zero denominator is safe.
-        let _ = a.fractions_of(0);
+    }
+
+    #[test]
+    fn fractions_of_zero_denominator_is_all_zero() {
+        // Regression: this used to map denom == 0 to 1 via `.max(1)`,
+        // reporting a 100-cycle breakdown as 10000% of nothing.
+        let a = Breakdown {
+            cpu: 50,
+            load: 25,
+            merge: 0,
+            sync: 25,
+        };
+        assert_eq!(a.fractions_of(0), [0.0; 4]);
+        assert_eq!(Breakdown::default().fractions_of(0), [0.0; 4]);
     }
 
     #[test]

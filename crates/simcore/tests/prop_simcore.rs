@@ -1,10 +1,13 @@
 //! Property-based tests for the simcore substrate: the LRU and
 //! set-associative caches against an executable reference model, and
-//! the packed trace-op encoding.
+//! the packed trace-op encoding. Runs on the in-tree `propcheck`
+//! harness (see `simcore::propcheck`); case count is controlled by
+//! `PROPCHECK_CASES`.
 
-use proptest::prelude::*;
 use simcore::cache::{FullLruCache, SetAssocCache};
 use simcore::ops::{Op, PackedOp};
+use simcore::propcheck::{self, halves, no_shrink, Gen};
+use simcore::{prop_ensure, prop_ensure_eq};
 
 /// A straightforward Vec-based LRU reference: front = MRU.
 #[derive(Default)]
@@ -52,123 +55,161 @@ enum CacheOp {
     Remove(u64),
 }
 
-fn cache_ops(max_key: u64) -> impl Strategy<Value = Vec<CacheOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..max_key).prop_map(CacheOp::Get),
-            (0..max_key, any::<u32>()).prop_map(|(k, v)| CacheOp::Insert(k, v)),
-            (0..max_key).prop_map(CacheOp::Remove),
-        ],
-        0..200,
-    )
+fn cache_ops(g: &mut Gen, max_key: u64) -> Vec<CacheOp> {
+    g.vec_of(0..200, |g| match g.u8_in(0..3) {
+        0 => CacheOp::Get(g.u64_in(0..max_key)),
+        1 => CacheOp::Insert(g.u64_in(0..max_key), g.any_u32()),
+        _ => CacheOp::Remove(g.u64_in(0..max_key)),
+    })
 }
 
-proptest! {
-    #[test]
-    fn lru_matches_reference_model(ops in cache_ops(24), cap in 1usize..16) {
-        let mut real = FullLruCache::new(cap);
-        let mut model = ModelLru::new(cap);
-        for op in ops {
-            match op {
-                CacheOp::Get(k) => {
-                    let r = real.get_mut(k).map(|v| *v);
-                    let m = model.get(k);
-                    prop_assert_eq!(r, m);
-                }
-                CacheOp::Insert(k, v) => {
-                    // Skip inserts of resident lines (API precondition).
-                    if real.contains(k) {
-                        continue;
+#[test]
+fn lru_matches_reference_model() {
+    propcheck::check(
+        "lru_matches_reference_model",
+        |g| (cache_ops(g, 24), g.usize_in(1..16)),
+        |(ops, cap)| halves(ops).into_iter().map(|h| (h, *cap)).collect(),
+        |(ops, cap)| {
+            let mut real = FullLruCache::new(*cap);
+            let mut model = ModelLru::new(*cap);
+            for op in ops {
+                match op {
+                    CacheOp::Get(k) => {
+                        let r = real.get_mut(*k).map(|v| *v);
+                        let m = model.get(*k);
+                        prop_ensure_eq!(r, m);
                     }
-                    let r = real.insert(k, v).map(|e| (e.line, e.val));
-                    let m = model.insert(k, v);
-                    prop_assert_eq!(r, m);
+                    CacheOp::Insert(k, v) => {
+                        // Skip inserts of resident lines (API precondition).
+                        if real.contains(*k) {
+                            continue;
+                        }
+                        let r = real.insert(*k, *v).map(|e| (e.line, e.val));
+                        let m = model.insert(*k, *v);
+                        prop_ensure_eq!(r, m);
+                    }
+                    CacheOp::Remove(k) => {
+                        prop_ensure_eq!(real.remove(*k), model.remove(*k));
+                    }
                 }
-                CacheOp::Remove(k) => {
-                    prop_assert_eq!(real.remove(k), model.remove(k));
+                prop_ensure_eq!(real.len(), model.items.len());
+                prop_ensure!(real.len() <= *cap, "over capacity");
+            }
+            // Final recency order agrees.
+            let real_order: Vec<u64> = real.iter_mru().map(|(l, _)| l).collect();
+            let model_order: Vec<u64> = model.items.iter().map(|(l, _)| *l).collect();
+            prop_ensure_eq!(real_order, model_order);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn set_assoc_is_lru_within_each_set() {
+    propcheck::check(
+        "set_assoc_is_lru_within_each_set",
+        |g| (cache_ops(g, 32), g.usize_in(1..5)),
+        |(ops, ways)| halves(ops).into_iter().map(|h| (h, *ways)).collect(),
+        |(ops, ways)| {
+            // A set-associative cache with S sets behaves exactly like S
+            // independent LRU caches of `ways` entries, keyed by the set
+            // bits.
+            let n_sets = 4usize;
+            let mut real = SetAssocCache::new(n_sets * ways, *ways);
+            let mut models: Vec<ModelLru> = (0..n_sets).map(|_| ModelLru::new(*ways)).collect();
+            for op in ops {
+                match op {
+                    CacheOp::Get(k) => {
+                        let set = (k % n_sets as u64) as usize;
+                        prop_ensure_eq!(real.get_mut(*k).map(|v| *v), models[set].get(*k));
+                    }
+                    CacheOp::Insert(k, v) => {
+                        if real.contains(*k) {
+                            continue;
+                        }
+                        let set = (k % n_sets as u64) as usize;
+                        let r = real.insert(*k, *v).map(|e| (e.line, e.val));
+                        prop_ensure_eq!(r, models[set].insert(*k, *v));
+                    }
+                    CacheOp::Remove(k) => {
+                        let set = (k % n_sets as u64) as usize;
+                        prop_ensure_eq!(real.remove(*k), models[set].remove(*k));
+                    }
                 }
             }
-            prop_assert_eq!(real.len(), model.items.len());
-            prop_assert!(real.len() <= cap);
-        }
-        // Final recency order agrees.
-        let real_order: Vec<u64> = real.iter_mru().map(|(l, _)| l).collect();
-        let model_order: Vec<u64> = model.items.iter().map(|(l, _)| *l).collect();
-        prop_assert_eq!(real_order, model_order);
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn set_assoc_is_lru_within_each_set(ops in cache_ops(32), ways in 1usize..5) {
-        // A set-associative cache with S sets behaves exactly like S
-        // independent LRU caches of `ways` entries, keyed by the set
-        // bits.
-        let n_sets = 4usize;
-        let mut real = SetAssocCache::new(n_sets * ways, ways);
-        let mut models: Vec<ModelLru> = (0..n_sets).map(|_| ModelLru::new(ways)).collect();
-        for op in ops {
-            match op {
-                CacheOp::Get(k) => {
-                    let set = (k % n_sets as u64) as usize;
-                    prop_assert_eq!(real.get_mut(k).map(|v| *v), models[set].get(k));
-                }
-                CacheOp::Insert(k, v) => {
-                    if real.contains(k) {
-                        continue;
-                    }
-                    let set = (k % n_sets as u64) as usize;
-                    let r = real.insert(k, v).map(|e| (e.line, e.val));
-                    prop_assert_eq!(r, models[set].insert(k, v));
-                }
-                CacheOp::Remove(k) => {
-                    let set = (k % n_sets as u64) as usize;
-                    prop_assert_eq!(real.remove(k), models[set].remove(k));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn packed_op_roundtrips(tag in 0u8..6, payload in 0u64..(1 << 61)) {
-        let op = match tag {
-            0 => Op::Read(payload),
-            1 => Op::Write(payload),
-            2 => Op::Compute(payload),
-            3 => Op::Barrier(payload as u32),
-            4 => Op::Lock(payload as u32),
-            _ => Op::Unlock(payload as u32),
-        };
-        prop_assert_eq!(PackedOp::pack(op).unpack(), op);
-    }
-
-    #[test]
-    fn allocator_regions_never_overlap(sizes in prop::collection::vec(1u64..10_000, 1..40)) {
-        let mut space = simcore::space::AddressSpace::new();
-        let mut regions = Vec::new();
-        for (i, &s) in sizes.iter().enumerate() {
-            let base = if i % 2 == 0 {
-                space.alloc_shared(s)
-            } else {
-                space.alloc_owned(s, (i % 7) as u32)
+#[test]
+fn packed_op_roundtrips() {
+    propcheck::check(
+        "packed_op_roundtrips",
+        |g| (g.u8_in(0..6), g.u64_in(0..(1 << 61))),
+        no_shrink,
+        |&(tag, payload)| {
+            let op = match tag {
+                0 => Op::Read(payload),
+                1 => Op::Write(payload),
+                2 => Op::Compute(payload),
+                3 => Op::Barrier(payload as u32),
+                4 => Op::Lock(payload as u32),
+                _ => Op::Unlock(payload as u32),
             };
-            regions.push((base, s));
-        }
-        for (i, &(a, sa)) in regions.iter().enumerate() {
-            // Lookups hit the right region at both ends.
-            prop_assert!(space.placement_of(a).is_some());
-            prop_assert!(space.placement_of(a + sa - 1).is_some());
-            for &(b, _) in &regions[i + 1..] {
-                prop_assert!(a + sa <= b || a >= b, "regions overlap");
-            }
-        }
-    }
+            prop_ensure_eq!(PackedOp::pack(op).unpack(), op);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lines_in_range_counts_exactly(base in 0u64..100_000, bytes in 0u64..10_000) {
-        let expect: std::collections::HashSet<u64> =
-            (base..base + bytes).map(simcore::addr::line_of).collect();
-        prop_assert_eq!(
-            simcore::addr::lines_in_range(base, bytes),
-            expect.len() as u64
-        );
-    }
+#[test]
+fn allocator_regions_never_overlap() {
+    propcheck::check(
+        "allocator_regions_never_overlap",
+        |g| g.vec_of(1..40, |g| g.u64_in(1..10_000)),
+        |sizes| halves(sizes),
+        |sizes| {
+            let mut space = simcore::space::AddressSpace::new();
+            let mut regions = Vec::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                let base = if i % 2 == 0 {
+                    space.alloc_shared(s)
+                } else {
+                    space.alloc_owned(s, (i % 7) as u32)
+                };
+                regions.push((base, s));
+            }
+            for (i, &(a, sa)) in regions.iter().enumerate() {
+                // Lookups hit the right region at both ends.
+                prop_ensure!(space.placement_of(a).is_some(), "base lookup failed");
+                prop_ensure!(
+                    space.placement_of(a + sa - 1).is_some(),
+                    "end lookup failed"
+                );
+                for &(b, _) in &regions[i + 1..] {
+                    prop_ensure!(a + sa <= b || a >= b, "regions overlap");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn lines_in_range_counts_exactly() {
+    propcheck::check(
+        "lines_in_range_counts_exactly",
+        |g| (g.u64_in(0..100_000), g.u64_in(0..10_000)),
+        no_shrink,
+        |&(base, bytes)| {
+            let expect: std::collections::HashSet<u64> =
+                (base..base + bytes).map(simcore::addr::line_of).collect();
+            prop_ensure_eq!(
+                simcore::addr::lines_in_range(base, bytes),
+                expect.len() as u64
+            );
+            Ok(())
+        },
+    );
 }

@@ -15,7 +15,6 @@
 //! computed for real; tests check the Barnes-Hut force against direct
 //! summation.
 
-use rand::Rng;
 use simcore::ops::{Trace, TraceBuilder};
 use simcore::space::Placement;
 
@@ -309,13 +308,8 @@ impl Octree {
                                 continue;
                             }
                             let b = &bodies[bi];
-                            let dx = [
-                                b.pos[0] - pos[0],
-                                b.pos[1] - pos[1],
-                                b.pos[2] - pos[2],
-                            ];
-                            let r2 =
-                                dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + EPS * EPS;
+                            let dx = [b.pos[0] - pos[0], b.pos[1] - pos[1], b.pos[2] - pos[2]];
+                            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + EPS * EPS;
                             let f = b.mass / (r2 * r2.sqrt());
                             for dim in 0..3 {
                                 acc[dim] += f * dx[dim];
@@ -435,11 +429,8 @@ impl SplashApp for Barnes {
         // one line per locally owned body slot.
         let scratch: Vec<simcore::space::SharedArray> = (0..n_procs)
             .map(|p| {
-                t.space_mut().alloc_array(
-                    (n / n_procs + 1) as u64,
-                    64,
-                    Placement::Owner(p as u32),
-                )
+                t.space_mut()
+                    .alloc_array((n / n_procs + 1) as u64, 64, Placement::Owner(p as u32))
             })
             .collect();
         let cell_children = |c: usize| cell_arr.addr(c as u64);

@@ -16,7 +16,6 @@ use simcore::space::SharedArray;
 
 use crate::util::{chunk_range, rng_for};
 use crate::SplashApp;
-use rand::Rng;
 
 /// Cycles charged per complex butterfly: 10 flops plus twiddle
 /// generation, index arithmetic and loop overhead on a scalar
@@ -265,7 +264,9 @@ impl SplashApp for Fft {
             let mut rows = Vec::with_capacity(m);
             for p in 0..n_procs {
                 let r = chunk_range(m, n_procs, p);
-                let base = t.space_mut().alloc_owned((r.len() * m * 16) as u64, p as u32);
+                let base = t
+                    .space_mut()
+                    .alloc_owned((r.len() * m * 16) as u64, p as u32);
                 for (k, _) in r.enumerate() {
                     rows.push(SharedArray {
                         base: base + (k * m * 16) as u64,

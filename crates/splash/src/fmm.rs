@@ -10,7 +10,6 @@
 //! adjacent leaves. The expansions are computed for real; tests check
 //! the evaluated potential against direct summation.
 
-use rand::Rng;
 use simcore::ops::{Trace, TraceBuilder};
 use simcore::space::Placement;
 
@@ -47,10 +46,7 @@ impl C {
         C(self.0 - o.0, self.1 - o.1)
     }
     fn mul(self, o: C) -> C {
-        C(
-            self.0 * o.0 - self.1 * o.1,
-            self.0 * o.1 + self.1 * o.0,
-        )
+        C(self.0 * o.0 - self.1 * o.1, self.0 * o.1 + self.1 * o.0)
     }
     fn scale(self, s: f64) -> C {
         C(self.0 * s, self.1 * s)
@@ -237,9 +233,7 @@ impl FmmSolver {
                     for (lidx, bl) in b.iter_mut().enumerate().skip(1) {
                         let mut s = a[0].mul(t.powi(lidx)).scale(-1.0 / lidx as f64);
                         for k in 1..=lidx {
-                            s = s.add(
-                                a[k].mul(t.powi(lidx - k)).scale(binom(lidx - 1, k - 1)),
-                            );
+                            s = s.add(a[k].mul(t.powi(lidx - k)).scale(binom(lidx - 1, k - 1)));
                         }
                         *bl = bl.add(s);
                     }
@@ -259,7 +253,7 @@ impl FmmSolver {
                     let a = self.multipole[l][src];
                     let z0 = box_center(l, src);
                     let t = z0.sub(zl); // z0 - zl
-                    // b0 += a0·log(zl - z0) + Σ a_k (-1)^k / t^k
+                                        // b0 += a0·log(zl - z0) + Σ a_k (-1)^k / t^k
                     let mut s = a[0].mul(zl.sub(z0).ln());
                     let tinv = t.inv();
                     let mut tk = C(1.0, 0.0);

@@ -40,8 +40,8 @@ pub mod mp3d;
 pub mod ocean;
 pub mod radix;
 pub mod raytrace;
-pub mod volrend;
 pub mod util;
+pub mod volrend;
 
 use simcore::Trace;
 

@@ -19,7 +19,6 @@ use simcore::space::SharedArray;
 
 use crate::util::{proc_grid, rng_for};
 use crate::SplashApp;
-use rand::Rng;
 
 /// Cycles of CPU work charged per floating-point operation, covering
 /// the flop itself plus the loop/index/register instructions around it.

@@ -12,7 +12,6 @@
 //! read and write particles owned by other processors. Paper size:
 //! 50,000 particles.
 
-use rand::Rng;
 use simcore::ops::{Trace, TraceBuilder};
 use simcore::space::SharedArray;
 
@@ -94,9 +93,9 @@ impl SplashApp for Mp3d {
                     rng.gen_range(0.0..dims[2]),
                 ],
                 vel: [
-                    rng.gen_range(-0.9..0.9),
-                    rng.gen_range(-0.4..0.4),
-                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.9f32..0.9),
+                    rng.gen_range(-0.4f32..0.4),
+                    rng.gen_range(-0.4f32..0.4),
                 ],
             })
             .collect();
@@ -126,9 +125,11 @@ impl SplashApp for Mp3d {
         };
 
         // The shared cell array, homed round-robin.
-        let cells = t
-            .space_mut()
-            .alloc_array(self.n_cells() as u64, CELL_BYTES, simcore::space::Placement::RoundRobin);
+        let cells = t.space_mut().alloc_array(
+            self.n_cells() as u64,
+            CELL_BYTES,
+            simcore::space::Placement::RoundRobin,
+        );
 
         let cell_of = |pos: &[f32; 3]| -> usize {
             let ix = (pos[0].clamp(0.0, dims[0] - 1e-3)) as usize;

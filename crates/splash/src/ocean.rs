@@ -254,7 +254,10 @@ struct SubgridSet {
 
 impl SubgridSet {
     fn alloc(t: &mut TraceBuilder, n: usize, pr: usize, pc: usize) -> SubgridSet {
-        assert!(n.is_multiple_of(pr) && n.is_multiple_of(pc), "grid {n} not divisible by processor grid {pr}x{pc}");
+        assert!(
+            n.is_multiple_of(pr) && n.is_multiple_of(pc),
+            "grid {n} not divisible by processor grid {pr}x{pc}"
+        );
         let (sgr, sgc) = (n / pr, n / pc);
         let per_proc = (0..pr * pc)
             .map(|p| {
@@ -313,11 +316,7 @@ impl SubgridSet {
             }
         }
         t.compute(pid, (self.sgr * self.sgc) as u64 * CYCLES_PER_POINT);
-        t.write_span(
-            pid,
-            dst.per_proc[p].base,
-            (self.sgr * self.sgc * 8) as u64,
-        );
+        t.write_span(pid, dst.per_proc[p].base, (self.sgr * self.sgc * 8) as u64);
     }
 }
 
@@ -379,11 +378,7 @@ impl SplashApp for Ocean {
                         for p in 0..n_procs {
                             u.emit_sweep(&mut t, u, p);
                             // The rhs is read during relaxation.
-                            t.read_span(
-                                p as u32,
-                                f.per_proc[p].base,
-                                (f.sgr * f.sgc * 8) as u64,
-                            );
+                            t.read_span(p as u32, f.per_proc[p].base, (f.sgr * f.sgc * 8) as u64);
                         }
                         t.barrier_all();
                     }
@@ -429,11 +424,7 @@ impl SplashApp for Ocean {
                     for _ in 0..2 {
                         for p in 0..n_procs {
                             u.emit_sweep(&mut t, u, p);
-                            t.read_span(
-                                p as u32,
-                                f.per_proc[p].base,
-                                (f.sgr * f.sgc * 8) as u64,
-                            );
+                            t.read_span(p as u32, f.per_proc[p].base, (f.sgr * f.sgc * 8) as u64);
                         }
                         t.barrier_all();
                     }

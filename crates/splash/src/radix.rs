@@ -20,7 +20,6 @@ use simcore::space::SharedArray;
 
 use crate::util::{chunk_range, rng_for};
 use crate::SplashApp;
-use rand::Rng;
 
 /// Cycles charged per key per pass for digit extraction and counting.
 const CYCLES_PER_KEY: u64 = 12;
@@ -92,7 +91,9 @@ impl SplashApp for Radix {
             (0..n_procs)
                 .map(|p| {
                     let range = chunk_range(n, n_procs, p);
-                    let base = t.space_mut().alloc_owned((range.len() * 4) as u64, p as u32);
+                    let base = t
+                        .space_mut()
+                        .alloc_owned((range.len() * 4) as u64, p as u32);
                     SharedArray {
                         base,
                         elem_bytes: 4,
@@ -340,10 +341,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            owners.len() >= 6,
-            "scatter writes reached only {owners:?}"
-        );
+        assert!(owners.len() >= 6, "scatter writes reached only {owners:?}");
     }
 
     #[test]

@@ -100,11 +100,7 @@ pub fn hit_sphere(ray: &Ray, s: &Sphere) -> Option<f64> {
 pub fn balls_scene(depth: usize) -> Vec<Sphere> {
     let mut out = Vec::new();
     fn recur(out: &mut Vec<Sphere>, c: [f64; 3], r: f64, depth: usize) {
-        out.push(Sphere {
-            c,
-            r,
-            reflect: 0.7,
-        });
+        out.push(Sphere { c, r, reflect: 0.7 });
         if depth == 0 {
             return;
         }
@@ -369,13 +365,11 @@ impl Raytrace {
                 let mut weight = 1.0f64;
                 let mut color = 0.0f64;
                 for _bounce in 0..=self.max_bounce {
-                    let mut cb = touch.as_deref_mut().map(|f| {
-                        move |i: usize, is_sphere: bool| f(pixel, i, is_sphere)
-                    });
-                    let hit = tree.trace(
-                        &ray,
-                        cb.as_mut().map(|f| f as &mut dyn FnMut(usize, bool)),
-                    );
+                    let mut cb = touch
+                        .as_deref_mut()
+                        .map(|f| move |i: usize, is_sphere: bool| f(pixel, i, is_sphere));
+                    let hit =
+                        tree.trace(&ray, cb.as_mut().map(|f| f as &mut dyn FnMut(usize, bool)));
                     let Some((t, si)) = hit else {
                         color += weight * 0.1; // background
                         break;
@@ -388,9 +382,9 @@ impl Raytrace {
                         o: add_scaled(p, n, 1e-6),
                         d: light,
                     };
-                    let mut cb2 = touch.as_deref_mut().map(|f| {
-                        move |i: usize, is_sphere: bool| f(pixel, i, is_sphere)
-                    });
+                    let mut cb2 = touch
+                        .as_deref_mut()
+                        .map(|f| move |i: usize, is_sphere: bool| f(pixel, i, is_sphere));
                     let lit = tree
                         .trace(
                             &sray,
@@ -434,12 +428,14 @@ impl SplashApp for Raytrace {
 
         // Read-only scene data, distributed round-robin as the paper
         // says.
-        let spheres = t
-            .space_mut()
-            .alloc_array(tree.spheres().len() as u64, SPHERE_BYTES, Placement::RoundRobin);
-        let nodes = t
-            .space_mut()
-            .alloc_array(tree.n_nodes() as u64, NODE_BYTES, Placement::RoundRobin);
+        let spheres = t.space_mut().alloc_array(
+            tree.spheres().len() as u64,
+            SPHERE_BYTES,
+            Placement::RoundRobin,
+        );
+        let nodes =
+            t.space_mut()
+                .alloc_array(tree.n_nodes() as u64, NODE_BYTES, Placement::RoundRobin);
 
         // Pixel plane: each processor's owned pixels are owner-local.
         let tiles: Vec<simcore::space::SharedArray> = (0..n_procs)
@@ -538,19 +534,10 @@ mod tests {
     fn octree_matches_brute_force() {
         let tree = SceneOctree::build(balls_scene(2));
         let mut rng = crate::util::rng_for("raytrace-test", 0);
-        use rand::Rng;
         for _ in 0..200 {
             let ray = Ray {
-                o: [
-                    rng.gen_range(-4.0..4.0),
-                    rng.gen_range(-4.0..4.0),
-                    8.0,
-                ],
-                d: normalize([
-                    rng.gen_range(-0.3..0.3),
-                    rng.gen_range(-0.3..0.3),
-                    -1.0,
-                ]),
+                o: [rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0), 8.0],
+                d: normalize([rng.gen_range(-0.3..0.3), rng.gen_range(-0.3..0.3), -1.0]),
             };
             let fast = tree.trace(&ray, None);
             let brute = tree.trace_brute(&ray);
@@ -591,10 +578,7 @@ mod tests {
         for ops in &t.per_proc {
             for op in ops {
                 if let Op::Write(a) = op.unpack() {
-                    assert!(matches!(
-                        t.space.placement_of(a),
-                        Some(Placement::Owner(_))
-                    ));
+                    assert!(matches!(t.space.placement_of(a), Some(Placement::Owner(_))));
                 }
             }
         }

@@ -1,20 +1,20 @@
 //! Shared helpers for the workload generators: deterministic RNG,
 //! partitioning, and space-filling-curve ordering.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use simcore::rng::Rng64;
 
 /// A deterministic RNG for workload inputs. Seeds are derived from the
 /// app name so different apps decorrelate but every run of the same app
-/// is identical.
-pub fn rng_for(app: &str, salt: u64) -> SmallRng {
+/// is identical. (In-tree xoshiro256**: the suite has no external
+/// dependencies, so workload inputs are reproducible on any toolchain.)
+pub fn rng_for(app: &str, salt: u64) -> Rng64 {
     let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
     for b in app.bytes() {
         seed ^= b as u64;
         seed = seed.wrapping_mul(0x100_0000_01b3);
     }
     seed ^= salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    SmallRng::seed_from_u64(seed)
+    Rng64::new(seed)
 }
 
 /// Splits `n` items into `parts` contiguous chunks as evenly as
@@ -108,8 +108,7 @@ impl TilePartition {
     pub fn tile_pixels(&self, t: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
         let tx = (t % self.tiles_x()) * self.tile;
         let ty = (t / self.tiles_x()) * self.tile;
-        (0..self.tile * self.tile)
-            .map(move |i| (tx + i % self.tile, ty + i / self.tile))
+        (0..self.tile * self.tile).map(move |i| (tx + i % self.tile, ty + i / self.tile))
     }
 }
 
@@ -143,14 +142,13 @@ pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn rng_is_deterministic_and_app_specific() {
-        let a: u64 = rng_for("lu", 0).gen();
-        let b: u64 = rng_for("lu", 0).gen();
-        let c: u64 = rng_for("fft", 0).gen();
-        let d: u64 = rng_for("lu", 1).gen();
+        let a: u64 = rng_for("lu", 0).next_u64();
+        let b: u64 = rng_for("lu", 0).next_u64();
+        let c: u64 = rng_for("fft", 0).next_u64();
+        let d: u64 = rng_for("lu", 1).next_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
@@ -180,7 +178,11 @@ mod tests {
             for parts in [1usize, 3, 8, 64] {
                 for i in 0..parts {
                     for idx in chunk_range(n, parts, i) {
-                        assert_eq!(chunk_owner(n, parts, idx), i, "n={n} parts={parts} idx={idx}");
+                        assert_eq!(
+                            chunk_owner(n, parts, idx),
+                            i,
+                            "n={n} parts={parts} idx={idx}"
+                        );
                     }
                 }
             }

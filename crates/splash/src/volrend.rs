@@ -49,8 +49,8 @@ impl Volume {
                     let dz = (z as f64 - c) / (c * 0.95);
                     let r = (dx * dx + dy * dy + dz * dz).sqrt();
                     // Deterministic texture wiggle.
-                    let wiggle =
-                        0.03 * ((x as f64 * 0.9).sin() * (y as f64 * 0.7).cos()
+                    let wiggle = 0.03
+                        * ((x as f64 * 0.9).sin() * (y as f64 * 0.7).cos()
                             + (z as f64 * 0.5).sin());
                     let r = r + wiggle;
                     let d = if r > 0.95 {
@@ -181,8 +181,8 @@ impl MinMaxOctree {
                                     {
                                         continue;
                                     }
-                                    let i = ((nz as usize * side) + ny as usize) * side
-                                        + nx as usize;
+                                    let i =
+                                        ((nz as usize * side) + ny as usize) * side + nx as usize;
                                     m = m.max(orig[i].1);
                                 }
                             }
@@ -207,11 +207,7 @@ impl MinMaxOctree {
         let clampi = |v: f64| (v.max(0.0) as usize).min(vol_n - 1) / scale;
         let (x, y, z) = (clampi(p[0]), clampi(p[1]), clampi(p[2]));
         let idx = (z * side + y) * side + x;
-        let lo = [
-            (x * scale) as f64,
-            (y * scale) as f64,
-            (z * scale) as f64,
-        ];
+        let lo = [(x * scale) as f64, (y * scale) as f64, (z * scale) as f64];
         (li, idx, nodes[idx].1 < TRANSPARENT, lo, scale as f64)
     }
 }
@@ -299,8 +295,7 @@ impl Volrend {
                             let mut exit = f64::INFINITY;
                             for d in 0..3 {
                                 if dir[d].abs() > 1e-12 {
-                                    let bound =
-                                        if dir[d] > 0.0 { lo[d] + span } else { lo[d] };
+                                    let bound = if dir[d] > 0.0 { lo[d] + span } else { lo[d] };
                                     exit = exit.min((bound - p[d]) / dir[d]);
                                 }
                             }
@@ -313,8 +308,7 @@ impl Volrend {
                         // The trilinear stencil touches two x-runs on
                         // two rows of two slices: report the 4 row
                         // starts (the distinct cache regions).
-                        let (x, y, z) =
-                            (p[0] as usize, p[1] as usize, p[2] as usize);
+                        let (x, y, z) = (p[0] as usize, p[1] as usize, p[2] as usize);
                         for (dy, dz) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
                             let yy = (y + dy).min(vol.n - 1);
                             let zz = (z + dz).min(vol.n - 1);
@@ -358,9 +352,11 @@ impl SplashApp for Volrend {
 
         let mut t = TraceBuilder::new(n_procs);
         // Volume voxels: read-only, distributed round-robin.
-        let vol_arr = t
-            .space_mut()
-            .alloc_array((self.vol * self.vol * self.vol) as u64, 1, Placement::RoundRobin);
+        let vol_arr = t.space_mut().alloc_array(
+            (self.vol * self.vol * self.vol) as u64,
+            1,
+            Placement::RoundRobin,
+        );
         // Octree nodes: 2 bytes each, per level.
         let node_arrs: Vec<simcore::space::SharedArray> = tree
             .levels
@@ -452,8 +448,7 @@ mod tests {
             for y in 0..32i64 {
                 for x in 0..32i64 {
                     let d = v.at(x, y, z);
-                    let i = ((z as usize / 4) * side + y as usize / 4) * side
-                        + x as usize / 4;
+                    let i = ((z as usize / 4) * side + y as usize / 4) * side + x as usize / 4;
                     let (lo, hi) = nodes[i];
                     assert!(lo <= d && d <= hi);
                 }

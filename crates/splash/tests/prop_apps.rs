@@ -1,141 +1,221 @@
 //! Property tests over the workload generators: structural validity
 //! for arbitrary processor counts, and correctness of the underlying
-//! numerics for arbitrary problem instances.
+//! numerics for arbitrary problem instances. Runs on the in-tree
+//! `simcore::propcheck` harness with a low default case count (16, as
+//! with the old proptest config) because each case runs a real
+//! algorithm; raise `PROPCHECK_CASES` for a deeper sweep.
 
-use proptest::prelude::*;
+use simcore::propcheck::{self, no_shrink};
+use simcore::{prop_ensure, prop_ensure_eq};
 use splash::{fft, lu, ocean, radix, SplashApp};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: u32 = 16;
 
-    #[test]
-    fn lu_traces_valid_for_any_proc_count(p in prop::sample::select(vec![1usize, 2, 4, 8, 16])) {
-        let t = lu::Lu { n: 32, b: 8 }.generate(p);
-        t.validate().unwrap();
-        prop_assert_eq!(t.n_procs(), p);
-    }
+#[test]
+fn lu_traces_valid_for_any_proc_count() {
+    propcheck::check_cases(
+        CASES,
+        "lu_traces_valid_for_any_proc_count",
+        |g| g.pick(&[1usize, 2, 4, 8, 16]),
+        no_shrink,
+        |&p| {
+            let t = lu::Lu { n: 32, b: 8 }.generate(p);
+            t.validate().map_err(|e| format!("invalid trace: {e}"))?;
+            prop_ensure_eq!(t.n_procs(), p);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn radix_sorts_any_configuration(
-        n_keys in 64usize..2048,
-        radix_bits in 2u32..9,
-        key_bits in 4u32..20,
-    ) {
-        let cfg = radix::Radix {
-            n_keys,
-            radix: 1 << radix_bits,
-            max_key: 1u32 << key_bits,
-        };
-        let sorted = radix::sorted_keys(&cfg);
-        let mut expect = cfg.make_keys();
-        expect.sort_unstable();
-        prop_assert_eq!(sorted, expect);
-    }
+#[test]
+fn radix_sorts_any_configuration() {
+    propcheck::check_cases(
+        CASES,
+        "radix_sorts_any_configuration",
+        |g| (g.usize_in(64..2048), g.u32_in(2..9), g.u32_in(4..20)),
+        no_shrink,
+        |&(n_keys, radix_bits, key_bits)| {
+            let cfg = radix::Radix {
+                n_keys,
+                radix: 1 << radix_bits,
+                max_key: 1u32 << key_bits,
+            };
+            let sorted = radix::sorted_keys(&cfg);
+            let mut expect = cfg.make_keys();
+            expect.sort_unstable();
+            prop_ensure_eq!(sorted, expect);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn radix_trace_valid(n_keys in 256usize..1024) {
-        let cfg = radix::Radix {
-            n_keys,
-            radix: 64,
-            max_key: 1 << 12,
-        };
-        let t = cfg.generate(4);
-        t.validate().unwrap();
-    }
+#[test]
+fn radix_trace_valid() {
+    propcheck::check_cases(
+        CASES,
+        "radix_trace_valid",
+        |g| g.usize_in(256..1024),
+        no_shrink,
+        |&n_keys| {
+            let cfg = radix::Radix {
+                n_keys,
+                radix: 64,
+                max_key: 1 << 12,
+            };
+            let t = cfg.generate(4);
+            t.validate().map_err(|e| format!("invalid trace: {e}"))
+        },
+    );
+}
 
-    #[test]
-    fn fft_roundtrip_any_power_of_two(logn in 2u32..10, seed in 0u64..50) {
-        use splash::fft::{fft_in_place, C64};
-        let n = 1usize << logn;
-        let mut rng = splash::util::rng_for("prop-fft", seed);
-        use rand::Rng;
-        let x: Vec<C64> = (0..n)
-            .map(|_| C64 {
-                re: rng.gen_range(-1.0..1.0),
-                im: rng.gen_range(-1.0..1.0),
-            })
-            .collect();
-        let mut y = x.clone();
-        fft_in_place(&mut y, -1.0);
-        fft_in_place(&mut y, 1.0);
-        for (a, b) in x.iter().zip(&y) {
-            prop_assert!((a.re - b.re / n as f64).abs() < 1e-8);
-            prop_assert!((a.im - b.im / n as f64).abs() < 1e-8);
-        }
-    }
-
-    #[test]
-    fn fft_parseval_energy_conserved(seed in 0u64..50) {
-        use splash::fft::{dft, C64};
-        let mut rng = splash::util::rng_for("prop-parseval", seed);
-        use rand::Rng;
-        let n = 32usize;
-        let x: Vec<C64> = (0..n)
-            .map(|_| C64 {
-                re: rng.gen_range(-1.0..1.0),
-                im: rng.gen_range(-1.0..1.0),
-            })
-            .collect();
-        let y = dft(&x);
-        let ex: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
-        let ey: f64 = y.iter().map(|c| c.re * c.re + c.im * c.im).sum();
-        prop_assert!((ey - n as f64 * ex).abs() < 1e-6 * (1.0 + ey.abs()));
-    }
-
-    #[test]
-    fn lu_factorization_correct_for_any_block_shape(
-        nb in 2usize..5,
-        b in prop::sample::select(vec![4usize, 8]),
-    ) {
-        let n = nb * b;
-        let original = lu::BlockedMatrix::random_dd(n, b);
-        let mut m = original.clone();
-        m.factor();
-        prop_assert!(m.residual(&original) < 1e-8);
-    }
-
-    #[test]
-    fn multigrid_never_diverges(seed in 0u64..30) {
-        use splash::util::rng_for;
-        use rand::Rng;
-        let n = 16usize;
-        let mut rng = rng_for("prop-mg", seed);
-        let mut f = ocean::Grid::zeros(n);
-        for i in 1..=n {
-            for j in 1..=n {
-                f.set(i, j, rng.gen_range(-1.0..1.0));
+#[test]
+fn fft_roundtrip_any_power_of_two() {
+    propcheck::check_cases(
+        CASES,
+        "fft_roundtrip_any_power_of_two",
+        |g| (g.u32_in(2..10), g.u64_in(0..50)),
+        no_shrink,
+        |&(logn, seed)| {
+            use splash::fft::{fft_in_place, C64};
+            let n = 1usize << logn;
+            let mut rng = splash::util::rng_for("prop-fft", seed);
+            let x: Vec<C64> = (0..n)
+                .map(|_| C64 {
+                    re: rng.gen_range(-1.0..1.0),
+                    im: rng.gen_range(-1.0..1.0),
+                })
+                .collect();
+            let mut y = x.clone();
+            fft_in_place(&mut y, -1.0);
+            fft_in_place(&mut y, 1.0);
+            for (a, b) in x.iter().zip(&y) {
+                prop_ensure!((a.re - b.re / n as f64).abs() < 1e-8, "re drift");
+                prop_ensure!((a.im - b.im / n as f64).abs() < 1e-8, "im drift");
             }
-        }
-        let mut u = ocean::Grid::zeros(n);
-        let r0 = u.residual(&f).max(1e-12);
-        for _ in 0..6 {
-            ocean::v_cycle(&mut u, &f);
-        }
-        prop_assert!(u.residual(&f) < r0, "residual must shrink");
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn fft_trace_refs_scale_with_points(logn in prop::sample::select(vec![10u32, 12])) {
-        let app = fft::Fft { n_points: 1 << logn };
-        let t = app.generate(4);
-        t.validate().unwrap();
-        // Six-step FFT touches each point a bounded number of times:
-        // refs must be O(n log n) but at least 3 transposes' worth.
-        let n = app.n_points as u64;
-        prop_assert!(t.total_refs() > n / 4);
-        prop_assert!(t.total_refs() < n * 64);
-    }
+#[test]
+fn fft_parseval_energy_conserved() {
+    propcheck::check_cases(
+        CASES,
+        "fft_parseval_energy_conserved",
+        |g| g.u64_in(0..50),
+        no_shrink,
+        |&seed| {
+            use splash::fft::{dft, C64};
+            let mut rng = splash::util::rng_for("prop-parseval", seed);
+            let n = 32usize;
+            let x: Vec<C64> = (0..n)
+                .map(|_| C64 {
+                    re: rng.gen_range(-1.0..1.0),
+                    im: rng.gen_range(-1.0..1.0),
+                })
+                .collect();
+            let y = dft(&x);
+            let ex: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+            let ey: f64 = y.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+            prop_ensure!(
+                (ey - n as f64 * ex).abs() < 1e-6 * (1.0 + ey.abs()),
+                "energy not conserved: {ex} vs {ey}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn barnes_energy_is_finite_over_steps(n_bodies in 64usize..160) {
-        // Run the generator (which advances the real dynamics) and make
-        // sure nothing blows up numerically.
-        let app = splash::barnes::Barnes {
-            n_bodies,
-            theta: 1.0,
-            steps: 3,
-        };
-        let t = app.generate(4);
-        t.validate().unwrap();
-    }
+#[test]
+fn lu_factorization_correct_for_any_block_shape() {
+    propcheck::check_cases(
+        CASES,
+        "lu_factorization_correct_for_any_block_shape",
+        |g| (g.usize_in(2..5), g.pick(&[4usize, 8])),
+        no_shrink,
+        |&(nb, b)| {
+            let n = nb * b;
+            let original = lu::BlockedMatrix::random_dd(n, b);
+            let mut m = original.clone();
+            m.factor();
+            prop_ensure!(
+                m.residual(&original) < 1e-8,
+                "residual {}",
+                m.residual(&original)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn multigrid_never_diverges() {
+    propcheck::check_cases(
+        CASES,
+        "multigrid_never_diverges",
+        |g| g.u64_in(0..30),
+        no_shrink,
+        |&seed| {
+            use splash::util::rng_for;
+            let n = 16usize;
+            let mut rng = rng_for("prop-mg", seed);
+            let mut f = ocean::Grid::zeros(n);
+            for i in 1..=n {
+                for j in 1..=n {
+                    f.set(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+            let mut u = ocean::Grid::zeros(n);
+            let r0 = u.residual(&f).max(1e-12);
+            for _ in 0..6 {
+                ocean::v_cycle(&mut u, &f);
+            }
+            prop_ensure!(u.residual(&f) < r0, "residual must shrink");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fft_trace_refs_scale_with_points() {
+    propcheck::check_cases(
+        CASES,
+        "fft_trace_refs_scale_with_points",
+        |g| g.pick(&[10u32, 12]),
+        no_shrink,
+        |&logn| {
+            let app = fft::Fft {
+                n_points: 1 << logn,
+            };
+            let t = app.generate(4);
+            t.validate().map_err(|e| format!("invalid trace: {e}"))?;
+            // Six-step FFT touches each point a bounded number of times:
+            // refs must be O(n log n) but at least 3 transposes' worth.
+            let n = app.n_points as u64;
+            prop_ensure!(t.total_refs() > n / 4, "too few refs");
+            prop_ensure!(t.total_refs() < n * 64, "too many refs");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn barnes_energy_is_finite_over_steps() {
+    propcheck::check_cases(
+        CASES,
+        "barnes_energy_is_finite_over_steps",
+        |g| g.usize_in(64..160),
+        no_shrink,
+        |&n_bodies| {
+            // Run the generator (which advances the real dynamics) and make
+            // sure nothing blows up numerically.
+            let app = splash::barnes::Barnes {
+                n_bodies,
+                theta: 1.0,
+                steps: 3,
+            };
+            let t = app.generate(4);
+            t.validate().map_err(|e| format!("invalid trace: {e}"))
+        },
+    );
 }

@@ -102,7 +102,8 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
     let mut barrier_waiting: Vec<u32> = Vec::with_capacity(n);
     let mut barrier_id: u32 = 0;
 
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..n as u32).map(|p| Reverse((0, p))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..n as u32).map(|p| Reverse((0, p))).collect();
     let mut done = 0usize;
     let extra_load = opts.load_latency - 1;
 
@@ -147,7 +148,9 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
                             p.bd.cpu += 1;
                             p.clock += 1;
                             p.reads_issued += 1;
-                            if extra_load > 0 && p.reads_issued.is_multiple_of(opts.dependent_load_period) {
+                            if extra_load > 0
+                                && p.reads_issued.is_multiple_of(opts.dependent_load_period)
+                            {
                                 p.bd.load += extra_load;
                                 p.clock += extra_load;
                             }
@@ -159,7 +162,9 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
                             p.bd.load += stall;
                             p.clock += 1 + stall;
                             p.reads_issued += 1;
-                            if extra_load > 0 && p.reads_issued.is_multiple_of(opts.dependent_load_period) {
+                            if extra_load > 0
+                                && p.reads_issued.is_multiple_of(opts.dependent_load_period)
+                            {
                                 p.bd.load += extra_load;
                                 p.clock += extra_load;
                             }

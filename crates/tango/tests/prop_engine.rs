@@ -1,51 +1,85 @@
 //! Property tests of the timing engine: accounting identities,
 //! determinism, and ordering laws hold for arbitrary generated traces.
+//! Runs on the in-tree `simcore::propcheck` harness (48 cases by
+//! default, matching the old proptest config; `PROPCHECK_CASES`
+//! overrides). Cases are the per-processor op scripts; the trace is
+//! rebuilt inside each property so shrinking by halving a script
+//! yields a smaller but still structurally valid trace.
 
 use coherence::config::CacheSpec;
 use coherence::{LatencyTable, MachineConfig};
-use proptest::prelude::*;
 use simcore::ops::{Trace, TraceBuilder};
+use simcore::propcheck::{self, halves, Gen};
+use simcore::{prop_ensure, prop_ensure_eq};
 
-/// Random but structurally valid multi-processor traces: per processor
-/// a mix of reads/writes/computes over a shared region, with a couple
-/// of global barriers and optional balanced lock sections.
-fn arb_trace(n_procs: usize) -> impl Strategy<Value = Trace> {
-    let per_proc = prop::collection::vec(
-        prop_oneof![
-            (0u64..64).prop_map(|l| (0u8, l)),      // read line l
-            (0u64..64).prop_map(|l| (1u8, l)),      // write line l
-            (1u64..50).prop_map(|c| (2u8, c)),      // compute c
-            Just((3u8, 0)),                         // locked counter bump
-        ],
-        1..60,
-    );
-    prop::collection::vec(per_proc, n_procs).prop_map(move |scripts| {
-        let mut b = TraceBuilder::new(scripts.len());
-        let base = b.space_mut().alloc_shared(64 * 64);
-        let counter = b.space_mut().alloc_shared(64);
-        let lock = b.new_lock();
-        // Two phases separated by a barrier, same script replayed.
-        for _phase in 0..2 {
-            for (p, script) in scripts.iter().enumerate() {
-                let pid = p as u32;
-                for &(kind, v) in script {
-                    match kind {
-                        0 => b.read(pid, base + v * 64),
-                        1 => b.write(pid, base + v * 64),
-                        2 => b.compute(pid, v),
-                        _ => {
-                            b.lock(pid, lock);
-                            b.read(pid, counter);
-                            b.write(pid, counter);
-                            b.unlock(pid, lock);
-                        }
+const CASES: u32 = 48;
+
+/// One scripted action: `(kind, value)` with kind 0=read line, 1=write
+/// line, 2=compute cycles, 3=locked counter bump.
+type Script = Vec<(u8, u64)>;
+
+/// Random but structurally valid multi-processor scripts: per processor
+/// a mix of reads/writes/computes over a shared region plus optional
+/// balanced lock sections.
+fn arb_scripts(g: &mut Gen, n_procs: usize) -> Vec<Script> {
+    (0..n_procs)
+        .map(|_| {
+            g.vec_of(1..60, |g| match g.u8_in(0..4) {
+                0 => (0u8, g.u64_in(0..64)), // read line l
+                1 => (1u8, g.u64_in(0..64)), // write line l
+                2 => (2u8, g.u64_in(1..50)), // compute c
+                _ => (3u8, 0),               // locked counter bump
+            })
+        })
+        .collect()
+}
+
+/// Shrink candidates: halve one processor's script at a time (keeping
+/// at least one op so the structure assumptions hold).
+fn shrink_scripts(scripts: &[Script]) -> Vec<Vec<Script>> {
+    let mut out = Vec::new();
+    for (p, script) in scripts.iter().enumerate() {
+        for smaller in halves(script) {
+            if smaller.is_empty() {
+                continue;
+            }
+            let mut candidate = scripts.to_vec();
+            candidate[p] = smaller;
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Builds the two-phase barrier-separated trace the old proptest
+/// generator produced: same script replayed in each phase, with a
+/// shared data region, a lock-protected counter, and a global barrier
+/// after every phase.
+fn build_trace(scripts: &[Script]) -> Trace {
+    let mut b = TraceBuilder::new(scripts.len());
+    let base = b.space_mut().alloc_shared(64 * 64);
+    let counter = b.space_mut().alloc_shared(64);
+    let lock = b.new_lock();
+    for _phase in 0..2 {
+        for (p, script) in scripts.iter().enumerate() {
+            let pid = p as u32;
+            for &(kind, v) in script {
+                match kind {
+                    0 => b.read(pid, base + v * 64),
+                    1 => b.write(pid, base + v * 64),
+                    2 => b.compute(pid, v),
+                    _ => {
+                        b.lock(pid, lock);
+                        b.read(pid, counter);
+                        b.write(pid, counter);
+                        b.unlock(pid, lock);
                     }
                 }
             }
-            b.barrier_all();
         }
-        b.finish()
-    })
+        b.barrier_all();
+    }
+    b.finish()
 }
 
 fn machine(n_procs: u32, per_cluster: u32, cache: CacheSpec) -> MachineConfig {
@@ -57,114 +91,176 @@ fn machine(n_procs: u32, per_cluster: u32, cache: CacheSpec) -> MachineConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn breakdowns_sum_to_exec_time(
-        trace in arb_trace(4),
-        per_cluster in prop::sample::select(vec![1u32, 2, 4]),
-    ) {
-        trace.validate().unwrap();
-        let rs = tango::run(&trace, machine(4, per_cluster, CacheSpec::Infinite));
-        for bd in &rs.per_proc {
-            prop_assert_eq!(bd.total(), rs.exec_time);
-        }
-    }
-
-    #[test]
-    fn runs_are_deterministic(trace in arb_trace(4)) {
-        let m = machine(4, 2, CacheSpec::PerProcBytes(4096));
-        let a = tango::run(&trace, m);
-        let b = tango::run(&trace, m);
-        prop_assert_eq!(a.exec_time, b.exec_time);
-        prop_assert_eq!(a.mem, b.mem);
-        prop_assert_eq!(a.per_proc, b.per_proc);
-    }
-
-    #[test]
-    fn total_cpu_is_config_independent(trace in arb_trace(4)) {
-        // CPU busy time depends only on the trace, never on the memory
-        // system (hits are single-cycle in every configuration).
-        let sum_cpu = |cache| {
-            let rs = tango::run(&trace, machine(4, 1, cache));
-            rs.per_proc.iter().map(|b| b.cpu).sum::<u64>()
-        };
-        let a = sum_cpu(CacheSpec::Infinite);
-        let b = sum_cpu(CacheSpec::PerProcBytes(1024));
-        prop_assert_eq!(a, b);
-        let rs = tango::run(&trace, machine(4, 4, CacheSpec::Infinite));
-        prop_assert_eq!(rs.per_proc.iter().map(|b| b.cpu).sum::<u64>(), a);
-    }
-
-    #[test]
-    fn infinite_cache_never_loses_to_finite_read_only(
-        lines in prop::collection::vec(0u64..64, 1..50),
-    ) {
-        // Only claimed for read-only traffic: with writes, a dirty
-        // eviction *cleans the directory*, so a finite cache can turn a
-        // later 150-cycle three-hop miss into a 100-cycle home miss and
-        // finish earlier than the infinite cache — a real (and
-        // documented) property of the DASH-style protocol.
-        let mut b = TraceBuilder::new(4);
-        let base = b.space_mut().alloc_shared(64 * 64);
-        for p in 0..4u32 {
-            b.compute(p, p as u64 * 13);
-            for &l in &lines {
-                b.read(p, base + l * 64);
-                b.compute(p, 3);
+#[test]
+fn breakdowns_sum_to_exec_time() {
+    propcheck::check_cases(
+        CASES,
+        "breakdowns_sum_to_exec_time",
+        |g| (arb_scripts(g, 4), g.pick(&[1u32, 2, 4])),
+        |(s, pc)| shrink_scripts(s).into_iter().map(|c| (c, *pc)).collect(),
+        |(scripts, per_cluster)| {
+            let trace = build_trace(scripts);
+            trace
+                .validate()
+                .map_err(|e| format!("invalid trace: {e}"))?;
+            let rs = tango::run(&trace, machine(4, *per_cluster, CacheSpec::Infinite));
+            for bd in &rs.per_proc {
+                prop_ensure_eq!(bd.total(), rs.exec_time);
             }
-        }
-        let trace = b.finish();
-        let inf = tango::run(&trace, machine(4, 1, CacheSpec::Infinite));
-        let fin = tango::run(&trace, machine(4, 1, CacheSpec::PerProcBytes(512)));
-        prop_assert!(inf.exec_time <= fin.exec_time);
-        prop_assert!(inf.mem.read_misses <= fin.mem.read_misses);
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn zero_latency_is_lower_bound(trace in arb_trace(4)) {
-        let paper = tango::run(&trace, machine(4, 1, CacheSpec::Infinite));
-        let free = tango::run(
-            &trace,
-            MachineConfig {
-                n_procs: 4,
-                per_cluster: 1,
-                cache: CacheSpec::Infinite,
-                lat: LatencyTable::uniform(0),
-            },
-        );
-        prop_assert!(free.exec_time <= paper.exec_time);
-        // With zero miss latency there is no load stall at all.
-        for bd in &free.per_proc {
-            prop_assert_eq!(bd.load, 0);
-        }
-    }
+#[test]
+fn runs_are_deterministic() {
+    propcheck::check_cases(
+        CASES,
+        "runs_are_deterministic",
+        |g| arb_scripts(g, 4),
+        |s| shrink_scripts(s),
+        |scripts| {
+            let trace = build_trace(scripts);
+            let m = machine(4, 2, CacheSpec::PerProcBytes(4096));
+            let a = tango::run(&trace, m);
+            let b = tango::run(&trace, m);
+            prop_ensure_eq!(a.exec_time, b.exec_time);
+            prop_ensure_eq!(a.mem, b.mem);
+            prop_ensure_eq!(a.per_proc, b.per_proc);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn miss_counts_are_cluster_monotone_for_read_only(
-        lines in prop::collection::vec(0u64..64, 1..40),
-    ) {
-        // For a read-only workload (no invalidations, infinite cache),
-        // merging processors into clusters can only remove misses.
-        let build = || {
+#[test]
+fn total_cpu_is_config_independent() {
+    propcheck::check_cases(
+        CASES,
+        "total_cpu_is_config_independent",
+        |g| arb_scripts(g, 4),
+        |s| shrink_scripts(s),
+        |scripts| {
+            // CPU busy time depends only on the trace, never on the memory
+            // system (hits are single-cycle in every configuration).
+            let trace = build_trace(scripts);
+            let sum_cpu = |cache| {
+                let rs = tango::run(&trace, machine(4, 1, cache));
+                rs.per_proc.iter().map(|b| b.cpu).sum::<u64>()
+            };
+            let a = sum_cpu(CacheSpec::Infinite);
+            let b = sum_cpu(CacheSpec::PerProcBytes(1024));
+            prop_ensure_eq!(a, b);
+            let rs = tango::run(&trace, machine(4, 4, CacheSpec::Infinite));
+            prop_ensure_eq!(rs.per_proc.iter().map(|b| b.cpu).sum::<u64>(), a);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn infinite_cache_never_loses_to_finite_read_only() {
+    propcheck::check_cases(
+        CASES,
+        "infinite_cache_never_loses_to_finite_read_only",
+        |g| g.vec_of(1..50, |g| g.u64_in(0..64)),
+        |lines| {
+            halves(lines)
+                .into_iter()
+                .filter(|h| !h.is_empty())
+                .collect()
+        },
+        |lines| {
+            // Only claimed for read-only traffic: with writes, a dirty
+            // eviction *cleans the directory*, so a finite cache can turn a
+            // later 150-cycle three-hop miss into a 100-cycle home miss and
+            // finish earlier than the infinite cache — a real (and
+            // documented) property of the DASH-style protocol.
+            let mut b = TraceBuilder::new(4);
+            let base = b.space_mut().alloc_shared(64 * 64);
+            for p in 0..4u32 {
+                b.compute(p, p as u64 * 13);
+                for &l in lines {
+                    b.read(p, base + l * 64);
+                    b.compute(p, 3);
+                }
+            }
+            let trace = b.finish();
+            let inf = tango::run(&trace, machine(4, 1, CacheSpec::Infinite));
+            let fin = tango::run(&trace, machine(4, 1, CacheSpec::PerProcBytes(512)));
+            prop_ensure!(inf.exec_time <= fin.exec_time, "infinite slower");
+            prop_ensure!(
+                inf.mem.read_misses <= fin.mem.read_misses,
+                "infinite missed more"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn zero_latency_is_lower_bound() {
+    propcheck::check_cases(
+        CASES,
+        "zero_latency_is_lower_bound",
+        |g| arb_scripts(g, 4),
+        |s| shrink_scripts(s),
+        |scripts| {
+            let trace = build_trace(scripts);
+            let paper = tango::run(&trace, machine(4, 1, CacheSpec::Infinite));
+            let free = tango::run(
+                &trace,
+                MachineConfig {
+                    n_procs: 4,
+                    per_cluster: 1,
+                    cache: CacheSpec::Infinite,
+                    lat: LatencyTable::uniform(0),
+                },
+            );
+            prop_ensure!(free.exec_time <= paper.exec_time, "free run slower");
+            // With zero miss latency there is no load stall at all.
+            for bd in &free.per_proc {
+                prop_ensure_eq!(bd.load, 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn miss_counts_are_cluster_monotone_for_read_only() {
+    propcheck::check_cases(
+        CASES,
+        "miss_counts_are_cluster_monotone_for_read_only",
+        |g| g.vec_of(1..40, |g| g.u64_in(0..64)),
+        |lines| {
+            halves(lines)
+                .into_iter()
+                .filter(|h| !h.is_empty())
+                .collect()
+        },
+        |lines| {
+            // For a read-only workload (no invalidations, infinite cache),
+            // merging processors into clusters can only remove misses.
             let mut b = TraceBuilder::new(8);
             let base = b.space_mut().alloc_shared(64 * 64);
             for p in 0..8u32 {
                 b.compute(p, p as u64 * 97);
-                for &l in &lines {
+                for &l in lines {
                     b.read(p, base + l * 64);
                     b.compute(p, 11);
                 }
             }
-            b.finish()
-        };
-        let t = build();
-        let mut prev = u64::MAX;
-        for per_cluster in [1u32, 2, 4, 8] {
-            let rs = tango::run(&t, machine(8, per_cluster, CacheSpec::Infinite));
-            prop_assert!(rs.mem.read_misses <= prev);
-            prev = rs.mem.read_misses;
-        }
-    }
+            let t = b.finish();
+            let mut prev = u64::MAX;
+            for per_cluster in [1u32, 2, 4, 8] {
+                let rs = tango::run(&t, machine(8, per_cluster, CacheSpec::Infinite));
+                prop_ensure!(
+                    rs.mem.read_misses <= prev,
+                    "misses rose at per_cluster {per_cluster}"
+                );
+                prev = rs.mem.read_misses;
+            }
+            Ok(())
+        },
+    );
 }

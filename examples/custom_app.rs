@@ -24,10 +24,7 @@ fn main() {
 
     // One block per producer, allocated at the producer.
     let blocks: Vec<u64> = (0..PROCS / 2)
-        .map(|i| {
-            b.space_mut()
-                .alloc_owned(BLOCK_LINES * 64, (2 * i) as u32)
-        })
+        .map(|i| b.space_mut().alloc_owned(BLOCK_LINES * 64, (2 * i) as u32))
         .collect();
     let lock = b.new_lock();
     let counter = b.space_mut().alloc_shared(64);

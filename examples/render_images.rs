@@ -38,7 +38,10 @@ fn main() -> std::io::Result<()> {
         tree.n_nodes()
     );
 
-    let vr = Volrend { vol: 64, image: 128 };
+    let vr = Volrend {
+        vol: 64,
+        image: 128,
+    };
     let vol = Volume::head(vr.vol);
     let oct = MinMaxOctree::build(&vol, 4);
     let img = vr.render(&vol, Some(&oct), None);

@@ -14,14 +14,7 @@ use splash::SplashApp;
 fn ocean_clustering_halves_border_traffic() {
     let trace = splash::ocean::Ocean::small().generate(16);
     let sweep = sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4]);
-    let load = |i: usize| {
-        sweep.runs[i]
-            .1
-            .per_proc
-            .iter()
-            .map(|b| b.load)
-            .sum::<u64>() as f64
-    };
+    let load = |i: usize| sweep.runs[i].1.per_proc.iter().map(|b| b.load).sum::<u64>() as f64;
     assert!(
         load(1) < load(0) * 0.75,
         "2-way clustering cut load only {} -> {}",
@@ -132,10 +125,7 @@ fn shared_cache_costs_reduce_attractiveness() {
     let costed = cluster_study::report::costed_relative_times(&sweep, &factors);
     let raw = sweep.normalized_totals();
     for ((_, c), (_, r)) in costed.iter().zip(&raw).skip(1) {
-        assert!(
-            *c > r / 100.0,
-            "costed {c} should exceed raw {r}%"
-        );
+        assert!(*c > r / 100.0, "costed {c} should exceed raw {r}%");
     }
 }
 

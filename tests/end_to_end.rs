@@ -67,11 +67,8 @@ fn all_apps_touch_every_processor() {
 #[test]
 fn cluster_sweep_baseline_is_100_percent() {
     let trace = splash::lu::Lu::small().generate(16);
-    let sweep = cluster_study::study::sweep_clusters_sizes(
-        &trace,
-        CacheSpec::Infinite,
-        &[1, 2, 4, 8],
-    );
+    let sweep =
+        cluster_study::study::sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4, 8]);
     let totals = sweep.normalized_totals();
     assert_eq!(totals[0].0, 1);
     assert!((totals[0].1 - 100.0).abs() < 1e-9);
