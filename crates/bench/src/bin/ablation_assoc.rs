@@ -9,7 +9,7 @@
 //! interference shows up as the direct-mapped clustered cache losing
 //! the benefit the fully-associative one gains.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::trace_for;
 use cluster_study::study::{run_config, CLUSTER_SIZES};
 use coherence::config::CacheSpec;
@@ -21,6 +21,7 @@ fn main() {
         "Ablation: shared-cache associativity at 4KB/processor ({} sizes)\n",
         cli.size_label()
     );
+    let mut reporter = Reporter::new("ablation_assoc", &cli);
     for app in apps {
         if !cli.wants(app) {
             continue;
@@ -64,10 +65,12 @@ fn main() {
             print!("  {name:<8}");
             for c in CLUSTER_SIZES {
                 let rs = run_config(&trace, c, spec);
+                reporter.record_run(app, &spec.label(), c, &rs, None);
                 print!(" {:>8.1}", rs.percent_total_of(base));
             }
             println!();
         }
         println!();
     }
+    reporter.finish();
 }

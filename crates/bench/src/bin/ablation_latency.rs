@@ -3,7 +3,7 @@
 //! ratio; as machines integrate more tightly (or networks get slower),
 //! the value of keeping traffic inside the cluster changes.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::trace_for;
 use coherence::config::CacheSpec;
 use coherence::{LatencyTable, MachineConfig};
@@ -16,6 +16,7 @@ fn main() {
         cli.size_label()
     );
     println!("  latency model          app        1p -> 8p (normalized)");
+    let mut reporter = Reporter::new("ablation_latency", &cli);
     for app in apps {
         if !cli.wants(app) {
             continue;
@@ -48,10 +49,12 @@ fn main() {
             };
             let base = run(1);
             let clustered = run(8);
-            println!(
-                "  {name:<20}   {app:<9}  100.0 -> {:>5.1}",
-                clustered as f64 / base as f64 * 100.0
-            );
+            let norm = clustered as f64 / base as f64 * 100.0;
+            reporter
+                .manifest
+                .metrics
+                .gauge(&format!("{app}.norm8p_remote_{scale}x"), norm);
+            println!("  {name:<20}   {app:<9}  100.0 -> {norm:>5.1}");
         }
     }
     println!(
@@ -60,4 +63,5 @@ fn main() {
          toward the paper's conclusion that engineering constraints, not\n\
          application behavior, should decide."
     );
+    reporter.finish();
 }

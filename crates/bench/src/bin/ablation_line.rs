@@ -5,7 +5,7 @@
 //! contrasting an element-strided and a line-dense synthetic workload
 //! under the paper's machine.
 
-use cluster_bench::Cli;
+use cluster_bench::{Cli, Reporter};
 use cluster_study::study::{run_config, CLUSTER_SIZES};
 use coherence::config::CacheSpec;
 use simcore::ops::TraceBuilder;
@@ -46,12 +46,14 @@ fn main() {
         "  {:<22} {:>8} {:>8} {:>8} {:>8}",
         "stride (elements)", "1p", "2p", "4p", "8p"
     );
+    let mut reporter = Reporter::new("ablation_line", &cli);
     for stride in [1u64, 2, 4, 8] {
         let trace = strided_trace(cli.procs, stride);
         let base = run_config(&trace, 1, CacheSpec::Infinite).exec_time;
         print!("  {:<22}", format!("{stride} ({} per line)", 8 / stride));
         for c in CLUSTER_SIZES {
             let rs = run_config(&trace, c, CacheSpec::Infinite);
+            reporter.record_run(&format!("stride{stride}"), "inf", c, &rs, None);
             print!(" {:>8.1}", rs.percent_total_of(base));
         }
         println!();
@@ -60,4 +62,5 @@ fn main() {
         "\nDense layouts (several processors' data per 64-byte line) let the\n\
          cluster cache prefetch for neighbors; strided layouts get nothing."
     );
+    reporter.finish();
 }

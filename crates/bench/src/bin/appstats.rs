@@ -1,14 +1,18 @@
 //! Diagnostic: per-app trace composition and miss breakdown at one
-//! configuration. Not a paper artifact — a calibration tool.
+//! configuration. Not a paper artifact — a calibration tool. With
+//! `--format json` the full instrumented counter set of every app
+//! (trace composition + engine counters, via `tango::run_instrumented`)
+//! lands in the manifest's `metrics` section, prefixed by app name.
 
-use cluster_bench::Cli;
+use cluster_bench::{Cli, Reporter};
 use cluster_study::apps::trace_for;
-use cluster_study::study::run_config;
 use coherence::config::CacheSpec;
+use coherence::{LatencyTable, MachineConfig};
 use simcore::ops::Op;
 
 fn main() {
     let cli = Cli::parse();
+    let mut reporter = Reporter::new("appstats", &cli);
     for app in cluster_study::apps::FIG2_APPS {
         if !cli.wants(app) {
             continue;
@@ -26,7 +30,15 @@ fn main() {
                 }
             }
         }
-        let rs = run_config(&trace, 1, CacheSpec::Infinite);
+        let machine = MachineConfig {
+            n_procs: trace.n_procs() as u32,
+            per_cluster: 1,
+            cache: CacheSpec::Infinite,
+            lat: LatencyTable::paper(),
+        };
+        let (rs, instrumented) = tango::run_instrumented(&trace, machine);
+        reporter.record_run(app, "inf", 1, &rs, None);
+        reporter.manifest.metrics.merge_prefixed(app, &instrumented);
         let m = &rs.mem;
         println!(
             "{app}: ops={} reads={reads} writes={writes} compute={compute} locks={locks}",
@@ -47,4 +59,5 @@ fn main() {
             m.by_latency
         );
     }
+    reporter.finish();
 }

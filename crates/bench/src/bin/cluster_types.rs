@@ -9,7 +9,7 @@
 //! only cache-to-cache transfer opportunities. This harness puts
 //! numbers on that trade-off with the real workloads.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::trace_for;
 use cluster_study::study::{run_config, CLUSTER_SIZES};
 use coherence::config::CacheSpec;
@@ -26,6 +26,7 @@ fn main() {
          ({} sizes, bus transfer = {BUS_CYCLES} cycles)\n",
         cli.size_label()
     );
+    let mut reporter = Reporter::new("cluster_types", &cli);
     for app in apps {
         if !cli.wants(app) {
             continue;
@@ -64,6 +65,7 @@ fn main() {
                 print!("  {name:<26}");
                 for c in CLUSTER_SIZES {
                     let rs = run_config(&trace, c, spec);
+                    reporter.record_run(app, &spec.label(), c, &rs, None);
                     print!(" {:>8.1}", rs.percent_total_of(base));
                 }
                 println!();
@@ -77,4 +79,5 @@ fn main() {
          streams interfere, and capture communication as cheap bus\n\
          transfers rather than eliminating it."
     );
+    reporter.finish();
 }

@@ -3,7 +3,7 @@
 //! execution time normalized to the 1-processor-per-cluster run and
 //! decomposed into cpu / load / merge / sync.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, FIG2_APPS};
 use cluster_study::paper_data;
 use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
@@ -17,6 +17,7 @@ fn main() {
         cli.procs,
         cli.size_label()
     );
+    let mut reporter = Reporter::new("fig2_infinite", &cli);
     for app in FIG2_APPS {
         if !cli.wants(app) {
             continue;
@@ -27,6 +28,7 @@ fn main() {
         let sweep = timed(&format!("{app} sim"), || {
             sweep_clusters(&trace, CacheSpec::Infinite)
         });
+        reporter.record_sweep(app, &sweep, None);
         let paper = paper_data::fig2_totals(app);
         print!("{}", render_sweep(app, &sweep, paper));
         if let Some(p) = paper {
@@ -42,4 +44,5 @@ fn main() {
             );
         }
     }
+    reporter.finish();
 }

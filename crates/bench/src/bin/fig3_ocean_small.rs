@@ -2,7 +2,7 @@
 //! higher communication miss rates make the clustering benefit larger,
 //! at the cost of growing load imbalance.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::ocean_small_grid_trace;
 use cluster_study::paper_data;
 use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
@@ -21,6 +21,8 @@ fn main() {
     let sweep = timed("ocean-66 sim", || {
         sweep_clusters(&trace, CacheSpec::Infinite)
     });
+    let mut reporter = Reporter::new("fig3_ocean_small", &cli);
+    reporter.record_sweep("ocean-66", &sweep, None);
     let paper = paper_data::fig3_ocean_small_totals();
     print!("{}", render_sweep("ocean (66x66)", &sweep, Some(paper)));
     let totals = sweep.normalized_totals();
@@ -33,4 +35,5 @@ fn main() {
             "DISAGREES"
         }
     );
+    reporter.finish();
 }

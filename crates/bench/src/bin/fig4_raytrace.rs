@@ -5,5 +5,5 @@ use cluster_bench::{run_capacity_figure, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    run_capacity_figure("Figure 4", "raytrace", &cli);
+    run_capacity_figure("Figure 4", "fig4_raytrace", "raytrace", &cli);
 }

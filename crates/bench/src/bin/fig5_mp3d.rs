@@ -5,5 +5,5 @@ use cluster_bench::{run_capacity_figure, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    run_capacity_figure("Figure 5", "mp3d", &cli);
+    run_capacity_figure("Figure 5", "fig5_mp3d", "mp3d", &cli);
 }

@@ -5,5 +5,5 @@ use cluster_bench::{run_capacity_figure, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    run_capacity_figure("Figure 6", "barnes", &cli);
+    run_capacity_figure("Figure 6", "fig6_barnes", "barnes", &cli);
 }

@@ -5,5 +5,5 @@ use cluster_bench::{run_capacity_figure, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    run_capacity_figure("Figure 7", "fmm", &cli);
+    run_capacity_figure("Figure 7", "fig7_fmm", "fmm", &cli);
 }

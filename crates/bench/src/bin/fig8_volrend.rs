@@ -5,5 +5,5 @@ use cluster_bench::{run_capacity_figure, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    run_capacity_figure("Figure 8", "volrend", &cli);
+    run_capacity_figure("Figure 8", "fig8_volrend", "volrend", &cli);
 }

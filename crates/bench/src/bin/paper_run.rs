@@ -4,11 +4,13 @@
 //! app plus per-run wall-clock and the aggregate speedup (sum of
 //! per-run times ÷ elapsed wall), so the benefit of the parallel
 //! runner is directly visible. `results/paper_run_small.txt` holds a
-//! recorded run.
+//! recorded run; `--emit-manifest` (or `--format json|csv`) also
+//! writes the full simulation matrix as a machine-readable run
+//! manifest (default `results/paper_run.json`).
 
-use cluster_bench::Cli;
+use cluster_bench::{Cli, Reporter};
 use cluster_study::apps::{trace_for, FIG2_APPS};
-use cluster_study::parallel::run_items_timed;
+use cluster_study::parallel::{run_items_timed, FanoutTiming};
 use cluster_study::study::{run_config, ClusterSweep, CLUSTER_SIZES, FINITE_CACHES};
 use coherence::config::CacheSpec;
 use simcore::ops::Trace;
@@ -58,10 +60,15 @@ fn main() {
     let sim_wall = sim_start.elapsed();
 
     // Report, grouped back app-by-app in input order.
+    let mut reporter = Reporter::new("paper_run", &cli);
     let per_trace = caches.len() * CLUSTER_SIZES.len();
     let mut busy = std::time::Duration::ZERO;
     for (t, (name, _, gen_time)) in traces.iter().enumerate() {
         println!("== {name} ==  (trace gen {:.2}s)", gen_time.as_secs_f64());
+        reporter
+            .manifest
+            .metrics
+            .gauge(&format!("{name}.gen_wall_seconds"), gen_time.as_secs_f64());
         for (i, &cache) in caches.iter().enumerate() {
             let at = t * per_trace + i * CLUSTER_SIZES.len();
             let slice = &runs[at..at + CLUSTER_SIZES.len()];
@@ -69,6 +76,8 @@ fn main() {
                 cache,
                 runs: slice.iter().map(|((c, rs), _)| (*c, rs.clone())).collect(),
             };
+            let walls: Vec<std::time::Duration> = slice.iter().map(|(_, w)| *w).collect();
+            reporter.record_sweep(name, &sweep, Some(&walls));
             let totals = sweep.normalized_totals();
             let times: Vec<String> = slice
                 .iter()
@@ -101,4 +110,10 @@ fn main() {
         gen_wall.as_secs_f64(),
         total_wall.as_secs_f64()
     );
+
+    reporter.manifest.timing = Some(FanoutTiming::from_timed(&runs, cli.jobs, sim_wall));
+    let m = &mut reporter.manifest.metrics;
+    m.gauge("gen_wall_seconds", gen_wall.as_secs_f64());
+    m.gauge("total_wall_seconds", total_wall.as_secs_f64());
+    reporter.finish();
 }

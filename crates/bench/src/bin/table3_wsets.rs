@@ -3,7 +3,7 @@
 //! and reporting the read miss rate at each size — the knee of the
 //! curve is the working set the paper tabulates.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, FIG2_APPS};
 use cluster_study::study::run_config;
 use coherence::config::CacheSpec;
@@ -16,6 +16,7 @@ fn main() {
         "Table 3 (measured): read miss rate vs per-processor cache size, 1p clusters ({} sizes)\n",
         cli.size_label()
     );
+    let mut reporter = Reporter::new("table3_wsets", &cli);
     print!("  app       ");
     for s in SIZES {
         print!(" {:>6}", format!("{}k", s / 1024));
@@ -29,20 +30,31 @@ fn main() {
         print!("  {app:<10}");
         let mut rates = Vec::new();
         for s in SIZES {
-            let rs = run_config(&trace, 1, CacheSpec::PerProcBytes(s));
+            let spec = CacheSpec::PerProcBytes(s);
+            let rs = run_config(&trace, 1, spec);
             let r = rs.mem.read_miss_rate() * 100.0;
             rates.push(r);
+            reporter.record_run(app, &spec.label(), 1, &rs, None);
             print!(" {r:>6.2}");
         }
         let inf = run_config(&trace, 1, CacheSpec::Infinite);
         let inf_rate = inf.mem.read_miss_rate() * 100.0;
+        reporter.record_run(app, &CacheSpec::Infinite.label(), 1, &inf, None);
         print!(" {inf_rate:>6.2}");
         // Knee: first size whose miss rate is within 25% of infinite.
-        let knee = SIZES
+        let knee_bytes = SIZES
             .iter()
             .zip(&rates)
             .find(|(_, &r)| r <= inf_rate * 1.25 + 0.05)
-            .map(|(s, _)| format!("{}k", s / 1024))
+            .map(|(s, _)| *s);
+        if let Some(b) = knee_bytes {
+            reporter
+                .manifest
+                .metrics
+                .gauge(&format!("{app}.knee_kb"), b as f64 / 1024.0);
+        }
+        let knee = knee_bytes
+            .map(|s| format!("{}k", s / 1024))
             .unwrap_or_else(|| ">64k".into());
         let paper = match app {
             "barnes" => "12k",
@@ -58,4 +70,5 @@ fn main() {
         };
         println!("   {knee} ({paper})");
     }
+    reporter.finish();
 }

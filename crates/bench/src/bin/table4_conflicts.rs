@@ -1,6 +1,17 @@
 //! Table 4: probabilities of bank conflict at the multi-banked shared
 //! cache, `C = 1 - ((m-1)/m)^(n-1)` with four banks per processor.
 
+use cluster_bench::{Cli, Reporter};
+
 fn main() {
+    let cli = Cli::parse();
     print!("{}", cluster_study::report::render_table4());
+    let mut reporter = Reporter::new("table4_conflicts", &cli);
+    for (n, m, c) in cluster_study::contention::table4() {
+        reporter
+            .manifest
+            .metrics
+            .gauge(&format!("p_conflict.{n}p_{m}banks"), c);
+    }
+    reporter.finish();
 }

@@ -3,7 +3,7 @@
 //! them by replaying each trace with the engine's load latency at 1–4
 //! cycles and taking execution-time ratios.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, TABLE5_APPS};
 use cluster_study::measure_latency_factors;
 use cluster_study::report::render_table5_row;
@@ -14,6 +14,7 @@ fn main() {
         "Table 5: load-latency execution-time factors ({} sizes)\n",
         cli.size_label()
     );
+    let mut reporter = Reporter::new("table5_factors", &cli);
     println!("  app          1 cyc   2 cyc   3 cyc   4 cyc");
     for app in TABLE5_APPS {
         if !cli.wants(app) {
@@ -23,6 +24,13 @@ fn main() {
         let f = timed(&format!("{app} factors"), || {
             measure_latency_factors(&trace)
         });
+        for l in 1..=4u64 {
+            reporter
+                .manifest
+                .metrics
+                .gauge(&format!("{app}.factor_{l}cyc"), f.at(l));
+        }
         print!("{}", render_table5_row(app, &f));
     }
+    reporter.finish();
 }

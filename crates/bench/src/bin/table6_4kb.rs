@@ -2,7 +2,7 @@
 //! including the Section 6 shared-cache cost model (bank conflicts ×
 //! latency factors applied to the simulated times).
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, TABLE6_APPS};
 use cluster_study::measure_latency_factors;
 use cluster_study::paper_data;
@@ -17,6 +17,7 @@ fn main() {
         cli.size_label()
     );
     print!("{}", cluster_header());
+    let mut reporter = Reporter::new("table6_4kb", &cli);
     for app in TABLE6_APPS {
         if !cli.wants(app) {
             continue;
@@ -28,7 +29,15 @@ fn main() {
                 measure_latency_factors(&trace),
             )
         });
+        reporter.record_sweep(app, &sweep, None);
         let rel = costed_relative_times(&sweep, &factors);
+        for (c, r) in &rel {
+            reporter
+                .manifest
+                .metrics
+                .gauge(&format!("{app}.costed_rel_{c}p"), *r);
+        }
         print!("{}", render_costed_row(app, &rel, paper_data::table6(app)));
     }
+    reporter.finish();
 }

@@ -3,7 +3,7 @@
 //! working-set advantage, even Ocean's communication reduction barely
 //! offsets the shared-cache hit-time cost.
 
-use cluster_bench::{timed, Cli};
+use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, TABLE7_APPS};
 use cluster_study::measure_latency_factors;
 use cluster_study::paper_data;
@@ -18,6 +18,7 @@ fn main() {
         cli.size_label()
     );
     print!("{}", cluster_header());
+    let mut reporter = Reporter::new("table7_inf", &cli);
     for app in TABLE7_APPS {
         if !cli.wants(app) {
             continue;
@@ -29,7 +30,15 @@ fn main() {
                 measure_latency_factors(&trace),
             )
         });
+        reporter.record_sweep(app, &sweep, None);
         let rel = costed_relative_times(&sweep, &factors);
+        for (c, r) in &rel {
+            reporter
+                .manifest
+                .metrics
+                .gauge(&format!("{app}.costed_rel_{c}p"), *r);
+        }
         print!("{}", render_costed_row(app, &rel, paper_data::table7(app)));
     }
+    reporter.finish();
 }

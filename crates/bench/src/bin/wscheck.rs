@@ -1,24 +1,30 @@
 //! Diagnostic: absolute exec time ratios across cache sizes (vs inf).
-use cluster_bench::Cli;
+use cluster_bench::{Cli, Reporter};
 use cluster_study::apps::trace_for;
 use cluster_study::study::run_config;
 use coherence::config::CacheSpec;
 
 fn main() {
     let cli = Cli::parse();
+    let mut reporter = Reporter::new("wscheck", &cli);
     for app in cluster_study::apps::FIG2_APPS {
         if !cli.wants(app) {
             continue;
         }
         let trace = trace_for(app, cli.size, cli.procs);
-        let inf = run_config(&trace, 1, CacheSpec::Infinite).exec_time as f64;
+        let inf_stats = run_config(&trace, 1, CacheSpec::Infinite);
+        reporter.record_run(app, "inf", 1, &inf_stats, None);
+        let inf = inf_stats.exec_time as f64;
         print!("{app:<10} inf=1.0 ");
         for s in [4096u64, 16384, 32768] {
             for c in [1u32, 2, 4, 8] {
-                let e = run_config(&trace, c, CacheSpec::PerProcBytes(s)).exec_time as f64;
-                print!("{}k/{c}p={:.2} ", s / 1024, e / inf);
+                let spec = CacheSpec::PerProcBytes(s);
+                let rs = run_config(&trace, c, spec);
+                reporter.record_run(app, &spec.label(), c, &rs, None);
+                print!("{}k/{c}p={:.2} ", s / 1024, rs.exec_time as f64 / inf);
             }
         }
         println!();
     }
+    reporter.finish();
 }

@@ -1,11 +1,40 @@
 //! Shared helpers for the benchmark-harness binaries (one per paper
-//! table/figure): CLI parsing, the capacity-figure driver, and a
-//! zero-dependency micro-bench timer (`cargo bench` previously used
-//! Criterion, which cannot be fetched in the offline hermetic build).
+//! table/figure): CLI parsing, the capacity-figure driver, the
+//! manifest [`Reporter`], and a zero-dependency micro-bench timer
+//! (`cargo bench` previously used Criterion, which cannot be fetched
+//! in the offline hermetic build).
 
+use std::path::PathBuf;
+
+use cluster_study::manifest::Manifest;
+use cluster_study::study::ClusterSweep;
+use simcore::stats::RunStats;
 use splash::ProblemSize;
+use std::time::Duration;
 
 pub mod timer;
+
+/// Output format for the machine-readable artifact. Text (the
+/// human-readable tables) is always printed to stdout regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// No artifact: stdout text only (the default).
+    Text,
+    /// Pretty-printed JSON run manifest.
+    Json,
+    /// Flat per-simulation CSV.
+    Csv,
+}
+
+impl Format {
+    /// File extension for the artifact.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Csv => "csv",
+            _ => "json",
+        }
+    }
+}
 
 /// Options common to every regenerator binary.
 #[derive(Debug, Clone)]
@@ -19,6 +48,14 @@ pub struct Cli {
     /// Simulation fan-out threads (`--jobs N`; default `STUDY_JOBS`
     /// or all cores). `--jobs 1` forces the serial path.
     pub jobs: usize,
+    /// Artifact format (`--format text|json|csv`).
+    pub format: Format,
+    /// Artifact destination (`--out PATH`); default
+    /// `results/<tool>[_small].<ext>`.
+    pub out: Option<PathBuf>,
+    /// `--emit-manifest`: shorthand for `--format json` at the
+    /// default path.
+    pub emit_manifest: bool,
 }
 
 impl Cli {
@@ -28,6 +65,9 @@ impl Cli {
         let mut procs = 64usize;
         let mut apps = None;
         let mut jobs = None;
+        let mut format = Format::Text;
+        let mut out = None;
+        let mut emit_manifest = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -51,6 +91,20 @@ impl Cli {
                             .unwrap_or_else(|| usage("--jobs needs a positive number")),
                     );
                 }
+                "--format" => {
+                    format = match args.next().as_deref() {
+                        Some("text") => Format::Text,
+                        Some("json") => Format::Json,
+                        Some("csv") => Format::Csv,
+                        _ => usage("--format needs text|json|csv"),
+                    };
+                }
+                "--out" => {
+                    out = Some(PathBuf::from(
+                        args.next().unwrap_or_else(|| usage("--out needs a path")),
+                    ));
+                }
+                "--emit-manifest" => emit_manifest = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -60,7 +114,15 @@ impl Cli {
             procs,
             apps,
             jobs: cluster_study::parallel::resolve_jobs(jobs),
+            format,
+            out,
+            emit_manifest,
         }
+    }
+
+    /// Whether this invocation should write a manifest artifact.
+    pub fn wants_artifact(&self) -> bool {
+        self.emit_manifest || self.out.is_some() || self.format != Format::Text
     }
 
     /// Whether `app` passes the `--apps` filter.
@@ -86,22 +148,114 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
+         \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
          \n\
-         --paper   paper problem sizes (default)\n\
-         --small   reduced sizes for quick runs\n\
-         --procs   simulated processors (default 64)\n\
-         --apps    comma-separated application filter\n\
-         --jobs    simulation threads (default: STUDY_JOBS or all cores;\n\
-         \u{20}         1 = serial)"
+         --paper          paper problem sizes (default)\n\
+         --small          reduced sizes for quick runs\n\
+         --procs          simulated processors (default 64)\n\
+         --apps           comma-separated application filter\n\
+         --jobs           simulation threads (default: STUDY_JOBS or all\n\
+         \u{20}                cores; 1 = serial)\n\
+         --format         also write a run manifest artifact in this format\n\
+         \u{20}                (text = none; stdout tables are always printed)\n\
+         --out            artifact path (default results/<tool>[_small].<ext>)\n\
+         --emit-manifest  shorthand for --format json at the default path"
     );
     std::process::exit(2)
+}
+
+/// Collects run records and metrics during a tool's execution and
+/// writes the manifest artifact at the end, honoring the shared
+/// `--format/--out/--emit-manifest` surface. Construction is cheap;
+/// when the Cli asks for no artifact, [`Reporter::finish`] is a no-op,
+/// so every binary can record unconditionally.
+pub struct Reporter {
+    /// The manifest being accumulated.
+    pub manifest: Manifest,
+    format: Format,
+    out: Option<PathBuf>,
+    emit: bool,
+}
+
+impl Reporter {
+    /// A reporter for `tool` (the binary name, which also names the
+    /// default artifact `results/<tool>[_small].<ext>`).
+    pub fn new(tool: &str, cli: &Cli) -> Reporter {
+        Reporter {
+            manifest: Manifest::new(tool, cli.size_label(), cli.procs, cli.jobs),
+            format: if cli.format == Format::Text && cli.wants_artifact() {
+                Format::Json
+            } else {
+                cli.format
+            },
+            out: cli.out.clone(),
+            emit: cli.wants_artifact(),
+        }
+    }
+
+    /// Records one simulation (see [`Manifest::record_run`]).
+    pub fn record_run(
+        &mut self,
+        app: &str,
+        cache: &str,
+        cluster: u32,
+        stats: &RunStats,
+        wall: Option<Duration>,
+    ) {
+        self.manifest.record_run(app, cache, cluster, stats, wall);
+    }
+
+    /// Records a whole cluster sweep (see [`Manifest::record_sweep`]).
+    pub fn record_sweep(&mut self, app: &str, sweep: &ClusterSweep, walls: Option<&[Duration]>) {
+        self.manifest.record_sweep(app, sweep, walls);
+    }
+
+    /// Writes the artifact if one was requested, returning its path.
+    /// Failures are fatal: a requested-but-unwritable artifact should
+    /// fail the invocation, not silently produce text only.
+    pub fn finish(self) -> Option<PathBuf> {
+        if !self.emit {
+            return None;
+        }
+        let path = self.out.unwrap_or_else(|| {
+            let suffix = if self.manifest.size == "small" {
+                "_small"
+            } else {
+                ""
+            };
+            PathBuf::from(format!(
+                "results/{}{}.{}",
+                self.manifest.tool,
+                suffix,
+                self.format.extension()
+            ))
+        });
+        let body = match self.format {
+            Format::Csv => self.manifest.to_csv(),
+            _ => {
+                let mut s = self.manifest.to_json().pretty();
+                s.push('\n');
+                s
+            }
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+            }
+        }
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("[manifest: {}]", path.display());
+        Some(path)
+    }
 }
 
 /// Runs one Section 5 capacity figure (Figures 4–8): the named app
 /// swept over cluster sizes at 4K/16K/32K/∞ per-processor caches —
 /// in parallel over the 16 (cache × cluster) work items — printed
-/// next to the paper's approximate bar-chart values.
-pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
+/// next to the paper's approximate bar-chart values. `tool` names the
+/// binary for the manifest artifact.
+pub fn run_capacity_figure(fig: &str, tool: &str, app: &str, cli: &Cli) {
     use cluster_study::apps::trace_for;
     use cluster_study::paper_data::capacity_totals;
     use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
@@ -113,6 +267,7 @@ pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
         cli.size_label(),
         cli.jobs
     );
+    let mut reporter = Reporter::new(tool, cli);
     let trace = timed(&format!("{app} gen"), || {
         trace_for(app, cli.size, cli.procs)
     });
@@ -120,6 +275,7 @@ pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
         sweep_capacities_jobs(&trace, cli.jobs)
     });
     for sweep in &caps.sweeps {
+        reporter.record_sweep(app, sweep, None);
         let label = sweep.cache.label();
         let paper = capacity_totals(app, &label);
         print!("{}", render_sweep(app, sweep, paper));
@@ -136,6 +292,7 @@ pub fn run_capacity_figure(fig: &str, app: &str, cli: &Cli) {
             );
         }
     }
+    reporter.finish();
 }
 
 /// Wall-clock timing helper for progress output.
@@ -150,14 +307,21 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
 mod tests {
     use super::*;
 
+    fn test_cli(size: ProblemSize, apps: Option<Vec<String>>) -> Cli {
+        Cli {
+            size,
+            procs: 64,
+            apps,
+            jobs: 1,
+            format: Format::Text,
+            out: None,
+            emit_manifest: false,
+        }
+    }
+
     #[test]
     fn wants_filters_by_app_list() {
-        let cli = Cli {
-            size: ProblemSize::Small,
-            procs: 64,
-            apps: Some(vec!["lu".into(), "fft".into()]),
-            jobs: 1,
-        };
+        let cli = test_cli(ProblemSize::Small, Some(vec!["lu".into(), "fft".into()]));
         assert!(cli.wants("lu"));
         assert!(cli.wants("fft"));
         assert!(!cli.wants("ocean"));
@@ -170,15 +334,54 @@ mod tests {
 
     #[test]
     fn size_labels() {
-        let mut cli = Cli {
-            size: ProblemSize::Paper,
-            procs: 64,
-            apps: None,
-            jobs: 1,
-        };
+        let mut cli = test_cli(ProblemSize::Paper, None);
         assert_eq!(cli.size_label(), "paper");
         cli.size = ProblemSize::Small;
         assert_eq!(cli.size_label(), "small");
+    }
+
+    #[test]
+    fn wants_artifact_triggers() {
+        let mut cli = test_cli(ProblemSize::Paper, None);
+        assert!(!cli.wants_artifact());
+        cli.emit_manifest = true;
+        assert!(cli.wants_artifact());
+        cli.emit_manifest = false;
+        cli.format = Format::Csv;
+        assert!(cli.wants_artifact());
+        cli.format = Format::Text;
+        cli.out = Some(PathBuf::from("x.json"));
+        assert!(cli.wants_artifact());
+    }
+
+    #[test]
+    fn reporter_without_artifact_is_a_noop() {
+        let cli = test_cli(ProblemSize::Small, None);
+        let reporter = Reporter::new("nowhere", &cli);
+        assert_eq!(reporter.finish(), None);
+        assert!(!std::path::Path::new("results/nowhere_small.json").exists());
+    }
+
+    #[test]
+    fn reporter_writes_requested_artifact() {
+        let dir = std::env::temp_dir().join(format!("bench_reporter_{}", std::process::id()));
+        let path = dir.join("artifact.json");
+        let mut cli = test_cli(ProblemSize::Small, None);
+        cli.emit_manifest = true;
+        cli.out = Some(path.clone());
+        let reporter = Reporter::new("unit_test", &cli);
+        assert_eq!(reporter.finish(), Some(path.clone()));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = simcore::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("tool").and_then(simcore::Json::as_str),
+            Some("unit_test")
+        );
+        assert_eq!(
+            doc.get("schema").and_then(simcore::Json::as_str),
+            Some(cluster_study::manifest::SCHEMA)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -16,10 +16,13 @@
 //!   side-by-side comparison.
 //! * [`parallel`] — scoped-thread fan-out for the embarrassingly
 //!   parallel experiment matrix (`--jobs` / `STUDY_JOBS`).
+//! * [`manifest`] — machine-readable run manifests (JSON/CSV) with a
+//!   stable schema, emitted by the `cluster-bench` regenerators.
 
 pub mod apps;
 pub mod contention;
 pub mod latency_factor;
+pub mod manifest;
 pub mod paper_data;
 pub mod parallel;
 pub mod report;
@@ -27,5 +30,6 @@ pub mod study;
 
 pub use contention::{bank_conflict_probability, shared_cache_factor};
 pub use latency_factor::{measure_latency_factors, LatencyFactors};
-pub use parallel::{resolve_jobs, run_items, run_items_timed};
+pub use manifest::{Manifest, RunRecord};
+pub use parallel::{resolve_jobs, run_items, run_items_timed, FanoutTiming};
 pub use study::{run_config, sweep_clusters, CapacitySweep, ClusterSweep};

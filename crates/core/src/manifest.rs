@@ -1,0 +1,431 @@
+//! Machine-readable run manifests: the results layer.
+//!
+//! The paper's claims are tables and figures of execution-time
+//! breakdowns; the regenerator binaries print them as text. This
+//! module gives every run a second, *diffable* form: a *run manifest*
+//! recording what was simulated (app, machine shape, problem size),
+//! how (jobs, git revision, RNG seeding scheme) and what came out
+//! (cycle totals, breakdown fractions, every miss counter, wall-clock)
+//! — serialized as JSON or CSV under `results/`.
+//!
+//! Two invariants the schema tests (`crates/bench/tests/
+//! manifest_schema.rs`) pin down:
+//!
+//! * **Determinism across parallelism.** [`Manifest::stats_json`]
+//!   excludes everything wall-clock- or environment-dependent (per-run
+//!   wall, the fan-out timing section, job count, git revision); what
+//!   remains is a pure function of `(trace, machine config)`, so a
+//!   `--jobs 1` and a `--jobs N` run serialize **byte-identically**.
+//! * **Breakdown fractions sum to 1** (or are all zero for a
+//!   degenerate zero-cycle run, per `Breakdown::fractions_of`):
+//!   fractions are computed from the aggregate per-processor
+//!   breakdown over its own exact total, never a rounded mean.
+//!
+//! Schema stability: `clustered-smp/run-manifest/v1`. Fields may be
+//! *added* within v1; removing or re-typing a field bumps the version.
+//! Units are cycles (integers) and seconds (floats) throughout.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use simcore::stats::RunStats;
+use simcore::{Json, Metrics};
+
+use crate::parallel::FanoutTiming;
+use crate::study::ClusterSweep;
+
+/// Schema identifier embedded in every manifest.
+pub const SCHEMA: &str = "clustered-smp/run-manifest/v1";
+
+/// How workload inputs are seeded (see `splash::util::rng_for`):
+/// recorded so a manifest is reproducible from a checkout alone.
+pub const SEED_SCHEME: &str = "xoshiro256** seeded by fnv1a(app name) ^ salt";
+
+/// The CSV column header, one row per simulation.
+pub const CSV_HEADER: &str = "tool,size,procs,app,cache,cluster,exec_time_cycles,\
+     cpu_cycles,load_cycles,merge_cycles,sync_cycles,\
+     frac_cpu,frac_load,frac_merge,frac_sync,\
+     read_hits,write_hits,read_misses,write_misses,upgrade_misses,merge_stalls,\
+     lat_local_clean,lat_local_dirty_remote,lat_remote_clean,lat_remote_dirty_third,\
+     invalidations,evictions,writebacks,local_satisfied,bus_transfers,bus_invalidations,\
+     wall_seconds";
+
+/// One simulation's record: what ran and what it measured.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Application (or synthetic workload) name.
+    pub app: String,
+    /// Cache specification label (`"4k"`, `"inf"`, `"16k-priv"`, ...).
+    pub cache: String,
+    /// Processors per cluster.
+    pub cluster: u32,
+    /// The full simulation result.
+    pub stats: RunStats,
+    /// Wall-clock of this simulation, when measured. Excluded from the
+    /// deterministic stats view.
+    pub wall: Option<Duration>,
+}
+
+impl RunRecord {
+    /// Breakdown components as fractions of the aggregate total (sum
+    /// to 1.0 up to float rounding, or all zero for a zero-cycle run).
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.stats.total_breakdown();
+        total.fractions_of(total.total())
+    }
+
+    /// JSON rendering. `with_wall` controls whether the
+    /// non-deterministic wall-clock field is included.
+    pub fn to_json(&self, with_wall: bool) -> Json {
+        let bd = self.stats.total_breakdown();
+        let f = self.fractions();
+        let mem = &self.stats.mem;
+        let mut run = Json::obj()
+            .with("app", self.app.as_str())
+            .with("cache", self.cache.as_str())
+            .with("cluster", self.cluster)
+            .with("procs", self.stats.per_proc.len())
+            .with("exec_time_cycles", self.stats.exec_time)
+            .with(
+                "breakdown_cycles",
+                Json::obj()
+                    .with("cpu", bd.cpu)
+                    .with("load", bd.load)
+                    .with("merge", bd.merge)
+                    .with("sync", bd.sync),
+            )
+            .with(
+                "breakdown_fractions",
+                Json::Arr(f.iter().map(|&x| Json::Float(x)).collect()),
+            )
+            .with(
+                "mem",
+                Json::obj()
+                    .with("read_hits", mem.read_hits)
+                    .with("write_hits", mem.write_hits)
+                    .with("read_misses", mem.read_misses)
+                    .with("write_misses", mem.write_misses)
+                    .with("upgrade_misses", mem.upgrade_misses)
+                    .with("merge_stalls", mem.merge_stalls)
+                    .with(
+                        "by_latency",
+                        Json::Arr(mem.by_latency.iter().map(|&x| Json::UInt(x)).collect()),
+                    )
+                    .with("invalidations", mem.invalidations)
+                    .with("evictions", mem.evictions)
+                    .with("writebacks", mem.writebacks)
+                    .with("local_satisfied", mem.local_satisfied)
+                    .with("bus_transfers", mem.bus_transfers)
+                    .with("bus_invalidations", mem.bus_invalidations),
+            );
+        if with_wall {
+            if let Some(w) = self.wall {
+                run.push("wall_seconds", w.as_secs_f64());
+            }
+        }
+        run
+    }
+
+    /// One CSV row matching [`CSV_HEADER`].
+    pub fn csv_row(&self, tool: &str, size: &str) -> String {
+        let bd = self.stats.total_breakdown();
+        let f = self.fractions();
+        let mem = &self.stats.mem;
+        let wall = self
+            .wall
+            .map(|w| format!("{:?}", w.as_secs_f64()))
+            .unwrap_or_default();
+        format!(
+            "{tool},{size},{procs},{app},{cache},{cluster},{exec},\
+             {cpu},{load},{merge},{sync},\
+             {f0:?},{f1:?},{f2:?},{f3:?},\
+             {rh},{wh},{rm},{wm},{um},{ms},\
+             {l0},{l1},{l2},{l3},\
+             {inv},{ev},{wb},{ls},{bt},{bi},{wall}",
+            procs = self.stats.per_proc.len(),
+            app = self.app,
+            cache = self.cache,
+            cluster = self.cluster,
+            exec = self.stats.exec_time,
+            cpu = bd.cpu,
+            load = bd.load,
+            merge = bd.merge,
+            sync = bd.sync,
+            f0 = f[0],
+            f1 = f[1],
+            f2 = f[2],
+            f3 = f[3],
+            rh = mem.read_hits,
+            wh = mem.write_hits,
+            rm = mem.read_misses,
+            wm = mem.write_misses,
+            um = mem.upgrade_misses,
+            ms = mem.merge_stalls,
+            l0 = mem.by_latency[0],
+            l1 = mem.by_latency[1],
+            l2 = mem.by_latency[2],
+            l3 = mem.by_latency[3],
+            inv = mem.invalidations,
+            ev = mem.evictions,
+            wb = mem.writebacks,
+            ls = mem.local_satisfied,
+            bt = mem.bus_transfers,
+            bi = mem.bus_invalidations,
+        )
+    }
+}
+
+/// A whole tool invocation's worth of records plus provenance.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Emitting binary (`"paper_run"`, `"fig2_infinite"`, ...).
+    pub tool: String,
+    /// Problem-size label (`"paper"` / `"small"`).
+    pub size: String,
+    /// Simulated processors.
+    pub procs: usize,
+    /// Fan-out threads used (provenance, not stats).
+    pub jobs: usize,
+    /// `git describe` of the working tree, or `"unknown"`.
+    pub git: String,
+    /// Simulation records, in deterministic tool order.
+    pub runs: Vec<RunRecord>,
+    /// Tool-specific named metrics (factors, knees, probabilities...).
+    pub metrics: Metrics,
+    /// Fan-out timing of the run, when the tool measured one.
+    pub timing: Option<FanoutTiming>,
+}
+
+impl Manifest {
+    /// A new manifest; queries `git describe` once for provenance.
+    pub fn new(tool: &str, size: &str, procs: usize, jobs: usize) -> Manifest {
+        Manifest {
+            tool: tool.to_string(),
+            size: size.to_string(),
+            procs,
+            jobs,
+            git: git_describe(),
+            runs: Vec::new(),
+            metrics: Metrics::new(),
+            timing: None,
+        }
+    }
+
+    /// Records one simulation.
+    pub fn record_run(
+        &mut self,
+        app: &str,
+        cache: &str,
+        cluster: u32,
+        stats: &RunStats,
+        wall: Option<Duration>,
+    ) {
+        self.runs.push(RunRecord {
+            app: app.to_string(),
+            cache: cache.to_string(),
+            cluster,
+            stats: stats.clone(),
+            wall,
+        });
+    }
+
+    /// Records every run of a cluster sweep, with optional per-run
+    /// walls (parallel to `sweep.runs`).
+    pub fn record_sweep(&mut self, app: &str, sweep: &ClusterSweep, walls: Option<&[Duration]>) {
+        let label = sweep.cache.label();
+        for (i, (cluster, stats)) in sweep.runs.iter().enumerate() {
+            self.record_run(app, &label, *cluster, stats, walls.map(|w| w[i]));
+        }
+    }
+
+    /// The full manifest, provenance and timing included.
+    pub fn to_json(&self) -> Json {
+        let mut doc = self.stats_json_inner(true);
+        if let Some(t) = self.timing {
+            doc.push("timing", t.to_json());
+        }
+        doc
+    }
+
+    /// The deterministic subtree only: a pure function of the
+    /// simulated configurations. Byte-identical between `--jobs 1` and
+    /// `--jobs N` runs of the same tool on the same checkout.
+    pub fn stats_json(&self) -> Json {
+        self.stats_json_inner(false)
+    }
+
+    fn stats_json_inner(&self, with_env: bool) -> Json {
+        let mut doc = Json::obj()
+            .with("schema", SCHEMA)
+            .with("tool", self.tool.as_str())
+            .with("size", self.size.as_str())
+            .with("procs", self.procs);
+        if with_env {
+            doc.push("jobs", self.jobs);
+            doc.push("git", self.git.as_str());
+        }
+        doc.push("seed_scheme", SEED_SCHEME);
+        doc.push(
+            "runs",
+            Json::Arr(self.runs.iter().map(|r| r.to_json(with_env)).collect()),
+        );
+        doc.push("metrics", self.metrics.to_json());
+        doc
+    }
+
+    /// CSV rendering: [`CSV_HEADER`] plus one row per run. Metrics and
+    /// timing are JSON-only (CSV is the flat per-simulation view).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for r in &self.runs {
+            out.push_str(&r.csv_row(&self.tool, &self.size));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the manifest to `path` — pretty JSON for `.json`, CSV
+    /// for `.csv` (by extension) — creating parent directories.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let body = if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+            self.to_csv()
+        } else {
+            self.to_json().pretty()
+        };
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(body.as_bytes())
+    }
+}
+
+/// `git describe --always --dirty --tags` of the current directory,
+/// or `"unknown"` outside a git checkout / without git installed.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::stats::{Breakdown, MissStats};
+
+    fn fake_stats(t: u64) -> RunStats {
+        RunStats {
+            per_proc: vec![
+                Breakdown {
+                    cpu: t / 2,
+                    load: t / 4,
+                    merge: 0,
+                    sync: t - t / 2 - t / 4,
+                },
+                Breakdown {
+                    cpu: t,
+                    load: 0,
+                    merge: 0,
+                    sync: 0,
+                },
+            ],
+            mem: MissStats {
+                read_hits: 10,
+                read_misses: 2,
+                ..MissStats::default()
+            },
+            exec_time: t,
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one_or_zero() {
+        let rec = RunRecord {
+            app: "lu".into(),
+            cache: "4k".into(),
+            cluster: 2,
+            stats: fake_stats(1000),
+            wall: None,
+        };
+        assert!((rec.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let zero = RunRecord {
+            stats: RunStats {
+                per_proc: vec![Breakdown::default()],
+                mem: MissStats::default(),
+                exec_time: 0,
+            },
+            ..rec
+        };
+        assert_eq!(zero.fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn stats_json_excludes_environment() {
+        let mut m = Manifest::new("t", "small", 8, 4);
+        m.record_run(
+            "lu",
+            "inf",
+            1,
+            &fake_stats(100),
+            Some(Duration::from_millis(5)),
+        );
+        let full = m.to_json().to_string();
+        let stats = m.stats_json().to_string();
+        assert!(full.contains("\"jobs\""));
+        assert!(full.contains("\"wall_seconds\""));
+        assert!(!stats.contains("\"jobs\""));
+        assert!(!stats.contains("\"git\""));
+        assert!(!stats.contains("\"wall_seconds\""));
+        // Same stats, different jobs/wall: deterministic view agrees.
+        let mut m2 = Manifest::new("t", "small", 8, 1);
+        m2.record_run("lu", "inf", 1, &fake_stats(100), None);
+        assert_eq!(stats, m2.stats_json().to_string());
+    }
+
+    #[test]
+    fn csv_has_header_and_matching_columns() {
+        let mut m = Manifest::new("t", "small", 8, 1);
+        m.record_run(
+            "lu",
+            "4k",
+            2,
+            &fake_stats(1000),
+            Some(Duration::from_secs(1)),
+        );
+        m.record_run("lu", "4k", 4, &fake_stats(900), None);
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+        assert!(lines[1].starts_with("t,small,2,lu,4k,2,1000,"));
+    }
+
+    #[test]
+    fn manifest_json_parses_back() {
+        let mut m = Manifest::new("t", "small", 8, 2);
+        m.record_run("lu", "inf", 1, &fake_stats(100), None);
+        m.metrics.gauge("knee_kb", 16.0);
+        let doc = simcore::json::parse(&m.to_json().pretty()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].get("app").and_then(Json::as_str), Some("lu"));
+        assert_eq!(
+            doc.get("metrics").and_then(|ms| ms.get("knee_kb")),
+            Some(&Json::Float(16.0))
+        );
+    }
+}

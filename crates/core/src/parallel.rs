@@ -80,6 +80,56 @@ where
     })
 }
 
+/// Aggregate timing of one fan-out: how much cumulative work ran in
+/// how much wall-clock on how many jobs. This is the machine-readable
+/// form of the `paper_run` timing line, persisted in run manifests so
+/// speedup tracking can be automated (see `cluster_study::manifest`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanoutTiming {
+    /// Work items executed.
+    pub items: usize,
+    /// Worker threads requested (`--jobs`).
+    pub jobs: usize,
+    /// Sum of per-item run times (what a serial run would cost).
+    pub cumulative: Duration,
+    /// Elapsed wall-clock of the whole fan-out.
+    pub wall: Duration,
+}
+
+impl FanoutTiming {
+    /// Builds from [`run_items_timed`] output plus the measured wall.
+    pub fn from_timed<O>(timed: &[(O, Duration)], jobs: usize, wall: Duration) -> FanoutTiming {
+        FanoutTiming {
+            items: timed.len(),
+            jobs,
+            cumulative: timed.iter().map(|(_, d)| *d).sum(),
+            wall,
+        }
+    }
+
+    /// Cumulative ÷ wall: how many serial runs' worth of work fit in
+    /// the elapsed time.
+    pub fn speedup(&self) -> f64 {
+        self.cumulative.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Speedup ÷ jobs: 1.0 means every worker was busy the whole time.
+    pub fn utilization(&self) -> f64 {
+        self.speedup() / self.jobs.max(1) as f64
+    }
+
+    /// JSON rendering for the manifest `timing` section.
+    pub fn to_json(&self) -> simcore::Json {
+        simcore::Json::obj()
+            .with("items", self.items)
+            .with("jobs", self.jobs)
+            .with("cumulative_seconds", self.cumulative.as_secs_f64())
+            .with("wall_seconds", self.wall.as_secs_f64())
+            .with("speedup", self.speedup())
+            .with("utilization", self.utilization())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +179,25 @@ mod tests {
     fn resolve_jobs_prefers_explicit() {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn fanout_timing_summarizes() {
+        let timed: Vec<((), Duration)> = vec![
+            ((), Duration::from_secs(2)),
+            ((), Duration::from_secs(2)),
+            ((), Duration::from_secs(4)),
+        ];
+        let t = FanoutTiming::from_timed(&timed, 4, Duration::from_secs(2));
+        assert_eq!(t.items, 3);
+        assert_eq!(t.cumulative, Duration::from_secs(8));
+        assert!((t.speedup() - 4.0).abs() < 1e-9);
+        assert!((t.utilization() - 1.0).abs() < 1e-9);
+        let j = t.to_json();
+        assert_eq!(j.get("items").and_then(simcore::Json::as_u64), Some(3));
+        assert_eq!(
+            j.get("speedup").and_then(simcore::Json::as_f64),
+            Some(t.speedup())
+        );
     }
 }

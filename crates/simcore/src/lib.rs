@@ -19,10 +19,17 @@
 //! * [`rng`] — self-contained seedable PRNG (SplitMix64-seeded
 //!   xoshiro256**), so workload generation needs no external crates.
 //! * [`propcheck`] — an in-tree deterministic property-test harness
-//!   (seeded cases, `PROPCHECK_CASES`, shrinking by halving).
+//!   (seeded cases, `PROPCHECK_CASES`, structural and element-wise
+//!   shrinking).
+//! * [`json`] — minimal JSON value/writer/reader for the
+//!   machine-readable results layer (run manifests, CI artifacts).
+//! * [`metrics`] — insertion-ordered registry of named counters,
+//!   gauges and timers reported through the manifests.
 
 pub mod addr;
 pub mod cache;
+pub mod json;
+pub mod metrics;
 pub mod ops;
 pub mod propcheck;
 pub mod rng;
@@ -31,6 +38,8 @@ pub mod stats;
 
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+pub use json::Json;
+pub use metrics::{MetricValue, Metrics};
 pub use ops::{Op, PackedOp, Trace, TraceBuilder};
 pub use rng::Rng64;
 pub use space::{AddressSpace, Placement, ProcId, Region, SharedArray};

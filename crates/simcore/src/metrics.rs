@@ -1,0 +1,193 @@
+//! A small ordered registry of named counters, gauges and timers.
+//!
+//! The results layer reports every simulation through named metrics:
+//! the engine's cycle breakdowns and miss-class counts, the study
+//! runner's wall-clock and utilization, and tool-specific values from
+//! the regenerator binaries. A registry is just an insertion-ordered
+//! `name → value` map — ordering matters because manifests must
+//! serialize deterministically (serial and parallel runs are compared
+//! byte-for-byte).
+//!
+//! Counters are exact (`u64`, accumulate on re-registration); gauges
+//! and timers are `f64` point-in-time values (overwrite on
+//! re-registration). Timers are gauges in seconds.
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// One registered value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Exact accumulating count (events, cycles).
+    Counter(u64),
+    /// Point-in-time measurement (rates, seconds, fractions).
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// The value as `f64`, for display and JSON.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(x) => *x as f64,
+            MetricValue::Gauge(x) => *x,
+        }
+    }
+}
+
+/// Insertion-ordered `name → value` registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| n == name)
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at `delta`.
+    /// Panics if `name` is registered as a gauge (mixing kinds under
+    /// one name is a bug, not data).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        match self.position(name) {
+            Some(i) => match &mut self.entries[i].1 {
+                MetricValue::Counter(x) => *x += delta,
+                MetricValue::Gauge(_) => panic!("metric {name:?} is a gauge, not a counter"),
+            },
+            None => self
+                .entries
+                .push((name.to_string(), MetricValue::Counter(delta))),
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins). Panics if
+    /// `name` is registered as a counter.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.position(name) {
+            Some(i) => match &mut self.entries[i].1 {
+                MetricValue::Gauge(x) => *x = value,
+                MetricValue::Counter(_) => panic!("metric {name:?} is a counter, not a gauge"),
+            },
+            None => self
+                .entries
+                .push((name.to_string(), MetricValue::Gauge(value))),
+        }
+    }
+
+    /// Records a duration as a gauge in seconds.
+    pub fn timer(&mut self, name: &str, elapsed: Duration) {
+        self.gauge(name, elapsed.as_secs_f64());
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.position(name).map(|i| self.entries[i].1)
+    }
+
+    /// Iterates `(name, value)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Folds another registry in, each name prefixed with
+    /// `prefix` + `.` (counters accumulate, gauges overwrite).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Metrics) {
+        for (name, value) in other.iter() {
+            let full = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            match value {
+                MetricValue::Counter(x) => self.counter(&full, x),
+                MetricValue::Gauge(x) => self.gauge(&full, x),
+            }
+        }
+    }
+
+    /// Serializes to a JSON object in registration order; counters
+    /// stay exact integers.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in self.iter() {
+            match value {
+                MetricValue::Counter(x) => obj.push(name, x),
+                MetricValue::Gauge(x) => obj.push(name, x),
+            };
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.counter("ops", 3);
+        m.counter("ops", 4);
+        m.gauge("rate", 0.5);
+        m.gauge("rate", 0.75);
+        assert_eq!(m.get("ops"), Some(MetricValue::Counter(7)));
+        assert_eq!(m.get("rate"), Some(MetricValue::Gauge(0.75)));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge")]
+    fn kind_confusion_panics() {
+        let mut m = Metrics::new();
+        m.gauge("x", 1.0);
+        m.counter("x", 1);
+    }
+
+    #[test]
+    fn timer_records_seconds() {
+        let mut m = Metrics::new();
+        m.timer("wall", Duration::from_millis(1500));
+        assert_eq!(m.get("wall"), Some(MetricValue::Gauge(1.5)));
+    }
+
+    #[test]
+    fn json_keeps_registration_order_and_exact_counters() {
+        let mut m = Metrics::new();
+        m.counter("z_cycles", u64::MAX);
+        m.gauge("a_frac", 0.25);
+        assert_eq!(
+            m.to_json().to_string(),
+            r#"{"z_cycles":18446744073709551615,"a_frac":0.25}"#
+        );
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_and_accumulates() {
+        let mut inner = Metrics::new();
+        inner.counter("misses", 5);
+        inner.gauge("rate", 0.1);
+        let mut outer = Metrics::new();
+        outer.counter("lu.misses", 2);
+        outer.merge_prefixed("lu", &inner);
+        outer.merge_prefixed("", &inner);
+        assert_eq!(outer.get("lu.misses"), Some(MetricValue::Counter(7)));
+        assert_eq!(outer.get("lu.rate"), Some(MetricValue::Gauge(0.1)));
+        assert_eq!(outer.get("misses"), Some(MetricValue::Counter(5)));
+    }
+}

@@ -10,10 +10,15 @@
 //! * **Configurable case counts** — set `PROPCHECK_CASES` to raise or
 //!   lower the number of cases per property (CI can afford more than a
 //!   laptop edit-compile loop).
-//! * **Failure-case shrinking by halving** — on failure the harness
-//!   asks the caller's shrinker for smaller candidates (typically the
-//!   halves of the offending vector, see [`halves`]) and greedily
-//!   descends to a locally minimal failing case before panicking.
+//! * **Failure-case shrinking** — on failure the harness asks the
+//!   caller's shrinker for simpler candidates and greedily descends to
+//!   a locally minimal failing case before panicking. Two kinds of
+//!   candidates compose: *structural* reductions that drop elements
+//!   ([`halves`]) and *element-wise* reductions that replace one
+//!   element with a simpler value ([`shrink_each`], [`shrink_u64`]) —
+//!   halving alone finds a short counterexample, element-wise
+//!   shrinking then drives each surviving element to the smallest
+//!   value that still fails (see [`halves_and_each`]).
 //!
 //! A property is a plain function from a generated case to
 //! `Result<(), String>`; tests call [`check`] from an ordinary
@@ -161,6 +166,101 @@ pub fn no_shrink<T>(_: &T) -> Vec<T> {
     Vec::new()
 }
 
+/// Element-wise shrink candidates: for each position in `xs`, one
+/// candidate per simpler value `simplify` offers for that element,
+/// with every other element unchanged (length is preserved —
+/// structural reduction is [`halves`]' job). Candidates are ordered
+/// position-major, so the greedy descent settles the front of the
+/// vector first.
+pub fn shrink_each<T: Clone>(xs: &[T], simplify: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    for (i, x) in xs.iter().enumerate() {
+        for s in simplify(x) {
+            let mut v = xs.to_vec();
+            v[i] = s;
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Structural shrink candidates that drop one element at a time —
+/// finer-grained than [`halves`] (which only drops the last element
+/// or a whole half), at O(n) candidates per round. At a fixed point,
+/// *every* element is load-bearing: removing any single one makes the
+/// property pass.
+pub fn drop_each<T: Clone>(xs: &[T]) -> Vec<Vec<T>> {
+    (0..xs.len())
+        .map(|i| {
+            let mut v = xs.to_vec();
+            v.remove(i);
+            v
+        })
+        .collect()
+}
+
+/// Simpler candidates for an unsigned integer, in descending
+/// aggressiveness: `0`, the halved value, and the decrement. The
+/// decrement guarantees the greedy descent can always take the last
+/// single step to a boundary (e.g. land exactly *on* a failing
+/// threshold), which halving alone overshoots.
+pub fn shrink_u64(x: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for c in [0, x / 2, x - x.min(1)] {
+        if c != x && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The standard vector shrinker: structural reductions first
+/// ([`halves`]: shorter vectors shrink the *case*), then element-wise
+/// reductions ([`shrink_each`]: simpler elements shrink the
+/// *values*). Greedy descent over this combined pool converges on a
+/// counterexample that is minimal in both length and magnitude.
+pub fn halves_and_each<T: Clone>(xs: &[T], simplify: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = halves(xs);
+    out.extend(shrink_each(xs, simplify));
+    out
+}
+
+/// Greedily descends from a failing `case` to a locally minimal one:
+/// repeatedly moves to the first still-failing candidate `shrink`
+/// offers, up to `max_steps` accepted steps. Returns the minimal case,
+/// its failure message, and the number of accepted steps. This is the
+/// descent [`check_with`] runs on failure, exposed so shrinker quality
+/// is testable directly (see the planted-bug tests in
+/// `tests/prop_simcore.rs`).
+pub fn shrink_to_minimal<T, S, P>(
+    case: T,
+    first_err: String,
+    shrink: S,
+    prop: P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Clone,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut minimal = case;
+    let mut last_err = first_err;
+    let mut steps = 0u32;
+    'outer: while steps < max_steps {
+        for candidate in shrink(&minimal) {
+            if let Err(e) = prop(&candidate) {
+                minimal = candidate;
+                last_err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // locally minimal
+    }
+    (minimal, last_err, steps)
+}
+
 /// Runs `prop` against `cfg.cases` generated cases; on failure,
 /// greedily shrinks via `shrink` and panics with the minimal failing
 /// case and its reproduction seed.
@@ -182,22 +282,8 @@ where
             continue;
         };
 
-        // Greedy shrink: repeatedly move to the first still-failing
-        // candidate the shrinker offers.
-        let mut minimal = case;
-        let mut last_err = first_err;
-        let mut steps = 0u32;
-        'outer: while steps < cfg.max_shrink_steps {
-            for candidate in shrink(&minimal) {
-                if let Err(e) = prop(&candidate) {
-                    minimal = candidate;
-                    last_err = e;
-                    steps += 1;
-                    continue 'outer;
-                }
-            }
-            break; // locally minimal
-        }
+        let (minimal, last_err, steps) =
+            shrink_to_minimal(case, first_err, &shrink, &prop, cfg.max_shrink_steps);
 
         panic!(
             "property '{name}' failed (case {i} of {cases}, seed {case_seed:#x}, \
@@ -348,6 +434,65 @@ mod tests {
         assert!(c.contains(&vec![3, 4]));
         assert!(c.contains(&vec![1, 2, 3]));
         assert!(halves::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn shrink_each_replaces_one_position_at_a_time() {
+        let v = vec![10u64, 20];
+        let c = shrink_each(&v, |&x| vec![x / 2]);
+        assert_eq!(c, vec![vec![5, 20], vec![10, 10]]);
+        assert!(shrink_each::<u64>(&[], |_| vec![0]).is_empty());
+    }
+
+    #[test]
+    fn drop_each_removes_every_position() {
+        let c = drop_each(&[1, 2, 3]);
+        assert_eq!(c, vec![vec![2, 3], vec![1, 3], vec![1, 2]]);
+        assert!(drop_each::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn shrink_u64_offers_zero_half_and_decrement() {
+        assert_eq!(shrink_u64(10), vec![0, 5, 9]);
+        assert_eq!(shrink_u64(1), vec![0]);
+        assert!(shrink_u64(0).is_empty());
+        // Candidates are always strictly smaller: descent terminates.
+        for x in [2u64, 3, 7, 1000, u64::MAX] {
+            assert!(shrink_u64(x).iter().all(|&c| c < x));
+        }
+    }
+
+    #[test]
+    fn halves_and_each_combines_both_pools() {
+        let v = vec![4u64, 6];
+        let c = halves_and_each(&v, |&x| shrink_u64(x));
+        // Structural candidates first...
+        assert_eq!(c[0], vec![4]);
+        // ...element-wise candidates after.
+        assert!(c.contains(&vec![0, 6]));
+        assert!(c.contains(&vec![4, 3]));
+    }
+
+    #[test]
+    fn shrink_to_minimal_reaches_a_fixed_point() {
+        // Property: x < 50 (fails for x >= 50). From 93 the descent
+        // must land exactly on the boundary value 50.
+        let (minimal, err, steps) = shrink_to_minimal(
+            93u64,
+            "seed".into(),
+            |&x| shrink_u64(x),
+            |&x| {
+                if x < 50 {
+                    Ok(())
+                } else {
+                    Err(format!("{x} >= 50"))
+                }
+            },
+            1_000,
+        );
+        assert_eq!(minimal, 50);
+        assert_eq!(err, "50 >= 50");
+        assert!(steps > 0);
     }
 
     #[test]

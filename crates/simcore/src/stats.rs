@@ -207,6 +207,57 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Sum of all processors' breakdowns (exact, no division). Since
+    /// every processor's `total()` equals `exec_time`, the aggregate
+    /// total is `n_procs × exec_time` exactly — which makes the
+    /// aggregate's [`Breakdown::fractions_of`] its own total sum to
+    /// 1.0 up to float rounding, a property the manifest schema tests
+    /// assert.
+    pub fn total_breakdown(&self) -> Breakdown {
+        self.per_proc
+            .iter()
+            .fold(Breakdown::default(), |a, &b| a + b)
+    }
+
+    /// The canonical named-metrics view of a run, used by the
+    /// machine-readable results layer: exec time, aggregate cycle
+    /// breakdown, and every memory-system counter. All counters are
+    /// exact, so two bit-identical runs produce bit-identical
+    /// registries.
+    pub fn metrics(&self) -> crate::metrics::Metrics {
+        let mut m = crate::metrics::Metrics::new();
+        m.counter("procs", self.per_proc.len() as u64);
+        m.counter("exec_time_cycles", self.exec_time);
+        let bd = self.total_breakdown();
+        m.counter("cpu_cycles", bd.cpu);
+        m.counter("load_cycles", bd.load);
+        m.counter("merge_cycles", bd.merge);
+        m.counter("sync_cycles", bd.sync);
+        m.counter("read_hits", self.mem.read_hits);
+        m.counter("write_hits", self.mem.write_hits);
+        m.counter("read_misses", self.mem.read_misses);
+        m.counter("write_misses", self.mem.write_misses);
+        m.counter("upgrade_misses", self.mem.upgrade_misses);
+        m.counter("merge_stalls", self.mem.merge_stalls);
+        for c in LatencyClass::ALL {
+            let name = match c {
+                LatencyClass::LocalClean => "lat_local_clean",
+                LatencyClass::LocalDirtyRemote => "lat_local_dirty_remote",
+                LatencyClass::RemoteClean => "lat_remote_clean",
+                LatencyClass::RemoteDirtyThird => "lat_remote_dirty_third",
+            };
+            m.counter(name, self.mem.by_latency[c.idx()]);
+        }
+        m.counter("invalidations", self.mem.invalidations);
+        m.counter("evictions", self.mem.evictions);
+        m.counter("writebacks", self.mem.writebacks);
+        m.counter("local_satisfied", self.mem.local_satisfied);
+        m.counter("bus_transfers", self.mem.bus_transfers);
+        m.counter("bus_invalidations", self.mem.bus_invalidations);
+        m.gauge("read_miss_rate", self.mem.read_miss_rate());
+        m
+    }
+
     /// Mean breakdown across processors. Since all processors finish at
     /// `exec_time`, the mean components sum to `exec_time`.
     pub fn mean_breakdown(&self) -> Breakdown {
@@ -338,5 +389,46 @@ mod tests {
         let pct = rs.percent_of(200);
         assert!((pct[0] - 35.0).abs() < 1e-12);
         assert!((rs.percent_total_of(200) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_metrics_are_exact_and_self_consistent() {
+        let rs = RunStats {
+            per_proc: vec![
+                Breakdown {
+                    cpu: 80,
+                    load: 10,
+                    merge: 0,
+                    sync: 10,
+                },
+                Breakdown {
+                    cpu: 60,
+                    load: 20,
+                    merge: 0,
+                    sync: 20,
+                },
+            ],
+            mem: MissStats {
+                read_hits: 9,
+                read_misses: 1,
+                ..MissStats::default()
+            },
+            exec_time: 100,
+        };
+        let total = rs.total_breakdown();
+        assert_eq!(total.total(), 200); // n_procs × exec_time, exactly
+        let f = total.fractions_of(total.total());
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        let m = rs.metrics();
+        use crate::metrics::MetricValue;
+        assert_eq!(m.get("procs"), Some(MetricValue::Counter(2)));
+        assert_eq!(m.get("exec_time_cycles"), Some(MetricValue::Counter(100)));
+        assert_eq!(m.get("cpu_cycles"), Some(MetricValue::Counter(140)));
+        assert_eq!(m.get("read_misses"), Some(MetricValue::Counter(1)));
+        assert_eq!(m.get("read_miss_rate"), Some(MetricValue::Gauge(0.1)));
+        // Identical runs register identical metrics (bit-identity
+        // propagates through the results layer).
+        assert_eq!(m, rs.clone().metrics());
     }
 }

@@ -1,0 +1,170 @@
+//! Property tests for the `simcore::json` writer/reader pair, on the
+//! in-tree `propcheck` harness: arbitrary values round-trip through
+//! serialization, numbers format locale-independently, and non-finite
+//! floats can never leak into output.
+
+use simcore::json::{parse, Json};
+use simcore::prop_ensure;
+use simcore::propcheck::{self, no_shrink, Gen};
+
+/// Random unicode string: a mix of plain ASCII, escapables, controls
+/// and non-BMP characters (forces surrogate-pair handling in the
+/// reader when escaped input is exercised elsewhere).
+fn gen_string(g: &mut Gen) -> String {
+    g.vec_of(0..20, |g| match g.u8_in(0..5) {
+        0 => char::from(g.u8_in(0x20..0x7f)),
+        1 => g.pick(&['"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}']),
+        2 => char::from_u32(g.u32_in(0..0x20)).unwrap(),
+        3 => g.pick(&['é', 'Ω', '☂', '中', '\u{10348}', '😀']),
+        _ => {
+            // Arbitrary scalar value, skipping the surrogate range.
+            let mut c = g.u32_in(0..0x11_0000);
+            if (0xd800..0xe000).contains(&c) {
+                c -= 0xd800;
+            }
+            char::from_u32(c).unwrap_or('?')
+        }
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Random finite f64 drawn from raw bit patterns, so exponents and
+/// subnormals are covered rather than just "nice" values.
+fn gen_finite_f64(g: &mut Gen) -> f64 {
+    loop {
+        let x = f64::from_bits(g.rng().next_u64());
+        if x.is_finite() {
+            return x;
+        }
+    }
+}
+
+/// Random value tree, depth-bounded.
+fn gen_json(g: &mut Gen, depth: u32) -> Json {
+    let top = if depth == 0 { 6 } else { 8 };
+    match g.u8_in(0..top) {
+        0 => Json::Null,
+        1 => Json::Bool(g.any_bool()),
+        2 => Json::UInt(g.rng().next_u64()),
+        3 => Json::Int(-(g.u64_in(1..1 << 62) as i64)),
+        4 => Json::Float(gen_finite_f64(g)),
+        5 => Json::Str(gen_string(g)),
+        6 => Json::Arr(g.vec_of(0..5, |g| gen_json(g, depth - 1))),
+        _ => {
+            let pairs = g.vec_of(0..5, |g| (gen_string(g), gen_json(g, depth - 1)));
+            Json::Obj(pairs)
+        }
+    }
+}
+
+#[test]
+fn prop_values_roundtrip_compact_and_pretty() {
+    propcheck::check(
+        "json_roundtrip",
+        |g| gen_json(g, 3),
+        no_shrink,
+        |v| {
+            let compact = v.to_string();
+            let back = parse(&compact).map_err(|e| format!("{e} in {compact:?}"))?;
+            prop_ensure!(back == *v, "compact roundtrip changed value: {compact:?}");
+            let pretty = v.pretty();
+            let back = parse(&pretty).map_err(|e| format!("{e} in {pretty:?}"))?;
+            prop_ensure!(back == *v, "pretty roundtrip changed value: {pretty:?}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_strings_roundtrip_and_output_is_valid_utf8() {
+    propcheck::check("json_string_roundtrip", gen_string, no_shrink, |s| {
+        let v = Json::Str(s.clone());
+        let ser = v.to_string();
+        // `ser` is a Rust String, hence UTF-8 by construction; the
+        // load-bearing check is that every control character was
+        // escaped, so the bytes are also *valid JSON* UTF-8.
+        prop_ensure!(
+            ser.chars().all(|c| c as u32 >= 0x20),
+            "unescaped control char in {ser:?}"
+        );
+        let back = parse(&ser).map_err(|e| format!("{e} in {ser:?}"))?;
+        prop_ensure!(back == v, "string changed: {s:?} -> {ser:?}");
+        Ok(())
+    });
+}
+
+#[test]
+fn prop_finite_floats_roundtrip_exactly_and_locale_independently() {
+    propcheck::check("json_float_roundtrip", gen_finite_f64, no_shrink, |&x| {
+        let ser = Json::Float(x).to_string();
+        // Locale independence: the number token may contain only
+        // ASCII digits, '.', '-', '+' and 'e' — never ',' or any
+        // locale-specific separator.
+        prop_ensure!(
+            ser.chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')),
+            "non-numeric character in float token {ser:?}"
+        );
+        let back = parse(&ser).map_err(|e| format!("{e} in {ser:?}"))?;
+        let y = back
+            .as_f64()
+            .ok_or_else(|| format!("{ser:?} did not parse as a number"))?;
+        prop_ensure!(
+            y == x || (y == 0.0 && x == 0.0),
+            "float not exact: {x:?} -> {ser} -> {y:?}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn prop_nonfinite_floats_never_leak() {
+    propcheck::check(
+        "json_no_nan_inf",
+        |g| {
+            // NaN, ±Inf, and random bit patterns forced non-finite.
+            let exp_all_ones = 0x7ff0_0000_0000_0000u64;
+            f64::from_bits(exp_all_ones | (g.rng().next_u64() & 0x800f_ffff_ffff_ffff))
+        },
+        no_shrink,
+        |&x| {
+            prop_ensure!(!x.is_finite(), "generator produced finite {x}");
+            let doc = Json::obj()
+                .with("bad", x)
+                .with("arr", Json::Arr(vec![Json::Float(x)]));
+            let ser = doc.to_string();
+            for tok in ["NaN", "nan", "inf", "Inf"] {
+                prop_ensure!(!ser.contains(tok), "{tok} leaked into {ser:?}");
+            }
+            // The emitted document is still valid JSON: the value
+            // degraded to null instead of poisoning the manifest.
+            let back = parse(&ser).map_err(|e| e.to_string())?;
+            prop_ensure!(
+                back.get("bad") == Some(&Json::Null),
+                "expected null, got {ser:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_integer_counters_stay_exact() {
+    propcheck::check(
+        "json_u64_exact",
+        |g| g.rng().next_u64(),
+        no_shrink,
+        |&x| {
+            // u64 counters above 2^53 lose precision through an f64
+            // detour; the writer must keep them integral.
+            let ser = Json::UInt(x).to_string();
+            let back = parse(&ser).map_err(|e| e.to_string())?;
+            prop_ensure!(
+                back.as_u64() == Some(x),
+                "u64 not exact: {x} -> {ser} -> {back:?}"
+            );
+            Ok(())
+        },
+    );
+}

@@ -6,7 +6,10 @@
 
 use simcore::cache::{FullLruCache, SetAssocCache};
 use simcore::ops::{Op, PackedOp};
-use simcore::propcheck::{self, halves, no_shrink, Gen};
+use simcore::propcheck::{
+    self, drop_each, halves, halves_and_each, no_shrink, shrink_each, shrink_to_minimal,
+    shrink_u64, Gen,
+};
 use simcore::{prop_ensure, prop_ensure_eq};
 
 /// A straightforward Vec-based LRU reference: front = MRU.
@@ -63,12 +66,39 @@ fn cache_ops(g: &mut Gen, max_key: u64) -> Vec<CacheOp> {
     })
 }
 
+/// Element-wise simplifications for one cache op: any op degrades
+/// toward `Get(0)` — `Get` is the least stateful op, and smaller keys
+/// and values read better in a counterexample.
+fn simplify_cache_op(op: &CacheOp) -> Vec<CacheOp> {
+    let mut out = Vec::new();
+    match op {
+        CacheOp::Get(k) => out.extend(shrink_u64(*k).into_iter().map(CacheOp::Get)),
+        CacheOp::Insert(k, v) => {
+            out.push(CacheOp::Get(*k));
+            out.extend(shrink_u64(*k).into_iter().map(|k2| CacheOp::Insert(k2, *v)));
+            if *v != 0 {
+                out.push(CacheOp::Insert(*k, 0));
+            }
+        }
+        CacheOp::Remove(k) => {
+            out.push(CacheOp::Get(*k));
+            out.extend(shrink_u64(*k).into_iter().map(CacheOp::Remove));
+        }
+    }
+    out
+}
+
 #[test]
 fn lru_matches_reference_model() {
     propcheck::check(
         "lru_matches_reference_model",
         |g| (cache_ops(g, 24), g.usize_in(1..16)),
-        |(ops, cap)| halves(ops).into_iter().map(|h| (h, *cap)).collect(),
+        |(ops, cap)| {
+            halves_and_each(ops, simplify_cache_op)
+                .into_iter()
+                .map(|h| (h, *cap))
+                .collect()
+        },
         |(ops, cap)| {
             let mut real = FullLruCache::new(*cap);
             let mut model = ModelLru::new(*cap);
@@ -194,6 +224,96 @@ fn allocator_regions_never_overlap() {
             Ok(())
         },
     );
+}
+
+/// Planted bug #1: "no element may reach 50" over vectors of values
+/// in 0..60. Halving alone stops at *some* single offending element
+/// (any of 50..60); element-wise shrinking must drive it to exactly
+/// the boundary value, so the minimal counterexample is `[50]`.
+#[test]
+fn prop_elementwise_shrink_lands_on_threshold_boundary() {
+    let gen = |g: &mut Gen| g.vec_of(1..40, |g| g.u64_in(0..60));
+    let prop = |v: &Vec<u64>| {
+        if v.iter().all(|&x| x < 50) {
+            Ok(())
+        } else {
+            Err("element >= 50".to_string())
+        }
+    };
+    let mut found = 0u32;
+    for seed in 0..200u64 {
+        let case = gen(&mut Gen::from_seed(seed));
+        if prop(&case).is_ok() {
+            continue;
+        }
+        found += 1;
+        let (minimal, _, _) = shrink_to_minimal(
+            case.clone(),
+            "planted".into(),
+            |v| halves_and_each(v, |&x| shrink_u64(x)),
+            prop,
+            10_000,
+        );
+        assert_eq!(
+            minimal,
+            vec![50],
+            "seed {seed}: case {case:?} did not shrink to the boundary"
+        );
+        // The halving-only shrinker usually cannot reach [50] — that
+        // gap is what the element-wise pool closes.
+        let (coarse, _, _) = shrink_to_minimal(case, "planted".into(), |v| halves(v), prop, 10_000);
+        assert_eq!(coarse.len(), 1, "halving still minimizes length");
+    }
+    assert!(found >= 20, "generator produced too few failing cases");
+}
+
+/// Planted bug #2: "the sum must stay below 100". The minimal
+/// counterexample sums to exactly 100 (one less anywhere and it
+/// passes) with every element load-bearing: dropping any element
+/// brings the sum under the threshold.
+#[test]
+fn prop_elementwise_shrink_minimizes_sum_to_exact_threshold() {
+    let gen = |g: &mut Gen| g.vec_of(1..30, |g| g.u64_in(0..60));
+    let prop = |v: &Vec<u64>| {
+        if v.iter().sum::<u64>() < 100 {
+            Ok(())
+        } else {
+            Err(format!("sum {} >= 100", v.iter().sum::<u64>()))
+        }
+    };
+    let mut found = 0u32;
+    for seed in 0..200u64 {
+        let case = gen(&mut Gen::from_seed(seed));
+        if prop(&case).is_ok() {
+            continue;
+        }
+        found += 1;
+        // Structural pool includes drop-each so the fixed point has no
+        // passenger elements (an interior 0 would survive halving).
+        let (minimal, _, _) = shrink_to_minimal(
+            case,
+            "planted".into(),
+            |v| {
+                let mut c = halves(v);
+                c.extend(drop_each(v));
+                c.extend(shrink_each(v, |&x| shrink_u64(x)));
+                c
+            },
+            prop,
+            10_000,
+        );
+        let sum: u64 = minimal.iter().sum();
+        assert_eq!(sum, 100, "seed {seed}: not tight: {minimal:?}");
+        for drop in 0..minimal.len() {
+            let mut shorter = minimal.clone();
+            let removed = shorter.remove(drop);
+            assert!(
+                prop(&shorter).is_ok(),
+                "seed {seed}: element {removed} at {drop} was not load-bearing: {minimal:?}"
+            );
+        }
+    }
+    assert!(found >= 20, "generator produced too few failing cases");
 }
 
 #[test]

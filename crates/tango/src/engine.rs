@@ -74,6 +74,38 @@ pub fn run(trace: &Trace, machine: MachineConfig) -> RunStats {
     run_with(trace, machine, EngineOptions::default())
 }
 
+/// [`run`] plus the canonical named-metrics view of the replay, for
+/// the machine-readable results layer: the trace's op composition
+/// (what the engine replayed), the machine shape, and every
+/// `RunStats` counter. Deterministic — identical inputs produce a
+/// bit-identical registry, so manifests built from it diff cleanly.
+pub fn run_instrumented(trace: &Trace, machine: MachineConfig) -> (RunStats, simcore::Metrics) {
+    let rs = run(trace, machine);
+    let mut m = simcore::Metrics::new();
+    m.counter("clusters", machine.n_clusters() as u64);
+    m.counter("per_cluster", machine.per_cluster as u64);
+    let (mut reads, mut writes, mut compute, mut barriers, mut locks) = (0u64, 0, 0, 0, 0);
+    for ops in &trace.per_proc {
+        for op in ops {
+            match op.unpack() {
+                Op::Read(_) => reads += 1,
+                Op::Write(_) => writes += 1,
+                Op::Compute(c) => compute += c,
+                Op::Barrier(_) => barriers += 1,
+                Op::Lock(_) => locks += 1,
+                Op::Unlock(_) => {}
+            }
+        }
+    }
+    m.counter("trace_reads", reads);
+    m.counter("trace_writes", writes);
+    m.counter("trace_compute_cycles", compute);
+    m.counter("trace_barriers", barriers);
+    m.counter("trace_lock_acquires", locks);
+    m.merge_prefixed("", &rs.metrics());
+    (rs, m)
+}
+
 /// Replays `trace` with explicit [`EngineOptions`].
 pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> RunStats {
     let n = trace.n_procs();
@@ -314,6 +346,38 @@ mod tests {
         assert_eq!(bd.merge, 0);
         assert_eq!(bd.sync, 0);
         assert_eq!(rs.exec_time, 44);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_counts_ops() {
+        use simcore::metrics::MetricValue;
+        let mut b = TraceBuilder::new(2);
+        let a = b.space_mut().alloc_shared(64);
+        b.compute(0, 10);
+        b.read(0, a);
+        b.write(0, a);
+        b.compute(1, 4);
+        b.read(1, a);
+        b.barrier_all();
+        let t = b.finish();
+        let (rs, m) = run_instrumented(&t, cfg(2, 2));
+        assert_eq!(rs, run(&t, cfg(2, 2)), "instrumentation changed the run");
+        assert_eq!(m.get("trace_reads"), Some(MetricValue::Counter(2)));
+        assert_eq!(m.get("trace_writes"), Some(MetricValue::Counter(1)));
+        assert_eq!(
+            m.get("trace_compute_cycles"),
+            Some(MetricValue::Counter(14))
+        );
+        // barrier_all + the implicit trailing barrier, on both procs.
+        assert_eq!(m.get("trace_barriers"), Some(MetricValue::Counter(4)));
+        assert_eq!(m.get("clusters"), Some(MetricValue::Counter(1)));
+        assert_eq!(
+            m.get("exec_time_cycles"),
+            Some(MetricValue::Counter(rs.exec_time))
+        );
+        // Determinism: a second instrumented run is bit-identical.
+        let (_, m2) = run_instrumented(&t, cfg(2, 2));
+        assert_eq!(m, m2);
     }
 
     #[test]
