@@ -11,16 +11,23 @@ use std::hint::black_box;
 
 use cluster_bench::timer::bench;
 use cluster_study::apps::trace_for;
-use cluster_study::study::{run_config, sweep_clusters};
+use cluster_study::study::{run_config, StudySpec};
 use cluster_study::{bank_conflict_probability, measure_latency_factors};
 use coherence::config::CacheSpec;
 use splash::ProblemSize;
+
+/// The single-cache infinite sweep the figure benches time.
+fn infinite_sweep(trace: &simcore::ops::Trace) -> cluster_study::study::ClusterSweep {
+    StudySpec::for_trace(trace)
+        .caches([CacheSpec::Infinite])
+        .run_sweep()
+}
 
 fn fig2_benches() {
     for app in cluster_study::apps::FIG2_APPS {
         let trace = trace_for(app, ProblemSize::Small, 16);
         bench(&format!("fig2_infinite_small/{app}"), 1, 10, || {
-            black_box(sweep_clusters(&trace, CacheSpec::Infinite))
+            black_box(infinite_sweep(&trace))
         });
     }
 }
@@ -28,7 +35,7 @@ fn fig2_benches() {
 fn fig3_bench() {
     let trace = cluster_study::apps::ocean_small_grid_trace(ProblemSize::Small, 16);
     bench("fig3_ocean_small_grid/ocean66", 1, 10, || {
-        black_box(sweep_clusters(&trace, CacheSpec::Infinite))
+        black_box(infinite_sweep(&trace))
     });
 }
 
@@ -61,7 +68,9 @@ fn table5_bench() {
 fn table6_7_bench() {
     let trace = trace_for("barnes", ProblemSize::Small, 16);
     bench("table6_7_costed_small/barnes_4kb_costed", 1, 10, || {
-        let sweep = sweep_clusters(&trace, CacheSpec::PerProcBytes(4096));
+        let sweep = StudySpec::for_trace(&trace)
+            .caches([CacheSpec::PerProcBytes(4096)])
+            .run_sweep();
         let f = measure_latency_factors(&trace);
         black_box(cluster_study::report::costed_relative_times(&sweep, &f))
     });

@@ -7,7 +7,7 @@ use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::{trace_for, FIG2_APPS};
 use cluster_study::paper_data;
 use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
             trace_for(app, cli.size, cli.procs)
         });
         let sweep = timed(&format!("{app} sim"), || {
-            sweep_clusters(&trace, CacheSpec::Infinite)
+            StudySpec::for_trace(&trace)
+                .caches([CacheSpec::Infinite])
+                .jobs(cli.jobs)
+                .run_sweep()
         });
         reporter.record_sweep(app, &sweep, None);
         let paper = paper_data::fig2_totals(app);

@@ -6,7 +6,7 @@ use cluster_bench::{timed, Cli, Reporter};
 use cluster_study::apps::ocean_small_grid_trace;
 use cluster_study::paper_data;
 use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 
 fn main() {
@@ -19,7 +19,10 @@ fn main() {
         ocean_small_grid_trace(cli.size, cli.procs)
     });
     let sweep = timed("ocean-66 sim", || {
-        sweep_clusters(&trace, CacheSpec::Infinite)
+        StudySpec::for_trace(&trace)
+            .caches([CacheSpec::Infinite])
+            .jobs(cli.jobs)
+            .run_sweep()
     });
     let mut reporter = Reporter::new("fig3_ocean_small", &cli);
     reporter.record_sweep("ocean-66", &sweep, None);

@@ -7,7 +7,7 @@ use cluster_study::apps::{trace_for, TABLE6_APPS};
 use cluster_study::measure_latency_factors;
 use cluster_study::paper_data;
 use cluster_study::report::{cluster_header, costed_relative_times, render_costed_row};
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
         let trace = trace_for(app, cli.size, cli.procs);
         let (sweep, factors) = timed(app, || {
             (
-                sweep_clusters(&trace, CacheSpec::PerProcBytes(4096)),
+                StudySpec::for_trace(&trace)
+                    .caches([CacheSpec::PerProcBytes(4096)])
+                    .jobs(cli.jobs)
+                    .run_sweep(),
                 measure_latency_factors(&trace),
             )
         });

@@ -8,7 +8,7 @@ use cluster_study::apps::{trace_for, TABLE7_APPS};
 use cluster_study::measure_latency_factors;
 use cluster_study::paper_data;
 use cluster_study::report::{cluster_header, costed_relative_times, render_costed_row};
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
         let trace = trace_for(app, cli.size, cli.procs);
         let (sweep, factors) = timed(app, || {
             (
-                sweep_clusters(&trace, CacheSpec::Infinite),
+                StudySpec::for_trace(&trace)
+                    .caches([CacheSpec::Infinite])
+                    .jobs(cli.jobs)
+                    .run_sweep(),
                 measure_latency_factors(&trace),
             )
         });

@@ -58,9 +58,53 @@ pub struct Cli {
     pub emit_manifest: bool,
 }
 
+/// A parse failure (or `--help` request) from [`Cli::parse_from`]:
+/// carries the full usage text naming the actual tool, so callers —
+/// and tests — never need process state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// `None` for `--help`/`-h` (print usage, exit 0); `Some(msg)`
+    /// for a real parse error (print error + usage, exit 2).
+    pub message: Option<String>,
+    /// Usage text, first line `usage: <tool> ...`.
+    pub usage: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(msg) = &self.message {
+            writeln!(f, "error: {msg}")?;
+        }
+        write!(f, "{}", self.usage)
+    }
+}
+
 impl Cli {
-    /// Parses `std::env::args`, exiting with usage on error.
+    /// Parses `std::env::args`, exiting with usage on error. The
+    /// usage text names the invoked binary. One-line wrapper over
+    /// [`Cli::parse_from`].
     pub fn parse() -> Cli {
+        let mut argv = std::env::args();
+        let tool = argv
+            .next()
+            .as_deref()
+            .map(tool_name)
+            .unwrap_or_else(|| "cluster-bench".to_string());
+        Cli::parse_from(&tool, argv).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(if e.message.is_some() { 2 } else { 0 })
+        })
+    }
+
+    /// Parses an explicit argument list (without the argv[0] program
+    /// name) for the named tool. Pure: no process exit, no stdio — a
+    /// `--help` request or bad flag comes back as a [`CliError`], so
+    /// every flag and every error path is unit-testable.
+    pub fn parse_from(tool: &str, args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
+        let fail = |msg: &str| CliError {
+            message: Some(msg.to_string()),
+            usage: usage_text(tool),
+        };
         let mut size = ProblemSize::Paper;
         let mut procs = 64usize;
         let mut apps = None;
@@ -68,7 +112,7 @@ impl Cli {
         let mut format = Format::Text;
         let mut out = None;
         let mut emit_manifest = false;
-        let mut args = std::env::args().skip(1);
+        let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--small" => size = ProblemSize::Small,
@@ -77,10 +121,10 @@ impl Cli {
                     procs = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--procs needs a number"));
+                        .ok_or_else(|| fail("--procs needs a number"))?;
                 }
                 "--apps" => {
-                    let list = args.next().unwrap_or_else(|| usage("--apps needs a list"));
+                    let list = args.next().ok_or_else(|| fail("--apps needs a list"))?;
                     apps = Some(list.split(',').map(|s| s.trim().to_string()).collect());
                 }
                 "--jobs" => {
@@ -88,7 +132,7 @@ impl Cli {
                         args.next()
                             .and_then(|v| v.parse().ok())
                             .filter(|&j: &usize| j >= 1)
-                            .unwrap_or_else(|| usage("--jobs needs a positive number")),
+                            .ok_or_else(|| fail("--jobs needs a positive number"))?,
                     );
                 }
                 "--format" => {
@@ -96,20 +140,25 @@ impl Cli {
                         Some("text") => Format::Text,
                         Some("json") => Format::Json,
                         Some("csv") => Format::Csv,
-                        _ => usage("--format needs text|json|csv"),
+                        _ => return Err(fail("--format needs text|json|csv")),
                     };
                 }
                 "--out" => {
                     out = Some(PathBuf::from(
-                        args.next().unwrap_or_else(|| usage("--out needs a path")),
+                        args.next().ok_or_else(|| fail("--out needs a path"))?,
                     ));
                 }
                 "--emit-manifest" => emit_manifest = true,
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other}")),
+                "--help" | "-h" => {
+                    return Err(CliError {
+                        message: None,
+                        usage: usage_text(tool),
+                    })
+                }
+                other => return Err(fail(&format!("unknown flag {other}"))),
             }
         }
-        Cli {
+        Ok(Cli {
             size,
             procs,
             apps,
@@ -117,7 +166,7 @@ impl Cli {
             format,
             out,
             emit_manifest,
-        }
+        })
     }
 
     /// Whether this invocation should write a manifest artifact.
@@ -142,12 +191,19 @@ impl Cli {
     }
 }
 
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!(
-        "usage: <bin> [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
+/// The binary name from an argv[0] path.
+fn tool_name(argv0: &str) -> String {
+    std::path::Path::new(argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("cluster-bench")
+        .to_string()
+}
+
+/// Usage text naming the actual tool.
+fn usage_text(tool: &str) -> String {
+    format!(
+        "usage: {tool} [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
          \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
          \n\
          --paper          paper problem sizes (default)\n\
@@ -158,10 +214,9 @@ fn usage(msg: &str) -> ! {
          \u{20}                cores; 1 = serial)\n\
          --format         also write a run manifest artifact in this format\n\
          \u{20}                (text = none; stdout tables are always printed)\n\
-         --out            artifact path (default results/<tool>[_small].<ext>)\n\
+         --out            artifact path (default results/{tool}[_small].<ext>)\n\
          --emit-manifest  shorthand for --format json at the default path"
-    );
-    std::process::exit(2)
+    )
 }
 
 /// Collects run records and metrics during a tool's execution and
@@ -210,6 +265,23 @@ impl Reporter {
         self.manifest.record_sweep(app, sweep, walls);
     }
 
+    /// Records everything a pipelined [`StudyRun`] measured: every
+    /// sweep with per-simulation walls, per-app generation-wall
+    /// gauges, and the aggregate two-phase timing.
+    pub fn record_study(&mut self, run: &cluster_study::study::StudyRun) {
+        for (t, name) in run.names.iter().enumerate() {
+            self.manifest.metrics.gauge(
+                &format!("{name}.gen_wall_seconds"),
+                run.gen_walls[t].as_secs_f64(),
+            );
+            for (i, sweep) in run.per_trace[t].sweeps.iter().enumerate() {
+                self.manifest
+                    .record_sweep(name, sweep, Some(run.sim_walls_for(t, i)));
+            }
+        }
+        self.manifest.timing = Some(run.timing);
+    }
+
     /// Writes the artifact if one was requested, returning its path.
     /// Failures are fatal: a requested-but-unwritable artifact should
     /// fail the invocation, not silently produce text only.
@@ -256,10 +328,9 @@ impl Reporter {
 /// next to the paper's approximate bar-chart values. `tool` names the
 /// binary for the manifest artifact.
 pub fn run_capacity_figure(fig: &str, tool: &str, app: &str, cli: &Cli) {
-    use cluster_study::apps::trace_for;
     use cluster_study::paper_data::capacity_totals;
     use cluster_study::report::{direction_agrees, render_sweep, shape_distance};
-    use cluster_study::study::sweep_capacities_jobs;
+    use cluster_study::study::StudySpec;
 
     println!(
         "{fig}: {app}, finite capacity, {} processors, {} sizes, {} jobs\n",
@@ -268,14 +339,14 @@ pub fn run_capacity_figure(fig: &str, tool: &str, app: &str, cli: &Cli) {
         cli.jobs
     );
     let mut reporter = Reporter::new(tool, cli);
-    let trace = timed(&format!("{app} gen"), || {
-        trace_for(app, cli.size, cli.procs)
+    let run = timed(&format!("{app} gen+sim"), || {
+        StudySpec::generate(&[app], cli.size, cli.procs)
+            .jobs(cli.jobs)
+            .run_with(|_| {})
     });
-    let caps = timed(&format!("{app} sim"), || {
-        sweep_capacities_jobs(&trace, cli.jobs)
-    });
+    let caps = &run.per_trace[0];
+    reporter.record_study(&run);
     for sweep in &caps.sweeps {
-        reporter.record_sweep(app, sweep, None);
         let label = sweep.cache.label();
         let paper = capacity_totals(app, &label);
         print!("{}", render_sweep(app, sweep, paper));

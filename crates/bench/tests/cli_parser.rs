@@ -1,0 +1,187 @@
+//! Unit tests for the shared bench CLI parser: every flag, every
+//! error path, and the usage text — all through the pure
+//! [`Cli::parse_from`] entry point, with no process state involved.
+
+use std::path::PathBuf;
+
+use cluster_bench::{Cli, CliError, Format};
+use splash::ProblemSize;
+
+fn parse(args: &[&str]) -> Result<Cli, CliError> {
+    Cli::parse_from("testtool", args.iter().map(|s| s.to_string()))
+}
+
+#[test]
+fn defaults_are_the_paper_machine() {
+    let cli = parse(&[]).unwrap();
+    assert_eq!(cli.size, ProblemSize::Paper);
+    assert_eq!(cli.procs, 64);
+    assert_eq!(cli.apps, None);
+    assert!(cli.jobs >= 1, "jobs resolves to at least 1");
+    assert_eq!(cli.format, Format::Text);
+    assert_eq!(cli.out, None);
+    assert!(!cli.emit_manifest);
+    assert!(!cli.wants_artifact());
+}
+
+#[test]
+fn size_flags_select_problem_size() {
+    assert_eq!(parse(&["--small"]).unwrap().size, ProblemSize::Small);
+    assert_eq!(parse(&["--paper"]).unwrap().size, ProblemSize::Paper);
+    // Last one wins, like most CLIs.
+    assert_eq!(
+        parse(&["--small", "--paper"]).unwrap().size,
+        ProblemSize::Paper
+    );
+    assert_eq!(parse(&["--small"]).unwrap().size_label(), "small");
+    assert_eq!(parse(&[]).unwrap().size_label(), "paper");
+}
+
+#[test]
+fn procs_flag_parses_a_number() {
+    assert_eq!(parse(&["--procs", "16"]).unwrap().procs, 16);
+    let err = parse(&["--procs"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--procs needs a number"));
+    let err = parse(&["--procs", "lots"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--procs needs a number"));
+}
+
+#[test]
+fn apps_flag_splits_and_trims_the_list() {
+    let cli = parse(&["--apps", "lu, fft,ocean"]).unwrap();
+    assert_eq!(
+        cli.apps,
+        Some(vec![
+            "lu".to_string(),
+            "fft".to_string(),
+            "ocean".to_string()
+        ])
+    );
+    assert!(cli.wants("lu"));
+    assert!(cli.wants("fft"));
+    assert!(!cli.wants("barnes"));
+    // No filter: everything passes.
+    assert!(parse(&[]).unwrap().wants("anything"));
+    let err = parse(&["--apps"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--apps needs a list"));
+}
+
+#[test]
+fn jobs_flag_requires_a_positive_number() {
+    assert_eq!(parse(&["--jobs", "3"]).unwrap().jobs, 3);
+    assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, 1);
+    for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+        let err = parse(bad).unwrap_err();
+        assert_eq!(
+            err.message.as_deref(),
+            Some("--jobs needs a positive number"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn format_flag_selects_the_artifact_format() {
+    assert_eq!(parse(&["--format", "text"]).unwrap().format, Format::Text);
+    assert_eq!(parse(&["--format", "json"]).unwrap().format, Format::Json);
+    assert_eq!(parse(&["--format", "csv"]).unwrap().format, Format::Csv);
+    assert!(parse(&["--format", "json"]).unwrap().wants_artifact());
+    assert_eq!(Format::Json.extension(), "json");
+    assert_eq!(Format::Csv.extension(), "csv");
+    for bad in [&["--format"][..], &["--format", "xml"]] {
+        let err = parse(bad).unwrap_err();
+        assert_eq!(
+            err.message.as_deref(),
+            Some("--format needs text|json|csv"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn out_flag_takes_a_path() {
+    let cli = parse(&["--out", "results/custom.json"]).unwrap();
+    assert_eq!(cli.out, Some(PathBuf::from("results/custom.json")));
+    assert!(cli.wants_artifact());
+    let err = parse(&["--out"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--out needs a path"));
+}
+
+#[test]
+fn emit_manifest_is_a_bare_switch() {
+    let cli = parse(&["--emit-manifest"]).unwrap();
+    assert!(cli.emit_manifest);
+    assert!(cli.wants_artifact());
+}
+
+#[test]
+fn help_returns_usage_with_no_error_message() {
+    for flag in ["--help", "-h"] {
+        let err = parse(&[flag]).unwrap_err();
+        assert_eq!(err.message, None, "{flag} is not an error");
+        assert!(err.usage.starts_with("usage: testtool "));
+        // Display of a --help error is the bare usage text.
+        assert_eq!(format!("{err}"), err.usage);
+    }
+}
+
+#[test]
+fn unknown_flag_is_an_error_naming_the_flag() {
+    let err = parse(&["--bogus"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("unknown flag --bogus"));
+    // Display of a real error carries both the message and the usage.
+    let shown = format!("{err}");
+    assert!(shown.starts_with("error: unknown flag --bogus\n"));
+    assert!(shown.contains("usage: testtool "));
+}
+
+#[test]
+fn usage_names_the_actual_tool_everywhere() {
+    let err = Cli::parse_from("paper_run", ["--help".to_string()].into_iter()).unwrap_err();
+    assert!(err.usage.starts_with("usage: paper_run "));
+    // The default artifact path in the help text names the tool too.
+    assert!(
+        err.usage.contains("results/paper_run[_small].<ext>"),
+        "usage should show the tool's own default artifact path:\n{}",
+        err.usage
+    );
+    // Every documented flag appears in the usage text.
+    for flag in [
+        "--paper",
+        "--small",
+        "--procs",
+        "--apps",
+        "--jobs",
+        "--format",
+        "--out",
+        "--emit-manifest",
+    ] {
+        assert!(err.usage.contains(flag), "usage missing {flag}");
+    }
+}
+
+#[test]
+fn flags_combine_in_any_order() {
+    let cli = parse(&[
+        "--small",
+        "--jobs",
+        "2",
+        "--apps",
+        "mp3d",
+        "--format",
+        "csv",
+        "--procs",
+        "8",
+        "--out",
+        "x.csv",
+        "--emit-manifest",
+    ])
+    .unwrap();
+    assert_eq!(cli.size, ProblemSize::Small);
+    assert_eq!(cli.jobs, 2);
+    assert_eq!(cli.apps, Some(vec!["mp3d".to_string()]));
+    assert_eq!(cli.format, Format::Csv);
+    assert_eq!(cli.procs, 8);
+    assert_eq!(cli.out, Some(PathBuf::from("x.csv")));
+    assert!(cli.emit_manifest);
+}

@@ -14,8 +14,9 @@
 //! * [`report`] — text renderings of every figure and table.
 //! * [`paper_data`] — the paper's published numbers, embedded for
 //!   side-by-side comparison.
-//! * [`parallel`] — scoped-thread fan-out for the embarrassingly
-//!   parallel experiment matrix (`--jobs` / `STUDY_JOBS`).
+//! * [`parallel`] — the pipelined two-phase executor and chunked
+//!   work-stealing fan-out for the embarrassingly parallel experiment
+//!   matrix (`--jobs` / `STUDY_JOBS`).
 //! * [`manifest`] — machine-readable run manifests (JSON/CSV) with a
 //!   stable schema, emitted by the `cluster-bench` regenerators.
 
@@ -31,5 +32,8 @@ pub mod study;
 pub use contention::{bank_conflict_probability, shared_cache_factor};
 pub use latency_factor::{measure_latency_factors, LatencyFactors};
 pub use manifest::{Manifest, RunRecord};
-pub use parallel::{resolve_jobs, run_items, run_items_timed, FanoutTiming};
-pub use study::{run_config, sweep_clusters, CapacitySweep, ClusterSweep};
+pub use parallel::{
+    resolve_jobs, run_items, run_items_chunked, run_items_timed, run_pipeline, FanoutTiming, Phase,
+    PhaseSample, PipelineRun,
+};
+pub use study::{run_config, CapacitySweep, ClusterSweep, StudyEvent, StudyRun, StudySpec};

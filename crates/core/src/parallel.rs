@@ -3,18 +3,32 @@
 //! The paper's core experiment — 9 applications × 4 cluster sizes × 4
 //! cache specifications — replays independent deterministic
 //! simulations, so the only thing serial execution buys is wasted
-//! wall-clock. This module provides a scoped-thread work-stealing
-//! runner with a `--jobs` knob (`STUDY_JOBS` env var, default: all
-//! available cores) used by [`crate::study`]'s sweeps, the `paper_run`
-//! driver, and the `cluster-bench` binaries.
+//! wall-clock. This module provides two executors used by
+//! [`crate::study`]'s sweeps, the `paper_run` driver, and the
+//! `cluster-bench` binaries, both with a `--jobs` knob (`STUDY_JOBS`
+//! env var, default: all available cores):
 //!
-//! Simulations are pure functions of `(trace, machine config)`, so the
-//! parallel runner is **bit-identical** to the serial path: results
+//! * [`run_items`] / [`run_items_chunked`] — a flat scoped-thread
+//!   work-stealing loop over one homogeneous item pool. Workers steal
+//!   *chunks* of consecutive indices rather than one index at a time,
+//!   so a 144-item matrix costs a handful of atomic RMWs per worker
+//!   instead of one per item.
+//! * [`run_pipeline`] — the two-phase pipelined executor: per-app
+//!   input *generation* and the *simulations* that consume those
+//!   inputs are scheduled on the same worker pool, so generation
+//!   overlaps simulation instead of strictly preceding it. A worker
+//!   that generates an app's trace immediately simulates that app
+//!   (per-app affinity: the trace is consumed hot by the worker that
+//!   built it) and only then steals chunks of other apps' work. Every
+//!   item reports a [`PhaseSample`] (`{phase: gen|sim, wall}`).
+//!
+//! Simulations are pure functions of `(trace, machine config)`, so
+//! both executors are **bit-identical** to the serial path: results
 //! are returned in input order regardless of completion order, and a
 //! root integration test asserts `RunStats` equality per item.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Resolves a job count: explicit request, else `STUDY_JOBS`, else
@@ -34,11 +48,31 @@ pub fn resolve_jobs(requested: Option<usize>) -> usize {
         })
 }
 
+/// Default steal-chunk size: aim for a few chunks per worker so the
+/// tail stays balanced while the atomic counter stays cool.
+pub fn default_chunk(items: usize, jobs: usize) -> usize {
+    (items / (jobs.max(1) * 4)).clamp(1, 64)
+}
+
 /// Runs `f` over every item on up to `jobs` scoped threads, returning
 /// outputs **in input order**. `jobs <= 1` degenerates to a plain
 /// serial loop (no threads spawned at all), which is the comparison
-/// baseline for the bit-identical guarantee.
+/// baseline for the bit-identical guarantee. Workers steal index
+/// chunks of [`default_chunk`] size.
 pub fn run_items<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_items_chunked(items, jobs, default_chunk(items.len(), jobs), f)
+}
+
+/// [`run_items`] with an explicit steal-chunk size: each claim takes
+/// `chunk` consecutive indices off the shared counter. `chunk = 1` is
+/// the classic one-at-a-time stealing; larger chunks amortize the
+/// atomic traffic at a small cost in tail balance.
+pub fn run_items_chunked<I, O, F>(items: &[I], jobs: usize, chunk: usize, f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
@@ -47,16 +81,21 @@ where
     if jobs <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let workers = jobs.min(items.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(item);
-                *slots[i].lock().unwrap() = Some(out);
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                for i in start..end {
+                    *slots[i].lock().unwrap() = Some(f(&items[i]));
+                }
             });
         }
     });
@@ -80,59 +119,399 @@ where
     })
 }
 
+/// Which pipeline phase a work item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Input (trace) generation.
+    Gen,
+    /// Simulation replay.
+    Sim,
+}
+
+impl Phase {
+    /// Short lowercase label (`"gen"` / `"sim"`) for logs and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Gen => "gen",
+            Phase::Sim => "sim",
+        }
+    }
+}
+
+/// One completed work item's timing report, delivered to the progress
+/// callback of [`run_pipeline`] as soon as the item finishes (so a
+/// driver log shows generation and simulation interleaving).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSample {
+    /// Which phase the item belonged to.
+    pub phase: Phase,
+    /// Index into the phase's input slice (`gen_inputs` or
+    /// `sim_items`).
+    pub index: usize,
+    /// Wall-clock of this item alone.
+    pub wall: Duration,
+}
+
+/// Everything a pipelined fan-out produced: generated inputs, sim
+/// outputs (both with per-item walls, in input order) and the
+/// aggregate [`FanoutTiming`].
+#[derive(Debug)]
+pub struct PipelineRun<T, O> {
+    /// Generated values with per-item gen wall, in `gen_inputs` order.
+    pub gen: Vec<(T, Duration)>,
+    /// Simulation outputs with per-item sim wall, in `sim_items`
+    /// order.
+    pub sims: Vec<(O, Duration)>,
+    /// Aggregate timing of the whole pipeline.
+    pub timing: FanoutTiming,
+}
+
+/// The pipelined two-phase executor.
+///
+/// `gen_inputs[g]` is turned into a value `T` by `gen_f`; each sim
+/// item `(g, s)` consumes the generated `T` of its `g` via `sim_f`.
+/// Generation items and simulation items are scheduled on the *same*
+/// worker pool: a simulation becomes runnable the moment its
+/// generator finishes, so generation overlaps simulation instead of
+/// forming a serial prefix. Scheduling policy:
+///
+/// 1. **Affinity first** — a worker that just generated input `g`
+///    drains chunks of `g`'s simulations (the generated value is
+///    still hot in its cache).
+/// 2. **Generate next** — otherwise it claims the next ungenerated
+///    input.
+/// 3. **Steal last** — otherwise it steals a chunk of simulations
+///    from any input already generated (`chunk` consecutive items per
+///    claim, see [`run_items_chunked`]).
+///
+/// `progress` is invoked (possibly concurrently) once per completed
+/// item. `jobs <= 1` runs the exact serial baseline: generate `g`,
+/// run all of `g`'s simulations, move to `g+1` — no threads at all.
+/// Outputs are keyed by input index either way, so results are
+/// bit-identical across any job count.
+pub fn run_pipeline<GI, T, SI, O, GF, SF, PF>(
+    gen_inputs: &[GI],
+    sim_items: &[(usize, SI)],
+    jobs: usize,
+    chunk: usize,
+    gen_f: GF,
+    sim_f: SF,
+    progress: PF,
+) -> PipelineRun<T, O>
+where
+    GI: Sync,
+    T: Send + Sync,
+    SI: Sync,
+    O: Send,
+    GF: Fn(&GI) -> T + Sync,
+    SF: Fn(&T, &SI) -> O + Sync,
+    PF: Fn(PhaseSample) + Sync,
+{
+    for (i, (g, _)) in sim_items.iter().enumerate() {
+        assert!(
+            *g < gen_inputs.len(),
+            "sim item {i} references generator {g}, but only {} exist",
+            gen_inputs.len()
+        );
+    }
+    let chunk = chunk.max(1);
+    let start = Instant::now();
+
+    // Per-generator lists of sim item indices: the per-app queues the
+    // affinity and stealing rules operate on.
+    let mut per_gen: Vec<Vec<usize>> = vec![Vec::new(); gen_inputs.len()];
+    for (i, (g, _)) in sim_items.iter().enumerate() {
+        per_gen[*g].push(i);
+    }
+
+    if jobs <= 1 {
+        // The measured serial baseline: affinity order, one thread.
+        let mut gen = Vec::with_capacity(gen_inputs.len());
+        let mut sims: Vec<Option<(O, Duration)>> = sim_items.iter().map(|_| None).collect();
+        for (g, input) in gen_inputs.iter().enumerate() {
+            let t0 = Instant::now();
+            let val = gen_f(input);
+            let wall = t0.elapsed();
+            progress(PhaseSample {
+                phase: Phase::Gen,
+                index: g,
+                wall,
+            });
+            for &si in &per_gen[g] {
+                let t0 = Instant::now();
+                let out = sim_f(&val, &sim_items[si].1);
+                let wall = t0.elapsed();
+                progress(PhaseSample {
+                    phase: Phase::Sim,
+                    index: si,
+                    wall,
+                });
+                sims[si] = Some((out, wall));
+            }
+            gen.push((val, wall));
+        }
+        let sims: Vec<(O, Duration)> = sims
+            .into_iter()
+            .map(|s| s.expect("serial pipeline filled every slot"))
+            .collect();
+        let timing = FanoutTiming::from_pipeline(&gen, &sims, 1, start.elapsed());
+        return PipelineRun { gen, sims, timing };
+    }
+
+    let total = gen_inputs.len() + sim_items.len();
+    let gen_next = AtomicUsize::new(0);
+    let sim_next: Vec<AtomicUsize> = gen_inputs.iter().map(|_| AtomicUsize::new(0)).collect();
+    let generated: Vec<OnceLock<(T, Duration)>> =
+        gen_inputs.iter().map(|_| OnceLock::new()).collect();
+    let sim_slots: Vec<Mutex<Option<(O, Duration)>>> =
+        sim_items.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+
+    // Claims a chunk of generator `g`'s simulations and runs it.
+    // Returns false when `g` has nothing left.
+    let drain_chunk = |g: usize| -> bool {
+        let list = &per_gen[g];
+        if sim_next[g].load(Ordering::Relaxed) >= list.len() {
+            return false;
+        }
+        let at = sim_next[g].fetch_add(chunk, Ordering::Relaxed);
+        if at >= list.len() {
+            return false;
+        }
+        let (val, _) = generated[g].get().expect("drained before generation");
+        for &si in &list[at..(at + chunk).min(list.len())] {
+            let t0 = Instant::now();
+            let out = sim_f(val, &sim_items[si].1);
+            let wall = t0.elapsed();
+            *sim_slots[si].lock().unwrap() = Some((out, wall));
+            progress(PhaseSample {
+                phase: Phase::Sim,
+                index: si,
+                wall,
+            });
+            done.fetch_add(1, Ordering::Release);
+        }
+        true
+    };
+
+    let workers = jobs.min(total.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut affinity: Option<usize> = None;
+                loop {
+                    // 1. Affinity: drain the app this worker generated.
+                    if let Some(g) = affinity {
+                        if drain_chunk(g) {
+                            continue;
+                        }
+                        affinity = None;
+                    }
+                    // 2. Generate the next ungenerated input.
+                    let g = gen_next.fetch_add(1, Ordering::Relaxed);
+                    if g < gen_inputs.len() {
+                        let t0 = Instant::now();
+                        let val = gen_f(&gen_inputs[g]);
+                        let wall = t0.elapsed();
+                        if generated[g].set((val, wall)).is_err() {
+                            unreachable!("generator {g} claimed twice");
+                        }
+                        progress(PhaseSample {
+                            phase: Phase::Gen,
+                            index: g,
+                            wall,
+                        });
+                        done.fetch_add(1, Ordering::Release);
+                        affinity = Some(g);
+                        continue;
+                    }
+                    // 3. Steal a chunk from any generated input.
+                    let mut stole = false;
+                    for (g, cell) in generated.iter().enumerate() {
+                        if cell.get().is_some() && drain_chunk(g) {
+                            affinity = Some(g);
+                            stole = true;
+                            break;
+                        }
+                    }
+                    if stole {
+                        continue;
+                    }
+                    // 4. Nothing runnable: either all done, or a gen
+                    // still in flight will unlock more sims — yield.
+                    if done.load(Ordering::Acquire) >= total {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let gen: Vec<(T, Duration)> = generated
+        .into_iter()
+        .map(|c| c.into_inner().expect("every input generated"))
+        .collect();
+    let sims: Vec<(O, Duration)> = sim_slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every sim slot filled"))
+        .collect();
+    let timing = FanoutTiming::from_pipeline(&gen, &sims, jobs, start.elapsed());
+    PipelineRun { gen, sims, timing }
+}
+
 /// Aggregate timing of one fan-out: how much cumulative work ran in
-/// how much wall-clock on how many jobs. This is the machine-readable
-/// form of the `paper_run` timing line, persisted in run manifests so
-/// speedup tracking can be automated (see `cluster_study::manifest`).
+/// how much wall-clock on how many jobs, split by phase. This is the
+/// machine-readable form of the `paper_run` timing line, persisted in
+/// run manifests so speedup tracking can be automated (see
+/// `cluster_study::manifest`).
+///
+/// Two speedup figures with very different honesty guarantees:
+///
+/// * [`FanoutTiming::occupancy`] (serialized as `speedup` for schema
+///   continuity) is cumulative ÷ wall — how many serial runs' worth
+///   of work fit in the elapsed time. On an **oversubscribed** host
+///   this reads ≈ `jobs` even when wall-clock got *worse*, because
+///   time-slicing inflates every per-item wall. It measures worker
+///   occupancy, not time saved.
+/// * [`FanoutTiming::wall_speedup`] is the headline number: measured
+///   serial wall (when a baseline is available) — or the
+///   [`FanoutTiming::serial_estimate`] — divided by the actual
+///   elapsed wall. This is the honest "how much faster was this run".
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FanoutTiming {
-    /// Work items executed.
+    /// Simulation work items executed (generation items are counted
+    /// separately via `gen_wall`).
     pub items: usize,
     /// Worker threads requested (`--jobs`).
     pub jobs: usize,
-    /// Sum of per-item run times (what a serial run would cost).
+    /// Sum of *all* per-item run times, generation and simulation
+    /// (what a serial run would cost).
     pub cumulative: Duration,
     /// Elapsed wall-clock of the whole fan-out.
     pub wall: Duration,
+    /// Cumulative wall of generation-phase items.
+    pub gen_wall: Duration,
+    /// Cumulative wall of simulation-phase items.
+    pub sim_wall: Duration,
+    /// A *measured* serial wall-clock of the same matrix, when one is
+    /// available (e.g. the run itself was serial, or a recorded
+    /// `--jobs 1` baseline was supplied). Preferred over the estimate
+    /// by [`FanoutTiming::wall_speedup`].
+    pub serial_baseline: Option<Duration>,
 }
 
 impl FanoutTiming {
     /// Builds from [`run_items_timed`] output plus the measured wall.
+    /// All items are attributed to the simulation phase.
     pub fn from_timed<O>(timed: &[(O, Duration)], jobs: usize, wall: Duration) -> FanoutTiming {
+        let sim_wall: Duration = timed.iter().map(|(_, d)| *d).sum();
         FanoutTiming {
             items: timed.len(),
             jobs,
-            cumulative: timed.iter().map(|(_, d)| *d).sum(),
+            cumulative: sim_wall,
             wall,
+            gen_wall: Duration::ZERO,
+            sim_wall,
+            serial_baseline: None,
         }
     }
 
-    /// Cumulative ÷ wall: how many serial runs' worth of work fit in
-    /// the elapsed time.
-    pub fn speedup(&self) -> f64 {
+    /// Builds from a pipeline's per-phase outputs. With `jobs <= 1`
+    /// the run *is* a measured serial baseline and is recorded as
+    /// such.
+    pub fn from_pipeline<T, O>(
+        gen: &[(T, Duration)],
+        sims: &[(O, Duration)],
+        jobs: usize,
+        wall: Duration,
+    ) -> FanoutTiming {
+        let gen_wall: Duration = gen.iter().map(|(_, d)| *d).sum();
+        let sim_wall: Duration = sims.iter().map(|(_, d)| *d).sum();
+        FanoutTiming {
+            items: sims.len(),
+            jobs,
+            cumulative: gen_wall + sim_wall,
+            wall,
+            gen_wall,
+            sim_wall,
+            serial_baseline: if jobs <= 1 { Some(wall) } else { None },
+        }
+    }
+
+    /// Attaches a measured serial wall (e.g. from a recorded
+    /// `--jobs 1` run of the same matrix) for honest speedup.
+    pub fn with_serial_baseline(mut self, baseline: Duration) -> FanoutTiming {
+        self.serial_baseline = Some(baseline);
+        self
+    }
+
+    /// What a serial run of the same items would cost: the sum of
+    /// per-item walls across both phases.
+    pub fn serial_estimate(&self) -> Duration {
+        self.cumulative
+    }
+
+    /// Cumulative ÷ wall: **occupancy**, not time saved. How many
+    /// serial runs' worth of work fit in the elapsed time; on an
+    /// oversubscribed host this reads ≈ `jobs` even when the run got
+    /// slower (time-slicing inflates per-item walls). Serialized as
+    /// `speedup` for schema continuity; prefer
+    /// [`FanoutTiming::wall_speedup`] as the headline.
+    pub fn occupancy(&self) -> f64 {
         self.cumulative.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
     }
 
-    /// Speedup ÷ jobs: 1.0 means every worker was busy the whole time.
+    /// Deprecated name for [`FanoutTiming::occupancy`] — the figure
+    /// is *not* an honest speedup (see the type-level docs).
+    pub fn speedup(&self) -> f64 {
+        self.occupancy()
+    }
+
+    /// Occupancy ÷ jobs: 1.0 means every worker was busy the whole
+    /// time.
     pub fn utilization(&self) -> f64 {
-        self.speedup() / self.jobs.max(1) as f64
+        self.occupancy() / self.jobs.max(1) as f64
+    }
+
+    /// The honest headline: measured serial baseline (when available,
+    /// else the serial estimate) ÷ elapsed wall. Unlike
+    /// [`FanoutTiming::occupancy`] this goes *below* 1.0 when
+    /// threading makes the run slower.
+    pub fn wall_speedup(&self) -> f64 {
+        self.serial_baseline
+            .unwrap_or_else(|| self.serial_estimate())
+            .as_secs_f64()
+            / self.wall.as_secs_f64().max(1e-9)
     }
 
     /// JSON rendering for the manifest `timing` section.
     pub fn to_json(&self) -> simcore::Json {
-        simcore::Json::obj()
+        let mut j = simcore::Json::obj()
             .with("items", self.items)
             .with("jobs", self.jobs)
             .with("cumulative_seconds", self.cumulative.as_secs_f64())
             .with("wall_seconds", self.wall.as_secs_f64())
-            .with("speedup", self.speedup())
+            .with("gen_wall_seconds", self.gen_wall.as_secs_f64())
+            .with("sim_wall_seconds", self.sim_wall.as_secs_f64())
+            .with(
+                "serial_estimate_seconds",
+                self.serial_estimate().as_secs_f64(),
+            )
+            .with("speedup", self.occupancy())
             .with("utilization", self.utilization())
+            .with("wall_speedup", self.wall_speedup());
+        if let Some(b) = self.serial_baseline {
+            j.push("serial_baseline_seconds", b.as_secs_f64());
+        }
+        j
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn outputs_preserve_input_order() {
@@ -141,6 +520,29 @@ mod tests {
             let out = run_items(&items, jobs, |&x| x * x);
             assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<u64>>());
         }
+    }
+
+    #[test]
+    fn chunked_stealing_covers_every_index_once() {
+        let items: Vec<u64> = (0..97).collect();
+        for chunk in [1, 2, 3, 7, 64, 1000] {
+            for jobs in [2, 5] {
+                let out = run_items_chunked(&items, jobs, chunk, |&x| x + 1);
+                assert_eq!(
+                    out,
+                    items.iter().map(|&x| x + 1).collect::<Vec<u64>>(),
+                    "chunk={chunk} jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_chunk_is_sane() {
+        assert_eq!(default_chunk(0, 8), 1);
+        assert_eq!(default_chunk(4, 4), 1);
+        assert_eq!(default_chunk(144, 4), 9);
+        assert!(default_chunk(1_000_000, 2) <= 64);
     }
 
     #[test]
@@ -181,6 +583,120 @@ mod tests {
         assert!(resolve_jobs(None) >= 1);
     }
 
+    /// The pipeline must return gen values and sim outputs in input
+    /// order, identical across job counts and chunk sizes.
+    #[test]
+    fn pipeline_matches_serial_for_any_jobs_and_chunk() {
+        let gens: Vec<u64> = (0..5).collect();
+        // Uneven per-gen sim counts, interleaved across gens.
+        let sims: Vec<(usize, u64)> = (0..37).map(|i| (i % 5, i as u64)).collect();
+        let serial = run_pipeline(&gens, &sims, 1, 1, |&g| g * 10, |t, &s| t + s, |_| {});
+        let serial_sims: Vec<u64> = serial.sims.iter().map(|(v, _)| *v).collect();
+        let serial_gen: Vec<u64> = serial.gen.iter().map(|(v, _)| *v).collect();
+        assert_eq!(serial_gen, vec![0, 10, 20, 30, 40]);
+        for jobs in [2, 3, 8] {
+            for chunk in [1, 2, 5] {
+                let run = run_pipeline(
+                    &gens,
+                    &sims,
+                    jobs,
+                    chunk,
+                    |&g| g * 10,
+                    |t, &s| t + s,
+                    |_| {},
+                );
+                assert_eq!(
+                    run.sims.iter().map(|(v, _)| *v).collect::<Vec<u64>>(),
+                    serial_sims,
+                    "jobs={jobs} chunk={chunk}"
+                );
+                assert_eq!(
+                    run.gen.iter().map(|(v, _)| *v).collect::<Vec<u64>>(),
+                    serial_gen
+                );
+            }
+        }
+    }
+
+    /// Every item reports exactly one PhaseSample with the right
+    /// phase, and gen samples arrive before any sim that consumes
+    /// that generator's value.
+    #[test]
+    fn pipeline_progress_reports_every_item() {
+        let gens: Vec<u64> = (0..4).collect();
+        let sims: Vec<(usize, u64)> = (0..16).map(|i| (i / 4, i as u64)).collect();
+        for jobs in [1, 4] {
+            let events = Mutex::new(Vec::new());
+            run_pipeline(
+                &gens,
+                &sims,
+                jobs,
+                2,
+                |&g| g,
+                |t, &s| t + s,
+                |sample| events.lock().unwrap().push(sample),
+            );
+            let events = events.into_inner().unwrap();
+            assert_eq!(events.len(), gens.len() + sims.len());
+            let gen_seen: HashSet<usize> = events
+                .iter()
+                .filter(|e| e.phase == Phase::Gen)
+                .map(|e| e.index)
+                .collect();
+            let sim_seen: HashSet<usize> = events
+                .iter()
+                .filter(|e| e.phase == Phase::Sim)
+                .map(|e| e.index)
+                .collect();
+            assert_eq!(gen_seen.len(), gens.len());
+            assert_eq!(sim_seen.len(), sims.len());
+            // A sim of generator g only after g's gen sample.
+            let mut ready: HashSet<usize> = HashSet::new();
+            for e in &events {
+                match e.phase {
+                    Phase::Gen => {
+                        ready.insert(e.index);
+                    }
+                    Phase::Sim => {
+                        assert!(
+                            ready.contains(&sims[e.index].0),
+                            "sim {} ran before its generator",
+                            e.index
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_and_sim_free_inputs() {
+        let empty: PipelineRun<u64, u64> =
+            run_pipeline(&[], &[], 4, 2, |_: &u64| 0, |t, _: &u64| *t, |_| {});
+        assert!(empty.gen.is_empty() && empty.sims.is_empty());
+        // Generators with no sims still run.
+        let gens = vec![1u64, 2, 3];
+        let run = run_pipeline(&gens, &[], 4, 2, |&g| g * 2, |t, _: &u64| *t, |_| {});
+        assert_eq!(
+            run.gen.iter().map(|(v, _)| *v).collect::<Vec<u64>>(),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "references generator")]
+    fn pipeline_rejects_dangling_sim_item() {
+        let _ = run_pipeline(
+            &[0u64],
+            &[(1usize, 0u64)],
+            2,
+            1,
+            |&g| g,
+            |t, &s| t + s,
+            |_| {},
+        );
+    }
+
     #[test]
     fn fanout_timing_summarizes() {
         let timed: Vec<((), Duration)> = vec![
@@ -191,13 +707,72 @@ mod tests {
         let t = FanoutTiming::from_timed(&timed, 4, Duration::from_secs(2));
         assert_eq!(t.items, 3);
         assert_eq!(t.cumulative, Duration::from_secs(8));
+        assert_eq!(t.sim_wall, Duration::from_secs(8));
+        assert_eq!(t.gen_wall, Duration::ZERO);
+        assert!((t.occupancy() - 4.0).abs() < 1e-9);
         assert!((t.speedup() - 4.0).abs() < 1e-9);
         assert!((t.utilization() - 1.0).abs() < 1e-9);
+        // No measured baseline: wall_speedup falls back to the
+        // estimate (= occupancy here).
+        assert!((t.wall_speedup() - 4.0).abs() < 1e-9);
         let j = t.to_json();
         assert_eq!(j.get("items").and_then(simcore::Json::as_u64), Some(3));
         assert_eq!(
             j.get("speedup").and_then(simcore::Json::as_f64),
-            Some(t.speedup())
+            Some(t.occupancy())
         );
+        assert_eq!(
+            j.get("wall_speedup").and_then(simcore::Json::as_f64),
+            Some(t.wall_speedup())
+        );
+        assert_eq!(
+            j.get("gen_wall_seconds").and_then(simcore::Json::as_f64),
+            Some(0.0)
+        );
+        assert!(j.get("sim_wall_seconds").is_some());
+        assert!(j.get("serial_estimate_seconds").is_some());
+        assert!(j.get("serial_baseline_seconds").is_none());
+    }
+
+    /// A measured baseline beats the estimate, and can honestly read
+    /// below 1.0 on an oversubscribed host.
+    #[test]
+    fn wall_speedup_prefers_measured_baseline() {
+        let t = FanoutTiming {
+            items: 4,
+            jobs: 2,
+            cumulative: Duration::from_secs(8),
+            wall: Duration::from_secs(4),
+            gen_wall: Duration::from_secs(2),
+            sim_wall: Duration::from_secs(6),
+            serial_baseline: None,
+        };
+        assert!((t.wall_speedup() - 2.0).abs() < 1e-9);
+        let t = t.with_serial_baseline(Duration::from_secs(3));
+        assert!((t.wall_speedup() - 0.75).abs() < 1e-9);
+        let j = t.to_json();
+        assert_eq!(
+            j.get("serial_baseline_seconds")
+                .and_then(simcore::Json::as_f64),
+            Some(3.0)
+        );
+    }
+
+    /// from_pipeline splits phases and records a serial run as its
+    /// own baseline.
+    #[test]
+    fn from_pipeline_phase_split_and_serial_baseline() {
+        let gen: Vec<((), Duration)> = vec![((), Duration::from_secs(1))];
+        let sims: Vec<((), Duration)> =
+            vec![((), Duration::from_secs(2)), ((), Duration::from_secs(3))];
+        let par = FanoutTiming::from_pipeline(&gen, &sims, 4, Duration::from_secs(2));
+        assert_eq!(par.items, 2);
+        assert_eq!(par.gen_wall, Duration::from_secs(1));
+        assert_eq!(par.sim_wall, Duration::from_secs(5));
+        assert_eq!(par.cumulative, Duration::from_secs(6));
+        assert_eq!(par.serial_baseline, None);
+        let ser = FanoutTiming::from_pipeline(&gen, &sims, 1, Duration::from_secs(6));
+        assert_eq!(ser.serial_baseline, Some(Duration::from_secs(6)));
+        assert!((ser.wall_speedup() - 1.0).abs() < 1e-9);
     }
 }

@@ -1,21 +1,56 @@
-//! Experiment sweeps over cluster and cache sizes.
+//! Experiment sweeps over cluster and cache sizes, behind the
+//! [`StudySpec`] builder.
 //!
 //! The paper's core experiment: fix the machine at 64 processors and a
 //! given total cache per processor, vary the number of processors per
 //! cluster over {1, 2, 4, 8}, and report execution time (decomposed
 //! into CPU / load / merge / sync) normalized to the
 //! 1-processor-per-cluster run.
+//!
+//! [`StudySpec`] is the single entry point for every sweep shape:
+//!
+//! ```ignore
+//! // One app, one cache, the paper's cluster sizes:
+//! let sweep = StudySpec::for_trace(&trace)
+//!     .caches([CacheSpec::Infinite])
+//!     .run_sweep();
+//! // The full Section 5 capacity matrix for one app:
+//! let caps = StudySpec::for_trace(&trace).jobs(8).run_one();
+//! // The whole paper matrix, generation pipelined with simulation:
+//! let run = StudySpec::generate(&["lu", "fft"], ProblemSize::Small, 64)
+//!     .jobs(8)
+//!     .run_with(|e| eprintln!("{e:?}"));
+//! ```
+//!
+//! Under the hood every run goes through the pipelined two-phase
+//! executor ([`crate::parallel::run_pipeline`]): trace generation is
+//! scheduled on the same worker pool as the simulations that consume
+//! the traces, so generation overlaps simulation, and results are
+//! bit-identical across any `jobs` value.
 
 use coherence::config::CacheSpec;
 use coherence::{LatencyTable, MachineConfig};
 use simcore::ops::Trace;
 use simcore::stats::RunStats;
+use splash::ProblemSize;
+use std::time::Duration;
+
+use crate::parallel::{self, FanoutTiming, Phase, PhaseSample};
 
 /// The cluster sizes the paper studies.
 pub const CLUSTER_SIZES: [u32; 4] = [1, 2, 4, 8];
 
 /// The finite per-processor cache sizes of Section 5, in bytes.
 pub const FINITE_CACHES: [u64; 3] = [4096, 16384, 32768];
+
+/// The Section 5 cache points in figure order: 4K, 16K, 32K, infinite.
+pub fn section5_caches() -> Vec<CacheSpec> {
+    FINITE_CACHES
+        .iter()
+        .map(|&b| CacheSpec::PerProcBytes(b))
+        .chain([CacheSpec::Infinite])
+        .collect()
+}
 
 /// Replays `trace` on a 64-processor machine (or however many
 /// processors the trace has) with the given cluster size and cache
@@ -67,110 +102,326 @@ impl ClusterSweep {
     }
 }
 
-/// Sweeps the paper's cluster sizes at one cache specification.
-pub fn sweep_clusters(trace: &Trace, cache: CacheSpec) -> ClusterSweep {
-    sweep_clusters_sizes(trace, cache, &CLUSTER_SIZES)
-}
-
-/// Sweeps explicit cluster sizes at one cache specification, fanning
-/// the independent replays out over std threads (`STUDY_JOBS` env var
-/// or all cores; see [`crate::parallel`]). Results are bit-identical
-/// to the serial path.
-pub fn sweep_clusters_sizes(trace: &Trace, cache: CacheSpec, sizes: &[u32]) -> ClusterSweep {
-    sweep_clusters_sizes_jobs(trace, cache, sizes, crate::parallel::resolve_jobs(None))
-}
-
-/// [`sweep_clusters_sizes`] with an explicit job count; `jobs <= 1`
-/// runs the plain serial loop.
-pub fn sweep_clusters_sizes_jobs(
-    trace: &Trace,
-    cache: CacheSpec,
-    sizes: &[u32],
-    jobs: usize,
-) -> ClusterSweep {
-    ClusterSweep {
-        cache,
-        runs: crate::parallel::run_items(sizes, jobs, |&c| (c, run_config(trace, c, cache))),
-    }
-}
-
-/// Results across the finite capacities of Section 5 plus the infinite
-/// cache, each swept over all cluster sizes (one paper figure).
+/// Results across several cache specifications, each swept over all
+/// cluster sizes (one paper figure). By default the Section 5 set:
+/// 4K, 16K, 32K, infinite.
 #[derive(Debug, Clone)]
 pub struct CapacitySweep {
-    /// Sweeps in figure order: 4K, 16K, 32K, infinite.
+    /// Sweeps in cache order.
     pub sweeps: Vec<ClusterSweep>,
 }
 
-/// Runs the full Section 5 capacity experiment for one application
-/// trace, parallel over all (cache, cluster size) work items.
-pub fn sweep_capacities(trace: &Trace) -> CapacitySweep {
-    sweep_capacities_jobs(trace, crate::parallel::resolve_jobs(None))
+/// One completed work item of a study run, delivered to the
+/// [`StudySpec::run_with`] progress callback as it finishes —
+/// generation and simulation events interleave, which is how a driver
+/// log shows the pipeline overlapping the phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StudyEvent<'a> {
+    /// A trace finished generating.
+    GenDone {
+        /// Index of the trace within the spec.
+        trace: usize,
+        /// Application (or synthetic) name.
+        name: &'a str,
+        /// Wall-clock of the generation alone.
+        wall: Duration,
+    },
+    /// One simulation finished.
+    SimDone {
+        /// Index of the trace within the spec.
+        trace: usize,
+        /// Application (or synthetic) name.
+        name: &'a str,
+        /// Cache specification simulated.
+        cache: CacheSpec,
+        /// Processors per cluster simulated.
+        cluster: u32,
+        /// Wall-clock of the simulation alone.
+        wall: Duration,
+    },
 }
 
-/// [`sweep_capacities`] with an explicit job count. The fan-out is
-/// over the full 16-item (cache × cluster size) cross product, not
-/// cache-by-cache, so all cores stay busy to the end of the sweep.
-pub fn sweep_capacities_jobs(trace: &Trace, jobs: usize) -> CapacitySweep {
-    let caches: Vec<CacheSpec> = FINITE_CACHES
-        .iter()
-        .map(|&b| CacheSpec::PerProcBytes(b))
-        .chain([CacheSpec::Infinite])
-        .collect();
-    let items: Vec<(CacheSpec, u32)> = caches
-        .iter()
-        .flat_map(|&cache| CLUSTER_SIZES.iter().map(move |&c| (cache, c)))
-        .collect();
-    let runs =
-        crate::parallel::run_items(&items, jobs, |&(cache, c)| (c, run_config(trace, c, cache)));
-    let sweeps = caches
-        .iter()
-        .enumerate()
-        .map(|(i, &cache)| ClusterSweep {
-            cache,
-            runs: runs[i * CLUSTER_SIZES.len()..(i + 1) * CLUSTER_SIZES.len()].to_vec(),
-        })
-        .collect();
-    CapacitySweep { sweeps }
+/// Everything a study run produced: per-trace sweeps plus the
+/// wall-clock evidence ([`FanoutTiming`], per-item walls) the
+/// manifest layer persists.
+#[derive(Debug)]
+pub struct StudyRun {
+    /// One label per trace: the app name for generated sources,
+    /// `trace<N>` for pre-built ones.
+    pub names: Vec<String>,
+    /// One capacity sweep per trace, in spec order.
+    pub per_trace: Vec<CapacitySweep>,
+    /// Per-trace generation wall-clock (≈0 for pre-built traces).
+    pub gen_walls: Vec<Duration>,
+    /// Per-simulation wall-clock, flat in (trace, cache, cluster
+    /// size) order — `sim_walls_for` slices it per sweep.
+    pub sim_walls: Vec<Duration>,
+    /// Aggregate two-phase timing of the whole run.
+    pub timing: FanoutTiming,
+    /// Cluster sizes per sweep (to slice `sim_walls`).
+    sizes_per_sweep: usize,
+    /// Sweeps per trace (to slice `sim_walls`).
+    sweeps_per_trace: usize,
 }
 
-/// The full capacity study over many application traces as one flat
-/// fan-out over (app × cache × cluster size) work items — the paper's
-/// §5 experiment matrix. A flat item pool keeps every core busy to the
-/// end instead of serializing app by app. Returns one [`CapacitySweep`]
-/// per input trace, in input order, bit-identical to the serial path.
-pub fn study_capacities_jobs(traces: &[Trace], jobs: usize) -> Vec<CapacitySweep> {
-    let caches: Vec<CacheSpec> = FINITE_CACHES
-        .iter()
-        .map(|&b| CacheSpec::PerProcBytes(b))
-        .chain([CacheSpec::Infinite])
-        .collect();
-    let items: Vec<(usize, CacheSpec, u32)> = (0..traces.len())
-        .flat_map(|t| {
-            caches
-                .iter()
-                .flat_map(move |&cache| CLUSTER_SIZES.iter().map(move |&c| (t, cache, c)))
-        })
-        .collect();
-    let runs = crate::parallel::run_items(&items, jobs, |&(t, cache, c)| {
-        (c, run_config(&traces[t], c, cache))
-    });
-    let per_trace = caches.len() * CLUSTER_SIZES.len();
-    (0..traces.len())
-        .map(|t| CapacitySweep {
-            sweeps: caches
-                .iter()
-                .enumerate()
-                .map(|(i, &cache)| {
-                    let at = t * per_trace + i * CLUSTER_SIZES.len();
-                    ClusterSweep {
+impl StudyRun {
+    /// The per-simulation walls of one trace's one cache sweep,
+    /// parallel to that [`ClusterSweep::runs`].
+    pub fn sim_walls_for(&self, trace: usize, cache_idx: usize) -> &[Duration] {
+        let at = (trace * self.sweeps_per_trace + cache_idx) * self.sizes_per_sweep;
+        &self.sim_walls[at..at + self.sizes_per_sweep]
+    }
+}
+
+/// Where a study's traces come from.
+enum Source<'a> {
+    /// Pre-built traces; the pipeline's generation phase is a no-op
+    /// reference hand-off.
+    Ready(&'a [Trace]),
+    /// Named applications generated inside the pipeline, overlapped
+    /// with simulation.
+    Named {
+        apps: Vec<String>,
+        size: ProblemSize,
+        procs: usize,
+    },
+}
+
+/// Builder for every study shape: which traces, which caches, which
+/// cluster sizes, how many worker threads. See the module docs for
+/// the three canonical invocations.
+pub struct StudySpec<'a> {
+    source: Source<'a>,
+    caches: Vec<CacheSpec>,
+    sizes: Vec<u32>,
+    jobs: Option<usize>,
+    chunk: Option<usize>,
+}
+
+impl<'a> StudySpec<'a> {
+    /// A study over pre-built traces (defaults: Section 5 caches, the
+    /// paper's cluster sizes, `STUDY_JOBS`-or-all-cores workers).
+    pub fn new(traces: &'a [Trace]) -> StudySpec<'a> {
+        StudySpec {
+            source: Source::Ready(traces),
+            caches: section5_caches(),
+            sizes: CLUSTER_SIZES.to_vec(),
+            jobs: None,
+            chunk: None,
+        }
+    }
+
+    /// A study over one pre-built trace.
+    pub fn for_trace(trace: &'a Trace) -> StudySpec<'a> {
+        StudySpec::new(std::slice::from_ref(trace))
+    }
+
+    /// A study over named applications (see
+    /// [`crate::apps::trace_for`]); trace generation becomes pipeline
+    /// work items that overlap with simulation.
+    pub fn generate(apps: &[&str], size: ProblemSize, procs: usize) -> StudySpec<'static> {
+        StudySpec {
+            source: Source::Named {
+                apps: apps.iter().map(|a| a.to_string()).collect(),
+                size,
+                procs,
+            },
+            caches: section5_caches(),
+            sizes: CLUSTER_SIZES.to_vec(),
+            jobs: None,
+            chunk: None,
+        }
+    }
+
+    /// Replaces the cache specifications (default: Section 5's 4K,
+    /// 16K, 32K, infinite).
+    pub fn caches(mut self, caches: impl IntoIterator<Item = CacheSpec>) -> StudySpec<'a> {
+        self.caches = caches.into_iter().collect();
+        assert!(!self.caches.is_empty(), "a study needs at least one cache");
+        self
+    }
+
+    /// Replaces the cluster sizes (default: the paper's {1, 2, 4, 8};
+    /// the first entry is the normalization baseline).
+    pub fn cluster_sizes(mut self, sizes: &[u32]) -> StudySpec<'a> {
+        assert!(!sizes.is_empty(), "a study needs at least one cluster size");
+        self.sizes = sizes.to_vec();
+        self
+    }
+
+    /// Worker threads (default: `STUDY_JOBS` env var or all cores;
+    /// `1` forces the exact serial path).
+    pub fn jobs(mut self, jobs: usize) -> StudySpec<'a> {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Steal-chunk size: how many simulations a worker claims per
+    /// atomic operation (default: one cluster-size row).
+    pub fn chunk(mut self, chunk: usize) -> StudySpec<'a> {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Runs the study, discarding timing: one [`CapacitySweep`] per
+    /// trace, in input order, bit-identical across any job count.
+    pub fn run(self) -> Vec<CapacitySweep> {
+        self.run_with(|_| {}).per_trace
+    }
+
+    /// [`StudySpec::run`] for a single-trace spec.
+    pub fn run_one(self) -> CapacitySweep {
+        let mut all = self.run();
+        assert_eq!(all.len(), 1, "run_one needs exactly one trace");
+        all.pop().unwrap()
+    }
+
+    /// [`StudySpec::run`] for a single-trace, single-cache spec: the
+    /// plain cluster-size sweep.
+    pub fn run_sweep(self) -> ClusterSweep {
+        assert_eq!(
+            self.caches.len(),
+            1,
+            "run_sweep needs exactly one cache (got {})",
+            self.caches.len()
+        );
+        let mut one = self.run_one();
+        one.sweeps.pop().unwrap()
+    }
+
+    /// Runs the study through the pipelined executor, reporting every
+    /// completed item to `progress` as it finishes and returning the
+    /// full [`StudyRun`] with per-item walls and aggregate timing.
+    pub fn run_with(self, progress: impl Fn(&StudyEvent) + Sync) -> StudyRun {
+        let jobs = parallel::resolve_jobs(self.jobs);
+        match &self.source {
+            Source::Ready(traces) => {
+                let names: Vec<String> = (0..traces.len()).map(|i| format!("trace{i}")).collect();
+                // Generation is a no-op reference hand-off here, so
+                // the pipeline degenerates to the flat sim fan-out.
+                let refs: Vec<&Trace> = traces.iter().collect();
+                self.execute(
+                    &names,
+                    &refs,
+                    jobs,
+                    |t: &&Trace| *t,
+                    |t: &&Trace| *t,
+                    progress,
+                )
+            }
+            Source::Named { apps, size, procs } => {
+                let (size, procs) = (*size, *procs);
+                self.execute(
+                    apps,
+                    apps,
+                    jobs,
+                    move |name: &String| crate::apps::trace_for(name, size, procs),
+                    |t: &Trace| t,
+                    progress,
+                )
+            }
+        }
+    }
+
+    /// The shared pipelined core: `gen_f` turns a generator input
+    /// into a `T`, `as_trace` views a `T` as the trace to simulate.
+    fn execute<GI, T>(
+        &self,
+        names: &[String],
+        gen_inputs: &[GI],
+        jobs: usize,
+        gen_f: impl Fn(&GI) -> T + Sync,
+        as_trace: impl for<'t> Fn(&'t T) -> &'t Trace + Sync,
+        progress: impl Fn(&StudyEvent) + Sync,
+    ) -> StudyRun
+    where
+        GI: Sync,
+        T: Send + Sync,
+    {
+        let items: Vec<(usize, (CacheSpec, u32))> = (0..gen_inputs.len())
+            .flat_map(|t| {
+                self.caches
+                    .iter()
+                    .flat_map(move |&cache| self.sizes.iter().map(move |&c| (t, (cache, c))))
+            })
+            .collect();
+        let chunk = self.chunk.unwrap_or(self.sizes.len());
+        let report = |sample: PhaseSample| {
+            let event = match sample.phase {
+                Phase::Gen => StudyEvent::GenDone {
+                    trace: sample.index,
+                    name: &names[sample.index],
+                    wall: sample.wall,
+                },
+                Phase::Sim => {
+                    let (t, (cache, cluster)) = items[sample.index];
+                    StudyEvent::SimDone {
+                        trace: t,
+                        name: &names[t],
                         cache,
-                        runs: runs[at..at + CLUSTER_SIZES.len()].to_vec(),
+                        cluster,
+                        wall: sample.wall,
                     }
-                })
-                .collect(),
-        })
-        .collect()
+                }
+            };
+            progress(&event);
+        };
+        let run = parallel::run_pipeline(
+            gen_inputs,
+            &items,
+            jobs,
+            chunk,
+            gen_f,
+            |t, &(cache, c)| (c, run_config(as_trace(t), c, cache)),
+            report,
+        );
+
+        let per_trace = self.caches.len() * self.sizes.len();
+        let sweeps = (0..gen_inputs.len())
+            .map(|t| CapacitySweep {
+                sweeps: self
+                    .caches
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &cache)| {
+                        let at = t * per_trace + i * self.sizes.len();
+                        ClusterSweep {
+                            cache,
+                            runs: run.sims[at..at + self.sizes.len()]
+                                .iter()
+                                .map(|((c, rs), _)| (*c, rs.clone()))
+                                .collect(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        StudyRun {
+            names: names.to_vec(),
+            per_trace: sweeps,
+            gen_walls: run.gen.iter().map(|(_, w)| *w).collect(),
+            sim_walls: run.sims.iter().map(|(_, w)| *w).collect(),
+            timing: run.timing,
+            sizes_per_sweep: self.sizes.len(),
+            sweeps_per_trace: self.caches.len(),
+        }
+    }
+}
+
+/// Sweeps the paper's cluster sizes at one cache specification.
+#[deprecated(
+    since = "0.2.0",
+    note = "use StudySpec::for_trace(trace).caches([cache]).run_sweep()"
+)]
+pub fn sweep_clusters(trace: &Trace, cache: CacheSpec) -> ClusterSweep {
+    StudySpec::for_trace(trace).caches([cache]).run_sweep()
+}
+
+/// Runs the full Section 5 capacity experiment for one application
+/// trace.
+#[deprecated(since = "0.2.0", note = "use StudySpec::for_trace(trace).run_one()")]
+pub fn sweep_capacities(trace: &Trace) -> CapacitySweep {
+    StudySpec::for_trace(trace).run_one()
 }
 
 #[cfg(test)]
@@ -196,7 +447,10 @@ mod tests {
     #[test]
     fn sweep_normalizes_to_first_entry() {
         let t = shared_readers(8, 64);
-        let sweep = sweep_clusters_sizes(&t, CacheSpec::Infinite, &[1, 2, 4, 8]);
+        let sweep = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2, 4, 8])
+            .run_sweep();
         let totals = sweep.normalized_totals();
         assert_eq!(totals[0].1, 100.0);
         // Clustering shared readers helps.
@@ -206,7 +460,10 @@ mod tests {
     #[test]
     fn breakdown_components_sum_to_total() {
         let t = shared_readers(8, 32);
-        let sweep = sweep_clusters_sizes(&t, CacheSpec::PerProcBytes(4096), &[1, 2]);
+        let sweep = StudySpec::for_trace(&t)
+            .caches([CacheSpec::PerProcBytes(4096)])
+            .cluster_sizes(&[1, 2])
+            .run_sweep();
         for ((_, parts), (_, total)) in sweep
             .normalized_breakdowns()
             .iter()
@@ -223,7 +480,7 @@ mod tests {
     #[test]
     fn capacity_sweep_has_four_cache_points() {
         let t = shared_readers(8, 16);
-        let cs = sweep_capacities(&t);
+        let cs = StudySpec::for_trace(&t).run_one();
         assert_eq!(cs.sweeps.len(), 4);
         assert_eq!(cs.sweeps[3].cache, CacheSpec::Infinite);
     }
@@ -231,8 +488,57 @@ mod tests {
     #[test]
     fn infinite_cache_never_slower_than_finite() {
         let t = shared_readers(8, 256); // bigger than 4KB/proc worth of lines
-        let fin = sweep_clusters_sizes(&t, CacheSpec::PerProcBytes(4096), &[1]);
-        let inf = sweep_clusters_sizes(&t, CacheSpec::Infinite, &[1]);
+        let spec = |cache| {
+            StudySpec::for_trace(&t)
+                .caches([cache])
+                .cluster_sizes(&[1])
+                .run_sweep()
+        };
+        let fin = spec(CacheSpec::PerProcBytes(4096));
+        let inf = spec(CacheSpec::Infinite);
         assert!(inf.runs[0].1.exec_time <= fin.runs[0].1.exec_time);
+    }
+
+    #[test]
+    fn run_with_reports_gen_and_sim_events() {
+        use std::sync::Mutex;
+        let t = shared_readers(8, 16);
+        let events = Mutex::new((0usize, 0usize));
+        let run = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .run_with(|e| {
+                let mut ev = events.lock().unwrap();
+                match e {
+                    StudyEvent::GenDone { .. } => ev.0 += 1,
+                    StudyEvent::SimDone { .. } => ev.1 += 1,
+                }
+            });
+        assert_eq!(*events.lock().unwrap(), (1, 2));
+        assert_eq!(run.names, vec!["trace0"]);
+        assert_eq!(run.timing.items, 2);
+        assert_eq!(run.sim_walls.len(), 2);
+        assert_eq!(run.sim_walls_for(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn generated_source_matches_ready_source() {
+        let trace = crate::apps::trace_for("lu", ProblemSize::Small, 8);
+        let ready = StudySpec::for_trace(&trace)
+            .caches([CacheSpec::PerProcBytes(4096)])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .run_one();
+        let named = StudySpec::generate(&["lu"], ProblemSize::Small, 8)
+            .caches([CacheSpec::PerProcBytes(4096)])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .run_with(|_| {});
+        assert_eq!(named.names, vec!["lu"]);
+        assert_eq!(
+            ready.sweeps[0].runs, named.per_trace[0].sweeps[0].runs,
+            "generated and pre-built sources must agree"
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! Writing your own workload: build a trace directly with
 //! [`simcore::TraceBuilder`] and run it through the clustered machine.
+//! Accepts the shared bench CLI, so `--emit-manifest` makes the
+//! output diffable in CI.
 //!
 //! The (deliberately simple) workload is a producer/consumer pipeline:
 //! even processors produce blocks that their odd neighbors consume —
@@ -7,11 +9,12 @@
 //! share a cluster.
 //!
 //! ```text
-//! cargo run --release --example custom_app
+//! cargo run --release --example custom_app -- [--emit-manifest]
 //! ```
 
+use cluster_bench::{Cli, Reporter};
 use cluster_study::report::render_sweep;
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 use simcore::ops::TraceBuilder;
 
@@ -20,6 +23,7 @@ const BLOCK_LINES: u64 = 64; // 4 KB blocks
 const ROUNDS: usize = 20;
 
 fn main() {
+    let cli = Cli::parse();
     let mut b = TraceBuilder::new(PROCS);
 
     // One block per producer, allocated at the producer.
@@ -53,7 +57,10 @@ fn main() {
     let trace = b.finish();
     trace.validate().expect("structurally valid trace");
 
-    let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+    let sweep = StudySpec::for_trace(&trace)
+        .caches([CacheSpec::Infinite])
+        .jobs(cli.jobs)
+        .run_sweep();
     print!(
         "{}",
         render_sweep("producer/consumer pipeline", &sweep, None)
@@ -63,4 +70,7 @@ fn main() {
          a cache: the hand-off that cost a remote 3-hop miss per line now\n\
          hits in the cluster cache."
     );
+    let mut reporter = Reporter::new("example_custom_app", &cli);
+    reporter.record_sweep("producer_consumer", &sweep, None);
+    reporter.finish();
 }

@@ -1,6 +1,7 @@
 //! Ocean grid-size study: how the clustering benefit grows as the
 //! problem shrinks relative to the machine (the paper's Figure 2 vs
-//! Figure 3 comparison, extended to a sweep).
+//! Figure 3 comparison, extended to a sweep). Accepts the shared
+//! bench CLI, so `--emit-manifest` makes the output diffable in CI.
 //!
 //! Near-neighbor communication is a perimeter-to-area ratio, so smaller
 //! grids communicate proportionally more — and clustering, which
@@ -9,14 +10,17 @@
 //! and synchronization grow too.
 //!
 //! ```text
-//! cargo run --release --example ocean_scaling
+//! cargo run --release --example ocean_scaling -- [--emit-manifest]
 //! ```
 
-use cluster_study::study::sweep_clusters;
+use cluster_bench::{Cli, Reporter};
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 use splash::{ocean::Ocean, SplashApp};
 
 fn main() {
+    let cli = Cli::parse();
+    let mut reporter = Reporter::new("example_ocean_scaling", &cli);
     println!("Ocean: normalized 8-way-cluster execution time vs grid size\n");
     println!(
         "  {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
@@ -28,7 +32,16 @@ fn main() {
             steps: 2,
         };
         let trace = app.generate(64);
-        let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+        let sweep = StudySpec::for_trace(&trace)
+            .caches([CacheSpec::Infinite])
+            .jobs(cli.jobs)
+            .run_sweep();
+        let label = format!("ocean-{0}x{0}", n_interior + 2);
+        reporter.record_sweep(&label, &sweep, None);
+        reporter
+            .manifest
+            .metrics
+            .counter(&format!("{label}.trace_refs"), trace.total_refs());
         let totals = sweep.normalized_totals();
         print!(
             "  {:>10} {:>10}",
@@ -45,4 +58,5 @@ fn main() {
          larger share), exactly as the paper's Figure 3 shows for 66x66 vs\n\
          Figure 2's 130x130."
     );
+    reporter.finish();
 }

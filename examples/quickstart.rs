@@ -1,16 +1,22 @@
 //! Quickstart: simulate one application on a clustered 64-processor
-//! machine and print the paper-style normalized breakdown.
+//! machine and print the paper-style normalized breakdown. Accepts
+//! the shared bench CLI, so `--format json --out ...` (or
+//! `--emit-manifest`) makes the output diffable in CI.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- [--emit-manifest]
 //! ```
 
+use cluster_bench::{Cli, Reporter};
 use cluster_study::report::render_sweep;
-use cluster_study::study::sweep_clusters;
+use cluster_study::study::StudySpec;
 use coherence::config::CacheSpec;
 use splash::{ocean::Ocean, SplashApp};
 
 fn main() {
+    let cli = Cli::parse();
+    let mut reporter = Reporter::new("example_quickstart", &cli);
+
     // 1. Pick a workload and generate its 64-processor reference trace.
     //    The generator runs the real algorithm (here: a multigrid ocean
     //    solver) and records every shared-memory access.
@@ -23,17 +29,29 @@ fn main() {
         trace.total_refs(),
         trace.n_barriers,
     );
+    let m = &mut reporter.manifest.metrics;
+    m.counter("trace_ops", trace.total_ops());
+    m.counter("trace_refs", trace.total_refs());
 
     // 2. Replay it under cluster sizes 1/2/4/8 with infinite caches
     //    (the paper's Section 4 experiment).
-    let sweep = sweep_clusters(&trace, CacheSpec::Infinite);
+    let sweep = StudySpec::for_trace(&trace)
+        .caches([CacheSpec::Infinite])
+        .jobs(cli.jobs)
+        .run_sweep();
 
     // 3. Report execution time normalized to the unclustered machine,
     //    decomposed into cpu / load / merge / sync.
     print!("{}", render_sweep("ocean, infinite caches", &sweep, None));
+    reporter.record_sweep("ocean", &sweep, None);
 
     // 4. The same, at 16 KB per processor (Section 5): capacity effects
     //    and working-set overlap enter the picture.
-    let sweep16 = sweep_clusters(&trace, CacheSpec::PerProcBytes(16 * 1024));
+    let sweep16 = StudySpec::for_trace(&trace)
+        .caches([CacheSpec::PerProcBytes(16 * 1024)])
+        .jobs(cli.jobs)
+        .run_sweep();
     print!("{}", render_sweep("ocean, 16KB/processor", &sweep16, None));
+    reporter.record_sweep("ocean", &sweep16, None);
+    reporter.finish();
 }

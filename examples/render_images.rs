@@ -1,11 +1,14 @@
 //! The graphics workloads are real renderers: this example writes the
 //! images they compute (the same computations whose memory traces the
-//! study replays) to `raytrace.pgm` and `volrend.pgm`.
+//! study replays) to `raytrace.pgm` and `volrend.pgm`. Accepts the
+//! shared bench CLI; `--emit-manifest` records deterministic image
+//! checksums so the renders are diffable in CI.
 //!
 //! ```text
-//! cargo run --release --example render_images
+//! cargo run --release --example render_images -- [--emit-manifest]
 //! ```
 
+use cluster_bench::{Cli, Reporter};
 use splash::raytrace::{balls_scene, Raytrace, SceneOctree};
 use splash::volrend::{MinMaxOctree, Volrend, Volume};
 
@@ -21,7 +24,21 @@ fn write_pgm(path: &str, w: usize, pixels: &[f32]) -> std::io::Result<()> {
     std::fs::write(path, data)
 }
 
+/// Deterministic content hash of the rendered pixels (FNV-1a over the
+/// f32 bit patterns) — lets a manifest diff catch renderer drift.
+fn pixel_hash(pixels: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for p in pixels {
+        for b in p.to_bits().to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
 fn main() -> std::io::Result<()> {
+    let cli = Cli::parse();
+    let mut reporter = Reporter::new("example_render_images", &cli);
     let rt = Raytrace {
         image: 128,
         balls_depth: 3,
@@ -37,6 +54,10 @@ fn main() -> std::io::Result<()> {
         tree.spheres().len(),
         tree.n_nodes()
     );
+    let m = &mut reporter.manifest.metrics;
+    m.counter("raytrace.spheres", tree.spheres().len() as u64);
+    m.counter("raytrace.octree_nodes", tree.n_nodes() as u64);
+    m.counter("raytrace.pixel_hash", pixel_hash(&img));
 
     let vr = Volrend {
         vol: 64,
@@ -50,5 +71,8 @@ fn main() -> std::io::Result<()> {
         "volrend.pgm: {}x{} rendering of the synthetic {}³ head volume",
         vr.image, vr.image, vr.vol
     );
+    let m = &mut reporter.manifest.metrics;
+    m.counter("volrend.pixel_hash", pixel_hash(&img));
+    reporter.finish();
     Ok(())
 }

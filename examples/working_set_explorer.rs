@@ -1,20 +1,28 @@
 //! Working-set explorer: sweep the per-processor cache size for one
 //! application and watch the miss-rate knee — then watch clustering
 //! move the knee by overlapping the working sets (the paper's Section
-//! 5 mechanism).
+//! 5 mechanism). Accepts the shared bench CLI: pick the application
+//! with `--apps barnes`, and `--emit-manifest` makes the output
+//! diffable in CI.
 //!
 //! ```text
-//! cargo run --release --example working_set_explorer [app]
+//! cargo run --release --example working_set_explorer -- [--apps lu]
 //! ```
 
+use cluster_bench::{Cli, Reporter};
 use cluster_study::apps::trace_for;
 use cluster_study::study::run_config;
 use coherence::config::CacheSpec;
-use splash::ProblemSize;
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "barnes".into());
-    let trace = trace_for(&app, ProblemSize::Paper, 64);
+    let cli = Cli::parse();
+    let app = cli
+        .apps
+        .as_ref()
+        .and_then(|list| list.first().cloned())
+        .unwrap_or_else(|| "barnes".into());
+    let trace = trace_for(&app, cli.size, cli.procs);
+    let mut reporter = Reporter::new("example_working_set_explorer", &cli);
     println!("{app}: read miss rate (%) vs per-processor cache size\n");
     println!(
         "  {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -25,10 +33,12 @@ fn main() {
         for per_cluster in [1u32, 2, 4, 8] {
             let rs = run_config(&trace, per_cluster, CacheSpec::PerProcBytes(kb * 1024));
             print!(" {:>8.2}", rs.mem.read_miss_rate() * 100.0);
+            reporter.record_run(&app, &format!("{kb}k"), per_cluster, &rs, None);
         }
         println!();
     }
     let inf = run_config(&trace, 1, CacheSpec::Infinite);
+    reporter.record_run(&app, "inf", 1, &inf, None);
     println!(
         "  {:>8} {:>8.2} (compulsory + coherence misses only)",
         "inf",
@@ -39,4 +49,5 @@ fn main() {
          by more processors, misses less once the overlapped working set\n\
          fits — the knee shifts left with cluster size."
     );
+    reporter.finish();
 }

@@ -2,10 +2,17 @@
 //! directional results the reproduction must preserve regardless of
 //! calibration details.
 
-use cluster_study::study::{run_config, sweep_clusters_sizes};
+use cluster_study::study::{run_config, ClusterSweep, StudySpec};
 use coherence::config::CacheSpec;
-use simcore::ops::TraceBuilder;
+use simcore::ops::{Trace, TraceBuilder};
 use splash::SplashApp;
+
+fn sweep_sizes(trace: &Trace, cache: CacheSpec, sizes: &[u32]) -> ClusterSweep {
+    StudySpec::for_trace(trace)
+        .caches([cache])
+        .cluster_sizes(sizes)
+        .run_sweep()
+}
 
 /// Ocean: "the nearest neighbor communication in this application is
 /// being captured by the cluster cache" — clustering reduces load
@@ -13,7 +20,7 @@ use splash::SplashApp;
 #[test]
 fn ocean_clustering_halves_border_traffic() {
     let trace = splash::ocean::Ocean::small().generate(16);
-    let sweep = sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4]);
+    let sweep = sweep_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4]);
     let load = |i: usize| sweep.runs[i].1.per_proc.iter().map(|b| b.load).sum::<u64>() as f64;
     assert!(
         load(1) < load(0) * 0.75,
@@ -29,7 +36,7 @@ fn ocean_clustering_halves_border_traffic() {
 #[test]
 fn fft_all_to_all_limits_clustering() {
     let trace = splash::fft::Fft::small().generate(16);
-    let sweep = sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 4]);
+    let sweep = sweep_sizes(&trace, CacheSpec::Infinite, &[1, 4]);
     let totals = sweep.normalized_totals();
     // 4-way clustering on 16 procs removes at most 3/15 = 20% of
     // communication; total time must not improve by more than ~12%.
@@ -47,7 +54,7 @@ fn mp3d_benefits_more_than_barnes() {
     let mp3d = splash::mp3d::Mp3d::small().generate(16);
     let barnes = splash::barnes::Barnes::small().generate(16);
     let gain = |t: &simcore::ops::Trace| {
-        let s = sweep_clusters_sizes(t, CacheSpec::Infinite, &[1, 8]);
+        let s = sweep_sizes(t, CacheSpec::Infinite, &[1, 8]);
         100.0 - s.normalized_totals()[1].1
     };
     assert!(
@@ -64,8 +71,8 @@ fn mp3d_benefits_more_than_barnes() {
 #[test]
 fn working_set_overlap_beats_infinite_cache_gain() {
     let trace = splash::raytrace::Raytrace::small().generate(16);
-    let small = sweep_clusters_sizes(&trace, CacheSpec::PerProcBytes(2048), &[1, 8]);
-    let inf = sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 8]);
+    let small = sweep_sizes(&trace, CacheSpec::PerProcBytes(2048), &[1, 8]);
+    let inf = sweep_sizes(&trace, CacheSpec::Infinite, &[1, 8]);
     let small_gain = 100.0 - small.normalized_totals()[1].1;
     let inf_gain = 100.0 - inf.normalized_totals()[1].1;
     assert!(
@@ -120,7 +127,7 @@ fn producer_consumer_handoff_captured_by_cluster() {
 #[test]
 fn shared_cache_costs_reduce_attractiveness() {
     let trace = splash::lu::Lu::small().generate(16);
-    let sweep = sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4, 8]);
+    let sweep = sweep_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4, 8]);
     let factors = cluster_study::measure_latency_factors(&trace);
     let costed = cluster_study::report::costed_relative_times(&sweep, &factors);
     let raw = sweep.normalized_totals();

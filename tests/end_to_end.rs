@@ -2,7 +2,7 @@
 //! stack (trace generation → coherence model → timing engine) and
 //! produces structurally sound results.
 
-use cluster_study::study::{run_config, sweep_clusters};
+use cluster_study::study::{run_config, StudySpec};
 use coherence::config::CacheSpec;
 use splash::{suite, ProblemSize, SplashApp};
 
@@ -67,12 +67,21 @@ fn all_apps_touch_every_processor() {
 #[test]
 fn cluster_sweep_baseline_is_100_percent() {
     let trace = splash::lu::Lu::small().generate(16);
-    let sweep =
-        cluster_study::study::sweep_clusters_sizes(&trace, CacheSpec::Infinite, &[1, 2, 4, 8]);
+    let sweep = StudySpec::for_trace(&trace)
+        .caches([CacheSpec::Infinite])
+        .cluster_sizes(&[1, 2, 4, 8])
+        .run_sweep();
     let totals = sweep.normalized_totals();
     assert_eq!(totals[0].0, 1);
     assert!((totals[0].1 - 100.0).abs() < 1e-9);
-    let _ = sweep_clusters(&trace, CacheSpec::Infinite);
+    // Default cluster sizes (no .cluster_sizes call) are the paper's.
+    let default_sweep = StudySpec::for_trace(&trace)
+        .caches([CacheSpec::Infinite])
+        .run_sweep();
+    assert_eq!(
+        default_sweep.runs.len(),
+        cluster_study::study::CLUSTER_SIZES.len()
+    );
 }
 
 #[test]

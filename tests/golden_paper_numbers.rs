@@ -17,7 +17,7 @@
 //! qualitative picture (which apps benefit from clustering, and how
 //! much) did not change; see results/RNG_MIGRATION.md.
 
-use cluster_study::study::{sweep_clusters, ClusterSweep};
+use cluster_study::study::{ClusterSweep, StudySpec};
 use coherence::config::CacheSpec;
 use splash::{by_name, ProblemSize, SplashApp};
 
@@ -29,7 +29,7 @@ type Golden = [(u32, f64, [f64; 4]); 4];
 
 fn sweep(app: &dyn SplashApp, cache: CacheSpec) -> ClusterSweep {
     let trace = app.generate(PROCS);
-    sweep_clusters(&trace, cache)
+    StudySpec::for_trace(&trace).caches([cache]).run_sweep()
 }
 
 fn check(name: &str, sweep: &ClusterSweep, golden: &Golden) {

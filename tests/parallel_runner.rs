@@ -1,15 +1,13 @@
 //! The parallel study runner must be a pure speedup: fanning the
-//! experiment matrix out over threads may not change a single bit of
-//! any result. These tests pin that contract for every application in
-//! the small suite, comparing whole `RunStats` values (exact integer
-//! cycle counts and counters) between the serial path and the
-//! threaded path at several job counts.
+//! experiment matrix out over threads — including the pipelined
+//! two-phase executor with chunked stealing — may not change a single
+//! bit of any result. These tests pin that contract for every
+//! application in the small suite, comparing whole `RunStats` values
+//! (exact integer cycle counts and counters) between the serial path
+//! and the threaded path at several job counts and chunk sizes.
 
-use cluster_study::parallel::{resolve_jobs, run_items, run_items_timed};
-use cluster_study::study::{
-    run_config, study_capacities_jobs, sweep_capacities_jobs, sweep_clusters_sizes_jobs,
-    CLUSTER_SIZES,
-};
+use cluster_study::parallel::{resolve_jobs, run_items, run_items_chunked, run_items_timed};
+use cluster_study::study::{run_config, StudySpec, CLUSTER_SIZES};
 use coherence::config::CacheSpec;
 use simcore::ops::Trace;
 use splash::{by_name, suite, ProblemSize};
@@ -36,12 +34,11 @@ fn parallel_sweep_matches_serial_for_every_small_app() {
             .map(|&c| (c, run_config(&trace, c, CacheSpec::PerProcBytes(4096))))
             .collect();
         for jobs in [1, 3] {
-            let sweep = sweep_clusters_sizes_jobs(
-                &trace,
-                CacheSpec::PerProcBytes(4096),
-                &CLUSTER_SIZES,
-                jobs,
-            );
+            let sweep = StudySpec::for_trace(&trace)
+                .caches([CacheSpec::PerProcBytes(4096)])
+                .cluster_sizes(&CLUSTER_SIZES)
+                .jobs(jobs)
+                .run_sweep();
             assert_eq!(
                 sweep.runs, serial,
                 "{name}: jobs={jobs} diverged from the serial sweep"
@@ -51,16 +48,23 @@ fn parallel_sweep_matches_serial_for_every_small_app() {
 }
 
 /// The full capacity matrix (cache × cluster) must also be
-/// order-stable and bit-identical under fan-out.
+/// order-stable and bit-identical under fan-out, at any steal-chunk
+/// size.
 #[test]
 fn parallel_capacity_sweep_matches_serial() {
     let (name, trace) = ("lu", small_trace("lu", 8));
-    let serial = sweep_capacities_jobs(&trace, 1);
-    let parallel = sweep_capacities_jobs(&trace, 4);
-    assert_eq!(serial.sweeps.len(), parallel.sweeps.len());
-    for (s, p) in serial.sweeps.iter().zip(&parallel.sweeps) {
-        assert_eq!(s.cache, p.cache, "{name}: cache order changed");
-        assert_eq!(s.runs, p.runs, "{name}: {:?} runs diverged", s.cache);
+    let serial = StudySpec::for_trace(&trace).jobs(1).run_one();
+    for chunk in [1, 3, 16] {
+        let parallel = StudySpec::for_trace(&trace).jobs(4).chunk(chunk).run_one();
+        assert_eq!(serial.sweeps.len(), parallel.sweeps.len());
+        for (s, p) in serial.sweeps.iter().zip(&parallel.sweeps) {
+            assert_eq!(s.cache, p.cache, "{name}: cache order changed");
+            assert_eq!(
+                s.runs, p.runs,
+                "{name}: {:?} runs diverged at chunk={chunk}",
+                s.cache
+            );
+        }
     }
 }
 
@@ -74,23 +78,51 @@ fn study_fanout_preserves_app_order_and_results() {
         .map(|&n| (n.to_string(), small_trace(n, 8)))
         .collect();
     let traces: Vec<Trace> = named.iter().map(|(_, t)| t.clone()).collect();
-    let study = study_capacities_jobs(&traces, 3);
+    let study = StudySpec::new(&traces).jobs(3).run();
     assert_eq!(study.len(), traces.len());
     for ((name, trace), got) in named.iter().zip(&study) {
-        let alone = sweep_capacities_jobs(trace, 1);
+        let alone = StudySpec::for_trace(trace).jobs(1).run_one();
         for (s, p) in alone.sweeps.iter().zip(&got.sweeps) {
             assert_eq!(s.runs, p.runs, "{name}: study fan-out diverged");
         }
     }
 }
 
-/// run_items itself: input order, every item exactly once, jobs
-/// beyond the item count are harmless.
+/// The pipelined generated-source path (gen work items on the worker
+/// pool) must agree with the pre-built-trace path exactly.
+#[test]
+fn generated_study_matches_prebuilt_traces() {
+    let apps = ["lu", "fft"];
+    let traces: Vec<Trace> = apps.iter().map(|&a| small_trace(a, 8)).collect();
+    let prebuilt = StudySpec::new(&traces).jobs(1).run();
+    for jobs in [1, 4] {
+        let generated = StudySpec::generate(&apps, ProblemSize::Small, 8)
+            .jobs(jobs)
+            .run_with(|_| {});
+        assert_eq!(generated.names, vec!["lu", "fft"]);
+        for (t, (pre, gen)) in prebuilt.iter().zip(&generated.per_trace).enumerate() {
+            for (s, p) in pre.sweeps.iter().zip(&gen.sweeps) {
+                assert_eq!(
+                    s.runs, p.runs,
+                    "{}: pipelined gen at jobs={jobs} diverged",
+                    apps[t]
+                );
+            }
+        }
+    }
+}
+
+/// run_items itself: input order, every item exactly once, jobs and
+/// chunks beyond the item count are harmless.
 #[test]
 fn run_items_orders_and_covers() {
     let items: Vec<u64> = (0..37).collect();
     for jobs in [1, 3, 64] {
         let out = run_items(&items, jobs, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+    for chunk in [1, 5, 100] {
+        let out = run_items_chunked(&items, 3, chunk, |&x| x * x);
         assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
     }
     let timed = run_items_timed(&items, 4, |&x| x + 1);
