@@ -13,8 +13,18 @@
 //! run; `--emit-manifest` (or `--format json|csv`) also writes the
 //! full simulation matrix as a machine-readable run manifest (default
 //! `results/paper_run.json`).
+//!
+//! Fault tolerance: a panicking run is isolated, retried up to
+//! `--retries` times, and — if it never succeeds — recorded in the
+//! manifest's `errors[]` while every other run's results are still
+//! emitted; the process then exits 1. `--checkpoint PATH` journals
+//! each completed run so `--resume` can pick up an interrupted study,
+//! re-executing only the missing runs (`STUDY_KILL_AFTER_RECORDS=N`
+//! is the CI crash-injection lever). `STUDY_FAULT_RATE` /
+//! `STUDY_FAULT_SEED` / `STUDY_FAULT_DEPTH` inject deterministic
+//! faults to exercise all of the above.
 
-use cluster_bench::{Cli, Reporter};
+use cluster_bench::{open_journal, Cli, Reporter};
 use cluster_study::apps::FIG2_APPS;
 use cluster_study::study::{StudyEvent, StudySpec, CLUSTER_SIZES};
 
@@ -32,9 +42,15 @@ fn main() {
 
     // The whole matrix through the pipelined executor; completed
     // items log as they finish, so the gen/sim interleave is visible.
-    let run = StudySpec::generate(&apps, cli.size, cli.procs)
-        .jobs(cli.jobs)
-        .run_with(|e| match e {
+    let journal = open_journal("paper_run", &cli);
+    let run = {
+        let mut spec = StudySpec::generate(&apps, cli.size, cli.procs)
+            .jobs(cli.jobs)
+            .policy(cli.policy());
+        if let Some((j, prefill)) = &journal {
+            spec = spec.checkpoint(j).prefill(prefill.clone());
+        }
+        spec.run_with(|e| match e {
             StudyEvent::GenDone { name, wall, .. } => {
                 eprintln!("[gen {name}: {:.2}s]", wall.as_secs_f64());
             }
@@ -51,17 +67,56 @@ fn main() {
                     wall.as_secs_f64()
                 );
             }
-        });
+            StudyEvent::GenFailed {
+                name,
+                attempts,
+                error,
+                ..
+            } => {
+                eprintln!("[gen {name}: FAILED after {attempts} attempts: {error}]");
+            }
+            StudyEvent::SimFailed {
+                name,
+                cache,
+                cluster,
+                attempts,
+                error,
+                ..
+            } => {
+                if *attempts == 0 {
+                    eprintln!(
+                        "[sim {name} {} {cluster}p: SKIPPED: {error}]",
+                        cache.label()
+                    );
+                } else {
+                    eprintln!(
+                        "[sim {name} {} {cluster}p: FAILED after {attempts} attempts: {error}]",
+                        cache.label()
+                    );
+                }
+            }
+        })
+    };
 
-    // Report, grouped app-by-app in input order.
+    // Report, grouped app-by-app in input order. Traces with failed
+    // cells keep their completed runs in the manifest but print an
+    // error summary instead of a table.
     let mut reporter = Reporter::new("paper_run", &cli);
     reporter.record_study(&run);
+    let resumed = run.resumed_cells();
+    if resumed > 0 {
+        println!("(restored {resumed} runs from checkpoint journal)\n");
+    }
     for (t, name) in run.names.iter().enumerate() {
         println!(
             "== {name} ==  (trace gen {:.2}s)",
-            run.gen_walls[t].as_secs_f64()
+            run.gen_wall(t).as_secs_f64()
         );
-        for (i, sweep) in run.per_trace[t].sweeps.iter().enumerate() {
+        if !run.trace_complete(t) {
+            println!("  INCOMPLETE: see errors below\n");
+            continue;
+        }
+        for (i, sweep) in run.sweeps_for(t).sweeps.iter().enumerate() {
             let totals = sweep.normalized_totals();
             let times: Vec<String> = run
                 .sim_walls_for(t, i)
@@ -108,5 +163,21 @@ fn main() {
     let m = &mut reporter.manifest.metrics;
     m.gauge("gen_wall_seconds", timing.gen_wall.as_secs_f64());
     m.gauge("total_wall_seconds", timing.wall.as_secs_f64());
+    let errors = run.errors();
     reporter.finish();
+    if !errors.is_empty() {
+        eprintln!("paper_run: {} run(s) failed permanently:", errors.len());
+        for e in &errors {
+            eprintln!(
+                "  {} {}/{}/{}: {} ({} attempts)",
+                e.phase.label(),
+                e.app,
+                e.cache.as_deref().unwrap_or("-"),
+                e.cluster.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                e.error,
+                e.attempts
+            );
+        }
+        std::process::exit(1);
+    }
 }

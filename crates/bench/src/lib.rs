@@ -7,7 +7,10 @@
 use std::path::PathBuf;
 
 use cluster_study::manifest::Manifest;
+use cluster_study::parallel::RunPolicy;
 use cluster_study::study::ClusterSweep;
+use cluster_study::{Journal, JournalEntry};
+use simcore::fault::FaultPlan;
 use simcore::stats::RunStats;
 use splash::ProblemSize;
 use std::time::Duration;
@@ -56,6 +59,18 @@ pub struct Cli {
     /// `--emit-manifest`: shorthand for `--format json` at the
     /// default path.
     pub emit_manifest: bool,
+    /// `--retries N`: per-item deterministic retry budget for
+    /// panicking work items (default 0).
+    pub retries: u32,
+    /// `--timeout-secs X`: soft per-item timeout; items that exceed
+    /// it are flagged `timeout` in the manifest, never killed.
+    pub timeout_secs: Option<f64>,
+    /// `--checkpoint PATH`: journal every completed run to this JSONL
+    /// file (atomic appends).
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume`: restore already-journaled runs from `--checkpoint`
+    /// instead of re-executing them.
+    pub resume: bool,
 }
 
 /// A parse failure (or `--help` request) from [`Cli::parse_from`]:
@@ -112,6 +127,10 @@ impl Cli {
         let mut format = Format::Text;
         let mut out = None;
         let mut emit_manifest = false;
+        let mut retries = 0u32;
+        let mut timeout_secs = None;
+        let mut checkpoint = None;
+        let mut resume = false;
         let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -149,6 +168,27 @@ impl Cli {
                     ));
                 }
                 "--emit-manifest" => emit_manifest = true,
+                "--retries" => {
+                    retries = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| fail("--retries needs a number"))?;
+                }
+                "--timeout-secs" => {
+                    timeout_secs = Some(
+                        args.next()
+                            .and_then(|v| v.parse::<f64>().ok())
+                            .filter(|&t| t > 0.0 && t.is_finite())
+                            .ok_or_else(|| fail("--timeout-secs needs a positive number"))?,
+                    );
+                }
+                "--checkpoint" => {
+                    checkpoint = Some(PathBuf::from(
+                        args.next()
+                            .ok_or_else(|| fail("--checkpoint needs a path"))?,
+                    ));
+                }
+                "--resume" => resume = true,
                 "--help" | "-h" => {
                     return Err(CliError {
                         message: None,
@@ -158,6 +198,9 @@ impl Cli {
                 other => return Err(fail(&format!("unknown flag {other}"))),
             }
         }
+        if resume && checkpoint.is_none() {
+            return Err(fail("--resume needs --checkpoint"));
+        }
         Ok(Cli {
             size,
             procs,
@@ -166,7 +209,21 @@ impl Cli {
             format,
             out,
             emit_manifest,
+            retries,
+            timeout_secs,
+            checkpoint,
+            resume,
         })
+    }
+
+    /// The execution policy the flags ask for: retry budget, soft
+    /// timeout, and whatever fault injection `STUDY_FAULT_*` requests.
+    pub fn policy(&self) -> RunPolicy {
+        RunPolicy {
+            retries: self.retries,
+            timeout: self.timeout_secs.map(Duration::from_secs_f64),
+            fault: FaultPlan::from_env(),
+        }
     }
 
     /// Whether this invocation should write a manifest artifact.
@@ -205,6 +262,8 @@ fn usage_text(tool: &str) -> String {
     format!(
         "usage: {tool} [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
          \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
+         \u{20}            [--retries N] [--timeout-secs X]\n\
+         \u{20}            [--checkpoint PATH] [--resume]\n\
          \n\
          --paper          paper problem sizes (default)\n\
          --small          reduced sizes for quick runs\n\
@@ -215,8 +274,55 @@ fn usage_text(tool: &str) -> String {
          --format         also write a run manifest artifact in this format\n\
          \u{20}                (text = none; stdout tables are always printed)\n\
          --out            artifact path (default results/{tool}[_small].<ext>)\n\
-         --emit-manifest  shorthand for --format json at the default path"
+         --emit-manifest  shorthand for --format json at the default path\n\
+         --retries        re-run a panicking work item up to N times\n\
+         \u{20}                (default 0; deterministic per-item backoff-free)\n\
+         --timeout-secs   flag items slower than X seconds as `timeout`\n\
+         \u{20}                in the manifest (soft: never kills the item)\n\
+         --checkpoint     journal each completed run to this JSONL file\n\
+         \u{20}                (atomic appends; survives a kill at any instant)\n\
+         --resume         restore already-journaled runs from --checkpoint\n\
+         \u{20}                instead of re-executing them"
     )
+}
+
+/// Opens the checkpoint journal the CLI asked for (if any): with
+/// `--resume` and an existing file, reopens it and returns its
+/// already-journaled entries as the prefill; otherwise starts a fresh
+/// journal. A malformed or shape-mismatched journal is fatal (exit 2)
+/// — silently re-running everything would defeat the checkpoint.
+/// `STUDY_KILL_AFTER_RECORDS=N` arms the crash-injection hook used by
+/// the CI resume round-trip.
+pub fn open_journal(tool: &str, cli: &Cli) -> Option<(Journal, Vec<JournalEntry>)> {
+    let path = cli.checkpoint.as_ref()?;
+    let fatal = |e: cluster_study::JournalError| -> ! {
+        eprintln!("error: checkpoint {}: {e}", path.display());
+        std::process::exit(2)
+    };
+    let (journal, prefill) = if cli.resume && path.exists() {
+        let journal =
+            Journal::resume(path, tool, cli.size_label(), cli.procs).unwrap_or_else(|e| fatal(e));
+        let prefill = journal.entries();
+        (journal, prefill)
+    } else {
+        let journal =
+            Journal::create(path, tool, cli.size_label(), cli.procs).unwrap_or_else(|e| fatal(e));
+        (journal, Vec::new())
+    };
+    if let Ok(v) = std::env::var("STUDY_KILL_AFTER_RECORDS") {
+        match v.parse() {
+            Ok(n) => journal.set_kill_after(n),
+            Err(_) => eprintln!("[checkpoint: ignoring non-numeric STUDY_KILL_AFTER_RECORDS={v}]"),
+        }
+    }
+    if !prefill.is_empty() {
+        eprintln!(
+            "[resume: skipping {} journaled runs from {}]",
+            prefill.len(),
+            path.display()
+        );
+    }
+    Some((journal, prefill))
 }
 
 /// Collects run records and metrics during a tool's execution and
@@ -266,19 +372,40 @@ impl Reporter {
     }
 
     /// Records everything a pipelined [`StudyRun`] measured: every
-    /// sweep with per-simulation walls, per-app generation-wall
-    /// gauges, and the aggregate two-phase timing.
+    /// completed cell with status/attempts and per-simulation wall,
+    /// per-app generation-wall gauges, every permanent failure into
+    /// `errors[]`, and the aggregate two-phase timing. Partial runs
+    /// are fine — the manifest keeps whatever completed.
     pub fn record_study(&mut self, run: &cluster_study::study::StudyRun) {
+        use cluster_study::study::{CellOutcome, GenOutcome};
         for (t, name) in run.names.iter().enumerate() {
-            self.manifest.metrics.gauge(
-                &format!("{name}.gen_wall_seconds"),
-                run.gen_walls[t].as_secs_f64(),
-            );
-            for (i, sweep) in run.per_trace[t].sweeps.iter().enumerate() {
+            if let GenOutcome::Done { wall, .. } = run.gens[t] {
                 self.manifest
-                    .record_sweep(name, sweep, Some(run.sim_walls_for(t, i)));
+                    .metrics
+                    .gauge(&format!("{name}.gen_wall_seconds"), wall.as_secs_f64());
             }
         }
+        for cell in &run.cells {
+            if let CellOutcome::Done {
+                stats,
+                wall,
+                status,
+                attempts,
+                ..
+            } = &cell.outcome
+            {
+                self.manifest.record_outcome(
+                    &run.names[cell.trace],
+                    &cell.cache.label(),
+                    cell.cluster,
+                    stats,
+                    *wall,
+                    *status,
+                    *attempts,
+                );
+            }
+        }
+        self.manifest.errors.extend(run.errors());
         self.manifest.timing = Some(run.timing);
     }
 
@@ -310,13 +437,8 @@ impl Reporter {
                 s
             }
         };
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)
-                    .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
-            }
-        }
-        std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        cluster_study::write_atomic(&path, body.as_bytes())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         eprintln!("[manifest: {}]", path.display());
         Some(path)
     }
@@ -339,13 +461,34 @@ pub fn run_capacity_figure(fig: &str, tool: &str, app: &str, cli: &Cli) {
         cli.jobs
     );
     let mut reporter = Reporter::new(tool, cli);
+    let journal = open_journal(tool, cli);
     let run = timed(&format!("{app} gen+sim"), || {
-        StudySpec::generate(&[app], cli.size, cli.procs)
+        let mut spec = StudySpec::generate(&[app], cli.size, cli.procs)
             .jobs(cli.jobs)
-            .run_with(|_| {})
+            .policy(cli.policy());
+        if let Some((j, prefill)) = &journal {
+            spec = spec.checkpoint(j).prefill(prefill.clone());
+        }
+        spec.run_with(|_| {})
     });
-    let caps = &run.per_trace[0];
     reporter.record_study(&run);
+    if !run.is_complete() {
+        for e in run.errors() {
+            eprintln!(
+                "error: {} {}/{}/{} failed after {} attempts: {}",
+                e.phase.label(),
+                e.app,
+                e.cache.as_deref().unwrap_or("-"),
+                e.cluster.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                e.attempts,
+                e.error
+            );
+        }
+        reporter.finish();
+        std::process::exit(1);
+    }
+    let per_trace = run.per_trace();
+    let caps = &per_trace[0];
     for sweep in &caps.sweeps {
         let label = sweep.cache.label();
         let paper = capacity_totals(app, &label);
@@ -387,6 +530,10 @@ mod tests {
             format: Format::Text,
             out: None,
             emit_manifest: false,
+            retries: 0,
+            timeout_secs: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 

@@ -115,6 +115,83 @@ fn emit_manifest_is_a_bare_switch() {
 }
 
 #[test]
+fn retries_flag_parses_a_count() {
+    assert_eq!(parse(&[]).unwrap().retries, 0);
+    assert_eq!(parse(&["--retries", "3"]).unwrap().retries, 3);
+    assert_eq!(parse(&["--retries", "0"]).unwrap().retries, 0);
+    for bad in [
+        &["--retries"][..],
+        &["--retries", "some"],
+        &["--retries", "-1"],
+    ] {
+        let err = parse(bad).unwrap_err();
+        assert_eq!(
+            err.message.as_deref(),
+            Some("--retries needs a number"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn timeout_flag_requires_a_positive_duration() {
+    assert_eq!(parse(&[]).unwrap().timeout_secs, None);
+    assert_eq!(
+        parse(&["--timeout-secs", "2.5"]).unwrap().timeout_secs,
+        Some(2.5)
+    );
+    for bad in [
+        &["--timeout-secs"][..],
+        &["--timeout-secs", "0"],
+        &["--timeout-secs", "-1"],
+        &["--timeout-secs", "inf"],
+        &["--timeout-secs", "soon"],
+    ] {
+        let err = parse(bad).unwrap_err();
+        assert_eq!(
+            err.message.as_deref(),
+            Some("--timeout-secs needs a positive number"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_flag_takes_a_path() {
+    assert_eq!(parse(&[]).unwrap().checkpoint, None);
+    let cli = parse(&["--checkpoint", "results/j.jsonl"]).unwrap();
+    assert_eq!(cli.checkpoint, Some(PathBuf::from("results/j.jsonl")));
+    assert!(!cli.resume);
+    let err = parse(&["--checkpoint"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--checkpoint needs a path"));
+}
+
+#[test]
+fn resume_requires_a_checkpoint() {
+    let cli = parse(&["--checkpoint", "j.jsonl", "--resume"]).unwrap();
+    assert!(cli.resume);
+    // Order doesn't matter: --resume may precede --checkpoint.
+    assert!(
+        parse(&["--resume", "--checkpoint", "j.jsonl"])
+            .unwrap()
+            .resume
+    );
+    let err = parse(&["--resume"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--resume needs --checkpoint"));
+}
+
+#[test]
+fn policy_reflects_retry_and_timeout_flags() {
+    let cli = parse(&["--retries", "2", "--timeout-secs", "1.5"]).unwrap();
+    let policy = cli.policy();
+    assert_eq!(policy.retries, 2);
+    assert_eq!(policy.timeout, Some(std::time::Duration::from_millis(1500)));
+    let none = parse(&[]).unwrap().policy();
+    assert_eq!(none.retries, 0);
+    assert_eq!(none.timeout, None);
+}
+
+#[test]
 fn help_returns_usage_with_no_error_message() {
     for flag in ["--help", "-h"] {
         let err = parse(&[flag]).unwrap_err();
@@ -155,6 +232,10 @@ fn usage_names_the_actual_tool_everywhere() {
         "--format",
         "--out",
         "--emit-manifest",
+        "--retries",
+        "--timeout-secs",
+        "--checkpoint",
+        "--resume",
     ] {
         assert!(err.usage.contains(flag), "usage missing {flag}");
     }

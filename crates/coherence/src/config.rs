@@ -11,6 +11,72 @@ use simcore::space::ProcId;
 
 use crate::latency::LatencyTable;
 
+/// A rejected machine configuration. These are user-reachable (the
+/// bench CLIs accept `--procs` and cluster sizes), so validation
+/// offers [`MachineConfig::validate`] returning this typed error
+/// alongside the panicking [`MachineConfig::validated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Zero processors.
+    ZeroProcessors,
+    /// Zero processors per cluster.
+    ZeroClusterSize,
+    /// Cluster size does not divide the processor count.
+    ClusterDoesNotDivide {
+        /// Requested processors per cluster.
+        per_cluster: u32,
+        /// Requested total processors.
+        n_procs: u32,
+    },
+    /// More clusters than the directory's 64-bit sharer vector can
+    /// track.
+    TooManyClusters {
+        /// The resulting cluster count.
+        clusters: u32,
+        /// The directory's limit.
+        max: u32,
+    },
+    /// Invalid per-cluster cache geometry.
+    Cache(simcore::cache::CacheError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroProcessors => write!(f, "processor count must be positive"),
+            ConfigError::ZeroClusterSize => write!(f, "cluster size must be positive"),
+            ConfigError::ClusterDoesNotDivide {
+                per_cluster,
+                n_procs,
+            } => write!(
+                f,
+                "cluster size {per_cluster} must divide processor count {n_procs}"
+            ),
+            ConfigError::TooManyClusters { clusters, max } => write!(
+                f,
+                "{clusters} clusters exceed the directory bit vector's {max}"
+            ),
+            ConfigError::Cache(e) => write!(f, "invalid cache geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simcore::cache::CacheError> for ConfigError {
+    fn from(e: simcore::cache::CacheError) -> ConfigError {
+        ConfigError::Cache(e)
+    }
+}
+
 /// Per-processor cache size specification used by the study sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheSpec {
@@ -109,16 +175,31 @@ impl MachineConfig {
         .validated()
     }
 
-    /// Validates internal consistency and returns `self`.
+    /// Validates internal consistency and returns `self`, panicking
+    /// on an invalid shape; [`MachineConfig::validate`] is the
+    /// non-panicking form for user-supplied configurations.
     pub fn validated(self) -> Self {
-        assert!(self.n_procs > 0 && self.per_cluster > 0);
-        assert!(
-            self.n_procs.is_multiple_of(self.per_cluster),
-            "cluster size {} must divide processor count {}",
-            self.per_cluster,
-            self.n_procs
-        );
-        self
+        self.validate().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks internal consistency, returning `self` or the typed
+    /// reason the shape is invalid. (The directory's 64-cluster limit
+    /// is a protocol-layer constraint checked by
+    /// `MemorySystem::try_new`, not here.)
+    pub fn validate(self) -> Result<Self, ConfigError> {
+        if self.n_procs == 0 {
+            return Err(ConfigError::ZeroProcessors);
+        }
+        if self.per_cluster == 0 {
+            return Err(ConfigError::ZeroClusterSize);
+        }
+        if !self.n_procs.is_multiple_of(self.per_cluster) {
+            return Err(ConfigError::ClusterDoesNotDivide {
+                per_cluster: self.per_cluster,
+                n_procs: self.n_procs,
+            });
+        }
+        Ok(self)
     }
 
     /// Number of clusters.
@@ -186,6 +267,40 @@ mod tests {
             .label(),
             "16k/2w"
         );
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let base = MachineConfig {
+            n_procs: 64,
+            per_cluster: 4,
+            cache: CacheSpec::Infinite,
+            lat: LatencyTable::paper(),
+        };
+        assert!(base.validate().is_ok());
+        let zero = MachineConfig { n_procs: 0, ..base };
+        assert_eq!(zero.validate().err(), Some(ConfigError::ZeroProcessors));
+        let zc = MachineConfig {
+            per_cluster: 0,
+            ..base
+        };
+        assert_eq!(zc.validate().err(), Some(ConfigError::ZeroClusterSize));
+        let odd = MachineConfig {
+            per_cluster: 3,
+            ..base
+        };
+        assert_eq!(
+            odd.validate().err(),
+            Some(ConfigError::ClusterDoesNotDivide {
+                per_cluster: 3,
+                n_procs: 64
+            })
+        );
+        assert!(odd
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("must divide"));
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod config;
 pub mod latency;
 pub mod protocol;
 
-pub use config::MachineConfig;
+pub use config::{ConfigError, MachineConfig};
 pub use latency::LatencyTable;
-pub use protocol::{LineState, MemorySystem, Outcome};
+pub use protocol::{LineState, MemorySystem, Outcome, ProtocolError};

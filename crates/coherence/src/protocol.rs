@@ -22,7 +22,52 @@ use simcore::cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
 use simcore::space::{AddressSpace, Placement, ProcId};
 use simcore::stats::{LatencyClass, MissStats};
 
-use crate::config::MachineConfig;
+use crate::config::{ConfigError, MachineConfig};
+
+/// A protocol-level failure reachable from user input (a bad machine
+/// shape, or a trace touching memory its address space never
+/// allocated). The panicking [`MemorySystem::new`] / `read` / `write`
+/// wrap the `try_` forms, so the timing engine's hot path is
+/// unchanged while validation layers get typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// An access touched a line no allocation covers — a malformed
+    /// trace, not a protocol invariant.
+    UnallocatedAccess {
+        /// The offending line address.
+        line: LineAddr,
+    },
+    /// The machine configuration is invalid (shape or the directory's
+    /// 64-cluster sharer-vector limit).
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnallocatedAccess { line } => {
+                write!(f, "access to unallocated line {line:#x}")
+            }
+            ProtocolError::Config(e) => write!(f, "invalid machine configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ProtocolError {
+    fn from(e: ConfigError) -> ProtocolError {
+        ProtocolError::Config(e)
+    }
+}
 
 /// Cache-line state within a cluster cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,12 +237,23 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the memory system for `cfg`, resolving placement policies
     /// against `space` (cloned; the allocator is not consulted again).
+    /// Panics on an invalid configuration; [`MemorySystem::try_new`]
+    /// is the non-panicking form for user-supplied shapes.
     pub fn new(cfg: MachineConfig, space: &AddressSpace) -> Self {
-        let cfg = cfg.validated();
-        assert!(
-            cfg.n_clusters() <= 64,
-            "directory bit vector holds at most 64 clusters"
-        );
+        Self::try_new(cfg, space).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MemorySystem::new`] returning the typed reason a
+    /// configuration is rejected instead of panicking.
+    pub fn try_new(cfg: MachineConfig, space: &AddressSpace) -> Result<Self, ProtocolError> {
+        let cfg = cfg.validate()?;
+        if cfg.n_clusters() > 64 {
+            return Err(ConfigError::TooManyClusters {
+                clusters: cfg.n_clusters(),
+                max: 64,
+            }
+            .into());
+        }
         let kind = cfg.cluster_cache_kind();
         let (private, bus_cycles) = match cfg.cache {
             crate::config::CacheSpec::PrivatePerProc { bus_cycles, .. } => (true, bus_cycles),
@@ -208,7 +264,7 @@ impl MemorySystem {
         } else {
             cfg.n_clusters()
         };
-        MemorySystem {
+        Ok(MemorySystem {
             cfg,
             caches: (0..n_caches).map(|_| ClusterCache::new(kind)).collect(),
             dir: HashMap::new(),
@@ -217,7 +273,7 @@ impl MemorySystem {
             private,
             bus_cycles,
             stats: MissStats::default(),
-        }
+        })
     }
 
     /// Cache index used by processor `p`.
@@ -251,15 +307,17 @@ impl MemorySystem {
         &self.cfg
     }
 
-    /// Home cluster of `line`, assigning it on first touch.
-    fn home_of(&mut self, line: LineAddr) -> u32 {
+    /// Home cluster of `line`, assigning it on first touch. Errors
+    /// when the line was never allocated — a malformed trace, which is
+    /// user input, not a protocol invariant.
+    fn home_of(&mut self, line: LineAddr) -> Result<u32, ProtocolError> {
         if let Some(e) = self.dir.get(&line) {
-            return e.home;
+            return Ok(e.home);
         }
         let placement = self
             .space
             .placement_of(line_base(line))
-            .unwrap_or_else(|| panic!("access to unallocated line {line:#x}"));
+            .ok_or(ProtocolError::UnallocatedAccess { line })?;
         let home = match placement {
             Placement::RoundRobin => {
                 let h = self.rr_next % self.cfg.n_clusters();
@@ -276,7 +334,7 @@ impl MemorySystem {
                 dirty: false,
             },
         );
-        home
+        Ok(home)
     }
 
     /// Classifies a miss by cluster `c` to `line` per Table 1. Must be
@@ -397,20 +455,28 @@ impl MemorySystem {
     }
 
     /// Processor `p` issues a load of byte address `addr` at cycle
-    /// `now`.
+    /// `now`. Panics on an access to unallocated memory (a malformed
+    /// trace); [`MemorySystem::try_read`] is the non-panicking form.
     pub fn read(&mut self, p: ProcId, addr: u64, now: u64) -> Outcome {
+        self.try_read(p, addr, now)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MemorySystem::read`] returning the typed reason an access is
+    /// rejected instead of panicking.
+    pub fn try_read(&mut self, p: ProcId, addr: u64, now: u64) -> Result<Outcome, ProtocolError> {
         let line = line_of(addr);
         let c = self.cfg.cluster_of(p);
         let ci = self.cache_of(p);
         if let Some(cl) = self.caches[ci].get_mut(line) {
             if cl.pending_until > now {
                 self.stats.merge_stalls += 1;
-                return Outcome::MergeWait {
+                return Ok(Outcome::MergeWait {
                     ready_at: cl.pending_until,
-                };
+                });
             }
             self.stats.read_hits += 1;
-            return Outcome::ReadHit;
+            return Ok(Outcome::ReadHit);
         }
         // Shared-memory-cluster mode: snoop the cluster bus before
         // going off-cluster.
@@ -418,7 +484,7 @@ impl MemorySystem {
             match self.snoop_mates(p, line, now) {
                 Snoop::Pending(ready_at) => {
                     self.stats.merge_stalls += 1;
-                    return Outcome::MergeWait { ready_at };
+                    return Ok(Outcome::MergeWait { ready_at });
                 }
                 Snoop::Supplied => {
                     let stall = self.bus_cycles;
@@ -433,14 +499,14 @@ impl MemorySystem {
                     }
                     // The cluster's directory bit is already set.
                     self.stats.bus_transfers += 1;
-                    return Outcome::ReadBus { stall };
+                    return Ok(Outcome::ReadBus { stall });
                 }
                 Snoop::Absent => {}
             }
         }
         // Miss: resolve home, classify, downgrade any dirty owner, fill
         // SHARED with a pending window.
-        self.home_of(line);
+        self.home_of(line)?;
         let class = self.classify_miss(c, line);
         let stall = self.cfg.lat.of(class);
         {
@@ -474,12 +540,20 @@ impl MemorySystem {
         if class == LatencyClass::LocalClean {
             self.stats.local_satisfied += 1;
         }
-        Outcome::ReadMiss { stall, class }
+        Ok(Outcome::ReadMiss { stall, class })
     }
 
     /// Processor `p` issues a store to byte address `addr` at cycle
-    /// `now`.
+    /// `now`. Panics on an access to unallocated memory (a malformed
+    /// trace); [`MemorySystem::try_write`] is the non-panicking form.
     pub fn write(&mut self, p: ProcId, addr: u64, now: u64) -> Outcome {
+        self.try_write(p, addr, now)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MemorySystem::write`] returning the typed reason an access is
+    /// rejected instead of panicking.
+    pub fn try_write(&mut self, p: ProcId, addr: u64, now: u64) -> Result<Outcome, ProtocolError> {
         let line = line_of(addr);
         let c = self.cfg.cluster_of(p);
         let ci = self.cache_of(p);
@@ -487,7 +561,7 @@ impl MemorySystem {
             match cl.state {
                 LineState::Exclusive => {
                     self.stats.write_hits += 1;
-                    return Outcome::WriteHit;
+                    return Ok(Outcome::WriteHit);
                 }
                 LineState::Shared => {
                     // UPGRADE: invalidate other copies instantly; the
@@ -503,7 +577,7 @@ impl MemorySystem {
                     e.sharers = 1 << c;
                     e.dirty = true;
                     self.stats.upgrade_misses += 1;
-                    return Outcome::Upgrade;
+                    return Ok(Outcome::Upgrade);
                 }
             }
         }
@@ -530,11 +604,11 @@ impl MemorySystem {
                 self.on_evicted(c, ev);
             }
             self.stats.upgrade_misses += 1;
-            return Outcome::Upgrade;
+            return Ok(Outcome::Upgrade);
         }
         // WRITE miss: latency hidden, but classify for statistics and
         // to size the pending window.
-        self.home_of(line);
+        self.home_of(line)?;
         let class = self.classify_miss(c, line);
         let stall = self.cfg.lat.of(class);
         self.invalidate_others(line, c);
@@ -554,7 +628,7 @@ impl MemorySystem {
         }
         self.stats.write_misses += 1;
         self.stats.by_latency[class.idx()] += 1;
-        Outcome::WriteMiss
+        Ok(Outcome::WriteMiss)
     }
 
     /// Lines resident in cache `i` — a cluster's cache in shared-cache
@@ -643,6 +717,53 @@ mod tests {
         let b = space.alloc_owned(LINE_BYTES * 16, 63);
         let cfg = MachineConfig::paper(per_cluster, cache);
         (MemorySystem::new(cfg, &space), a, b)
+    }
+
+    #[test]
+    fn try_new_rejects_bad_shapes_with_typed_errors() {
+        let space = AddressSpace::new();
+        let cfg = MachineConfig {
+            n_procs: 64,
+            per_cluster: 3,
+            cache: CacheSpec::Infinite,
+            lat: LatencyTable::paper(),
+        };
+        assert_eq!(
+            MemorySystem::try_new(cfg, &space).err(),
+            Some(ProtocolError::Config(ConfigError::ClusterDoesNotDivide {
+                per_cluster: 3,
+                n_procs: 64
+            }))
+        );
+        let too_many = MachineConfig {
+            n_procs: 128,
+            per_cluster: 1,
+            ..cfg
+        };
+        assert_eq!(
+            MemorySystem::try_new(too_many, &space).err(),
+            Some(ProtocolError::Config(ConfigError::TooManyClusters {
+                clusters: 128,
+                max: 64
+            }))
+        );
+    }
+
+    #[test]
+    fn try_read_rejects_unallocated_access() {
+        let (mut m, _, _) = machine(1, CacheSpec::Infinite);
+        let bogus = 0xdead_0000u64;
+        let err = m.try_read(0, bogus, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::UnallocatedAccess {
+                line: line_of(bogus)
+            }
+        );
+        assert!(err.to_string().contains("unallocated line"));
+        assert!(m.try_write(0, bogus, 0).is_err());
+        // The typed path leaves no half-built directory state behind.
+        assert!(m.check_invariants().is_ok());
     }
 
     #[test]

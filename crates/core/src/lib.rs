@@ -21,6 +21,7 @@
 //!   stable schema, emitted by the `cluster-bench` regenerators.
 
 pub mod apps;
+pub mod checkpoint;
 pub mod contention;
 pub mod latency_factor;
 pub mod manifest;
@@ -29,11 +30,16 @@ pub mod parallel;
 pub mod report;
 pub mod study;
 
+pub use checkpoint::{Journal, JournalEntry, JournalError, JournalHeader};
 pub use contention::{bank_conflict_probability, shared_cache_factor};
 pub use latency_factor::{measure_latency_factors, LatencyFactors};
-pub use manifest::{Manifest, RunRecord};
+pub use manifest::{write_atomic, Manifest, RunError, RunRecord};
 pub use parallel::{
-    resolve_jobs, run_items, run_items_chunked, run_items_timed, run_pipeline, FanoutTiming, Phase,
-    PhaseSample, PipelineRun,
+    resolve_jobs, run_items, run_items_chunked, run_items_timed, run_pipeline,
+    run_pipeline_guarded, FanoutTiming, GuardedEvent, GuardedRun, ItemReport, Phase, PhaseSample,
+    PipelineRun, RunPolicy, RunStatus,
 };
-pub use study::{run_config, CapacitySweep, ClusterSweep, StudyEvent, StudyRun, StudySpec};
+pub use study::{
+    run_config, CapacitySweep, CellOutcome, ClusterSweep, GenOutcome, StudyCell, StudyEvent,
+    StudyRun, StudySpec,
+};

@@ -21,9 +21,20 @@
 //!   fractions are computed from the aggregate per-processor
 //!   breakdown over its own exact total, never a rounded mean.
 //!
-//! Schema stability: `clustered-smp/run-manifest/v1`. Fields may be
-//! *added* within v1; removing or re-typing a field bumps the version.
+//! Schema stability: `clustered-smp/run-manifest/v2`. Fields may be
+//! *added* within v2; removing or re-typing a field bumps the version.
 //! Units are cycles (integers) and seconds (floats) throughout.
+//!
+//! v1 → v2: every run gained `status` (`ok` / `retried` / `timeout`)
+//! and `attempts`, and the manifest gained a top-level `errors[]`
+//! section listing work items that failed permanently (so a study with
+//! K failures still emits the other N−K results). All v1 fields are
+//! unchanged — a v1 reader that ignores unknown fields parses a v2
+//! manifest, except for the `schema` string itself. Like wall-clock
+//! and job count, the new fields describe the *execution*, not the
+//! simulated machine, so they live in the full [`Manifest::to_json`]
+//! view only; the deterministic [`Manifest::stats_json`] view is
+//! byte-identical to v1's.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -32,11 +43,11 @@ use std::time::Duration;
 use simcore::stats::RunStats;
 use simcore::{Json, Metrics};
 
-use crate::parallel::FanoutTiming;
+use crate::parallel::{FanoutTiming, Phase, RunStatus};
 use crate::study::ClusterSweep;
 
 /// Schema identifier embedded in every manifest.
-pub const SCHEMA: &str = "clustered-smp/run-manifest/v1";
+pub const SCHEMA: &str = "clustered-smp/run-manifest/v2";
 
 /// How workload inputs are seeded (see `splash::util::rng_for`):
 /// recorded so a manifest is reproducible from a checkout alone.
@@ -49,7 +60,7 @@ pub const CSV_HEADER: &str = "tool,size,procs,app,cache,cluster,exec_time_cycles
      read_hits,write_hits,read_misses,write_misses,upgrade_misses,merge_stalls,\
      lat_local_clean,lat_local_dirty_remote,lat_remote_clean,lat_remote_dirty_third,\
      invalidations,evictions,writebacks,local_satisfied,bus_transfers,bus_invalidations,\
-     wall_seconds";
+     wall_seconds,status,attempts";
 
 /// One simulation's record: what ran and what it measured.
 #[derive(Debug, Clone)]
@@ -65,6 +76,50 @@ pub struct RunRecord {
     /// Wall-clock of this simulation, when measured. Excluded from the
     /// deterministic stats view.
     pub wall: Option<Duration>,
+    /// How the run completed. Like `wall`, an execution property:
+    /// serialized in the full view only.
+    pub status: RunStatus,
+    /// Attempts the run took (1 = first try). A run restored from a
+    /// checkpoint journal keeps the attempt count it was journaled
+    /// with.
+    pub attempts: u32,
+}
+
+/// One permanently failed work item: recorded in the manifest's
+/// `errors[]` section so a study that loses K runs still documents
+/// what it lost alongside the N−K results it kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Application name.
+    pub app: String,
+    /// Cache label, for failed simulations; `None` for failed trace
+    /// generation (which has no per-cache identity).
+    pub cache: Option<String>,
+    /// Cluster size, for failed simulations.
+    pub cluster: Option<u32>,
+    /// Which pipeline phase failed.
+    pub phase: Phase,
+    /// Attempts made (0 = skipped because its generator failed).
+    pub attempts: u32,
+    /// The failure, usually a panic payload.
+    pub error: String,
+}
+
+impl RunError {
+    /// JSON rendering for the manifest's `errors[]` array.
+    pub fn to_json(&self) -> Json {
+        let mut e = Json::obj().with("app", self.app.as_str());
+        if let Some(cache) = &self.cache {
+            e.push("cache", cache.as_str());
+        }
+        if let Some(cluster) = self.cluster {
+            e.push("cluster", cluster);
+        }
+        e.push("phase", self.phase.label());
+        e.push("attempts", self.attempts);
+        e.push("error", self.error.as_str());
+        e
+    }
 }
 
 impl RunRecord {
@@ -123,6 +178,8 @@ impl RunRecord {
             if let Some(w) = self.wall {
                 run.push("wall_seconds", w.as_secs_f64());
             }
+            run.push("status", self.status.label());
+            run.push("attempts", self.attempts);
         }
         run
     }
@@ -142,7 +199,9 @@ impl RunRecord {
              {f0:?},{f1:?},{f2:?},{f3:?},\
              {rh},{wh},{rm},{wm},{um},{ms},\
              {l0},{l1},{l2},{l3},\
-             {inv},{ev},{wb},{ls},{bt},{bi},{wall}",
+             {inv},{ev},{wb},{ls},{bt},{bi},{wall},{status},{attempts}",
+            status = self.status.label(),
+            attempts = self.attempts,
             procs = self.stats.per_proc.len(),
             app = self.app,
             cache = self.cache,
@@ -191,6 +250,9 @@ pub struct Manifest {
     pub git: String,
     /// Simulation records, in deterministic tool order.
     pub runs: Vec<RunRecord>,
+    /// Work items that failed permanently. A tool whose manifest has
+    /// errors should exit non-zero after writing it.
+    pub errors: Vec<RunError>,
     /// Tool-specific named metrics (factors, knees, probabilities...).
     pub metrics: Metrics,
     /// Fan-out timing of the run, when the tool measured one.
@@ -207,12 +269,13 @@ impl Manifest {
             jobs,
             git: git_describe(),
             runs: Vec::new(),
+            errors: Vec::new(),
             metrics: Metrics::new(),
             timing: None,
         }
     }
 
-    /// Records one simulation.
+    /// Records one first-try successful simulation.
     pub fn record_run(
         &mut self,
         app: &str,
@@ -221,12 +284,50 @@ impl Manifest {
         stats: &RunStats,
         wall: Option<Duration>,
     ) {
+        self.record_outcome(app, cache, cluster, stats, wall, RunStatus::Ok, 1);
+    }
+
+    /// Records one simulation with its execution status and attempt
+    /// count (for runs under a fault-tolerance policy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_outcome(
+        &mut self,
+        app: &str,
+        cache: &str,
+        cluster: u32,
+        stats: &RunStats,
+        wall: Option<Duration>,
+        status: RunStatus,
+        attempts: u32,
+    ) {
         self.runs.push(RunRecord {
             app: app.to_string(),
             cache: cache.to_string(),
             cluster,
             stats: stats.clone(),
             wall,
+            status,
+            attempts,
+        });
+    }
+
+    /// Records one permanently failed work item.
+    pub fn record_error(
+        &mut self,
+        app: &str,
+        cache: Option<&str>,
+        cluster: Option<u32>,
+        phase: Phase,
+        attempts: u32,
+        error: &str,
+    ) {
+        self.errors.push(RunError {
+            app: app.to_string(),
+            cache: cache.map(str::to_string),
+            cluster,
+            phase,
+            attempts,
+            error: error.to_string(),
         });
     }
 
@@ -270,6 +371,14 @@ impl Manifest {
             "runs",
             Json::Arr(self.runs.iter().map(|r| r.to_json(with_env)).collect()),
         );
+        if with_env {
+            // Always present (even empty) so consumers can assert
+            // `errors | length == 0` without an existence check.
+            doc.push(
+                "errors",
+                Json::Arr(self.errors.iter().map(RunError::to_json).collect()),
+            );
+        }
         doc.push("metrics", self.metrics.to_json());
         doc
     }
@@ -287,21 +396,38 @@ impl Manifest {
     }
 
     /// Writes the manifest to `path` — pretty JSON for `.json`, CSV
-    /// for `.csv` (by extension) — creating parent directories.
+    /// for `.csv` (by extension) — atomically, creating parent
+    /// directories.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
         let body = if path.extension().and_then(|e| e.to_str()) == Some("csv") {
             self.to_csv()
         } else {
             self.to_json().pretty()
         };
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(body.as_bytes())
+        write_atomic(path, body.as_bytes())
     }
+}
+
+/// Writes `bytes` to `path` atomically: the content goes to
+/// `path.tmp`, is fsynced, and is renamed into place, so a crash (or
+/// an injected fault) mid-write never leaves a truncated artifact —
+/// readers see either the old file or the new one. Parent directories
+/// are created as needed.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// `git describe --always --dirty --tags` of the current directory,
@@ -356,6 +482,8 @@ mod tests {
             cluster: 2,
             stats: fake_stats(1000),
             wall: None,
+            status: RunStatus::Ok,
+            attempts: 1,
         };
         assert!((rec.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
         let zero = RunRecord {
@@ -427,5 +555,95 @@ mod tests {
             doc.get("metrics").and_then(|ms| ms.get("knee_kb")),
             Some(&Json::Float(16.0))
         );
+    }
+
+    /// v2 fields: status/attempts per run and the errors[] section
+    /// appear in the full view only — the deterministic stats view is
+    /// byte-identical to a v1-shaped document.
+    #[test]
+    fn v2_execution_fields_live_in_full_view_only() {
+        let mut m = Manifest::new("t", "small", 8, 2);
+        m.record_outcome(
+            "lu",
+            "inf",
+            1,
+            &fake_stats(100),
+            None,
+            RunStatus::Retried,
+            3,
+        );
+        m.record_error(
+            "ocean",
+            Some("4k"),
+            Some(2),
+            Phase::Sim,
+            4,
+            "injected fault",
+        );
+        m.record_error("water", None, None, Phase::Gen, 1, "gen blew up");
+        let full = m.to_json();
+        let stats = m.stats_json().to_string();
+        assert!(!stats.contains("\"status\""));
+        assert!(!stats.contains("\"attempts\""));
+        assert!(!stats.contains("\"errors\""));
+        let runs = full.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("status").and_then(Json::as_str),
+            Some("retried")
+        );
+        assert_eq!(runs[0].get("attempts").and_then(Json::as_u64), Some(3));
+        let errs = full.get("errors").and_then(Json::as_arr).unwrap();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].get("app").and_then(Json::as_str), Some("ocean"));
+        assert_eq!(errs[0].get("cache").and_then(Json::as_str), Some("4k"));
+        assert_eq!(errs[0].get("cluster").and_then(Json::as_u64), Some(2));
+        assert_eq!(errs[0].get("phase").and_then(Json::as_str), Some("sim"));
+        assert_eq!(errs[1].get("cache"), None);
+        assert_eq!(errs[1].get("phase").and_then(Json::as_str), Some("gen"));
+        // A clean manifest still carries an (empty) errors array.
+        let clean = Manifest::new("t", "small", 8, 2).to_json();
+        assert_eq!(
+            clean.get("errors").and_then(Json::as_arr).map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    /// CSV rows carry the v2 status/attempts tail and stay rectangular.
+    #[test]
+    fn csv_includes_status_and_attempts() {
+        let mut m = Manifest::new("t", "small", 8, 1);
+        m.record_outcome(
+            "lu",
+            "4k",
+            2,
+            &fake_stats(1000),
+            None,
+            RunStatus::Timeout,
+            1,
+        );
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with("wall_seconds,status,attempts"));
+        assert!(lines[1].ends_with(",timeout,1"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "ragged csv"
+        );
+    }
+
+    /// write_atomic leaves no .tmp behind and replaces content whole.
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("clustered-smp-manifest-test");
+        let path = dir.join("m.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

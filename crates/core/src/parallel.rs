@@ -31,6 +31,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use simcore::fault::FaultPlan;
+
 /// Resolves a job count: explicit request, else `STUDY_JOBS`, else
 /// every available core.
 pub fn resolve_jobs(requested: Option<usize>) -> usize {
@@ -120,7 +122,7 @@ where
 }
 
 /// Which pipeline phase a work item belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Input (trace) generation.
     Gen,
@@ -150,6 +152,260 @@ pub struct PhaseSample {
     pub index: usize,
     /// Wall-clock of this item alone.
     pub wall: Duration,
+}
+
+/// Fault-tolerance policy for one pipelined run: how many times to
+/// retry a panicking work item, the soft per-item timeout, and the
+/// (normally disabled) deterministic fault-injection plan.
+///
+/// [`RunPolicy::none`] reproduces the historical behavior — zero
+/// retries, no timeout, no injection — except that a panicking item
+/// no longer poisons the worker pool: it is caught, recorded, and the
+/// rest of the matrix still completes.
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    /// Extra attempts after a panicking first attempt (`--retries N`;
+    /// 0 = fail on first panic).
+    pub retries: u32,
+    /// Soft per-item timeout: an item whose final attempt ran longer
+    /// is *flagged* [`RunStatus::Timeout`], never killed (simulations
+    /// are pure functions — killing one buys nothing, losing its
+    /// result costs a re-run).
+    pub timeout: Option<Duration>,
+    /// Deterministic fault injection (see `simcore::fault`); disabled
+    /// by default.
+    pub fault: FaultPlan,
+}
+
+impl RunPolicy {
+    /// No retries, no timeout, no injection.
+    pub fn none() -> RunPolicy {
+        RunPolicy {
+            retries: 0,
+            timeout: None,
+            fault: FaultPlan::disabled(),
+        }
+    }
+}
+
+impl Default for RunPolicy {
+    fn default() -> RunPolicy {
+        RunPolicy::none()
+    }
+}
+
+/// How one work item (or one whole run record) ended up, for the
+/// manifest's per-run `status` field. Permanent failure is *not* a
+/// status: failed items carry an error and land in the manifest's
+/// `errors[]` section instead of `runs[]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Succeeded on the first attempt within the timeout.
+    Ok,
+    /// Succeeded after at least one retried panic.
+    Retried,
+    /// Succeeded, but the final attempt exceeded the soft timeout
+    /// (takes precedence over [`RunStatus::Retried`]).
+    Timeout,
+}
+
+impl RunStatus {
+    /// Serialized form (`"ok"` / `"retried"` / `"timeout"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Retried => "retried",
+            RunStatus::Timeout => "timeout",
+        }
+    }
+
+    /// Parses a serialized status label.
+    pub fn parse(s: &str) -> Option<RunStatus> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "retried" => Some(RunStatus::Retried),
+            "timeout" => Some(RunStatus::Timeout),
+            _ => None,
+        }
+    }
+}
+
+/// The guarded executor's per-item verdict: how many attempts it
+/// took, the final attempt's wall, whether the soft timeout tripped,
+/// and — for a permanently failed item — the panic payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemReport {
+    /// Which phase the item belonged to.
+    pub phase: Phase,
+    /// Index into the phase's input slice.
+    pub index: usize,
+    /// Attempts consumed (1 = clean first try; 0 = never attempted,
+    /// i.e. a simulation skipped because its generator failed).
+    pub attempts: u32,
+    /// Wall-clock of the final attempt alone.
+    pub wall: Duration,
+    /// Whether the final attempt exceeded [`RunPolicy::timeout`].
+    pub timed_out: bool,
+    /// Panic payload of the last attempt when every attempt failed
+    /// (`None` = the item succeeded).
+    pub error: Option<String>,
+}
+
+impl ItemReport {
+    /// Whether the item permanently failed.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Status of a *successful* item (`None` when it failed).
+    pub fn status(&self) -> Option<RunStatus> {
+        if self.error.is_some() {
+            None
+        } else if self.timed_out {
+            Some(RunStatus::Timeout)
+        } else if self.attempts > 1 {
+            Some(RunStatus::Retried)
+        } else {
+            Some(RunStatus::Ok)
+        }
+    }
+
+    /// `"ok"` / `"retried"` / `"timeout"` / `"failed"`, for logs.
+    pub fn status_label(&self) -> &'static str {
+        self.status().map(RunStatus::label).unwrap_or("failed")
+    }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads pass
+/// through (covering `panic!` with a message, which is everything the
+/// workspace throws); anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one work item under the policy: up to `1 + retries` attempts,
+/// each wrapped in `catch_unwind` (with fault injection applied
+/// first), returning the value of the first successful attempt plus
+/// the [`ItemReport`].
+fn attempt_item<R>(
+    policy: &RunPolicy,
+    phase: Phase,
+    index: usize,
+    f: impl Fn() -> R,
+) -> (Option<R>, ItemReport) {
+    let max_attempts = policy.retries.saturating_add(1);
+    // The injection key is a pure function of the item's coordinates,
+    // so a fault schedule selects the same items at any job count.
+    let key = policy
+        .fault
+        .is_active()
+        .then(|| format!("{}:{index}", phase.label()));
+    let mut last_error = None;
+    let mut wall = Duration::ZERO;
+    for attempt in 0..max_attempts {
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(key) = &key {
+                policy.fault.apply(key, attempt);
+            }
+            f()
+        }));
+        wall = t0.elapsed();
+        let timed_out = policy.timeout.is_some_and(|t| wall > t);
+        match outcome {
+            Ok(value) => {
+                return (
+                    Some(value),
+                    ItemReport {
+                        phase,
+                        index,
+                        attempts: attempt + 1,
+                        wall,
+                        timed_out,
+                        error: None,
+                    },
+                );
+            }
+            Err(payload) => last_error = Some(panic_message(payload.as_ref())),
+        }
+    }
+    let report = ItemReport {
+        phase,
+        index,
+        attempts: max_attempts,
+        wall,
+        timed_out: policy.timeout.is_some_and(|t| wall > t),
+        error: last_error,
+    };
+    (None, report)
+}
+
+/// The report given to a simulation that was never attempted because
+/// its generator permanently failed.
+fn skipped_report(index: usize, gen: usize) -> ItemReport {
+    ItemReport {
+        phase: Phase::Sim,
+        index,
+        attempts: 0,
+        wall: Duration::ZERO,
+        timed_out: false,
+        error: Some(format!("skipped: generator {gen} failed")),
+    }
+}
+
+/// Everything a *guarded* pipelined fan-out produced: per-item values
+/// where the item succeeded (`None` where it failed or was skipped),
+/// a full [`ItemReport`] per item, and the aggregate timing over the
+/// successful items.
+#[derive(Debug)]
+pub struct GuardedRun<T, O> {
+    /// Generated values with per-item gen wall, in `gen_inputs` order;
+    /// `None` = the generator permanently failed.
+    pub gen: Vec<Option<(T, Duration)>>,
+    /// Simulation outputs with per-item sim wall, in `sim_items`
+    /// order; `None` = failed or skipped.
+    pub sims: Vec<Option<(O, Duration)>>,
+    /// One report per generator, in input order.
+    pub gen_reports: Vec<ItemReport>,
+    /// One report per simulation, in input order.
+    pub sim_reports: Vec<ItemReport>,
+    /// Aggregate timing over the successful items.
+    pub timing: FanoutTiming,
+}
+
+impl<T, O> GuardedRun<T, O> {
+    /// Whether every item of both phases succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// Reports of permanently failed (or skipped) items, generators
+    /// first, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = &ItemReport> {
+        self.gen_reports
+            .iter()
+            .chain(&self.sim_reports)
+            .filter(|r| r.failed())
+    }
+}
+
+/// One completed (or permanently failed) item of a guarded pipeline,
+/// delivered to the progress callback the moment the item settles.
+/// `value` is the simulation output for successful [`Phase::Sim`]
+/// items — the hook the checkpoint journal appends from — and `None`
+/// for generators and failures.
+#[derive(Debug)]
+pub struct GuardedEvent<'a, O> {
+    /// The item's verdict.
+    pub report: &'a ItemReport,
+    /// Successful sim items only: the freshly computed output.
+    pub value: Option<&'a O>,
 }
 
 /// Everything a pipelined fan-out produced: generated inputs, sim
@@ -207,6 +463,86 @@ where
     SF: Fn(&T, &SI) -> O + Sync,
     PF: Fn(PhaseSample) + Sync,
 {
+    let run = run_pipeline_guarded(
+        gen_inputs,
+        sim_items,
+        jobs,
+        chunk,
+        &RunPolicy::none(),
+        gen_f,
+        sim_f,
+        |ev: GuardedEvent<'_, O>| {
+            if !ev.report.failed() {
+                progress(PhaseSample {
+                    phase: ev.report.phase,
+                    index: ev.report.index,
+                    wall: ev.report.wall,
+                });
+            }
+        },
+    );
+    if let Some(r) = run.failures().next() {
+        panic!(
+            "pipeline {} item {} failed: {}",
+            r.phase.label(),
+            r.index,
+            r.error.as_deref().unwrap_or("unknown")
+        );
+    }
+    PipelineRun {
+        gen: run
+            .gen
+            .into_iter()
+            .map(|g| g.expect("complete run generated every input"))
+            .collect(),
+        sims: run
+            .sims
+            .into_iter()
+            .map(|s| s.expect("complete run filled every sim slot"))
+            .collect(),
+        timing: run.timing,
+    }
+}
+
+/// The fault-tolerant pipelined executor: [`run_pipeline`]'s
+/// scheduling (affinity first, generate next, steal last; `jobs <= 1`
+/// is the exact serial path with no threads) with every work item run
+/// under the [`RunPolicy`]:
+///
+/// * each attempt is wrapped in `std::panic::catch_unwind`, so a
+///   panicking item is *recorded* — phase, index, attempts, payload —
+///   instead of poisoning the worker pool;
+/// * a panicking item is retried up to `policy.retries` times
+///   (deterministically: simulations are pure functions, so a retry
+///   that succeeds yields the bit-identical result);
+/// * an item whose final attempt exceeds `policy.timeout` is flagged
+///   [`RunStatus::Timeout`], never killed;
+/// * the simulations of a permanently failed generator are marked
+///   skipped (attempts = 0) without being attempted.
+///
+/// `progress` fires exactly once per item — success, failure or skip
+/// — with the [`ItemReport`] and, for successful simulations, a
+/// reference to the output (the checkpoint journal's append hook).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_guarded<GI, T, SI, O, GF, SF, PF>(
+    gen_inputs: &[GI],
+    sim_items: &[(usize, SI)],
+    jobs: usize,
+    chunk: usize,
+    policy: &RunPolicy,
+    gen_f: GF,
+    sim_f: SF,
+    progress: PF,
+) -> GuardedRun<T, O>
+where
+    GI: Sync,
+    T: Send + Sync,
+    SI: Sync,
+    O: Send,
+    GF: Fn(&GI) -> T + Sync,
+    SF: Fn(&T, &SI) -> O + Sync,
+    PF: Fn(GuardedEvent<'_, O>) + Sync,
+{
     for (i, (g, _)) in sim_items.iter().enumerate() {
         assert!(
             *g < gen_inputs.len(),
@@ -226,49 +562,91 @@ where
 
     if jobs <= 1 {
         // The measured serial baseline: affinity order, one thread.
-        let mut gen = Vec::with_capacity(gen_inputs.len());
+        let mut gen: Vec<Option<(T, Duration)>> = Vec::with_capacity(gen_inputs.len());
+        let mut gen_reports = Vec::with_capacity(gen_inputs.len());
         let mut sims: Vec<Option<(O, Duration)>> = sim_items.iter().map(|_| None).collect();
+        let mut sim_reports: Vec<Option<ItemReport>> = sim_items.iter().map(|_| None).collect();
         for (g, input) in gen_inputs.iter().enumerate() {
-            let t0 = Instant::now();
-            let val = gen_f(input);
-            let wall = t0.elapsed();
-            progress(PhaseSample {
-                phase: Phase::Gen,
-                index: g,
-                wall,
+            let (val, report) = attempt_item(policy, Phase::Gen, g, || gen_f(input));
+            progress(GuardedEvent {
+                report: &report,
+                value: None,
             });
-            for &si in &per_gen[g] {
-                let t0 = Instant::now();
-                let out = sim_f(&val, &sim_items[si].1);
-                let wall = t0.elapsed();
-                progress(PhaseSample {
-                    phase: Phase::Sim,
-                    index: si,
-                    wall,
-                });
-                sims[si] = Some((out, wall));
+            match val {
+                Some(val) => {
+                    for &si in &per_gen[g] {
+                        let (out, rep) =
+                            attempt_item(policy, Phase::Sim, si, || sim_f(&val, &sim_items[si].1));
+                        let out = out.map(|o| (o, rep.wall));
+                        progress(GuardedEvent {
+                            report: &rep,
+                            value: out.as_ref().map(|(o, _)| o),
+                        });
+                        sims[si] = out;
+                        sim_reports[si] = Some(rep);
+                    }
+                    gen.push(Some((val, report.wall)));
+                }
+                None => {
+                    for &si in &per_gen[g] {
+                        let rep = skipped_report(si, g);
+                        progress(GuardedEvent {
+                            report: &rep,
+                            value: None,
+                        });
+                        sim_reports[si] = Some(rep);
+                    }
+                    gen.push(None);
+                }
             }
-            gen.push((val, wall));
+            gen_reports.push(report);
         }
-        let sims: Vec<(O, Duration)> = sims
+        let sim_reports: Vec<ItemReport> = sim_reports
             .into_iter()
-            .map(|s| s.expect("serial pipeline filled every slot"))
+            .map(|r| r.expect("serial guarded pipeline reported every sim"))
             .collect();
-        let timing = FanoutTiming::from_pipeline(&gen, &sims, 1, start.elapsed());
-        return PipelineRun { gen, sims, timing };
+        let timing = guarded_timing(&gen, &sims, 1, start.elapsed());
+        return GuardedRun {
+            gen,
+            sims,
+            gen_reports,
+            sim_reports,
+            timing,
+        };
     }
 
     let total = gen_inputs.len() + sim_items.len();
     let gen_next = AtomicUsize::new(0);
     let sim_next: Vec<AtomicUsize> = gen_inputs.iter().map(|_| AtomicUsize::new(0)).collect();
-    let generated: Vec<OnceLock<(T, Duration)>> =
+    // `Some(Some(..))` = generated, `Some(None)` = permanently failed.
+    let generated: Vec<OnceLock<Option<(T, Duration)>>> =
+        gen_inputs.iter().map(|_| OnceLock::new()).collect();
+    let gen_report_slots: Vec<OnceLock<ItemReport>> =
         gen_inputs.iter().map(|_| OnceLock::new()).collect();
     let sim_slots: Vec<Mutex<Option<(O, Duration)>>> =
         sim_items.iter().map(|_| Mutex::new(None)).collect();
+    let sim_report_slots: Vec<OnceLock<ItemReport>> =
+        sim_items.iter().map(|_| OnceLock::new()).collect();
     let done = AtomicUsize::new(0);
 
+    // Runs one simulation under the policy and settles its slots.
+    let run_sim = |si: usize, val: &T| {
+        let (out, rep) = attempt_item(policy, Phase::Sim, si, || sim_f(val, &sim_items[si].1));
+        let out = out.map(|o| (o, rep.wall));
+        progress(GuardedEvent {
+            report: &rep,
+            value: out.as_ref().map(|(o, _)| o),
+        });
+        *sim_slots[si].lock().unwrap() = out;
+        sim_report_slots[si]
+            .set(rep)
+            .expect("sim settled exactly once");
+        done.fetch_add(1, Ordering::Release);
+    };
+
     // Claims a chunk of generator `g`'s simulations and runs it.
-    // Returns false when `g` has nothing left.
+    // Returns false when `g` has nothing left. Only called for
+    // successfully generated inputs.
     let drain_chunk = |g: usize| -> bool {
         let list = &per_gen[g];
         if sim_next[g].load(Ordering::Relaxed) >= list.len() {
@@ -278,20 +656,40 @@ where
         if at >= list.len() {
             return false;
         }
-        let (val, _) = generated[g].get().expect("drained before generation");
+        let (val, _) = generated[g]
+            .get()
+            .expect("drained before generation")
+            .as_ref()
+            .expect("drained a failed generator");
         for &si in &list[at..(at + chunk).min(list.len())] {
-            let t0 = Instant::now();
-            let out = sim_f(val, &sim_items[si].1);
-            let wall = t0.elapsed();
-            *sim_slots[si].lock().unwrap() = Some((out, wall));
-            progress(PhaseSample {
-                phase: Phase::Sim,
-                index: si,
-                wall,
-            });
-            done.fetch_add(1, Ordering::Release);
+            run_sim(si, val);
         }
         true
+    };
+
+    // Marks every simulation of permanently failed generator `g` as
+    // skipped. Only the worker that failed the generation claims them
+    // (the steal rule never touches a failed generator's queue), but
+    // claiming through `sim_next` keeps the accounting uniform.
+    let skip_all = |g: usize| {
+        let list = &per_gen[g];
+        loop {
+            let at = sim_next[g].fetch_add(chunk, Ordering::Relaxed);
+            if at >= list.len() {
+                break;
+            }
+            for &si in &list[at..(at + chunk).min(list.len())] {
+                let rep = skipped_report(si, g);
+                progress(GuardedEvent {
+                    report: &rep,
+                    value: None,
+                });
+                sim_report_slots[si]
+                    .set(rep)
+                    .expect("sim settled exactly once");
+                done.fetch_add(1, Ordering::Release);
+            }
+        }
     };
 
     let workers = jobs.min(total.max(1));
@@ -310,25 +708,32 @@ where
                     // 2. Generate the next ungenerated input.
                     let g = gen_next.fetch_add(1, Ordering::Relaxed);
                     if g < gen_inputs.len() {
-                        let t0 = Instant::now();
-                        let val = gen_f(&gen_inputs[g]);
-                        let wall = t0.elapsed();
-                        if generated[g].set((val, wall)).is_err() {
+                        let (val, report) =
+                            attempt_item(policy, Phase::Gen, g, || gen_f(&gen_inputs[g]));
+                        let failed = val.is_none();
+                        if generated[g].set(val.map(|v| (v, report.wall))).is_err() {
                             unreachable!("generator {g} claimed twice");
                         }
-                        progress(PhaseSample {
-                            phase: Phase::Gen,
-                            index: g,
-                            wall,
+                        progress(GuardedEvent {
+                            report: &report,
+                            value: None,
                         });
+                        gen_report_slots[g]
+                            .set(report)
+                            .expect("gen settled exactly once");
                         done.fetch_add(1, Ordering::Release);
-                        affinity = Some(g);
+                        if failed {
+                            skip_all(g);
+                            affinity = None;
+                        } else {
+                            affinity = Some(g);
+                        }
                         continue;
                     }
                     // 3. Steal a chunk from any generated input.
                     let mut stole = false;
                     for (g, cell) in generated.iter().enumerate() {
-                        if cell.get().is_some() && drain_chunk(g) {
+                        if matches!(cell.get(), Some(Some(_))) && drain_chunk(g) {
                             affinity = Some(g);
                             stole = true;
                             break;
@@ -348,16 +753,52 @@ where
         }
     });
 
-    let gen: Vec<(T, Duration)> = generated
+    let gen: Vec<Option<(T, Duration)>> = generated
         .into_iter()
-        .map(|c| c.into_inner().expect("every input generated"))
+        .map(|c| c.into_inner().expect("every input settled"))
         .collect();
-    let sims: Vec<(O, Duration)> = sim_slots
+    let gen_reports: Vec<ItemReport> = gen_report_slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every sim slot filled"))
+        .map(|c| c.into_inner().expect("every generator reported"))
         .collect();
-    let timing = FanoutTiming::from_pipeline(&gen, &sims, jobs, start.elapsed());
-    PipelineRun { gen, sims, timing }
+    let sims: Vec<Option<(O, Duration)>> = sim_slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap())
+        .collect();
+    let sim_reports: Vec<ItemReport> = sim_report_slots
+        .into_iter()
+        .map(|c| c.into_inner().expect("every sim reported"))
+        .collect();
+    let timing = guarded_timing(&gen, &sims, jobs, start.elapsed());
+    GuardedRun {
+        gen,
+        sims,
+        gen_reports,
+        sim_reports,
+        timing,
+    }
+}
+
+/// [`FanoutTiming`] over the *successful* items of a guarded run
+/// (matching [`FanoutTiming::from_pipeline`] exactly when nothing
+/// failed).
+fn guarded_timing<T, O>(
+    gen: &[Option<(T, Duration)>],
+    sims: &[Option<(O, Duration)>],
+    jobs: usize,
+    wall: Duration,
+) -> FanoutTiming {
+    let gen_wall: Duration = gen.iter().flatten().map(|(_, d)| *d).sum();
+    let sim_wall: Duration = sims.iter().flatten().map(|(_, d)| *d).sum();
+    FanoutTiming {
+        items: sims.iter().flatten().count(),
+        jobs,
+        cumulative: gen_wall + sim_wall,
+        wall,
+        gen_wall,
+        sim_wall,
+        serial_baseline: (jobs <= 1).then_some(wall),
+    }
 }
 
 /// Aggregate timing of one fan-out: how much cumulative work ran in
@@ -774,5 +1215,280 @@ mod tests {
         let ser = FanoutTiming::from_pipeline(&gen, &sims, 1, Duration::from_secs(6));
         assert_eq!(ser.serial_baseline, Some(Duration::from_secs(6)));
         assert!((ser.wall_speedup() - 1.0).abs() < 1e-9);
+    }
+
+    /// A panicking sim item is isolated: every other item completes,
+    /// and the failure is recorded with its phase, index and payload.
+    #[test]
+    fn guarded_isolates_panicking_sim() {
+        for jobs in [1, 4] {
+            let gens = [10u64, 20];
+            let items: Vec<(usize, u64)> = vec![(0, 1), (0, 2), (1, 3), (1, 4)];
+            let run = run_pipeline_guarded(
+                &gens,
+                &items,
+                jobs,
+                1,
+                &RunPolicy::none(),
+                |g| *g,
+                |g, s| {
+                    if *s == 3 {
+                        panic!("boom {s}");
+                    }
+                    g + s
+                },
+                |_| {},
+            );
+            assert!(!run.is_complete());
+            let fails: Vec<&ItemReport> = run.failures().collect();
+            assert_eq!(fails.len(), 1);
+            assert_eq!(fails[0].phase, Phase::Sim);
+            assert_eq!(fails[0].index, 2);
+            assert_eq!(fails[0].attempts, 1);
+            assert_eq!(fails[0].error.as_deref(), Some("boom 3"));
+            assert_eq!(fails[0].status(), None);
+            assert_eq!(fails[0].status_label(), "failed");
+            let vals: Vec<Option<u64>> = run
+                .sims
+                .iter()
+                .map(|s| s.as_ref().map(|(o, _)| *o))
+                .collect();
+            assert_eq!(vals, vec![Some(11), Some(12), None, Some(24)]);
+            assert_eq!(run.timing.items, 3, "timing counts successes only");
+        }
+    }
+
+    /// A permanently failing generator marks its simulations skipped
+    /// (attempts = 0) without attempting them; other apps complete.
+    #[test]
+    fn guarded_failed_generator_skips_its_sims() {
+        for jobs in [1, 3] {
+            let gens = [0u64, 5];
+            let items: Vec<(usize, u64)> = vec![(0, 1), (0, 2), (1, 3)];
+            let attempts = AtomicUsize::new(0);
+            let run = run_pipeline_guarded(
+                &gens,
+                &items,
+                jobs,
+                1,
+                &RunPolicy {
+                    retries: 1,
+                    ..RunPolicy::none()
+                },
+                |g| {
+                    if *g == 0 {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        panic!("gen down");
+                    }
+                    *g
+                },
+                |g, s| g + s,
+                |_| {},
+            );
+            assert_eq!(attempts.swap(0, Ordering::Relaxed), 2, "retried once");
+            assert!(run.gen[0].is_none());
+            assert_eq!(run.gen_reports[0].attempts, 2);
+            assert_eq!(run.gen_reports[0].error.as_deref(), Some("gen down"));
+            for si in [0, 1] {
+                assert!(run.sims[si].is_none());
+                let rep = &run.sim_reports[si];
+                assert_eq!(rep.attempts, 0);
+                assert_eq!(rep.error.as_deref(), Some("skipped: generator 0 failed"));
+            }
+            assert_eq!(run.sims[2].as_ref().map(|(o, _)| *o), Some(8));
+            assert_eq!(run.failures().count(), 3);
+        }
+    }
+
+    /// With an injected fault of depth 1 and one retry, every item
+    /// recovers deterministically: same outputs as a fault-free run,
+    /// statuses flip to `retried`.
+    #[test]
+    fn guarded_retries_recover_injected_faults() {
+        let gens = [100u64, 200, 300];
+        let items: Vec<(usize, u64)> = (0..9).map(|i| (i % 3, i as u64)).collect();
+        let clean = run_pipeline_guarded(
+            &gens,
+            &items,
+            1,
+            1,
+            &RunPolicy::none(),
+            |g| *g,
+            |g, s| g * 10 + s,
+            |_| {},
+        );
+        for jobs in [1, 4] {
+            let policy = RunPolicy {
+                retries: 1,
+                timeout: None,
+                fault: FaultPlan::new(1.0, 42),
+            };
+            let run = run_pipeline_guarded(
+                &gens,
+                &items,
+                jobs,
+                2,
+                &policy,
+                |g| *g,
+                |g, s| g * 10 + s,
+                |_| {},
+            );
+            assert!(run.is_complete());
+            let vals = |r: &GuardedRun<u64, u64>| -> Vec<u64> {
+                r.sims
+                    .iter()
+                    .map(|s| s.as_ref().expect("complete").0)
+                    .collect()
+            };
+            assert_eq!(
+                vals(&run),
+                vals(&clean),
+                "retried results are bit-identical"
+            );
+            for rep in run.gen_reports.iter().chain(run.sim_reports.iter()) {
+                assert_eq!(rep.attempts, 2);
+                assert_eq!(rep.status(), Some(RunStatus::Retried));
+                assert_eq!(rep.status_label(), "retried");
+            }
+        }
+    }
+
+    /// Fewer retries than the fault depth provably fails the selected
+    /// items; everything else still completes.
+    #[test]
+    fn guarded_insufficient_retries_leave_failures() {
+        let gens = [7u64];
+        let items: Vec<(usize, u64)> = (0..4).map(|i| (0usize, i as u64)).collect();
+        // Pick a seed that spares the generator and selects a strict
+        // subset of the sims — selection is deterministic, so this
+        // scan always lands on the same seed.
+        let seed = (0..1000u64)
+            .find(|&s| {
+                let f = FaultPlan::new(0.5, s);
+                let picked = (0..4).filter(|i| f.selects(&format!("sim:{i}"))).count();
+                !f.selects("gen:0") && picked > 0 && picked < 4
+            })
+            .expect("some seed selects a strict sim subset");
+        let mut policy = RunPolicy {
+            retries: 0,
+            timeout: None,
+            fault: FaultPlan::new(0.5, seed),
+        };
+        policy.fault.depth = 2;
+        let selected: Vec<usize> = (0..4)
+            .filter(|i| policy.fault.selects(&format!("sim:{i}")))
+            .collect();
+        // One retry is below the fault depth of 2: still fails.
+        policy.retries = 1;
+        let run = run_pipeline_guarded(&gens, &items, 2, 1, &policy, |g| *g, |g, s| g + s, |_| {});
+        let failed: Vec<usize> = run
+            .sim_reports
+            .iter()
+            .filter(|r| r.failed())
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(failed, selected);
+        for &i in &selected {
+            assert_eq!(run.sim_reports[i].attempts, 2);
+            let err = run.sim_reports[i].error.as_deref().unwrap();
+            assert!(err.starts_with(simcore::fault::PANIC_PREFIX), "{err}");
+        }
+        // Matching the depth recovers everything.
+        policy.retries = 2;
+        let run = run_pipeline_guarded(&gens, &items, 2, 1, &policy, |g| *g, |g, s| g + s, |_| {});
+        assert!(run.is_complete());
+    }
+
+    /// A zero timeout flags every item as a straggler without killing
+    /// it: results are intact, statuses read `timeout`.
+    #[test]
+    fn guarded_timeout_flags_without_killing() {
+        let gens = [1u64];
+        let items: Vec<(usize, u64)> = vec![(0, 2), (0, 3)];
+        let policy = RunPolicy {
+            retries: 0,
+            timeout: Some(Duration::ZERO),
+            fault: FaultPlan::disabled(),
+        };
+        let run = run_pipeline_guarded(&gens, &items, 1, 1, &policy, |g| *g, |g, s| g + s, |_| {});
+        assert!(run.is_complete(), "timeouts never kill items");
+        for rep in run.gen_reports.iter().chain(run.sim_reports.iter()) {
+            assert!(rep.timed_out);
+            assert_eq!(rep.status(), Some(RunStatus::Timeout));
+        }
+        assert_eq!(run.sims[0].as_ref().map(|(o, _)| *o), Some(3));
+    }
+
+    /// The progress callback fires exactly once per item — success,
+    /// failure or skip — across both execution paths.
+    #[test]
+    fn guarded_progress_fires_once_per_item() {
+        for jobs in [1, 4] {
+            let gens = [0u64, 1];
+            let items: Vec<(usize, u64)> = vec![(0, 0), (0, 1), (1, 2), (1, 3)];
+            let seen = Mutex::new(Vec::new());
+            let values = Mutex::new(Vec::new());
+            run_pipeline_guarded(
+                &gens,
+                &items,
+                jobs,
+                1,
+                &RunPolicy::none(),
+                |g| {
+                    if *g == 0 {
+                        panic!("gen 0 down");
+                    }
+                    *g
+                },
+                |g, s| g + s,
+                |ev: GuardedEvent<'_, u64>| {
+                    seen.lock()
+                        .unwrap()
+                        .push((ev.report.phase, ev.report.index));
+                    if let Some(v) = ev.value {
+                        values.lock().unwrap().push(*v);
+                    }
+                },
+            );
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort();
+            assert_eq!(
+                seen,
+                vec![
+                    (Phase::Gen, 0),
+                    (Phase::Gen, 1),
+                    (Phase::Sim, 0),
+                    (Phase::Sim, 1),
+                    (Phase::Sim, 2),
+                    (Phase::Sim, 3),
+                ]
+            );
+            let mut values = values.into_inner().unwrap();
+            values.sort();
+            assert_eq!(values, vec![3, 4], "values only for successful sims");
+        }
+    }
+
+    /// The legacy strict entry point still fails fast: a guarded
+    /// failure surfaces as a panic naming the item.
+    #[test]
+    #[should_panic(expected = "pipeline sim item 1 failed: kaput")]
+    fn run_pipeline_panics_on_item_failure() {
+        let gens = [1u64];
+        let items: Vec<(usize, u64)> = vec![(0, 0), (0, 1)];
+        run_pipeline(
+            &gens,
+            &items,
+            1,
+            1,
+            |g| *g,
+            |_, s| {
+                if *s == 1 {
+                    panic!("kaput");
+                }
+                *s
+            },
+            |_| {},
+        );
     }
 }

@@ -23,19 +23,31 @@
 //! ```
 //!
 //! Under the hood every run goes through the pipelined two-phase
-//! executor ([`crate::parallel::run_pipeline`]): trace generation is
-//! scheduled on the same worker pool as the simulations that consume
-//! the traces, so generation overlaps simulation, and results are
-//! bit-identical across any `jobs` value.
+//! executor ([`crate::parallel::run_pipeline_guarded`]): trace
+//! generation is scheduled on the same worker pool as the simulations
+//! that consume the traces, so generation overlaps simulation, and
+//! results are bit-identical across any `jobs` value.
+//!
+//! Fault tolerance: a [`crate::parallel::RunPolicy`] (panic
+//! isolation, bounded retries, soft timeouts — see
+//! [`StudySpec::policy`]) turns a crashing work item into a recorded
+//! [`StudyCell`] failure instead of a lost study; a checkpoint
+//! [`Journal`] ([`StudySpec::checkpoint`] / [`StudySpec::prefill`])
+//! makes an interrupted study resumable, re-executing only the cells
+//! the journal does not already hold.
+
+use std::collections::HashMap;
+use std::time::Duration;
 
 use coherence::config::CacheSpec;
 use coherence::{LatencyTable, MachineConfig};
 use simcore::ops::Trace;
 use simcore::stats::RunStats;
 use splash::ProblemSize;
-use std::time::Duration;
 
-use crate::parallel::{self, FanoutTiming, Phase, PhaseSample};
+use crate::checkpoint::{Journal, JournalEntry};
+use crate::manifest::RunError;
+use crate::parallel::{self, FanoutTiming, GuardedEvent, Phase, RunPolicy, RunStatus};
 
 /// The cluster sizes the paper studies.
 pub const CLUSTER_SIZES: [u32; 4] = [1, 2, 4, 8];
@@ -139,37 +151,277 @@ pub enum StudyEvent<'a> {
         /// Wall-clock of the simulation alone.
         wall: Duration,
     },
+    /// A trace generation failed permanently (all retries exhausted);
+    /// its simulations will be reported as skipped [`SimFailed`]
+    /// events with `attempts == 0`.
+    ///
+    /// [`SimFailed`]: StudyEvent::SimFailed
+    GenFailed {
+        /// Index of the trace within the spec.
+        trace: usize,
+        /// Application (or synthetic) name.
+        name: &'a str,
+        /// Attempts made.
+        attempts: u32,
+        /// The failure (usually a panic payload).
+        error: &'a str,
+    },
+    /// One simulation failed permanently, or was skipped because its
+    /// generator failed (`attempts == 0`).
+    SimFailed {
+        /// Index of the trace within the spec.
+        trace: usize,
+        /// Application (or synthetic) name.
+        name: &'a str,
+        /// Cache specification.
+        cache: CacheSpec,
+        /// Processors per cluster.
+        cluster: u32,
+        /// Attempts made (0 = skipped).
+        attempts: u32,
+        /// The failure (usually a panic payload).
+        error: &'a str,
+    },
 }
 
-/// Everything a study run produced: per-trace sweeps plus the
-/// wall-clock evidence ([`FanoutTiming`], per-item walls) the
-/// manifest layer persists.
+/// How one `(trace, cache, cluster)` cell of the study matrix ended.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The simulation completed (possibly after retries, possibly
+    /// restored from a checkpoint journal).
+    Done {
+        /// The simulation result.
+        stats: RunStats,
+        /// Wall-clock, when measured (journaled walls survive resume).
+        wall: Option<Duration>,
+        /// How the execution went.
+        status: RunStatus,
+        /// Attempts it took.
+        attempts: u32,
+        /// Restored from a checkpoint journal instead of executed.
+        resumed: bool,
+    },
+    /// Failed permanently; `attempts == 0` means it was skipped
+    /// because its trace's generation failed.
+    Failed {
+        /// The failure (usually a panic payload).
+        error: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+/// One cell of the study matrix, in canonical
+/// (trace, cache, cluster) order.
+#[derive(Debug, Clone)]
+pub struct StudyCell {
+    /// Index of the trace within the spec.
+    pub trace: usize,
+    /// Cache specification.
+    pub cache: CacheSpec,
+    /// Processors per cluster.
+    pub cluster: u32,
+    /// What happened.
+    pub outcome: CellOutcome,
+}
+
+/// How one trace's generation ended.
+#[derive(Debug, Clone)]
+pub enum GenOutcome {
+    /// Generated (possibly after retries).
+    Done {
+        /// Wall-clock of the generation alone.
+        wall: Duration,
+        /// How the execution went.
+        status: RunStatus,
+        /// Attempts it took.
+        attempts: u32,
+    },
+    /// Not needed: every cell of this trace came from the checkpoint
+    /// journal.
+    Skipped,
+    /// Failed permanently; every not-yet-journaled cell of this trace
+    /// is a skipped [`CellOutcome::Failed`].
+    Failed {
+        /// The failure (usually a panic payload).
+        error: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+/// Everything a study run produced: the full outcome matrix (every
+/// cell, completed or failed), per-trace generation outcomes, and the
+/// aggregate two-phase timing the manifest layer persists.
+///
+/// A study under a fault-injection or retry policy can be *partial*:
+/// check [`StudyRun::is_complete`] / [`StudyRun::errors`], or call
+/// [`StudyRun::expect_complete`] to fail fast. The sweep views
+/// ([`StudyRun::per_trace`] and friends) require the cells they touch
+/// to be complete.
 #[derive(Debug)]
 pub struct StudyRun {
     /// One label per trace: the app name for generated sources,
     /// `trace<N>` for pre-built ones.
     pub names: Vec<String>,
-    /// One capacity sweep per trace, in spec order.
-    pub per_trace: Vec<CapacitySweep>,
-    /// Per-trace generation wall-clock (≈0 for pre-built traces).
-    pub gen_walls: Vec<Duration>,
-    /// Per-simulation wall-clock, flat in (trace, cache, cluster
-    /// size) order — `sim_walls_for` slices it per sweep.
-    pub sim_walls: Vec<Duration>,
-    /// Aggregate two-phase timing of the whole run.
+    /// Per-trace generation outcomes.
+    pub gens: Vec<GenOutcome>,
+    /// The full matrix in (trace, cache, cluster) order.
+    pub cells: Vec<StudyCell>,
+    /// Aggregate two-phase timing of the whole run (executed items
+    /// only — resumed cells cost no new work).
     pub timing: FanoutTiming,
-    /// Cluster sizes per sweep (to slice `sim_walls`).
+    /// Cluster sizes per sweep (cell index arithmetic).
     sizes_per_sweep: usize,
-    /// Sweeps per trace (to slice `sim_walls`).
+    /// Sweeps per trace (cell index arithmetic).
     sweeps_per_trace: usize,
 }
 
 impl StudyRun {
+    fn cell(&self, trace: usize, cache_idx: usize, size_idx: usize) -> &StudyCell {
+        &self.cells[(trace * self.sweeps_per_trace + cache_idx) * self.sizes_per_sweep + size_idx]
+    }
+
+    /// Whether every generation succeeded and every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.gens
+            .iter()
+            .all(|g| !matches!(g, GenOutcome::Failed { .. }))
+            && self
+                .cells
+                .iter()
+                .all(|c| matches!(c.outcome, CellOutcome::Done { .. }))
+    }
+
+    /// Every permanent failure, in (generations, then cells) order —
+    /// ready for [`crate::manifest::Manifest`]'s `errors[]` section.
+    pub fn errors(&self) -> Vec<RunError> {
+        let mut out = Vec::new();
+        for (t, g) in self.gens.iter().enumerate() {
+            if let GenOutcome::Failed { error, attempts } = g {
+                out.push(RunError {
+                    app: self.names[t].clone(),
+                    cache: None,
+                    cluster: None,
+                    phase: Phase::Gen,
+                    attempts: *attempts,
+                    error: error.clone(),
+                });
+            }
+        }
+        for c in &self.cells {
+            if let CellOutcome::Failed { error, attempts } = &c.outcome {
+                out.push(RunError {
+                    app: self.names[c.trace].clone(),
+                    cache: Some(c.cache.label()),
+                    cluster: Some(c.cluster),
+                    phase: Phase::Sim,
+                    attempts: *attempts,
+                    error: error.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Panics with a list of every failed item unless the study is
+    /// complete. The figure-shaped views below call this implicitly.
+    pub fn expect_complete(&self) -> &StudyRun {
+        let errs = self.errors();
+        if !errs.is_empty() {
+            let list: Vec<String> = errs
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} {}/{}/{}: {} ({} attempts)",
+                        e.phase.label(),
+                        e.app,
+                        e.cache.as_deref().unwrap_or("-"),
+                        e.cluster.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                        e.error,
+                        e.attempts
+                    )
+                })
+                .collect();
+            panic!(
+                "study incomplete: {} failed item(s):\n  {}",
+                errs.len(),
+                list.join("\n  ")
+            );
+        }
+        self
+    }
+
+    /// Whether every cell of one trace completed.
+    pub fn trace_complete(&self, trace: usize) -> bool {
+        !matches!(self.gens[trace], GenOutcome::Failed { .. })
+            && self
+                .cells
+                .iter()
+                .filter(|c| c.trace == trace)
+                .all(|c| matches!(c.outcome, CellOutcome::Done { .. }))
+    }
+
+    /// One trace's capacity sweep. Panics if any of its cells failed
+    /// (check [`StudyRun::trace_complete`] first under a fault
+    /// policy).
+    pub fn sweeps_for(&self, trace: usize) -> CapacitySweep {
+        CapacitySweep {
+            sweeps: (0..self.sweeps_per_trace)
+                .map(|i| ClusterSweep {
+                    cache: self.cell(trace, i, 0).cache,
+                    runs: (0..self.sizes_per_sweep)
+                        .map(|s| {
+                            let c = self.cell(trace, i, s);
+                            match &c.outcome {
+                                CellOutcome::Done { stats, .. } => (c.cluster, stats.clone()),
+                                CellOutcome::Failed { error, .. } => panic!(
+                                    "cell {}/{}/{} failed: {error}",
+                                    self.names[c.trace],
+                                    c.cache.label(),
+                                    c.cluster
+                                ),
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Every trace's capacity sweep; panics on an incomplete study.
+    pub fn per_trace(&self) -> Vec<CapacitySweep> {
+        self.expect_complete();
+        (0..self.names.len()).map(|t| self.sweeps_for(t)).collect()
+    }
+
+    /// Generation wall-clock of one trace (zero if skipped or failed).
+    pub fn gen_wall(&self, trace: usize) -> Duration {
+        match self.gens[trace] {
+            GenOutcome::Done { wall, .. } => wall,
+            _ => Duration::ZERO,
+        }
+    }
+
     /// The per-simulation walls of one trace's one cache sweep,
-    /// parallel to that [`ClusterSweep::runs`].
-    pub fn sim_walls_for(&self, trace: usize, cache_idx: usize) -> &[Duration] {
-        let at = (trace * self.sweeps_per_trace + cache_idx) * self.sizes_per_sweep;
-        &self.sim_walls[at..at + self.sizes_per_sweep]
+    /// parallel to that [`ClusterSweep::runs`] (zero for failed or
+    /// wall-less resumed cells).
+    pub fn sim_walls_for(&self, trace: usize, cache_idx: usize) -> Vec<Duration> {
+        (0..self.sizes_per_sweep)
+            .map(|s| match &self.cell(trace, cache_idx, s).outcome {
+                CellOutcome::Done { wall, .. } => wall.unwrap_or(Duration::ZERO),
+                CellOutcome::Failed { .. } => Duration::ZERO,
+            })
+            .collect()
+    }
+
+    /// How many cells were restored from the checkpoint journal
+    /// instead of executed.
+    pub fn resumed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Done { resumed: true, .. }))
+            .count()
     }
 }
 
@@ -188,14 +440,17 @@ enum Source<'a> {
 }
 
 /// Builder for every study shape: which traces, which caches, which
-/// cluster sizes, how many worker threads. See the module docs for
-/// the three canonical invocations.
+/// cluster sizes, how many worker threads, and how failures are
+/// handled. See the module docs for the three canonical invocations.
 pub struct StudySpec<'a> {
     source: Source<'a>,
     caches: Vec<CacheSpec>,
     sizes: Vec<u32>,
     jobs: Option<usize>,
     chunk: Option<usize>,
+    policy: RunPolicy,
+    journal: Option<&'a Journal>,
+    prefill: Vec<JournalEntry>,
 }
 
 impl<'a> StudySpec<'a> {
@@ -208,6 +463,9 @@ impl<'a> StudySpec<'a> {
             sizes: CLUSTER_SIZES.to_vec(),
             jobs: None,
             chunk: None,
+            policy: RunPolicy::none(),
+            journal: None,
+            prefill: Vec::new(),
         }
     }
 
@@ -230,6 +488,9 @@ impl<'a> StudySpec<'a> {
             sizes: CLUSTER_SIZES.to_vec(),
             jobs: None,
             chunk: None,
+            policy: RunPolicy::none(),
+            journal: None,
+            prefill: Vec::new(),
         }
     }
 
@@ -263,10 +524,41 @@ impl<'a> StudySpec<'a> {
         self
     }
 
+    /// Fault-tolerance policy: panic isolation with bounded retries,
+    /// a soft timeout, and (for testing) deterministic fault
+    /// injection. Default: no retries, no timeout, no injection —
+    /// but panics are still isolated into [`CellOutcome::Failed`]
+    /// rather than poisoning the pool.
+    pub fn policy(mut self, policy: RunPolicy) -> StudySpec<'a> {
+        self.policy = policy;
+        self
+    }
+
+    /// Journals every completed simulation to `journal` as it
+    /// finishes (atomic whole-file rewrites; see
+    /// [`crate::checkpoint`]).
+    pub fn checkpoint(mut self, journal: &'a Journal) -> StudySpec<'a> {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Restores already-completed runs: any `(app, cache, cluster)`
+    /// cell matching an entry is taken from it instead of executed —
+    /// the `--resume` half of checkpoint/resume.
+    pub fn prefill(mut self, entries: Vec<JournalEntry>) -> StudySpec<'a> {
+        self.prefill = entries;
+        self
+    }
+
     /// Runs the study, discarding timing: one [`CapacitySweep`] per
     /// trace, in input order, bit-identical across any job count.
+    /// Panics if any item failed permanently (under the default
+    /// policy, i.e. the first panic resurfaces after the study
+    /// drains).
     pub fn run(self) -> Vec<CapacitySweep> {
-        self.run_with(|_| {}).per_trace
+        let run = self.run_with(|_| {});
+        run.expect_complete();
+        run.per_trace()
     }
 
     /// [`StudySpec::run`] for a single-trace spec.
@@ -289,9 +581,10 @@ impl<'a> StudySpec<'a> {
         one.sweeps.pop().unwrap()
     }
 
-    /// Runs the study through the pipelined executor, reporting every
-    /// completed item to `progress` as it finishes and returning the
-    /// full [`StudyRun`] with per-item walls and aggregate timing.
+    /// Runs the study through the guarded pipelined executor,
+    /// reporting every settled item to `progress` as it finishes
+    /// (successes *and* failures) and returning the full [`StudyRun`]
+    /// outcome matrix.
     pub fn run_with(self, progress: impl Fn(&StudyEvent) + Sync) -> StudyRun {
         let jobs = parallel::resolve_jobs(self.jobs);
         match &self.source {
@@ -338,69 +631,171 @@ impl<'a> StudySpec<'a> {
         GI: Sync,
         T: Send + Sync,
     {
-        let items: Vec<(usize, (CacheSpec, u32))> = (0..gen_inputs.len())
+        // The canonical full matrix, in (trace, cache, cluster) order.
+        let full: Vec<(usize, (CacheSpec, u32))> = (0..gen_inputs.len())
             .flat_map(|t| {
                 self.caches
                     .iter()
                     .flat_map(move |&cache| self.sizes.iter().map(move |&c| (t, (cache, c))))
             })
             .collect();
+
+        // Cells already present in the prefill are restored, not
+        // executed; the rest form the sub-problem handed to the
+        // pipeline. Traces whose every cell was restored are not
+        // generated at all.
+        let pre: HashMap<(&str, String, u32), &JournalEntry> = self
+            .prefill
+            .iter()
+            .map(|e| ((e.app.as_str(), e.cache.clone(), e.cluster), e))
+            .collect();
+        let mut outcomes: Vec<Option<CellOutcome>> = full
+            .iter()
+            .map(|&(t, (cache, c))| {
+                pre.get(&(names[t].as_str(), cache.label(), c))
+                    .map(|e| CellOutcome::Done {
+                        stats: e.stats.clone(),
+                        wall: e.wall,
+                        status: e.status,
+                        attempts: e.attempts,
+                        resumed: true,
+                    })
+            })
+            .collect();
+        let missing: Vec<usize> = (0..full.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let mut gen_sub: Vec<usize> = Vec::new();
+        for &i in &missing {
+            if gen_sub.last() != Some(&full[i].0) && !gen_sub.contains(&full[i].0) {
+                gen_sub.push(full[i].0);
+            }
+        }
+        let sub_index: HashMap<usize, usize> =
+            gen_sub.iter().enumerate().map(|(s, &t)| (t, s)).collect();
+        let sub_inputs: Vec<&GI> = gen_sub.iter().map(|&t| &gen_inputs[t]).collect();
+        let items: Vec<(usize, (CacheSpec, u32))> = missing
+            .iter()
+            .map(|&i| (sub_index[&full[i].0], full[i].1))
+            .collect();
+
         let chunk = self.chunk.unwrap_or(self.sizes.len());
-        let report = |sample: PhaseSample| {
-            let event = match sample.phase {
-                Phase::Gen => StudyEvent::GenDone {
-                    trace: sample.index,
-                    name: &names[sample.index],
-                    wall: sample.wall,
-                },
-                Phase::Sim => {
-                    let (t, (cache, cluster)) = items[sample.index];
-                    StudyEvent::SimDone {
+        let report = |ev: GuardedEvent<'_, (u32, RunStats)>| match ev.report.phase {
+            Phase::Gen => {
+                let t = gen_sub[ev.report.index];
+                let event = match &ev.report.error {
+                    Some(err) => StudyEvent::GenFailed {
+                        trace: t,
+                        name: &names[t],
+                        attempts: ev.report.attempts,
+                        error: err,
+                    },
+                    None => StudyEvent::GenDone {
+                        trace: t,
+                        name: &names[t],
+                        wall: ev.report.wall,
+                    },
+                };
+                progress(&event);
+            }
+            Phase::Sim => {
+                let (t, (cache, cluster)) = full[missing[ev.report.index]];
+                match &ev.report.error {
+                    Some(err) => progress(&StudyEvent::SimFailed {
                         trace: t,
                         name: &names[t],
                         cache,
                         cluster,
-                        wall: sample.wall,
+                        attempts: ev.report.attempts,
+                        error: err,
+                    }),
+                    None => {
+                        progress(&StudyEvent::SimDone {
+                            trace: t,
+                            name: &names[t],
+                            cache,
+                            cluster,
+                            wall: ev.report.wall,
+                        });
+                        if let (Some(journal), Some((_, stats))) = (self.journal, ev.value) {
+                            journal.append(JournalEntry {
+                                app: names[t].clone(),
+                                cache: cache.label(),
+                                cluster,
+                                stats: stats.clone(),
+                                wall: Some(ev.report.wall),
+                                status: ev.report.status().expect("successful sim has a status"),
+                                attempts: ev.report.attempts,
+                            });
+                        }
                     }
                 }
-            };
-            progress(&event);
+            }
         };
-        let run = parallel::run_pipeline(
-            gen_inputs,
+        let run = parallel::run_pipeline_guarded(
+            &sub_inputs,
             &items,
             jobs,
             chunk,
-            gen_f,
+            &self.policy,
+            |gi: &&GI| gen_f(gi),
             |t, &(cache, c)| (c, run_config(as_trace(t), c, cache)),
             report,
         );
 
-        let per_trace = self.caches.len() * self.sizes.len();
-        let sweeps = (0..gen_inputs.len())
-            .map(|t| CapacitySweep {
-                sweeps: self
-                    .caches
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &cache)| {
-                        let at = t * per_trace + i * self.sizes.len();
-                        ClusterSweep {
-                            cache,
-                            runs: run.sims[at..at + self.sizes.len()]
-                                .iter()
-                                .map(|((c, rs), _)| (*c, rs.clone()))
-                                .collect(),
-                        }
-                    })
-                    .collect(),
+        // Reassemble the full canonical matrix around the restored
+        // cells.
+        let mut sub_sims = run.sims;
+        for (sub_i, &orig) in missing.iter().enumerate() {
+            let rep = &run.sim_reports[sub_i];
+            outcomes[orig] = Some(match sub_sims[sub_i].take() {
+                Some(((_, stats), wall)) => CellOutcome::Done {
+                    stats,
+                    wall: Some(wall),
+                    status: rep.status().expect("successful sim has a status"),
+                    attempts: rep.attempts,
+                    resumed: false,
+                },
+                None => CellOutcome::Failed {
+                    error: rep
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| "unknown failure".to_string()),
+                    attempts: rep.attempts,
+                },
+            });
+        }
+        let gens: Vec<GenOutcome> = (0..gen_inputs.len())
+            .map(|t| match sub_index.get(&t) {
+                None => GenOutcome::Skipped,
+                Some(&s) => {
+                    let rep = &run.gen_reports[s];
+                    match &rep.error {
+                        Some(err) => GenOutcome::Failed {
+                            error: err.clone(),
+                            attempts: rep.attempts,
+                        },
+                        None => GenOutcome::Done {
+                            wall: rep.wall,
+                            status: rep.status().expect("successful gen has a status"),
+                            attempts: rep.attempts,
+                        },
+                    }
+                }
+            })
+            .collect();
+        let cells: Vec<StudyCell> = full
+            .iter()
+            .zip(outcomes)
+            .map(|(&(t, (cache, cluster)), o)| StudyCell {
+                trace: t,
+                cache,
+                cluster,
+                outcome: o.expect("every cell settled"),
             })
             .collect();
         StudyRun {
             names: names.to_vec(),
-            per_trace: sweeps,
-            gen_walls: run.gen.iter().map(|(_, w)| *w).collect(),
-            sim_walls: run.sims.iter().map(|(_, w)| *w).collect(),
+            gens,
+            cells,
             timing: run.timing,
             sizes_per_sweep: self.sizes.len(),
             sweeps_per_trace: self.caches.len(),
@@ -427,6 +822,7 @@ pub fn sweep_capacities(trace: &Trace) -> CapacitySweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::fault::FaultPlan;
     use simcore::ops::TraceBuilder;
 
     /// A toy trace where 8 processors stream over a shared read-only
@@ -513,12 +909,15 @@ mod tests {
                 match e {
                     StudyEvent::GenDone { .. } => ev.0 += 1,
                     StudyEvent::SimDone { .. } => ev.1 += 1,
+                    StudyEvent::GenFailed { .. } | StudyEvent::SimFailed { .. } => {
+                        panic!("no failures expected")
+                    }
                 }
             });
         assert_eq!(*events.lock().unwrap(), (1, 2));
         assert_eq!(run.names, vec!["trace0"]);
         assert_eq!(run.timing.items, 2);
-        assert_eq!(run.sim_walls.len(), 2);
+        assert!(run.is_complete());
         assert_eq!(run.sim_walls_for(0, 0).len(), 2);
     }
 
@@ -537,8 +936,103 @@ mod tests {
             .run_with(|_| {});
         assert_eq!(named.names, vec!["lu"]);
         assert_eq!(
-            ready.sweeps[0].runs, named.per_trace[0].sweeps[0].runs,
+            ready.sweeps[0].runs,
+            named.per_trace()[0].sweeps[0].runs,
             "generated and pre-built sources must agree"
         );
+    }
+
+    /// Injected faults with enough retries: same stats as fault-free,
+    /// statuses flip to retried.
+    #[test]
+    fn injected_faults_with_retries_match_fault_free_run() {
+        let t = shared_readers(8, 16);
+        let clean = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(1)
+            .run_one();
+        let faulted = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .policy(RunPolicy {
+                retries: 1,
+                timeout: None,
+                fault: FaultPlan::new(1.0, 7),
+            })
+            .run_with(|_| {});
+        assert!(faulted.is_complete());
+        assert_eq!(
+            clean.sweeps[0].runs,
+            faulted.per_trace()[0].sweeps[0].runs,
+            "recovered runs must be bit-identical"
+        );
+        for c in &faulted.cells {
+            match &c.outcome {
+                CellOutcome::Done {
+                    status, attempts, ..
+                } => {
+                    assert_eq!(*status, RunStatus::Retried);
+                    assert_eq!(*attempts, 2);
+                }
+                CellOutcome::Failed { .. } => panic!("no failures expected"),
+            }
+        }
+    }
+
+    /// Without retries, every injected fault lands in errors() and
+    /// the sweep views refuse to serve the incomplete trace.
+    #[test]
+    fn unrecovered_faults_are_recorded_not_fatal() {
+        let t = shared_readers(8, 16);
+        let run = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(1)
+            .policy(RunPolicy {
+                retries: 0,
+                timeout: None,
+                fault: FaultPlan::new(1.0, 7),
+            })
+            .run_with(|_| {});
+        assert!(!run.is_complete());
+        let errs = run.errors();
+        assert!(!errs.is_empty());
+        assert!(!run.trace_complete(0));
+    }
+
+    /// Checkpoint + prefill round-trip: the resumed study re-executes
+    /// nothing and reproduces the same sweep.
+    #[test]
+    fn checkpoint_prefill_restores_without_reexecution() {
+        let dir = std::env::temp_dir().join("clustered-smp-study-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let t = shared_readers(8, 16);
+        let journal = Journal::create(&path, "test", "small", 8).unwrap();
+        let first = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .checkpoint(&journal)
+            .run_with(|_| {});
+        assert_eq!(journal.entries().len(), 2);
+        let reopened = Journal::resume(&path, "test", "small", 8).unwrap();
+        let resumed = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .prefill(reopened.entries())
+            .run_with(|_| panic!("nothing should execute on a full prefill"));
+        assert_eq!(resumed.resumed_cells(), 2);
+        assert_eq!(resumed.timing.items, 0);
+        assert_eq!(
+            first.per_trace()[0].sweeps[0].runs,
+            resumed.per_trace()[0].sweeps[0].runs,
+            "restored cells must be bit-identical"
+        );
+        assert!(matches!(resumed.gens[0], GenOutcome::Skipped));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

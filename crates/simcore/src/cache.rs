@@ -23,6 +23,59 @@ pub struct EvictedLine<V> {
     pub val: V,
 }
 
+/// A rejected cache geometry. User-reachable: cache shapes come from
+/// CLI/config-level `CacheSpec`s, so constructors offer `try_new`
+/// variants returning this instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// Capacity of zero lines.
+    ZeroCapacity,
+    /// Set-associative cache with zero ways.
+    ZeroWays,
+    /// Total capacity smaller than the associativity (less than one
+    /// set).
+    CapacityBelowWays {
+        /// Requested total capacity in lines.
+        lines: usize,
+        /// Requested associativity.
+        ways: usize,
+    },
+    /// `capacity / ways` is not a power of two (set index must be a
+    /// bit mask).
+    SetsNotPowerOfTwo {
+        /// The resulting set count.
+        sets: usize,
+    },
+    /// Capacity is not an exact multiple of the associativity.
+    CapacityNotWaysMultiple {
+        /// Requested total capacity in lines.
+        lines: usize,
+        /// Requested associativity.
+        ways: usize,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::ZeroCapacity => write!(f, "cache capacity must be positive"),
+            CacheError::ZeroWays => write!(f, "associativity must be positive"),
+            CacheError::CapacityBelowWays { lines, ways } => {
+                write!(f, "capacity {lines} lines is below associativity {ways}")
+            }
+            CacheError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "number of sets ({sets}) must be a power of two")
+            }
+            CacheError::CapacityNotWaysMultiple { lines, ways } => {
+                write!(f, "capacity {lines} lines is not a multiple of {ways} ways")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
@@ -48,17 +101,27 @@ pub struct FullLruCache<V> {
 }
 
 impl<V> FullLruCache<V> {
-    /// Creates a cache holding at most `capacity_lines` lines.
+    /// Creates a cache holding at most `capacity_lines` lines,
+    /// panicking on a zero capacity; [`FullLruCache::try_new`] is the
+    /// non-panicking form for user-supplied geometries.
     pub fn new(capacity_lines: usize) -> Self {
-        assert!(capacity_lines > 0, "cache capacity must be positive");
-        FullLruCache {
+        Self::try_new(capacity_lines).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a cache holding at most `capacity_lines` lines, or
+    /// explains why the geometry is invalid.
+    pub fn try_new(capacity_lines: usize) -> Result<Self, CacheError> {
+        if capacity_lines == 0 {
+            return Err(CacheError::ZeroCapacity);
+        }
+        Ok(FullLruCache {
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity: capacity_lines,
-        }
+        })
     }
 
     /// Creates an effectively infinite cache.
@@ -225,24 +288,40 @@ pub struct SetAssocCache<V> {
 
 impl<V> SetAssocCache<V> {
     /// Creates a cache of `capacity_lines` total lines with `ways`
-    /// associativity. `capacity_lines / ways` must be a power of two.
+    /// associativity, panicking on an invalid geometry;
+    /// [`SetAssocCache::try_new`] is the non-panicking form.
+    /// `capacity_lines / ways` must be a power of two.
     pub fn new(capacity_lines: usize, ways: usize) -> Self {
-        assert!(ways > 0 && capacity_lines >= ways);
+        Self::try_new(capacity_lines, ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a cache of `capacity_lines` total lines with `ways`
+    /// associativity, or explains why the geometry is invalid.
+    pub fn try_new(capacity_lines: usize, ways: usize) -> Result<Self, CacheError> {
+        if ways == 0 {
+            return Err(CacheError::ZeroWays);
+        }
+        if capacity_lines < ways {
+            return Err(CacheError::CapacityBelowWays {
+                lines: capacity_lines,
+                ways,
+            });
+        }
         let n_sets = capacity_lines / ways;
-        assert!(
-            n_sets.is_power_of_two(),
-            "number of sets ({n_sets}) must be a power of two"
-        );
-        assert_eq!(
-            n_sets * ways,
-            capacity_lines,
-            "capacity must be ways * sets"
-        );
-        SetAssocCache {
+        if !n_sets.is_power_of_two() {
+            return Err(CacheError::SetsNotPowerOfTwo { sets: n_sets });
+        }
+        if n_sets * ways != capacity_lines {
+            return Err(CacheError::CapacityNotWaysMultiple {
+                lines: capacity_lines,
+                ways,
+            });
+        }
+        Ok(SetAssocCache {
             sets: (0..n_sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
             set_mask: (n_sets - 1) as u64,
-        }
+        })
     }
 
     /// Associativity.
@@ -473,5 +552,33 @@ mod tests {
     #[should_panic]
     fn set_assoc_requires_pow2_sets() {
         let _: SetAssocCache<()> = SetAssocCache::new(24, 2); // 12 sets, not a power of two
+    }
+
+    #[test]
+    fn try_new_reports_typed_geometry_errors() {
+        assert_eq!(
+            FullLruCache::<()>::try_new(0).err(),
+            Some(CacheError::ZeroCapacity)
+        );
+        assert!(FullLruCache::<()>::try_new(4).is_ok());
+        assert_eq!(
+            SetAssocCache::<()>::try_new(4, 0).err(),
+            Some(CacheError::ZeroWays)
+        );
+        assert_eq!(
+            SetAssocCache::<()>::try_new(1, 2).err(),
+            Some(CacheError::CapacityBelowWays { lines: 1, ways: 2 })
+        );
+        assert_eq!(
+            SetAssocCache::<()>::try_new(24, 2).err(),
+            Some(CacheError::SetsNotPowerOfTwo { sets: 12 })
+        );
+        assert_eq!(
+            SetAssocCache::<()>::try_new(9, 4).err(),
+            Some(CacheError::CapacityNotWaysMultiple { lines: 9, ways: 4 })
+        );
+        assert!(SetAssocCache::<()>::try_new(8, 2).is_ok());
+        // Display is human-readable, for CLI-level error surfacing.
+        assert!(CacheError::ZeroCapacity.to_string().contains("positive"));
     }
 }

@@ -1,0 +1,266 @@
+//! Deterministic fault injection for the study executor.
+//!
+//! Long simulation campaigns must survive worker failures; proving
+//! that requires *causing* failures on demand. This module decides —
+//! as a pure function of a seed, a work-item key and an attempt
+//! number — whether a work item should fail, so the guarded executor
+//! (`cluster_study::parallel`) can inject a panic or a delay at the
+//! moment it runs the item. Because the decision is deterministic:
+//!
+//! * the same `(rate, seed)` plan selects the same items on every
+//!   run, on every platform, at every `--jobs` value;
+//! * a selected item fails its first [`FaultPlan::depth`] attempts
+//!   and then succeeds, so `--retries >= depth` *provably* recovers
+//!   every injected fault and `--retries < depth` *provably* leaves
+//!   failures behind — integration tests and the CI fault-smoke job
+//!   assert both directions without flakiness.
+//!
+//! The plan is normally constructed from the environment
+//! ([`FaultPlan::from_env`]): `STUDY_FAULT_RATE` (selection
+//! probability, default 0 = disabled), `STUDY_FAULT_SEED`,
+//! `STUDY_FAULT_DEPTH` (consecutive failing attempts per selected
+//! item, default 1), `STUDY_FAULT_KIND` (`panic` | `delay`) and
+//! `STUDY_FAULT_DELAY_MS` (straggler duration for `delay`).
+
+use std::time::Duration;
+
+use crate::rng::{mix_seed, Rng64};
+
+/// What an injected fault does to a work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with a recognizable payload (tests panic isolation and
+    /// retry).
+    Panic,
+    /// Sleep for [`FaultPlan::delay`] before running the item (tests
+    /// the soft timeout watchdog).
+    Delay,
+}
+
+/// Payload prefix of every injected panic, so reports and tests can
+/// tell injected faults from real bugs.
+pub const PANIC_PREFIX: &str = "injected fault";
+
+/// A deterministic fault-injection schedule.
+///
+/// `decide(key, attempt)` is a pure function: item `key` is *selected*
+/// with probability [`FaultPlan::rate`] (drawn from an RNG seeded by
+/// `mix_seed(seed, fnv1a(key))`, so selection is independent of
+/// execution order), and a selected item faults on attempts
+/// `0..depth` only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a work item is selected to fault.
+    pub rate: f64,
+    /// Seed decorrelating selection across plans.
+    pub seed: u64,
+    /// How many consecutive attempts of a selected item fault before
+    /// it succeeds (so `retries >= depth` always recovers).
+    pub depth: u32,
+    /// What a fault does.
+    pub kind: FaultKind,
+    /// Sleep duration for [`FaultKind::Delay`] faults.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    /// The no-faults plan (rate 0): [`FaultPlan::apply`] is a no-op.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            rate: 0.0,
+            seed: 0,
+            depth: 1,
+            kind: FaultKind::Panic,
+            delay: Duration::from_millis(50),
+        }
+    }
+
+    /// A panic-injection plan with the given selection rate and seed.
+    pub fn new(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            ..FaultPlan::disabled()
+        }
+    }
+
+    /// Builds the plan from `STUDY_FAULT_*` environment variables
+    /// (unset or unparsable values fall back to the defaults, i.e.
+    /// unset `STUDY_FAULT_RATE` means no injection at all).
+    pub fn from_env() -> FaultPlan {
+        FaultPlan::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`FaultPlan::from_env`] over an explicit variable source, so
+    /// parsing is testable without mutating process state.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> FaultPlan {
+        let parse = |k: &str| get(k).and_then(|v| v.trim().parse::<u64>().ok());
+        let mut plan = FaultPlan::disabled();
+        if let Some(rate) = get("STUDY_FAULT_RATE").and_then(|v| v.trim().parse::<f64>().ok()) {
+            plan.rate = rate.clamp(0.0, 1.0);
+        }
+        if let Some(seed) = parse("STUDY_FAULT_SEED") {
+            plan.seed = seed;
+        }
+        if let Some(depth) = parse("STUDY_FAULT_DEPTH") {
+            plan.depth = depth.min(u32::MAX as u64) as u32;
+        }
+        match get("STUDY_FAULT_KIND").as_deref().map(str::trim) {
+            Some("delay") => plan.kind = FaultKind::Delay,
+            _ => plan.kind = FaultKind::Panic,
+        }
+        if let Some(ms) = parse("STUDY_FAULT_DELAY_MS") {
+            plan.delay = Duration::from_millis(ms);
+        }
+        plan
+    }
+
+    /// Whether this plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 && self.depth > 0
+    }
+
+    /// Whether item `key` is selected to fault at all (independent of
+    /// the attempt number).
+    pub fn selects(&self, key: &str) -> bool {
+        self.is_active() && Rng64::new(mix_seed(self.seed, fnv1a(key))).gen_bool(self.rate)
+    }
+
+    /// The fault (if any) to inject into attempt `attempt` (0-based)
+    /// of item `key`. Pure: same inputs, same answer, forever.
+    pub fn decide(&self, key: &str, attempt: u32) -> Option<FaultKind> {
+        (attempt < self.depth && self.selects(key)).then_some(self.kind)
+    }
+
+    /// Injects the decided fault, if any: panics with a
+    /// [`PANIC_PREFIX`]-tagged payload or sleeps for
+    /// [`FaultPlan::delay`].
+    pub fn apply(&self, key: &str, attempt: u32) {
+        match self.decide(key, attempt) {
+            Some(FaultKind::Panic) => {
+                panic!("{PANIC_PREFIX}: {key} (attempt {attempt})");
+            }
+            Some(FaultKind::Delay) => std::thread::sleep(self.delay),
+            None => {}
+        }
+    }
+}
+
+/// FNV-1a of a string — the same construction `splash::util::rng_for`
+/// uses to seed workloads, replicated here (simcore sits below
+/// splash) so fault selection is a stable pure function of the item
+/// key.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled();
+        assert!(!p.is_active());
+        for i in 0..100 {
+            assert_eq!(p.decide(&format!("sim:{i}"), 0), None);
+            p.apply(&format!("sim:{i}"), 0); // must not panic
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(0.5, 7);
+        let b = FaultPlan::new(0.5, 7);
+        let c = FaultPlan::new(0.5, 8);
+        let keys: Vec<String> = (0..200).map(|i| format!("sim:{i}")).collect();
+        let pick = |p: &FaultPlan| keys.iter().map(|k| p.selects(k)).collect::<Vec<bool>>();
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c), "different seeds select differently");
+        let hits = pick(&a).iter().filter(|&&s| s).count();
+        assert!((50..150).contains(&hits), "rate 0.5 selected {hits}/200");
+    }
+
+    #[test]
+    fn rate_bounds_select_none_and_all() {
+        let none = FaultPlan::new(0.0, 1);
+        let all = FaultPlan::new(1.0, 1);
+        for i in 0..50 {
+            let k = format!("gen:{i}");
+            assert!(!none.selects(&k));
+            assert!(all.selects(&k));
+        }
+    }
+
+    #[test]
+    fn depth_bounds_consecutive_failures() {
+        let mut p = FaultPlan::new(1.0, 3);
+        p.depth = 2;
+        assert_eq!(p.decide("sim:0", 0), Some(FaultKind::Panic));
+        assert_eq!(p.decide("sim:0", 1), Some(FaultKind::Panic));
+        assert_eq!(p.decide("sim:0", 2), None, "attempt depth succeeds");
+        assert_eq!(p.decide("sim:0", 99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: sim:3 (attempt 0)")]
+    fn apply_panics_with_tagged_payload() {
+        FaultPlan::new(1.0, 0).apply("sim:3", 0);
+    }
+
+    #[test]
+    fn delay_kind_sleeps_instead_of_panicking() {
+        let mut p = FaultPlan::new(1.0, 0);
+        p.kind = FaultKind::Delay;
+        p.delay = Duration::from_millis(1);
+        let t0 = std::time::Instant::now();
+        p.apply("sim:0", 0); // must return, not panic
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn from_lookup_parses_all_variables() {
+        let env = |k: &str| {
+            let v = match k {
+                "STUDY_FAULT_RATE" => "0.25",
+                "STUDY_FAULT_SEED" => "42",
+                "STUDY_FAULT_DEPTH" => "3",
+                "STUDY_FAULT_KIND" => "delay",
+                "STUDY_FAULT_DELAY_MS" => "120",
+                _ => return None,
+            };
+            Some(v.to_string())
+        };
+        let p = FaultPlan::from_lookup(env);
+        assert_eq!(p.rate, 0.25);
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.kind, FaultKind::Delay);
+        assert_eq!(p.delay, Duration::from_millis(120));
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn from_lookup_defaults_to_disabled() {
+        let p = FaultPlan::from_lookup(|_| None);
+        assert_eq!(p, FaultPlan::disabled());
+        // Garbage values fall back to defaults instead of erroring.
+        let q = FaultPlan::from_lookup(|k| {
+            (k == "STUDY_FAULT_RATE").then(|| "not-a-number".to_string())
+        });
+        assert!(!q.is_active());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+}

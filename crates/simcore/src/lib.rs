@@ -18,6 +18,10 @@
 //!   stall / sync wait) and miss classification counters.
 //! * [`rng`] — self-contained seedable PRNG (SplitMix64-seeded
 //!   xoshiro256**), so workload generation needs no external crates.
+//! * [`fault`] — deterministic fault injection (`STUDY_FAULT_*`):
+//!   seed-keyed panic/delay schedules the guarded study executor uses
+//!   to prove panic isolation, retry determinism and resume
+//!   correctness.
 //! * [`propcheck`] — an in-tree deterministic property-test harness
 //!   (seeded cases, `PROPCHECK_CASES`, structural and element-wise
 //!   shrinking).
@@ -28,6 +32,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod ops;
@@ -37,7 +42,8 @@ pub mod space;
 pub mod stats;
 
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
-pub use cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+pub use cache::{CacheError, CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+pub use fault::{FaultKind, FaultPlan};
 pub use json::Json;
 pub use metrics::{MetricValue, Metrics};
 pub use ops::{Op, PackedOp, Trace, TraceBuilder};

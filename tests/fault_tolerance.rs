@@ -1,0 +1,218 @@
+//! The fault-tolerance contract, end to end through the study and
+//! manifest layers: injected panics are isolated and retried without
+//! perturbing a single bit of any result; unrecovered failures are
+//! *recorded* while every other cell's results survive; and delay
+//! faults trip the soft timeout watchdog without killing the item.
+//!
+//! All fault selection is deterministic (`simcore::fault`), so these
+//! tests are exact — no flakiness budget, no statistical assertions.
+
+use cluster_study::manifest::Manifest;
+use cluster_study::parallel::{RunPolicy, RunStatus};
+use cluster_study::study::{CellOutcome, StudyRun, StudySpec};
+use coherence::config::CacheSpec;
+use simcore::fault::{FaultKind, FaultPlan, PANIC_PREFIX};
+use splash::ProblemSize;
+use std::time::Duration;
+
+const APPS: [&str; 2] = ["lu", "fft"];
+const CACHES: [CacheSpec; 2] = [CacheSpec::PerProcBytes(4096), CacheSpec::Infinite];
+const SIZES: [u32; 3] = [1, 2, 8];
+const PROCS: usize = 8;
+const TOTAL_SIMS: usize = APPS.len() * CACHES.len() * SIZES.len();
+
+fn spec() -> StudySpec<'static> {
+    StudySpec::generate(&APPS, ProblemSize::Small, PROCS)
+        .caches(CACHES)
+        .cluster_sizes(&SIZES)
+}
+
+fn run_with_policy(jobs: usize, policy: RunPolicy) -> StudyRun {
+    spec().jobs(jobs).policy(policy).run_with(|_| {})
+}
+
+/// Folds a complete run into a manifest exactly the way the bench
+/// tools do (no wall-clock gauges, so the stats view is comparable
+/// across runs).
+fn manifest_of(run: &StudyRun, jobs: usize) -> Manifest {
+    let mut m = Manifest::new("fault_tolerance", "small", PROCS, jobs);
+    for (name, cap) in run.names.iter().zip(run.per_trace()) {
+        for sweep in &cap.sweeps {
+            m.record_sweep(name, sweep, None);
+        }
+    }
+    m
+}
+
+/// A fault plan that spares both generators, injects into a strict
+/// non-empty subset of the simulations, and (depth 2) defeats a
+/// single retry. The seed scan is deterministic: the same seed is
+/// found on every run.
+fn partial_sim_plan() -> FaultPlan {
+    for seed in 0..1000 {
+        let mut plan = FaultPlan::new(0.4, seed);
+        plan.depth = 2;
+        if (0..APPS.len()).any(|i| plan.selects(&format!("gen:{i}"))) {
+            continue;
+        }
+        let hit = (0..TOTAL_SIMS)
+            .filter(|i| plan.selects(&format!("sim:{i}")))
+            .count();
+        if hit > 0 && hit < TOTAL_SIMS {
+            return plan;
+        }
+    }
+    unreachable!("no seed in 0..1000 spares the generators and hits a strict sim subset");
+}
+
+/// ISSUE acceptance shape: with faults injected everywhere and enough
+/// retries, the study completes, every cell says `retried`, and the
+/// manifest stats view is **byte-identical** to a fault-free serial
+/// run — at both the serial and the threaded job counts.
+#[test]
+fn injected_faults_with_retries_reproduce_fault_free_bytes() {
+    let reference = manifest_of(&run_with_policy(1, RunPolicy::none()), 1)
+        .stats_json()
+        .to_string();
+    for jobs in [1usize, 3] {
+        let policy = RunPolicy {
+            retries: 1,
+            fault: FaultPlan::new(1.0, 7),
+            ..RunPolicy::none()
+        };
+        let run = run_with_policy(jobs, policy);
+        assert!(run.is_complete(), "jobs={jobs}: all faults must recover");
+        for cell in &run.cells {
+            match &cell.outcome {
+                CellOutcome::Done {
+                    status, attempts, ..
+                } => {
+                    assert_eq!(*status, RunStatus::Retried, "jobs={jobs}");
+                    assert_eq!(*attempts, 2, "jobs={jobs}: exactly one retry each");
+                }
+                CellOutcome::Failed { error, .. } => {
+                    panic!("jobs={jobs}: unexpected failure: {error}")
+                }
+            }
+        }
+        assert_eq!(
+            manifest_of(&run, jobs).stats_json().to_string(),
+            reference,
+            "jobs={jobs}: retried results diverged from the fault-free run"
+        );
+    }
+}
+
+/// When retries cannot outlast the fault depth, the failing cells are
+/// recorded in `errors()` — tagged as injected — while every other
+/// cell still carries a result bit-identical to the fault-free run.
+/// The failure set itself is deterministic across job counts.
+#[test]
+fn unrecovered_faults_keep_all_other_results() {
+    let plan = partial_sim_plan();
+    let reference = run_with_policy(1, RunPolicy::none());
+    let mut failure_sets = Vec::new();
+    for jobs in [1usize, 3] {
+        let policy = RunPolicy {
+            retries: 1, // depth 2 defeats it
+            fault: plan.clone(),
+            ..RunPolicy::none()
+        };
+        let run = run_with_policy(jobs, policy);
+        assert!(!run.is_complete(), "jobs={jobs}: failures must remain");
+        let errors = run.errors();
+        assert!(!errors.is_empty());
+        for e in &errors {
+            assert!(
+                e.error.contains(PANIC_PREFIX),
+                "jobs={jobs}: error should carry the injected payload: {}",
+                e.error
+            );
+            assert_eq!(e.attempts, 2, "jobs={jobs}: retries were consumed");
+        }
+        let mut done = 0;
+        for (cell, ref_cell) in run.cells.iter().zip(&reference.cells) {
+            if let CellOutcome::Done { stats, .. } = &cell.outcome {
+                done += 1;
+                match &ref_cell.outcome {
+                    CellOutcome::Done {
+                        stats: ref_stats, ..
+                    } => assert_eq!(
+                        stats,
+                        ref_stats,
+                        "jobs={jobs}: surviving cell {}/{}/{} diverged",
+                        run.names[cell.trace],
+                        cell.cache.label(),
+                        cell.cluster
+                    ),
+                    CellOutcome::Failed { .. } => unreachable!("reference run is fault-free"),
+                }
+            }
+        }
+        assert_eq!(
+            done + errors.len(),
+            TOTAL_SIMS,
+            "jobs={jobs}: every cell is either done or reported"
+        );
+        failure_sets.push(
+            errors
+                .iter()
+                .map(|e| (e.app.clone(), e.cache.clone(), e.cluster))
+                .collect::<Vec<_>>(),
+        );
+        // But with retries >= depth the very same plan fully recovers.
+        let recovered = run_with_policy(
+            jobs,
+            RunPolicy {
+                retries: 2,
+                fault: plan.clone(),
+                ..RunPolicy::none()
+            },
+        );
+        assert!(
+            recovered.is_complete(),
+            "jobs={jobs}: retries 2 beat depth 2"
+        );
+    }
+    assert_eq!(
+        failure_sets[0], failure_sets[1],
+        "failure set must not depend on the job count"
+    );
+}
+
+/// Delay faults plus a tiny soft timeout: every straggler is flagged
+/// `timeout` but still runs to completion with bit-identical results
+/// — the watchdog never kills an item.
+#[test]
+fn delay_faults_are_flagged_timeout_not_killed() {
+    let reference = manifest_of(&run_with_policy(1, RunPolicy::none()), 1)
+        .stats_json()
+        .to_string();
+    let policy = RunPolicy {
+        retries: 0,
+        timeout: Some(Duration::from_millis(1)),
+        fault: FaultPlan {
+            kind: FaultKind::Delay,
+            delay: Duration::from_millis(5),
+            ..FaultPlan::new(1.0, 0)
+        },
+    };
+    let run = run_with_policy(2, policy);
+    assert!(run.is_complete(), "delays are not failures");
+    for cell in &run.cells {
+        match &cell.outcome {
+            CellOutcome::Done {
+                status, attempts, ..
+            } => {
+                assert_eq!(*status, RunStatus::Timeout);
+                assert_eq!(*attempts, 1, "no retry was needed");
+            }
+            CellOutcome::Failed { error, .. } => panic!("unexpected failure: {error}"),
+        }
+    }
+    assert_eq!(
+        manifest_of(&run, 2).stats_json().to_string(),
+        reference,
+        "timed-out items must still produce exact results"
+    );
+}

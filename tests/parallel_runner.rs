@@ -100,7 +100,7 @@ fn generated_study_matches_prebuilt_traces() {
             .jobs(jobs)
             .run_with(|_| {});
         assert_eq!(generated.names, vec!["lu", "fft"]);
-        for (t, (pre, gen)) in prebuilt.iter().zip(&generated.per_trace).enumerate() {
+        for (t, (pre, gen)) in prebuilt.iter().zip(generated.per_trace()).enumerate() {
             for (s, p) in pre.sweeps.iter().zip(&gen.sweeps) {
                 assert_eq!(
                     s.runs, p.runs,

@@ -49,9 +49,15 @@ fn study_manifest(jobs: usize) -> (Manifest, usize, usize) {
             StudyEvent::SimDone { .. } => {
                 sims.fetch_add(1, Ordering::Relaxed);
             }
+            StudyEvent::GenFailed { name, error, .. } => {
+                panic!("unexpected gen failure for {name}: {error}")
+            }
+            StudyEvent::SimFailed { name, error, .. } => {
+                panic!("unexpected sim failure for {name}: {error}")
+            }
         });
     let mut m = Manifest::new("pipelined_study", "small", PROCS, jobs);
-    for (name, cap) in run.names.iter().zip(&run.per_trace) {
+    for (name, cap) in run.names.iter().zip(run.per_trace()) {
         for sweep in &cap.sweeps {
             m.record_sweep(name, sweep, None);
         }
