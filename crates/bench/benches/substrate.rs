@@ -50,14 +50,14 @@ fn bench_protocol() {
         lat: LatencyTable::paper(),
     };
     let s = bench("coherence/mixed_traffic_10k", 3, 20, || {
-        let mut m = MemorySystem::new(cfg, &space);
+        let mut m = MemorySystem::try_new(cfg, &space).unwrap();
         for i in 0..10_000u64 {
             let p = (i % 64) as u32;
             let addr = base + (i * 97 % 1024) * 64;
             if i % 5 == 0 {
-                black_box(m.write(p, addr, i));
+                black_box(m.try_write(p, addr, i).unwrap());
             } else {
-                black_box(m.read(p, addr, i));
+                black_box(m.try_read(p, addr, i).unwrap());
             }
         }
         m

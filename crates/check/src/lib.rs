@@ -1,0 +1,22 @@
+//! `cluster_check`: the repo's verification layer.
+//!
+//! Two halves, both runnable from the `cluster_check` binary and from
+//! CI (DESIGN.md §11):
+//!
+//! * [`model`] — an explicit-state **model checker** that exhaustively
+//!   enumerates every reachable coherence-protocol state for small
+//!   bounded machine configurations (2–4 clusters × 1–2 lines) and
+//!   asserts a machine-checked invariant oracle on every state,
+//!   emitting a shrunk minimal event-trace counterexample on
+//!   violation. DASH-lineage verification showed exhaustive small-
+//!   configuration enumeration catches transition bugs trace-driven
+//!   simulation never exercises; this is that technique applied to
+//!   `coherence::protocol`.
+//! * [`lint`] — a source-level **workspace lint pass** enforcing repo
+//!   invariants the compiler can't: no panicking calls in the
+//!   simulation library crates, no wall-clock values in simulation
+//!   results, atomic artifact writes only, and schema agreement
+//!   between the manifest writers and the golden schema test.
+
+pub mod lint;
+pub mod model;

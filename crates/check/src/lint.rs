@@ -1,0 +1,439 @@
+//! Source-level workspace lints: repo invariants the compiler cannot
+//! enforce (DESIGN.md §11 has the full rule table).
+//!
+//! | rule         | forbids                                            |
+//! |--------------|----------------------------------------------------|
+//! | `no-panic`   | `.unwrap()` / `.expect(` / `panic!` in non-test    |
+//! |              | library code of `simcore`, `coherence`, `tango`    |
+//! | `no-wallclock` | `Instant` / `SystemTime` in non-test code of the |
+//! |              | simulation crates (plus `splash`) — wall-clock     |
+//! |              | values must never flow into simulation results     |
+//! | `atomic-io`  | direct `fs::write` of artifacts anywhere outside   |
+//! |              | `write_atomic` (crate `src/` trees and `examples/`)|
+//! | `schema-sync`| drift between the manifest writer keys             |
+//! |              | (`manifest.rs`, `parallel.rs`) and the golden      |
+//! |              | schema test (`crates/bench/tests/manifest_schema`) |
+//!
+//! Scanning is token-based over comment-stripped source with
+//! `#[cfg(test)]` modules skipped, so the pass needs no compiler
+//! plumbing and runs in milliseconds. A finding is suppressed by a
+//! `// cluster_check: allow(<rule>)` comment on the same line or on a
+//! comment block immediately above it — the suppression syntax doubles
+//! as in-source documentation of *why* the exception is sound.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name ("no-panic", ...).
+    pub rule: &'static str,
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail
+        )
+    }
+}
+
+/// Strips `//` line comments (string-literal aware) so tokens inside
+/// comments never match; returns `(code, comment)` halves.
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Lines of `text` with `#[cfg(test)]`-gated blocks removed, as
+/// `(line_number, raw_line)` pairs. Tracks brace depth from the first
+/// `{` after the attribute to the matching `}`.
+fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut skipping = false;
+    let mut pending_attr = false; // saw #[cfg(test)], waiting for the {
+    let mut depth: i64 = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let (code, _) = split_comment(raw);
+        if !skipping && !pending_attr && code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            continue;
+        }
+        if pending_attr {
+            let opens = code.matches('{').count() as i64;
+            let closes = code.matches('}').count() as i64;
+            if opens > 0 {
+                pending_attr = false;
+                skipping = true;
+                depth = opens - closes;
+                if depth <= 0 {
+                    skipping = false;
+                }
+            }
+            continue;
+        }
+        if skipping {
+            depth += code.matches('{').count() as i64;
+            depth -= code.matches('}').count() as i64;
+            if depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        out.push((i + 1, raw));
+    }
+    out
+}
+
+/// Token scan of one file against one rule's token set. Suppression:
+/// `cluster_check: allow(<rule>)` on the same line, or anywhere in the
+/// run of comment/blank lines immediately above.
+fn scan_tokens(
+    rule: &'static str,
+    tokens: &[&str],
+    file: &Path,
+    text: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let allow_marker = format!("cluster_check: allow({rule})");
+    let mut pending_allow = false;
+    for (line_no, raw) in non_test_lines(text) {
+        let (code, comment) = split_comment(raw);
+        let is_comment_only = code.trim().is_empty();
+        if comment.contains(&allow_marker) {
+            pending_allow = true;
+        }
+        if is_comment_only {
+            continue; // comments and blanks keep the pending allow
+        }
+        let allowed = pending_allow;
+        pending_allow = false;
+        for token in tokens {
+            if code.contains(token) && !allowed {
+                findings.push(Finding {
+                    rule,
+                    file: file.to_path_buf(),
+                    line: line_no,
+                    detail: format!("forbidden token `{token}`"),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output). Missing directories yield nothing: lint scopes are fixed
+/// paths, and a fixture tree may cover only some of them.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rs_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Whether a literal looks like a JSON schema key (lowercase
+/// identifier), filtering out path fragments and prose.
+fn is_key_like(k: &str) -> bool {
+    !k.is_empty()
+        && k.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Pulls `"key"` first arguments of `marker(` calls out of `text`
+/// (e.g. every `.with(` / `.push(` writer key), following rustfmt's
+/// habit of wrapping the literal onto the next line.
+fn string_args(text: &str, marker: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut pending = false;
+    for (_, raw) in non_test_lines(text) {
+        let (code, _) = split_comment(raw);
+        if pending {
+            pending = false;
+            if let Some(rest) = code.trim_start().strip_prefix('"') {
+                if let Some(end) = rest.find('"') {
+                    out.push(rest[..end].to_string());
+                }
+            }
+        }
+        let mut rest = code;
+        while let Some(pos) = rest.find(marker) {
+            rest = &rest[pos + marker.len()..];
+            let after = rest.trim_start();
+            if let Some(r) = after.strip_prefix('"') {
+                if let Some(end) = r.find('"') {
+                    out.push(r[..end].to_string());
+                }
+            } else if after.is_empty() {
+                pending = true; // the key literal starts the next line
+            }
+        }
+    }
+    out.retain(|k| is_key_like(k));
+    out
+}
+
+/// Identifier-like string literals inside `for key in [ ... ]` blocks
+/// of the golden schema test.
+fn golden_array_keys(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_array = false;
+    for raw in text.lines() {
+        let (code, _) = split_comment(raw);
+        if code.contains("for key in [") {
+            in_array = true;
+        }
+        if in_array {
+            let mut rest = code;
+            if let Some(pos) = rest.find('[') {
+                rest = &rest[pos + 1..];
+            }
+            let upto = rest.find(']').map(|p| &rest[..p]).unwrap_or(rest);
+            let mut s = upto;
+            while let Some(start) = s.find('"') {
+                s = &s[start + 1..];
+                if let Some(end) = s.find('"') {
+                    out.push(s[..end].to_string());
+                    s = &s[end + 1..];
+                } else {
+                    break;
+                }
+            }
+            if rest.contains(']') {
+                in_array = false;
+            }
+        }
+    }
+    out
+}
+
+/// Manifest writer keys the golden schema deliberately does not pin
+/// (error-path fields only present on faulted runs, and a
+/// conditionally-emitted timing diagnostic).
+const SCHEMA_WRITER_EXEMPT: [&str; 3] = ["phase", "error", "serial_baseline_seconds"];
+/// Golden-side keys no manifest writer emits directly (tool-specific
+/// metrics registered by the caller).
+const SCHEMA_GOLDEN_EXEMPT: [&str; 1] = ["simulations"];
+
+/// The schema-sync rule: both directions of drift between the writer
+/// key set and the golden schema key set.
+fn schema_sync(root: &Path, findings: &mut Vec<Finding>) {
+    let writer_files = [
+        root.join("crates/core/src/manifest.rs"),
+        root.join("crates/core/src/parallel.rs"),
+    ];
+    let golden_file = root.join("crates/bench/tests/manifest_schema.rs");
+    let Ok(golden_text) = std::fs::read_to_string(&golden_file) else {
+        return; // no golden schema in this tree (e.g. fixture mode)
+    };
+    let mut writers: Vec<(String, PathBuf)> = Vec::new();
+    for wf in &writer_files {
+        let Ok(text) = std::fs::read_to_string(wf) else {
+            continue;
+        };
+        for marker in [".with(", ".push("] {
+            for key in string_args(&text, marker) {
+                writers.push((key, wf.clone()));
+            }
+        }
+    }
+    let mut golden: Vec<String> = string_args(&golden_text, ".get(");
+    golden.extend(golden_array_keys(&golden_text));
+    golden.sort();
+    golden.dedup();
+
+    let writer_keys: Vec<&str> = writers.iter().map(|(k, _)| k.as_str()).collect();
+    for key in &golden {
+        if !writer_keys.contains(&key.as_str()) && !SCHEMA_GOLDEN_EXEMPT.contains(&key.as_str()) {
+            findings.push(Finding {
+                rule: "schema-sync",
+                file: golden_file.clone(),
+                line: 0,
+                detail: format!("golden schema checks key {key:?} but no manifest writer emits it"),
+            });
+        }
+    }
+    for (key, wf) in &writers {
+        if !golden.iter().any(|g| g == key) && !SCHEMA_WRITER_EXEMPT.contains(&key.as_str()) {
+            findings.push(Finding {
+                rule: "schema-sync",
+                file: wf.clone(),
+                line: 0,
+                detail: format!("manifest writer emits key {key:?} the golden schema never checks"),
+            });
+        }
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root`, returning all
+/// findings (empty means clean).
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // no-panic: the simulation library crates promise typed errors.
+    for crate_dir in [
+        "crates/simcore/src",
+        "crates/coherence/src",
+        "crates/tango/src",
+    ] {
+        for file in rs_files(&root.join(crate_dir)) {
+            if let Ok(text) = std::fs::read_to_string(&file) {
+                scan_tokens(
+                    "no-panic",
+                    &[".unwrap()", ".expect(", "panic!"],
+                    &file,
+                    &text,
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // no-wallclock: determinism guard — simulation layers must not
+    // read the wall clock (jobs=1 vs jobs=N byte-identity depends on
+    // it). The study driver (crates/core) measures wall time on
+    // purpose, so it is out of scope.
+    for crate_dir in [
+        "crates/simcore/src",
+        "crates/coherence/src",
+        "crates/tango/src",
+        "crates/splash/src",
+    ] {
+        for file in rs_files(&root.join(crate_dir)) {
+            if let Ok(text) = std::fs::read_to_string(&file) {
+                scan_tokens(
+                    "no-wallclock",
+                    &["Instant", "SystemTime"],
+                    &file,
+                    &text,
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // atomic-io: manifests/reports must go through write_atomic
+    // (tmp + fsync + rename), never bare fs::write.
+    let mut io_dirs: Vec<PathBuf> = vec![root.join("src"), root.join("examples")];
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        let mut cs: Vec<_> = crates.flatten().map(|e| e.path()).collect();
+        cs.sort();
+        io_dirs.extend(cs.into_iter().map(|c| c.join("src")));
+    }
+    for dir in io_dirs {
+        for file in rs_files(&dir) {
+            if let Ok(text) = std::fs::read_to_string(&file) {
+                // cluster_check: allow(atomic-io) — the rule's own
+                // token list names the forbidden call.
+                scan_tokens("atomic-io", &["fs::write"], &file, &text, &mut findings);
+            }
+        }
+    }
+
+    schema_sync(root, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_splitting_is_string_aware() {
+        assert_eq!(split_comment("let x = 1; // hi"), ("let x = 1; ", "// hi"));
+        let s = r#"let u = "http://x"; // c"#;
+        let (code, comment) = split_comment(s);
+        assert!(code.contains("http://x"));
+        assert_eq!(comment, "// c");
+        assert_eq!(split_comment("no comment"), ("no comment", ""));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
+        let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(lines, vec![1, 6]);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_code_line() {
+        let src = "// cluster_check: allow(no-panic) — reason\n// continued prose\nx.unwrap();\ny.unwrap();\n";
+        let mut f = Vec::new();
+        scan_tokens("no-panic", &[".unwrap()"], Path::new("t.rs"), src, &mut f);
+        assert_eq!(f.len(), 1, "only the unsuppressed line reports: {f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "x.unwrap(); // cluster_check: allow(no-panic) — why\n";
+        let mut f = Vec::new();
+        scan_tokens("no-panic", &[".unwrap()"], Path::new("t.rs"), src, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tokens_inside_comments_do_not_match() {
+        let src = "// panic! is forbidden here\nlet ok = 1;\n";
+        let mut f = Vec::new();
+        scan_tokens("no-panic", &["panic!"], Path::new("t.rs"), src, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn string_args_extracts_writer_keys() {
+        let src = "j.with(\"schema\", SCHEMA).with(\"tool\", t);\no.push(\"runs\", r);\n";
+        assert_eq!(string_args(src, ".with("), vec!["schema", "tool"]);
+        assert_eq!(string_args(src, ".push("), vec!["runs"]);
+    }
+
+    #[test]
+    fn string_args_follows_rustfmt_line_wrap_and_filters_non_keys() {
+        let src =
+            "j.with(\n    \"breakdown_cycles\",\n    x,\n)\np.push(\".tmp\");\nv.push(item);\n";
+        assert_eq!(string_args(src, ".with("), vec!["breakdown_cycles"]);
+        assert_eq!(string_args(src, ".push("), Vec::<String>::new());
+    }
+
+    #[test]
+    fn golden_array_keys_reads_multiline_lists() {
+        let src = "for key in [\n    \"cpu\",\n    \"load\",\n] {\n";
+        assert_eq!(golden_array_keys(src), vec!["cpu", "load"]);
+        let one = "for key in [\"app\", \"cache\"] {\n";
+        assert_eq!(golden_array_keys(one), vec!["app", "cache"]);
+    }
+}

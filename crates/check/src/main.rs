@@ -1,0 +1,160 @@
+//! `cluster_check` — the repo's verification CLI (DESIGN.md §11).
+//!
+//! ```text
+//! cluster_check model [--random-walks N] [--seed S] [--mutation M]
+//! cluster_check lint  [--root DIR]
+//! cluster_check all
+//! ```
+//!
+//! `model` exhaustively enumerates the standard bounded configurations
+//! and reports per-configuration reachable-state counts; with
+//! `--random-walks N` it additionally fuzzes each configuration with N
+//! seeded random walks (deterministic per `--seed`). `--mutation`
+//! plants one of the deliberate protocol bugs
+//! (`drop-upgrade-invalidation`, `drop-replacement-hint`,
+//! `skip-owner-downgrade`) to demonstrate a counterexample. `lint`
+//! runs the workspace lint pass. `all` is both, as CI runs them. Every
+//! mode exits non-zero on any violation or finding.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cluster_check::lint::lint_workspace;
+use cluster_check::model::{explore, random_walks, ModelConfig};
+use coherence::Mutation;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cluster_check <model [--random-walks N] [--seed S] [--mutation M] \
+         | lint [--root DIR] | all>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_mutation(name: &str) -> Option<Mutation> {
+    match name {
+        "drop-upgrade-invalidation" => Some(Mutation::DropUpgradeInvalidation),
+        "drop-replacement-hint" => Some(Mutation::DropReplacementHint),
+        "skip-owner-downgrade" => Some(Mutation::SkipOwnerDowngrade),
+        _ => None,
+    }
+}
+
+fn run_model(walks: u64, seed: u64, mutation: Option<Mutation>) -> bool {
+    let mut ok = true;
+    for cfg in ModelConfig::standard() {
+        let r = explore(&cfg, mutation);
+        match (&r.violation, r.truncated) {
+            (Some(v), _) => {
+                println!(
+                    "model {}: VIOLATION after {} states, {} transitions",
+                    r.config, r.states, r.transitions
+                );
+                println!("{v}");
+                ok = false;
+            }
+            (None, true) => {
+                println!(
+                    "model {}: TRUNCATED at {} states (bound too small)",
+                    r.config, r.states
+                );
+                ok = false;
+            }
+            (None, false) => println!(
+                "model {}: {} reachable states, {} transitions, all invariants hold",
+                r.config, r.states, r.transitions
+            ),
+        }
+        if walks > 0 {
+            let r = random_walks(&cfg, mutation, walks, seed);
+            match &r.violation {
+                Some(v) => {
+                    println!("model {}: VIOLATION", r.config);
+                    println!("{v}");
+                    ok = false;
+                }
+                None => println!(
+                    "model {}: {} walks x {} events, {} distinct states, all invariants hold",
+                    r.config,
+                    walks,
+                    cluster_check::model::WALK_DEPTH,
+                    r.states
+                ),
+            }
+        }
+    }
+    ok
+}
+
+fn run_lint(root: &Path) -> bool {
+    let findings = lint_workspace(root);
+    for f in &findings {
+        println!("lint: {f}");
+    }
+    if findings.is_empty() {
+        println!("lint: workspace clean ({})", root.display());
+        true
+    } else {
+        println!("lint: {} finding(s)", findings.len());
+        false
+    }
+}
+
+/// The workspace root: `--root` if given, else the manifest dir's
+/// grandparent (this crate lives at `<root>/crates/check`).
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let mut walks = 0u64;
+    let mut seed = 0u64;
+    let mut mutation = None;
+    let mut root = default_root();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--random-walks" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => walks = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--mutation" => match it.next().map(|v| parse_mutation(v)) {
+                Some(Some(m)) => mutation = Some(m),
+                _ => return usage(),
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let ok = match cmd.as_str() {
+        "model" => run_model(walks, seed, mutation),
+        "lint" => run_lint(&root),
+        "all" => {
+            let m = run_model(walks, seed, mutation);
+            let l = run_lint(&root);
+            m && l
+        }
+        _ => return usage(),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

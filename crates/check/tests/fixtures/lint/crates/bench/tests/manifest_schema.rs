@@ -1,0 +1,7 @@
+//! Lint fixture: a golden schema checking a key no writer emits
+//! (`schema-sync`, golden direction).
+
+pub fn validate_fixture(doc: &Json) {
+    assert!(doc.get("schema").is_some());
+    assert!(doc.get("missing_key").is_some());
+}

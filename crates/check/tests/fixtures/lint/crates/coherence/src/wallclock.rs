@@ -1,0 +1,10 @@
+//! Lint fixture: wall-clock reads in simulation-layer code
+//! (`no-wallclock`).
+
+pub fn reads_instant() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn reads_system_time() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

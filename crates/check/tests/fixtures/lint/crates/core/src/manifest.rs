@@ -1,0 +1,8 @@
+//! Lint fixture: a manifest writer emitting a key the golden schema
+//! never checks (`schema-sync`, writer direction).
+
+pub fn to_json_fixture() -> String {
+    let mut j = String::new();
+    j.with("schema", "v1").with("bogus_key", 1);
+    j
+}

@@ -1,0 +1,13 @@
+//! Lint fixture: every `no-panic` token in non-test code, unsuppressed.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn panics() {
+    panic!("fixture");
+}

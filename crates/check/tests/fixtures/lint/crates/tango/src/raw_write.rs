@@ -1,0 +1,5 @@
+//! Lint fixture: a bare `fs::write` of an artifact (`atomic-io`).
+
+pub fn writes_report(body: &str) -> std::io::Result<()> {
+    std::fs::write("report.json", body)
+}

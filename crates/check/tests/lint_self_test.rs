@@ -1,0 +1,95 @@
+//! Lint self-test: runs `lint_workspace` over a fixture tree
+//! containing one file per forbidden pattern (plus one fully
+//! suppressed file) and asserts every rule fires exactly where
+//! expected — and nowhere else. Also asserts the real workspace is
+//! clean, which is the contract the CI `check` job enforces.
+
+use std::path::{Path, PathBuf};
+
+use cluster_check::lint::{lint_workspace, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+fn findings_for<'a>(all: &'a [Finding], rule: &str, file_suffix: &str) -> Vec<&'a Finding> {
+    all.iter()
+        .filter(|f| f.rule == rule && f.file.to_string_lossy().ends_with(file_suffix))
+        .collect()
+}
+
+#[test]
+fn fixture_tree_trips_every_rule() {
+    let findings = lint_workspace(&fixture_root());
+
+    // no-panic: one finding per token in panics.rs.
+    let panics = findings_for(&findings, "no-panic", "panics.rs");
+    assert_eq!(
+        panics.len(),
+        3,
+        "unwrap/expect/panic! each report: {panics:?}"
+    );
+    let details: Vec<&str> = panics.iter().map(|f| f.detail.as_str()).collect();
+    assert!(details.iter().any(|d| d.contains(".unwrap()")));
+    assert!(details.iter().any(|d| d.contains(".expect(")));
+    assert!(details.iter().any(|d| d.contains("panic!")));
+
+    // no-wallclock: Instant and SystemTime both report.
+    let wall = findings_for(&findings, "no-wallclock", "wallclock.rs");
+    assert!(
+        wall.iter().any(|f| f.detail.contains("Instant")),
+        "{findings:?}"
+    );
+    assert!(wall.iter().any(|f| f.detail.contains("SystemTime")));
+
+    // atomic-io: the bare fs::write reports.
+    let io = findings_for(&findings, "atomic-io", "raw_write.rs");
+    assert_eq!(io.len(), 1, "{io:?}");
+    assert_eq!(io[0].line, 4);
+
+    // schema-sync: both drift directions report.
+    let schema: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "schema-sync")
+        .collect();
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"bogus_key\"") && f.detail.contains("never checks")),
+        "writer-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema.iter().any(
+            |f| f.detail.contains("\"missing_key\"") && f.detail.contains("no manifest writer")
+        ),
+        "golden-side drift reports: {schema:?}"
+    );
+}
+
+#[test]
+fn suppressed_fixture_file_is_clean() {
+    let findings = lint_workspace(&fixture_root());
+    let from_suppressed: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.file.to_string_lossy().ends_with("suppressed.rs"))
+        .collect();
+    assert!(
+        from_suppressed.is_empty(),
+        "allow comments and #[cfg(test)] must suppress: {from_suppressed:?}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "workspace lint must stay clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

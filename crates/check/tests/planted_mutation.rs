@@ -1,0 +1,66 @@
+//! Planted-mutation test: each `Mutation` disables exactly one correct
+//! protocol transition, and the model checker must (a) report zero
+//! violations on the real protocol and (b) catch every mutation with a
+//! shrunk counterexample of at most 6 events that is 1-minimal —
+//! dropping any single event makes the trace pass again.
+
+use cluster_check::model::{explore, replay, ModelConfig};
+use coherence::Mutation;
+
+#[test]
+fn real_protocol_has_no_violations() {
+    for cfg in ModelConfig::standard() {
+        let report = explore(&cfg, None);
+        assert!(
+            report.violation.is_none(),
+            "{}: {:?}",
+            cfg.name,
+            report.violation
+        );
+        assert!(!report.truncated, "{}: state space truncated", cfg.name);
+        assert!(report.states > 1, "{}: exploration went nowhere", cfg.name);
+    }
+}
+
+#[test]
+fn every_planted_mutation_is_caught_with_minimal_counterexample() {
+    for mutation in Mutation::ALL {
+        let mut caught = false;
+        for cfg in ModelConfig::standard() {
+            let report = explore(&cfg, Some(mutation));
+            let Some(v) = report.violation else {
+                continue; // some mutations need eviction-capable configs
+            };
+            caught = true;
+            assert!(
+                v.trace.len() <= 6,
+                "{mutation:?} on {}: counterexample not shrunk: {} events\n{v}",
+                cfg.name,
+                v.trace.len()
+            );
+            // The shrunk trace still fails under the mutation...
+            assert!(
+                replay(&cfg, Some(mutation), &v.trace).is_err(),
+                "{mutation:?} on {}: shrunk trace does not replay",
+                cfg.name
+            );
+            // ...and is 1-minimal: dropping any event makes it pass.
+            for i in 0..v.trace.len() {
+                let mut shorter = v.trace.clone();
+                shorter.remove(i);
+                assert!(
+                    replay(&cfg, Some(mutation), &shorter).is_ok(),
+                    "{mutation:?} on {}: trace not minimal, still fails without event {i}\n{v}",
+                    cfg.name
+                );
+            }
+            // The same trace is clean on the unmutated protocol.
+            assert!(
+                replay(&cfg, None, &v.trace).is_ok(),
+                "{mutation:?} on {}: counterexample also fails the real protocol",
+                cfg.name
+            );
+        }
+        assert!(caught, "{mutation:?}: no standard config caught it");
+    }
+}

@@ -179,6 +179,8 @@ impl MachineConfig {
     /// on an invalid shape; [`MachineConfig::validate`] is the
     /// non-panicking form for user-supplied configurations.
     pub fn validated(self) -> Self {
+        // cluster_check: allow(no-panic) — documented panicking
+        // convenience; validate() is the typed form for user input.
         self.validate().unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -70,6 +70,8 @@ impl LatencyTable {
     /// cycle simulation.
     pub fn hit_cycles(procs_per_cluster: u32) -> u64 {
         match procs_per_cluster {
+            // cluster_check: allow(no-panic) — zero-size clusters are
+            // rejected by MachineConfig::validate before reaching here.
             0 => panic!("cluster size must be positive"),
             1 => 1,
             2 => 2,

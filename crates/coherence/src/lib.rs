@@ -18,4 +18,7 @@ pub mod protocol;
 
 pub use config::{ConfigError, MachineConfig};
 pub use latency::LatencyTable;
-pub use protocol::{LineState, MemorySystem, Outcome, ProtocolError};
+pub use protocol::{
+    CacheLineView, DirEntryView, LineState, MemorySystem, Mutation, Outcome, ProtocolError,
+    ProtocolSnapshot,
+};

@@ -26,9 +26,10 @@ use crate::config::{ConfigError, MachineConfig};
 
 /// A protocol-level failure reachable from user input (a bad machine
 /// shape, or a trace touching memory its address space never
-/// allocated). The panicking [`MemorySystem::new`] / `read` / `write`
-/// wrap the `try_` forms, so the timing engine's hot path is
-/// unchanged while validation layers get typed errors.
+/// allocated). Every construction and access path propagates this
+/// typed error ([`MemorySystem::try_new`] / `try_read` / `try_write`);
+/// panicking convenience wrappers were removed so the `cluster_check`
+/// no-panic lint holds over this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ProtocolError {
@@ -153,6 +154,14 @@ impl ClusterCache {
             ClusterCache::Assoc(c) => c.len(),
         }
     }
+
+    /// Every resident line, in no particular order.
+    fn iter_lines(&self) -> Box<dyn Iterator<Item = (LineAddr, &CachedLine)> + '_> {
+        match self {
+            ClusterCache::Lru(c) => Box::new(c.iter_mru()),
+            ClusterCache::Assoc(c) => Box::new(c.iter()),
+        }
+    }
 }
 
 /// Directory entry for one line: its (sticky) home cluster, the sharer
@@ -179,6 +188,77 @@ enum Snoop {
     Pending(u64),
     /// A mate supplied the line (downgrading a dirty copy).
     Supplied,
+}
+
+/// A deliberately planted protocol bug, for the `cluster_check` model
+/// checker's planted-mutation tests (the same philosophy as
+/// `simcore::fault`: to prove the verifier catches a class of bug, the
+/// repo must be able to *cause* that bug on demand). Each variant
+/// disables exactly one correct transition; the model checker must
+/// report an invariant violation with a short counterexample for every
+/// variant, and zero violations with no mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// An UPGRADE no longer invalidates the other clusters' SHARED
+    /// copies (directory is updated as if it had).
+    DropUpgradeInvalidation,
+    /// A capacity eviction no longer sends the replacement hint, so
+    /// the directory keeps a sharer bit for a departed line.
+    DropReplacementHint,
+    /// A read miss to a dirty line no longer downgrades the owner's
+    /// EXCLUSIVE copy to SHARED (directory goes clean as if it had).
+    SkipOwnerDowngrade,
+}
+
+impl Mutation {
+    /// Every variant, for exhaustive planted-mutation sweeps.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::DropUpgradeInvalidation,
+        Mutation::DropReplacementHint,
+        Mutation::SkipOwnerDowngrade,
+    ];
+}
+
+/// One resident line of one cache, as reported by
+/// [`MemorySystem::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLineView {
+    /// The line address.
+    pub line: LineAddr,
+    /// Its coherence state.
+    pub state: LineState,
+    /// Cycle at which its outstanding fill completes (reads before
+    /// this merge-stall).
+    pub pending_until: u64,
+}
+
+/// One directory entry, as reported by [`MemorySystem::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntryView {
+    /// The line address.
+    pub line: LineAddr,
+    /// Home cluster (sticky after first touch).
+    pub home: u32,
+    /// Sharer bit vector over clusters.
+    pub sharers: u64,
+    /// Whether the single sharer holds the line EXCLUSIVE.
+    pub dirty: bool,
+}
+
+/// A complete, deterministic view of the protocol state: every cache's
+/// resident lines and every directory entry, sorted by line address.
+/// This is the inspection surface the `cluster_check` model checker
+/// canonicalizes reachable states over; it deliberately excludes the
+/// statistics counters (monotonic, not protocol state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolSnapshot {
+    /// Per cache (cluster cache, or per-processor private cache in
+    /// shared-memory-cluster mode): resident lines sorted by address.
+    pub caches: Vec<Vec<CacheLineView>>,
+    /// Directory entries sorted by line address.
+    pub dir: Vec<DirEntryView>,
+    /// Next round-robin home assignment (placement state).
+    pub rr_next: u32,
 }
 
 /// Result of one memory access, consumed by the timing engine.
@@ -230,21 +310,16 @@ pub struct MemorySystem {
     private: bool,
     /// Intra-cluster cache-to-cache transfer latency.
     bus_cycles: u64,
+    /// Planted protocol bug, if any (see [`Mutation`]).
+    mutation: Option<Mutation>,
     /// Aggregate statistics.
     pub stats: MissStats,
 }
 
 impl MemorySystem {
     /// Builds the memory system for `cfg`, resolving placement policies
-    /// against `space` (cloned; the allocator is not consulted again).
-    /// Panics on an invalid configuration; [`MemorySystem::try_new`]
-    /// is the non-panicking form for user-supplied shapes.
-    pub fn new(cfg: MachineConfig, space: &AddressSpace) -> Self {
-        Self::try_new(cfg, space).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`MemorySystem::new`] returning the typed reason a
-    /// configuration is rejected instead of panicking.
+    /// against `space` (cloned; the allocator is not consulted again),
+    /// or returns the typed reason the configuration is rejected.
     pub fn try_new(cfg: MachineConfig, space: &AddressSpace) -> Result<Self, ProtocolError> {
         let cfg = cfg.validate()?;
         if cfg.n_clusters() > 64 {
@@ -272,8 +347,16 @@ impl MemorySystem {
             rr_next: 0,
             private,
             bus_cycles,
+            mutation: None,
             stats: MissStats::default(),
         })
+    }
+
+    /// Plants (or clears) a deliberate protocol bug. Verification
+    /// machinery only: the model checker's planted-mutation tests use
+    /// this to prove the invariant oracle catches each bug class.
+    pub fn set_mutation(&mut self, mutation: Option<Mutation>) {
+        self.mutation = mutation;
     }
 
     /// Cache index used by processor `p`.
@@ -371,6 +454,11 @@ impl MemorySystem {
         if ev.val.state == LineState::Exclusive {
             self.stats.writebacks += 1;
         }
+        if self.mutation == Some(Mutation::DropReplacementHint) {
+            // Planted bug: the hint never reaches the directory, which
+            // keeps a sharer bit for the departed line.
+            return;
+        }
         // In shared-memory-cluster mode another member may still hold a
         // copy; the hint only clears the cluster's directory bit once
         // the last copy leaves.
@@ -378,6 +466,9 @@ impl MemorySystem {
         let e = self
             .dir
             .get_mut(&ev.line)
+            // cluster_check: allow(no-panic) — internal invariant:
+            // every resident line has a directory entry (checked by
+            // check_invariants and the model checker).
             .expect("evicted line must have a directory entry");
         debug_assert!(e.sharers & (1 << c) != 0, "directory out of sync");
         if ev.val.state == LineState::Exclusive {
@@ -446,6 +537,8 @@ impl MemorySystem {
                 mcl.state = LineState::Shared;
                 self.dir
                     .get_mut(&line)
+                    // cluster_check: allow(no-panic) — internal
+                    // invariant: a cached line always has an entry.
                     .expect("cached line has entry")
                     .dirty = false;
             }
@@ -455,15 +548,8 @@ impl MemorySystem {
     }
 
     /// Processor `p` issues a load of byte address `addr` at cycle
-    /// `now`. Panics on an access to unallocated memory (a malformed
-    /// trace); [`MemorySystem::try_read`] is the non-panicking form.
-    pub fn read(&mut self, p: ProcId, addr: u64, now: u64) -> Outcome {
-        self.try_read(p, addr, now)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`MemorySystem::read`] returning the typed reason an access is
-    /// rejected instead of panicking.
+    /// `now`. Errors on an access to unallocated memory (a malformed
+    /// trace, which is user input, not a protocol invariant).
     pub fn try_read(&mut self, p: ProcId, addr: u64, now: u64) -> Result<Outcome, ProtocolError> {
         let line = line_of(addr);
         let c = self.cfg.cluster_of(p);
@@ -510,18 +596,25 @@ impl MemorySystem {
         let class = self.classify_miss(c, line);
         let stall = self.cfg.lat.of(class);
         {
+            // cluster_check: allow(no-panic) — home_of above inserted
+            // the entry (internal invariant).
             let e = self.dir.get_mut(&line).expect("home_of inserted entry");
             let dirty_owner = e.dirty.then(|| e.owner());
             e.dirty = false;
             e.sharers |= 1 << c;
-            if let Some(owner) = dirty_owner {
+            let downgrade = self.mutation != Some(Mutation::SkipOwnerDowngrade);
+            if let Some(owner) = dirty_owner.filter(|_| downgrade) {
                 // The owning cluster keeps a SHARED copy (cache-to-cache
                 // transfer + sharing writeback to home). Find the member
                 // cache actually holding it.
                 let holder = self
                     .member_caches(owner)
                     .find(|&i| self.caches[i].peek(line).is_some())
+                    // cluster_check: allow(no-panic) — internal
+                    // invariant: the directory's dirty owner holds the
+                    // line (checked by check_invariants).
                     .expect("dirty owner cluster must hold the line");
+                // cluster_check: allow(no-panic) — found just above.
                 let oc = self.caches[holder].peek_mut(line).expect("just found it");
                 oc.state = LineState::Shared;
             }
@@ -544,15 +637,8 @@ impl MemorySystem {
     }
 
     /// Processor `p` issues a store to byte address `addr` at cycle
-    /// `now`. Panics on an access to unallocated memory (a malformed
-    /// trace); [`MemorySystem::try_write`] is the non-panicking form.
-    pub fn write(&mut self, p: ProcId, addr: u64, now: u64) -> Outcome {
-        self.try_write(p, addr, now)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`MemorySystem::write`] returning the typed reason an access is
-    /// rejected instead of panicking.
+    /// `now`. Errors on an access to unallocated memory (a malformed
+    /// trace, which is user input, not a protocol invariant).
     pub fn try_write(&mut self, p: ProcId, addr: u64, now: u64) -> Result<Outcome, ProtocolError> {
         let line = line_of(addr);
         let c = self.cfg.cluster_of(p);
@@ -567,12 +653,18 @@ impl MemorySystem {
                     // UPGRADE: invalidate other copies instantly; the
                     // pending window (if any) is preserved — the data is
                     // still in flight for cluster-mates' reads.
+                    // cluster_check: allow(no-panic) — get_mut above
+                    // proved residency (internal invariant).
                     let cl = self.caches[ci].peek_mut(line).expect("just found it");
                     cl.state = LineState::Exclusive;
-                    self.invalidate_others(line, c);
-                    if self.private {
-                        self.invalidate_mates(p, line);
+                    if self.mutation != Some(Mutation::DropUpgradeInvalidation) {
+                        self.invalidate_others(line, c);
+                        if self.private {
+                            self.invalidate_mates(p, line);
+                        }
                     }
+                    // cluster_check: allow(no-panic) — internal
+                    // invariant: a resident line has an entry.
                     let e = self.dir.get_mut(&line).expect("resident line has entry");
                     e.sharers = 1 << c;
                     e.dirty = true;
@@ -590,6 +682,8 @@ impl MemorySystem {
             self.invalidate_others(line, c);
             self.invalidate_mates(p, line);
             {
+                // cluster_check: allow(no-panic) — cluster_holds above
+                // proved a resident copy (internal invariant).
                 let e = self.dir.get_mut(&line).expect("resident line has entry");
                 e.sharers = 1 << c;
                 e.dirty = true;
@@ -613,6 +707,8 @@ impl MemorySystem {
         let stall = self.cfg.lat.of(class);
         self.invalidate_others(line, c);
         {
+            // cluster_check: allow(no-panic) — home_of above inserted
+            // the entry (internal invariant).
             let e = self.dir.get_mut(&line).expect("home_of inserted entry");
             e.sharers = 1 << c;
             e.dirty = true;
@@ -636,6 +732,46 @@ impl MemorySystem {
     /// (for tests and working-set inspection).
     pub fn resident_lines(&self, i: u32) -> usize {
         self.caches[i as usize].len()
+    }
+
+    /// A complete, canonical view of the protocol state (caches,
+    /// directory, placement counter), sorted so that two equal machine
+    /// states always produce equal snapshots regardless of internal
+    /// iteration order. The `cluster_check` model checker keys its
+    /// visited-state set on this.
+    pub fn snapshot(&self) -> ProtocolSnapshot {
+        let caches = self
+            .caches
+            .iter()
+            .map(|cache| {
+                let mut lines: Vec<CacheLineView> = cache
+                    .iter_lines()
+                    .map(|(line, cl)| CacheLineView {
+                        line,
+                        state: cl.state,
+                        pending_until: cl.pending_until,
+                    })
+                    .collect();
+                lines.sort_by_key(|v| v.line);
+                lines
+            })
+            .collect();
+        let mut dir: Vec<DirEntryView> = self
+            .dir
+            .iter()
+            .map(|(&line, e)| DirEntryView {
+                line,
+                home: e.home,
+                sharers: e.sharers,
+                dirty: e.dirty,
+            })
+            .collect();
+        dir.sort_by_key(|v| v.line);
+        ProtocolSnapshot {
+            caches,
+            dir,
+            rr_next: self.rr_next,
+        }
     }
 
     /// Checks the protocol's global invariants; returns the first
@@ -690,11 +826,9 @@ impl MemorySystem {
         }
         // No cached line may lack a directory entry.
         for cache in &self.caches {
-            if let ClusterCache::Lru(cache) = cache {
-                for (line, _) in cache.iter_mru() {
-                    if !self.dir.contains_key(&line) {
-                        return Err(format!("line {line:#x} cached without directory entry"));
-                    }
+            for (line, _) in cache.iter_lines() {
+                if !self.dir.contains_key(&line) {
+                    return Err(format!("line {line:#x} cached without directory entry"));
                 }
             }
         }
@@ -716,7 +850,7 @@ mod tests {
         let a = space.alloc_shared(LINE_BYTES * 16);
         let b = space.alloc_owned(LINE_BYTES * 16, 63);
         let cfg = MachineConfig::paper(per_cluster, cache);
-        (MemorySystem::new(cfg, &space), a, b)
+        (MemorySystem::try_new(cfg, &space).unwrap(), a, b)
     }
 
     #[test]
@@ -771,14 +905,14 @@ mod tests {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
         // First touch: round-robin gives home cluster 0. Processor 0 is
         // in cluster 0, so the miss is local-clean.
-        match m.read(0, a, 0) {
+        match m.try_read(0, a, 0).unwrap() {
             Outcome::ReadMiss { stall, class } => {
                 assert_eq!(stall, 30);
                 assert_eq!(class, LatencyClass::LocalClean);
             }
             o => panic!("unexpected {o:?}"),
         }
-        assert_eq!(m.read(0, a, 100), Outcome::ReadHit);
+        assert_eq!(m.try_read(0, a, 100).unwrap(), Outcome::ReadHit);
         m.check_invariants().unwrap();
     }
 
@@ -787,7 +921,7 @@ mod tests {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
         // Touch 3 distinct lines from processor 5; homes go 0, 1, 2.
         for i in 0..3u64 {
-            match m.read(5, a + i * LINE_BYTES, 0) {
+            match m.try_read(5, a + i * LINE_BYTES, 0).unwrap() {
                 Outcome::ReadMiss { class, .. } => {
                     // Only the line homed at cluster 5 would be local;
                     // none of 0,1,2 are.
@@ -797,7 +931,7 @@ mod tests {
             }
         }
         // Fourth line from processor 3: home is cluster 3 => local.
-        match m.read(3, a + 3 * LINE_BYTES, 0) {
+        match m.try_read(3, a + 3 * LINE_BYTES, 0).unwrap() {
             Outcome::ReadMiss { class, .. } => assert_eq!(class, LatencyClass::LocalClean),
             o => panic!("unexpected {o:?}"),
         }
@@ -807,12 +941,12 @@ mod tests {
     fn owner_placement_homes_at_owner_cluster() {
         let (mut m, _, b) = machine(8, CacheSpec::Infinite);
         // Region `b` is owned by processor 63 => cluster 7.
-        match m.read(56, b, 0) {
+        match m.try_read(56, b, 0).unwrap() {
             // Processor 56 is in cluster 7 too: local home.
             Outcome::ReadMiss { stall, .. } => assert_eq!(stall, 30),
             o => panic!("unexpected {o:?}"),
         }
-        match m.read(0, b + LINE_BYTES, 0) {
+        match m.try_read(0, b + LINE_BYTES, 0).unwrap() {
             Outcome::ReadMiss { stall, .. } => assert_eq!(stall, 100),
             o => panic!("unexpected {o:?}"),
         }
@@ -824,16 +958,16 @@ mod tests {
         // Processor 0 misses at t=0 (remote home? first touch -> home 0,
         // proc 0 is cluster 0 => local, 30 cycles, ready at 30).
         assert!(matches!(
-            m.read(0, a, 0),
+            m.try_read(0, a, 0).unwrap(),
             Outcome::ReadMiss { stall: 30, .. }
         ));
         // Cluster-mate processor 1 reads at t=10: merge until 30.
-        match m.read(1, a, 10) {
+        match m.try_read(1, a, 10).unwrap() {
             Outcome::MergeWait { ready_at } => assert_eq!(ready_at, 30),
             o => panic!("unexpected {o:?}"),
         }
         // Retry at 30: hit.
-        assert_eq!(m.read(1, a, 30), Outcome::ReadHit);
+        assert_eq!(m.try_read(1, a, 30).unwrap(), Outcome::ReadHit);
         assert_eq!(m.stats.merge_stalls, 1);
         assert_eq!(m.stats.read_hits, 1);
         m.check_invariants().unwrap();
@@ -842,29 +976,29 @@ mod tests {
     #[test]
     fn write_miss_opens_pending_window_for_merges() {
         let (mut m, a, _) = machine(2, CacheSpec::Infinite);
-        assert_eq!(m.write(0, a, 0), Outcome::WriteMiss);
-        match m.read(1, a, 5) {
+        assert_eq!(m.try_write(0, a, 0).unwrap(), Outcome::WriteMiss);
+        match m.try_read(1, a, 5).unwrap() {
             Outcome::MergeWait { ready_at } => assert_eq!(ready_at, 30),
             o => panic!("unexpected {o:?}"),
         }
-        assert_eq!(m.read(1, a, 30), Outcome::ReadHit);
+        assert_eq!(m.try_read(1, a, 30).unwrap(), Outcome::ReadHit);
     }
 
     #[test]
     fn upgrade_invalidates_other_clusters() {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
         // Clusters 0 and 1 both read the line.
-        let _ = m.read(0, a, 0);
-        let _ = m.read(1, a, 100);
+        let _ = m.try_read(0, a, 0).unwrap();
+        let _ = m.try_read(1, a, 100).unwrap();
         m.check_invariants().unwrap();
         // Cluster 0 writes: UPGRADE, cluster 1 invalidated.
-        assert_eq!(m.write(0, a, 200), Outcome::Upgrade);
+        assert_eq!(m.try_write(0, a, 200).unwrap(), Outcome::Upgrade);
         assert_eq!(m.stats.invalidations, 1);
         m.check_invariants().unwrap();
         // Cluster 1 re-reads: miss, satisfied three-hop? Home is cluster
         // 0 (first touch rr), dirty at cluster 0 == home => remote clean
         // (satisfied by home), 100 cycles.
-        match m.read(1, a, 300) {
+        match m.try_read(1, a, 300).unwrap() {
             Outcome::ReadMiss { stall, class } => {
                 assert_eq!(class, LatencyClass::RemoteClean);
                 assert_eq!(stall, 100);
@@ -872,7 +1006,7 @@ mod tests {
             o => panic!("unexpected {o:?}"),
         }
         // The dirty copy was downgraded, not invalidated.
-        assert_eq!(m.read(0, a, 400), Outcome::ReadHit);
+        assert_eq!(m.try_read(0, a, 400).unwrap(), Outcome::ReadHit);
         m.check_invariants().unwrap();
     }
 
@@ -882,8 +1016,8 @@ mod tests {
         // Line homed at cluster 0 (first touch). Cluster 2 writes it
         // (dirty at 2). Cluster 5 reads: remote home (0), dirty third
         // party (2) => 150.
-        let _ = m.write(2, a, 0);
-        match m.read(5, a, 100) {
+        let _ = m.try_write(2, a, 0).unwrap();
+        match m.try_read(5, a, 100).unwrap() {
             Outcome::ReadMiss { stall, class } => {
                 assert_eq!(class, LatencyClass::RemoteDirtyThird);
                 assert_eq!(stall, 150);
@@ -896,8 +1030,8 @@ mod tests {
     #[test]
     fn local_home_dirty_remote_costs_100() {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
-        let _ = m.write(2, a, 0); // home 0, dirty at 2
-        match m.read(0, a, 50) {
+        let _ = m.try_write(2, a, 0).unwrap(); // home 0, dirty at 2
+        match m.try_read(0, a, 50).unwrap() {
             Outcome::ReadMiss { stall, class } => {
                 assert_eq!(class, LatencyClass::LocalDirtyRemote);
                 assert_eq!(stall, 100);
@@ -909,8 +1043,8 @@ mod tests {
     #[test]
     fn write_hit_on_exclusive() {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
-        let _ = m.write(0, a, 0);
-        assert_eq!(m.write(0, a, 10), Outcome::WriteHit);
+        let _ = m.try_write(0, a, 0).unwrap();
+        assert_eq!(m.try_write(0, a, 10).unwrap(), Outcome::WriteHit);
         assert_eq!(m.stats.write_hits, 1);
         assert_eq!(m.stats.write_misses, 1);
     }
@@ -926,13 +1060,16 @@ mod tests {
             cache: CacheSpec::PerProcBytes(LINE_BYTES),
             lat: LatencyTable::paper(),
         };
-        let mut m = MemorySystem::new(cfg, &space);
-        let _ = m.read(0, a, 0);
-        let _ = m.read(0, a + LINE_BYTES, 100); // evicts line 0
+        let mut m = MemorySystem::try_new(cfg, &space).unwrap();
+        let _ = m.try_read(0, a, 0).unwrap();
+        let _ = m.try_read(0, a + LINE_BYTES, 100).unwrap(); // evicts line 0
         assert_eq!(m.stats.evictions, 1);
         m.check_invariants().unwrap();
         // Re-read of line 0 must miss again (capacity).
-        assert!(matches!(m.read(0, a, 200), Outcome::ReadMiss { .. }));
+        assert!(matches!(
+            m.try_read(0, a, 200).unwrap(),
+            Outcome::ReadMiss { .. }
+        ));
     }
 
     #[test]
@@ -945,14 +1082,14 @@ mod tests {
             cache: CacheSpec::PerProcBytes(LINE_BYTES),
             lat: LatencyTable::paper(),
         };
-        let mut m = MemorySystem::new(cfg, &space);
-        let _ = m.write(0, a, 0);
-        let _ = m.read(0, a + LINE_BYTES, 100); // evicts dirty line
+        let mut m = MemorySystem::try_new(cfg, &space).unwrap();
+        let _ = m.try_write(0, a, 0).unwrap();
+        let _ = m.try_read(0, a + LINE_BYTES, 100).unwrap(); // evicts dirty line
         assert_eq!(m.stats.writebacks, 1);
         m.check_invariants().unwrap();
         // Other cluster now reads the line: home has it clean => no
         // three-hop penalty.
-        match m.read(1, a, 200) {
+        match m.try_read(1, a, 200).unwrap() {
             Outcome::ReadMiss { class, .. } => {
                 assert_ne!(class, LatencyClass::RemoteDirtyThird);
             }
@@ -965,25 +1102,31 @@ mod tests {
         // The core clustering effect: two processors touching the same
         // line. Unclustered -> two misses; clustered -> one miss + hit.
         let (mut m1, a, _) = machine(1, CacheSpec::Infinite);
-        let _ = m1.read(0, a, 0);
-        assert!(matches!(m1.read(1, a, 1000), Outcome::ReadMiss { .. }));
+        let _ = m1.try_read(0, a, 0).unwrap();
+        assert!(matches!(
+            m1.try_read(1, a, 1000).unwrap(),
+            Outcome::ReadMiss { .. }
+        ));
 
         let (mut m2, a2, _) = machine(2, CacheSpec::Infinite);
-        let _ = m2.read(0, a2, 0);
-        assert_eq!(m2.read(1, a2, 1000), Outcome::ReadHit);
+        let _ = m2.try_read(0, a2, 0).unwrap();
+        assert_eq!(m2.try_read(1, a2, 1000).unwrap(), Outcome::ReadHit);
     }
 
     #[test]
     fn invalidation_kills_pending_line() {
         let (mut m, a, _) = machine(2, CacheSpec::Infinite);
         // Cluster 0 (procs 0,1) misses at t=0, pending until 30.
-        let _ = m.read(0, a, 0);
+        let _ = m.try_read(0, a, 0).unwrap();
         // Cluster 1 (procs 2,3) writes at t=10: invalidates the pending
         // line in cluster 0.
-        let _ = m.write(2, a, 10);
+        let _ = m.try_write(2, a, 10).unwrap();
         assert_eq!(m.stats.invalidations, 1);
         // Proc 1 reads at t=20: the line is gone; fresh miss, not merge.
-        assert!(matches!(m.read(1, a, 20), Outcome::ReadMiss { .. }));
+        assert!(matches!(
+            m.try_read(1, a, 20).unwrap(),
+            Outcome::ReadMiss { .. }
+        ));
         m.check_invariants().unwrap();
     }
 
@@ -999,7 +1142,7 @@ mod tests {
             },
             lat: LatencyTable::paper(),
         };
-        (MemorySystem::new(cfg, &space), a)
+        (MemorySystem::try_new(cfg, &space).unwrap(), a)
     }
 
     #[test]
@@ -1007,15 +1150,21 @@ mod tests {
         let (mut m, a) = private_machine(4, 1 << 20);
         // Proc 0 fetches the line; cluster mate proc 1 then reads it:
         // supplied over the bus at bus latency, not a network miss.
-        assert!(matches!(m.read(0, a, 0), Outcome::ReadMiss { .. }));
-        match m.read(1, a, 1_000) {
+        assert!(matches!(
+            m.try_read(0, a, 0).unwrap(),
+            Outcome::ReadMiss { .. }
+        ));
+        match m.try_read(1, a, 1_000).unwrap() {
             Outcome::ReadBus { stall } => assert_eq!(stall, 15),
             o => panic!("expected bus transfer, got {o:?}"),
         }
         assert_eq!(m.stats.bus_transfers, 1);
         m.check_invariants().unwrap();
         // A processor in another cluster still pays the network.
-        assert!(matches!(m.read(4, a, 2_000), Outcome::ReadMiss { .. }));
+        assert!(matches!(
+            m.try_read(4, a, 2_000).unwrap(),
+            Outcome::ReadMiss { .. }
+        ));
     }
 
     #[test]
@@ -1040,14 +1189,14 @@ mod tests {
                 cache,
                 lat: LatencyTable::paper(),
             };
-            let mut m = MemorySystem::new(cfg, &space);
-            let _ = m.read(0, a, 0); // proc 0 caches line 0
+            let mut m = MemorySystem::try_new(cfg, &space).unwrap();
+            let _ = m.try_read(0, a, 0).unwrap(); // proc 0 caches line 0
             for i in 1..32u64 {
-                let _ = m.read(1, a + i * LINE_BYTES, i * 200); // proc 1 streams
+                let _ = m.try_read(1, a + i * LINE_BYTES, i * 200).unwrap(); // proc 1 streams
             }
             m.check_invariants().unwrap();
             // Is proc 0's line still a hit?
-            matches!(m.read(0, a, 100_000), Outcome::ReadHit)
+            matches!(m.try_read(0, a, 100_000).unwrap(), Outcome::ReadHit)
         };
         assert!(run(true), "private caches must be isolated");
         assert!(!run(false), "a shared cache must show interference");
@@ -1056,30 +1205,30 @@ mod tests {
     #[test]
     fn private_mode_write_keeps_ownership_in_cluster() {
         let (mut m, a) = private_machine(4, 1 << 20);
-        let _ = m.write(0, a, 0); // proc 0 owns dirty
-                                  // Cluster mate proc 1 writes: bus invalidation, no network
-                                  // invalidations, directory still shows the same cluster dirty.
-        let out = m.write(1, a, 1_000);
+        let _ = m.try_write(0, a, 0).unwrap(); // proc 0 owns dirty
+                                               // Cluster mate proc 1 writes: bus invalidation, no network
+                                               // invalidations, directory still shows the same cluster dirty.
+        let out = m.try_write(1, a, 1_000).unwrap();
         assert_eq!(out, Outcome::Upgrade);
         assert_eq!(m.stats.bus_invalidations, 1);
         assert_eq!(m.stats.invalidations, 0);
         m.check_invariants().unwrap();
         // Proc 1 now write-hits.
-        assert_eq!(m.write(1, a, 2_000), Outcome::WriteHit);
+        assert_eq!(m.try_write(1, a, 2_000).unwrap(), Outcome::WriteHit);
     }
 
     #[test]
     fn private_mode_read_of_mates_dirty_line_cleans_it() {
         let (mut m, a) = private_machine(2, 1 << 20);
-        let _ = m.write(0, a, 0);
-        match m.read(1, a, 500) {
+        let _ = m.try_write(0, a, 0).unwrap();
+        match m.try_read(1, a, 500).unwrap() {
             Outcome::ReadBus { .. } => {}
             o => panic!("expected bus supply of dirty line, got {o:?}"),
         }
         m.check_invariants().unwrap();
         // Another cluster's read now sees a clean line (two-hop, not
         // three-hop).
-        match m.read(2, a, 1_000) {
+        match m.try_read(2, a, 1_000).unwrap() {
             Outcome::ReadMiss { class, .. } => {
                 assert_ne!(class, LatencyClass::RemoteDirtyThird);
                 assert_ne!(class, LatencyClass::LocalDirtyRemote);
@@ -1103,21 +1252,21 @@ mod tests {
             },
             lat: LatencyTable::paper(),
         };
-        let mut m = MemorySystem::new(cfg, &space);
-        let _ = m.read(0, a, 0);
-        let _ = m.read(1, a, 200); // bus supply; both hold it
-        let _ = m.read(0, a + LINE_BYTES, 400); // evicts proc 0's copy
+        let mut m = MemorySystem::try_new(cfg, &space).unwrap();
+        let _ = m.try_read(0, a, 0).unwrap();
+        let _ = m.try_read(1, a, 200).unwrap(); // bus supply; both hold it
+        let _ = m.try_read(0, a + LINE_BYTES, 400).unwrap(); // evicts proc 0's copy
         m.check_invariants().unwrap();
         // Proc 1 still hits; the cluster bit must still be set.
-        assert_eq!(m.read(1, a, 600), Outcome::ReadHit);
+        assert_eq!(m.try_read(1, a, 600).unwrap(), Outcome::ReadHit);
     }
 
     #[test]
     fn stats_classify_read_write_upgrade() {
         let (mut m, a, _) = machine(1, CacheSpec::Infinite);
-        let _ = m.read(0, a, 0); // READ miss
-        let _ = m.write(0, a, 10); // UPGRADE (shared in own cache)
-        let _ = m.write(1, a + LINE_BYTES, 20); // WRITE miss
+        let _ = m.try_read(0, a, 0).unwrap(); // READ miss
+        let _ = m.try_write(0, a, 10).unwrap(); // UPGRADE (shared in own cache)
+        let _ = m.try_write(1, a + LINE_BYTES, 20).unwrap(); // WRITE miss
         assert_eq!(m.stats.read_misses, 1);
         assert_eq!(m.stats.upgrade_misses, 1);
         assert_eq!(m.stats.write_misses, 1);

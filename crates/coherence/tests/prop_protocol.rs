@@ -49,7 +49,7 @@ fn machine(per_cluster: u32, cache_lines: Option<u64>) -> (MemorySystem, u64) {
         },
         lat: LatencyTable::paper(),
     };
-    (MemorySystem::new(cfg, &space), base)
+    (MemorySystem::try_new(cfg, &space).unwrap(), base)
 }
 
 fn private_machine(per_cluster: u32, cache_lines: u64) -> (MemorySystem, u64) {
@@ -64,7 +64,7 @@ fn private_machine(per_cluster: u32, cache_lines: u64) -> (MemorySystem, u64) {
         },
         lat: LatencyTable::paper(),
     };
-    (MemorySystem::new(cfg, &space), base)
+    (MemorySystem::try_new(cfg, &space).unwrap(), base)
 }
 
 #[test]
@@ -85,10 +85,12 @@ fn invariants_hold_under_random_traffic() {
             for a in ops {
                 let addr = base + a.line * 64;
                 if a.is_write {
-                    let _ = m.write(a.proc, addr, now);
-                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                    let _ = m.try_write(a.proc, addr, now).unwrap();
+                } else if let Outcome::MergeWait { ready_at } =
+                    m.try_read(a.proc, addr, now).unwrap()
+                {
                     now = ready_at;
-                    let _ = m.read(a.proc, addr, now);
+                    let _ = m.try_read(a.proc, addr, now).unwrap();
                 }
                 now += 7;
                 m.check_invariants()
@@ -123,10 +125,12 @@ fn invariants_hold_in_shared_memory_clusters() {
             for a in ops {
                 let addr = base + a.line * 64;
                 if a.is_write {
-                    let _ = m.write(a.proc, addr, now);
-                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
+                    let _ = m.try_write(a.proc, addr, now).unwrap();
+                } else if let Outcome::MergeWait { ready_at } =
+                    m.try_read(a.proc, addr, now).unwrap()
+                {
                     now = ready_at;
-                    let _ = m.read(a.proc, addr, now);
+                    let _ = m.try_read(a.proc, addr, now).unwrap();
                 }
                 now += 7;
                 m.check_invariants()
@@ -149,9 +153,9 @@ fn read_after_write_same_cluster_hits() {
             // a hit (pending window aside — we read after the fill).
             let (mut m, base) = machine(4, None);
             let addr = base + line * 64;
-            let _ = m.write(writer, addr, 0);
+            let _ = m.try_write(writer, addr, 0).unwrap();
             let mate = (writer / 4) * 4 + (writer + 1) % 4;
-            let outcome = m.read(mate, addr, 1_000);
+            let outcome = m.try_read(mate, addr, 1_000).unwrap();
             prop_ensure_eq!(outcome, Outcome::ReadHit);
             Ok(())
         },
@@ -171,7 +175,7 @@ fn miss_latency_matches_home_relation() {
             // reader's cluster.
             let (mut m, base) = machine(2, None);
             let addr = base + line * 64;
-            match m.read(reader, addr, 0) {
+            match m.try_read(reader, addr, 0).unwrap() {
                 Outcome::ReadMiss { class, stall } => {
                     // Cold lines are never dirty anywhere.
                     prop_ensure!(
@@ -201,9 +205,11 @@ fn at_most_one_dirty_copy_everywhere() {
                 let addr = base + a.line * 64;
                 let now = i as u64 * 3;
                 if a.is_write {
-                    let _ = m.write(a.proc, addr, now);
-                } else if let Outcome::MergeWait { ready_at } = m.read(a.proc, addr, now) {
-                    let _ = m.read(a.proc, addr, ready_at);
+                    let _ = m.try_write(a.proc, addr, now).unwrap();
+                } else if let Outcome::MergeWait { ready_at } =
+                    m.try_read(a.proc, addr, now).unwrap()
+                {
+                    let _ = m.try_read(a.proc, addr, ready_at).unwrap();
                 }
             }
             // check_invariants already asserts the SWMR property; run it
@@ -230,10 +236,10 @@ fn stats_balance() {
                 let now = i as u64 * 200; // spaced out: no merges
                 if a.is_write {
                     writes += 1;
-                    let _ = m.write(a.proc, addr, now);
+                    let _ = m.try_write(a.proc, addr, now).unwrap();
                 } else {
                     reads += 1;
-                    let _ = m.read(a.proc, addr, now);
+                    let _ = m.try_read(a.proc, addr, now).unwrap();
                 }
             }
             let s = &m.stats;

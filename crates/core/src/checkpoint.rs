@@ -16,14 +16,20 @@
 //! because a resumed manifest must serialize byte-identically to a
 //! fresh one.
 //!
-//! Durability: every append rewrites the whole journal through
-//! [`write_atomic`] (tmp file, fsync, rename). Rewriting is O(n²)
-//! over a study but n = 144 and entries are small; in exchange a
-//! reader never sees a torn line, so *any* prefix of completed work
-//! survives a kill at *any* instant. The `kill_after` hook (driven by
-//! `STUDY_KILL_AFTER_RECORDS` in `paper_run`) exits the process with
-//! code 42 after the Nth append — the crash-injection lever the CI
-//! resume round-trip and the checkpoint property tests use.
+//! Durability: the header is written through [`write_atomic`] (tmp
+//! file, fsync, rename) and every entry is then *appended* as one
+//! JSONL line followed by `fdatasync` — O(1) per append instead of
+//! the old whole-file-rewrite-per-append (O(n²) over a study). The
+//! price is that a kill can now land mid-`write(2)` and leave a torn
+//! *final* line; [`recover_journal`] therefore tolerates exactly
+//! that — a malformed last line is dropped, anything malformed
+//! earlier is still a hard error — and [`Journal::resume`] heals the
+//! file back to a clean prefix before reopening it for append. Every
+//! prefix of completed work still survives a kill at any instant.
+//! The `kill_after` hook (driven by `STUDY_KILL_AFTER_RECORDS` in
+//! `paper_run`) exits the process with code 42 after the Nth append —
+//! the crash-injection lever the CI resume round-trip and the
+//! checkpoint property tests use.
 
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -300,14 +306,45 @@ pub fn render_journal(header: &JournalHeader, entries: &[JournalEntry]) -> Strin
 }
 
 /// Parses journal text back into header and entries. Any malformed
-/// line — including a truncated tail, which the atomic writer never
-/// produces — is an error carrying its line number.
+/// line — including a truncated tail — is an error carrying its line
+/// number. Use [`recover_journal`] to tolerate a torn final line.
 pub fn parse_journal(text: &str) -> Result<(JournalHeader, Vec<JournalEntry>), JournalError> {
-    let mut lines = text
+    let (header, entries, torn) = scan_journal(text)?;
+    if let Some(err) = torn {
+        return Err(err);
+    }
+    Ok((header, entries))
+}
+
+/// Like [`parse_journal`], but tolerates a malformed **final** line —
+/// the signature of a kill mid-append — returning the clean prefix
+/// plus the 1-based number of the dropped line. Malformed lines that
+/// are *followed* by a valid line are still hard errors: that is
+/// corruption, not a torn append.
+pub fn recover_journal(
+    text: &str,
+) -> Result<(JournalHeader, Vec<JournalEntry>, Option<usize>), JournalError> {
+    let (header, entries, torn) = scan_journal(text)?;
+    let dropped = torn.map(|err| match err {
+        JournalError::Malformed { line, .. } => line,
+        _ => 0,
+    });
+    Ok((header, entries, dropped))
+}
+
+/// Shared scanner: parses the header strictly, then entries in order.
+/// A parse failure on the final non-empty line is returned as the
+/// third tuple slot (the caller decides whether a torn tail is fatal);
+/// a failure anywhere earlier is a hard error.
+fn scan_journal(
+    text: &str,
+) -> Result<(JournalHeader, Vec<JournalEntry>, Option<JournalError>), JournalError> {
+    let lines: Vec<(usize, &str)> = text
         .lines()
         .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (line0, header_line) = lines.next().ok_or(JournalError::Malformed {
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let &(line0, header_line) = lines.first().ok_or(JournalError::Malformed {
         line: 1,
         reason: "empty journal (no header line)".to_string(),
     })?;
@@ -320,23 +357,37 @@ pub fn parse_journal(text: &str) -> Result<(JournalHeader, Vec<JournalEntry>), J
     let header = JournalHeader::from_json(&parse_line(line0, header_line)?)
         .map_err(|reason| JournalError::Malformed { line: 1, reason })?;
     let mut entries = Vec::new();
-    for (i, l) in lines {
-        let j = parse_line(i, l)?;
-        entries.push(
+    for (pos, &(i, l)) in lines.iter().enumerate().skip(1) {
+        let parsed = parse_line(i, l).and_then(|j| {
             JournalEntry::from_json(&j).map_err(|reason| JournalError::Malformed {
                 line: i + 1,
                 reason,
-            })?,
-        );
+            })
+        });
+        match parsed {
+            Ok(e) => entries.push(e),
+            Err(err) if pos == lines.len() - 1 => return Ok((header, entries, Some(err))),
+            Err(err) => return Err(err),
+        }
     }
-    Ok((header, entries))
+    Ok((header, entries, None))
 }
 
 #[derive(Debug)]
 struct JournalState {
+    /// Append-mode handle to the journal file; `O_APPEND` keeps every
+    /// `write(2)` positioned at end-of-file.
+    file: std::fs::File,
     entries: Vec<JournalEntry>,
     appended: usize,
     kill_after: Option<usize>,
+}
+
+fn open_append(path: &Path) -> Result<std::fs::File, JournalError> {
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(JournalError::Io)
 }
 
 /// An append-only checkpoint journal bound to one study shape.
@@ -368,6 +419,7 @@ impl Journal {
             path: path.to_path_buf(),
             header,
             state: Mutex::new(JournalState {
+                file: open_append(path)?,
                 entries: Vec::new(),
                 appended: 0,
                 kill_after: None,
@@ -377,7 +429,10 @@ impl Journal {
 
     /// Reopens an existing journal, validating that it checkpoints
     /// the same `(tool, size, procs)` shape. The already-journaled
-    /// entries become the study's prefill.
+    /// entries become the study's prefill. A torn final line — the
+    /// fingerprint of a kill mid-append — is dropped and the file is
+    /// healed back to the clean prefix before appending resumes;
+    /// corruption anywhere earlier is an error.
     pub fn resume(
         path: &Path,
         tool: &str,
@@ -385,7 +440,7 @@ impl Journal {
         procs: usize,
     ) -> Result<Journal, JournalError> {
         let text = std::fs::read_to_string(path)?;
-        let (header, entries) = parse_journal(&text)?;
+        let (header, entries, torn) = recover_journal(&text)?;
         if header.tool != tool || header.size != size || header.procs != procs {
             return Err(JournalError::Mismatch {
                 reason: format!(
@@ -394,10 +449,15 @@ impl Journal {
                 ),
             });
         }
+        if let Some(line) = torn {
+            eprintln!("[checkpoint] dropping torn journal line {line} (kill mid-append)");
+            write_atomic(path, render_journal(&header, &entries).as_bytes())?;
+        }
         Ok(Journal {
             path: path.to_path_buf(),
             header,
             state: Mutex::new(JournalState {
+                file: open_append(path)?,
                 entries,
                 appended: 0,
                 kill_after: None,
@@ -408,6 +468,11 @@ impl Journal {
     /// The journal file's location.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The study shape this journal checkpoints.
+    pub fn header(&self) -> &JournalHeader {
+        &self.header
     }
 
     /// Snapshot of everything journaled so far (restored + appended).
@@ -422,19 +487,21 @@ impl Journal {
         self.state.lock().unwrap().kill_after = Some(n);
     }
 
-    /// Durably appends one completed run: the whole journal is
-    /// rewritten through an atomic rename, so a kill at any instant
-    /// leaves either the previous journal or this one — never a torn
-    /// line. Panics on I/O failure: silently losing checkpoint
+    /// Durably appends one completed run as a single JSONL line
+    /// followed by `fdatasync` — O(1) per append. A kill mid-write
+    /// can tear at most this final line, which `resume` drops and
+    /// heals. Panics on I/O failure: silently losing checkpoint
     /// durability would defeat the journal's purpose.
     pub fn append(&self, entry: JournalEntry) {
+        use std::io::Write as _;
         let mut st = self.state.lock().unwrap();
+        let mut line = entry.to_json().to_string();
+        line.push('\n');
         st.entries.push(entry);
-        write_atomic(
-            &self.path,
-            render_journal(&self.header, &st.entries).as_bytes(),
-        )
-        .unwrap_or_else(|e| panic!("cannot append to checkpoint journal {:?}: {e}", self.path));
+        st.file
+            .write_all(line.as_bytes())
+            .and_then(|()| st.file.sync_data())
+            .unwrap_or_else(|e| panic!("cannot append to checkpoint journal {:?}: {e}", self.path));
         st.appended += 1;
         if st.kill_after.is_some_and(|n| st.appended >= n) {
             eprintln!(
@@ -533,6 +600,72 @@ mod tests {
         }
         assert!(parse_journal("").is_err());
         assert!(parse_journal("{\"schema\": \"something/else\"}\n").is_err());
+    }
+
+    #[test]
+    fn recover_drops_only_a_torn_final_line() {
+        let header = JournalHeader {
+            tool: "t".into(),
+            size: "small".into(),
+            procs: 8,
+        };
+        let clean = render_journal(&header, &[entry("lu", 1, 10), entry("lu", 2, 20)]);
+
+        // Torn tail: prefix survives, dropped line number reported.
+        let mut torn = clean.clone();
+        torn.push_str("{\"app\": \"tru");
+        let (h, entries, dropped) = recover_journal(&torn).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(dropped, Some(4));
+        assert!(parse_journal(&torn).is_err(), "strict parse still rejects");
+
+        // A clean journal recovers with nothing dropped.
+        let (_, entries, dropped) = recover_journal(&clean).unwrap();
+        assert_eq!((entries.len(), dropped), (2, None));
+
+        // Mid-journal corruption is NOT a torn tail: hard error.
+        let corrupt = clean.replace("\"cluster\":1", "\"cluster\":oops");
+        assert!(matches!(
+            recover_journal(&corrupt),
+            Err(JournalError::Malformed { line: 2, .. })
+        ));
+
+        // A torn header is unrecoverable.
+        assert!(recover_journal("{\"schema").is_err());
+    }
+
+    #[test]
+    fn resume_heals_torn_tail_and_appends_cleanly() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join("clustered-smp-journal-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let j = Journal::create(&path, "t", "small", 8).unwrap();
+        j.append(entry("lu", 1, 10));
+        j.append(entry("lu", 2, 20));
+        drop(j);
+
+        // Simulate a kill mid-append: a trailing partial line.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"app\": \"lu\", \"cac").unwrap();
+        drop(f);
+
+        let r = Journal::resume(&path, "t", "small", 8).unwrap();
+        assert_eq!(r.entries().len(), 2, "clean prefix survives");
+        // The file was healed: strict parsing succeeds again...
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (_, entries) = parse_journal(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        // ...and further appends extend the healed file.
+        r.append(entry("ocean", 4, 30));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (_, entries) = parse_journal(&text).unwrap();
+        assert_eq!(entries.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -105,6 +105,8 @@ impl<V> FullLruCache<V> {
     /// panicking on a zero capacity; [`FullLruCache::try_new`] is the
     /// non-panicking form for user-supplied geometries.
     pub fn new(capacity_lines: usize) -> Self {
+        // cluster_check: allow(no-panic) — documented panicking
+        // constructor; callers with user input use try_new.
         Self::try_new(capacity_lines).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -292,6 +294,8 @@ impl<V> SetAssocCache<V> {
     /// [`SetAssocCache::try_new`] is the non-panicking form.
     /// `capacity_lines / ways` must be a power of two.
     pub fn new(capacity_lines: usize, ways: usize) -> Self {
+        // cluster_check: allow(no-panic) — documented panicking
+        // constructor; callers with user input use try_new.
         Self::try_new(capacity_lines, ways).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -392,6 +396,8 @@ impl<V> SetAssocCache<V> {
             "insert of already-resident line {line:#x}"
         );
         let evicted = if set.len() == ways {
+            // cluster_check: allow(no-panic) — set.len() == ways > 0
+            // here, so the set cannot be empty (internal invariant).
             let (l, v) = set.pop().expect("full set is non-empty");
             Some(EvictedLine { line: l, val: v })
         } else {
@@ -407,6 +413,15 @@ impl<V> SetAssocCache<V> {
         let set = &mut self.sets[set_idx];
         let pos = set.iter().position(|(l, _)| *l == line)?;
         Some(set.remove(pos).1)
+    }
+
+    /// Iterates every resident line in set order (MRU-first within a
+    /// set). For state inspection — invariant checks, the protocol
+    /// model checker's snapshots — not for timing-sensitive paths.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|(l, v)| (*l, v)))
     }
 }
 

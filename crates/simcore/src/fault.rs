@@ -138,6 +138,8 @@ impl FaultPlan {
     pub fn apply(&self, key: &str, attempt: u32) {
         match self.decide(key, attempt) {
             Some(FaultKind::Panic) => {
+                // cluster_check: allow(no-panic) — injecting this panic
+                // is the module's whole purpose (tagged payload).
                 panic!("{PANIC_PREFIX}: {key} (attempt {attempt})");
             }
             Some(FaultKind::Delay) => std::thread::sleep(self.delay),

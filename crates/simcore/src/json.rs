@@ -54,6 +54,8 @@ impl Json {
     pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
         match self {
             Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            // cluster_check: allow(no-panic) — a construction bug in
+            // the caller, not a data error (documented contract).
             other => panic!("push on non-object {other:?}"),
         }
         self
@@ -519,6 +521,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // cluster_check: allow(no-panic) — the scanned range is all
+        // ASCII digits/signs, so UTF-8 validation cannot fail.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if integral {
             if let Some(rest) = text.strip_prefix('-') {

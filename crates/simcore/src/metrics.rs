@@ -67,6 +67,8 @@ impl Metrics {
         match self.position(name) {
             Some(i) => match &mut self.entries[i].1 {
                 MetricValue::Counter(x) => *x += delta,
+                // cluster_check: allow(no-panic) — mixing metric kinds
+                // under one name is a bug, not data (documented).
                 MetricValue::Gauge(_) => panic!("metric {name:?} is a gauge, not a counter"),
             },
             None => self
@@ -81,6 +83,8 @@ impl Metrics {
         match self.position(name) {
             Some(i) => match &mut self.entries[i].1 {
                 MetricValue::Gauge(x) => *x = value,
+                // cluster_check: allow(no-panic) — mixing metric kinds
+                // under one name is a bug, not data (documented).
                 MetricValue::Counter(_) => panic!("metric {name:?} is a counter, not a gauge"),
             },
             None => self

@@ -285,6 +285,8 @@ where
         let (minimal, last_err, steps) =
             shrink_to_minimal(case, first_err, &shrink, &prop, cfg.max_shrink_steps);
 
+        // cluster_check: allow(no-panic) — failing the test by panic
+        // is this harness's contract (it runs only inside #[test]s).
         panic!(
             "property '{name}' failed (case {i} of {cases}, seed {case_seed:#x}, \
              {steps} shrink steps)\n\

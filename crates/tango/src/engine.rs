@@ -3,9 +3,53 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use coherence::{MachineConfig, MemorySystem, Outcome};
+use coherence::{MachineConfig, MemorySystem, Outcome, ProtocolError};
 use simcore::ops::{Op, Trace};
 use simcore::stats::{Breakdown, RunStats};
+
+/// A replay failure reachable from user input: a trace whose shape
+/// does not match the machine, or one that touches unallocated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The protocol rejected the configuration or an access.
+    Protocol(ProtocolError),
+    /// The trace was generated for a different processor count than
+    /// the machine provides.
+    ProcCountMismatch {
+        /// Processors in the trace.
+        trace: usize,
+        /// Processors in the machine configuration.
+        machine: u32,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Protocol(e) => write!(f, "{e}"),
+            EngineError::ProcCountMismatch { trace, machine } => write!(
+                f,
+                "trace has {trace} processors but machine expects {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for EngineError {
+    fn from(e: ProtocolError) -> EngineError {
+        EngineError::Protocol(e)
+    }
+}
 
 /// Tunables beyond the machine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -106,17 +150,33 @@ pub fn run_instrumented(trace: &Trace, machine: MachineConfig) -> (RunStats, sim
     (rs, m)
 }
 
-/// Replays `trace` with explicit [`EngineOptions`].
+/// Replays `trace` with explicit [`EngineOptions`], panicking on a
+/// malformed input. The study and bench drivers replay traces they
+/// generated themselves, so a mismatch is a caller bug; code replaying
+/// untrusted traces should use [`try_run_with`].
 pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> RunStats {
+    // cluster_check: allow(no-panic) — documented panicking convenience
+    // wrapper over the typed try_run_with.
+    try_run_with(trace, machine, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Replays `trace` with explicit [`EngineOptions`], propagating the
+/// typed reason when the trace does not fit the machine.
+pub fn try_run_with(
+    trace: &Trace,
+    machine: MachineConfig,
+    opts: EngineOptions,
+) -> Result<RunStats, EngineError> {
     let n = trace.n_procs();
-    assert_eq!(
-        n as u32, machine.n_procs,
-        "trace has {n} processors but machine expects {}",
-        machine.n_procs
-    );
+    if n as u32 != machine.n_procs {
+        return Err(EngineError::ProcCountMismatch {
+            trace: n,
+            machine: machine.n_procs,
+        });
+    }
     assert!(opts.load_latency >= 1 && opts.dependent_load_period >= 1);
 
-    let mut mem = MemorySystem::new(machine, &trace.space);
+    let mut mem = MemorySystem::try_new(machine, &trace.space)?;
     let mut procs: Vec<ProcState> = (0..n)
         .map(|_| ProcState {
             clock: 0,
@@ -174,7 +234,7 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
                 }
                 Op::Read(a) => {
                     let now = procs[pidx].clock;
-                    match mem.read(pid, a, now) {
+                    match mem.try_read(pid, a, now)? {
                         Outcome::ReadHit => {
                             let p = &mut procs[pidx];
                             p.bd.cpu += 1;
@@ -219,7 +279,7 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
                 }
                 Op::Write(a) => {
                     let now = procs[pidx].clock;
-                    let _ = mem.write(pid, a, now);
+                    let _ = mem.try_write(pid, a, now)?;
                     let p = &mut procs[pidx];
                     p.bd.cpu += 1;
                     p.clock += 1;
@@ -307,11 +367,11 @@ pub fn run_with(trace: &Trace, machine: MachineConfig, opts: EngineOptions) -> R
         p.bd.sync += exec_time - p.clock;
         debug_assert_eq!(p.bd.total(), exec_time, "breakdown must sum to exec time");
     }
-    RunStats {
+    Ok(RunStats {
         per_proc: procs.into_iter().map(|p| p.bd).collect(),
         mem: mem.stats,
         exec_time,
-    }
+    })
 }
 
 #[cfg(test)]

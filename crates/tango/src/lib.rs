@@ -17,4 +17,4 @@
 
 pub mod engine;
 
-pub use engine::{run, run_instrumented, run_with, EngineOptions};
+pub use engine::{run, run_instrumented, run_with, try_run_with, EngineError, EngineOptions};

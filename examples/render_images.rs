@@ -21,7 +21,7 @@ fn write_pgm(path: &str, w: usize, pixels: &[f32]) -> std::io::Result<()> {
         }
         data.push('\n');
     }
-    std::fs::write(path, data)
+    cluster_study::manifest::write_atomic(std::path::Path::new(path), data.as_bytes())
 }
 
 /// Deterministic content hash of the rendered pixels (FNV-1a over the

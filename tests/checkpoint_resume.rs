@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use cluster_study::checkpoint::{
-    parse_journal, render_journal, Journal, JournalEntry, JournalHeader,
+    parse_journal, recover_journal, render_journal, Journal, JournalEntry, JournalHeader,
 };
 use cluster_study::manifest::Manifest;
 use cluster_study::parallel::RunStatus;
@@ -217,6 +217,77 @@ fn prop_journal_text_roundtrips_arbitrary_entries() {
             Ok(())
         },
     );
+}
+
+/// Torn-tail property: the append+fsync journal can be killed
+/// mid-`write(2)`, leaving any byte-prefix of the final line. For
+/// arbitrary entries and an arbitrary cut point, `recover_journal`
+/// returns exactly the clean prefix and `Journal::resume` heals the
+/// file so strict parsing and appending both work again.
+#[test]
+fn prop_resume_recovers_any_torn_final_line() {
+    let dir = temp_dir("torn-prop");
+    let header = JournalHeader {
+        tool: TOOL.to_string(),
+        size: "small".to_string(),
+        procs: PROCS,
+    };
+    propcheck::check(
+        "torn-final-line-recovery",
+        |g: &mut Gen| {
+            let entries = g.vec_of(0..8, |g| {
+                let app = g.pick(&["lu", "fft", "ocean"]);
+                entry_with(app, "4k", g.pick(&[1u32, 4, 8]), g.u64_in(0..1000))
+            });
+            let cut = g.u64_in(0..200) as usize;
+            (entries, cut)
+        },
+        |(entries, cut)| {
+            let mut out: Vec<(Vec<JournalEntry>, usize)> = shrink_u64(*cut as u64)
+                .into_iter()
+                .map(|c| (entries.clone(), c as usize))
+                .collect();
+            out.extend(
+                simcore::propcheck::halves(entries.as_slice())
+                    .into_iter()
+                    .map(|e| (e, *cut)),
+            );
+            out
+        },
+        |(entries, cut)| {
+            let clean = render_journal(&header, entries);
+            // Tear the next append at byte offset `cut`.
+            let extra = entry_with("mp3d", "16k", 2, 999).to_json().to_string();
+            let frag = &extra[..(*cut).min(extra.len().saturating_sub(1))];
+            let torn_text = format!("{clean}{frag}");
+            let torn_expected = !frag.trim().is_empty();
+            let (h, back, dropped) = recover_journal(&torn_text).map_err(|e| e.to_string())?;
+            prop_ensure_eq!(h, header);
+            prop_ensure_eq!(&back, entries, "clean prefix must survive");
+            prop_ensure_eq!(
+                dropped.is_some(),
+                torn_expected,
+                "torn-line report (frag {frag:?})"
+            );
+
+            // Resume over the torn file heals it.
+            let path = dir.join(format!("torn_{}_{cut}.jsonl", entries.len()));
+            std::fs::write(&path, &torn_text).unwrap();
+            let j = Journal::resume(&path, TOOL, "small", PROCS)
+                .map_err(|e| format!("torn resume: {e}"))?;
+            prop_ensure_eq!(j.entries().len(), entries.len());
+            j.append(entry_with("water", "inf", 8, 7));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let (_, healed) = parse_journal(&text).map_err(|e| e.to_string())?;
+            prop_ensure_eq!(
+                healed.len(),
+                entries.len() + 1,
+                "healed journal strict-parses with the new append"
+            );
+            Ok(())
+        },
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Planted-bug shrink test: a journal parser that silently drops
