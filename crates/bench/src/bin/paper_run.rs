@@ -24,9 +24,10 @@
 //! `STUDY_FAULT_SEED` / `STUDY_FAULT_DEPTH` inject deterministic
 //! faults to exercise all of the above.
 
-use cluster_bench::{open_journal, Cli, Reporter};
+use cluster_bench::{cache_prefill, cache_sink, open_cache, open_journal, Cli, Reporter};
 use cluster_study::apps::FIG2_APPS;
-use cluster_study::study::{StudyEvent, StudySpec, CLUSTER_SIZES};
+use cluster_study::checkpoint::JournalEntry;
+use cluster_study::study::{CellOutcome, StudyEvent, StudySpec, CLUSTER_SIZES};
 
 fn main() {
     let cli = Cli::parse();
@@ -43,12 +44,26 @@ fn main() {
     // The whole matrix through the pipelined executor; completed
     // items log as they finish, so the gen/sim interleave is visible.
     let journal = open_journal("paper_run", &cli);
+    let cache = open_cache(&cli);
+    let from_cache = cache
+        .as_ref()
+        .map(|store| cache_prefill(store, &apps, cli.size_label(), cli.procs))
+        .unwrap_or_default();
+    let sink = cache
+        .as_ref()
+        .map(|store| cache_sink(store, cli.size_label(), cli.procs));
     let run = {
         let mut spec = StudySpec::generate(&apps, cli.size, cli.procs)
             .jobs(cli.jobs)
             .policy(cli.policy());
         if let Some((j, prefill)) = &journal {
             spec = spec.checkpoint(j).prefill(prefill.clone());
+        }
+        if !from_cache.is_empty() {
+            spec = spec.cache_prefill(from_cache.clone());
+        }
+        if let Some(sink) = &sink {
+            spec = spec.on_complete(sink);
         }
         spec.run_with(|e| match e {
             StudyEvent::GenDone { name, wall, .. } => {
@@ -107,6 +122,45 @@ fn main() {
     if resumed > 0 {
         println!("(restored {resumed} runs from checkpoint journal)\n");
     }
+    let cached = run.cached_cells();
+    if cached > 0 {
+        println!("(served {cached} runs from the result cache)\n");
+    }
+    // Backfill: cells restored from the journal (or just simulated —
+    // record() is insert-if-absent) also belong in the cache, so the
+    // next sweep hits them no matter how this one obtained them.
+    if let Some(store) = &cache {
+        for cell in &run.cells {
+            if let CellOutcome::Done {
+                stats,
+                wall,
+                status,
+                attempts,
+                ..
+            } = &cell.outcome
+            {
+                let entry = JournalEntry {
+                    app: run.names[cell.trace].clone(),
+                    cache: cell.cache.label(),
+                    cluster: cell.cluster,
+                    stats: stats.clone(),
+                    wall: *wall,
+                    status: *status,
+                    attempts: *attempts,
+                };
+                let key = store.key(
+                    &entry.app,
+                    cli.size_label(),
+                    cli.procs,
+                    &entry.cache,
+                    entry.cluster,
+                );
+                if let Err(e) = store.record(&key, cli.size_label(), cli.procs, &entry) {
+                    eprintln!("[cache: backfill failed for {}: {e}]", entry.app);
+                }
+            }
+        }
+    }
     for (t, name) in run.names.iter().enumerate() {
         println!(
             "== {name} ==  (trace gen {:.2}s)",
@@ -163,6 +217,24 @@ fn main() {
     let m = &mut reporter.manifest.metrics;
     m.gauge("gen_wall_seconds", timing.gen_wall.as_secs_f64());
     m.gauge("total_wall_seconds", timing.wall.as_secs_f64());
+    if cache.is_some() {
+        let fresh = run
+            .cells
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome,
+                    CellOutcome::Done {
+                        cached: false,
+                        resumed: false,
+                        ..
+                    }
+                )
+            })
+            .count();
+        m.gauge("cache.hits", cached as f64);
+        m.gauge("cache.misses", fresh as f64);
+    }
     let errors = run.errors();
     reporter.finish();
     if !errors.is_empty() {

@@ -6,7 +6,8 @@
 
 use std::path::PathBuf;
 
-use cluster_study::manifest::Manifest;
+use cluster_serve::ResultStore;
+use cluster_study::manifest::{Manifest, ServedBy};
 use cluster_study::parallel::RunPolicy;
 use cluster_study::study::ClusterSweep;
 use cluster_study::{Journal, JournalEntry};
@@ -71,6 +72,10 @@ pub struct Cli {
     /// `--resume`: restore already-journaled runs from `--checkpoint`
     /// instead of re-executing them.
     pub resume: bool,
+    /// `--cache DIR`: serve already-simulated cells from (and record
+    /// fresh cells into) a `cluster_serve` content-addressed result
+    /// store in this directory.
+    pub cache: Option<PathBuf>,
 }
 
 /// A parse failure (or `--help` request) from [`Cli::parse_from`]:
@@ -131,6 +136,7 @@ impl Cli {
         let mut timeout_secs = None;
         let mut checkpoint = None;
         let mut resume = false;
+        let mut cache = None;
         let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -189,6 +195,12 @@ impl Cli {
                     ));
                 }
                 "--resume" => resume = true,
+                "--cache" => {
+                    cache = Some(PathBuf::from(
+                        args.next()
+                            .ok_or_else(|| fail("--cache needs a directory"))?,
+                    ));
+                }
                 "--help" | "-h" => {
                     return Err(CliError {
                         message: None,
@@ -213,6 +225,7 @@ impl Cli {
             timeout_secs,
             checkpoint,
             resume,
+            cache,
         })
     }
 
@@ -263,7 +276,7 @@ fn usage_text(tool: &str) -> String {
         "usage: {tool} [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
          \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
          \u{20}            [--retries N] [--timeout-secs X]\n\
-         \u{20}            [--checkpoint PATH] [--resume]\n\
+         \u{20}            [--checkpoint PATH] [--resume] [--cache DIR]\n\
          \n\
          --paper          paper problem sizes (default)\n\
          --small          reduced sizes for quick runs\n\
@@ -282,7 +295,9 @@ fn usage_text(tool: &str) -> String {
          --checkpoint     journal each completed run to this JSONL file\n\
          \u{20}                (atomic appends; survives a kill at any instant)\n\
          --resume         restore already-journaled runs from --checkpoint\n\
-         \u{20}                instead of re-executing them"
+         \u{20}                instead of re-executing them\n\
+         --cache          serve already-simulated cells from (and record new\n\
+         \u{20}                cells into) a cluster_serve result store (paper_run)"
     )
 }
 
@@ -323,6 +338,69 @@ pub fn open_journal(tool: &str, cli: &Cli) -> Option<(Journal, Vec<JournalEntry>
         );
     }
     Some((journal, prefill))
+}
+
+/// Opens the `--cache DIR` content-addressed result store (if any).
+/// An unreadable or corrupt store is fatal (exit 2): silently
+/// re-simulating everything would defeat the cache, exactly as a bad
+/// checkpoint journal would defeat `--resume`.
+/// `SERVE_KILL_AFTER_RECORDS=N` arms the store's crash-injection hook.
+pub fn open_cache(cli: &Cli) -> Option<ResultStore> {
+    let dir = cli.cache.as_ref()?;
+    let store = ResultStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("error: result cache {}: {e}", dir.display());
+        std::process::exit(2)
+    });
+    if let Ok(v) = std::env::var("SERVE_KILL_AFTER_RECORDS") {
+        match v.parse() {
+            Ok(n) => store.set_kill_after(n),
+            Err(_) => eprintln!("[cache: ignoring non-numeric SERVE_KILL_AFTER_RECORDS={v}]"),
+        }
+    }
+    Some(store)
+}
+
+/// The store's entries covering `apps` × the Section 5 study matrix,
+/// ready for [`cluster_study::study::StudySpec::cache_prefill`]: each
+/// is served as a `cache_hit` cell instead of re-simulating.
+pub fn cache_prefill(
+    store: &ResultStore,
+    apps: &[&str],
+    size: &str,
+    procs: usize,
+) -> Vec<JournalEntry> {
+    let mut out = Vec::new();
+    for &app in apps {
+        for cache in cluster_study::study::section5_caches() {
+            for &cluster in &cluster_study::study::CLUSTER_SIZES {
+                let key = store.key(app, size, procs, &cache.label(), cluster);
+                if let Some(e) = store.peek(&key) {
+                    out.push(e.cell);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A study `on_complete` sink durably recording every freshly
+/// simulated cell into the result store as it finishes — the
+/// client-side twin of the server's append-on-compute, so a killed
+/// study still leaves its completed prefix cached.
+pub fn cache_sink<'a>(
+    store: &'a ResultStore,
+    size: &'a str,
+    procs: usize,
+) -> impl Fn(&JournalEntry) + Sync + 'a {
+    move |entry: &JournalEntry| {
+        let key = store.key(&entry.app, size, procs, &entry.cache, entry.cluster);
+        if let Err(e) = store.record(&key, size, procs, entry) {
+            eprintln!(
+                "[cache: failed to record {}/{}/{}: {e}]",
+                entry.app, entry.cache, entry.cluster
+            );
+        }
+    }
 }
 
 /// Collects run records and metrics during a tool's execution and
@@ -391,9 +469,15 @@ impl Reporter {
                 wall,
                 status,
                 attempts,
-                ..
+                resumed,
+                cached,
             } = &cell.outcome
             {
+                let served_by = match (cached, resumed) {
+                    (true, _) => ServedBy::Cache,
+                    (false, true) => ServedBy::Journal,
+                    (false, false) => ServedBy::Sim,
+                };
                 self.manifest.record_outcome(
                     &run.names[cell.trace],
                     &cell.cache.label(),
@@ -402,6 +486,7 @@ impl Reporter {
                     *wall,
                     *status,
                     *attempts,
+                    served_by,
                 );
             }
         }
@@ -534,6 +619,7 @@ mod tests {
             timeout_secs: None,
             checkpoint: None,
             resume: false,
+            cache: None,
         }
     }
 

@@ -181,6 +181,18 @@ fn resume_requires_a_checkpoint() {
 }
 
 #[test]
+fn cache_flag_takes_a_directory() {
+    assert_eq!(parse(&[]).unwrap().cache, None);
+    let cli = parse(&["--cache", "results/store"]).unwrap();
+    assert_eq!(cli.cache, Some(PathBuf::from("results/store")));
+    // Caching composes with checkpointing — they are independent.
+    let both = parse(&["--cache", "s", "--checkpoint", "j.jsonl"]).unwrap();
+    assert!(both.cache.is_some() && both.checkpoint.is_some());
+    let err = parse(&["--cache"]).unwrap_err();
+    assert_eq!(err.message.as_deref(), Some("--cache needs a directory"));
+}
+
+#[test]
 fn policy_reflects_retry_and_timeout_flags() {
     let cli = parse(&["--retries", "2", "--timeout-secs", "1.5"]).unwrap();
     let policy = cli.policy();

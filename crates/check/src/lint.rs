@@ -4,15 +4,19 @@
 //! | rule         | forbids                                            |
 //! |--------------|----------------------------------------------------|
 //! | `no-panic`   | `.unwrap()` / `.expect(` / `panic!` in non-test    |
-//! |              | library code of `simcore`, `coherence`, `tango`    |
+//! |              | library code of `simcore`, `coherence`, `tango`,   |
+//! |              | and the `serve` server loop                        |
 //! | `no-wallclock` | `Instant` / `SystemTime` in non-test code of the |
 //! |              | simulation crates (plus `splash`) — wall-clock     |
 //! |              | values must never flow into simulation results     |
 //! | `atomic-io`  | direct `fs::write` of artifacts anywhere outside   |
 //! |              | `write_atomic` (crate `src/` trees and `examples/`)|
-//! | `schema-sync`| drift between the manifest writer keys             |
-//! |              | (`manifest.rs`, `parallel.rs`) and the golden      |
-//! |              | schema test (`crates/bench/tests/manifest_schema`) |
+//! | `schema-sync`| drift between a writer key set and its golden      |
+//! |              | schema test, per pairing: the manifest writers     |
+//! |              | (`manifest.rs`, `parallel.rs`) against             |
+//! |              | `crates/bench/tests/manifest_schema.rs`, and the   |
+//! |              | serve protocol writer (`serve/src/protocol.rs`)    |
+//! |              | against `crates/serve/tests/protocol.rs`           |
 //!
 //! Scanning is token-based over comment-stripped source with
 //! `#[cfg(test)]` modules skipped, so the pass needs no compiler
@@ -241,60 +245,95 @@ fn golden_array_keys(text: &str) -> Vec<String> {
     out
 }
 
-/// Manifest writer keys the golden schema deliberately does not pin
-/// (error-path fields only present on faulted runs, and a
-/// conditionally-emitted timing diagnostic).
-const SCHEMA_WRITER_EXEMPT: [&str; 3] = ["phase", "error", "serial_baseline_seconds"];
-/// Golden-side keys no manifest writer emits directly (tool-specific
-/// metrics registered by the caller).
-const SCHEMA_GOLDEN_EXEMPT: [&str; 1] = ["simulations"];
+/// One writer↔golden pairing for the schema-sync rule: the key set a
+/// group of source files emits (via `.with(` / `.push(`) must match
+/// the key set its golden schema test pins (via `.get(` /
+/// `for key in [...]`), modulo the per-pairing exempt lists.
+struct SchemaPair {
+    /// Source files emitting schema keys, relative to the root.
+    writers: &'static [&'static str],
+    /// Golden schema test pinning the keys, relative to the root.
+    golden: &'static str,
+    /// Writer keys the golden deliberately does not pin.
+    writer_exempt: &'static [&'static str],
+    /// Golden-side keys no writer emits directly.
+    golden_exempt: &'static [&'static str],
+    /// Writer-side label used in finding messages.
+    what: &'static str,
+}
 
-/// The schema-sync rule: both directions of drift between the writer
-/// key set and the golden schema key set.
+/// Every schema the workspace promises to keep in sync with a golden
+/// test. Manifest exemptions: error-path fields only present on
+/// faulted runs, a conditionally-emitted timing diagnostic, and
+/// (golden side) a tool-specific metric registered by the caller.
+const SCHEMA_PAIRS: [SchemaPair; 2] = [
+    SchemaPair {
+        writers: &["crates/core/src/manifest.rs", "crates/core/src/parallel.rs"],
+        golden: "crates/bench/tests/manifest_schema.rs",
+        writer_exempt: &["phase", "error", "serial_baseline_seconds"],
+        golden_exempt: &["simulations"],
+        what: "manifest writer",
+    },
+    SchemaPair {
+        writers: &["crates/serve/src/protocol.rs"],
+        golden: "crates/serve/tests/protocol.rs",
+        writer_exempt: &[],
+        golden_exempt: &[],
+        what: "serve protocol writer",
+    },
+];
+
+/// The schema-sync rule: both directions of drift between each
+/// pairing's writer key set and its golden schema key set.
 fn schema_sync(root: &Path, findings: &mut Vec<Finding>) {
-    let writer_files = [
-        root.join("crates/core/src/manifest.rs"),
-        root.join("crates/core/src/parallel.rs"),
-    ];
-    let golden_file = root.join("crates/bench/tests/manifest_schema.rs");
-    let Ok(golden_text) = std::fs::read_to_string(&golden_file) else {
-        return; // no golden schema in this tree (e.g. fixture mode)
-    };
-    let mut writers: Vec<(String, PathBuf)> = Vec::new();
-    for wf in &writer_files {
-        let Ok(text) = std::fs::read_to_string(wf) else {
-            continue;
+    for pair in &SCHEMA_PAIRS {
+        let golden_file = root.join(pair.golden);
+        let Ok(golden_text) = std::fs::read_to_string(&golden_file) else {
+            continue; // no golden schema in this tree (e.g. fixture mode)
         };
-        for marker in [".with(", ".push("] {
-            for key in string_args(&text, marker) {
-                writers.push((key, wf.clone()));
+        let mut writers: Vec<(String, PathBuf)> = Vec::new();
+        for rel in pair.writers {
+            let wf = root.join(rel);
+            let Ok(text) = std::fs::read_to_string(&wf) else {
+                continue;
+            };
+            for marker in [".with(", ".push("] {
+                for key in string_args(&text, marker) {
+                    writers.push((key, wf.clone()));
+                }
             }
         }
-    }
-    let mut golden: Vec<String> = string_args(&golden_text, ".get(");
-    golden.extend(golden_array_keys(&golden_text));
-    golden.sort();
-    golden.dedup();
+        let mut golden: Vec<String> = string_args(&golden_text, ".get(");
+        golden.extend(golden_array_keys(&golden_text));
+        golden.sort();
+        golden.dedup();
 
-    let writer_keys: Vec<&str> = writers.iter().map(|(k, _)| k.as_str()).collect();
-    for key in &golden {
-        if !writer_keys.contains(&key.as_str()) && !SCHEMA_GOLDEN_EXEMPT.contains(&key.as_str()) {
-            findings.push(Finding {
-                rule: "schema-sync",
-                file: golden_file.clone(),
-                line: 0,
-                detail: format!("golden schema checks key {key:?} but no manifest writer emits it"),
-            });
+        let writer_keys: Vec<&str> = writers.iter().map(|(k, _)| k.as_str()).collect();
+        for key in &golden {
+            if !writer_keys.contains(&key.as_str()) && !pair.golden_exempt.contains(&key.as_str()) {
+                findings.push(Finding {
+                    rule: "schema-sync",
+                    file: golden_file.clone(),
+                    line: 0,
+                    detail: format!(
+                        "golden schema checks key {key:?} but no {} emits it",
+                        pair.what
+                    ),
+                });
+            }
         }
-    }
-    for (key, wf) in &writers {
-        if !golden.iter().any(|g| g == key) && !SCHEMA_WRITER_EXEMPT.contains(&key.as_str()) {
-            findings.push(Finding {
-                rule: "schema-sync",
-                file: wf.clone(),
-                line: 0,
-                detail: format!("manifest writer emits key {key:?} the golden schema never checks"),
-            });
+        for (key, wf) in &writers {
+            if !golden.iter().any(|g| g == key) && !pair.writer_exempt.contains(&key.as_str()) {
+                findings.push(Finding {
+                    rule: "schema-sync",
+                    file: wf.clone(),
+                    line: 0,
+                    detail: format!(
+                        "{} emits key {key:?} the golden schema never checks",
+                        pair.what
+                    ),
+                });
+            }
         }
     }
 }
@@ -304,11 +343,14 @@ fn schema_sync(root: &Path, findings: &mut Vec<Finding>) {
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
-    // no-panic: the simulation library crates promise typed errors.
+    // no-panic: the simulation library crates promise typed errors,
+    // and the serving layer promises a hostile request can never kill
+    // the server loop.
     for crate_dir in [
         "crates/simcore/src",
         "crates/coherence/src",
         "crates/tango/src",
+        "crates/serve/src",
     ] {
         for file in rs_files(&root.join(crate_dir)) {
             if let Ok(text) = std::fs::read_to_string(&file) {

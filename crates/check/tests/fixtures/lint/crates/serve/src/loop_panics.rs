@@ -1,0 +1,6 @@
+//! Lint fixture: a panicking server-loop path in the serve crate
+//! (`no-panic` — a hostile request must never kill the loop).
+
+pub fn handle_fixture(line: Option<&str>) -> usize {
+    line.unwrap().len()
+}

@@ -1,0 +1,8 @@
+//! Lint fixture: the serve protocol writer emitting a response key
+//! the protocol golden never checks (`schema-sync`, writer direction).
+
+pub fn run_response_fixture() -> String {
+    let mut j = String::new();
+    j.with("ok", true).with("serve_bogus_key", 1);
+    j
+}

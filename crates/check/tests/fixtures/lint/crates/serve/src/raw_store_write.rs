@@ -1,0 +1,6 @@
+//! Lint fixture: the serve crate writing a store artifact with bare
+//! `fs::write` instead of `write_atomic` (`atomic-io`).
+
+pub fn write_store_fixture(body: &str) -> std::io::Result<()> {
+    std::fs::write("store.jsonl", body)
+}

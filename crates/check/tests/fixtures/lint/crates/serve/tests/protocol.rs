@@ -1,0 +1,7 @@
+//! Lint fixture: the protocol golden checking a response key no
+//! serve writer emits (`schema-sync`, golden direction).
+
+pub fn conformance_fixture(resp: &Json) {
+    assert!(resp.get("ok").is_some());
+    assert!(resp.get("serve_missing_key").is_some());
+}

@@ -23,7 +23,7 @@ fn fixture_tree_trips_every_rule() {
     let findings = lint_workspace(&fixture_root());
 
     // no-panic: one finding per token in panics.rs.
-    let panics = findings_for(&findings, "no-panic", "panics.rs");
+    let panics = findings_for(&findings, "no-panic", "simcore/src/panics.rs");
     assert_eq!(
         panics.len(),
         3,
@@ -47,7 +47,17 @@ fn fixture_tree_trips_every_rule() {
     assert_eq!(io.len(), 1, "{io:?}");
     assert_eq!(io[0].line, 4);
 
-    // schema-sync: both drift directions report.
+    // no-panic covers the serve crate: a panicking server-loop path
+    // reports just like one in the simulation libraries.
+    let serve_panics = findings_for(&findings, "no-panic", "loop_panics.rs");
+    assert_eq!(serve_panics.len(), 1, "{serve_panics:?}");
+    assert!(serve_panics[0].detail.contains(".unwrap()"));
+
+    // atomic-io covers the serve crate's store writes too.
+    let serve_io = findings_for(&findings, "atomic-io", "raw_store_write.rs");
+    assert_eq!(serve_io.len(), 1, "{serve_io:?}");
+
+    // schema-sync: both drift directions report, for both pairings.
     let schema: Vec<&Finding> = findings
         .iter()
         .filter(|f| f.rule == "schema-sync")
@@ -63,6 +73,21 @@ fn fixture_tree_trips_every_rule() {
             |f| f.detail.contains("\"missing_key\"") && f.detail.contains("no manifest writer")
         ),
         "golden-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"serve_bogus_key\"")
+                && f.detail.contains("serve protocol writer")
+                && f.detail.contains("never checks")),
+        "serve writer-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"serve_missing_key\"")
+                && f.detail.contains("no serve protocol writer")),
+        "serve golden-side drift reports: {schema:?}"
     );
 }
 

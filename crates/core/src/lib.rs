@@ -33,7 +33,7 @@ pub mod study;
 pub use checkpoint::{Journal, JournalEntry, JournalError, JournalHeader};
 pub use contention::{bank_conflict_probability, shared_cache_factor};
 pub use latency_factor::{measure_latency_factors, LatencyFactors};
-pub use manifest::{write_atomic, Manifest, RunError, RunRecord};
+pub use manifest::{write_atomic, Manifest, RunError, RunRecord, ServedBy};
 pub use parallel::{
     resolve_jobs, run_items, run_items_chunked, run_items_timed, run_pipeline,
     run_pipeline_guarded, FanoutTiming, GuardedEvent, GuardedRun, ItemReport, Phase, PhaseSample,

@@ -35,6 +35,14 @@
 //! simulated machine, so they live in the full [`Manifest::to_json`]
 //! view only; the deterministic [`Manifest::stats_json`] view is
 //! byte-identical to v1's.
+//!
+//! The serving layer (`cluster_serve`, DESIGN.md §12) added two more
+//! v2-additive per-run execution fields: `cache_hit` (bool) and
+//! `served_by` (`sim` / `cache` / `journal`, see [`ServedBy`]) —
+//! again full-view only, so cache-served results remain byte-identical
+//! to fresh ones in the stats view. Readers must keep treating
+//! unknown full-view fields as ignorable (the §9 `schema_version`
+//! negotiation note in DESIGN.md).
 
 use std::io::Write as _;
 use std::path::Path;
@@ -60,7 +68,48 @@ pub const CSV_HEADER: &str = "tool,size,procs,app,cache,cluster,exec_time_cycles
      read_hits,write_hits,read_misses,write_misses,upgrade_misses,merge_stalls,\
      lat_local_clean,lat_local_dirty_remote,lat_remote_clean,lat_remote_dirty_third,\
      invalidations,evictions,writebacks,local_satisfied,bus_transfers,bus_invalidations,\
-     wall_seconds,status,attempts";
+     wall_seconds,status,attempts,cache_hit,served_by";
+
+/// Where a recorded run's result came from. Like wall-clock and
+/// status, an *execution* property: serialized (as the v2-additive
+/// `cache_hit` / `served_by` pair) in the full manifest view only,
+/// never in the deterministic stats view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServedBy {
+    /// Freshly simulated by this invocation.
+    #[default]
+    Sim,
+    /// Served from a content-addressed result cache (a `cache_hit`).
+    Cache,
+    /// Restored from this study's own checkpoint journal (`--resume`).
+    Journal,
+}
+
+impl ServedBy {
+    /// Serialized label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::Sim => "sim",
+            ServedBy::Cache => "cache",
+            ServedBy::Journal => "journal",
+        }
+    }
+
+    /// Parses a serialized label back.
+    pub fn parse(s: &str) -> Option<ServedBy> {
+        match s {
+            "sim" => Some(ServedBy::Sim),
+            "cache" => Some(ServedBy::Cache),
+            "journal" => Some(ServedBy::Journal),
+            _ => None,
+        }
+    }
+
+    /// Whether this run was a result-cache hit.
+    pub fn is_cache_hit(self) -> bool {
+        self == ServedBy::Cache
+    }
+}
 
 /// One simulation's record: what ran and what it measured.
 #[derive(Debug, Clone)]
@@ -83,6 +132,9 @@ pub struct RunRecord {
     /// checkpoint journal keeps the attempt count it was journaled
     /// with.
     pub attempts: u32,
+    /// Where the result came from: fresh simulation, result cache, or
+    /// checkpoint journal. Full view only, like `wall` and `status`.
+    pub served_by: ServedBy,
 }
 
 /// One permanently failed work item: recorded in the manifest's
@@ -180,6 +232,8 @@ impl RunRecord {
             }
             run.push("status", self.status.label());
             run.push("attempts", self.attempts);
+            run.push("cache_hit", self.served_by.is_cache_hit());
+            run.push("served_by", self.served_by.label());
         }
         run
     }
@@ -199,9 +253,12 @@ impl RunRecord {
              {f0:?},{f1:?},{f2:?},{f3:?},\
              {rh},{wh},{rm},{wm},{um},{ms},\
              {l0},{l1},{l2},{l3},\
-             {inv},{ev},{wb},{ls},{bt},{bi},{wall},{status},{attempts}",
+             {inv},{ev},{wb},{ls},{bt},{bi},{wall},{status},{attempts},\
+             {cache_hit},{served_by}",
             status = self.status.label(),
             attempts = self.attempts,
+            cache_hit = self.served_by.is_cache_hit(),
+            served_by = self.served_by.label(),
             procs = self.stats.per_proc.len(),
             app = self.app,
             cache = self.cache,
@@ -284,11 +341,21 @@ impl Manifest {
         stats: &RunStats,
         wall: Option<Duration>,
     ) {
-        self.record_outcome(app, cache, cluster, stats, wall, RunStatus::Ok, 1);
+        self.record_outcome(
+            app,
+            cache,
+            cluster,
+            stats,
+            wall,
+            RunStatus::Ok,
+            1,
+            ServedBy::Sim,
+        );
     }
 
-    /// Records one simulation with its execution status and attempt
-    /// count (for runs under a fault-tolerance policy).
+    /// Records one simulation with its execution status, attempt
+    /// count and result provenance (for runs under a fault-tolerance
+    /// policy or served from a cache/journal).
     #[allow(clippy::too_many_arguments)]
     pub fn record_outcome(
         &mut self,
@@ -299,6 +366,7 @@ impl Manifest {
         wall: Option<Duration>,
         status: RunStatus,
         attempts: u32,
+        served_by: ServedBy,
     ) {
         self.runs.push(RunRecord {
             app: app.to_string(),
@@ -308,6 +376,7 @@ impl Manifest {
             wall,
             status,
             attempts,
+            served_by,
         });
     }
 
@@ -484,6 +553,7 @@ mod tests {
             wall: None,
             status: RunStatus::Ok,
             attempts: 1,
+            served_by: ServedBy::Sim,
         };
         assert!((rec.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
         let zero = RunRecord {
@@ -571,6 +641,7 @@ mod tests {
             None,
             RunStatus::Retried,
             3,
+            ServedBy::Cache,
         );
         m.record_error(
             "ocean",
@@ -586,12 +657,19 @@ mod tests {
         assert!(!stats.contains("\"status\""));
         assert!(!stats.contains("\"attempts\""));
         assert!(!stats.contains("\"errors\""));
+        assert!(!stats.contains("\"cache_hit\""));
+        assert!(!stats.contains("\"served_by\""));
         let runs = full.get("runs").and_then(Json::as_arr).unwrap();
         assert_eq!(
             runs[0].get("status").and_then(Json::as_str),
             Some("retried")
         );
         assert_eq!(runs[0].get("attempts").and_then(Json::as_u64), Some(3));
+        assert_eq!(runs[0].get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            runs[0].get("served_by").and_then(Json::as_str),
+            Some("cache")
+        );
         let errs = full.get("errors").and_then(Json::as_arr).unwrap();
         assert_eq!(errs.len(), 2);
         assert_eq!(errs[0].get("app").and_then(Json::as_str), Some("ocean"));
@@ -620,11 +698,12 @@ mod tests {
             None,
             RunStatus::Timeout,
             1,
+            ServedBy::Journal,
         );
         let csv = m.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert!(lines[0].ends_with("wall_seconds,status,attempts"));
-        assert!(lines[1].ends_with(",timeout,1"));
+        assert!(lines[0].ends_with("wall_seconds,status,attempts,cache_hit,served_by"));
+        assert!(lines[1].ends_with(",timeout,1,false,journal"));
         assert_eq!(
             lines[0].split(',').count(),
             lines[1].split(',').count(),

@@ -200,6 +200,9 @@ pub enum CellOutcome {
         attempts: u32,
         /// Restored from a checkpoint journal instead of executed.
         resumed: bool,
+        /// Served from a content-addressed result cache
+        /// ([`StudySpec::cache_prefill`]) instead of executed.
+        cached: bool,
     },
     /// Failed permanently; `attempts == 0` means it was skipped
     /// because its trace's generation failed.
@@ -423,6 +426,15 @@ impl StudyRun {
             .filter(|c| matches!(c.outcome, CellOutcome::Done { resumed: true, .. }))
             .count()
     }
+
+    /// How many cells were served from the content-addressed result
+    /// cache ([`StudySpec::cache_prefill`]) instead of executed.
+    pub fn cached_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Done { cached: true, .. }))
+            .count()
+    }
 }
 
 /// Where a study's traces come from.
@@ -451,6 +463,8 @@ pub struct StudySpec<'a> {
     policy: RunPolicy,
     journal: Option<&'a Journal>,
     prefill: Vec<JournalEntry>,
+    cache_prefill: Vec<JournalEntry>,
+    on_complete: Option<&'a (dyn Fn(&JournalEntry) + Sync)>,
 }
 
 impl<'a> StudySpec<'a> {
@@ -466,6 +480,8 @@ impl<'a> StudySpec<'a> {
             policy: RunPolicy::none(),
             journal: None,
             prefill: Vec::new(),
+            cache_prefill: Vec::new(),
+            on_complete: None,
         }
     }
 
@@ -491,6 +507,8 @@ impl<'a> StudySpec<'a> {
             policy: RunPolicy::none(),
             journal: None,
             prefill: Vec::new(),
+            cache_prefill: Vec::new(),
+            on_complete: None,
         }
     }
 
@@ -547,6 +565,26 @@ impl<'a> StudySpec<'a> {
     /// the `--resume` half of checkpoint/resume.
     pub fn prefill(mut self, entries: Vec<JournalEntry>) -> StudySpec<'a> {
         self.prefill = entries;
+        self
+    }
+
+    /// Serves already-simulated cells from a content-addressed result
+    /// cache: any `(app, cache, cluster)` cell matching an entry is
+    /// restored from it and flagged `cached` (a `cache_hit` in the
+    /// manifest) instead of executed. Checkpoint prefill wins when a
+    /// cell appears in both — a journal belongs to *this* study, the
+    /// cache is shared.
+    pub fn cache_prefill(mut self, entries: Vec<JournalEntry>) -> StudySpec<'a> {
+        self.cache_prefill = entries;
+        self
+    }
+
+    /// Calls `sink(entry)` for every *freshly executed* cell as it
+    /// completes (cache-served and journal-restored cells are not
+    /// re-reported) — the hook a result store uses to absorb new
+    /// simulations. Runs on worker threads; must be `Sync`.
+    pub fn on_complete(mut self, sink: &'a (dyn Fn(&JournalEntry) + Sync)) -> StudySpec<'a> {
+        self.on_complete = Some(sink);
         self
     }
 
@@ -640,25 +678,33 @@ impl<'a> StudySpec<'a> {
             })
             .collect();
 
-        // Cells already present in the prefill are restored, not
+        // Cells already present in a prefill are restored, not
         // executed; the rest form the sub-problem handed to the
         // pipeline. Traces whose every cell was restored are not
-        // generated at all.
-        let pre: HashMap<(&str, String, u32), &JournalEntry> = self
-            .prefill
+        // generated at all. Checkpoint-journal entries shadow
+        // result-cache entries for the same key (a journal is this
+        // study's own history; the cache is shared).
+        let pre: HashMap<(&str, String, u32), (&JournalEntry, bool)> = self
+            .cache_prefill
             .iter()
-            .map(|e| ((e.app.as_str(), e.cache.clone(), e.cluster), e))
+            .map(|e| ((e.app.as_str(), e.cache.clone(), e.cluster), (e, true)))
+            .chain(
+                self.prefill
+                    .iter()
+                    .map(|e| ((e.app.as_str(), e.cache.clone(), e.cluster), (e, false))),
+            )
             .collect();
         let mut outcomes: Vec<Option<CellOutcome>> = full
             .iter()
             .map(|&(t, (cache, c))| {
                 pre.get(&(names[t].as_str(), cache.label(), c))
-                    .map(|e| CellOutcome::Done {
+                    .map(|&(e, cached)| CellOutcome::Done {
                         stats: e.stats.clone(),
                         wall: e.wall,
                         status: e.status,
                         attempts: e.attempts,
-                        resumed: true,
+                        resumed: !cached,
+                        cached,
                     })
             })
             .collect();
@@ -715,16 +761,27 @@ impl<'a> StudySpec<'a> {
                             cluster,
                             wall: ev.report.wall,
                         });
-                        if let (Some(journal), Some((_, stats))) = (self.journal, ev.value) {
-                            journal.append(JournalEntry {
-                                app: names[t].clone(),
-                                cache: cache.label(),
-                                cluster,
-                                stats: stats.clone(),
-                                wall: Some(ev.report.wall),
-                                status: ev.report.status().expect("successful sim has a status"),
-                                attempts: ev.report.attempts,
-                            });
+                        if let Some((_, stats)) = ev.value {
+                            if self.journal.is_some() || self.on_complete.is_some() {
+                                let entry = JournalEntry {
+                                    app: names[t].clone(),
+                                    cache: cache.label(),
+                                    cluster,
+                                    stats: stats.clone(),
+                                    wall: Some(ev.report.wall),
+                                    status: ev
+                                        .report
+                                        .status()
+                                        .expect("successful sim has a status"),
+                                    attempts: ev.report.attempts,
+                                };
+                                if let Some(journal) = self.journal {
+                                    journal.append(entry.clone());
+                                }
+                                if let Some(sink) = self.on_complete {
+                                    sink(&entry);
+                                }
+                            }
                         }
                     }
                 }
@@ -753,6 +810,7 @@ impl<'a> StudySpec<'a> {
                     status: rep.status().expect("successful sim has a status"),
                     attempts: rep.attempts,
                     resumed: false,
+                    cached: false,
                 },
                 None => CellOutcome::Failed {
                     error: rep
@@ -1000,6 +1058,52 @@ mod tests {
         let errs = run.errors();
         assert!(!errs.is_empty());
         assert!(!run.trace_complete(0));
+    }
+
+    /// Cache prefill + on_complete round-trip: the sink captures
+    /// every fresh simulation, and feeding those entries back serves
+    /// the whole study from cache — bit-identical, zero re-execution.
+    #[test]
+    fn cache_prefill_serves_cells_without_reexecution() {
+        use std::sync::Mutex;
+        let t = shared_readers(8, 16);
+        let sink_entries: Mutex<Vec<JournalEntry>> = Mutex::new(Vec::new());
+        let sink = |e: &JournalEntry| sink_entries.lock().unwrap().push(e.clone());
+        let first = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .on_complete(&sink)
+            .run_with(|_| {});
+        let entries = sink_entries.into_inner().unwrap();
+        assert_eq!(entries.len(), 2, "every fresh sim reaches the sink");
+        assert_eq!(first.cached_cells(), 0);
+
+        let served = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .cache_prefill(entries.clone())
+            .run_with(|_| panic!("nothing should execute on a full cache prefill"));
+        assert_eq!(served.cached_cells(), 2);
+        assert_eq!(served.resumed_cells(), 0);
+        assert_eq!(served.timing.items, 0);
+        assert_eq!(
+            first.per_trace()[0].sweeps[0].runs,
+            served.per_trace()[0].sweeps[0].runs,
+            "cache-served cells must be bit-identical"
+        );
+
+        // Journal prefill shadows the cache for overlapping keys.
+        let mixed = StudySpec::for_trace(&t)
+            .caches([CacheSpec::Infinite])
+            .cluster_sizes(&[1, 2])
+            .jobs(2)
+            .prefill(vec![entries[0].clone()])
+            .cache_prefill(entries)
+            .run_with(|_| panic!("fully prefilled"));
+        assert_eq!(mixed.resumed_cells(), 1);
+        assert_eq!(mixed.cached_cells(), 1);
     }
 
     /// Checkpoint + prefill round-trip: the resumed study re-executes

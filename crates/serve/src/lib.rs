@@ -1,0 +1,41 @@
+//! `cluster_serve`: a long-lived study service in front of the
+//! clustering study's executor, with a content-addressed result cache.
+//!
+//! A sweep like the paper's Section 5 matrix re-simulates nothing
+//! that has ever been simulated before under the same inputs: every
+//! finished cell is recorded in an on-disk store keyed by a stable
+//! hash of `(app, size, procs, cache, cluster, seed scheme)`, and a
+//! re-submitted cell is served from the store byte-identically to a
+//! fresh run — with a `cache_hit` marker so clients and manifests can
+//! tell the difference. Traces are memoized in memory by
+//! `(app, size, procs)`, so sweeps that vary only the cluster
+//! configuration never regenerate them.
+//!
+//! * [`protocol`] — the line-delimited JSON request/response schema,
+//!   strict parsing, typed error kinds, bounded line reading.
+//! * [`store`] — the content-addressed [`store::ResultStore`] (JSONL,
+//!   torn-tail recovery, single-flight dogpile breaking) and the
+//!   in-memory [`store::TraceStore`].
+//! * [`server`] — [`server::ServeState`] and the panic-free
+//!   [`server::serve_connection`] loop that binds them together.
+//!
+//! The binary (`cluster_serve`) speaks the protocol over
+//! stdin/stdout, a TCP listener, or a Unix socket; `paper_run
+//! --cache DIR` uses the same store in-process as a client-side
+//! memo. Protocol and layout are documented in `DESIGN.md` §12, and
+//! every behavior above is pinned by the serving-layer test suite in
+//! `crates/serve/tests/`.
+
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use protocol::{
+    parse_request, ErrorKind, JobSpec, Op, ProtocolError, Request, DEFAULT_MAX_LINE,
+    PROTOCOL_SCHEMA,
+};
+pub use server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
+pub use store::{
+    cell_key, scan_store, size_label, KeyMode, ResultStore, StoreEntry, StoreError, TraceStore,
+    KILL_EXIT_CODE, STORE_FILE, STORE_SCHEMA,
+};

@@ -1,0 +1,188 @@
+//! `cluster_serve` — the study service binary.
+//!
+//! Speaks the line-delimited JSON protocol of `DESIGN.md` §12 over
+//! stdin/stdout (default), a TCP listener (`--listen`), or a Unix
+//! socket (`--socket`), backed by the content-addressed result store
+//! in `--store DIR`.
+//!
+//! `SERVE_KILL_AFTER_RECORDS=N` arms the crash-injection hook: the
+//! process exits with code 42 immediately after the Nth store append,
+//! which the concurrency suite uses to prove restart recovery.
+
+use std::io::{BufReader, BufWriter};
+
+use cluster_serve::protocol::DEFAULT_MAX_LINE;
+use cluster_serve::server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
+use cluster_serve::store::ResultStore;
+
+const USAGE: &str = "\
+cluster_serve — study service with a content-addressed result cache
+
+USAGE:
+    cluster_serve --store DIR [OPTIONS]
+
+OPTIONS:
+    --store DIR       result store directory (required; created if absent)
+    --jobs N          worker threads per run request [default: cores, STUDY_JOBS]
+    --queue N         max concurrently executing run requests [default: 4]
+    --max-line BYTES  per-request line cap [default: 1048576]
+    --listen ADDR     serve a TCP listener instead of stdin/stdout
+    --socket PATH     serve a Unix socket instead of stdin/stdout
+    --help            print this help
+
+ENVIRONMENT:
+    SERVE_KILL_AFTER_RECORDS=N  exit 42 after the Nth store append (crash drill)
+    STUDY_JOBS=N                default for --jobs
+
+One JSON request per line; one response line per request. See
+DESIGN.md §12 for the request/response schema.
+";
+
+struct Args {
+    store: String,
+    jobs: Option<usize>,
+    queue: usize,
+    max_line: usize,
+    listen: Option<String>,
+    socket: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut store = None;
+    let mut jobs = None;
+    let mut queue = DEFAULT_QUEUE;
+    let mut max_line = DEFAULT_MAX_LINE;
+    let mut listen = None;
+    let mut socket = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--store" => store = Some(value("--store")?),
+            "--jobs" => {
+                jobs = Some(
+                    value("--jobs")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--jobs wants a positive integer")?,
+                )
+            }
+            "--queue" => {
+                queue = value("--queue")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--queue wants a positive integer")?
+            }
+            "--max-line" => {
+                max_line = value("--max-line")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 64)
+                    .ok_or("--max-line wants an integer >= 64")?
+            }
+            "--listen" => listen = Some(value("--listen")?),
+            "--socket" => socket = Some(value("--socket")?),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    let store = store.ok_or("--store DIR is required (try --help)")?;
+    if listen.is_some() && socket.is_some() {
+        return Err("--listen and --socket are mutually exclusive".to_string());
+    }
+    Ok(Args {
+        store,
+        jobs,
+        queue,
+        max_line,
+        listen,
+        socket,
+    })
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let store = ResultStore::open(std::path::Path::new(&args.store))
+        .map_err(|e| format!("opening store {}: {e}", args.store))?;
+    if let Ok(v) = std::env::var("SERVE_KILL_AFTER_RECORDS") {
+        let n = v
+            .parse::<usize>()
+            .map_err(|_| "SERVE_KILL_AFTER_RECORDS wants an integer".to_string())?;
+        store.set_kill_after(n);
+    }
+    let opts = ServeOptions {
+        jobs: cluster_study::resolve_jobs(args.jobs),
+        max_line: args.max_line,
+        queue: args.queue,
+    };
+    let state = ServeState::new(store, opts);
+
+    if let Some(addr) = &args.listen {
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        eprintln!("cluster_serve: listening on {addr}");
+        serve_listener(&state, listener.incoming())
+    } else if let Some(path) = &args.socket {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)
+            .map_err(|e| format!("binding {path}: {e}"))?;
+        eprintln!("cluster_serve: listening on {path}");
+        serve_listener(&state, listener.incoming())
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut r = stdin.lock();
+        let mut w = BufWriter::new(stdout.lock());
+        serve_connection(&state, &mut r, &mut w)
+            .map(|_| ())
+            .map_err(|e| format!("stdio transport: {e}"))
+    }
+}
+
+/// Accepts connections until one requests shutdown. Connections are
+/// served one at a time: the protocol is request/response and the
+/// run pool already spans the machine, so connection-level
+/// parallelism would only thrash the worker pool.
+fn serve_listener<S>(
+    state: &ServeState,
+    incoming: impl Iterator<Item = std::io::Result<S>>,
+) -> Result<(), String>
+where
+    for<'a> &'a S: std::io::Read + std::io::Write,
+{
+    for conn in incoming {
+        match conn {
+            Ok(stream) => {
+                // `&TcpStream` / `&UnixStream` are duplex: shared
+                // borrows give independent read and write halves.
+                let mut r = BufReader::new(&stream);
+                let mut w = &stream;
+                match serve_connection(state, &mut r, &mut w) {
+                    Ok(true) => return Ok(()),
+                    Ok(false) => {}
+                    Err(e) => eprintln!("cluster_serve: connection error: {e}"),
+                }
+            }
+            Err(e) => eprintln!("cluster_serve: accept error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = run(&argv) {
+        if msg.is_empty() {
+            print!("{USAGE}");
+            return;
+        }
+        eprintln!("cluster_serve: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,466 @@
+//! The `cluster_serve` wire protocol: line-delimited JSON.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are parsed *strictly* — unknown fields, wrong types,
+//! out-of-range values and malformed JSON all produce a typed error
+//! response (see [`ErrorKind`]) and never terminate the serve loop.
+//! Oversized lines are drained to the next newline and answered with
+//! an `oversized` error, so one hostile client line cannot wedge the
+//! stream. The full grammar is documented in `DESIGN.md` §12.
+//!
+//! Every response-body key the server can emit is written in this
+//! module and nowhere else; `cluster_check lint`'s schema-sync rule
+//! pairs this file against the conformance suite
+//! (`crates/serve/tests/protocol.rs`) so the two cannot drift apart
+//! silently.
+
+use std::io::{BufRead, Write};
+
+use coherence::config::CacheSpec;
+use simcore::Json;
+use splash::ProblemSize;
+
+/// Protocol identifier, for logs and future negotiation.
+pub const PROTOCOL_SCHEMA: &str = "clustered-smp/serve/v1";
+
+/// Default cap on one request line, in bytes.
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+/// Hard cap on simulated processors per request.
+pub const MAX_PROCS: usize = 256;
+
+/// Hard cap on entries in a request's `caches` / `clusters` lists.
+pub const MAX_LIST: usize = 16;
+
+/// Typed failure categories carried in error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not valid JSON.
+    Parse,
+    /// Valid JSON that violates the request schema.
+    Protocol,
+    /// The line exceeded the server's line cap.
+    Oversized,
+    /// The bounded job queue is full; retry later.
+    QueueFull,
+    /// The requested application is not in the registry.
+    UnknownApp,
+    /// The server failed internally (e.g. store I/O).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire label of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::UnknownApp => "unknown_app",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A request that could not be honored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// Shorthand constructor.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The study cells one `run` request asks for: the cross product of
+/// `caches` × `clusters` over a single generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Application name (validated against the registry by the server).
+    pub app: String,
+    /// Problem size.
+    pub size: ProblemSize,
+    /// Simulated processors.
+    pub procs: usize,
+    /// Cache configurations to sweep.
+    pub caches: Vec<CacheSpec>,
+    /// Cluster sizes to sweep.
+    pub clusters: Vec<u32>,
+}
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Simulate (or serve from cache) a matrix of study cells.
+    Run(JobSpec),
+    /// Liveness probe.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// Orderly stop: acknowledged, then the connection closes.
+    Shutdown,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Parses a size label.
+pub fn parse_size(s: &str) -> Option<ProblemSize> {
+    match s {
+        "small" => Some(ProblemSize::Small),
+        "paper" => Some(ProblemSize::Paper),
+        _ => None,
+    }
+}
+
+/// Parses a cache label: `"inf"` or `"<N>k"` (per-processor KiB).
+/// Inverse of [`CacheSpec::label`] over the shapes the study sweeps.
+pub fn parse_cache(s: &str) -> Option<CacheSpec> {
+    if s == "inf" {
+        return Some(CacheSpec::Infinite);
+    }
+    let kib: u64 = s.strip_suffix('k')?.parse().ok()?;
+    if kib == 0 || kib > 1 << 20 {
+        return None;
+    }
+    Some(CacheSpec::PerProcBytes(kib * 1024))
+}
+
+fn bad(detail: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(ErrorKind::Protocol, detail)
+}
+
+fn check_fields(j: &Json, allowed: &[&str], what: &str) -> Result<(), ProtocolError> {
+    match j {
+        Json::Obj(pairs) => {
+            for (k, _) in pairs {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(bad(format!("unknown {what} field `{k}`")));
+                }
+            }
+            Ok(())
+        }
+        _ => Err(bad(format!("{what} must be a JSON object"))),
+    }
+}
+
+fn parse_spec(j: &Json) -> Result<JobSpec, ProtocolError> {
+    check_fields(j, &["app", "size", "procs", "caches", "clusters"], "spec")?;
+    let app = match j.get("app") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad("`app` must be a string"))?
+            .to_string(),
+        None => return Err(bad("missing required field `app`")),
+    };
+    if app.is_empty() || app.len() > 64 {
+        return Err(bad("`app` must be 1..=64 characters"));
+    }
+    let size = match j.get("size") {
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| bad("`size` must be a string"))?;
+            parse_size(s).ok_or_else(|| bad(format!("unknown size `{s}` (small|paper)")))?
+        }
+        None => ProblemSize::Small,
+    };
+    let procs = match j.get("procs") {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad("`procs` must be an integer"))? as usize,
+        None => 8,
+    };
+    if procs == 0 || procs > MAX_PROCS {
+        return Err(bad(format!("`procs` must be 1..={MAX_PROCS}")));
+    }
+    let caches = match j.get("caches") {
+        Some(v) => {
+            let xs = v.as_arr().ok_or_else(|| bad("`caches` must be an array"))?;
+            if xs.is_empty() || xs.len() > MAX_LIST {
+                return Err(bad(format!("`caches` must hold 1..={MAX_LIST} labels")));
+            }
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                let s = x
+                    .as_str()
+                    .ok_or_else(|| bad("`caches` entries must be strings"))?;
+                out.push(
+                    parse_cache(s)
+                        .ok_or_else(|| bad(format!("unknown cache label `{s}` (inf|<N>k)")))?,
+                );
+            }
+            out
+        }
+        None => cluster_study::study::section5_caches(),
+    };
+    let clusters = match j.get("clusters") {
+        Some(v) => {
+            let xs = v
+                .as_arr()
+                .ok_or_else(|| bad("`clusters` must be an array"))?;
+            if xs.is_empty() || xs.len() > MAX_LIST {
+                return Err(bad(format!("`clusters` must hold 1..={MAX_LIST} sizes")));
+            }
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                let c = x
+                    .as_u64()
+                    .ok_or_else(|| bad("`clusters` entries must be integers"))?;
+                if c == 0 || c > MAX_PROCS as u64 {
+                    return Err(bad(format!("cluster sizes must be 1..={MAX_PROCS}")));
+                }
+                // The engine requires clusters to tile the machine; an
+                // unvalidated size would panic a worker thread.
+                if !(procs as u64).is_multiple_of(c) {
+                    return Err(bad(format!("cluster size {c} must divide procs ({procs})")));
+                }
+                out.push(c as u32);
+            }
+            out
+        }
+        None => cluster_study::study::CLUSTER_SIZES
+            .iter()
+            .copied()
+            .filter(|&c| procs % c as usize == 0)
+            .collect(),
+    };
+    Ok(JobSpec {
+        app,
+        size,
+        procs,
+        caches,
+        clusters,
+    })
+}
+
+/// Parses one request line. Any failure maps to a typed error the
+/// serve loop answers with — never a panic, never a dropped stream.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let j = simcore::json::parse(line)
+        .map_err(|e| ProtocolError::new(ErrorKind::Parse, e.to_string()))?;
+    check_fields(&j, &["op", "id", "spec"], "request")?;
+    let id = match j.get("id") {
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| bad("`id` must be an unsigned integer"))?,
+        ),
+        None => None,
+    };
+    let op = j
+        .get("op")
+        .ok_or_else(|| bad("missing required field `op`"))?
+        .as_str()
+        .ok_or_else(|| bad("`op` must be a string"))?;
+    let op = match op {
+        "run" => {
+            let spec = j
+                .get("spec")
+                .ok_or_else(|| bad("op `run` requires a `spec` object"))?;
+            Op::Run(parse_spec(spec)?)
+        }
+        "ping" | "stats" | "shutdown" => {
+            if j.get("spec").is_some() {
+                return Err(bad(format!("op `{op}` takes no `spec`")));
+            }
+            match op {
+                "ping" => Op::Ping,
+                "stats" => Op::Stats,
+                _ => Op::Shutdown,
+            }
+        }
+        other => return Err(bad(format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, op })
+}
+
+/// One served cell in a `run` response.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cache label of this cell.
+    pub cache: String,
+    /// Cluster size of this cell.
+    pub cluster: u32,
+    /// Content-addressed store key.
+    pub key: String,
+    /// True when the cell was served from the result store.
+    pub cache_hit: bool,
+    /// `"cache"` or `"sim"`.
+    pub served_by: &'static str,
+    /// The deterministic stats view (`RunRecord::to_json(false)`),
+    /// byte-identical between a fresh simulation and a cache hit.
+    pub stats: Json,
+}
+
+/// Counter snapshot rendered by [`stats_response`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests handled (any op, including failed ones).
+    pub requests: u64,
+    /// Study cells served (hits + fresh simulations).
+    pub cells_served: u64,
+    /// Cells served from the result store.
+    pub cache_hits: u64,
+    /// Cells that ran a fresh simulation.
+    pub sims_run: u64,
+    /// Traces served from the trace store.
+    pub trace_hits: u64,
+    /// Traces generated fresh.
+    pub trace_gens: u64,
+    /// Entries currently in the result store.
+    pub store_entries: u64,
+}
+
+fn ok_base(id: Option<u64>, op: &str) -> Json {
+    let mut j = Json::obj();
+    if let Some(id) = id {
+        j.push("id", id);
+    }
+    j.push("ok", true);
+    j.push("op", op);
+    j
+}
+
+/// `ping` acknowledgement.
+pub fn pong(id: Option<u64>) -> Json {
+    ok_base(id, "ping")
+}
+
+/// `shutdown` acknowledgement; the connection closes after this line.
+pub fn shutdown_ack(id: Option<u64>) -> Json {
+    ok_base(id, "shutdown")
+}
+
+/// Error response for any failed request.
+pub fn error_response(id: Option<u64>, err: &ProtocolError) -> Json {
+    let mut j = Json::obj();
+    if let Some(id) = id {
+        j.push("id", id);
+    }
+    j.push("ok", false);
+    j.push(
+        "error",
+        Json::obj()
+            .with("kind", err.kind.label())
+            .with("detail", err.detail.as_str()),
+    );
+    j
+}
+
+/// Successful `run` response: one entry per requested cell, in
+/// `caches` × `clusters` request order.
+pub fn run_response(id: Option<u64>, app: &str, cells: &[CellResult]) -> Json {
+    let hits = cells.iter().filter(|c| c.cache_hit).count();
+    let mut arr = Vec::with_capacity(cells.len());
+    for c in cells {
+        arr.push(
+            Json::obj()
+                .with("cache", c.cache.as_str())
+                .with("cluster", c.cluster)
+                .with("key", c.key.as_str())
+                .with("cache_hit", c.cache_hit)
+                .with("served_by", c.served_by)
+                .with("stats", c.stats.clone()),
+        );
+    }
+    ok_base(id, "run")
+        .with("app", app)
+        .with("cache_hits", hits)
+        .with("sims", cells.len() - hits)
+        .with("cells", Json::Arr(arr))
+}
+
+/// `stats` response.
+pub fn stats_response(id: Option<u64>, s: &ServeStats) -> Json {
+    ok_base(id, "stats")
+        .with("requests", s.requests)
+        .with("cells_served", s.cells_served)
+        .with("cache_hits", s.cache_hits)
+        .with("sims_run", s.sims_run)
+        .with("trace_hits", s.trace_hits)
+        .with("trace_gens", s.trace_gens)
+        .with("store_entries", s.store_entries)
+}
+
+/// One read from the request stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line (newline stripped). A torn final line at EOF is
+    /// also surfaced here, so the parser can answer it with a typed
+    /// error instead of dropping it silently.
+    Line(String),
+    /// A line longer than the cap; the stream has been drained to the
+    /// next newline (or EOF) and is safe to keep reading.
+    Oversized {
+        /// Bytes the line held before the terminator.
+        length: usize,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, holding at most `max` bytes in
+/// memory. Invalid UTF-8 is replaced, never fatal.
+pub fn read_bounded_line(r: &mut dyn BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut overflow = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::Oversized { length: total }
+            } else if buf.is_empty() && total == 0 {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !overflow {
+                buf.extend_from_slice(&chunk[..pos]);
+            }
+            total += pos;
+            r.consume(pos + 1);
+            if total > max {
+                overflow = true;
+            }
+            return Ok(if overflow {
+                LineRead::Oversized { length: total }
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let n = chunk.len();
+        if !overflow {
+            buf.extend_from_slice(chunk);
+        }
+        total += n;
+        r.consume(n);
+        if total > max {
+            overflow = true;
+            buf = Vec::new();
+        }
+    }
+}
+
+/// Writes one response line and flushes, so pipelined clients see
+/// answers promptly.
+pub fn write_response(w: &mut dyn Write, resp: &Json) -> std::io::Result<()> {
+    writeln!(w, "{resp}")?;
+    w.flush()
+}

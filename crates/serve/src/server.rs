@@ -1,0 +1,276 @@
+//! The serve loop: protocol in, study cells out.
+//!
+//! [`ServeState`] owns the result store, the trace store, and a
+//! bounded job queue; [`serve_connection`] drives one line-delimited
+//! request stream against it. The loop is panic-free by construction
+//! (enforced by `cluster_check lint`'s no-panic rule over this crate):
+//! every failure becomes a typed error response, and only transport
+//! I/O errors — the peer vanishing — end a connection.
+//!
+//! `run` requests fan their `caches` × `clusters` matrix onto the
+//! existing work-stealing pool ([`cluster_study::parallel::run_items`]),
+//! so a single request saturates the machine exactly like a
+//! `paper_run` sweep would, while the result store's single-flight
+//! discipline keeps concurrent requests from duplicating work.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cluster_study::checkpoint::JournalEntry;
+use cluster_study::manifest::{RunRecord, ServedBy};
+use cluster_study::parallel::{run_items, RunStatus};
+use cluster_study::run_config;
+use coherence::config::CacheSpec;
+use simcore::Json;
+
+use crate::protocol::{
+    error_response, parse_request, pong, read_bounded_line, run_response, shutdown_ack,
+    stats_response, write_response, CellResult, ErrorKind, JobSpec, LineRead, Op, ProtocolError,
+    ServeStats, DEFAULT_MAX_LINE,
+};
+use crate::store::{size_label, ResultStore, TraceStore};
+
+/// Default bound on concurrently executing `run` requests.
+pub const DEFAULT_QUEUE: usize = 4;
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads per `run` request (the `run_items` pool width).
+    pub jobs: usize,
+    /// Per-line byte cap; longer lines answer `oversized`.
+    pub max_line: usize,
+    /// Bound on concurrently executing `run` requests; excess answers
+    /// `queue_full` instead of piling unbounded work onto the pool.
+    pub queue: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            jobs: cluster_study::resolve_jobs(None),
+            max_line: DEFAULT_MAX_LINE,
+            queue: DEFAULT_QUEUE,
+        }
+    }
+}
+
+/// Shared server state: stores, counters, and the job-queue gate.
+pub struct ServeState {
+    store: ResultStore,
+    traces: TraceStore,
+    opts: ServeOptions,
+    active: AtomicUsize,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Releases a job-queue slot when a `run` request finishes, on every
+/// path including panicked simulations.
+struct SlotGuard<'a> {
+    state: &'a ServeState,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.state.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl ServeState {
+    /// Builds a server over an opened store.
+    pub fn new(store: ResultStore, opts: ServeOptions) -> ServeState {
+        ServeState {
+            store,
+            traces: TraceStore::new(),
+            opts,
+            active: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// The server's options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// True once a `shutdown` op has been acknowledged.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let sc = self.store.counters();
+        let tc = self.traces.counters();
+        ServeStats {
+            requests: self.requests.load(Ordering::SeqCst),
+            cells_served: sc.hits + sc.misses,
+            cache_hits: sc.hits,
+            sims_run: sc.misses,
+            trace_hits: tc.hits,
+            trace_gens: tc.gens,
+            store_entries: sc.entries as u64,
+        }
+    }
+
+    fn acquire_slot(&self) -> Result<SlotGuard<'_>, ProtocolError> {
+        let prev = self.active.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.opts.queue {
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            return Err(ProtocolError::new(
+                ErrorKind::QueueFull,
+                format!("job queue full ({} run requests active)", self.opts.queue),
+            ));
+        }
+        Ok(SlotGuard { state: self })
+    }
+
+    /// Handles one request line, returning the response and whether an
+    /// orderly shutdown was requested.
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        match parse_request(line) {
+            Err(e) => (error_response(lenient_id(line), &e), false),
+            Ok(req) => match req.op {
+                Op::Ping => (pong(req.id), false),
+                Op::Stats => (stats_response(req.id, &self.stats()), false),
+                Op::Shutdown => {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    (shutdown_ack(req.id), true)
+                }
+                Op::Run(spec) => (self.handle_run(req.id, &spec), false),
+            },
+        }
+    }
+
+    fn handle_run(&self, id: Option<u64>, spec: &JobSpec) -> Json {
+        let _slot = match self.acquire_slot() {
+            Ok(s) => s,
+            Err(e) => return error_response(id, &e),
+        };
+        let trace = match self
+            .traces
+            .get_or_generate(&spec.app, spec.size, spec.procs)
+        {
+            Some(t) => t,
+            None => {
+                return error_response(
+                    id,
+                    &ProtocolError::new(
+                        ErrorKind::UnknownApp,
+                        format!("unknown application `{}`", spec.app),
+                    ),
+                )
+            }
+        };
+        let size = size_label(spec.size);
+        let items: Vec<(CacheSpec, u32)> = spec
+            .caches
+            .iter()
+            .flat_map(|&c| spec.clusters.iter().map(move |&cl| (c, cl)))
+            .collect();
+        let results = run_items(&items, self.opts.jobs, |&(cache, cluster)| {
+            let label = cache.label();
+            let key = self.store.key(&spec.app, size, spec.procs, &label, cluster);
+            self.store
+                .serve_cell(&key, size, spec.procs, || {
+                    let start = Instant::now();
+                    let stats = run_config(&trace, cluster, cache);
+                    JournalEntry {
+                        app: spec.app.clone(),
+                        cache: label.clone(),
+                        cluster,
+                        stats,
+                        wall: Some(start.elapsed()),
+                        status: RunStatus::Ok,
+                        attempts: 1,
+                    }
+                })
+                .map(|(cell, hit)| {
+                    let served_by = if hit { ServedBy::Cache } else { ServedBy::Sim };
+                    let rec = RunRecord {
+                        app: cell.app,
+                        cache: cell.cache,
+                        cluster: cell.cluster,
+                        stats: cell.stats,
+                        wall: cell.wall,
+                        status: cell.status,
+                        attempts: cell.attempts,
+                        served_by,
+                    };
+                    CellResult {
+                        cache: label.clone(),
+                        cluster,
+                        key,
+                        cache_hit: hit,
+                        served_by: served_by.label(),
+                        stats: rec.to_json(false),
+                    }
+                })
+        });
+        let mut cells = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(c) => cells.push(c),
+                Err(e) => {
+                    return error_response(
+                        id,
+                        &ProtocolError::new(ErrorKind::Internal, e.to_string()),
+                    )
+                }
+            }
+        }
+        run_response(id, &spec.app, &cells)
+    }
+}
+
+/// Best-effort correlation id for error responses: when the offending
+/// line still parses as an object with an unsigned `id`, echo it.
+fn lenient_id(line: &str) -> Option<u64> {
+    simcore::json::parse(line)
+        .ok()
+        .and_then(|j| j.get("id").and_then(Json::as_u64))
+}
+
+/// Drives one request stream to completion. Returns `Ok(true)` when
+/// the peer asked for an orderly shutdown, `Ok(false)` on EOF.
+pub fn serve_connection(
+    state: &ServeState,
+    r: &mut dyn BufRead,
+    w: &mut dyn Write,
+) -> std::io::Result<bool> {
+    loop {
+        match read_bounded_line(r, state.opts.max_line)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversized { length } => {
+                state.requests.fetch_add(1, Ordering::SeqCst);
+                let err = ProtocolError::new(
+                    ErrorKind::Oversized,
+                    format!(
+                        "line of {length} bytes exceeds the {} byte cap",
+                        state.opts.max_line
+                    ),
+                );
+                write_response(w, &error_response(None, &err))?;
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (resp, shutdown) = state.handle_line(&line);
+                write_response(w, &resp)?;
+                if shutdown {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,741 @@
+//! The content-addressed result store and the in-memory trace store.
+//!
+//! # Result store
+//!
+//! [`ResultStore`] memoizes finished study cells on disk. The unit of
+//! storage is one *cell*: a single simulation of `(app, size, procs,
+//! cache, cluster)` under the workspace's deterministic seeding scheme
+//! ([`SEED_SCHEME`]). The key is content-addressed: a stable 128-bit
+//! FNV-1a hash ([`simcore::stable_key`]) of a canonical JSON document
+//! naming every input that can change the result — see [`cell_key`].
+//! Anything *not* in the key (wall-clock, jobs, host) must never
+//! change simulated statistics; that invariant is what the
+//! serving-layer test suite proves end to end.
+//!
+//! On disk the store is a JSONL file (`store.jsonl`): line 1 is a
+//! header object carrying [`STORE_SCHEMA`], and every further line is
+//! one [`StoreEntry`] — the key plus the complete
+//! [`JournalEntry`] (full `RunStats`, so a cache hit can reproduce the
+//! manifest's deterministic view byte for byte). Appends are a single
+//! `write(2)` followed by `fdatasync`, exactly like the checkpoint
+//! journal, and recovery tolerates exactly one torn *final* line — it
+//! is dropped and the file healed through `write_atomic`; a malformed
+//! line anywhere earlier is a hard error.
+//!
+//! # Single flight
+//!
+//! [`ResultStore::serve_cell`] is the dogpile breaker: concurrent
+//! requests for the same key produce exactly one simulation. The first
+//! caller claims the key in an in-flight set and computes outside the
+//! lock; later callers block on a condvar and are served from the
+//! freshly recorded entry. A panicking compute releases its claim via
+//! a drop guard, so a poisoned cell never wedges other clients.
+//!
+//! # Key modes
+//!
+//! [`KeyMode::Truncated`] deliberately shortens keys to a prefix. It
+//! exists only as a planted-bug lever for the property suite, which
+//! must detect the resulting key collisions and shrink them to a
+//! minimal colliding spec pair. Production callers use
+//! [`KeyMode::Full`].
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use cluster_study::checkpoint::JournalEntry;
+use cluster_study::manifest::{write_atomic, SEED_SCHEME};
+use simcore::ops::Trace;
+use simcore::{stable_key, Json};
+use splash::ProblemSize;
+
+/// Schema identifier on the store's header line.
+pub const STORE_SCHEMA: &str = "clustered-smp/result-store/v1";
+
+/// Schema identifier inside every cell key document.
+pub const CELL_KEY_SCHEMA: &str = "clustered-smp/cell-key/v1";
+
+/// File name of the store inside its directory.
+pub const STORE_FILE: &str = "store.jsonl";
+
+/// Exit code of the `kill_after` crash-injection hook (the serving
+/// analogue of the journal's `STUDY_KILL_AFTER_RECORDS`), shared with
+/// the checkpoint journal so harnesses treat both alike.
+pub const KILL_EXIT_CODE: i32 = cluster_study::checkpoint::KILL_EXIT_CODE;
+
+/// How cell keys are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyMode {
+    /// The full 32-hex-digit stable key. Production mode.
+    #[default]
+    Full,
+    /// Only the first `n` hex digits — a *planted bug* that makes
+    /// distinct cells collide, used by the property suite to prove
+    /// collisions are caught and shrunk. Never use outside tests.
+    Truncated(usize),
+}
+
+/// The canonical key document for one study cell. Everything that can
+/// change the simulated statistics is named here; nothing else is.
+pub fn cell_key_doc(app: &str, size: &str, procs: usize, cache: &str, cluster: u32) -> Json {
+    Json::obj()
+        .with("schema", CELL_KEY_SCHEMA)
+        .with("app", app)
+        .with("size", size)
+        .with("procs", procs)
+        .with("cache", cache)
+        .with("cluster", cluster)
+        .with("seed_scheme", SEED_SCHEME)
+}
+
+/// The content-addressed key of one study cell under [`KeyMode::Full`].
+pub fn cell_key(app: &str, size: &str, procs: usize, cache: &str, cluster: u32) -> String {
+    stable_key(&cell_key_doc(app, size, procs, cache, cluster))
+}
+
+/// Label for a [`ProblemSize`], matching the journal header's `size`.
+pub fn size_label(size: ProblemSize) -> &'static str {
+    match size {
+        ProblemSize::Paper => "paper",
+        ProblemSize::Small => "small",
+    }
+}
+
+/// One persisted cell: the content address plus the complete result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Content-addressed cell key (hex).
+    pub key: String,
+    /// Problem-size label (`"small"` / `"paper"`).
+    pub size: String,
+    /// Simulated processors.
+    pub procs: usize,
+    /// The complete result, identical in shape to a journal entry.
+    pub cell: JournalEntry,
+}
+
+impl StoreEntry {
+    /// One JSONL line of the store file.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("store_key", self.key.as_str())
+            .with("size", self.size.as_str())
+            .with("procs", self.procs)
+            .with("cell", self.cell.to_json())
+    }
+
+    /// Parses one store line.
+    pub fn from_json(j: &Json) -> Result<StoreEntry, String> {
+        let key = j
+            .get("store_key")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `store_key`")?
+            .to_string();
+        let size = j
+            .get("size")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `size`")?
+            .to_string();
+        let procs = j
+            .get("procs")
+            .and_then(Json::as_u64)
+            .ok_or("missing integer field `procs`")? as usize;
+        let cell = JournalEntry::from_json(j.get("cell").ok_or("missing object field `cell`")?)?;
+        Ok(StoreEntry {
+            key,
+            size,
+            procs,
+            cell,
+        })
+    }
+}
+
+/// A store operation that failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// A line that does not parse as the schema demands.
+    Malformed {
+        /// 1-based line number in the store file.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Malformed { line, reason } => {
+                write!(f, "store line {line} malformed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Counters a store exposes for the `stats` op and CI artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Cells served straight from the store.
+    pub hits: u64,
+    /// Cells that required a fresh simulation.
+    pub misses: u64,
+    /// Entries currently held (disk + this process's appends).
+    pub entries: usize,
+}
+
+struct StoreInner {
+    file: File,
+    map: HashMap<String, StoreEntry>,
+    inflight: HashSet<String>,
+    hits: u64,
+    misses: u64,
+    appended: usize,
+    kill_after: Option<usize>,
+}
+
+/// The on-disk content-addressed result cache. Thread safe; all
+/// mutation happens under one mutex, with computes running outside it
+/// under single-flight claims.
+pub struct ResultStore {
+    path: PathBuf,
+    mode: KeyMode,
+    inner: Mutex<StoreInner>,
+    done: Condvar,
+}
+
+/// Recovers poisoned locks: a panic inside a lock scope here can only
+/// abandon counters mid-update, never corrupt the on-disk format.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Clears a single-flight claim if the compute panics, so waiting
+/// clients retry instead of blocking forever.
+struct FlightGuard<'a> {
+    store: &'a ResultStore,
+    key: String,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut g = lock(&self.store.inner);
+            g.inflight.remove(&self.key);
+            drop(g);
+            self.store.done.notify_all();
+        }
+    }
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store in `dir` with production keys.
+    pub fn open(dir: &Path) -> Result<ResultStore, StoreError> {
+        ResultStore::open_with_mode(dir, KeyMode::Full)
+    }
+
+    /// Opens the store with an explicit [`KeyMode`]. Only tests pass
+    /// anything but [`KeyMode::Full`].
+    pub fn open_with_mode(dir: &Path, mode: KeyMode) -> Result<ResultStore, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(STORE_FILE);
+        if !path.exists() {
+            write_atomic(&path, format!("{}\n", store_header()).as_bytes())?;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let (entries, torn) = scan_store(&text)?;
+        if torn {
+            // Heal: rewrite the clean prefix atomically, then append.
+            let mut body = format!("{}\n", store_header());
+            for e in &entries {
+                body.push_str(&e.to_json().to_string());
+                body.push('\n');
+            }
+            write_atomic(&path, body.as_bytes())?;
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        let map = entries.into_iter().map(|e| (e.key.clone(), e)).collect();
+        Ok(ResultStore {
+            path,
+            mode,
+            inner: Mutex::new(StoreInner {
+                file,
+                map,
+                inflight: HashSet::new(),
+                hits: 0,
+                misses: 0,
+                appended: 0,
+                kill_after: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Path of the backing JSONL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The cell key under this store's [`KeyMode`].
+    pub fn key(&self, app: &str, size: &str, procs: usize, cache: &str, cluster: u32) -> String {
+        let full = cell_key(app, size, procs, cache, cluster);
+        match self.mode {
+            KeyMode::Full => full,
+            KeyMode::Truncated(n) => full[..n.min(full.len())].to_string(),
+        }
+    }
+
+    /// Arms the crash-injection hook: the process exits with
+    /// [`KILL_EXIT_CODE`] immediately after the `n`-th append.
+    pub fn set_kill_after(&self, n: usize) {
+        lock(&self.inner).kill_after = Some(n);
+    }
+
+    /// Looks a key up without counting a hit or miss.
+    pub fn peek(&self, key: &str) -> Option<StoreEntry> {
+        lock(&self.inner).map.get(key).cloned()
+    }
+
+    /// All entries. Iteration order is unspecified; callers sort by
+    /// key when order matters.
+    pub fn entries(&self) -> Vec<StoreEntry> {
+        lock(&self.inner).map.values().cloned().collect()
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> StoreCounters {
+        let g = lock(&self.inner);
+        StoreCounters {
+            hits: g.hits,
+            misses: g.misses,
+            entries: g.map.len(),
+        }
+    }
+
+    /// Serves one cell: from the store when present (a *cache hit*),
+    /// otherwise by running `compute` exactly once per key across all
+    /// concurrent callers, durably recording the result before any
+    /// waiter sees it. Returns the entry and whether it was a hit.
+    pub fn serve_cell(
+        &self,
+        key: &str,
+        size: &str,
+        procs: usize,
+        compute: impl FnOnce() -> JournalEntry,
+    ) -> Result<(JournalEntry, bool), StoreError> {
+        let mut g = lock(&self.inner);
+        loop {
+            if let Some(e) = g.map.get(key) {
+                let cell = e.cell.clone();
+                g.hits += 1;
+                return Ok((cell, true));
+            }
+            if !g.inflight.contains(key) {
+                g.inflight.insert(key.to_string());
+                break;
+            }
+            g = self.done.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g.misses += 1;
+        drop(g);
+
+        let guard = FlightGuard {
+            store: self,
+            key: key.to_string(),
+            armed: true,
+        };
+        let cell = compute();
+        let entry = StoreEntry {
+            key: key.to_string(),
+            size: size.to_string(),
+            procs,
+            cell,
+        };
+        self.record_entry(entry.clone(), guard)?;
+        Ok((entry.cell, false))
+    }
+
+    /// Records an externally computed cell (the `--cache` client path)
+    /// if the key is absent. Returns whether the entry was appended.
+    pub fn record(
+        &self,
+        key: &str,
+        size: &str,
+        procs: usize,
+        cell: &JournalEntry,
+    ) -> Result<bool, StoreError> {
+        let mut g = lock(&self.inner);
+        if g.map.contains_key(key) {
+            return Ok(false);
+        }
+        // Claim so a concurrent serve_cell of the same key waits for
+        // this append instead of double-simulating.
+        if g.inflight.contains(key) {
+            // Someone is computing it right now; let them win.
+            return Ok(false);
+        }
+        g.inflight.insert(key.to_string());
+        drop(g);
+        let guard = FlightGuard {
+            store: self,
+            key: key.to_string(),
+            armed: true,
+        };
+        let entry = StoreEntry {
+            key: key.to_string(),
+            size: size.to_string(),
+            procs,
+            cell: cell.clone(),
+        };
+        self.record_entry(entry, guard)?;
+        Ok(true)
+    }
+
+    /// Appends an entry under the lock, publishes it to the map, and
+    /// releases the single-flight claim. Honors the kill hook.
+    fn record_entry(
+        &self,
+        entry: StoreEntry,
+        mut guard: FlightGuard<'_>,
+    ) -> Result<(), StoreError> {
+        let key = entry.key.clone();
+        let mut g = lock(&self.inner);
+        let line = format!("{}\n", entry.to_json());
+        let io = g
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| g.file.sync_data());
+        match io {
+            Ok(()) => {
+                g.appended += 1;
+                g.map.insert(key.clone(), entry);
+                g.inflight.remove(&key);
+                guard.armed = false;
+                let kill = g.kill_after.is_some_and(|n| g.appended >= n);
+                drop(g);
+                self.done.notify_all();
+                if kill {
+                    eprintln!("cluster_serve: kill_after hook tripped; exiting {KILL_EXIT_CODE}");
+                    std::process::exit(KILL_EXIT_CODE);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The guard (still armed) releases the claim on drop.
+                drop(g);
+                Err(StoreError::Io(e))
+            }
+        }
+    }
+}
+
+fn store_header() -> Json {
+    Json::obj().with("schema", STORE_SCHEMA)
+}
+
+/// Scans a store file's text: returns the clean entries and whether a
+/// torn final line was dropped. A malformed line that is *not* final
+/// is a hard error, mirroring the checkpoint journal's contract.
+pub fn scan_store(text: &str) -> Result<(Vec<StoreEntry>, bool), StoreError> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err(StoreError::Malformed {
+            line: 1,
+            reason: "empty store file (missing header)".to_string(),
+        });
+    }
+    let header = simcore::json::parse(lines[0]).map_err(|e| StoreError::Malformed {
+        line: 1,
+        reason: format!("header does not parse: {e}"),
+    })?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some(s) if s == STORE_SCHEMA => {}
+        other => {
+            return Err(StoreError::Malformed {
+                line: 1,
+                reason: format!("header schema {other:?}, want {STORE_SCHEMA:?}"),
+            })
+        }
+    }
+    let mut entries = Vec::new();
+    let mut torn = false;
+    for (i, raw) in lines.iter().enumerate().skip(1) {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let parsed = simcore::json::parse(raw)
+            .map_err(|e| e.to_string())
+            .and_then(|j| StoreEntry::from_json(&j));
+        match parsed {
+            Ok(e) => entries.push(e),
+            Err(reason) => {
+                if i == lines.len() - 1 {
+                    // Torn final line: a kill landed mid-append.
+                    torn = true;
+                } else {
+                    return Err(StoreError::Malformed {
+                        line: i + 1,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+    Ok((entries, torn))
+}
+
+/// Counters the trace store exposes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Traces served from memory.
+    pub hits: u64,
+    /// Traces generated fresh.
+    pub gens: u64,
+}
+
+struct TraceInner {
+    map: HashMap<(String, String, usize), Arc<Trace>>,
+    inflight: HashSet<(String, String, usize)>,
+    hits: u64,
+    gens: u64,
+}
+
+/// In-memory memo of generated traces keyed by `(app, size, procs)`,
+/// with the same single-flight discipline as the result store: a
+/// sweep that varies only the cluster configuration generates each
+/// trace exactly once, no matter how requests interleave.
+pub struct TraceStore {
+    inner: Mutex<TraceInner>,
+    done: Condvar,
+}
+
+impl Default for TraceStore {
+    fn default() -> TraceStore {
+        TraceStore::new()
+    }
+}
+
+impl TraceStore {
+    /// An empty trace store.
+    pub fn new() -> TraceStore {
+        TraceStore {
+            inner: Mutex::new(TraceInner {
+                map: HashMap::new(),
+                inflight: HashSet::new(),
+                hits: 0,
+                gens: 0,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Returns the trace for `(app, size, procs)`, generating it at
+    /// most once across all concurrent callers. `None` when the app
+    /// name is unknown to the `splash` registry.
+    pub fn get_or_generate(
+        &self,
+        app: &str,
+        size: ProblemSize,
+        procs: usize,
+    ) -> Option<Arc<Trace>> {
+        let key = (app.to_string(), size_label(size).to_string(), procs);
+        let mut g = lock(&self.inner);
+        loop {
+            if let Some(t) = g.map.get(&key) {
+                let t = Arc::clone(t);
+                g.hits += 1;
+                return Some(t);
+            }
+            if !g.inflight.contains(&key) {
+                g.inflight.insert(key.clone());
+                break;
+            }
+            g = self.done.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(g);
+
+        // Generate outside the lock; release the claim on all paths.
+        let generated = splash::by_name(app, size).map(|a| Arc::new(a.generate(procs)));
+        let mut g = lock(&self.inner);
+        g.inflight.remove(&key);
+        match generated {
+            Some(t) => {
+                g.gens += 1;
+                g.map.insert(key, Arc::clone(&t));
+                drop(g);
+                self.done.notify_all();
+                Some(t)
+            }
+            None => {
+                drop(g);
+                self.done.notify_all();
+                None
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> TraceCounters {
+        let g = lock(&self.inner);
+        TraceCounters {
+            hits: g.hits,
+            gens: g.gens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_study::parallel::RunStatus;
+    use cluster_study::run_config;
+    use coherence::config::CacheSpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_entry(app: &str, cluster: u32) -> JournalEntry {
+        let trace = splash::by_name(app, ProblemSize::Small)
+            .expect("known app")
+            .generate(8);
+        let stats = run_config(&trace, cluster, CacheSpec::Infinite);
+        JournalEntry {
+            app: app.to_string(),
+            cache: CacheSpec::Infinite.label(),
+            cluster,
+            stats,
+            wall: None,
+            status: RunStatus::Ok,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn cell_key_is_stable_and_input_sensitive() {
+        let a = cell_key("ocean", "small", 8, "inf", 4);
+        assert_eq!(a, cell_key("ocean", "small", 8, "inf", 4));
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, cell_key("ocean", "small", 8, "inf", 2));
+        assert_ne!(a, cell_key("ocean", "small", 8, "4k", 4));
+        assert_ne!(a, cell_key("ocean", "paper", 8, "inf", 4));
+        assert_ne!(a, cell_key("ocean", "small", 16, "inf", 4));
+        assert_ne!(a, cell_key("lu", "small", 8, "inf", 4));
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let entry = sample_entry("ocean", 4);
+        let key = cell_key("ocean", "small", 8, "inf", 4);
+        {
+            let store = ResultStore::open(&dir).expect("open");
+            let (cell, hit) = store
+                .serve_cell(&key, "small", 8, || entry.clone())
+                .expect("serve");
+            assert!(!hit);
+            assert_eq!(cell.to_json().to_string(), entry.to_json().to_string());
+        }
+        let store = ResultStore::open(&dir).expect("reopen");
+        let (cell, hit) = store
+            .serve_cell(&key, "small", 8, || {
+                unreachable!("must be served from disk")
+            })
+            .expect("serve");
+        assert!(hit);
+        assert_eq!(cell.to_json().to_string(), entry.to_json().to_string());
+        assert_eq!(store.counters().hits, 1);
+        assert_eq!(store.counters().entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_healed_on_open() {
+        let dir = tmp_dir("torn");
+        let key = cell_key("ocean", "small", 8, "inf", 4);
+        {
+            let store = ResultStore::open(&dir).expect("open");
+            store
+                .serve_cell(&key, "small", 8, || sample_entry("ocean", 4))
+                .expect("serve");
+        }
+        let path = dir.join(STORE_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"store_key\":\"deadbeef\",\"si"); // torn append
+        std::fs::write(&path, &text).expect("tear");
+        let store = ResultStore::open(&dir).expect("heal");
+        assert_eq!(store.counters().entries, 1);
+        let healed = std::fs::read_to_string(&path).expect("read healed");
+        assert!(!healed.contains("deadbeef"));
+        // A malformed line that is NOT final stays a hard error.
+        let mut bad = healed.clone();
+        bad.push_str("garbage\n");
+        bad.push_str(healed.lines().nth(1).expect("entry line"));
+        bad.push('\n');
+        std::fs::write(&path, &bad).expect("corrupt");
+        assert!(matches!(
+            ResultStore::open(&dir),
+            Err(StoreError::Malformed { line: 3, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_key_mode_collides_full_mode_does_not() {
+        let dir = tmp_dir("keymode");
+        let weak = ResultStore::open_with_mode(&dir, KeyMode::Truncated(1)).expect("open");
+        // With 1 hex digit there are only 16 possible keys; 17 distinct
+        // cells must collide somewhere.
+        let mut seen = HashSet::new();
+        let mut collided = false;
+        for cluster in 1..=17u32 {
+            let k = weak.key("ocean", "small", 8, "inf", cluster);
+            assert_eq!(k.len(), 1);
+            collided |= !seen.insert(k);
+        }
+        assert!(collided, "truncated keys must collide");
+        let full = cell_key("ocean", "small", 8, "inf", 1);
+        assert_eq!(full.len(), 32);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_store_generates_each_key_once() {
+        let ts = TraceStore::new();
+        let a = ts
+            .get_or_generate("ocean", ProblemSize::Small, 8)
+            .expect("known app");
+        let b = ts
+            .get_or_generate("ocean", ProblemSize::Small, 8)
+            .expect("known app");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ts.counters(), TraceCounters { hits: 1, gens: 1 });
+        assert!(ts
+            .get_or_generate("no-such-app", ProblemSize::Small, 8)
+            .is_none());
+        assert_eq!(ts.counters().gens, 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Protocol conformance suite for `cluster_serve`.
+//!
+//! Drives [`cluster_serve::serve_connection`] in-process over byte
+//! buffers: every response-schema behavior documented in DESIGN.md
+//! §12 is pinned here, and `cluster_check lint`'s schema-sync rule
+//! pairs this file against `crates/serve/src/protocol.rs`, so a
+//! response key the server can emit that no test reads (or vice
+//! versa) fails the lint.
+//!
+//! The invariant under test throughout: a hostile or confused client
+//! gets a *typed error response* — parse, protocol, oversized,
+//! queue_full, unknown_app — and the serve loop keeps answering
+//! later requests. Nothing a client writes may kill the loop.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use cluster_serve::{serve_connection, ResultStore, ServeOptions, ServeState};
+use simcore::Json;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("serve-protocol-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn state(tag: &str, opts: ServeOptions) -> (ServeState, PathBuf) {
+    let dir = tmp_dir(tag);
+    let store = ResultStore::open(&dir).expect("open store");
+    (ServeState::new(store, opts), dir)
+}
+
+fn small_opts() -> ServeOptions {
+    ServeOptions {
+        jobs: 2,
+        max_line: 4096,
+        queue: 2,
+    }
+}
+
+/// Feeds `input` through one connection and returns the parsed
+/// response lines plus the shutdown flag.
+fn drive(state: &ServeState, input: &str) -> (Vec<Json>, bool) {
+    let mut r = Cursor::new(input.as_bytes().to_vec());
+    let mut out: Vec<u8> = Vec::new();
+    let shutdown = serve_connection(state, &mut r, &mut out).expect("in-memory transport");
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let responses = text
+        .lines()
+        .map(|l| simcore::json::parse(l).expect("every response line parses"))
+        .collect();
+    (responses, shutdown)
+}
+
+fn error_kind(resp: &Json) -> &str {
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    resp.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .expect("error responses carry error.kind")
+}
+
+fn error_detail(resp: &Json) -> &str {
+    resp.get("error")
+        .and_then(|e| e.get("detail"))
+        .and_then(Json::as_str)
+        .expect("error responses carry error.detail")
+}
+
+fn assert_ok(resp: &Json, op: &str) {
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("op").and_then(Json::as_str), Some(op));
+}
+
+#[test]
+fn malformed_json_yields_parse_error_and_loop_survives() {
+    let (st, dir) = state("parse", small_opts());
+    let (resps, _) = drive(&st, "{this is not json\n{\"op\":\"ping\",\"id\":7}\n");
+    assert_eq!(resps.len(), 2);
+    assert_eq!(error_kind(&resps[0]), "parse");
+    assert!(!error_detail(&resps[0]).is_empty());
+    assert_ok(&resps[1], "ping");
+    assert_eq!(resps[1].get("id").and_then(Json::as_u64), Some(7));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_final_line_is_answered_not_dropped() {
+    let (st, dir) = state("torn", small_opts());
+    // No trailing newline: a client died mid-write. The fragment is
+    // still answered (as a parse error), not silently discarded.
+    let (resps, shutdown) = drive(&st, "{\"op\":\"ping\",\"id\":1}\n{\"op\":\"pi");
+    assert_eq!(resps.len(), 2);
+    assert_ok(&resps[0], "ping");
+    assert_eq!(error_kind(&resps[1]), "parse");
+    assert!(!shutdown);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_fields_and_bad_values_are_protocol_errors() {
+    let (st, dir) = state("strict", small_opts());
+    let cases: &[(&str, &str)] = &[
+        // unknown top-level field
+        ("{\"op\":\"ping\",\"extra\":1}", "extra"),
+        // unknown spec field
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"bogus\":2}}",
+            "bogus",
+        ),
+        // wrong id type
+        ("{\"op\":\"ping\",\"id\":\"seven\"}", "id"),
+        // unknown op
+        ("{\"op\":\"dance\"}", "dance"),
+        // run without spec
+        ("{\"op\":\"run\"}", "spec"),
+        // spec without app
+        ("{\"op\":\"run\",\"spec\":{}}", "app"),
+        // unknown size label
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"size\":\"huge\"}}",
+            "huge",
+        ),
+        // unknown cache label
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"9q\"]}}",
+            "9q",
+        ),
+        // zero procs
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"procs\":0}}",
+            "procs",
+        ),
+        // zero cluster size
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"clusters\":[0]}}",
+            "cluster",
+        ),
+        // cluster size that does not tile the machine — unvalidated,
+        // this would panic a simulation worker and kill the server
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"procs\":4,\"clusters\":[8]}}",
+            "divide",
+        ),
+        (
+            "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"procs\":8,\"clusters\":[3]}}",
+            "divide",
+        ),
+        // spec on a spec-less op
+        ("{\"op\":\"ping\",\"spec\":{}}", "spec"),
+        // non-object request
+        ("[1,2,3]", "object"),
+    ];
+    for (line, needle) in cases {
+        let (resps, _) = drive(&st, &format!("{line}\n"));
+        assert_eq!(resps.len(), 1, "one response for {line}");
+        assert_eq!(error_kind(&resps[0]), "protocol", "kind for {line}");
+        assert!(
+            error_detail(&resps[0]).contains(needle),
+            "detail for {line} should mention {needle}: {}",
+            error_detail(&resps[0])
+        );
+    }
+    // An oversized list is also a protocol error, not a panic.
+    let many: Vec<String> = (1..=17).map(|c| c.to_string()).collect();
+    let line = format!(
+        "{{\"op\":\"run\",\"spec\":{{\"app\":\"lu\",\"clusters\":[{}]}}}}",
+        many.join(",")
+    );
+    let (resps, _) = drive(&st, &format!("{line}\n"));
+    assert_eq!(error_kind(&resps[0]), "protocol");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_line_is_drained_and_later_requests_survive() {
+    let (st, dir) = state("oversized", small_opts());
+    let pad = "x".repeat(8192); // 2× the 4096 cap
+    let input = format!("{{\"op\":\"ping\",\"pad\":\"{pad}\"}}\n{{\"op\":\"ping\",\"id\":2}}\n");
+    let (resps, _) = drive(&st, &input);
+    assert_eq!(resps.len(), 2);
+    assert_eq!(error_kind(&resps[0]), "oversized");
+    assert!(error_detail(&resps[0]).contains("cap"));
+    assert_ok(&resps[1], "ping");
+    assert_eq!(resps[1].get("id").and_then(Json::as_u64), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_responses_echo_the_request_id_when_recoverable() {
+    let (st, dir) = state("echo", small_opts());
+    let (resps, _) = drive(&st, "{\"op\":\"dance\",\"id\":9}\n");
+    assert_eq!(resps[0].get("id").and_then(Json::as_u64), Some(9));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_app_is_a_typed_error() {
+    let (st, dir) = state("unknown-app", small_opts());
+    let (resps, _) = drive(
+        &st,
+        "{\"op\":\"run\",\"id\":3,\"spec\":{\"app\":\"no-such-app\"}}\n",
+    );
+    assert_eq!(error_kind(&resps[0]), "unknown_app");
+    assert_eq!(resps[0].get("id").and_then(Json::as_u64), Some(3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_answers_queue_full() {
+    // A zero-width queue rejects every run up front: the gate itself
+    // is what's under test, single-threaded transport or not.
+    let (st, dir) = state(
+        "queue",
+        ServeOptions {
+            queue: 0,
+            ..small_opts()
+        },
+    );
+    let (resps, _) = drive(
+        &st,
+        "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n{\"op\":\"ping\",\"id\":5}\n",
+    );
+    assert_eq!(error_kind(&resps[0]), "queue_full");
+    assert_ok(&resps[1], "ping");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipelined_stream_answers_in_order_and_run_cells_are_complete() {
+    let (st, dir) = state("pipeline", small_opts());
+    let input = "{\"op\":\"ping\",\"id\":1}\n\n   \n{\"op\":\"run\",\"id\":2,\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\",\"4k\"],\"clusters\":[1,2]}}\n{\"op\":\"stats\",\"id\":3}\n";
+    let (resps, shutdown) = drive(&st, input);
+    assert!(!shutdown);
+    // Blank lines are skipped; three real requests, three responses,
+    // ids echoed in order.
+    assert_eq!(resps.len(), 3);
+    for (i, id) in [1u64, 2, 3].iter().enumerate() {
+        assert_eq!(resps[i].get("id").and_then(Json::as_u64), Some(*id));
+    }
+    assert_ok(&resps[0], "ping");
+    assert_ok(&resps[1], "run");
+    assert_eq!(resps[1].get("app").and_then(Json::as_str), Some("lu"));
+    assert_eq!(resps[1].get("cache_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(resps[1].get("sims").and_then(Json::as_u64), Some(4));
+    let cells = resps[1]
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("run responses carry cells");
+    assert_eq!(cells.len(), 4);
+    // caches × clusters in request order.
+    let want = [("inf", 1u64), ("inf", 2), ("4k", 1), ("4k", 2)];
+    for (cell, (cache, cluster)) in cells.iter().zip(want) {
+        assert_eq!(cell.get("cache").and_then(Json::as_str), Some(cache));
+        assert_eq!(cell.get("cluster").and_then(Json::as_u64), Some(cluster));
+        assert_eq!(cell.get("cache_hit").and_then(Json::as_bool), Some(false));
+        assert_eq!(cell.get("served_by").and_then(Json::as_str), Some("sim"));
+        let key = cell.get("key").and_then(Json::as_str).expect("cell key");
+        assert_eq!(key.len(), 32, "content address is 128-bit hex");
+        let stats = cell.get("stats").expect("cell stats");
+        assert!(stats.get("app").is_some(), "stats is the manifest view");
+    }
+    // All four cells share one generated trace.
+    assert_ok(&resps[2], "stats");
+    assert_eq!(resps[2].get("trace_gens").and_then(Json::as_u64), Some(1));
+    assert_eq!(resps[2].get("sims_run").and_then(Json::as_u64), Some(4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resubmission_is_served_from_cache_byte_identically() {
+    let (st, dir) = state("cache-hit", small_opts());
+    let run = "{\"op\":\"run\",\"id\":1,\"spec\":{\"app\":\"fft\",\"caches\":[\"inf\"],\"clusters\":[1,4]}}\n";
+    let (first, _) = drive(&st, run);
+    let (second, _) = drive(&st, run);
+    assert_eq!(second[0].get("cache_hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(second[0].get("sims").and_then(Json::as_u64), Some(0));
+    let a = first[0].get("cells").and_then(Json::as_arr).expect("cells");
+    let b = second[0]
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("cells");
+    for (fresh, cached) in a.iter().zip(b) {
+        assert_eq!(cached.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            cached.get("served_by").and_then(Json::as_str),
+            Some("cache")
+        );
+        assert_eq!(
+            fresh.get("key").and_then(Json::as_str),
+            cached.get("key").and_then(Json::as_str)
+        );
+        // The load-bearing guarantee: the stats view of a cache hit is
+        // byte-identical to the fresh simulation's.
+        assert_eq!(
+            fresh.get("stats").map(Json::to_string),
+            cached.get("stats").map(Json::to_string)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_response_carries_every_counter() {
+    let (st, dir) = state("stats", small_opts());
+    drive(
+        &st,
+        "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n",
+    );
+    drive(
+        &st,
+        "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n",
+    );
+    let (resps, _) = drive(&st, "{\"op\":\"stats\",\"id\":42}\n");
+    let s = &resps[0];
+    assert_ok(s, "stats");
+    for key in [
+        "requests",
+        "cells_served",
+        "cache_hits",
+        "sims_run",
+        "trace_hits",
+        "trace_gens",
+        "store_entries",
+    ] {
+        assert!(
+            s.get(key).and_then(Json::as_u64).is_some(),
+            "stats response must carry `{key}`"
+        );
+    }
+    assert_eq!(s.get("requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(s.get("cells_served").and_then(Json::as_u64), Some(2));
+    assert_eq!(s.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(s.get("sims_run").and_then(Json::as_u64), Some(1));
+    assert_eq!(s.get("trace_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(s.get("trace_gens").and_then(Json::as_u64), Some(1));
+    assert_eq!(s.get("store_entries").and_then(Json::as_u64), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_acknowledges_then_closes_the_stream() {
+    let (st, dir) = state("shutdown", small_opts());
+    let (resps, shutdown) = drive(&st, "{\"op\":\"shutdown\",\"id\":8}\n{\"op\":\"ping\"}\n");
+    assert!(shutdown, "serve_connection reports the orderly shutdown");
+    assert!(st.shutdown_requested());
+    assert_eq!(resps.len(), 1, "nothing is answered after the ack");
+    assert_ok(&resps[0], "shutdown");
+    assert_eq!(resps[0].get("id").and_then(Json::as_u64), Some(8));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,91 @@
+//! Stable content hashing for the serving layer's content-addressed
+//! stores.
+//!
+//! A cache key must be a pure function of the request *content* and
+//! stay stable across processes, platforms and releases — Rust's
+//! `std::hash` is explicitly none of those (SipHash is randomly
+//! keyed per process). This module provides 128-bit FNV-1a over
+//! bytes, plus [`stable_key`] which hashes a [`Json`] document's
+//! canonical serialization (the `simcore::json` writer is
+//! deterministic: insertion-ordered keys, exact integer formatting),
+//! so two structurally identical documents always produce the same
+//! 32-hex-digit key.
+//!
+//! 128 bits makes accidental collisions astronomically unlikely at
+//! any realistic store size (the 64-bit variant in [`crate::fault`]
+//! is for seed mixing, where collisions are harmless). The serving
+//! tests plant a deliberately truncated key to prove the propcheck
+//! identity suite *detects* a colliding key function — see
+//! `crates/serve/tests/cache_identity.rs`.
+
+use crate::json::Json;
+
+/// FNV-1a 128-bit offset basis.
+pub const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+pub const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over raw bytes.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// A 128-bit hash as 32 lowercase hex digits (fixed width, zero
+/// padded — store keys must sort and compare as plain strings).
+pub fn hex128(h: u128) -> String {
+    format!("{h:032x}")
+}
+
+/// The stable key of a JSON document: [`fnv1a128`] over its compact
+/// canonical serialization, rendered as 32 hex digits.
+pub fn stable_key(doc: &Json) -> String {
+    hex128(fnv1a128(doc.to_string().as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors for 128-bit FNV-1a (computed from the
+    /// published offset basis and prime; the empty input must hash to
+    /// the offset basis by definition).
+    #[test]
+    fn fnv1a128_matches_reference_vectors() {
+        assert_eq!(fnv1a128(b""), FNV128_OFFSET);
+        // One octet: (offset ^ 'a') * prime.
+        let expected_a = (FNV128_OFFSET ^ b'a' as u128).wrapping_mul(FNV128_PRIME);
+        assert_eq!(fnv1a128(b"a"), expected_a);
+        // Avalanche sanity: near-identical inputs diverge.
+        assert_ne!(fnv1a128(b"abc"), fnv1a128(b"abd"));
+        assert_ne!(fnv1a128(b"abc"), fnv1a128(b"abc\0"));
+    }
+
+    #[test]
+    fn hex128_is_fixed_width_lowercase() {
+        assert_eq!(hex128(0), "0".repeat(32));
+        assert_eq!(hex128(0xff), format!("{}ff", "0".repeat(30)));
+        let h = hex128(fnv1a128(b"lu"));
+        assert_eq!(h.len(), 32);
+        assert!(h
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn stable_key_depends_on_structure_not_identity() {
+        let a = Json::obj().with("app", "lu").with("cluster", 4u32);
+        let b = Json::obj().with("app", "lu").with("cluster", 4u32);
+        assert_eq!(stable_key(&a), stable_key(&b));
+        // Key order matters (canonical = insertion order): a document
+        // built differently is a different request.
+        let swapped = Json::obj().with("cluster", 4u32).with("app", "lu");
+        assert_ne!(stable_key(&a), stable_key(&swapped));
+        let other = Json::obj().with("app", "lu").with("cluster", 8u32);
+        assert_ne!(stable_key(&a), stable_key(&other));
+    }
+}

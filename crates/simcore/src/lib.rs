@@ -25,6 +25,8 @@
 //! * [`propcheck`] — an in-tree deterministic property-test harness
 //!   (seeded cases, `PROPCHECK_CASES`, structural and element-wise
 //!   shrinking).
+//! * [`hash`] — stable 128-bit FNV-1a content hashing for the serving
+//!   layer's content-addressed result/trace stores.
 //! * [`json`] — minimal JSON value/writer/reader for the
 //!   machine-readable results layer (run manifests, CI artifacts).
 //! * [`metrics`] — insertion-ordered registry of named counters,
@@ -33,6 +35,7 @@
 pub mod addr;
 pub mod cache;
 pub mod fault;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod ops;
@@ -44,6 +47,7 @@ pub mod stats;
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use cache::{CacheError, CacheKind, EvictedLine, FullLruCache, SetAssocCache};
 pub use fault::{FaultKind, FaultPlan};
+pub use hash::{fnv1a128, stable_key};
 pub use json::Json;
 pub use metrics::{MetricValue, Metrics};
 pub use ops::{Op, PackedOp, Trace, TraceBuilder};
