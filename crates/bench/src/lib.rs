@@ -12,10 +12,12 @@ use cluster_study::parallel::RunPolicy;
 use cluster_study::study::ClusterSweep;
 use cluster_study::{Journal, JournalEntry};
 use simcore::fault::FaultPlan;
+use simcore::sample::{SampleError, SampleMode, SampleSpec};
 use simcore::stats::RunStats;
 use splash::ProblemSize;
 use std::time::Duration;
 
+pub mod sampling;
 pub mod timer;
 
 /// Output format for the machine-readable artifact. Text (the
@@ -76,6 +78,23 @@ pub struct Cli {
     /// fresh cells into) a `cluster_serve` content-addressed result
     /// store in this directory.
     pub cache: Option<PathBuf>,
+    /// `--sample MODE`: replay only sampled intervals
+    /// (`periodic|reservoir|phase`) instead of the full trace.
+    pub sample: Option<SampleMode>,
+    /// `--sample-rate R`: fraction of intervals measured, in `(0, 1]`
+    /// (default [`simcore::sample::DEFAULT_RATE`]). Needs `--sample`
+    /// or `--validate-sampling`.
+    pub sample_rate: Option<f64>,
+    /// `--warmup-ops K`: ops replayed for cache state before each
+    /// measured region, excluded from statistics (default
+    /// [`simcore::sample::DEFAULT_WARMUP_OPS`]). Needs `--sample` or
+    /// `--validate-sampling`.
+    pub warmup_ops: Option<u64>,
+    /// `--validate-sampling`: run the sampled-vs-full validation
+    /// harness over every strategy instead of the normal study, and
+    /// record per-metric max relative errors in
+    /// `results/sampling_validation.json` (paper_run).
+    pub validate_sampling: bool,
 }
 
 /// A parse failure (or `--help` request) from [`Cli::parse_from`]:
@@ -137,6 +156,10 @@ impl Cli {
         let mut checkpoint = None;
         let mut resume = false;
         let mut cache = None;
+        let mut sample = None;
+        let mut sample_rate = None;
+        let mut warmup_ops = None;
+        let mut validate_sampling = false;
         let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -195,6 +218,31 @@ impl Cli {
                     ));
                 }
                 "--resume" => resume = true,
+                "--sample" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| fail("--sample needs periodic|reservoir|phase"))?;
+                    sample =
+                        Some(SampleMode::parse(&v).map_err(|e: SampleError| fail(&e.to_string()))?);
+                }
+                "--sample-rate" => {
+                    let r: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| fail("--sample-rate needs a number in (0, 1]"))?;
+                    if !(r > 0.0 && r <= 1.0) {
+                        return Err(fail(&SampleError::RateOutOfRange(r).to_string()));
+                    }
+                    sample_rate = Some(r);
+                }
+                "--warmup-ops" => {
+                    warmup_ops = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| fail("--warmup-ops needs a number"))?,
+                    );
+                }
+                "--validate-sampling" => validate_sampling = true,
                 "--cache" => {
                     cache = Some(PathBuf::from(
                         args.next()
@@ -213,6 +261,14 @@ impl Cli {
         if resume && checkpoint.is_none() {
             return Err(fail("--resume needs --checkpoint"));
         }
+        if sample.is_none() && !validate_sampling {
+            if sample_rate.is_some() {
+                return Err(fail("--sample-rate needs --sample"));
+            }
+            if warmup_ops.is_some() {
+                return Err(fail("--warmup-ops needs --sample"));
+            }
+        }
         Ok(Cli {
             size,
             procs,
@@ -226,7 +282,24 @@ impl Cli {
             checkpoint,
             resume,
             cache,
+            sample,
+            sample_rate,
+            warmup_ops,
+            validate_sampling,
         })
+    }
+
+    /// The sampling spec `--sample`/`--sample-rate`/`--warmup-ops`
+    /// ask for; `None` without `--sample` (a full-trace run).
+    pub fn sample_spec(&self) -> Option<SampleSpec> {
+        let mut spec = SampleSpec::new(self.sample?);
+        if let Some(r) = self.sample_rate {
+            spec.rate = r;
+        }
+        if let Some(w) = self.warmup_ops {
+            spec.warmup_ops = w;
+        }
+        Some(spec)
     }
 
     /// The execution policy the flags ask for: retry budget, soft
@@ -277,6 +350,8 @@ fn usage_text(tool: &str) -> String {
          \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
          \u{20}            [--retries N] [--timeout-secs X]\n\
          \u{20}            [--checkpoint PATH] [--resume] [--cache DIR]\n\
+         \u{20}            [--sample periodic|reservoir|phase] [--sample-rate R]\n\
+         \u{20}            [--warmup-ops K] [--validate-sampling]\n\
          \n\
          --paper          paper problem sizes (default)\n\
          --small          reduced sizes for quick runs\n\
@@ -297,7 +372,16 @@ fn usage_text(tool: &str) -> String {
          --resume         restore already-journaled runs from --checkpoint\n\
          \u{20}                instead of re-executing them\n\
          --cache          serve already-simulated cells from (and record new\n\
-         \u{20}                cells into) a cluster_serve result store (paper_run)"
+         \u{20}                cells into) a cluster_serve result store (paper_run)\n\
+         --sample         replay only sampled intervals with the given\n\
+         \u{20}                strategy instead of the full trace\n\
+         --sample-rate    fraction of intervals measured, in (0, 1]\n\
+         \u{20}                (default 0.25; needs --sample)\n\
+         --warmup-ops     ops replayed for cache state before each measured\n\
+         \u{20}                region, excluded from stats (needs --sample)\n\
+         --validate-sampling\n\
+         \u{20}                run sampled-vs-full over every strategy and\n\
+         \u{20}                record max relative errors (paper_run)"
     )
 }
 
@@ -363,17 +447,21 @@ pub fn open_cache(cli: &Cli) -> Option<ResultStore> {
 /// The store's entries covering `apps` × the Section 5 study matrix,
 /// ready for [`cluster_study::study::StudySpec::cache_prefill`]: each
 /// is served as a `cache_hit` cell instead of re-simulating.
+/// `sampling` is the run's `SampleSpec::key_label` (sampled and full
+/// results live under distinct keys and never substitute for each
+/// other).
 pub fn cache_prefill(
     store: &ResultStore,
     apps: &[&str],
     size: &str,
     procs: usize,
+    sampling: Option<&str>,
 ) -> Vec<JournalEntry> {
     let mut out = Vec::new();
     for &app in apps {
         for cache in cluster_study::study::section5_caches() {
             for &cluster in &cluster_study::study::CLUSTER_SIZES {
-                let key = store.key(app, size, procs, &cache.label(), cluster);
+                let key = store.key_sampled(app, size, procs, &cache.label(), cluster, sampling);
                 if let Some(e) = store.peek(&key) {
                     out.push(e.cell);
                 }
@@ -386,14 +474,23 @@ pub fn cache_prefill(
 /// A study `on_complete` sink durably recording every freshly
 /// simulated cell into the result store as it finishes — the
 /// client-side twin of the server's append-on-compute, so a killed
-/// study still leaves its completed prefix cached.
+/// study still leaves its completed prefix cached. `sampling` must be
+/// the same key label the prefill used.
 pub fn cache_sink<'a>(
     store: &'a ResultStore,
     size: &'a str,
     procs: usize,
+    sampling: Option<String>,
 ) -> impl Fn(&JournalEntry) + Sync + 'a {
     move |entry: &JournalEntry| {
-        let key = store.key(&entry.app, size, procs, &entry.cache, entry.cluster);
+        let key = store.key_sampled(
+            &entry.app,
+            size,
+            procs,
+            &entry.cache,
+            entry.cluster,
+            sampling.as_deref(),
+        );
         if let Err(e) = store.record(&key, size, procs, entry) {
             eprintln!(
                 "[cache: failed to record {}/{}/{}: {e}]",
@@ -471,6 +568,7 @@ impl Reporter {
                 attempts,
                 resumed,
                 cached,
+                sampling,
             } = &cell.outcome
             {
                 let served_by = match (cached, resumed) {
@@ -487,6 +585,7 @@ impl Reporter {
                     *status,
                     *attempts,
                     served_by,
+                    *sampling,
                 );
             }
         }
@@ -620,6 +719,10 @@ mod tests {
             checkpoint: None,
             resume: false,
             cache: None,
+            sample: None,
+            sample_rate: None,
+            warmup_ops: None,
+            validate_sampling: false,
         }
     }
 

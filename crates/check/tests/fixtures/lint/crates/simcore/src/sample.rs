@@ -1,0 +1,8 @@
+//! Lint fixture: the sampling writer emitting a provenance key the
+//! sampling golden never checks (`schema-sync`, writer direction).
+
+pub fn sampling_json_fixture() -> String {
+    let mut j = String::new();
+    j.with("mode", "periodic").with("sample_bogus_key", 1);
+    j
+}

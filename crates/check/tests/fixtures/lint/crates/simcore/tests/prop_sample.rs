@@ -1,0 +1,7 @@
+//! Lint fixture: the sampling golden checking a provenance key no
+//! sampling writer emits (`schema-sync`, golden direction).
+
+pub fn golden_fixture(j: &Json) {
+    assert!(j.get("mode").is_some());
+    assert!(j.get("sample_missing_key").is_some());
+}

@@ -89,6 +89,21 @@ fn fixture_tree_trips_every_rule() {
                 && f.detail.contains("no serve protocol writer")),
         "serve golden-side drift reports: {schema:?}"
     );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"sample_bogus_key\"")
+                && f.detail.contains("sampling writer")
+                && f.detail.contains("never checks")),
+        "sampling writer-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"sample_missing_key\"")
+                && f.detail.contains("no sampling writer")),
+        "sampling golden-side drift reports: {schema:?}"
+    );
 }
 
 #[test]

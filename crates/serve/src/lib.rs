@@ -36,6 +36,6 @@ pub use protocol::{
 };
 pub use server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
 pub use store::{
-    cell_key, scan_store, size_label, KeyMode, ResultStore, StoreEntry, StoreError, TraceStore,
-    KILL_EXIT_CODE, STORE_FILE, STORE_SCHEMA,
+    cell_key, cell_key_sampled, scan_store, size_label, KeyMode, ResultStore, StoreEntry,
+    StoreError, TraceStore, KILL_EXIT_CODE, STORE_FILE, STORE_SCHEMA,
 };

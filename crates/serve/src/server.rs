@@ -192,6 +192,7 @@ impl ServeState {
                         wall: Some(start.elapsed()),
                         status: RunStatus::Ok,
                         attempts: 1,
+                        sampling: None,
                     }
                 })
                 .map(|(cell, hit)| {
@@ -205,6 +206,7 @@ impl ServeState {
                         status: cell.status,
                         attempts: cell.attempts,
                         served_by,
+                        sampling: cell.sampling,
                     };
                     CellResult {
                         cache: label.clone(),

@@ -147,6 +147,7 @@ fn direct_stats(app: &str, trace: &simcore::ops::Trace, cache: CacheSpec, cluste
         status: RunStatus::Ok,
         attempts: 1,
         served_by: ServedBy::Sim,
+        sampling: None,
     };
     rec.to_json(false).to_string()
 }
@@ -286,6 +287,7 @@ fn marker_entry(cluster: u32) -> JournalEntry {
         wall: None,
         status: RunStatus::Ok,
         attempts: 1,
+        sampling: None,
     }
 }
 
@@ -409,4 +411,70 @@ fn weak_store_serves_wrong_cell_full_store_does_not() {
     assert_eq!(got_b.cluster, b, "each cell gets its own results");
     std::fs::remove_dir_all(&weak_dir).ok();
     std::fs::remove_dir_all(&full_dir).ok();
+}
+
+/// Sampled and full runs of the same cell must never alias in the
+/// content-addressed store: the canonical key document names the full
+/// sampling configuration, so every parameter of the spec — mode,
+/// rate, warmup, interval, seed — lands in the key, while full-trace
+/// keys stay byte-identical to their pre-sampling form.
+#[test]
+fn sampled_and_full_cells_never_share_a_key() {
+    use cluster_serve::store::{cell_key_doc_sampled, cell_key_sampled};
+    use simcore::sample::{SampleMode, SampleSpec};
+
+    let cell = ("lu", "small", 8usize, "4k", 2u32);
+    let (app, size, procs, cache, cluster) = cell;
+    let full = cell_key(app, size, procs, cache, cluster);
+    let spec = SampleSpec::new(SampleMode::Periodic);
+    let label = spec.key_label();
+    let sampled = cell_key_sampled(app, size, procs, cache, cluster, Some(&label));
+    assert_ne!(full, sampled, "sampled cell aliases the full-trace cell");
+
+    // The canonical document carries the label verbatim for sampled
+    // runs and omits the field entirely for full runs (so every key
+    // minted before sampling existed is still the same key).
+    let doc = cell_key_doc_sampled(app, size, procs, cache, cluster, Some(&label));
+    assert_eq!(
+        doc.get("sampling").and_then(Json::as_str),
+        Some(label.as_str()),
+        "sampling parameters must be in the canonical key document"
+    );
+    let full_doc = cell_key_doc_sampled(app, size, procs, cache, cluster, None);
+    assert!(
+        full_doc.get("sampling").is_none(),
+        "full-trace key documents must not grow a sampling field"
+    );
+
+    // Every spec parameter is key-relevant: varying each one alone
+    // yields a distinct key; repeating the same spec does not.
+    let variants = [
+        SampleSpec::new(SampleMode::Reservoir),
+        SampleSpec::new(SampleMode::PhaseDetect),
+        SampleSpec { rate: 0.5, ..spec },
+        SampleSpec {
+            warmup_ops: 1024,
+            ..spec
+        },
+        SampleSpec {
+            interval_ops: 512,
+            ..spec
+        },
+        SampleSpec {
+            seed: spec.seed + 1,
+            ..spec
+        },
+    ];
+    for v in variants {
+        let vl = v.key_label();
+        assert_ne!(vl, label, "variant spec must have a distinct label");
+        let k = cell_key_sampled(app, size, procs, cache, cluster, Some(&vl));
+        assert_ne!(k, sampled, "spec {vl} aliases spec {label}");
+        assert_ne!(k, full, "spec {vl} aliases the full-trace key");
+    }
+    assert_eq!(
+        cell_key_sampled(app, size, procs, cache, cluster, Some(&label)),
+        sampled,
+        "identical specs must reproduce the identical key"
+    );
 }

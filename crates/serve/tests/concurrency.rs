@@ -55,6 +55,7 @@ fn sample_cell(cluster: u32) -> JournalEntry {
         wall: None,
         status: RunStatus::Ok,
         attempts: 1,
+        sampling: None,
     }
 }
 

@@ -31,6 +31,9 @@
 //!   machine-readable results layer (run manifests, CI artifacts).
 //! * [`metrics`] — insertion-ordered registry of named counters,
 //!   gauges and timers reported through the manifests.
+//! * [`sample`] — sampled/interval simulation plans: periodic,
+//!   reservoir and phase-detecting interval selection with warmup
+//!   windows replayed for cache state but excluded from statistics.
 
 pub mod addr;
 pub mod cache;
@@ -41,6 +44,7 @@ pub mod metrics;
 pub mod ops;
 pub mod propcheck;
 pub mod rng;
+pub mod sample;
 pub mod space;
 pub mod stats;
 
@@ -52,5 +56,6 @@ pub use json::Json;
 pub use metrics::{MetricValue, Metrics};
 pub use ops::{Op, PackedOp, Trace, TraceBuilder};
 pub use rng::Rng64;
+pub use sample::{OpClass, SampleError, SampleMode, SamplePlan, SampleSpec, SamplingStats};
 pub use space::{AddressSpace, Placement, ProcId, Region, SharedArray};
 pub use stats::{Breakdown, MissClass, MissStats, RunStats};

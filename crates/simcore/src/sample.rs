@@ -1,0 +1,873 @@
+//! Sampled / interval simulation: choose representative intervals of a
+//! trace, replay a warmup window before each for cache state, and
+//! measure statistics only inside the chosen intervals.
+//!
+//! The paper's methodology replays every operation of every trace,
+//! which caps the study at the 1995-scale matrix. This module follows
+//! the interval-sampling playbook (Carlson et al.; arXiv:2402.00649):
+//! split each processor's stream into fixed-size intervals, pick a
+//! subset by one of three strategies, and classify every operation as
+//!
+//! * **Measure** — replayed with full timing and statistics,
+//! * **Warm** — replayed against the memory system with full-replay
+//!   timing (so cache state and cross-processor interleaving stay
+//!   exact), but excluded from every statistics counter; its
+//!   functional hit/miss outcomes feed the estimate side only, or
+//! * **Skip** — not replayed at all.
+//!
+//! Synchronization operations (barriers, locks, unlocks) are *always*
+//! executed regardless of classification, so the sync skeleton —
+//! barrier ordering, FIFO lock grants — is preserved exactly and the
+//! sampled replay can never deadlock where the full replay would not.
+//!
+//! The three strategies:
+//!
+//! * [`SampleMode::Periodic`] — systematic pick: every `1/rate`-th
+//!   interval, starting at the first.
+//! * [`SampleMode::Reservoir`] — stratified random pick: the interval
+//!   stream is cut into `⌈n·rate⌉` equal strata and one interval is
+//!   reservoir-picked per stratum, seeded from [`crate::rng`] so the
+//!   same seed always selects the same interval set.
+//! * [`SampleMode::PhaseDetect`] — detects phase boundaries from
+//!   shifts in the per-interval memory signature (memory-op density
+//!   and cache-line novelty, a cheap trace-side proxy for miss-rate
+//!   shifts between windows), then picks periodically *within* each
+//!   phase so every phase is represented.
+//!
+//! A plan depends only on the trace and the [`SampleSpec`] — never on
+//! the machine configuration — so the same intervals are measured at
+//! every cluster size and speedup ratios are comparable across a
+//! sweep. Everything is deterministic: the validation harness in
+//! `crates/bench` regression-tests the resulting error bounds.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::json::Json;
+use crate::ops::{Op, PackedOp, Trace};
+use crate::rng::{mix_seed, Rng64};
+use crate::stats::{Breakdown, MissStats, RunStats};
+
+/// Default fraction of intervals measured.
+pub const DEFAULT_RATE: f64 = 0.25;
+/// Default warmup window replayed (per measured region) for cache
+/// state, in operations.
+pub const DEFAULT_WARMUP_OPS: u64 = 2048;
+/// Default interval length, in operations.
+pub const DEFAULT_INTERVAL_OPS: u64 = 256;
+/// Default selection seed (reservoir mode).
+pub const DEFAULT_SEED: u64 = 0x5a3b_17ee_c0de_5eed;
+
+/// Declared bound on the relative error of the sampled read miss rate.
+pub const MISS_RATE_BOUND: f64 = 0.05;
+/// Declared bound on the relative error of sampled speedup ratios.
+pub const SPEEDUP_BOUND: f64 = 0.05;
+/// Declared bound on the relative error of the scaled execution-time
+/// estimate (a coarse extrapolation; see [`SamplingStats::scale`]).
+pub const EXEC_TIME_BOUND: f64 = 0.25;
+/// Declared bound on the absolute error of any execution-time
+/// breakdown fraction (cpu/load/merge/sync, in fraction points).
+pub const BREAKDOWN_BOUND: f64 = 0.10;
+/// Relative-error denominators are floored here so near-zero miss
+/// rates do not turn femto-scale absolute errors into huge ratios.
+pub const MISS_RATE_FLOOR: f64 = 0.01;
+
+/// Phase boundary threshold on the memory-op density shift.
+const MEM_SHIFT: f64 = 0.15;
+/// Phase boundary threshold on the cache-line novelty shift.
+const NOVELTY_SHIFT: f64 = 0.30;
+
+/// Interval-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleMode {
+    /// Systematic: every `1/rate`-th interval.
+    Periodic,
+    /// Seeded uniform reservoir pick of `⌈n·rate⌉` intervals.
+    Reservoir,
+    /// Phase-detecting: periodic within detected phases.
+    PhaseDetect,
+}
+
+impl SampleMode {
+    /// All strategies, in declaration order.
+    pub const ALL: [SampleMode; 3] = [
+        SampleMode::Periodic,
+        SampleMode::Reservoir,
+        SampleMode::PhaseDetect,
+    ];
+
+    /// Stable CLI / manifest label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleMode::Periodic => "periodic",
+            SampleMode::Reservoir => "reservoir",
+            SampleMode::PhaseDetect => "phase",
+        }
+    }
+
+    /// Parses a [`Self::label`]; unknown labels are a typed error.
+    pub fn parse(s: &str) -> Result<SampleMode, SampleError> {
+        match s {
+            "periodic" => Ok(SampleMode::Periodic),
+            "reservoir" => Ok(SampleMode::Reservoir),
+            "phase" => Ok(SampleMode::PhaseDetect),
+            other => Err(SampleError::UnknownMode(other.to_string())),
+        }
+    }
+}
+
+/// Typed configuration errors for sampling parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// The sampling rate must lie in `(0, 1]`.
+    RateOutOfRange(f64),
+    /// Not one of `periodic`, `reservoir`, `phase`.
+    UnknownMode(String),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::RateOutOfRange(r) => {
+                write!(f, "sampling rate {r} not in (0, 1]")
+            }
+            SampleError::UnknownMode(m) => {
+                write!(f, "unknown sampling mode `{m}` (periodic|reservoir|phase)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Complete sampling configuration. A spec plus a trace fully
+/// determine a [`SamplePlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSpec {
+    /// Interval-selection strategy.
+    pub mode: SampleMode,
+    /// Fraction of intervals measured, in `(0, 1]`; `1.0` measures
+    /// everything (byte-identical to a full replay).
+    pub rate: f64,
+    /// Operations replayed for cache state before each measured
+    /// region, excluded from statistics.
+    pub warmup_ops: u64,
+    /// Interval length in operations.
+    pub interval_ops: u64,
+    /// Selection seed (reservoir mode).
+    pub seed: u64,
+}
+
+impl SampleSpec {
+    /// A spec with the default rate, warmup, interval and seed.
+    pub fn new(mode: SampleMode) -> SampleSpec {
+        SampleSpec {
+            mode,
+            rate: DEFAULT_RATE,
+            warmup_ops: DEFAULT_WARMUP_OPS,
+            interval_ops: DEFAULT_INTERVAL_OPS,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Validates the spec, returning a typed error when the rate lies
+    /// outside `(0, 1]` (NaN included).
+    pub fn validated(self) -> Result<SampleSpec, SampleError> {
+        if !(self.rate > 0.0 && self.rate <= 1.0) {
+            return Err(SampleError::RateOutOfRange(self.rate));
+        }
+        Ok(self)
+    }
+
+    /// Canonical label naming every parameter that can change sampled
+    /// statistics — the serving layer folds this into cell keys so a
+    /// sampled and a full run of the same cell never alias.
+    pub fn key_label(&self) -> String {
+        format!(
+            "{}:r{}:w{}:i{}:s{}",
+            self.mode.label(),
+            self.rate,
+            self.warmup_ops,
+            self.interval_ops,
+            self.seed
+        )
+    }
+}
+
+/// Replay classification of one trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Replay with full timing and statistics.
+    Measure,
+    /// Replay against the memory system for cache state only.
+    Warm,
+    /// Do not replay.
+    Skip,
+}
+
+/// Per-processor plan: sorted, disjoint half-open op-index ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct ProcPlan {
+    measured: Vec<(usize, usize)>,
+    warm: Vec<(usize, usize)>,
+}
+
+fn in_ranges(ranges: &[(usize, usize)], idx: usize) -> bool {
+    let i = ranges.partition_point(|&(s, _)| s <= idx);
+    i > 0 && idx < ranges[i - 1].1
+}
+
+/// The resolved interval selection for one trace: which operations to
+/// measure, which to warm, and which to skip, per processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePlan {
+    spec: SampleSpec,
+    per_proc: Vec<ProcPlan>,
+    ops_total: u64,
+    ops_measured: u64,
+    ops_warm: u64,
+    weight_total: u64,
+    weight_measured: u64,
+    weight_warm: u64,
+    warm_counted: bool,
+}
+
+/// Nominal cycle weight of an operation, used to extrapolate measured
+/// execution time to a full-run estimate. Synchronization carries no
+/// weight: it is always replayed, never scaled.
+fn op_weight(op: Op) -> u64 {
+    match op {
+        Op::Compute(c) => c,
+        Op::Read(_) | Op::Write(_) => 1,
+        Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_) => 0,
+    }
+}
+
+fn periodic_period(rate: f64) -> usize {
+    if rate <= 0.0 {
+        return 1;
+    }
+    ((1.0 / rate).round() as usize).max(1)
+}
+
+fn periodic_pick(n_iv: usize, rate: f64) -> Vec<usize> {
+    (0..n_iv).step_by(periodic_period(rate)).collect()
+}
+
+/// Stratified reservoir selection: the interval stream is cut into
+/// `k = ceil(n_iv * rate)` equal strata and one interval is
+/// reservoir-picked per stratum (Algorithm R with k = 1). Unbiased
+/// within each stratum, and stratification bounds the gap between
+/// consecutive picks to under two strata, so the default warmup
+/// window covers every gap and the sampled timing stays exact.
+fn reservoir_pick(n_iv: usize, rate: f64, seed: u64) -> Vec<usize> {
+    if n_iv == 0 {
+        return Vec::new();
+    }
+    let k = ((n_iv as f64 * rate).ceil() as usize).clamp(1, n_iv);
+    let mut rng = Rng64::new(seed);
+    let mut res: Vec<usize> = Vec::with_capacity(k);
+    for s in 0..k {
+        // Stratum s covers intervals [lo, hi): an even split with the
+        // remainder spread over the leading strata.
+        let lo = s * n_iv / k;
+        let hi = (s + 1) * n_iv / k;
+        let mut pick = lo;
+        for (i, iv) in (lo..hi).enumerate() {
+            if i > 0 && rng.bounded_u64(i as u64 + 1) == 0 {
+                pick = iv;
+            }
+        }
+        res.push(pick);
+    }
+    res
+}
+
+fn phase_pick(ops: &[PackedOp], interval: usize, n_iv: usize, rate: f64) -> Vec<usize> {
+    let period = periodic_period(rate);
+    // Per-interval memory signature: (memory-op density, fraction of
+    // touched cache lines not seen in the previous interval). A shift
+    // in either marks a phase boundary — the trace-side analogue of a
+    // miss-rate shift between windows.
+    let mut sigs: Vec<(f64, f64)> = Vec::with_capacity(n_iv);
+    let mut prev_lines: HashSet<u64> = HashSet::new();
+    for iv in 0..n_iv {
+        let s = iv * interval;
+        let e = ((iv + 1) * interval).min(ops.len());
+        let mut lines: HashSet<u64> = HashSet::new();
+        let mut mem = 0usize;
+        let mut novel = 0usize;
+        for op in &ops[s..e] {
+            if let Op::Read(a) | Op::Write(a) = op.unpack() {
+                mem += 1;
+                let line = crate::addr::line_of(a);
+                if lines.insert(line) && !prev_lines.contains(&line) {
+                    novel += 1;
+                }
+            }
+        }
+        let mem_frac = mem as f64 / (e - s).max(1) as f64;
+        let novelty = novel as f64 / mem.max(1) as f64;
+        sigs.push((mem_frac, novelty));
+        prev_lines = lines;
+    }
+    let mut selected = Vec::with_capacity(n_iv.div_ceil(period));
+    let mut phase_start = 0usize;
+    for iv in 0..n_iv {
+        if iv > 0 {
+            let (m0, v0) = sigs[iv - 1];
+            let (m1, v1) = sigs[iv];
+            if (m1 - m0).abs() > MEM_SHIFT || (v1 - v0).abs() > NOVELTY_SHIFT {
+                phase_start = iv;
+            }
+        }
+        if (iv - phase_start).is_multiple_of(period) {
+            selected.push(iv);
+        }
+    }
+    selected
+}
+
+impl SamplePlan {
+    /// Resolves `spec` against `trace`. Deterministic: the same trace
+    /// and spec always yield the same plan, and a rate of `1.0` (any
+    /// mode) measures every operation with no warm ranges.
+    pub fn for_trace(trace: &Trace, spec: &SampleSpec) -> SamplePlan {
+        let interval = spec.interval_ops.max(1) as usize;
+        let warmup = spec.warmup_ops as usize;
+        let full = spec.rate >= 1.0;
+        let mut per_proc = Vec::with_capacity(trace.n_procs());
+        let (mut ops_total, mut ops_measured, mut ops_warm) = (0u64, 0u64, 0u64);
+        let (mut weight_total, mut weight_measured, mut weight_warm) = (0u64, 0u64, 0u64);
+        for (pid, ops) in trace.per_proc.iter().enumerate() {
+            let n = ops.len();
+            let n_iv = n.div_ceil(interval);
+            let selected: Vec<usize> = if full {
+                (0..n_iv).collect()
+            } else {
+                match spec.mode {
+                    SampleMode::Periodic => periodic_pick(n_iv, spec.rate),
+                    SampleMode::Reservoir => {
+                        reservoir_pick(n_iv, spec.rate, mix_seed(spec.seed, pid as u64))
+                    }
+                    SampleMode::PhaseDetect => phase_pick(ops, interval, n_iv, spec.rate),
+                }
+            };
+            // Coalesce adjacent selected intervals into op ranges.
+            let mut measured: Vec<(usize, usize)> = Vec::new();
+            for iv in selected {
+                let s = iv * interval;
+                let e = ((iv + 1) * interval).min(n);
+                if s >= e {
+                    continue;
+                }
+                match measured.last_mut() {
+                    Some(last) if last.1 == s => last.1 = e,
+                    _ => measured.push((s, e)),
+                }
+            }
+            // Warmup windows precede each measured range, clipped so
+            // they never overlap measured operations.
+            let mut warm: Vec<(usize, usize)> = Vec::new();
+            let mut prev_end = 0usize;
+            for &(s, e) in &measured {
+                let ws = s.saturating_sub(warmup).max(prev_end);
+                if ws < s {
+                    warm.push((ws, s));
+                }
+                prev_end = e;
+            }
+            // Tail drain: everything past the last measured range
+            // stays warm, so the run reaches its terminal
+            // synchronization at realistic times. A skipped tail
+            // would collapse the final barrier waits — and the
+            // execution-time estimate with them.
+            if let Some(&(_, e)) = measured.last() {
+                if e < n {
+                    warm.push((e, n));
+                }
+            }
+            for op in ops {
+                weight_total += op_weight(op.unpack());
+            }
+            for &(s, e) in &measured {
+                ops_measured += (e - s) as u64;
+                for op in &ops[s..e] {
+                    weight_measured += op_weight(op.unpack());
+                }
+            }
+            for &(s, e) in &warm {
+                ops_warm += (e - s) as u64;
+                for op in &ops[s..e] {
+                    weight_warm += op_weight(op.unpack());
+                }
+            }
+            ops_total += n as u64;
+            per_proc.push(ProcPlan { measured, warm });
+        }
+        SamplePlan {
+            spec: *spec,
+            per_proc,
+            ops_total,
+            ops_measured,
+            ops_warm,
+            weight_total,
+            weight_measured,
+            weight_warm,
+            warm_counted: false,
+        }
+    }
+
+    /// Classifies operation `idx` of processor `pid`. Synchronization
+    /// operations are executed by the engine regardless of class.
+    pub fn class(&self, pid: usize, idx: usize) -> OpClass {
+        let Some(pp) = self.per_proc.get(pid) else {
+            return OpClass::Measure;
+        };
+        if in_ranges(&pp.measured, idx) {
+            OpClass::Measure
+        } else if in_ranges(&pp.warm, idx) {
+            if self.warm_counted {
+                OpClass::Measure
+            } else {
+                OpClass::Warm
+            }
+        } else {
+            OpClass::Skip
+        }
+    }
+
+    /// True when the plan measures every operation (rate ≥ 1).
+    pub fn is_full(&self) -> bool {
+        self.ops_measured == self.ops_total
+    }
+
+    /// The spec this plan was resolved from.
+    pub fn spec(&self) -> &SampleSpec {
+        &self.spec
+    }
+
+    /// Measured op-index ranges (half-open, sorted) for one processor.
+    pub fn measured_ranges(&self, pid: usize) -> &[(usize, usize)] {
+        self.per_proc.get(pid).map_or(&[], |pp| &pp.measured)
+    }
+
+    /// Warm op-index ranges (half-open, sorted) for one processor.
+    pub fn warm_ranges(&self, pid: usize) -> &[(usize, usize)] {
+        self.per_proc.get(pid).map_or(&[], |pp| &pp.warm)
+    }
+
+    /// Provenance summary recorded in journals and manifests.
+    pub fn stats(&self) -> SamplingStats {
+        SamplingStats {
+            mode: self.spec.mode,
+            rate: self.spec.rate,
+            warmup_ops: self.spec.warmup_ops,
+            interval_ops: self.spec.interval_ops,
+            seed: self.spec.seed,
+            ops_total: self.ops_total,
+            ops_measured: self.ops_measured,
+            ops_warm: self.ops_warm,
+            weight_total: self.weight_total,
+            weight_measured: self.weight_measured,
+            weight_warm: self.weight_warm,
+            warm_read_hits: 0,
+            warm_read_misses: 0,
+            warm_write_hits: 0,
+            warm_write_misses: 0,
+            warm_upgrade_misses: 0,
+            warm_cpu_cycles: 0,
+            warm_load_cycles: 0,
+            warm_merge_cycles: 0,
+        }
+    }
+
+    /// Planted-bug lever for the shrink tests: reclassifies every warm
+    /// operation as measured, violating the "warmup ops are never
+    /// counted in statistics" contract. Not reachable from any
+    /// production path.
+    #[doc(hidden)]
+    pub fn with_warm_counted(mut self) -> SamplePlan {
+        self.warm_counted = true;
+        self
+    }
+}
+
+/// Sampling provenance attached to a sampled run: the spec it was
+/// resolved from plus the resulting coverage counters. Stored in
+/// journal entries and manifests (full view only — never in the
+/// deterministic stats view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingStats {
+    /// Strategy used.
+    pub mode: SampleMode,
+    /// Configured measurement rate.
+    pub rate: f64,
+    /// Configured warmup window.
+    pub warmup_ops: u64,
+    /// Configured interval length.
+    pub interval_ops: u64,
+    /// Configured selection seed.
+    pub seed: u64,
+    /// Operations in the trace.
+    pub ops_total: u64,
+    /// Operations measured.
+    pub ops_measured: u64,
+    /// Operations replayed for warmup only.
+    pub ops_warm: u64,
+    /// Total nominal cycle weight of the trace.
+    pub weight_total: u64,
+    /// Nominal cycle weight of the measured operations.
+    pub weight_measured: u64,
+    /// Nominal cycle weight of the warm operations.
+    pub weight_warm: u64,
+    /// Functional read hits observed during warm replay (estimate-side
+    /// only — never part of the deterministic stats view).
+    pub warm_read_hits: u64,
+    /// Functional read misses observed during warm replay.
+    pub warm_read_misses: u64,
+    /// Functional write hits observed during warm replay.
+    pub warm_write_hits: u64,
+    /// Functional write misses observed during warm replay.
+    pub warm_write_misses: u64,
+    /// Functional upgrade misses observed during warm replay.
+    pub warm_upgrade_misses: u64,
+    /// Warm-replay cycles that a full replay would charge to the cpu
+    /// component (compute, single-cycle hits, writes).
+    pub warm_cpu_cycles: u64,
+    /// Warm-replay cycles a full replay would charge to load stall.
+    pub warm_load_cycles: u64,
+    /// Warm-replay cycles a full replay would charge to merge stall.
+    pub warm_merge_cycles: u64,
+}
+
+impl SamplingStats {
+    /// Operations actually replayed (measured + warm).
+    pub fn ops_simulated(&self) -> u64 {
+        self.ops_measured + self.ops_warm
+    }
+
+    /// Copies the warm-replay functional outcomes and per-component
+    /// cycle counts out of an engine run into the provenance record.
+    pub fn with_warm(mut self, warm: &MissStats, warm_bd: &Breakdown) -> SamplingStats {
+        self.warm_read_hits = warm.read_hits;
+        self.warm_read_misses = warm.read_misses;
+        self.warm_write_hits = warm.write_hits;
+        self.warm_write_misses = warm.write_misses;
+        self.warm_upgrade_misses = warm.upgrade_misses;
+        self.warm_cpu_cycles = warm_bd.cpu;
+        self.warm_load_cycles = warm_bd.load;
+        self.warm_merge_cycles = warm_bd.merge;
+        self
+    }
+
+    /// Extrapolation factor from *simulated* (measured + warm) work to
+    /// the whole trace. Warm operations advance the clock, so only the
+    /// skipped remainder needs scaling; at the default spec every
+    /// non-measured operation falls inside a warmup window and the
+    /// factor is exactly 1.
+    pub fn scale(&self) -> f64 {
+        let simulated = self.weight_measured + self.weight_warm;
+        if simulated == 0 {
+            1.0
+        } else {
+            self.weight_total as f64 / simulated as f64
+        }
+    }
+
+    /// Full-run execution-time estimate from a sampled replay's
+    /// execution time (which already includes warm-op time at
+    /// full-replay cost); [`Self::scale`] extrapolates over any
+    /// skipped remainder.
+    pub fn estimated_exec_time(&self, sampled_exec: u64) -> f64 {
+        sampled_exec as f64 * self.scale()
+    }
+
+    /// Full-run read-miss-rate estimate: the measured counters plus
+    /// the warm replay's functional outcomes, i.e. every access the
+    /// sampled replay actually simulated.
+    pub fn estimated_read_miss_rate(&self, measured: &MissStats) -> f64 {
+        let misses = self.warm_read_misses + measured.read_misses;
+        let denom = misses + self.warm_read_hits + measured.read_hits;
+        if denom == 0 {
+            0.0
+        } else {
+            misses as f64 / denom as f64
+        }
+    }
+
+    /// Full-run execution-time breakdown-fraction estimate, in order
+    /// `[cpu, load, merge, sync]`. Warm time is charged to the clock
+    /// but to no breakdown component; the engine records where a full
+    /// replay *would* have charged it, so each measured component is
+    /// topped up with its warm share (sync is always tracked in
+    /// full). With no skipped operations the result is exact; with
+    /// skipping it describes the simulated portion of the run.
+    pub fn estimated_breakdown_fractions(&self, rs: &RunStats) -> [f64; 4] {
+        let bd = rs.total_breakdown();
+        let parts = [
+            (bd.cpu + self.warm_cpu_cycles) as f64,
+            (bd.load + self.warm_load_cycles) as f64,
+            (bd.merge + self.warm_merge_cycles) as f64,
+            bd.sync as f64,
+        ];
+        let total: f64 = parts.iter().sum();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            parts[0] / total,
+            parts[1] / total,
+            parts[2] / total,
+            parts[3] / total,
+        ]
+    }
+
+    /// The spec these stats were produced under — used to decide
+    /// whether a journal or cache entry may stand in for a requested
+    /// run.
+    pub fn spec(&self) -> SampleSpec {
+        SampleSpec {
+            mode: self.mode,
+            rate: self.rate,
+            warmup_ops: self.warmup_ops,
+            interval_ops: self.interval_ops,
+            seed: self.seed,
+        }
+    }
+
+    /// JSON provenance object (`sampling` in journals and manifests).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("mode", self.mode.label())
+            .with("rate", self.rate)
+            .with("warmup_ops", self.warmup_ops)
+            .with("interval_ops", self.interval_ops)
+            .with("seed", self.seed)
+            .with("ops_total", self.ops_total)
+            .with("ops_measured", self.ops_measured)
+            .with("ops_warm", self.ops_warm)
+            .with("ops_simulated", self.ops_simulated())
+            .with("weight_total", self.weight_total)
+            .with("weight_measured", self.weight_measured)
+            .with("weight_warm", self.weight_warm)
+            .with("warm_read_hits", self.warm_read_hits)
+            .with("warm_read_misses", self.warm_read_misses)
+            .with("warm_write_hits", self.warm_write_hits)
+            .with("warm_write_misses", self.warm_write_misses)
+            .with("warm_upgrade_misses", self.warm_upgrade_misses)
+            .with("warm_cpu_cycles", self.warm_cpu_cycles)
+            .with("warm_load_cycles", self.warm_load_cycles)
+            .with("warm_merge_cycles", self.warm_merge_cycles)
+    }
+
+    /// Inverse of [`Self::to_json`] (field-exact; `ops_simulated` is
+    /// derived and ignored on read).
+    pub fn from_json(j: &Json) -> Option<SamplingStats> {
+        Some(SamplingStats {
+            mode: SampleMode::parse(j.get("mode")?.as_str()?).ok()?,
+            rate: j.get("rate")?.as_f64()?,
+            warmup_ops: j.get("warmup_ops")?.as_u64()?,
+            interval_ops: j.get("interval_ops")?.as_u64()?,
+            seed: j.get("seed")?.as_u64()?,
+            ops_total: j.get("ops_total")?.as_u64()?,
+            ops_measured: j.get("ops_measured")?.as_u64()?,
+            ops_warm: j.get("ops_warm")?.as_u64()?,
+            weight_total: j.get("weight_total")?.as_u64()?,
+            weight_measured: j.get("weight_measured")?.as_u64()?,
+            weight_warm: j.get("weight_warm")?.as_u64()?,
+            warm_read_hits: j.get("warm_read_hits")?.as_u64()?,
+            warm_read_misses: j.get("warm_read_misses")?.as_u64()?,
+            warm_write_hits: j.get("warm_write_hits")?.as_u64()?,
+            warm_write_misses: j.get("warm_write_misses")?.as_u64()?,
+            warm_upgrade_misses: j.get("warm_upgrade_misses")?.as_u64()?,
+            warm_cpu_cycles: j.get("warm_cpu_cycles")?.as_u64()?,
+            warm_load_cycles: j.get("warm_load_cycles")?.as_u64()?,
+            warm_merge_cycles: j.get("warm_merge_cycles")?.as_u64()?,
+        })
+    }
+}
+
+/// Relative error with a floored denominator, the error metric the
+/// validation harness records: `|sampled − full| / max(|full|, floor)`.
+pub fn rel_err(sampled: f64, full: f64, floor: f64) -> f64 {
+    (sampled - full).abs() / full.abs().max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::TraceBuilder;
+
+    fn small_trace(n_procs: usize, ops_per_proc: usize) -> Trace {
+        let mut b = TraceBuilder::new(n_procs);
+        let base = b.space_mut().alloc_shared(64 * 64);
+        for p in 0..n_procs {
+            for i in 0..ops_per_proc {
+                match i % 3 {
+                    0 => b.read(p as u32, base + ((i * 64) % (64 * 64)) as u64),
+                    1 => b.write(p as u32, base + ((i * 64) % (64 * 64)) as u64),
+                    _ => b.compute(p as u32, 2),
+                }
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in SampleMode::ALL {
+            assert_eq!(SampleMode::parse(m.label()).unwrap(), m);
+        }
+        assert!(matches!(
+            SampleMode::parse("nope"),
+            Err(SampleError::UnknownMode(_))
+        ));
+    }
+
+    #[test]
+    fn validated_rejects_out_of_range_rates() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let spec = SampleSpec {
+                rate: bad,
+                ..SampleSpec::new(SampleMode::Periodic)
+            };
+            assert!(matches!(
+                spec.validated(),
+                Err(SampleError::RateOutOfRange(_))
+            ));
+        }
+        assert!(SampleSpec::new(SampleMode::Periodic).validated().is_ok());
+    }
+
+    #[test]
+    fn rate_one_measures_everything() {
+        let t = small_trace(2, 500);
+        for mode in SampleMode::ALL {
+            let spec = SampleSpec {
+                rate: 1.0,
+                ..SampleSpec::new(mode)
+            };
+            let plan = SamplePlan::for_trace(&t, &spec);
+            assert!(plan.is_full());
+            let s = plan.stats();
+            assert_eq!(s.ops_measured, s.ops_total);
+            assert_eq!(s.ops_warm, 0);
+            assert!((s.scale() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodic_selects_every_fourth_interval() {
+        let t = small_trace(1, 1024);
+        let spec = SampleSpec {
+            rate: 0.25,
+            interval_ops: 64,
+            warmup_ops: 0,
+            ..SampleSpec::new(SampleMode::Periodic)
+        };
+        let plan = SamplePlan::for_trace(&t, &spec);
+        let ranges = plan.measured_ranges(0);
+        assert!(!ranges.is_empty());
+        for (i, &(s, _)) in ranges.iter().enumerate() {
+            assert_eq!(s, i * 4 * 64);
+        }
+    }
+
+    #[test]
+    fn reservoir_is_seed_deterministic() {
+        let t = small_trace(2, 2000);
+        let spec = SampleSpec::new(SampleMode::Reservoir);
+        let a = SamplePlan::for_trace(&t, &spec);
+        let b = SamplePlan::for_trace(&t, &spec);
+        assert_eq!(a, b);
+        let other = SamplePlan::for_trace(
+            &t,
+            &SampleSpec {
+                seed: spec.seed + 1,
+                ..spec
+            },
+        );
+        assert_ne!(a.measured_ranges(0), other.measured_ranges(0));
+    }
+
+    #[test]
+    fn warm_ranges_abut_measured_and_never_overlap() {
+        let t = small_trace(1, 4096);
+        for mode in SampleMode::ALL {
+            let spec = SampleSpec {
+                rate: 0.125,
+                interval_ops: 128,
+                warmup_ops: 96,
+                ..SampleSpec::new(mode)
+            };
+            let plan = SamplePlan::for_trace(&t, &spec);
+            let n = t.per_proc[0].len();
+            let mut seen = vec![0u8; n];
+            for &(s, e) in plan.measured_ranges(0) {
+                for c in &mut seen[s..e] {
+                    *c += 1;
+                }
+            }
+            for &(s, e) in plan.warm_ranges(0) {
+                for c in &mut seen[s..e] {
+                    *c += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c <= 1), "{mode:?}: overlap");
+            for i in 0..n {
+                let c = plan.class(0, i);
+                let expected = if in_ranges(plan.measured_ranges(0), i) {
+                    OpClass::Measure
+                } else if in_ranges(plan.warm_ranges(0), i) {
+                    OpClass::Warm
+                } else {
+                    OpClass::Skip
+                };
+                assert_eq!(c, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_stats_json_round_trips() {
+        let t = small_trace(2, 600);
+        let spec = SampleSpec::new(SampleMode::PhaseDetect);
+        let s = SamplePlan::for_trace(&t, &spec).stats();
+        let j = s.to_json();
+        assert_eq!(SamplingStats::from_json(&j), Some(s));
+        assert_eq!(s.spec(), spec);
+    }
+
+    #[test]
+    fn key_label_names_every_parameter() {
+        let spec = SampleSpec::new(SampleMode::Reservoir);
+        let l = spec.key_label();
+        assert!(l.starts_with("reservoir:"));
+        assert!(l.contains(":r0.25:"));
+        assert!(l.contains(":w2048:"));
+        let other = SampleSpec { rate: 0.5, ..spec };
+        assert_ne!(l, other.key_label());
+    }
+
+    #[test]
+    fn with_warm_counted_reclassifies_warm_ops() {
+        let t = small_trace(1, 2048);
+        let spec = SampleSpec {
+            rate: 0.25,
+            interval_ops: 128,
+            warmup_ops: 64,
+            ..SampleSpec::new(SampleMode::Periodic)
+        };
+        let plan = SamplePlan::for_trace(&t, &spec);
+        let warm_idx = plan.warm_ranges(0).first().map(|&(s, _)| s);
+        let Some(i) = warm_idx else {
+            panic!("expected a warm range")
+        };
+        assert_eq!(plan.class(0, i), OpClass::Warm);
+        assert_eq!(
+            plan.clone().with_warm_counted().class(0, i),
+            OpClass::Measure
+        );
+    }
+}

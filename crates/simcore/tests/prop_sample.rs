@@ -1,0 +1,294 @@
+//! Property tests of the sampling planner plus the golden schema of
+//! the `sampling` provenance object. Runs on the in-tree
+//! `simcore::propcheck` harness; `cluster_check`'s schema-sync lint
+//! pairs this file with `crates/simcore/src/sample.rs`, so a writer
+//! key added to [`SamplingStats::to_json`] without a matching check
+//! here fails the workspace lint.
+//!
+//! The properties pin the sampling contract the rest of the stack
+//! builds on: a plan is a pure function of (trace, spec) — same seed,
+//! same interval set — rate 1.0 degenerates to the full replay, and
+//! the Measure/Warm/Skip classes partition every operation with the
+//! coverage counters agreeing exactly. The planted-bug test drives the
+//! shrinker against a plan that illegally counts warmup operations
+//! ([`SamplePlan::with_warm_counted`]) and must land on the smallest
+//! trace that has a warmup window at all.
+
+use simcore::json::Json;
+use simcore::ops::{Trace, TraceBuilder};
+use simcore::propcheck::{self, halves, shrink_to_minimal, shrink_u64, Gen};
+use simcore::sample::{OpClass, SampleMode, SamplePlan, SampleSpec, SamplingStats};
+use simcore::{prop_ensure, prop_ensure_eq};
+
+const CASES: u32 = 48;
+
+/// One scripted op: `(kind, value)` with kind 0=read line, 1=write
+/// line, 2=compute cycles.
+type Script = Vec<(u8, u64)>;
+
+/// Random multi-processor scripts over a shared 64-line region.
+fn arb_scripts(g: &mut Gen, n_procs: usize) -> Vec<Script> {
+    (0..n_procs)
+        .map(|_| {
+            g.vec_of(1..400, |g| match g.u8_in(0..3) {
+                0 => (0u8, g.u64_in(0..64)),
+                1 => (1u8, g.u64_in(0..64)),
+                _ => (2u8, g.u64_in(1..20)),
+            })
+        })
+        .collect()
+}
+
+/// Shrink candidates: halve one processor's script at a time.
+fn shrink_scripts(scripts: &[Script]) -> Vec<Vec<Script>> {
+    let mut out = Vec::new();
+    for (p, script) in scripts.iter().enumerate() {
+        for smaller in halves(script) {
+            if smaller.is_empty() {
+                continue;
+            }
+            let mut candidate = scripts.to_vec();
+            candidate[p] = smaller;
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn build_trace(scripts: &[Script]) -> Trace {
+    let mut b = TraceBuilder::new(scripts.len());
+    let base = b.space_mut().alloc_shared(64 * 64);
+    for (p, script) in scripts.iter().enumerate() {
+        for &(kind, v) in script {
+            match kind {
+                0 => b.read(p as u32, base + v * 64),
+                1 => b.write(p as u32, base + v * 64),
+                _ => b.compute(p as u32, v),
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A spec small enough that the generated scripts span many intervals.
+fn small_spec(mode: SampleMode) -> SampleSpec {
+    SampleSpec {
+        rate: 0.25,
+        interval_ops: 16,
+        warmup_ops: 8,
+        ..SampleSpec::new(mode)
+    }
+}
+
+#[test]
+fn prop_same_spec_yields_identical_plan() {
+    propcheck::check_cases(
+        CASES,
+        "prop_same_spec_yields_identical_plan",
+        |g| (arb_scripts(g, 3), g.pick(&SampleMode::ALL)),
+        |(s, m)| shrink_scripts(s).into_iter().map(|c| (c, *m)).collect(),
+        |(scripts, mode)| {
+            let trace = build_trace(scripts);
+            let spec = small_spec(*mode);
+            let a = SamplePlan::for_trace(&trace, &spec);
+            let b = SamplePlan::for_trace(&trace, &spec);
+            prop_ensure_eq!(a, b);
+            for pid in 0..trace.n_procs() {
+                prop_ensure_eq!(a.measured_ranges(pid), b.measured_ranges(pid));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_rate_one_measures_every_op_in_every_mode() {
+    propcheck::check_cases(
+        CASES,
+        "prop_rate_one_measures_every_op_in_every_mode",
+        |g| (arb_scripts(g, 2), g.pick(&SampleMode::ALL)),
+        |(s, m)| shrink_scripts(s).into_iter().map(|c| (c, *m)).collect(),
+        |(scripts, mode)| {
+            let trace = build_trace(scripts);
+            let spec = SampleSpec {
+                rate: 1.0,
+                ..small_spec(*mode)
+            };
+            let plan = SamplePlan::for_trace(&trace, &spec);
+            prop_ensure!(plan.is_full(), "rate 1.0 must measure everything");
+            let s = plan.stats();
+            prop_ensure_eq!(s.ops_measured, s.ops_total);
+            prop_ensure_eq!(s.ops_warm, 0);
+            prop_ensure_eq!(s.weight_measured, s.weight_total);
+            for (pid, ops) in trace.per_proc.iter().enumerate() {
+                for idx in 0..ops.len() {
+                    prop_ensure_eq!(plan.class(pid, idx), OpClass::Measure);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_classes_partition_ops_and_match_counters() {
+    propcheck::check_cases(
+        CASES,
+        "prop_classes_partition_ops_and_match_counters",
+        |g| (arb_scripts(g, 3), g.pick(&SampleMode::ALL)),
+        |(s, m)| shrink_scripts(s).into_iter().map(|c| (c, *m)).collect(),
+        |(scripts, mode)| {
+            let trace = build_trace(scripts);
+            let plan = SamplePlan::for_trace(&trace, &small_spec(*mode));
+            let s = plan.stats();
+            let (mut measured, mut warm, mut total) = (0u64, 0u64, 0u64);
+            for (pid, ops) in trace.per_proc.iter().enumerate() {
+                for idx in 0..ops.len() {
+                    total += 1;
+                    match plan.class(pid, idx) {
+                        OpClass::Measure => measured += 1,
+                        OpClass::Warm => warm += 1,
+                        OpClass::Skip => {}
+                    }
+                }
+                // Ranges are sorted and disjoint per processor.
+                let mr = plan.measured_ranges(pid);
+                for w in mr.windows(2) {
+                    prop_ensure!(w[0].1 <= w[1].0, "measured ranges overlap");
+                }
+                for &(rs, re) in plan.warm_ranges(pid) {
+                    prop_ensure!(rs < re, "empty warm range");
+                    prop_ensure!(
+                        !mr.iter().any(|&(ms, me)| rs < me && ms < re),
+                        "warm range intersects a measured range"
+                    );
+                }
+            }
+            prop_ensure_eq!(s.ops_total, total);
+            prop_ensure_eq!(s.ops_measured, measured);
+            prop_ensure_eq!(s.ops_warm, warm);
+            prop_ensure_eq!(s.ops_simulated(), measured + warm);
+            prop_ensure!(s.ops_measured >= 1, "plan measured nothing");
+            prop_ensure!(s.weight_measured <= s.weight_total, "weights inverted");
+            prop_ensure!(s.scale() >= 1.0, "scale cannot deflate");
+            Ok(())
+        },
+    );
+}
+
+/// The golden schema of the `sampling` provenance object: every key
+/// [`SamplingStats::to_json`] emits is checked here — by name, with
+/// its type — and the key count is pinned so an added writer key
+/// fails this test (and the schema-sync lint) until it is covered.
+#[test]
+fn sampling_stats_json_golden_schema() {
+    let script: Script = (0..600)
+        .map(|i| ((i % 3) as u8, (i % 64) as u64 + 1))
+        .collect();
+    let trace = build_trace(&[script]);
+    let stats = SamplePlan::for_trace(&trace, &small_spec(SampleMode::Reservoir)).stats();
+    let j = stats.to_json();
+    assert_eq!(
+        j.get("mode").and_then(Json::as_str),
+        Some("reservoir"),
+        "mode must be the stable strategy label"
+    );
+    assert!(SampleMode::parse(j.get("mode").unwrap().as_str().unwrap()).is_ok());
+    assert_eq!(j.get("rate").and_then(Json::as_f64), Some(0.25));
+    for key in [
+        "warmup_ops",
+        "interval_ops",
+        "seed",
+        "ops_total",
+        "ops_measured",
+        "ops_warm",
+        "ops_simulated",
+        "weight_total",
+        "weight_measured",
+        "weight_warm",
+        "warm_read_hits",
+        "warm_read_misses",
+        "warm_write_hits",
+        "warm_write_misses",
+        "warm_upgrade_misses",
+        "warm_cpu_cycles",
+        "warm_load_cycles",
+        "warm_merge_cycles",
+    ] {
+        assert!(
+            j.get(key).and_then(Json::as_u64).is_some(),
+            "sampling JSON missing integer field {key}"
+        );
+    }
+    assert_eq!(
+        j.get("ops_simulated").and_then(Json::as_u64),
+        Some(stats.ops_simulated()),
+        "ops_simulated must be the measured + warm sum"
+    );
+    let Json::Obj(pairs) = &j else {
+        panic!("sampling provenance must be an object")
+    };
+    assert_eq!(pairs.len(), 20, "unexpected sampling JSON key count");
+    // Field-exact inverse: the derived ops_simulated is ignored on
+    // read, everything else round-trips.
+    assert_eq!(SamplingStats::from_json(&j), Some(stats));
+}
+
+/// Planted bug: [`SamplePlan::with_warm_counted`] reclassifies warmup
+/// operations as measured, violating the "warmup ops are never counted
+/// in statistics" contract. The property re-derives the expected class
+/// from the plan's own warm ranges, so the buggy plan fails exactly
+/// when a warm range exists — and the shrinker must descend to the
+/// *smallest* single-processor script with a warm range at all.
+///
+/// With interval 4 and rate 0.5 (period 2), interval 0 is measured;
+/// the first warm range any trace can have is the tail drain past it,
+/// which appears as soon as the trace outgrows one interval. The
+/// builder appends one final barrier, so the minimal counterexample is
+/// exactly 4 scripted reads (5 trace ops: measured [0, 4), drained
+/// tail [4, 5)).
+#[test]
+fn prop_planted_warm_counting_shrinks_to_first_warmup_window() {
+    let spec = SampleSpec {
+        rate: 0.5,
+        interval_ops: 4,
+        warmup_ops: 2,
+        ..SampleSpec::new(SampleMode::Periodic)
+    };
+    let prop = |n: &u64| {
+        // Reads, not computes: adjacent computes coalesce into one op
+        // in the builder, which would collapse the script length.
+        let script: Script = (0..*n).map(|i| (0u8, i % 64)).collect();
+        let trace = build_trace(&[script]);
+        let plan = SamplePlan::for_trace(&trace, &spec).with_warm_counted();
+        for &(s, e) in plan.warm_ranges(0) {
+            for idx in s..e {
+                if plan.class(0, idx) == OpClass::Measure {
+                    return Err(format!("warm op {idx} counted as measured"));
+                }
+            }
+        }
+        Ok(())
+    };
+    let mut found = 0u32;
+    for seed in 0..100u64 {
+        let n = Gen::from_seed(seed).u64_in(1..512);
+        if prop(&n).is_ok() {
+            continue;
+        }
+        found += 1;
+        let (minimal, err, _) =
+            shrink_to_minimal(n, "planted".into(), |&v| shrink_u64(v), prop, 10_000);
+        assert_eq!(
+            minimal, 4,
+            "seed {seed}: case {n} shrank to {minimal}, not the first warm range"
+        );
+        assert!(err.contains("counted as measured"), "wrong failure: {err}");
+    }
+    assert!(found >= 20, "generator produced too few failing cases");
+    // Sanity: the boundary really is 4 — one read fewer fits a single
+    // interval with no drained tail, so the planted bug is
+    // unobservable there.
+    assert!(prop(&3).is_ok());
+    assert!(prop(&4).is_err());
+}

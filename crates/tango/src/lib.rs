@@ -17,4 +17,7 @@
 
 pub mod engine;
 
-pub use engine::{run, run_instrumented, run_with, try_run_with, EngineError, EngineOptions};
+pub use engine::{
+    run, run_instrumented, run_sampled, run_with, try_run_sampled, try_run_with, EngineError,
+    EngineOptions, SampledRun,
+};

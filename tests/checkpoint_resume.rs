@@ -186,6 +186,7 @@ fn entry_with(app: &str, cache: &str, cluster: u32, salt: u64) -> JournalEntry {
             _ => RunStatus::Timeout,
         },
         attempts: (salt % 4) as u32 + 1,
+        sampling: None,
     }
 }
 
