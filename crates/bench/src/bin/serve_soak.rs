@@ -1,0 +1,238 @@
+//! Warm-cache serve throughput: the ROADMAP's "a speed PR that
+//! doesn't measure isn't one" number for the v2 protocol redesign.
+//!
+//! Boots the nonblocking poll loop in-process on an ephemeral port,
+//! prewarms the requested study matrix once, then measures two client
+//! shapes against the same warm store:
+//!
+//! * **before** — one v1 client, one cell per `run` request (the
+//!   blocking-era protocol: a full write/read round trip per cell);
+//! * **after** — [`CLIENTS`] concurrent v2 clients, each submitting
+//!   the whole matrix as a single `batch` request.
+//!
+//! Reports cells/second for both, and the speedup, via
+//! `cluster_bench::timer` medians; `--emit-manifest`/`--out` records
+//! them as manifest metrics (`serve.v1_cells_per_sec`,
+//! `serve.v2_batch_cells_per_sec_32c`, `serve.speedup`) for CI to
+//! assert against.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use cluster_bench::timer::bench;
+use cluster_bench::{Cli, Reporter};
+use cluster_serve::{serve_poll, ResultStore, ServeClient, ServeOptions, ServeState};
+use cluster_study::apps::FIG2_APPS;
+use cluster_study::study::{section5_caches, CLUSTER_SIZES};
+use simcore::Json;
+
+/// Concurrent v2 clients in the "after" measurement.
+const CLIENTS: usize = 32;
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("serve_soak: {msg}");
+    std::process::exit(2)
+}
+
+/// The per-app full-matrix spec.
+fn app_spec(app: &str, size: &str, procs: usize) -> Json {
+    let caches: Vec<Json> = section5_caches()
+        .iter()
+        .map(|c| Json::from(c.label()))
+        .collect();
+    let clusters: Vec<Json> = CLUSTER_SIZES
+        .iter()
+        .map(|&c| Json::from(u64::from(c)))
+        .collect();
+    Json::obj()
+        .with("app", app)
+        .with("size", size)
+        .with("procs", procs as u64)
+        .with("caches", caches)
+        .with("clusters", clusters)
+}
+
+/// One cell as its own one-cache one-cluster spec (the v1 shape: a
+/// client that wants per-cell results must round-trip per cell).
+fn cell_specs(apps: &[&str], size: &str, procs: usize) -> Vec<Json> {
+    let mut out = Vec::new();
+    for &app in apps {
+        for cache in section5_caches() {
+            for &cluster in &CLUSTER_SIZES {
+                out.push(
+                    Json::obj()
+                        .with("app", app)
+                        .with("size", size)
+                        .with("procs", procs as u64)
+                        .with("caches", vec![Json::from(cache.label())])
+                        .with("clusters", vec![Json::from(u64::from(cluster))]),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn cells_in(resp: &Json) -> u64 {
+    resp.get("cells")
+        .and_then(Json::as_arr)
+        .map(|c| c.len() as u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let apps: Vec<&str> = FIG2_APPS.iter().copied().filter(|a| cli.wants(a)).collect();
+    if apps.is_empty() {
+        fatal("--apps filtered out every application");
+    }
+    let size = cli.size_label();
+    let total_cells = (apps.len() * section5_caches().len() * CLUSTER_SIZES.len()) as u64;
+    println!(
+        "serve_soak: {} apps x {} caches x {} clusters = {total_cells} cells, \
+         {} procs, {size} sizes, {} jobs, {CLIENTS} v2 clients",
+        apps.len(),
+        section5_caches().len(),
+        CLUSTER_SIZES.len(),
+        cli.procs,
+        cli.jobs
+    );
+
+    // The store: `--cache DIR` reuses (and leaves behind) a real
+    // store; the default is a throwaway under the temp dir.
+    let (store_dir, throwaway) = match &cli.cache {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("serve-soak-{}", std::process::id())),
+            true,
+        ),
+    };
+    let store = ResultStore::open(&store_dir)
+        .unwrap_or_else(|e| fatal(&format!("opening store {}: {e}", store_dir.display())));
+    let state = Arc::new(ServeState::new(
+        store,
+        ServeOptions {
+            jobs: cli.jobs,
+            max_line: 1 << 20,
+            queue: CLIENTS + 2,
+        },
+    ));
+    let listener =
+        TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| fatal(&format!("binding: {e}")));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| fatal(&format!("local addr: {e}")))
+        .to_string();
+    let loop_state = Arc::clone(&state);
+    let server = std::thread::spawn(move || serve_poll(&loop_state, listener));
+
+    let connect_v2 = |what: &str| -> ServeClient {
+        let mut c = ServeClient::connect(&addr)
+            .unwrap_or_else(|e| fatal(&format!("{what}: connecting {addr}: {e}")));
+        c.hello_v2()
+            .unwrap_or_else(|e| fatal(&format!("{what}: hello: {e}")));
+        c
+    };
+
+    // Prewarm: one v2 batch of the whole matrix simulates every cold
+    // cell exactly once; the measurements below run against the warm
+    // store only.
+    let specs: Vec<Json> = apps.iter().map(|a| app_spec(a, size, cli.procs)).collect();
+    let mut warm = connect_v2("prewarm");
+    let resp = cluster_bench::timed("prewarm", || {
+        warm.batch(specs.clone())
+            .unwrap_or_else(|e| fatal(&format!("prewarm batch: {e}")))
+    });
+    let warmed: u64 = resp
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .map(|jobs| jobs.iter().map(cells_in).sum())
+        .unwrap_or(0);
+    if warmed != total_cells {
+        fatal(&format!("prewarm served {warmed} of {total_cells} cells"));
+    }
+
+    // Before: one v1 client, one cell per request. No handshake — the
+    // connection stays on the v1 compatibility surface.
+    let singles = cell_specs(&apps, size, cli.procs);
+    let v1 = bench("serve.v1 single-cell requests (1 client)", 1, 3, || {
+        let mut c = ServeClient::connect(&addr)
+            .unwrap_or_else(|e| fatal(&format!("v1 client: connecting {addr}: {e}")));
+        let mut served = 0u64;
+        for spec in &singles {
+            let resp = c
+                .run(spec.clone())
+                .unwrap_or_else(|e| fatal(&format!("v1 run: {e}")));
+            served += cells_in(&resp);
+        }
+        if served != total_cells {
+            fatal(&format!("v1 pass served {served} of {total_cells} cells"));
+        }
+    });
+
+    // After: CLIENTS concurrent v2 sessions, each batching the whole
+    // matrix in one request line.
+    let addr_ref: &str = &addr;
+    let specs_ref: &[Json] = &specs;
+    let v2 = bench("serve.v2 whole-matrix batch (32 clients)", 1, 3, || {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut c = ServeClient::connect(addr_ref)
+                            .unwrap_or_else(|e| fatal(&format!("v2 client: {e}")));
+                        c.hello_v2()
+                            .unwrap_or_else(|e| fatal(&format!("v2 hello: {e}")));
+                        let resp = c
+                            .batch(specs_ref.to_vec())
+                            .unwrap_or_else(|e| fatal(&format!("v2 batch: {e}")));
+                        resp.get("jobs")
+                            .and_then(Json::as_arr)
+                            .map(|jobs| jobs.iter().map(cells_in).sum::<u64>())
+                            .unwrap_or(0)
+                    })
+                })
+                .collect();
+            let served: u64 = workers
+                .into_iter()
+                .map(|w| w.join().unwrap_or_else(|_| fatal("v2 client panicked")))
+                .sum();
+            if served != total_cells * CLIENTS as u64 {
+                fatal(&format!(
+                    "v2 pass served {served} of {} cells",
+                    total_cells * CLIENTS as u64
+                ));
+            }
+        })
+    });
+
+    let mut closer = connect_v2("shutdown");
+    closer
+        .shutdown()
+        .unwrap_or_else(|e| fatal(&format!("shutdown: {e}")));
+    match server.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => fatal(&format!("event loop: {e}")),
+        Err(_) => fatal("event loop thread panicked"),
+    }
+
+    let v1_cells_per_sec = total_cells as f64 / v1.median().as_secs_f64();
+    let v2_cells_per_sec = (total_cells * CLIENTS as u64) as f64 / v2.median().as_secs_f64();
+    let speedup = v2_cells_per_sec / v1_cells_per_sec;
+    println!(
+        "\nwarm-cache throughput: v1 single-cell {v1_cells_per_sec:.0} cells/s, \
+         v2 batch x{CLIENTS} {v2_cells_per_sec:.0} cells/s, speedup {speedup:.1}x"
+    );
+
+    let mut reporter = Reporter::new("serve_soak", &cli);
+    let m = &mut reporter.manifest.metrics;
+    m.gauge("serve.cells", total_cells as f64);
+    m.gauge("serve.clients", CLIENTS as f64);
+    m.gauge("serve.v1_cells_per_sec", v1_cells_per_sec);
+    m.gauge("serve.v2_batch_cells_per_sec_32c", v2_cells_per_sec);
+    m.gauge("serve.speedup", speedup);
+    reporter.finish();
+    if throwaway {
+        std::fs::remove_dir_all(&store_dir).ok();
+    }
+}

@@ -78,6 +78,11 @@ pub struct Cli {
     /// fresh cells into) a `cluster_serve` content-addressed result
     /// store in this directory.
     pub cache: Option<PathBuf>,
+    /// `--serve ADDR`: stream already-simulated cells from a running
+    /// `cluster_serve` TCP server over the v2 cursor protocol
+    /// (paper_run). Streamed cells prefill the study like `--cache`
+    /// hits; the server simulates whatever its store is missing.
+    pub serve: Option<String>,
     /// `--sample MODE`: replay only sampled intervals
     /// (`periodic|reservoir|phase`) instead of the full trace.
     pub sample: Option<SampleMode>,
@@ -156,6 +161,7 @@ impl Cli {
         let mut checkpoint = None;
         let mut resume = false;
         let mut cache = None;
+        let mut serve = None;
         let mut sample = None;
         let mut sample_rate = None;
         let mut warmup_ops = None;
@@ -249,6 +255,12 @@ impl Cli {
                             .ok_or_else(|| fail("--cache needs a directory"))?,
                     ));
                 }
+                "--serve" => {
+                    serve = Some(
+                        args.next()
+                            .ok_or_else(|| fail("--serve needs an address (host:port)"))?,
+                    );
+                }
                 "--help" | "-h" => {
                     return Err(CliError {
                         message: None,
@@ -260,6 +272,12 @@ impl Cli {
         }
         if resume && checkpoint.is_none() {
             return Err(fail("--resume needs --checkpoint"));
+        }
+        if serve.is_some() && sample.is_some() {
+            // Sampled cells live under sampling-qualified store keys;
+            // the wire spec has no sampling field, so a server can
+            // only ever answer full-trace cells.
+            return Err(fail("--serve cannot be combined with --sample"));
         }
         if sample.is_none() && !validate_sampling {
             if sample_rate.is_some() {
@@ -282,6 +300,7 @@ impl Cli {
             checkpoint,
             resume,
             cache,
+            serve,
             sample,
             sample_rate,
             warmup_ops,
@@ -349,7 +368,7 @@ fn usage_text(tool: &str) -> String {
         "usage: {tool} [--paper|--small] [--procs N] [--apps a,b,c] [--jobs N]\n\
          \u{20}            [--format text|json|csv] [--out PATH] [--emit-manifest]\n\
          \u{20}            [--retries N] [--timeout-secs X]\n\
-         \u{20}            [--checkpoint PATH] [--resume] [--cache DIR]\n\
+         \u{20}            [--checkpoint PATH] [--resume] [--cache DIR] [--serve ADDR]\n\
          \u{20}            [--sample periodic|reservoir|phase] [--sample-rate R]\n\
          \u{20}            [--warmup-ops K] [--validate-sampling]\n\
          \n\
@@ -373,6 +392,8 @@ fn usage_text(tool: &str) -> String {
          \u{20}                instead of re-executing them\n\
          --cache          serve already-simulated cells from (and record new\n\
          \u{20}                cells into) a cluster_serve result store (paper_run)\n\
+         --serve          stream matrix cells from a running cluster_serve TCP\n\
+         \u{20}                server via the v2 cursor protocol (paper_run)\n\
          --sample         replay only sampled intervals with the given\n\
          \u{20}                strategy instead of the full trace\n\
          --sample-rate    fraction of intervals measured, in (0, 1]\n\
@@ -469,6 +490,77 @@ pub fn cache_prefill(
         }
     }
     out
+}
+
+/// Streams `apps` × the Section 5 study matrix from a running
+/// `cluster_serve` TCP server over the v2 protocol: one negotiated
+/// session, one cursor per app, each finished cell arriving as its
+/// own response line (with the journal payload the client needs to
+/// rebuild a [`JournalEntry`]). The entries are study prefill, exactly
+/// like [`cache_prefill`] — the study skips those cells. The server
+/// simulates whatever its store is missing, so a cold server is slow
+/// but still correct.
+pub fn serve_prefill(
+    addr: &str,
+    apps: &[&str],
+    size: &str,
+    procs: usize,
+) -> Result<Vec<JournalEntry>, String> {
+    use cluster_serve::ServeClient;
+    use simcore::Json;
+
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client
+        .hello_v2()
+        .map_err(|e| format!("negotiating v2 with {addr}: {e}"))?;
+    let caches: Vec<Json> = cluster_study::study::section5_caches()
+        .iter()
+        .map(|c| Json::from(c.label()))
+        .collect();
+    let clusters: Vec<Json> = cluster_study::study::CLUSTER_SIZES
+        .iter()
+        .map(|&c| Json::from(u64::from(c)))
+        .collect();
+    let mut out = Vec::new();
+    for &app in apps {
+        let spec = Json::obj()
+            .with("app", app)
+            .with("size", size)
+            .with("procs", procs as u64)
+            .with("caches", caches.clone())
+            .with("clusters", clusters.clone());
+        let mut bad = None;
+        let summary = client
+            .cursor(spec, |seq, cell| {
+                match cell
+                    .get("journal")
+                    .ok_or_else(|| "cell without journal payload".to_string())
+                    .and_then(JournalEntry::from_json)
+                {
+                    Ok(entry) => {
+                        eprintln!(
+                            "[serve {app} {} {}p: cell {seq}]",
+                            entry.cache, entry.cluster
+                        );
+                        out.push(entry);
+                    }
+                    Err(e) if bad.is_none() => bad = Some(e),
+                    Err(_) => {}
+                }
+            })
+            .map_err(|e| format!("cursor for {app} on {addr}: {e}"))?;
+        if let Some(e) = bad {
+            return Err(format!("cursor cell for {app} on {addr}: {e}"));
+        }
+        if summary.failed > 0 {
+            return Err(format!(
+                "server failed {} of {} cells for {app}",
+                summary.failed, summary.cells
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// A study `on_complete` sink durably recording every freshly
@@ -719,6 +811,7 @@ mod tests {
             checkpoint: None,
             resume: false,
             cache: None,
+            serve: None,
             sample: None,
             sample_rate: None,
             warmup_ops: None,

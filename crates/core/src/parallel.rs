@@ -107,6 +107,82 @@ where
         .collect()
 }
 
+/// [`run_items`] that additionally delivers results **incrementally,
+/// in input order** to `on_ready` on the calling thread — the study
+/// hook behind `cluster_serve`'s streaming cursor op: a client sees
+/// cell 0 the moment it (and nothing before it) is done, instead of
+/// waiting for the whole matrix.
+///
+/// Workers steal index chunks exactly like [`run_items_chunked`] and
+/// send `(index, output)` over a channel; the caller's thread parks
+/// out-of-order completions and flushes the contiguous prefix, so
+/// `on_ready(i, &out)` fires exactly once per item, strictly in index
+/// order, and never concurrently (it is `FnMut`, not `Sync`). The
+/// returned vector is bit-identical to [`run_items`]. `jobs <= 1`
+/// degenerates to a plain serial loop that calls `on_ready` after
+/// each item with no threads spawned.
+pub fn run_items_streamed<I, O, F, C>(items: &[I], jobs: usize, f: F, mut on_ready: C) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+    C: FnMut(usize, &O),
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let out = f(item);
+                on_ready(i, &out);
+                out
+            })
+            .collect();
+    }
+    let chunk = default_chunk(items.len(), jobs);
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let mut slots: Vec<Option<O>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    // A send only fails if the receiver is gone, and
+                    // the receiver outlives the scope.
+                    let _ = tx.send((i, f(item)));
+                }
+            });
+        }
+        drop(tx); // workers hold the remaining senders
+        let mut frontier = 0usize;
+        while let Ok((i, out)) = rx.recv() {
+            slots[i] = Some(out);
+            while frontier < items.len() {
+                match slots[frontier].as_ref() {
+                    Some(out) => {
+                        on_ready(frontier, out);
+                        frontier += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
 /// [`run_items`] with per-item wall-clock, for speedup reporting.
 pub fn run_items_timed<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<(O, Duration)>
 where
@@ -976,6 +1052,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The streamed runner delivers every result exactly once, in
+    /// input order, on the calling thread, and returns the same
+    /// vector as run_items — at any job count.
+    #[test]
+    fn streamed_delivery_is_in_order_and_complete() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+        for jobs in [1, 2, 4, 16] {
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            let out = run_items_streamed(&items, jobs, |&x| x * 7, |i, &o| seen.push((i, o)));
+            assert_eq!(out, expect, "jobs={jobs}");
+            assert_eq!(seen.len(), items.len(), "jobs={jobs}");
+            for (pos, (i, o)) in seen.iter().enumerate() {
+                assert_eq!(*i, pos, "in-order delivery, jobs={jobs}");
+                assert_eq!(*o, expect[pos]);
+            }
+        }
+        // Degenerate shapes.
+        let none: Vec<u64> = vec![];
+        assert!(run_items_streamed(&none, 8, |&x| x, |_, _| {}).is_empty());
+        let mut hits = 0;
+        assert_eq!(
+            run_items_streamed(&[9u64], 8, |&x| x, |_, _| hits += 1),
+            vec![9]
+        );
+        assert_eq!(hits, 1);
     }
 
     #[test]

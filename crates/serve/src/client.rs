@@ -1,0 +1,258 @@
+//! A small typed client for the serve protocol over TCP.
+//!
+//! Speaks v1 out of the box and upgrades to
+//! [`PROTOCOL_SCHEMA_V2`](crate::protocol::PROTOCOL_SCHEMA_V2) via
+//! [`ServeClient::hello_v2`]. Every request carries a fresh `id` and
+//! the response's echo is checked, so a desynced stream surfaces as a
+//! typed [`ClientError`] instead of silently mismatched data. The
+//! bench harness (`paper_run --serve`, `serve_soak`) and the
+//! concurrency suite both drive servers through this type.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use simcore::Json;
+
+use crate::protocol::{PROTOCOL_SCHEMA, PROTOCOL_SCHEMA_V2};
+
+/// Client-side failure: transport, malformed traffic, or a typed
+/// error response from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// The server sent something the client cannot make sense of.
+    Protocol(String),
+    /// The server answered with a typed error response.
+    Server {
+        /// The error `kind` label (e.g. `unknown_op`, `queue_full`).
+        kind: String,
+        /// The human-readable detail string.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { kind, detail } => write!(f, "server error [{kind}]: {detail}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Counters from a finished `cursor` stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorSummary {
+    /// Cells the server enumerated (`total` from the start line).
+    pub cells: u64,
+    /// Cells served from the store.
+    pub cache_hits: u64,
+    /// Cells freshly simulated.
+    pub sims: u64,
+    /// Cells that failed (each produced an inline error line).
+    pub failed: u64,
+}
+
+/// One TCP connection to a serve instance.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    schema: &'static str,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (a v1 session until [`ServeClient::hello_v2`]).
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request lines are small; leaving Nagle on costs a
+        // delayed-ACK round trip (~40ms) per request.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+            schema: PROTOCOL_SCHEMA,
+        })
+    }
+
+    /// The schema currently negotiated.
+    pub fn schema(&self) -> &'static str {
+        self.schema
+    }
+
+    fn read_json(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-conversation".to_string(),
+            ));
+        }
+        simcore::json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response line: {e}")))
+    }
+
+    fn server_error(j: &Json) -> ClientError {
+        let err = j.get("error");
+        let field = |k: &str| {
+            err.and_then(|e| e.get(k))
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        ClientError::Server {
+            kind: field("kind"),
+            detail: field("detail"),
+        }
+    }
+
+    fn check_ok(&self, j: &Json, id: u64) -> Result<(), ClientError> {
+        if j.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(Self::server_error(j));
+        }
+        match j.get("id").and_then(Json::as_u64) {
+            Some(got) if got == id => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "response id {other:?} does not match request id {id}"
+            ))),
+        }
+    }
+
+    fn send(&mut self, mut req: Json) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        req.push("id", id);
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// One request, one checked response.
+    fn round_trip(&mut self, req: Json) -> Result<Json, ClientError> {
+        let id = self.send(req)?;
+        let resp = self.read_json()?;
+        self.check_ok(&resp, id)?;
+        Ok(resp)
+    }
+
+    /// Upgrades the session to protocol v2.
+    pub fn hello_v2(&mut self) -> Result<(), ClientError> {
+        let resp = self.round_trip(
+            Json::obj()
+                .with("op", "hello")
+                .with("schema", PROTOCOL_SCHEMA_V2),
+        )?;
+        match resp.get("schema").and_then(Json::as_str) {
+            Some(s) if s == PROTOCOL_SCHEMA_V2 => {
+                self.schema = PROTOCOL_SCHEMA_V2;
+                Ok(())
+            }
+            other => Err(ClientError::Protocol(format!(
+                "hello answered with schema {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.round_trip(Json::obj().with("op", "ping")).map(|_| ())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.round_trip(Json::obj().with("op", "stats"))
+    }
+
+    /// One `run` request; returns the full response document.
+    pub fn run(&mut self, spec: Json) -> Result<Json, ClientError> {
+        self.round_trip(Json::obj().with("op", "run").with("spec", spec))
+    }
+
+    /// One v2 `batch` request; returns the full response document.
+    pub fn batch(&mut self, specs: Vec<Json>) -> Result<Json, ClientError> {
+        self.round_trip(
+            Json::obj()
+                .with("op", "batch")
+                .with("specs", Json::Arr(specs)),
+        )
+    }
+
+    /// One v2 `cursor` request: `on_cell(seq, cell_doc)` fires for
+    /// every streamed cell line in order; inline error lines (failed
+    /// cells) are counted, not fatal. Returns the trailer's counters.
+    pub fn cursor(
+        &mut self,
+        spec: Json,
+        mut on_cell: impl FnMut(u64, &Json),
+    ) -> Result<CursorSummary, ClientError> {
+        let id = self.send(Json::obj().with("op", "cursor").with("spec", spec))?;
+        let start = self.read_json()?;
+        self.check_ok(&start, id)?;
+        if start.get("op").and_then(Json::as_str) != Some("cursor") {
+            return Err(ClientError::Protocol(format!(
+                "expected a cursor start line, got {start}"
+            )));
+        }
+        let total = start.get("total").and_then(Json::as_u64).unwrap_or(0);
+        let mut summary = CursorSummary::default();
+        loop {
+            let line = self.read_json()?;
+            if line.get("ok").and_then(Json::as_bool) != Some(true) {
+                // A failed cell: the server streams an error line and
+                // keeps going; the trailer accounts for it.
+                summary.failed += 1;
+                continue;
+            }
+            match line.get("op").and_then(Json::as_str) {
+                Some("cell") => {
+                    let seq = line.get("seq").and_then(Json::as_u64).unwrap_or(0);
+                    if let Some(cell) = line.get("cell") {
+                        on_cell(seq, cell);
+                    }
+                }
+                Some("cursor_done") => {
+                    self.check_ok(&line, id)?;
+                    let field = |k: &str| line.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    summary.cells = field("cells");
+                    summary.cache_hits = field("cache_hits");
+                    summary.sims = field("sims");
+                    if field("failed") != summary.failed {
+                        return Err(ClientError::Protocol(format!(
+                            "cursor trailer reports {} failed cells, client saw {}",
+                            field("failed"),
+                            summary.failed
+                        )));
+                    }
+                    if summary.cells != total {
+                        return Err(ClientError::Protocol(format!(
+                            "cursor trailer reports {} cells, start line promised {total}",
+                            summary.cells
+                        )));
+                    }
+                    return Ok(summary);
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected op {other:?} inside a cursor stream"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Asks the server to shut down after acknowledging.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip(Json::obj().with("op", "shutdown"))
+            .map(|_| ())
+    }
+}

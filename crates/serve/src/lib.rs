@@ -11,31 +11,46 @@
 //! `(app, size, procs)`, so sweeps that vary only the cluster
 //! configuration never regenerate them.
 //!
-//! * [`protocol`] — the line-delimited JSON request/response schema,
-//!   strict parsing, typed error kinds, bounded line reading.
-//! * [`store`] — the content-addressed [`store::ResultStore`] (JSONL,
-//!   torn-tail recovery, single-flight dogpile breaking) and the
-//!   in-memory [`store::TraceStore`].
-//! * [`server`] — [`server::ServeState`] and the panic-free
-//!   [`server::serve_connection`] loop that binds them together.
+//! * [`protocol`] — the line-delimited JSON request/response surface
+//!   (v1 and the negotiated `clustered-smp/serve/v2`), strict
+//!   parsing, the [`protocol::Response`] enum, typed error kinds,
+//!   bounded line reading for blocking ([`protocol::read_bounded_line`])
+//!   and nonblocking ([`protocol::LineAccum`]) transports.
+//! * [`store`] — the sharded content-addressed [`store::ResultStore`]
+//!   (JSONL shards, torn-tail recovery, per-shard single-flight,
+//!   LRU-by-last-served eviction with journal-rewrite compaction)
+//!   and the in-memory [`store::TraceStore`].
+//! * [`server`] — [`server::ServeState`], per-connection
+//!   [`server::Session`] version state, and the panic-free dispatch
+//!   shared by every transport.
+//! * [`event_loop`] — the nonblocking poll-based TCP loop
+//!   ([`event_loop::serve_poll`]) multiplexing many clients over the
+//!   worker pool with explicit backpressure.
+//! * [`client`] — a typed TCP client ([`client::ServeClient`]) used
+//!   by `paper_run --serve`, the soak harness, and the test suites.
 //!
 //! The binary (`cluster_serve`) speaks the protocol over
-//! stdin/stdout, a TCP listener, or a Unix socket; `paper_run
-//! --cache DIR` uses the same store in-process as a client-side
-//! memo. Protocol and layout are documented in `DESIGN.md` §12, and
-//! every behavior above is pinned by the serving-layer test suite in
-//! `crates/serve/tests/`.
+//! stdin/stdout, a TCP listener (nonblocking event loop), or a Unix
+//! socket; `paper_run --cache DIR` uses the same store in-process as
+//! a client-side memo. Protocol and layout are documented in
+//! `DESIGN.md` §12, and every behavior above is pinned by the
+//! serving-layer test suite in `crates/serve/tests/`.
 
+pub mod client;
+pub mod event_loop;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
+pub use client::{ClientError, CursorSummary, ServeClient};
+pub use event_loop::{serve_poll, OUTBOX_HIGH_WATERMARK};
 pub use protocol::{
-    parse_request, ErrorKind, JobSpec, Op, ProtocolError, Request, DEFAULT_MAX_LINE,
-    PROTOCOL_SCHEMA,
+    parse_request, ErrorKind, JobSpec, LineAccum, Op, ProtoVersion, ProtocolError, Request,
+    Response, DEFAULT_MAX_LINE, PROTOCOL_SCHEMA, PROTOCOL_SCHEMA_V2,
 };
-pub use server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
+pub use server::{serve_connection, ServeOptions, ServeState, Session, DEFAULT_QUEUE};
 pub use store::{
-    cell_key, cell_key_sampled, scan_store, size_label, KeyMode, ResultStore, StoreEntry,
-    StoreError, TraceStore, KILL_EXIT_CODE, STORE_FILE, STORE_SCHEMA,
+    cell_key, cell_key_sampled, scan_store, scan_store_dir, shard_file_name, size_label, KeyMode,
+    ResultStore, StoreConfig, StoreEntry, StoreError, TraceStore, DEFAULT_SHARDS, KILL_EXIT_CODE,
+    STORE_FILE, STORE_FILE_V1_BACKUP, STORE_SCHEMA, STORE_SCHEMA_V2,
 };

@@ -1,19 +1,21 @@
 //! `cluster_serve` — the study service binary.
 //!
 //! Speaks the line-delimited JSON protocol of `DESIGN.md` §12 over
-//! stdin/stdout (default), a TCP listener (`--listen`), or a Unix
-//! socket (`--socket`), backed by the content-addressed result store
-//! in `--store DIR`.
+//! stdin/stdout (default), a TCP listener (`--listen`, nonblocking
+//! multi-client event loop), or a Unix socket (`--socket`), backed by
+//! the sharded content-addressed result store in `--store DIR`.
 //!
 //! `SERVE_KILL_AFTER_RECORDS=N` arms the crash-injection hook: the
 //! process exits with code 42 immediately after the Nth store append,
 //! which the concurrency suite uses to prove restart recovery.
 
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
+use std::sync::Arc;
 
+use cluster_serve::event_loop::serve_poll;
 use cluster_serve::protocol::DEFAULT_MAX_LINE;
 use cluster_serve::server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
-use cluster_serve::store::ResultStore;
+use cluster_serve::store::{KeyMode, ResultStore, StoreConfig, DEFAULT_SHARDS};
 
 const USAGE: &str = "\
 cluster_serve — study service with a content-addressed result cache
@@ -22,24 +24,33 @@ USAGE:
     cluster_serve --store DIR [OPTIONS]
 
 OPTIONS:
-    --store DIR       result store directory (required; created if absent)
-    --jobs N          worker threads per run request [default: cores, STUDY_JOBS]
-    --queue N         max concurrently executing run requests [default: 4]
-    --max-line BYTES  per-request line cap [default: 1048576]
-    --listen ADDR     serve a TCP listener instead of stdin/stdout
-    --socket PATH     serve a Unix socket instead of stdin/stdout
-    --help            print this help
+    --store DIR            result store directory (required; created if absent)
+    --shards N             journal shards for a NEW store [default: 4]
+                           (an existing store keeps its on-disk shard count)
+    --store-budget BYTES   evict least-recently-served cells once a shard's
+                           journal exceeds its share of this budget
+                           [default: unbounded]
+    --jobs N               worker threads per run request [default: cores, STUDY_JOBS]
+    --queue N              max concurrently executing run requests [default: 4]
+    --max-line BYTES       per-request line cap [default: 1048576]
+    --listen ADDR          serve a TCP listener (nonblocking event loop,
+                           many concurrent clients) instead of stdin/stdout
+    --socket PATH          serve a Unix socket instead of stdin/stdout
+    --help                 print this help
 
 ENVIRONMENT:
     SERVE_KILL_AFTER_RECORDS=N  exit 42 after the Nth store append (crash drill)
     STUDY_JOBS=N                default for --jobs
 
-One JSON request per line; one response line per request. See
-DESIGN.md §12 for the request/response schema.
+One JSON request per line. Sessions start at clustered-smp/serve/v1
+(one response line per request); `hello` upgrades to v2, which adds
+`batch` and the streaming `cursor` op. See DESIGN.md §12.
 ";
 
 struct Args {
     store: String,
+    shards: usize,
+    store_budget: Option<u64>,
     jobs: Option<usize>,
     queue: usize,
     max_line: usize,
@@ -49,6 +60,8 @@ struct Args {
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut store = None;
+    let mut shards = DEFAULT_SHARDS;
+    let mut store_budget = None;
     let mut jobs = None;
     let mut queue = DEFAULT_QUEUE;
     let mut max_line = DEFAULT_MAX_LINE;
@@ -64,6 +77,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--store" => store = Some(value("--store")?),
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=256).contains(&n))
+                    .ok_or("--shards wants an integer in 1..=256")?
+            }
+            "--store-budget" => {
+                store_budget = Some(
+                    value("--store-budget")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--store-budget wants a positive byte count")?,
+                )
+            }
             "--jobs" => {
                 jobs = Some(
                     value("--jobs")?
@@ -98,6 +127,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     Ok(Args {
         store,
+        shards,
+        store_budget,
         jobs,
         queue,
         max_line,
@@ -108,7 +139,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
-    let store = ResultStore::open(std::path::Path::new(&args.store))
+    let cfg = StoreConfig {
+        shards: args.shards,
+        byte_budget: args.store_budget,
+        mode: KeyMode::Full,
+    };
+    let store = ResultStore::open_with_config(std::path::Path::new(&args.store), cfg)
         .map_err(|e| format!("opening store {}: {e}", args.store))?;
     if let Ok(v) = std::env::var("SERVE_KILL_AFTER_RECORDS") {
         let n = v
@@ -126,14 +162,19 @@ fn run(argv: &[String]) -> Result<(), String> {
     if let Some(addr) = &args.listen {
         let listener =
             std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
-        eprintln!("cluster_serve: listening on {addr}");
-        serve_listener(&state, listener.incoming())
+        // Tests bind port 0; print the resolved address so they can
+        // find us.
+        match listener.local_addr() {
+            Ok(local) => eprintln!("cluster_serve: listening on {local}"),
+            Err(_) => eprintln!("cluster_serve: listening on {addr}"),
+        }
+        serve_poll(&Arc::new(state), listener).map_err(|e| format!("event loop: {e}"))
     } else if let Some(path) = &args.socket {
         let _ = std::fs::remove_file(path);
         let listener = std::os::unix::net::UnixListener::bind(path)
             .map_err(|e| format!("binding {path}: {e}"))?;
         eprintln!("cluster_serve: listening on {path}");
-        serve_listener(&state, listener.incoming())
+        serve_unix(&state, listener)
     } else {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -145,23 +186,20 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-/// Accepts connections until one requests shutdown. Connections are
-/// served one at a time: the protocol is request/response and the
-/// run pool already spans the machine, so connection-level
-/// parallelism would only thrash the worker pool.
-fn serve_listener<S>(
+/// Accepts Unix-socket connections until one requests shutdown,
+/// serving them one at a time over the blocking path. TCP gets the
+/// multi-client event loop; the Unix transport stays the simple
+/// local-pipe escape hatch.
+fn serve_unix(
     state: &ServeState,
-    incoming: impl Iterator<Item = std::io::Result<S>>,
-) -> Result<(), String>
-where
-    for<'a> &'a S: std::io::Read + std::io::Write,
-{
-    for conn in incoming {
+    listener: std::os::unix::net::UnixListener,
+) -> Result<(), String> {
+    for conn in listener.incoming() {
         match conn {
             Ok(stream) => {
-                // `&TcpStream` / `&UnixStream` are duplex: shared
-                // borrows give independent read and write halves.
-                let mut r = BufReader::new(&stream);
+                // `&UnixStream` is duplex: shared borrows give
+                // independent read and write halves.
+                let mut r = std::io::BufReader::new(&stream);
                 let mut w = &stream;
                 match serve_connection(state, &mut r, &mut w) {
                     Ok(true) => return Ok(()),

@@ -1,12 +1,21 @@
 //! The `cluster_serve` wire protocol: line-delimited JSON.
 //!
-//! One request per line, one response line per request, in order.
-//! Requests are parsed *strictly* — unknown fields, wrong types,
-//! out-of-range values and malformed JSON all produce a typed error
-//! response (see [`ErrorKind`]) and never terminate the serve loop.
-//! Oversized lines are drained to the next newline and answered with
-//! an `oversized` error, so one hostile client line cannot wedge the
-//! stream. The full grammar is documented in `DESIGN.md` §12.
+//! One request per line; responses come back on the same stream in
+//! request order. Requests are parsed *strictly* — unknown fields,
+//! wrong types, out-of-range values and malformed JSON all produce a
+//! typed error response (see [`ErrorKind`]) and never terminate the
+//! serve loop. Oversized lines are drained to the next newline and
+//! answered with an `oversized` error, so one hostile client line
+//! cannot wedge the stream. The full grammar is documented in
+//! `DESIGN.md` §12.
+//!
+//! Two protocol versions share this surface. Every connection starts
+//! in [`ProtoVersion::V1`], where the PR 6 ops (`run`, `ping`,
+//! `stats`, `shutdown`) behave byte-identically to the original
+//! release. A `hello` handshake naming [`PROTOCOL_SCHEMA_V2`]
+//! upgrades the session and unlocks `batch` (many specs, one
+//! response line) and `cursor` (per-cell streaming) plus extended
+//! `stats` counters.
 //!
 //! Every response-body key the server can emit is written in this
 //! module and nowhere else; `cluster_check lint`'s schema-sync rule
@@ -20,8 +29,11 @@ use coherence::config::CacheSpec;
 use simcore::Json;
 use splash::ProblemSize;
 
-/// Protocol identifier, for logs and future negotiation.
+/// Protocol identifier of the original (PR 6) surface.
 pub const PROTOCOL_SCHEMA: &str = "clustered-smp/serve/v1";
+
+/// Protocol identifier of the negotiated v2 surface.
+pub const PROTOCOL_SCHEMA_V2: &str = "clustered-smp/serve/v2";
 
 /// Default cap on one request line, in bytes.
 pub const DEFAULT_MAX_LINE: usize = 1 << 20;
@@ -29,8 +41,41 @@ pub const DEFAULT_MAX_LINE: usize = 1 << 20;
 /// Hard cap on simulated processors per request.
 pub const MAX_PROCS: usize = 256;
 
-/// Hard cap on entries in a request's `caches` / `clusters` lists.
+/// Hard cap on entries in a request's `caches` / `clusters` /
+/// `specs` lists.
 pub const MAX_LIST: usize = 16;
+
+/// A negotiated protocol version. Connections start at [`V1`] and
+/// may upgrade with a `hello` request; see [`Op::Hello`].
+///
+/// [`V1`]: ProtoVersion::V1
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoVersion {
+    /// The PR 6 surface: `run`/`ping`/`stats`/`shutdown`.
+    #[default]
+    V1,
+    /// Adds `batch`, `cursor` and extended `stats` counters.
+    V2,
+}
+
+impl ProtoVersion {
+    /// Wire schema string of this version.
+    pub fn schema(self) -> &'static str {
+        match self {
+            ProtoVersion::V1 => PROTOCOL_SCHEMA,
+            ProtoVersion::V2 => PROTOCOL_SCHEMA_V2,
+        }
+    }
+
+    /// Parses a schema string offered in a `hello` request.
+    pub fn from_schema(s: &str) -> Option<ProtoVersion> {
+        match s {
+            PROTOCOL_SCHEMA => Some(ProtoVersion::V1),
+            PROTOCOL_SCHEMA_V2 => Some(ProtoVersion::V2),
+            _ => None,
+        }
+    }
+}
 
 /// Typed failure categories carried in error responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +84,8 @@ pub enum ErrorKind {
     Parse,
     /// Valid JSON that violates the request schema.
     Protocol,
+    /// The `op` names no operation in either protocol version.
+    UnknownOp,
     /// The line exceeded the server's line cap.
     Oversized,
     /// The bounded job queue is full; retry later.
@@ -55,6 +102,7 @@ impl ErrorKind {
         match self {
             ErrorKind::Parse => "parse",
             ErrorKind::Protocol => "protocol",
+            ErrorKind::UnknownOp => "unknown_op",
             ErrorKind::Oversized => "oversized",
             ErrorKind::QueueFull => "queue_full",
             ErrorKind::UnknownApp => "unknown_app",
@@ -103,6 +151,14 @@ pub struct JobSpec {
 pub enum Op {
     /// Simulate (or serve from cache) a matrix of study cells.
     Run(JobSpec),
+    /// Simulate several specs, answered as one response line
+    /// (v2 only).
+    Batch(Vec<JobSpec>),
+    /// Simulate one spec, streaming each finished cell as its own
+    /// response line (v2 only).
+    Cursor(JobSpec),
+    /// Negotiate the protocol version for the rest of the session.
+    Hello(ProtoVersion),
     /// Liveness probe.
     Ping,
     /// Counter snapshot.
@@ -248,12 +304,34 @@ fn parse_spec(j: &Json) -> Result<JobSpec, ProtocolError> {
     })
 }
 
+/// Rejects payload fields an op does not take. `spec`, `specs` and
+/// `schema` are all legal *request* fields, but each belongs to
+/// specific ops; carrying one elsewhere is a schema violation.
+fn reject_extras(j: &Json, op: &str, takes: &[&str]) -> Result<(), ProtocolError> {
+    for field in ["spec", "specs", "schema"] {
+        if j.get(field).is_some() && !takes.contains(&field) {
+            return Err(bad(format!("op `{op}` takes no `{field}`")));
+        }
+    }
+    Ok(())
+}
+
+fn required<'a>(j: &'a Json, op: &str, field: &str, what: &str) -> Result<&'a Json, ProtocolError> {
+    j.get(field)
+        .ok_or_else(|| bad(format!("op `{op}` requires a `{field}` {what}")))
+}
+
 /// Parses one request line. Any failure maps to a typed error the
 /// serve loop answers with — never a panic, never a dropped stream.
+///
+/// Parsing is version-independent: `batch` and `cursor` parse under
+/// a v1 session too, and the server rejects them *after* parsing if
+/// the session has not negotiated v2. An op name neither version
+/// knows yields [`ErrorKind::UnknownOp`], not shutdown semantics.
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let j = simcore::json::parse(line)
         .map_err(|e| ProtocolError::new(ErrorKind::Parse, e.to_string()))?;
-    check_fields(&j, &["op", "id", "spec"], "request")?;
+    check_fields(&j, &["op", "id", "spec", "specs", "schema"], "request")?;
     let id = match j.get("id") {
         Some(v) => Some(
             v.as_u64()
@@ -268,61 +346,346 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         .ok_or_else(|| bad("`op` must be a string"))?;
     let op = match op {
         "run" => {
-            let spec = j
-                .get("spec")
-                .ok_or_else(|| bad("op `run` requires a `spec` object"))?;
-            Op::Run(parse_spec(spec)?)
+            reject_extras(&j, op, &["spec"])?;
+            Op::Run(parse_spec(required(&j, op, "spec", "object")?)?)
+        }
+        "cursor" => {
+            reject_extras(&j, op, &["spec"])?;
+            Op::Cursor(parse_spec(required(&j, op, "spec", "object")?)?)
+        }
+        "batch" => {
+            reject_extras(&j, op, &["specs"])?;
+            let xs = required(&j, op, "specs", "array")?
+                .as_arr()
+                .ok_or_else(|| bad("`specs` must be an array"))?;
+            if xs.is_empty() || xs.len() > MAX_LIST {
+                return Err(bad(format!(
+                    "`specs` must hold 1..={MAX_LIST} spec objects"
+                )));
+            }
+            let mut specs = Vec::with_capacity(xs.len());
+            for x in xs {
+                specs.push(parse_spec(x)?);
+            }
+            Op::Batch(specs)
+        }
+        "hello" => {
+            reject_extras(&j, op, &["schema"])?;
+            let s = required(&j, op, "schema", "string")?
+                .as_str()
+                .ok_or_else(|| bad("`schema` must be a string"))?;
+            let v = ProtoVersion::from_schema(s).ok_or_else(|| {
+                bad(format!(
+                    "unsupported schema `{s}` ({PROTOCOL_SCHEMA}|{PROTOCOL_SCHEMA_V2})"
+                ))
+            })?;
+            Op::Hello(v)
         }
         "ping" | "stats" | "shutdown" => {
-            if j.get("spec").is_some() {
-                return Err(bad(format!("op `{op}` takes no `spec`")));
-            }
+            reject_extras(&j, op, &[])?;
             match op {
                 "ping" => Op::Ping,
                 "stats" => Op::Stats,
                 _ => Op::Shutdown,
             }
         }
-        other => return Err(bad(format!("unknown op `{other}`"))),
+        other => {
+            return Err(ProtocolError::new(
+                ErrorKind::UnknownOp,
+                format!("unknown op `{other}`"),
+            ))
+        }
     };
     Ok(Request { id, op })
 }
 
-/// One served cell in a `run` response.
+/// One served cell in a `run`, `batch` or `cursor` response.
+///
+/// Built with [`CellResult::new`] (required fields) plus the
+/// builder-style refinements [`served_from_cache`] and
+/// [`with_journal`]; fields are private so every construction names
+/// what it must.
+///
+/// [`served_from_cache`]: CellResult::served_from_cache
+/// [`with_journal`]: CellResult::with_journal
 #[derive(Debug, Clone)]
 pub struct CellResult {
-    /// Cache label of this cell.
-    pub cache: String,
-    /// Cluster size of this cell.
-    pub cluster: u32,
-    /// Content-addressed store key.
-    pub key: String,
-    /// True when the cell was served from the result store.
-    pub cache_hit: bool,
-    /// `"cache"` or `"sim"`.
-    pub served_by: &'static str,
-    /// The deterministic stats view (`RunRecord::to_json(false)`),
-    /// byte-identical between a fresh simulation and a cache hit.
-    pub stats: Json,
+    cache: String,
+    cluster: u32,
+    key: String,
+    cache_hit: bool,
+    served_by: &'static str,
+    stats: Json,
+    journal: Option<Json>,
 }
 
-/// Counter snapshot rendered by [`stats_response`].
-#[derive(Debug, Clone, Copy, Default)]
+impl CellResult {
+    /// A freshly simulated cell (`served_by: "sim"`). `stats` is the
+    /// deterministic stats view (`RunRecord::to_json(false)`),
+    /// byte-identical between a fresh simulation and a cache hit.
+    pub fn new(
+        cache: impl Into<String>,
+        cluster: u32,
+        key: impl Into<String>,
+        stats: Json,
+    ) -> CellResult {
+        CellResult {
+            cache: cache.into(),
+            cluster,
+            key: key.into(),
+            cache_hit: false,
+            served_by: "sim",
+            stats,
+            journal: None,
+        }
+    }
+
+    /// Marks the cell as answered from the result store.
+    pub fn served_from_cache(mut self) -> CellResult {
+        self.cache_hit = true;
+        self.served_by = "cache";
+        self
+    }
+
+    /// Attaches the full journal-entry document (v2 cursor cells
+    /// carry it so clients can prefill their own stores).
+    pub fn with_journal(mut self, journal: Json) -> CellResult {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Cache label of this cell.
+    pub fn cache(&self) -> &str {
+        &self.cache
+    }
+
+    /// Cluster size of this cell.
+    pub fn cluster(&self) -> u32 {
+        self.cluster
+    }
+
+    /// Content-addressed store key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// True when the cell was served from the result store.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// `"cache"` or `"sim"`.
+    pub fn served_by(&self) -> &'static str {
+        self.served_by
+    }
+
+    /// The deterministic stats view.
+    pub fn stats(&self) -> &Json {
+        &self.stats
+    }
+}
+
+/// Counter snapshot rendered by [`Response::Stats`]. Built with
+/// [`ServeStats::new`] (the required request/cell counters) plus the
+/// builder-style [`traces`], [`store`] and [`eviction`] refinements.
+///
+/// [`traces`]: ServeStats::traces
+/// [`store`]: ServeStats::store
+/// [`eviction`]: ServeStats::eviction
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
+    requests: u64,
+    cells_served: u64,
+    cache_hits: u64,
+    sims_run: u64,
+    trace_hits: u64,
+    trace_gens: u64,
+    store_entries: u64,
+    store_bytes: u64,
+    evictions: u64,
+    compactions: u64,
+    shards: u64,
+}
+
+impl ServeStats {
+    /// Required counters: requests handled (any op, including failed
+    /// ones), study cells served, cache hits, fresh simulations.
+    pub fn new(requests: u64, cells_served: u64, cache_hits: u64, sims_run: u64) -> ServeStats {
+        ServeStats {
+            requests,
+            cells_served,
+            cache_hits,
+            sims_run,
+            ..ServeStats::default()
+        }
+    }
+
+    /// Trace-store counters: hits and fresh generations.
+    pub fn traces(mut self, hits: u64, gens: u64) -> ServeStats {
+        self.trace_hits = hits;
+        self.trace_gens = gens;
+        self
+    }
+
+    /// Result-store shape: live entries, on-disk bytes, shard count.
+    pub fn store(mut self, entries: u64, bytes: u64, shards: u64) -> ServeStats {
+        self.store_entries = entries;
+        self.store_bytes = bytes;
+        self.shards = shards;
+        self
+    }
+
+    /// Eviction/compaction counters.
+    pub fn eviction(mut self, evictions: u64, compactions: u64) -> ServeStats {
+        self.evictions = evictions;
+        self.compactions = compactions;
+        self
+    }
+
     /// Requests handled (any op, including failed ones).
-    pub requests: u64,
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
     /// Study cells served (hits + fresh simulations).
-    pub cells_served: u64,
+    pub fn cells_served(&self) -> u64 {
+        self.cells_served
+    }
+
     /// Cells served from the result store.
-    pub cache_hits: u64,
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
     /// Cells that ran a fresh simulation.
-    pub sims_run: u64,
-    /// Traces served from the trace store.
-    pub trace_hits: u64,
-    /// Traces generated fresh.
-    pub trace_gens: u64,
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run
+    }
+
     /// Entries currently in the result store.
-    pub store_entries: u64,
+    pub fn store_entries(&self) -> u64 {
+        self.store_entries
+    }
+
+    /// Bytes the result store holds on disk.
+    pub fn store_bytes(&self) -> u64 {
+        self.store_bytes
+    }
+
+    /// Entries evicted under the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Shard-journal compaction rewrites.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+}
+
+/// One spec's worth of cells inside a `batch` response.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Application name of this spec.
+    pub app: String,
+    /// Served cells, in `caches` × `clusters` request order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Every line the server can write, rendered by one [`to_json`].
+///
+/// The v1 shapes (`Pong`, `ShutdownAck`, `Error`, `Run`, and `Stats`
+/// under [`ProtoVersion::V1`]) are byte-identical to the PR 6
+/// free-function writers they replace.
+///
+/// [`to_json`]: Response::to_json
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `ping` acknowledgement.
+    Pong {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// `shutdown` acknowledgement; the connection closes after this
+    /// line.
+    ShutdownAck {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// `hello` acknowledgement carrying the negotiated schema.
+    Hello {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The version now in force for the session.
+        version: ProtoVersion,
+    },
+    /// Any failed request.
+    Error {
+        /// Echoed request id, when one could be recovered.
+        id: Option<u64>,
+        /// What went wrong.
+        err: ProtocolError,
+    },
+    /// Successful `run`: one entry per requested cell, in `caches` ×
+    /// `clusters` request order.
+    Run {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Application name.
+        app: String,
+        /// Served cells.
+        cells: Vec<CellResult>,
+    },
+    /// Successful `batch`: one job per spec, in request order.
+    Batch {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Per-spec results.
+        jobs: Vec<BatchJob>,
+    },
+    /// `stats` snapshot. V1 sessions see exactly the PR 6 counters;
+    /// v2 sessions additionally get store bytes/eviction/shard
+    /// counters.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The counters.
+        stats: ServeStats,
+        /// Controls whether extended counters are emitted.
+        version: ProtoVersion,
+    },
+    /// First line of a `cursor` stream: announces the cell count.
+    CursorStart {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Application name.
+        app: String,
+        /// Cells the stream will attempt.
+        total: u64,
+    },
+    /// One streamed cell (op `cell`), tagged with its position.
+    CursorCell {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// 0-based position in `caches` × `clusters` request order.
+        seq: u64,
+        /// The cell.
+        cell: CellResult,
+    },
+    /// Final line of a `cursor` stream (op `cursor_done`).
+    CursorDone {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Cells attempted.
+        cells: u64,
+        /// Cells served from the store.
+        cache_hits: u64,
+        /// Cells freshly simulated.
+        sims: u64,
+        /// Cells that failed (each was reported as an inline error
+        /// line before `cursor_done`).
+        failed: u64,
+    },
 }
 
 fn ok_base(id: Option<u64>, op: &str) -> Json {
@@ -335,71 +698,162 @@ fn ok_base(id: Option<u64>, op: &str) -> Json {
     j
 }
 
-/// `ping` acknowledgement.
-pub fn pong(id: Option<u64>) -> Json {
-    ok_base(id, "ping")
-}
-
-/// `shutdown` acknowledgement; the connection closes after this line.
-pub fn shutdown_ack(id: Option<u64>) -> Json {
-    ok_base(id, "shutdown")
-}
-
-/// Error response for any failed request.
-pub fn error_response(id: Option<u64>, err: &ProtocolError) -> Json {
-    let mut j = Json::obj();
-    if let Some(id) = id {
-        j.push("id", id);
+fn cell_json(c: &CellResult) -> Json {
+    let mut j = Json::obj()
+        .with("cache", c.cache.as_str())
+        .with("cluster", c.cluster)
+        .with("key", c.key.as_str())
+        .with("cache_hit", c.cache_hit)
+        .with("served_by", c.served_by)
+        .with("stats", c.stats.clone());
+    if let Some(journal) = &c.journal {
+        j.push("journal", journal.clone());
     }
-    j.push("ok", false);
-    j.push(
-        "error",
-        Json::obj()
-            .with("kind", err.kind.label())
-            .with("detail", err.detail.as_str()),
-    );
     j
 }
 
-/// Successful `run` response: one entry per requested cell, in
-/// `caches` × `clusters` request order.
-pub fn run_response(id: Option<u64>, app: &str, cells: &[CellResult]) -> Json {
+fn job_json(app: &str, cells: &[CellResult]) -> Json {
     let hits = cells.iter().filter(|c| c.cache_hit).count();
     let mut arr = Vec::with_capacity(cells.len());
     for c in cells {
-        arr.push(
-            Json::obj()
-                .with("cache", c.cache.as_str())
-                .with("cluster", c.cluster)
-                .with("key", c.key.as_str())
-                .with("cache_hit", c.cache_hit)
-                .with("served_by", c.served_by)
-                .with("stats", c.stats.clone()),
-        );
+        arr.push(cell_json(c));
     }
-    ok_base(id, "run")
+    Json::obj()
         .with("app", app)
         .with("cache_hits", hits)
         .with("sims", cells.len() - hits)
         .with("cells", Json::Arr(arr))
 }
 
-/// `stats` response.
+impl Response {
+    /// Renders this response as its wire JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong { id } => ok_base(*id, "ping"),
+            Response::ShutdownAck { id } => ok_base(*id, "shutdown"),
+            Response::Hello { id, version } => {
+                ok_base(*id, "hello").with("schema", version.schema())
+            }
+            Response::Error { id, err } => {
+                let mut j = Json::obj();
+                if let Some(id) = id {
+                    j.push("id", *id);
+                }
+                j.push("ok", false);
+                j.push(
+                    "error",
+                    Json::obj()
+                        .with("kind", err.kind.label())
+                        .with("detail", err.detail.as_str()),
+                );
+                j
+            }
+            Response::Run { id, app, cells } => {
+                // Flatten the single job into the v1 shape: the keys
+                // live directly on the response line.
+                let job = job_json(app, cells);
+                let mut j = ok_base(*id, "run");
+                if let Json::Obj(pairs) = job {
+                    for (k, v) in pairs {
+                        j.push(&k, v);
+                    }
+                }
+                j
+            }
+            Response::Batch { id, jobs } => {
+                let mut arr = Vec::with_capacity(jobs.len());
+                for job in jobs {
+                    arr.push(job_json(&job.app, &job.cells));
+                }
+                ok_base(*id, "batch").with("jobs", Json::Arr(arr))
+            }
+            Response::Stats { id, stats, version } => {
+                let mut j = ok_base(*id, "stats")
+                    .with("requests", stats.requests)
+                    .with("cells_served", stats.cells_served)
+                    .with("cache_hits", stats.cache_hits)
+                    .with("sims_run", stats.sims_run)
+                    .with("trace_hits", stats.trace_hits)
+                    .with("trace_gens", stats.trace_gens)
+                    .with("store_entries", stats.store_entries);
+                if *version == ProtoVersion::V2 {
+                    j.push("store_bytes", stats.store_bytes);
+                    j.push("evictions", stats.evictions);
+                    j.push("compactions", stats.compactions);
+                    j.push("shards", stats.shards);
+                }
+                j
+            }
+            Response::CursorStart { id, app, total } => ok_base(*id, "cursor")
+                .with("app", app.as_str())
+                .with("total", *total),
+            Response::CursorCell { id, seq, cell } => ok_base(*id, "cell")
+                .with("seq", *seq)
+                .with("cell", cell_json(cell)),
+            Response::CursorDone {
+                id,
+                cells,
+                cache_hits,
+                sims,
+                failed,
+            } => ok_base(*id, "cursor_done")
+                .with("cells", *cells)
+                .with("cache_hits", *cache_hits)
+                .with("sims", *sims)
+                .with("failed", *failed),
+        }
+    }
+}
+
+/// `ping` acknowledgement.
+#[deprecated(note = "use `Response::Pong { id }.to_json()`")]
+pub fn pong(id: Option<u64>) -> Json {
+    Response::Pong { id }.to_json()
+}
+
+/// `shutdown` acknowledgement; the connection closes after this line.
+#[deprecated(note = "use `Response::ShutdownAck { id }.to_json()`")]
+pub fn shutdown_ack(id: Option<u64>) -> Json {
+    Response::ShutdownAck { id }.to_json()
+}
+
+/// Error response for any failed request.
+#[deprecated(note = "use `Response::Error { id, err }.to_json()`")]
+pub fn error_response(id: Option<u64>, err: &ProtocolError) -> Json {
+    Response::Error {
+        id,
+        err: err.clone(),
+    }
+    .to_json()
+}
+
+/// Successful `run` response.
+#[deprecated(note = "use `Response::Run { id, app, cells }.to_json()`")]
+pub fn run_response(id: Option<u64>, app: &str, cells: &[CellResult]) -> Json {
+    Response::Run {
+        id,
+        app: app.to_string(),
+        cells: cells.to_vec(),
+    }
+    .to_json()
+}
+
+/// `stats` response (v1 shape).
+#[deprecated(note = "use `Response::Stats { id, stats, version }.to_json()`")]
 pub fn stats_response(id: Option<u64>, s: &ServeStats) -> Json {
-    ok_base(id, "stats")
-        .with("requests", s.requests)
-        .with("cells_served", s.cells_served)
-        .with("cache_hits", s.cache_hits)
-        .with("sims_run", s.sims_run)
-        .with("trace_hits", s.trace_hits)
-        .with("trace_gens", s.trace_gens)
-        .with("store_entries", s.store_entries)
+    Response::Stats {
+        id,
+        stats: *s,
+        version: ProtoVersion::V1,
+    }
+    .to_json()
 }
 
 /// One read from the request stream.
 #[derive(Debug, PartialEq, Eq)]
 pub enum LineRead {
-    /// A complete line (newline stripped). A torn final line at EOF is
+    /// A complete line (newline stripped; one trailing `\r` is also
+    /// stripped, so CRLF clients work). A torn final line at EOF is
     /// also surfaced here, so the parser can answer it with a typed
     /// error instead of dropping it silently.
     Line(String),
@@ -413,8 +867,93 @@ pub enum LineRead {
     Eof,
 }
 
+fn finish_line(buf: &mut Vec<u8>) -> LineRead {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    LineRead::Line(String::from_utf8_lossy(buf).into_owned())
+}
+
+/// Incremental line accumulator for nonblocking transports.
+///
+/// The poll loop feeds whatever bytes a readiness wakeup produced;
+/// complete lines come out as [`LineRead`] events with exactly the
+/// [`read_bounded_line`] semantics (byte cap counted before the
+/// newline, CRLF stripped, oversized lines swallowed until their
+/// terminating newline so the stream never desyncs). Partial lines
+/// persist across `feed` calls until their newline arrives.
+#[derive(Debug)]
+pub struct LineAccum {
+    max: usize,
+    buf: Vec<u8>,
+    total: usize,
+    overflow: bool,
+}
+
+impl LineAccum {
+    /// An empty accumulator with a `max`-byte line cap.
+    pub fn new(max: usize) -> LineAccum {
+        LineAccum {
+            max,
+            buf: Vec::new(),
+            total: 0,
+            overflow: false,
+        }
+    }
+
+    /// Consumes one chunk of stream bytes, returning every line event
+    /// it completes (never [`LineRead::Eof`]).
+    pub fn feed(&mut self, chunk: &[u8]) -> Vec<LineRead> {
+        let mut out = Vec::new();
+        for &b in chunk {
+            if b == b'\n' {
+                out.push(if self.overflow {
+                    LineRead::Oversized { length: self.total }
+                } else {
+                    finish_line(&mut self.buf)
+                });
+                self.buf.clear();
+                self.total = 0;
+                self.overflow = false;
+            } else {
+                self.total += 1;
+                if !self.overflow {
+                    self.buf.push(b);
+                    if self.total > self.max {
+                        self.overflow = true;
+                        self.buf.clear();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Surfaces a torn (unterminated) final line at EOF, if any, and
+    /// resets the accumulator.
+    pub fn finish(&mut self) -> Option<LineRead> {
+        let ev = if self.overflow {
+            Some(LineRead::Oversized { length: self.total })
+        } else if self.total == 0 {
+            None
+        } else {
+            Some(finish_line(&mut self.buf))
+        };
+        self.buf.clear();
+        self.total = 0;
+        self.overflow = false;
+        ev
+    }
+
+    /// True when no partial line is pending.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
 /// Reads one `\n`-terminated line, holding at most `max` bytes in
-/// memory. Invalid UTF-8 is replaced, never fatal.
+/// memory. Invalid UTF-8 is replaced, never fatal. One trailing `\r`
+/// is stripped.
 pub fn read_bounded_line(r: &mut dyn BufRead, max: usize) -> std::io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     let mut total = 0usize;
@@ -427,7 +966,7 @@ pub fn read_bounded_line(r: &mut dyn BufRead, max: usize) -> std::io::Result<Lin
             } else if buf.is_empty() && total == 0 {
                 LineRead::Eof
             } else {
-                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                finish_line(&mut buf)
             });
         }
         if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
@@ -442,7 +981,7 @@ pub fn read_bounded_line(r: &mut dyn BufRead, max: usize) -> std::io::Result<Lin
             return Ok(if overflow {
                 LineRead::Oversized { length: total }
             } else {
-                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                finish_line(&mut buf)
             });
         }
         let n = chunk.len();

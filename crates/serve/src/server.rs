@@ -1,33 +1,40 @@
 //! The serve loop: protocol in, study cells out.
 //!
 //! [`ServeState`] owns the result store, the trace store, and a
-//! bounded job queue; [`serve_connection`] drives one line-delimited
-//! request stream against it. The loop is panic-free by construction
-//! (enforced by `cluster_check lint`'s no-panic rule over this crate):
-//! every failure becomes a typed error response, and only transport
-//! I/O errors — the peer vanishing — end a connection.
+//! bounded job queue; a [`Session`] tracks one connection's
+//! negotiated protocol version. [`serve_connection`] drives one
+//! line-delimited request stream on a blocking transport;
+//! `crate::event_loop` multiplexes many nonblocking sockets over the
+//! same dispatch. The loop is panic-free by construction (enforced by
+//! `cluster_check lint`'s no-panic rule over this crate): every
+//! failure becomes a typed error response, and only transport I/O
+//! errors — the peer vanishing — end a connection.
 //!
-//! `run` requests fan their `caches` × `clusters` matrix onto the
-//! existing work-stealing pool ([`cluster_study::parallel::run_items`]),
-//! so a single request saturates the machine exactly like a
-//! `paper_run` sweep would, while the result store's single-flight
-//! discipline keeps concurrent requests from duplicating work.
+//! `run` and `batch` requests fan their `caches` × `clusters`
+//! matrices onto the existing work-stealing pool
+//! ([`cluster_study::parallel::run_items`]); `cursor` requests use
+//! [`cluster_study::parallel::run_items_streamed`] so every finished
+//! cell is emitted the moment it (and everything before it) is done.
+//! The result store's single-flight discipline keeps concurrent
+//! requests from duplicating work.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cluster_study::checkpoint::JournalEntry;
 use cluster_study::manifest::{RunRecord, ServedBy};
-use cluster_study::parallel::{run_items, RunStatus};
+use cluster_study::parallel::{run_items, run_items_streamed, RunStatus};
 use cluster_study::run_config;
 use coherence::config::CacheSpec;
+use simcore::ops::Trace;
 use simcore::Json;
 
 use crate::protocol::{
-    error_response, parse_request, pong, read_bounded_line, run_response, shutdown_ack,
-    stats_response, write_response, CellResult, ErrorKind, JobSpec, LineRead, Op, ProtocolError,
-    ServeStats, DEFAULT_MAX_LINE,
+    parse_request, read_bounded_line, write_response, BatchJob, CellResult, ErrorKind, JobSpec,
+    LineRead, Op, ProtoVersion, ProtocolError, Request, Response, ServeStats, DEFAULT_MAX_LINE,
+    PROTOCOL_SCHEMA_V2,
 };
 use crate::store::{size_label, ResultStore, TraceStore};
 
@@ -53,6 +60,32 @@ impl Default for ServeOptions {
             max_line: DEFAULT_MAX_LINE,
             queue: DEFAULT_QUEUE,
         }
+    }
+}
+
+/// One connection's protocol state: the negotiated version. Every
+/// connection starts at [`ProtoVersion::V1`] (full PR 6
+/// compatibility) until a `hello` upgrades it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Session {
+    version: ProtoVersion,
+}
+
+impl Session {
+    /// A fresh v1 session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session pinned at `version` (the event loop's worker threads
+    /// dispatch with a snapshot of the connection's session).
+    pub fn with_version(version: ProtoVersion) -> Session {
+        Session { version }
+    }
+
+    /// The version currently in force.
+    pub fn version(&self) -> ProtoVersion {
+        self.version
     }
 }
 
@@ -110,15 +143,36 @@ impl ServeState {
     pub fn stats(&self) -> ServeStats {
         let sc = self.store.counters();
         let tc = self.traces.counters();
-        ServeStats {
-            requests: self.requests.load(Ordering::SeqCst),
-            cells_served: sc.hits + sc.misses,
-            cache_hits: sc.hits,
-            sims_run: sc.misses,
-            trace_hits: tc.hits,
-            trace_gens: tc.gens,
-            store_entries: sc.entries as u64,
+        ServeStats::new(
+            self.requests.load(Ordering::SeqCst),
+            sc.hits + sc.misses,
+            sc.hits,
+            sc.misses,
+        )
+        .traces(tc.hits, tc.gens)
+        .store(sc.entries as u64, sc.bytes, sc.shards as u64)
+        .eviction(sc.evictions, sc.compactions)
+    }
+
+    /// Counts one request (any op, including unparseable and
+    /// oversized lines).
+    pub(crate) fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The typed response for a line that blew the byte cap.
+    pub(crate) fn oversized(&self, length: usize) -> Json {
+        Response::Error {
+            id: None,
+            err: ProtocolError::new(
+                ErrorKind::Oversized,
+                format!(
+                    "line of {length} bytes exceeds the {} byte cap",
+                    self.opts.max_line
+                ),
+            ),
         }
+        .to_json()
     }
 
     fn acquire_slot(&self) -> Result<SlotGuard<'_>, ProtocolError> {
@@ -133,28 +187,254 @@ impl ServeState {
         Ok(SlotGuard { state: self })
     }
 
-    /// Handles one request line, returning the response and whether an
-    /// orderly shutdown was requested.
-    pub fn handle_line(&self, line: &str) -> (Json, bool) {
-        self.requests.fetch_add(1, Ordering::SeqCst);
-        match parse_request(line) {
-            Err(e) => (error_response(lenient_id(line), &e), false),
-            Ok(req) => match req.op {
-                Op::Ping => (pong(req.id), false),
-                Op::Stats => (stats_response(req.id, &self.stats()), false),
-                Op::Shutdown => {
-                    self.shutdown.store(true, Ordering::SeqCst);
-                    (shutdown_ack(req.id), true)
-                }
-                Op::Run(spec) => (self.handle_run(req.id, &spec), false),
-            },
+    fn require_v2(&self, sess: &Session, op: &str) -> Result<(), ProtocolError> {
+        if sess.version() == ProtoVersion::V2 {
+            Ok(())
+        } else {
+            Err(ProtocolError::new(
+                ErrorKind::Protocol,
+                format!("op `{op}` requires {PROTOCOL_SCHEMA_V2}; negotiate with `hello` first"),
+            ))
         }
     }
 
-    fn handle_run(&self, id: Option<u64>, spec: &JobSpec) -> Json {
+    /// Handles one request line against a session, emitting zero or
+    /// more response lines through `emit` (exactly one for every op
+    /// except `cursor`). Returns whether an orderly shutdown was
+    /// requested.
+    pub fn handle_line_session(
+        &self,
+        sess: &mut Session,
+        line: &str,
+        emit: &mut dyn FnMut(Json),
+    ) -> bool {
+        self.note_request();
+        match parse_request(line) {
+            Err(e) => {
+                emit(
+                    Response::Error {
+                        id: lenient_id(line),
+                        err: e,
+                    }
+                    .to_json(),
+                );
+                false
+            }
+            Ok(req) => self.handle_request(sess, req, emit),
+        }
+    }
+
+    /// Dispatches one parsed request. The event loop calls this from
+    /// worker threads with a pinned [`Session`] snapshot for heavy
+    /// ops; blocking transports call it inline via
+    /// [`ServeState::handle_line_session`].
+    pub fn handle_request(
+        &self,
+        sess: &mut Session,
+        req: Request,
+        emit: &mut dyn FnMut(Json),
+    ) -> bool {
+        let id = req.id;
+        match req.op {
+            Op::Ping => {
+                emit(Response::Pong { id }.to_json());
+                false
+            }
+            Op::Stats => {
+                emit(
+                    Response::Stats {
+                        id,
+                        stats: self.stats(),
+                        version: sess.version(),
+                    }
+                    .to_json(),
+                );
+                false
+            }
+            Op::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                emit(Response::ShutdownAck { id }.to_json());
+                true
+            }
+            Op::Hello(version) => {
+                *sess = Session::with_version(version);
+                emit(Response::Hello { id, version }.to_json());
+                false
+            }
+            Op::Run(spec) => {
+                emit(self.run_json(id, &spec));
+                false
+            }
+            Op::Batch(specs) => {
+                emit(match self.require_v2(sess, "batch") {
+                    Ok(()) => self.batch_json(id, &specs),
+                    Err(e) => Response::Error { id, err: e }.to_json(),
+                });
+                false
+            }
+            Op::Cursor(spec) => {
+                match self.require_v2(sess, "cursor") {
+                    Ok(()) => self.handle_cursor(id, &spec, emit),
+                    Err(e) => emit(Response::Error { id, err: e }.to_json()),
+                }
+                false
+            }
+        }
+    }
+
+    /// Handles one request line under a throwaway v1 session,
+    /// returning the single response line — the PR 6 surface, kept
+    /// for harnesses that drive the server line by line.
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        let mut sess = Session::new();
+        let mut out: Option<Json> = None;
+        let shutdown = self.handle_line_session(&mut sess, line, &mut |j| {
+            out.get_or_insert(j);
+        });
+        let resp = out.unwrap_or_else(|| {
+            Response::Error {
+                id: None,
+                err: ProtocolError::new(ErrorKind::Internal, "request produced no response"),
+            }
+            .to_json()
+        });
+        (resp, shutdown)
+    }
+
+    fn unknown_app(&self, spec: &JobSpec) -> ProtocolError {
+        ProtocolError::new(
+            ErrorKind::UnknownApp,
+            format!("unknown application `{}`", spec.app),
+        )
+    }
+
+    fn cell_items(spec: &JobSpec) -> Vec<(CacheSpec, u32)> {
+        spec.caches
+            .iter()
+            .flat_map(|&c| spec.clusters.iter().map(move |&cl| (c, cl)))
+            .collect()
+    }
+
+    /// Serves one cell of `spec` — store hit or fresh simulation —
+    /// building the response-side [`CellResult`] (with the full
+    /// journal document attached when `with_journal`).
+    fn compute_cell(
+        &self,
+        spec: &JobSpec,
+        trace: &Trace,
+        size: &str,
+        cache: CacheSpec,
+        cluster: u32,
+        with_journal: bool,
+    ) -> Result<CellResult, String> {
+        let label = cache.label();
+        let key = self.store.key(&spec.app, size, spec.procs, &label, cluster);
+        self.store
+            .serve_cell(&key, size, spec.procs, || {
+                let start = Instant::now();
+                let stats = run_config(trace, cluster, cache);
+                JournalEntry {
+                    app: spec.app.clone(),
+                    cache: label.clone(),
+                    cluster,
+                    stats,
+                    wall: Some(start.elapsed()),
+                    status: RunStatus::Ok,
+                    attempts: 1,
+                    sampling: None,
+                }
+            })
+            .map(|(cell, hit)| {
+                let journal = with_journal.then(|| cell.to_json());
+                let served_by = if hit { ServedBy::Cache } else { ServedBy::Sim };
+                let rec = RunRecord {
+                    app: cell.app,
+                    cache: cell.cache,
+                    cluster: cell.cluster,
+                    stats: cell.stats,
+                    wall: cell.wall,
+                    status: cell.status,
+                    attempts: cell.attempts,
+                    served_by,
+                    sampling: cell.sampling,
+                };
+                let mut out = CellResult::new(label.clone(), cluster, key, rec.to_json(false));
+                if hit {
+                    out = out.served_from_cache();
+                }
+                if let Some(j) = journal {
+                    out = out.with_journal(j);
+                }
+                out
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    /// Runs one spec's full matrix on the pool; the shared body of
+    /// `run` and `batch`.
+    fn run_cells(&self, spec: &JobSpec) -> Result<Vec<CellResult>, ProtocolError> {
+        let trace = self
+            .traces
+            .get_or_generate(&spec.app, spec.size, spec.procs)
+            .ok_or_else(|| self.unknown_app(spec))?;
+        let size = size_label(spec.size);
+        let items = Self::cell_items(spec);
+        let results = run_items(&items, self.opts.jobs, |&(cache, cluster)| {
+            self.compute_cell(spec, &trace, size, cache, cluster, false)
+        });
+        let mut cells = Vec::with_capacity(results.len());
+        for r in results {
+            cells.push(r.map_err(|e| ProtocolError::new(ErrorKind::Internal, e))?);
+        }
+        Ok(cells)
+    }
+
+    fn run_json(&self, id: Option<u64>, spec: &JobSpec) -> Json {
         let _slot = match self.acquire_slot() {
             Ok(s) => s,
-            Err(e) => return error_response(id, &e),
+            Err(e) => return Response::Error { id, err: e }.to_json(),
+        };
+        match self.run_cells(spec) {
+            Ok(cells) => Response::Run {
+                id,
+                app: spec.app.clone(),
+                cells,
+            }
+            .to_json(),
+            Err(e) => Response::Error { id, err: e }.to_json(),
+        }
+    }
+
+    /// Runs every spec of a batch under one queue slot. The batch is
+    /// atomic: the first failing spec fails the whole request with a
+    /// single error line (specs are already schema-validated, so the
+    /// only failures left are `unknown_app` and store I/O).
+    fn batch_json(&self, id: Option<u64>, specs: &[JobSpec]) -> Json {
+        let _slot = match self.acquire_slot() {
+            Ok(s) => s,
+            Err(e) => return Response::Error { id, err: e }.to_json(),
+        };
+        let mut jobs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match self.run_cells(spec) {
+                Ok(cells) => jobs.push(BatchJob {
+                    app: spec.app.clone(),
+                    cells,
+                }),
+                Err(e) => return Response::Error { id, err: e }.to_json(),
+            }
+        }
+        Response::Batch { id, jobs }.to_json()
+    }
+
+    /// Streams one spec's matrix: a `cursor` start line, one `cell`
+    /// line per finished cell **in request order** (each carrying the
+    /// full journal document), inline error lines for failed cells,
+    /// and a `cursor_done` trailer.
+    fn handle_cursor(&self, id: Option<u64>, spec: &JobSpec, emit: &mut dyn FnMut(Json)) {
+        let _slot = match self.acquire_slot() {
+            Ok(s) => s,
+            Err(e) => return emit(Response::Error { id, err: e }.to_json()),
         };
         let trace = match self
             .traces
@@ -162,113 +442,128 @@ impl ServeState {
         {
             Some(t) => t,
             None => {
-                return error_response(
-                    id,
-                    &ProtocolError::new(
-                        ErrorKind::UnknownApp,
-                        format!("unknown application `{}`", spec.app),
-                    ),
+                return emit(
+                    Response::Error {
+                        id,
+                        err: self.unknown_app(spec),
+                    }
+                    .to_json(),
                 )
             }
         };
         let size = size_label(spec.size);
-        let items: Vec<(CacheSpec, u32)> = spec
-            .caches
-            .iter()
-            .flat_map(|&c| spec.clusters.iter().map(move |&cl| (c, cl)))
-            .collect();
-        let results = run_items(&items, self.opts.jobs, |&(cache, cluster)| {
-            let label = cache.label();
-            let key = self.store.key(&spec.app, size, spec.procs, &label, cluster);
-            self.store
-                .serve_cell(&key, size, spec.procs, || {
-                    let start = Instant::now();
-                    let stats = run_config(&trace, cluster, cache);
-                    JournalEntry {
-                        app: spec.app.clone(),
-                        cache: label.clone(),
-                        cluster,
-                        stats,
-                        wall: Some(start.elapsed()),
-                        status: RunStatus::Ok,
-                        attempts: 1,
-                        sampling: None,
-                    }
-                })
-                .map(|(cell, hit)| {
-                    let served_by = if hit { ServedBy::Cache } else { ServedBy::Sim };
-                    let rec = RunRecord {
-                        app: cell.app,
-                        cache: cell.cache,
-                        cluster: cell.cluster,
-                        stats: cell.stats,
-                        wall: cell.wall,
-                        status: cell.status,
-                        attempts: cell.attempts,
-                        served_by,
-                        sampling: cell.sampling,
-                    };
-                    CellResult {
-                        cache: label.clone(),
-                        cluster,
-                        key,
-                        cache_hit: hit,
-                        served_by: served_by.label(),
-                        stats: rec.to_json(false),
-                    }
-                })
-        });
-        let mut cells = Vec::with_capacity(results.len());
-        for r in results {
-            match r {
-                Ok(c) => cells.push(c),
-                Err(e) => {
-                    return error_response(
-                        id,
-                        &ProtocolError::new(ErrorKind::Internal, e.to_string()),
-                    )
-                }
+        let items = Self::cell_items(spec);
+        emit(
+            Response::CursorStart {
+                id,
+                app: spec.app.clone(),
+                total: items.len() as u64,
             }
-        }
-        run_response(id, &spec.app, &cells)
+            .to_json(),
+        );
+        let mut hits = 0u64;
+        let mut sims = 0u64;
+        let mut failed = 0u64;
+        let results = run_items_streamed(
+            &items,
+            self.opts.jobs,
+            |&(cache, cluster)| self.compute_cell(spec, &trace, size, cache, cluster, true),
+            |i, result| match result {
+                Ok(cell) => {
+                    if cell.cache_hit() {
+                        hits += 1;
+                    } else {
+                        sims += 1;
+                    }
+                    emit(
+                        Response::CursorCell {
+                            id,
+                            seq: i as u64,
+                            cell: cell.clone(),
+                        }
+                        .to_json(),
+                    );
+                }
+                Err(e) => {
+                    failed += 1;
+                    emit(
+                        Response::Error {
+                            id,
+                            err: ProtocolError::new(ErrorKind::Internal, e.clone()),
+                        }
+                        .to_json(),
+                    );
+                }
+            },
+        );
+        drop(results);
+        emit(
+            Response::CursorDone {
+                id,
+                cells: items.len() as u64,
+                cache_hits: hits,
+                sims,
+                failed,
+            }
+            .to_json(),
+        );
     }
+}
+
+/// Dispatches one already-parsed heavy request (`run`/`batch`/
+/// `cursor`) against a pinned session version, emitting response
+/// lines through `emit`. The event loop's worker threads call this;
+/// `hello`/`ping`/`stats`/`shutdown` stay on the loop thread.
+pub fn dispatch_heavy(
+    state: &Arc<ServeState>,
+    version: ProtoVersion,
+    req: Request,
+    emit: &mut dyn FnMut(Json),
+) {
+    let mut sess = Session::with_version(version);
+    let _ = state.handle_request(&mut sess, req, emit);
 }
 
 /// Best-effort correlation id for error responses: when the offending
 /// line still parses as an object with an unsigned `id`, echo it.
-fn lenient_id(line: &str) -> Option<u64> {
+pub(crate) fn lenient_id(line: &str) -> Option<u64> {
     simcore::json::parse(line)
         .ok()
         .and_then(|j| j.get("id").and_then(Json::as_u64))
 }
 
-/// Drives one request stream to completion. Returns `Ok(true)` when
-/// the peer asked for an orderly shutdown, `Ok(false)` on EOF.
+/// Drives one request stream to completion on a blocking transport.
+/// Responses (including incremental `cursor` lines) are written and
+/// flushed as they are produced. Returns `Ok(true)` when the peer
+/// asked for an orderly shutdown, `Ok(false)` on EOF.
 pub fn serve_connection(
     state: &ServeState,
     r: &mut dyn BufRead,
     w: &mut dyn Write,
 ) -> std::io::Result<bool> {
+    let mut sess = Session::new();
     loop {
         match read_bounded_line(r, state.opts.max_line)? {
             LineRead::Eof => return Ok(false),
             LineRead::Oversized { length } => {
-                state.requests.fetch_add(1, Ordering::SeqCst);
-                let err = ProtocolError::new(
-                    ErrorKind::Oversized,
-                    format!(
-                        "line of {length} bytes exceeds the {} byte cap",
-                        state.opts.max_line
-                    ),
-                );
-                write_response(w, &error_response(None, &err))?;
+                state.note_request();
+                write_response(w, &state.oversized(length))?;
             }
             LineRead::Line(line) => {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (resp, shutdown) = state.handle_line(&line);
-                write_response(w, &resp)?;
+                let mut io_err: Option<std::io::Error> = None;
+                let shutdown = state.handle_line_session(&mut sess, &line, &mut |j| {
+                    if io_err.is_none() {
+                        if let Err(e) = write_response(w, &j) {
+                            io_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
                 if shutdown {
                     return Ok(true);
                 }

@@ -12,24 +12,44 @@
 //! change simulated statistics; that invariant is what the
 //! serving-layer test suite proves end to end.
 //!
-//! On disk the store is a JSONL file (`store.jsonl`): line 1 is a
-//! header object carrying [`STORE_SCHEMA`], and every further line is
-//! one [`StoreEntry`] — the key plus the complete
+//! # Shards
+//!
+//! On disk the store is a directory of `N` JSONL *shard journals*
+//! (`shard-000.jsonl` …), each cell routed by an FNV-1a hash of its
+//! key. Line 1 of each shard is a header object carrying
+//! [`STORE_SCHEMA_V2`] plus the shard index and count; every further
+//! line is one [`StoreEntry`] — the key plus the complete
 //! [`JournalEntry`] (full `RunStats`, so a cache hit can reproduce the
 //! manifest's deterministic view byte for byte). Appends are a single
 //! `write(2)` followed by `fdatasync`, exactly like the checkpoint
-//! journal, and recovery tolerates exactly one torn *final* line — it
-//! is dropped and the file healed through `write_atomic`; a malformed
-//! line anywhere earlier is a hard error.
+//! journal, and recovery tolerates exactly one torn *final* line per
+//! shard — it is dropped and the shard healed through `write_atomic`;
+//! a malformed line anywhere earlier is a hard error. The shard count
+//! on disk wins over the configured one, so reopening an existing
+//! store with a different [`StoreConfig::shards`] never re-routes
+//! keys. A PR 6 single-file store (`store.jsonl`, [`STORE_SCHEMA`])
+//! found at open time is migrated into shards and kept as
+//! `store.jsonl.v1`.
+//!
+//! # Eviction
+//!
+//! With a [`StoreConfig::byte_budget`], each shard holds at most
+//! `budget / N` bytes. When an append (or a reopen) pushes a shard
+//! over, least-recently-*served* entries are evicted until the shard
+//! is comfortably under its slice, and the shard journal is rewritten
+//! through `write_atomic` (a *compaction*). Eviction is loss-correct
+//! by construction: an evicted cell simply recomputes — and, keys
+//! being content addresses, recomputes bit-identically.
 //!
 //! # Single flight
 //!
 //! [`ResultStore::serve_cell`] is the dogpile breaker: concurrent
 //! requests for the same key produce exactly one simulation. The first
-//! caller claims the key in an in-flight set and computes outside the
-//! lock; later callers block on a condvar and are served from the
-//! freshly recorded entry. A panicking compute releases its claim via
-//! a drop guard, so a poisoned cell never wedges other clients.
+//! caller claims the key in the shard's in-flight set and computes
+//! outside the lock; later callers block on the shard's condvar and
+//! are served from the freshly recorded entry. A panicking compute
+//! releases its claim via a drop guard, so a poisoned cell never
+//! wedges other clients.
 //!
 //! # Key modes
 //!
@@ -43,6 +63,7 @@ use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cluster_study::checkpoint::JournalEntry;
@@ -51,19 +72,33 @@ use simcore::ops::Trace;
 use simcore::{stable_key, Json};
 use splash::ProblemSize;
 
-/// Schema identifier on the store's header line.
+/// Schema identifier on a PR 6 single-file store's header line.
 pub const STORE_SCHEMA: &str = "clustered-smp/result-store/v1";
+
+/// Schema identifier on every shard journal's header line.
+pub const STORE_SCHEMA_V2: &str = "clustered-smp/result-store/v2";
 
 /// Schema identifier inside every cell key document.
 pub const CELL_KEY_SCHEMA: &str = "clustered-smp/cell-key/v1";
 
-/// File name of the store inside its directory.
+/// File name of the legacy (v1) single-file store.
 pub const STORE_FILE: &str = "store.jsonl";
+
+/// Name the legacy store file is parked under after shard migration.
+pub const STORE_FILE_V1_BACKUP: &str = "store.jsonl.v1";
+
+/// Shard count a fresh store is created with.
+pub const DEFAULT_SHARDS: usize = 4;
 
 /// Exit code of the `kill_after` crash-injection hook (the serving
 /// analogue of the journal's `STUDY_KILL_AFTER_RECORDS`), shared with
 /// the checkpoint journal so harnesses treat both alike.
 pub const KILL_EXIT_CODE: i32 = cluster_study::checkpoint::KILL_EXIT_CODE;
+
+/// File name of shard `i` inside the store directory.
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:03}.jsonl")
+}
 
 /// How cell keys are derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +110,29 @@ pub enum KeyMode {
     /// distinct cells collide, used by the property suite to prove
     /// collisions are caught and shrunk. Never use outside tests.
     Truncated(usize),
+}
+
+/// How a [`ResultStore`] is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Shard journals a *fresh* store is split into (an existing
+    /// store keeps its on-disk count). Clamped to at least 1.
+    pub shards: usize,
+    /// Total on-disk byte budget across all shards; `None` grows
+    /// without bound (the PR 6 behavior).
+    pub byte_budget: Option<u64>,
+    /// Key derivation; tests only ever change this.
+    pub mode: KeyMode,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            shards: DEFAULT_SHARDS,
+            byte_budget: None,
+            mode: KeyMode::Full,
+        }
+    }
 }
 
 /// The canonical key document for one study cell. Everything that can
@@ -155,7 +213,7 @@ pub struct StoreEntry {
 }
 
 impl StoreEntry {
-    /// One JSONL line of the store file.
+    /// One JSONL line of a shard journal.
     pub fn to_json(&self) -> Json {
         Json::obj()
             .with("store_key", self.key.as_str())
@@ -240,26 +298,52 @@ pub struct StoreCounters {
     pub misses: u64,
     /// Entries currently held (disk + this process's appends).
     pub entries: usize,
+    /// On-disk bytes across all shard journals (headers included).
+    pub bytes: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Shard-journal compaction rewrites.
+    pub compactions: u64,
+    /// Shard journals backing the store.
+    pub shards: usize,
 }
 
-struct StoreInner {
+struct Slot {
+    entry: StoreEntry,
+    line_len: u64,
+    last_served: u64,
+}
+
+struct ShardInner {
     file: File,
-    map: HashMap<String, StoreEntry>,
+    map: HashMap<String, Slot>,
     inflight: HashSet<String>,
+    bytes: u64,
     hits: u64,
     misses: u64,
-    appended: usize,
-    kill_after: Option<usize>,
+    evictions: u64,
+    compactions: u64,
 }
 
-/// The on-disk content-addressed result cache. Thread safe; all
-/// mutation happens under one mutex, with computes running outside it
-/// under single-flight claims.
-pub struct ResultStore {
+struct Shard {
     path: PathBuf,
-    mode: KeyMode,
-    inner: Mutex<StoreInner>,
+    header: Json,
+    inner: Mutex<ShardInner>,
     done: Condvar,
+}
+
+/// The on-disk content-addressed result cache. Thread safe; each
+/// shard mutates under its own mutex, with computes running outside
+/// it under single-flight claims, so requests for different shards
+/// never contend.
+pub struct ResultStore {
+    dir: PathBuf,
+    mode: KeyMode,
+    byte_budget: Option<u64>,
+    shards: Vec<Shard>,
+    clock: AtomicU64,
+    appended: AtomicUsize,
+    kill_after: AtomicUsize, // 0 = disarmed
 }
 
 /// Recovers poisoned locks: a panic inside a lock scope here can only
@@ -268,10 +352,81 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// FNV-1a over the key string routes a cell to its shard. Hashing the
+/// key *string* (not the key document) keeps routing well-defined for
+/// truncated test keys too.
+fn shard_of(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+fn shard_header(i: usize, shards: usize) -> Json {
+    Json::obj()
+        .with("schema", STORE_SCHEMA_V2)
+        .with("shard", i)
+        .with("shards", shards)
+}
+
+fn entry_line(e: &StoreEntry) -> String {
+    format!("{}\n", e.to_json())
+}
+
+/// Rewrites one shard journal as header + survivors (LRU order, so a
+/// reopen reconstructs the same eviction order) and reopens the
+/// append handle. The caller updates counters.
+fn rewrite_shard(inner: &mut ShardInner, path: &Path, header: &Json) -> Result<(), StoreError> {
+    let mut slots: Vec<&Slot> = inner.map.values().collect();
+    slots.sort_by_key(|s| s.last_served);
+    let mut body = format!("{header}\n");
+    for s in slots {
+        body.push_str(&entry_line(&s.entry));
+    }
+    write_atomic(path, body.as_bytes())?;
+    inner.file = OpenOptions::new().append(true).open(path)?;
+    inner.bytes = body.len() as u64;
+    inner.compactions += 1;
+    Ok(())
+}
+
+/// Evicts least-recently-served entries until the shard holds at most
+/// `low` bytes (or nothing but its header), then compacts. No-op when
+/// already under `high`.
+fn enforce_budget(
+    inner: &mut ShardInner,
+    path: &Path,
+    header: &Json,
+    high: u64,
+    low: u64,
+) -> Result<(), StoreError> {
+    if inner.bytes <= high || inner.map.is_empty() {
+        return Ok(());
+    }
+    let mut order: Vec<(u64, String)> = inner
+        .map
+        .iter()
+        .map(|(k, s)| (s.last_served, k.clone()))
+        .collect();
+    order.sort();
+    for (_, key) in order {
+        if inner.bytes <= low {
+            break;
+        }
+        if let Some(slot) = inner.map.remove(&key) {
+            inner.bytes = inner.bytes.saturating_sub(slot.line_len);
+            inner.evictions += 1;
+        }
+    }
+    rewrite_shard(inner, path, header)
+}
+
 /// Clears a single-flight claim if the compute panics, so waiting
 /// clients retry instead of blocking forever.
 struct FlightGuard<'a> {
-    store: &'a ResultStore,
+    shard: &'a Shard,
     key: String,
     armed: bool,
 }
@@ -279,60 +434,133 @@ struct FlightGuard<'a> {
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut g = lock(&self.store.inner);
+            let mut g = lock(&self.shard.inner);
             g.inflight.remove(&self.key);
             drop(g);
-            self.store.done.notify_all();
+            self.shard.done.notify_all();
         }
     }
 }
 
 impl ResultStore {
-    /// Opens (or creates) the store in `dir` with production keys.
+    /// Opens (or creates) the store in `dir` with production keys and
+    /// default sharding, no byte budget.
     pub fn open(dir: &Path) -> Result<ResultStore, StoreError> {
-        ResultStore::open_with_mode(dir, KeyMode::Full)
+        ResultStore::open_with_config(dir, StoreConfig::default())
     }
 
     /// Opens the store with an explicit [`KeyMode`]. Only tests pass
     /// anything but [`KeyMode::Full`].
     pub fn open_with_mode(dir: &Path, mode: KeyMode) -> Result<ResultStore, StoreError> {
+        ResultStore::open_with_config(
+            dir,
+            StoreConfig {
+                mode,
+                ..StoreConfig::default()
+            },
+        )
+    }
+
+    /// Opens the store with full control over sharding and budget.
+    pub fn open_with_config(dir: &Path, cfg: StoreConfig) -> Result<ResultStore, StoreError> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(STORE_FILE);
-        if !path.exists() {
-            write_atomic(&path, format!("{}\n", store_header()).as_bytes())?;
+        let mut on_disk = 0usize;
+        while dir.join(shard_file_name(on_disk)).exists() {
+            on_disk += 1;
         }
-        let text = std::fs::read_to_string(&path)?;
-        let (entries, torn) = scan_store(&text)?;
-        if torn {
-            // Heal: rewrite the clean prefix atomically, then append.
-            let mut body = format!("{}\n", store_header());
-            for e in &entries {
-                body.push_str(&e.to_json().to_string());
-                body.push('\n');
+        let shards = if on_disk > 0 {
+            on_disk // the on-disk count wins; re-routing keys would orphan entries
+        } else {
+            let n = cfg.shards.max(1);
+            let legacy = dir.join(STORE_FILE);
+            let mut buckets: Vec<Vec<StoreEntry>> = (0..n).map(|_| Vec::new()).collect();
+            if legacy.exists() {
+                let text = std::fs::read_to_string(&legacy)?;
+                let (entries, _torn) = scan_store(&text)?;
+                for e in entries {
+                    buckets[shard_of(&e.key, n)].push(e);
+                }
             }
-            write_atomic(&path, body.as_bytes())?;
-        }
-        let file = OpenOptions::new().append(true).open(&path)?;
-        let map = entries.into_iter().map(|e| (e.key.clone(), e)).collect();
-        Ok(ResultStore {
-            path,
-            mode,
-            inner: Mutex::new(StoreInner {
-                file,
-                map,
+            for (i, bucket) in buckets.iter().enumerate() {
+                let mut body = format!("{}\n", shard_header(i, n));
+                for e in bucket {
+                    body.push_str(&entry_line(e));
+                }
+                write_atomic(&dir.join(shard_file_name(i)), body.as_bytes())?;
+            }
+            if legacy.exists() {
+                std::fs::rename(&legacy, dir.join(STORE_FILE_V1_BACKUP))?;
+            }
+            n
+        };
+
+        let per_high = cfg.byte_budget.map(|b| (b / shards as u64).max(1));
+        let mut clock = 0u64;
+        let mut loaded = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let path = dir.join(shard_file_name(i));
+            let header = shard_header(i, shards);
+            let text = std::fs::read_to_string(&path)?;
+            let (entries, torn) = scan_store(&text)?;
+            let mut inner = ShardInner {
+                file: OpenOptions::new().append(true).open(&path)?,
+                map: HashMap::new(),
                 inflight: HashSet::new(),
+                bytes: 0,
                 hits: 0,
                 misses: 0,
-                appended: 0,
-                kill_after: None,
-            }),
-            done: Condvar::new(),
+                evictions: 0,
+                compactions: 0,
+            };
+            for e in entries {
+                let line_len = entry_line(&e).len() as u64;
+                clock += 1;
+                inner.map.insert(
+                    e.key.clone(),
+                    Slot {
+                        entry: e,
+                        line_len,
+                        last_served: clock,
+                    },
+                );
+            }
+            if torn {
+                // Heal: rewrite the clean prefix atomically, then append.
+                rewrite_shard(&mut inner, &path, &header)?;
+                inner.compactions = 0; // healing is not a budget compaction
+            } else {
+                inner.bytes = std::fs::metadata(&path)?.len();
+            }
+            if let Some(high) = per_high {
+                let low = high.saturating_sub(high / 4);
+                enforce_budget(&mut inner, &path, &header, high, low)?;
+            }
+            loaded.push(Shard {
+                path,
+                header,
+                inner: Mutex::new(inner),
+                done: Condvar::new(),
+            });
+        }
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+            mode: cfg.mode,
+            byte_budget: cfg.byte_budget,
+            shards: loaded,
+            clock: AtomicU64::new(clock + 1),
+            appended: AtomicUsize::new(0),
+            kill_after: AtomicUsize::new(0),
         })
     }
 
-    /// Path of the backing JSONL file.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Directory holding the shard journals.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shard journals backing this store.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The cell key under this store's [`KeyMode`].
@@ -359,30 +587,51 @@ impl ResultStore {
     }
 
     /// Arms the crash-injection hook: the process exits with
-    /// [`KILL_EXIT_CODE`] immediately after the `n`-th append.
+    /// [`KILL_EXIT_CODE`] immediately after the `n`-th append
+    /// (counted across all shards).
     pub fn set_kill_after(&self, n: usize) {
-        lock(&self.inner).kill_after = Some(n);
+        self.kill_after.store(n, Ordering::SeqCst);
     }
 
-    /// Looks a key up without counting a hit or miss.
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    /// Looks a key up without counting a hit or miss (and without
+    /// refreshing its eviction age).
     pub fn peek(&self, key: &str) -> Option<StoreEntry> {
-        lock(&self.inner).map.get(key).cloned()
+        lock(&self.shard(key).inner)
+            .map
+            .get(key)
+            .map(|s| s.entry.clone())
     }
 
     /// All entries. Iteration order is unspecified; callers sort by
     /// key when order matters.
     pub fn entries(&self) -> Vec<StoreEntry> {
-        lock(&self.inner).map.values().cloned().collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(lock(&shard.inner).map.values().map(|s| s.entry.clone()));
+        }
+        out
     }
 
-    /// Current counters.
+    /// Current counters, aggregated across shards.
     pub fn counters(&self) -> StoreCounters {
-        let g = lock(&self.inner);
-        StoreCounters {
-            hits: g.hits,
-            misses: g.misses,
-            entries: g.map.len(),
+        let mut c = StoreCounters {
+            shards: self.shards.len(),
+            ..StoreCounters::default()
+        };
+        for shard in &self.shards {
+            let g = lock(&shard.inner);
+            c.hits += g.hits;
+            c.misses += g.misses;
+            c.entries += g.map.len();
+            c.bytes += g.bytes;
+            c.evictions += g.evictions;
+            c.compactions += g.compactions;
         }
+        c
     }
 
     /// Serves one cell: from the store when present (a *cache hit*),
@@ -396,10 +645,12 @@ impl ResultStore {
         procs: usize,
         compute: impl FnOnce() -> JournalEntry,
     ) -> Result<(JournalEntry, bool), StoreError> {
-        let mut g = lock(&self.inner);
+        let shard = self.shard(key);
+        let mut g = lock(&shard.inner);
         loop {
-            if let Some(e) = g.map.get(key) {
-                let cell = e.cell.clone();
+            if let Some(slot) = g.map.get_mut(key) {
+                slot.last_served = self.clock.fetch_add(1, Ordering::Relaxed);
+                let cell = slot.entry.cell.clone();
                 g.hits += 1;
                 return Ok((cell, true));
             }
@@ -407,13 +658,13 @@ impl ResultStore {
                 g.inflight.insert(key.to_string());
                 break;
             }
-            g = self.done.wait(g).unwrap_or_else(|e| e.into_inner());
+            g = shard.done.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         g.misses += 1;
         drop(g);
 
         let guard = FlightGuard {
-            store: self,
+            shard,
             key: key.to_string(),
             armed: true,
         };
@@ -437,7 +688,8 @@ impl ResultStore {
         procs: usize,
         cell: &JournalEntry,
     ) -> Result<bool, StoreError> {
-        let mut g = lock(&self.inner);
+        let shard = self.shard(key);
+        let mut g = lock(&shard.inner);
         if g.map.contains_key(key) {
             return Ok(false);
         }
@@ -450,7 +702,7 @@ impl ResultStore {
         g.inflight.insert(key.to_string());
         drop(g);
         let guard = FlightGuard {
-            store: self,
+            shard,
             key: key.to_string(),
             armed: true,
         };
@@ -464,31 +716,53 @@ impl ResultStore {
         Ok(true)
     }
 
-    /// Appends an entry under the lock, publishes it to the map, and
-    /// releases the single-flight claim. Honors the kill hook.
+    /// Appends an entry to its shard under the shard lock, publishes
+    /// it to the map, releases the single-flight claim, and enforces
+    /// the byte budget. Honors the kill hook.
     fn record_entry(
         &self,
         entry: StoreEntry,
         mut guard: FlightGuard<'_>,
     ) -> Result<(), StoreError> {
+        let shard = self.shard(&entry.key);
         let key = entry.key.clone();
-        let mut g = lock(&self.inner);
-        let line = format!("{}\n", entry.to_json());
+        let mut g = lock(&shard.inner);
+        let line = entry_line(&entry);
         let io = g
             .file
             .write_all(line.as_bytes())
             .and_then(|()| g.file.sync_data());
         match io {
             Ok(()) => {
-                g.appended += 1;
-                g.map.insert(key.clone(), entry);
+                g.bytes += line.len() as u64;
+                g.map.insert(
+                    key.clone(),
+                    Slot {
+                        entry,
+                        line_len: line.len() as u64,
+                        last_served: self.clock.fetch_add(1, Ordering::Relaxed),
+                    },
+                );
                 g.inflight.remove(&key);
                 guard.armed = false;
-                let kill = g.kill_after.is_some_and(|n| g.appended >= n);
+                if let Some(budget) = self.byte_budget {
+                    let high = (budget / self.shards.len() as u64).max(1);
+                    let low = high.saturating_sub(high / 4);
+                    enforce_budget(&mut g, &shard.path, &shard.header, high, low)?;
+                }
+                let appended = self.appended.fetch_add(1, Ordering::SeqCst) + 1;
+                let target = self.kill_after.load(Ordering::SeqCst);
+                let kill = target != 0 && appended >= target;
                 drop(g);
-                self.done.notify_all();
+                shard.done.notify_all();
                 if kill {
-                    eprintln!("cluster_serve: kill_after hook tripped; exiting {KILL_EXIT_CODE}");
+                    // Not eprintln!: a closed stderr (the harness may
+                    // have dropped the pipe) must not panic this
+                    // thread before the exit below gets to run.
+                    let _ = writeln!(
+                        std::io::stderr(),
+                        "cluster_serve: kill_after hook tripped; exiting {KILL_EXIT_CODE}"
+                    );
                     std::process::exit(KILL_EXIT_CODE);
                 }
                 Ok(())
@@ -502,13 +776,10 @@ impl ResultStore {
     }
 }
 
-fn store_header() -> Json {
-    Json::obj().with("schema", STORE_SCHEMA)
-}
-
-/// Scans a store file's text: returns the clean entries and whether a
-/// torn final line was dropped. A malformed line that is *not* final
-/// is a hard error, mirroring the checkpoint journal's contract.
+/// Scans one store file's text — a shard journal or a legacy v1
+/// store: returns the clean entries and whether a torn final line was
+/// dropped. A malformed line that is *not* final is a hard error,
+/// mirroring the checkpoint journal's contract.
 pub fn scan_store(text: &str) -> Result<(Vec<StoreEntry>, bool), StoreError> {
     let lines: Vec<&str> = text.lines().collect();
     if lines.is_empty() {
@@ -522,11 +793,13 @@ pub fn scan_store(text: &str) -> Result<(Vec<StoreEntry>, bool), StoreError> {
         reason: format!("header does not parse: {e}"),
     })?;
     match header.get("schema").and_then(Json::as_str) {
-        Some(s) if s == STORE_SCHEMA => {}
+        Some(s) if s == STORE_SCHEMA || s == STORE_SCHEMA_V2 => {}
         other => {
             return Err(StoreError::Malformed {
                 line: 1,
-                reason: format!("header schema {other:?}, want {STORE_SCHEMA:?}"),
+                reason: format!(
+                    "header schema {other:?}, want {STORE_SCHEMA:?} or {STORE_SCHEMA_V2:?}"
+                ),
             })
         }
     }
@@ -553,6 +826,32 @@ pub fn scan_store(text: &str) -> Result<(Vec<StoreEntry>, bool), StoreError> {
                 }
             }
         }
+    }
+    Ok((entries, torn))
+}
+
+/// Scans every shard journal (and a legacy `store.jsonl`, if still
+/// unmigrated) in a store directory. Returns all entries plus whether
+/// any file had a torn final line. Shard order, then file order.
+pub fn scan_store_dir(dir: &Path) -> Result<(Vec<StoreEntry>, bool), StoreError> {
+    let mut entries = Vec::new();
+    let mut torn = false;
+    let legacy = dir.join(STORE_FILE);
+    if legacy.exists() {
+        let (es, t) = scan_store(&std::fs::read_to_string(&legacy)?)?;
+        entries.extend(es);
+        torn |= t;
+    }
+    let mut i = 0usize;
+    loop {
+        let path = dir.join(shard_file_name(i));
+        if !path.exists() {
+            break;
+        }
+        let (es, t) = scan_store(&std::fs::read_to_string(&path)?)?;
+        entries.extend(es);
+        torn |= t;
+        i += 1;
     }
     Ok((entries, torn))
 }
@@ -706,6 +1005,7 @@ mod tests {
         let key = cell_key("ocean", "small", 8, "inf", 4);
         {
             let store = ResultStore::open(&dir).expect("open");
+            assert_eq!(store.shard_count(), DEFAULT_SHARDS);
             let (cell, hit) = store
                 .serve_cell(&key, "small", 8, || entry.clone())
                 .expect("serve");
@@ -735,8 +1035,9 @@ mod tests {
                 .serve_cell(&key, "small", 8, || sample_entry("ocean", 4))
                 .expect("serve");
         }
-        let path = dir.join(STORE_FILE);
+        let path = dir.join(shard_file_name(shard_of(&key, DEFAULT_SHARDS)));
         let mut text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains(&key), "entry must land in its routed shard");
         text.push_str("{\"store_key\":\"deadbeef\",\"si"); // torn append
         std::fs::write(&path, &text).expect("tear");
         let store = ResultStore::open(&dir).expect("heal");
@@ -744,15 +1045,189 @@ mod tests {
         let healed = std::fs::read_to_string(&path).expect("read healed");
         assert!(!healed.contains("deadbeef"));
         // A malformed line that is NOT final stays a hard error.
-        let mut bad = healed.clone();
-        bad.push_str("garbage\n");
+        let mut bad = String::new();
+        bad.push_str(healed.lines().next().expect("header line"));
+        bad.push_str("\ngarbage\n");
         bad.push_str(healed.lines().nth(1).expect("entry line"));
         bad.push('\n');
         std::fs::write(&path, &bad).expect("corrupt");
         assert!(matches!(
             ResultStore::open(&dir),
-            Err(StoreError::Malformed { line: 3, .. })
+            Err(StoreError::Malformed { line: 2, .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_store_migrates_into_shards() {
+        let dir = tmp_dir("migrate");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let entry = sample_entry("ocean", 4);
+        let keys: Vec<String> = (0..4)
+            .map(|i| cell_key("ocean", "small", 8, "inf", 1 << i))
+            .collect();
+        let mut body = format!("{}\n", Json::obj().with("schema", STORE_SCHEMA));
+        for k in &keys {
+            body.push_str(&entry_line(&StoreEntry {
+                key: k.clone(),
+                size: "small".to_string(),
+                procs: 8,
+                cell: entry.clone(),
+            }));
+        }
+        std::fs::write(dir.join(STORE_FILE), &body).expect("write legacy");
+        let store = ResultStore::open(&dir).expect("migrate");
+        assert_eq!(store.counters().entries, 4);
+        for k in &keys {
+            assert!(store.peek(k).is_some(), "migrated key must resolve");
+        }
+        assert!(!dir.join(STORE_FILE).exists(), "legacy file is parked");
+        assert!(dir.join(STORE_FILE_V1_BACKUP).exists());
+        // Reopen: entries come from shards now, not the backup.
+        let store = ResultStore::open(&dir).expect("reopen");
+        assert_eq!(store.counters().entries, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_shard_count_wins_over_config() {
+        let dir = tmp_dir("shardcount");
+        {
+            let store = ResultStore::open_with_config(
+                &dir,
+                StoreConfig {
+                    shards: 2,
+                    ..StoreConfig::default()
+                },
+            )
+            .expect("open");
+            assert_eq!(store.shard_count(), 2);
+        }
+        let store = ResultStore::open_with_config(
+            &dir,
+            StoreConfig {
+                shards: 8,
+                ..StoreConfig::default()
+            },
+        )
+        .expect("reopen");
+        assert_eq!(store.shard_count(), 2, "disk layout wins");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_compacts() {
+        let dir = tmp_dir("evict");
+        // One shard so the LRU order is fully deterministic.
+        let cfg = StoreConfig {
+            shards: 1,
+            byte_budget: None,
+            mode: KeyMode::Full,
+        };
+        let clusters = [1u32, 2, 4, 8];
+        let keys: Vec<String> = clusters
+            .iter()
+            .map(|&c| cell_key("ocean", "small", 8, "inf", c))
+            .collect();
+        let line_bytes: u64;
+        {
+            let store = ResultStore::open_with_config(&dir, cfg).expect("open");
+            for (&c, k) in clusters.iter().zip(&keys) {
+                store
+                    .serve_cell(k, "small", 8, || sample_entry("ocean", c))
+                    .expect("serve");
+            }
+            line_bytes = store.counters().bytes;
+        }
+        // Re-serve cell 0 so it is the most recently served, then
+        // reopen with a budget that can hold roughly half the store:
+        // the LRU tail (not cell 0) must go.
+        {
+            let store = ResultStore::open_with_config(&dir, cfg).expect("reopen");
+            store
+                .serve_cell(&keys[0], "small", 8, || unreachable!("hit"))
+                .expect("serve");
+        }
+        let budget = line_bytes / 2;
+        let store = ResultStore::open_with_config(
+            &dir,
+            StoreConfig {
+                byte_budget: Some(budget),
+                ..cfg
+            },
+        )
+        .expect("open with budget");
+        let c = store.counters();
+        assert!(c.evictions > 0, "must evict: {c:?}");
+        assert!(c.compactions > 0, "eviction rewrites the shard: {c:?}");
+        assert!(c.bytes <= budget, "stays under budget: {c:?}");
+        assert!(c.entries < 4);
+        // Whichever cells went, the loss-correctness contract holds:
+        // an evicted cell recomputes bit-identically and the store
+        // resumes serving it.
+        let victim = keys
+            .iter()
+            .find(|k| store.peek(k).is_none())
+            .expect("some cell was evicted");
+        let victim_cluster = clusters[keys.iter().position(|k| k == victim).expect("pos")];
+        let (cell, hit) = store
+            .serve_cell(victim, "small", 8, || sample_entry("ocean", victim_cluster))
+            .expect("recompute");
+        assert!(!hit, "evicted cell must recompute");
+        assert_eq!(
+            cell.to_json().to_string(),
+            sample_entry("ocean", victim_cluster).to_json().to_string(),
+            "recompute is bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_bump_survives_compaction_within_one_process() {
+        let dir = tmp_dir("lru");
+        let cfg = StoreConfig {
+            shards: 1,
+            byte_budget: None,
+            mode: KeyMode::Full,
+        };
+        let clusters = [1u32, 2, 4, 8];
+        let keys: Vec<String> = clusters
+            .iter()
+            .map(|&c| cell_key("ocean", "small", 8, "inf", c))
+            .collect();
+        let total: u64;
+        {
+            let store = ResultStore::open_with_config(&dir, cfg).expect("open");
+            for (&c, k) in clusters.iter().zip(&keys) {
+                store
+                    .serve_cell(k, "small", 8, || sample_entry("ocean", c))
+                    .expect("serve");
+            }
+            total = store.counters().bytes;
+        }
+        // Budget of exactly the current size: the reopen stays under
+        // it, the 5th append crosses it. Serving key[0] first bumps
+        // it to most-recent, so the eviction pass that follows the
+        // append must take key[1] (now LRU) and spare key[0].
+        let store = ResultStore::open_with_config(
+            &dir,
+            StoreConfig {
+                byte_budget: Some(total),
+                ..cfg
+            },
+        )
+        .expect("open with budget");
+        store
+            .serve_cell(&keys[0], "small", 8, || unreachable!("hit"))
+            .expect("bump");
+        let k5 = cell_key("lu", "small", 8, "inf", 4);
+        store
+            .serve_cell(&k5, "small", 8, || sample_entry("lu", 4))
+            .expect("append 5th");
+        let c = store.counters();
+        assert!(c.evictions > 0, "{c:?}");
+        assert!(store.peek(&keys[0]).is_some(), "recently served survives");
+        assert!(store.peek(&keys[1]).is_none(), "LRU entry evicted");
         std::fs::remove_dir_all(&dir).ok();
     }
 

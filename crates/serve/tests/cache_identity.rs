@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use cluster_serve::store::{cell_key, KeyMode, ResultStore};
+use cluster_serve::store::{cell_key, KeyMode, ResultStore, StoreConfig};
 use cluster_serve::{serve_connection, ServeOptions, ServeState};
 use cluster_study::checkpoint::JournalEntry;
 use cluster_study::manifest::{RunRecord, ServedBy};
@@ -244,6 +244,52 @@ fn served_cells_match_direct_study_runs_byte_for_byte() {
                     "restart must not perturb a single byte"
                 );
             }
+
+            // Eviction step: reopen under a byte budget small enough
+            // to force evictions at open, then re-drive. Evicted cells
+            // miss and recompute, survivors still hit — and either way
+            // the payload is bit-identical to the original run.
+            let full_bytes = st2.store().counters().bytes;
+            let budget = (full_bytes / 2).max(1);
+            drop(st2);
+            let st3 = ServeState::new(
+                ResultStore::open_with_config(
+                    &dir,
+                    StoreConfig {
+                        byte_budget: Some(budget),
+                        ..StoreConfig::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?,
+                opts,
+            );
+            let evicted = st3.store().counters().evictions;
+            prop_ensure!(
+                evicted > 0,
+                "budget {budget} of {full_bytes} bytes must evict something"
+            );
+            let fourth = drive(&st3, &request);
+            let after = fourth[0]
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or("cells")?;
+            let mut resimulated = 0u64;
+            for (a, b) in cells.iter().zip(after) {
+                if b.get("cache_hit").and_then(Json::as_bool) == Some(false) {
+                    resimulated += 1;
+                }
+                prop_ensure_eq!(
+                    a.get("stats").map(Json::to_string),
+                    b.get("stats").map(Json::to_string),
+                    "eviction must be loss-correct: a recomputed cell is \
+                     bit-identical to the evicted one"
+                );
+            }
+            prop_ensure!(
+                resimulated >= evicted,
+                "every cell evicted at open ({evicted}) must resimulate \
+                 (saw {resimulated})"
+            );
             std::fs::remove_dir_all(&dir).ok();
             Ok(())
         },

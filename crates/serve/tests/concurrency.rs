@@ -17,8 +17,8 @@ use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-use cluster_serve::store::{cell_key, ResultStore, STORE_FILE};
-use cluster_serve::{scan_store, serve_connection, ServeOptions, ServeState, KILL_EXIT_CODE};
+use cluster_serve::store::{cell_key, ResultStore};
+use cluster_serve::{scan_store_dir, serve_connection, ServeOptions, ServeState, KILL_EXIT_CODE};
 use cluster_study::checkpoint::JournalEntry;
 use cluster_study::parallel::RunStatus;
 use cluster_study::run_config;
@@ -30,6 +30,22 @@ fn tmp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("serve-concurrency-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
+}
+
+/// Every shard journal file in a store directory.
+fn shard_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    out.sort();
+    out
 }
 
 fn drive(state: &ServeState, input: &str) -> Vec<Json> {
@@ -204,25 +220,40 @@ fn killed_server_restarts_with_a_valid_store_and_serves_the_prefix() {
         "killed mid-run, the response never flushed: {responses:?}"
     );
 
-    // The store is a valid prefix: header + exactly 2 clean entries
-    // (--jobs 1 appends in request order: inf/1 then inf/2).
-    let text = std::fs::read_to_string(dir.join(STORE_FILE)).expect("store file");
-    let (entries, torn) = scan_store(&text).expect("store strict-parses");
+    // The sharded store is a valid prefix: exactly the 2 cells that
+    // were appended before the kill (--jobs 1 appends in request
+    // order: inf/1 then inf/2, each routed to its own shard).
+    let (entries, torn) = scan_store_dir(&dir).expect("store strict-parses");
     assert!(!torn);
     assert_eq!(entries.len(), 2);
+    let mut cells: Vec<(String, u32)> = entries
+        .iter()
+        .map(|e| (e.cell.cache.clone(), e.cell.cluster))
+        .collect();
+    cells.sort();
     assert_eq!(
-        entries
-            .iter()
-            .map(|e| (e.cell.cache.as_str(), e.cell.cluster))
-            .collect::<Vec<_>>(),
-        vec![("inf", 1), ("inf", 2)]
+        cells,
+        vec![("inf".to_string(), 1), ("inf".to_string(), 2)],
+        "the surviving prefix is the first two appends"
     );
 
-    // Phase 2: tear the final entry, as a kill landing mid-write(2)
-    // would. The restarted server must drop and heal exactly that
-    // line — the checkpoint journal's recovery contract.
+    // Phase 2: tear the final entry of a shard that holds one, as a
+    // kill landing mid-write(2) would. The restarted server must drop
+    // and heal exactly that line — the checkpoint journal's recovery
+    // contract, per shard.
+    let torn_shard = shard_files(&dir)
+        .into_iter()
+        .find(|p| {
+            std::fs::read_to_string(p)
+                .expect("read shard")
+                .lines()
+                .count()
+                > 1
+        })
+        .expect("some shard holds an entry");
+    let text = std::fs::read_to_string(&torn_shard).expect("read shard");
     let torn_text = format!("{text}{{\"store_key\":\"feedface\",\"si");
-    std::fs::write(dir.join(STORE_FILE), &torn_text).expect("tear");
+    std::fs::write(&torn_shard, &torn_text).expect("tear");
 
     // Phase 3: restart over the damaged store and resubmit. The two
     // surviving cells are cache hits; the rest simulate.
@@ -259,10 +290,12 @@ fn killed_server_restarts_with_a_valid_store_and_serves_the_prefix() {
         "lost cells re-simulate"
     );
 
-    // The heal removed the torn fragment durably.
-    let healed = std::fs::read_to_string(dir.join(STORE_FILE)).expect("store file");
-    assert!(!healed.contains("feedface"));
-    let (entries, torn) = scan_store(&healed).expect("healed store strict-parses");
+    // The heal removed the torn fragment durably, from every shard.
+    for shard in shard_files(&dir) {
+        let healed = std::fs::read_to_string(&shard).expect("shard file");
+        assert!(!healed.contains("feedface"), "{}", shard.display());
+    }
+    let (entries, torn) = scan_store_dir(&dir).expect("healed store strict-parses");
     assert!(!torn);
     assert_eq!(entries.len(), 4, "full matrix recorded after restart");
 

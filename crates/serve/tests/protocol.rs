@@ -110,8 +110,6 @@ fn unknown_fields_and_bad_values_are_protocol_errors() {
         ),
         // wrong id type
         ("{\"op\":\"ping\",\"id\":\"seven\"}", "id"),
-        // unknown op
-        ("{\"op\":\"dance\"}", "dance"),
         // run without spec
         ("{\"op\":\"run\"}", "spec"),
         // spec without app
@@ -336,6 +334,269 @@ fn stats_response_carries_every_counter() {
     assert_eq!(s.get("trace_gens").and_then(Json::as_u64), Some(1));
     assert_eq!(s.get("store_entries").and_then(Json::as_u64), Some(1));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_op_is_a_typed_error_not_shutdown() {
+    let (st, dir) = state("unknown-op", small_opts());
+    // PR 6's parser had a catch-all `_ => Op::Shutdown`: a typo'd op
+    // silently closed the connection. It is now a typed error and the
+    // loop keeps serving.
+    let (resps, shutdown) = drive(
+        &st,
+        "{\"op\":\"dance\",\"id\":4}\n{\"op\":\"ping\",\"id\":5}\n",
+    );
+    assert!(!shutdown, "a typo'd op must not shut the server down");
+    assert!(!st.shutdown_requested());
+    assert_eq!(resps.len(), 2);
+    assert_eq!(error_kind(&resps[0]), "unknown_op");
+    assert!(error_detail(&resps[0]).contains("dance"));
+    assert_eq!(resps[0].get("id").and_then(Json::as_u64), Some(4));
+    assert_ok(&resps[1], "ping");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const HELLO_V2: &str = "{\"op\":\"hello\",\"id\":1,\"schema\":\"clustered-smp/serve/v2\"}\n";
+
+#[test]
+fn hello_negotiates_v2_and_rejects_unknown_schemas() {
+    let (st, dir) = state("hello", small_opts());
+    let (resps, _) = drive(&st, HELLO_V2);
+    assert_ok(&resps[0], "hello");
+    assert_eq!(
+        resps[0].get("schema").and_then(Json::as_str),
+        Some("clustered-smp/serve/v2")
+    );
+    // Re-negotiating down to v1 also works (and is the default).
+    let (resps, _) = drive(
+        &st,
+        "{\"op\":\"hello\",\"schema\":\"clustered-smp/serve/v1\"}\n",
+    );
+    assert_eq!(
+        resps[0].get("schema").and_then(Json::as_str),
+        Some("clustered-smp/serve/v1")
+    );
+    // An unknown schema is a protocol error naming the alternatives,
+    // and the session stays alive at its previous version.
+    let (resps, shutdown) = drive(
+        &st,
+        "{\"op\":\"hello\",\"schema\":\"clustered-smp/serve/v9\"}\n{\"op\":\"ping\",\"id\":2}\n",
+    );
+    assert!(!shutdown);
+    assert_eq!(error_kind(&resps[0]), "protocol");
+    assert!(error_detail(&resps[0]).contains("v9"));
+    assert!(error_detail(&resps[0]).contains("clustered-smp/serve/v2"));
+    assert_ok(&resps[1], "ping");
+    // A hello without a schema is also a protocol error.
+    let (resps, _) = drive(&st, "{\"op\":\"hello\"}\n");
+    assert_eq!(error_kind(&resps[0]), "protocol");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_and_cursor_are_gated_behind_the_v2_handshake() {
+    let (st, dir) = state("v2-gate", small_opts());
+    let batch = "{\"op\":\"batch\",\"id\":1,\"specs\":[{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}]}\n";
+    let cursor = "{\"op\":\"cursor\",\"id\":2,\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n";
+    for req in [batch, cursor] {
+        let (resps, shutdown) = drive(&st, req);
+        assert!(!shutdown);
+        assert_eq!(resps.len(), 1, "gated op answers exactly one line");
+        assert_eq!(error_kind(&resps[0]), "protocol");
+        assert!(
+            error_detail(&resps[0]).contains("hello"),
+            "the error must point at the handshake: {}",
+            error_detail(&resps[0])
+        );
+    }
+    // Nothing ran: the store is untouched.
+    assert_eq!(st.store().counters().entries, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_batch_serves_every_spec_in_one_response_line() {
+    let (st, dir) = state("batch", small_opts());
+    let input = format!(
+        "{HELLO_V2}{}",
+        "{\"op\":\"batch\",\"id\":2,\"specs\":[\
+         {\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1,2]},\
+         {\"app\":\"fft\",\"caches\":[\"inf\"],\"clusters\":[1]}]}\n"
+    );
+    let (resps, _) = drive(&st, &input);
+    assert_eq!(resps.len(), 2, "hello ack + one batch line");
+    assert_ok(&resps[1], "batch");
+    let jobs = resps[1]
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .expect("batch responses carry jobs");
+    assert_eq!(jobs.len(), 2, "one job per spec, in request order");
+    assert_eq!(jobs[0].get("app").and_then(Json::as_str), Some("lu"));
+    assert_eq!(jobs[1].get("app").and_then(Json::as_str), Some("fft"));
+    assert_eq!(
+        jobs[0].get("cells").and_then(Json::as_arr).map(|c| c.len()),
+        Some(2)
+    );
+    assert_eq!(jobs[0].get("sims").and_then(Json::as_u64), Some(2));
+    assert_eq!(jobs[0].get("cache_hits").and_then(Json::as_u64), Some(0));
+    // An empty specs list is rejected at parse time.
+    let (resps, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{}", "{\"op\":\"batch\",\"specs\":[]}\n"),
+    );
+    assert_eq!(error_kind(&resps[1]), "protocol");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_cursor_streams_the_same_cells_as_a_v1_run() {
+    let (st, dir) = state("cursor", small_opts());
+    let spec = "{\"app\":\"lu\",\"caches\":[\"inf\",\"4k\"],\"clusters\":[1,2]}";
+    // Reference: one v1 run line (fresh simulations).
+    let (v1, _) = drive(
+        &st,
+        &format!("{{\"op\":\"run\",\"id\":1,\"spec\":{spec}}}\n"),
+    );
+    let run_cells = v1[0].get("cells").and_then(Json::as_arr).expect("cells");
+    assert_eq!(run_cells.len(), 4);
+
+    // v2 cursor over the same spec: start line, one line per cell in
+    // request order, trailer. (Cache hits now — byte-identity of the
+    // stats view is exactly the property under test.)
+    let (v2, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{{\"op\":\"cursor\",\"id\":2,\"spec\":{spec}}}\n"),
+    );
+    assert_eq!(v2.len(), 1 + 1 + 4 + 1, "hello + start + 4 cells + done");
+    let start = &v2[1];
+    assert_ok(start, "cursor");
+    assert_eq!(start.get("app").and_then(Json::as_str), Some("lu"));
+    assert_eq!(start.get("total").and_then(Json::as_u64), Some(4));
+    for (i, (line, run_cell)) in v2[2..6].iter().zip(run_cells).enumerate() {
+        assert_ok(line, "cell");
+        assert_eq!(line.get("id").and_then(Json::as_u64), Some(2));
+        assert_eq!(line.get("seq").and_then(Json::as_u64), Some(i as u64));
+        let cell = line.get("cell").expect("cell lines carry the cell");
+        // Same cell the v1 run produced, byte-identical stats.
+        assert_eq!(
+            cell.get("key").and_then(Json::as_str),
+            run_cell.get("key").and_then(Json::as_str)
+        );
+        assert_eq!(
+            cell.get("cache").and_then(Json::as_str),
+            run_cell.get("cache").and_then(Json::as_str)
+        );
+        assert_eq!(
+            cell.get("cluster").and_then(Json::as_u64),
+            run_cell.get("cluster").and_then(Json::as_u64)
+        );
+        assert_eq!(
+            cell.get("stats").map(Json::to_string),
+            run_cell.get("stats").map(Json::to_string),
+            "cursor cells must be byte-identical to v1 run cells"
+        );
+        assert_eq!(cell.get("cache_hit").and_then(Json::as_bool), Some(true));
+        // Cursor cells carry the full journal document so clients can
+        // prefill their own stores; v1 run cells do not.
+        let journal = cell.get("journal").expect("cursor cells carry journal");
+        assert_eq!(journal.get("app").and_then(Json::as_str), Some("lu"));
+        assert!(run_cell.get("journal").is_none());
+    }
+    let done = &v2[6];
+    assert_ok(done, "cursor_done");
+    assert_eq!(done.get("cells").and_then(Json::as_u64), Some(4));
+    assert_eq!(done.get("cache_hits").and_then(Json::as_u64), Some(4));
+    assert_eq!(done.get("sims").and_then(Json::as_u64), Some(0));
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_gains_store_counters_only_after_the_v2_handshake() {
+    let (st, dir) = state("stats-v2", small_opts());
+    drive(
+        &st,
+        "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n",
+    );
+    // v1 session: byte-compatible with PR 6 — no extended counters.
+    let (v1, _) = drive(&st, "{\"op\":\"stats\"}\n");
+    assert!(v1[0].get("store_bytes").is_none());
+    assert!(v1[0].get("shards").is_none());
+    // v2 session: the same counters plus store shape and eviction.
+    let (v2, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{}", "{\"op\":\"stats\",\"id\":2}\n"),
+    );
+    let s = &v2[1];
+    assert_ok(s, "stats");
+    for key in ["store_bytes", "evictions", "compactions", "shards"] {
+        assert!(
+            s.get(key).and_then(Json::as_u64).is_some(),
+            "v2 stats must carry `{key}`"
+        );
+    }
+    assert_eq!(s.get("store_entries").and_then(Json::as_u64), Some(1));
+    assert!(s.get("store_bytes").and_then(Json::as_u64).unwrap_or(0) > 0);
+    assert_eq!(s.get("evictions").and_then(Json::as_u64), Some(0));
+    assert_eq!(s.get("compactions").and_then(Json::as_u64), Some(0));
+    assert_eq!(s.get("shards").and_then(Json::as_u64), Some(4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The deprecated free-function writers must stay byte-identical to
+/// the [`Response`] enum that replaced them, for as long as they live.
+#[test]
+#[allow(deprecated)]
+fn deprecated_writers_match_the_response_enum_byte_for_byte() {
+    use cluster_serve::protocol::{
+        error_response, pong, run_response, shutdown_ack, stats_response, CellResult,
+        ProtocolError, ServeStats,
+    };
+    use cluster_serve::{ErrorKind, ProtoVersion, Response};
+
+    assert_eq!(
+        pong(Some(7)).to_string(),
+        Response::Pong { id: Some(7) }.to_json().to_string()
+    );
+    assert_eq!(
+        shutdown_ack(None).to_string(),
+        Response::ShutdownAck { id: None }.to_json().to_string()
+    );
+    let err = ProtocolError::new(ErrorKind::Protocol, "nope");
+    assert_eq!(
+        error_response(Some(1), &err).to_string(),
+        Response::Error {
+            id: Some(1),
+            err: err.clone()
+        }
+        .to_json()
+        .to_string()
+    );
+    let cells = vec![
+        CellResult::new("inf", 2, "deadbeef", Json::obj().with("app", "lu")),
+        CellResult::new("4k", 4, "feedface", Json::obj().with("app", "lu")).served_from_cache(),
+    ];
+    assert_eq!(
+        run_response(Some(3), "lu", &cells).to_string(),
+        Response::Run {
+            id: Some(3),
+            app: "lu".to_string(),
+            cells
+        }
+        .to_json()
+        .to_string()
+    );
+    let stats = ServeStats::new(5, 4, 1, 3).traces(2, 2).store(4, 999, 4);
+    assert_eq!(
+        stats_response(Some(9), &stats).to_string(),
+        Response::Stats {
+            id: Some(9),
+            stats,
+            version: ProtoVersion::V1
+        }
+        .to_json()
+        .to_string()
+    );
 }
 
 #[test]
