@@ -10,10 +10,17 @@
 //! * **after** — [`CLIENTS`] concurrent v2 clients, each submitting
 //!   the whole matrix as a single `batch` request.
 //!
-//! Reports cells/second for both, and the speedup, via
+//! A third pass re-runs the 32-client batch workload with a 5%
+//! seeded connection-drop plan armed: the retrying client absorbs
+//! the chaos, and `serve.chaos_speedup` (chaos throughput over the
+//! v1 baseline) proves resilience is not paid for in warm-path
+//! throughput.
+//!
+//! Reports cells/second for each shape, and the speedups, via
 //! `cluster_bench::timer` medians; `--emit-manifest`/`--out` records
 //! them as manifest metrics (`serve.v1_cells_per_sec`,
-//! `serve.v2_batch_cells_per_sec_32c`, `serve.speedup`) for CI to
+//! `serve.v2_batch_cells_per_sec_32c`, `serve.speedup`,
+//! `serve.chaos_cells_per_sec`, `serve.chaos_speedup`) for CI to
 //! assert against.
 
 use std::net::TcpListener;
@@ -21,9 +28,10 @@ use std::sync::Arc;
 
 use cluster_bench::timer::bench;
 use cluster_bench::{Cli, Reporter};
-use cluster_serve::{serve_poll, ResultStore, ServeClient, ServeOptions, ServeState};
+use cluster_serve::{serve_poll, ClientConfig, ResultStore, ServeClient, ServeOptions, ServeState};
 use cluster_study::apps::FIG2_APPS;
 use cluster_study::study::{section5_caches, CLUSTER_SIZES};
+use simcore::fault::IoFaultPlan;
 use simcore::Json;
 
 /// Concurrent v2 clients in the "after" measurement.
@@ -115,6 +123,7 @@ fn main() {
             jobs: cli.jobs,
             max_line: 1 << 20,
             queue: CLIENTS + 2,
+            op_budget: 256,
         },
     ));
     let listener =
@@ -206,6 +215,61 @@ fn main() {
         })
     });
 
+    // Chaos: the same 32-client whole-matrix workload with a 5%
+    // mid-stream connection-drop plan armed (fixed seed, so every CI
+    // run injects the same drops). The retrying client absorbs the
+    // chaos; the gauge proves resilience costs little on the warm
+    // path.
+    state.set_chaos_plan(IoFaultPlan {
+        seed: 0xC4A05,
+        drop_rate: 0.05,
+        ..IoFaultPlan::disabled()
+    });
+    let chaos = bench("serve.v2 batch under 5% connection drops", 1, 3, || {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CLIENTS)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let cfg = ClientConfig {
+                            retries: 8,
+                            backoff_base: std::time::Duration::from_millis(1),
+                            backoff_cap: std::time::Duration::from_millis(20),
+                            seed: i as u64,
+                            ..ClientConfig::default()
+                        };
+                        let mut c = ServeClient::connect_with(addr_ref, cfg)
+                            .unwrap_or_else(|e| fatal(&format!("chaos client: {e}")));
+                        c.hello_v2()
+                            .unwrap_or_else(|e| fatal(&format!("chaos hello: {e}")));
+                        let resp = c
+                            .batch(specs_ref.to_vec())
+                            .unwrap_or_else(|e| fatal(&format!("chaos batch: {e}")));
+                        resp.get("jobs")
+                            .and_then(Json::as_arr)
+                            .map(|jobs| jobs.iter().map(cells_in).sum::<u64>())
+                            .unwrap_or(0)
+                    })
+                })
+                .collect();
+            let served: u64 = workers
+                .into_iter()
+                .map(|w| w.join().unwrap_or_else(|_| fatal("chaos client panicked")))
+                .sum();
+            if served != total_cells * CLIENTS as u64 {
+                fatal(&format!(
+                    "chaos pass served {served} of {} cells",
+                    total_cells * CLIENTS as u64
+                ));
+            }
+        })
+    });
+    let drops = state
+        .chaos_counters()
+        .drops
+        .load(std::sync::atomic::Ordering::Relaxed);
+    // Disarm before the control connection: `shutdown` is not retried.
+    state.set_chaos_plan(IoFaultPlan::disabled());
+
     let mut closer = connect_v2("shutdown");
     closer
         .shutdown()
@@ -218,10 +282,16 @@ fn main() {
 
     let v1_cells_per_sec = total_cells as f64 / v1.median().as_secs_f64();
     let v2_cells_per_sec = (total_cells * CLIENTS as u64) as f64 / v2.median().as_secs_f64();
+    let chaos_cells_per_sec = (total_cells * CLIENTS as u64) as f64 / chaos.median().as_secs_f64();
     let speedup = v2_cells_per_sec / v1_cells_per_sec;
+    let chaos_speedup = chaos_cells_per_sec / v1_cells_per_sec;
     println!(
         "\nwarm-cache throughput: v1 single-cell {v1_cells_per_sec:.0} cells/s, \
          v2 batch x{CLIENTS} {v2_cells_per_sec:.0} cells/s, speedup {speedup:.1}x"
+    );
+    println!(
+        "chaos (5% drops, {drops} injected): {chaos_cells_per_sec:.0} cells/s, \
+         {chaos_speedup:.1}x over v1"
     );
 
     let mut reporter = Reporter::new("serve_soak", &cli);
@@ -231,6 +301,9 @@ fn main() {
     m.gauge("serve.v1_cells_per_sec", v1_cells_per_sec);
     m.gauge("serve.v2_batch_cells_per_sec_32c", v2_cells_per_sec);
     m.gauge("serve.speedup", speedup);
+    m.gauge("serve.chaos_cells_per_sec", chaos_cells_per_sec);
+    m.gauge("serve.chaos_speedup", chaos_speedup);
+    m.gauge("serve.chaos_drops", drops as f64);
     reporter.finish();
     if throwaway {
         std::fs::remove_dir_all(&store_dir).ok();

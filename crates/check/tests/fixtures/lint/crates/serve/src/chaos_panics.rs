@@ -1,0 +1,7 @@
+//! Lint fixture: a panicking path in the chaos fault-injection layer
+//! (`no-panic` — an injected fault must degrade, never crash the
+//! server it is testing).
+
+pub fn inject_fixture(limit: Option<usize>) -> usize {
+    limit.expect("fault plan must pick a limit")
+}

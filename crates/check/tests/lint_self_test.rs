@@ -57,6 +57,13 @@ fn fixture_tree_trips_every_rule() {
     let serve_io = findings_for(&findings, "atomic-io", "raw_store_write.rs");
     assert_eq!(serve_io.len(), 1, "{serve_io:?}");
 
+    // no-panic covers the chaos fault-injection layer: an injected
+    // fault that panics instead of degrading reports like any other
+    // serve-crate panic.
+    let chaos_panics = findings_for(&findings, "no-panic", "chaos_panics.rs");
+    assert_eq!(chaos_panics.len(), 1, "{chaos_panics:?}");
+    assert!(chaos_panics[0].detail.contains(".expect("));
+
     // schema-sync: both drift directions report, for both pairings.
     let schema: Vec<&Finding> = findings
         .iter()

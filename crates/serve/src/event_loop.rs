@@ -19,13 +19,14 @@
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind as IoKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use simcore::Json;
 
+use crate::chaos::ChaosStream;
 use crate::protocol::{parse_request, LineAccum, LineRead, Op};
 use crate::server::{dispatch_heavy, lenient_id, ServeState, Session};
 
@@ -153,7 +154,7 @@ impl Drop for WorkerSlot {
 }
 
 struct Conn {
-    stream: TcpStream,
+    stream: ChaosStream,
     accum: LineAccum,
     pending: VecDeque<Pending>,
     outbox: Arc<Outbox>,
@@ -173,7 +174,7 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, max_line: usize) -> Conn {
+    fn new(stream: ChaosStream, max_line: usize) -> Conn {
         Conn {
             stream,
             accum: LineAccum::new(max_line),
@@ -319,7 +320,7 @@ fn dispatch_pending(state: &Arc<ServeState>, conn: &mut Conn) -> bool {
                         conn.outbox.push(line_bytes(&resp));
                     }
                     Ok(req) => match req.op {
-                        Op::Run(_) | Op::Batch(_) | Op::Cursor(_) => {
+                        Op::Run(_) | Op::Batch(_) | Op::Cursor { .. } => {
                             conn.busy.store(true, Ordering::SeqCst);
                             let state = Arc::clone(state);
                             let version = conn.session.version();
@@ -382,6 +383,8 @@ pub fn serve_poll(state: &Arc<ServeState>, listener: TcpListener) -> std::io::Re
     listener.set_nonblocking(true)?;
     let mut conns: Vec<Conn> = Vec::new();
     let mut shutting_down = false;
+    let counters = state.chaos_counters();
+    let mut next_conn: u64 = 0;
 
     loop {
         let mut progressed = false;
@@ -391,10 +394,23 @@ pub fn serve_poll(state: &Arc<ServeState>, listener: TcpListener) -> std::io::Re
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        let id = next_conn;
+                        next_conn += 1;
+                        // Snapshot the plan per accept: each
+                        // connection's fault schedule is pinned for
+                        // its lifetime.
+                        let plan = state.chaos_plan();
+                        if plan.refuse_accept(id) {
+                            counters.refusals.fetch_add(1, Ordering::Relaxed);
+                            drop(stream); // injected accept refusal
+                            progressed = true;
+                            continue;
+                        }
                         if stream.set_nonblocking(true).is_err() {
                             continue;
                         }
                         let _ = stream.set_nodelay(true);
+                        let stream = ChaosStream::new(stream, plan, id, Arc::clone(&counters));
                         conns.push(Conn::new(stream, state.options().max_line));
                         progressed = true;
                     }
@@ -411,6 +427,26 @@ pub fn serve_poll(state: &Arc<ServeState>, listener: TcpListener) -> std::io::Re
             // Read only while the peer's output is keeping up.
             if !conn.read_eof && !conn.dead && conn.outbox.bytes() < OUTBOX_HIGH_WATERMARK {
                 progressed |= pump_read(conn);
+            }
+            // Load shedding: a peer that pipelines past its op budget
+            // gets the newest overflow answered `overloaded` (with a
+            // retry hint) instead of growing unbounded server state.
+            while conn.pending.len() > state.options().op_budget {
+                match conn.pending.pop_back() {
+                    Some(Pending::Line(line)) => {
+                        state.note_request();
+                        conn.outbox.push(line_bytes(&state.shed_response(&line)));
+                        progressed = true;
+                    }
+                    Some(Pending::Oversized(length)) => {
+                        // Answering oversized is already O(1); no need
+                        // to reclassify it as overload.
+                        state.note_request();
+                        conn.outbox.push(line_bytes(&state.oversized(length)));
+                        progressed = true;
+                    }
+                    None => break,
+                }
             }
             if !conn.pending.is_empty() {
                 let had = conn.pending.len();

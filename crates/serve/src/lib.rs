@@ -27,7 +27,12 @@
 //!   ([`event_loop::serve_poll`]) multiplexing many clients over the
 //!   worker pool with explicit backpressure.
 //! * [`client`] — a typed TCP client ([`client::ServeClient`]) used
-//!   by `paper_run --serve`, the soak harness, and the test suites.
+//!   by `paper_run --serve`, the soak harness, and the test suites,
+//!   with socket deadlines, seeded-jitter retry, transparent
+//!   reconnect, and cursor resume ([`client::ClientConfig`]).
+//! * [`chaos`] — deterministic socket-level fault injection
+//!   ([`chaos::ChaosStream`]) driven by `simcore`'s seeded
+//!   [`simcore::fault::IoFaultPlan`] (`SERVE_FAULT_*`).
 //!
 //! The binary (`cluster_serve`) speaks the protocol over
 //! stdin/stdout, a TCP listener (nonblocking event loop), or a Unix
@@ -36,13 +41,15 @@
 //! `DESIGN.md` §12, and every behavior above is pinned by the
 //! serving-layer test suite in `crates/serve/tests/`.
 
+pub mod chaos;
 pub mod client;
 pub mod event_loop;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{ClientError, CursorSummary, ServeClient};
+pub use chaos::{ChaosCounters, ChaosStream};
+pub use client::{ClientConfig, ClientError, CursorSummary, ServeClient};
 pub use event_loop::{serve_poll, OUTBOX_HIGH_WATERMARK};
 pub use protocol::{
     parse_request, ErrorKind, JobSpec, LineAccum, Op, ProtoVersion, ProtocolError, Request,

@@ -14,8 +14,11 @@ use std::sync::Arc;
 
 use cluster_serve::event_loop::serve_poll;
 use cluster_serve::protocol::DEFAULT_MAX_LINE;
-use cluster_serve::server::{serve_connection, ServeOptions, ServeState, DEFAULT_QUEUE};
+use cluster_serve::server::{
+    serve_connection, ServeOptions, ServeState, DEFAULT_OP_BUDGET, DEFAULT_QUEUE,
+};
 use cluster_serve::store::{KeyMode, ResultStore, StoreConfig, DEFAULT_SHARDS};
+use simcore::fault::IoFaultPlan;
 
 const USAGE: &str = "\
 cluster_serve — study service with a content-addressed result cache
@@ -32,6 +35,8 @@ OPTIONS:
                            [default: unbounded]
     --jobs N               worker threads per run request [default: cores, STUDY_JOBS]
     --queue N              max concurrently executing run requests [default: 4]
+    --op-budget N          per-connection pipelined-op bound; overflow is shed
+                           with a typed `overloaded` response [default: 256]
     --max-line BYTES       per-request line cap [default: 1048576]
     --listen ADDR          serve a TCP listener (nonblocking event loop,
                            many concurrent clients) instead of stdin/stdout
@@ -41,6 +46,13 @@ OPTIONS:
 ENVIRONMENT:
     SERVE_KILL_AFTER_RECORDS=N  exit 42 after the Nth store append (crash drill)
     STUDY_JOBS=N                default for --jobs
+    SERVE_FAULT_SEED=N          seed for the deterministic chaos plan
+    SERVE_FAULT_NET_RATE=P      per-I/O-call fault probability (short reads/
+                                writes, EINTR/WouldBlock storms)
+    SERVE_FAULT_DROP_RATE=P     per-connection mid-stream drop probability
+    SERVE_FAULT_ACCEPT_RATE=P   per-connection accept-refusal probability
+    SERVE_FAULT_DISK_RATE=P     per-append store fault probability
+    SERVE_FAULT_DISK_KIND=K     write | fsync | torn | mix [default: mix]
 
 One JSON request per line. Sessions start at clustered-smp/serve/v1
 (one response line per request); `hello` upgrades to v2, which adds
@@ -53,6 +65,7 @@ struct Args {
     store_budget: Option<u64>,
     jobs: Option<usize>,
     queue: usize,
+    op_budget: usize,
     max_line: usize,
     listen: Option<String>,
     socket: Option<String>,
@@ -64,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut store_budget = None;
     let mut jobs = None;
     let mut queue = DEFAULT_QUEUE;
+    let mut op_budget = DEFAULT_OP_BUDGET;
     let mut max_line = DEFAULT_MAX_LINE;
     let mut listen = None;
     let mut socket = None;
@@ -109,6 +123,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--queue wants a positive integer")?
             }
+            "--op-budget" => {
+                op_budget = value("--op-budget")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--op-budget wants a positive integer")?
+            }
             "--max-line" => {
                 max_line = value("--max-line")?
                     .parse::<usize>()
@@ -131,6 +152,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         store_budget,
         jobs,
         queue,
+        op_budget,
         max_line,
         listen,
         socket,
@@ -156,8 +178,17 @@ fn run(argv: &[String]) -> Result<(), String> {
         jobs: cluster_study::resolve_jobs(args.jobs),
         max_line: args.max_line,
         queue: args.queue,
+        op_budget: args.op_budget,
     };
     let state = ServeState::new(store, opts);
+    let chaos = IoFaultPlan::from_env();
+    if chaos.is_active() {
+        state.set_chaos_plan(chaos);
+        eprintln!(
+            "cluster_serve: chaos plan armed (seed {}, net {}, drop {}, accept {}, disk {})",
+            chaos.seed, chaos.net_rate, chaos.drop_rate, chaos.accept_rate, chaos.disk_rate
+        );
+    }
 
     if let Some(addr) = &args.listen {
         let listener =

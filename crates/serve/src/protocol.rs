@@ -90,6 +90,10 @@ pub enum ErrorKind {
     Oversized,
     /// The bounded job queue is full; retry later.
     QueueFull,
+    /// The connection exceeded its pipelined-op budget and this
+    /// request was shed; retry later (v2 responses carry a
+    /// `retry_after_ms` hint).
+    Overloaded,
     /// The requested application is not in the registry.
     UnknownApp,
     /// The server failed internally (e.g. store I/O).
@@ -105,6 +109,7 @@ impl ErrorKind {
             ErrorKind::UnknownOp => "unknown_op",
             ErrorKind::Oversized => "oversized",
             ErrorKind::QueueFull => "queue_full",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::UnknownApp => "unknown_app",
             ErrorKind::Internal => "internal",
         }
@@ -118,6 +123,9 @@ pub struct ProtocolError {
     pub kind: ErrorKind,
     /// Human-readable specifics.
     pub detail: String,
+    /// Backoff hint for retryable kinds (`queue_full`, `overloaded`);
+    /// additive — v1 responses never carry it.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtocolError {
@@ -126,7 +134,15 @@ impl ProtocolError {
         ProtocolError {
             kind,
             detail: detail.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a backoff hint, rendered as `retry_after_ms` inside
+    /// the error object.
+    pub fn with_retry_after(mut self, ms: u64) -> ProtocolError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -156,13 +172,24 @@ pub enum Op {
     Batch(Vec<JobSpec>),
     /// Simulate one spec, streaming each finished cell as its own
     /// response line (v2 only).
-    Cursor(JobSpec),
+    Cursor {
+        /// The spec to stream.
+        spec: JobSpec,
+        /// Resume point: cells with `seq < from` are skipped (their
+        /// content-addressed results were already acked downstream).
+        /// 0 — the default when the request omits `from` — streams
+        /// the whole matrix.
+        from: u64,
+    },
     /// Negotiate the protocol version for the rest of the session.
     Hello(ProtoVersion),
     /// Liveness probe.
     Ping,
     /// Counter snapshot.
     Stats,
+    /// Load/degradation probe: queue depth, shed count, fault
+    /// counters, store pressure. Available in every version.
+    Health,
     /// Orderly stop: acknowledged, then the connection closes.
     Shutdown,
 }
@@ -304,11 +331,12 @@ fn parse_spec(j: &Json) -> Result<JobSpec, ProtocolError> {
     })
 }
 
-/// Rejects payload fields an op does not take. `spec`, `specs` and
-/// `schema` are all legal *request* fields, but each belongs to
-/// specific ops; carrying one elsewhere is a schema violation.
+/// Rejects payload fields an op does not take. `spec`, `specs`,
+/// `schema` and `from` are all legal *request* fields, but each
+/// belongs to specific ops; carrying one elsewhere is a schema
+/// violation.
 fn reject_extras(j: &Json, op: &str, takes: &[&str]) -> Result<(), ProtocolError> {
-    for field in ["spec", "specs", "schema"] {
+    for field in ["spec", "specs", "schema", "from"] {
         if j.get(field).is_some() && !takes.contains(&field) {
             return Err(bad(format!("op `{op}` takes no `{field}`")));
         }
@@ -331,7 +359,11 @@ fn required<'a>(j: &'a Json, op: &str, field: &str, what: &str) -> Result<&'a Js
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let j = simcore::json::parse(line)
         .map_err(|e| ProtocolError::new(ErrorKind::Parse, e.to_string()))?;
-    check_fields(&j, &["op", "id", "spec", "specs", "schema"], "request")?;
+    check_fields(
+        &j,
+        &["op", "id", "spec", "specs", "schema", "from"],
+        "request",
+    )?;
     let id = match j.get("id") {
         Some(v) => Some(
             v.as_u64()
@@ -350,8 +382,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Op::Run(parse_spec(required(&j, op, "spec", "object")?)?)
         }
         "cursor" => {
-            reject_extras(&j, op, &["spec"])?;
-            Op::Cursor(parse_spec(required(&j, op, "spec", "object")?)?)
+            reject_extras(&j, op, &["spec", "from"])?;
+            let from = match j.get("from") {
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad("`from` must be an unsigned integer"))?,
+                None => 0,
+            };
+            Op::Cursor {
+                spec: parse_spec(required(&j, op, "spec", "object")?)?,
+                from,
+            }
         }
         "batch" => {
             reject_extras(&j, op, &["specs"])?;
@@ -381,11 +422,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             })?;
             Op::Hello(v)
         }
-        "ping" | "stats" | "shutdown" => {
+        "ping" | "stats" | "health" | "shutdown" => {
             reject_extras(&j, op, &[])?;
             match op {
                 "ping" => Op::Ping,
                 "stats" => Op::Stats,
+                "health" => Op::Health,
                 _ => Op::Shutdown,
             }
         }
@@ -487,11 +529,13 @@ impl CellResult {
 
 /// Counter snapshot rendered by [`Response::Stats`]. Built with
 /// [`ServeStats::new`] (the required request/cell counters) plus the
-/// builder-style [`traces`], [`store`] and [`eviction`] refinements.
+/// builder-style [`traces`], [`store`], [`eviction`] and [`faults`]
+/// refinements.
 ///
 /// [`traces`]: ServeStats::traces
 /// [`store`]: ServeStats::store
 /// [`eviction`]: ServeStats::eviction
+/// [`faults`]: ServeStats::faults
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     requests: u64,
@@ -505,6 +549,10 @@ pub struct ServeStats {
     evictions: u64,
     compactions: u64,
     shards: u64,
+    shed: u64,
+    net_faults: u64,
+    disk_faults: u64,
+    append_failures: u64,
 }
 
 impl ServeStats {
@@ -539,6 +587,23 @@ impl ServeStats {
     pub fn eviction(mut self, evictions: u64, compactions: u64) -> ServeStats {
         self.evictions = evictions;
         self.compactions = compactions;
+        self
+    }
+
+    /// Degradation counters: requests shed under overload, injected
+    /// network faults, injected disk faults, and appends that failed
+    /// to reach disk durably (injected or real).
+    pub fn faults(
+        mut self,
+        shed: u64,
+        net_faults: u64,
+        disk_faults: u64,
+        append_failures: u64,
+    ) -> ServeStats {
+        self.shed = shed;
+        self.net_faults = net_faults;
+        self.disk_faults = disk_faults;
+        self.append_failures = append_failures;
         self
     }
 
@@ -580,6 +645,26 @@ impl ServeStats {
     /// Shard-journal compaction rewrites.
     pub fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Requests shed under the per-connection op budget.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Injected network faults (shorts, storms, drops, refusals).
+    pub fn net_faults(&self) -> u64 {
+        self.net_faults
+    }
+
+    /// Injected disk faults.
+    pub fn disk_faults(&self) -> u64 {
+        self.disk_faults
+    }
+
+    /// Appends that failed to reach disk durably.
+    pub fn append_failures(&self) -> u64 {
+        self.append_failures
     }
 }
 
@@ -676,7 +761,7 @@ pub enum Response {
     CursorDone {
         /// Echoed request id.
         id: Option<u64>,
-        /// Cells attempted.
+        /// Cells in the full matrix (skipped ones included).
         cells: u64,
         /// Cells served from the store.
         cache_hits: u64,
@@ -685,6 +770,31 @@ pub enum Response {
         /// Cells that failed (each was reported as an inline error
         /// line before `cursor_done`).
         failed: u64,
+        /// Cells skipped by a resume `from` (the `skipped` key is
+        /// emitted only when nonzero, keeping from-0 streams
+        /// byte-identical to their pre-resume shape).
+        skipped: u64,
+    },
+    /// `health` probe answer: load and degradation counters.
+    Health {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Run requests executing right now.
+        active: u64,
+        /// Max concurrently executing run requests.
+        queue: u64,
+        /// Requests shed under the per-connection op budget.
+        shed: u64,
+        /// Injected network faults.
+        net_faults: u64,
+        /// Injected disk faults.
+        disk_faults: u64,
+        /// Appends that failed to reach disk durably.
+        append_failures: u64,
+        /// Entries in the result store.
+        store_entries: u64,
+        /// Bytes the result store holds on disk.
+        store_bytes: u64,
     },
 }
 
@@ -740,12 +850,13 @@ impl Response {
                     j.push("id", *id);
                 }
                 j.push("ok", false);
-                j.push(
-                    "error",
-                    Json::obj()
-                        .with("kind", err.kind.label())
-                        .with("detail", err.detail.as_str()),
-                );
+                let mut e = Json::obj()
+                    .with("kind", err.kind.label())
+                    .with("detail", err.detail.as_str());
+                if let Some(ms) = err.retry_after_ms {
+                    e.push("retry_after_ms", ms);
+                }
+                j.push("error", e);
                 j
             }
             Response::Run { id, app, cells } => {
@@ -781,6 +892,10 @@ impl Response {
                     j.push("evictions", stats.evictions);
                     j.push("compactions", stats.compactions);
                     j.push("shards", stats.shards);
+                    j.push("shed", stats.shed);
+                    j.push("net_faults", stats.net_faults);
+                    j.push("disk_faults", stats.disk_faults);
+                    j.push("append_failures", stats.append_failures);
                 }
                 j
             }
@@ -796,11 +911,37 @@ impl Response {
                 cache_hits,
                 sims,
                 failed,
-            } => ok_base(*id, "cursor_done")
-                .with("cells", *cells)
-                .with("cache_hits", *cache_hits)
-                .with("sims", *sims)
-                .with("failed", *failed),
+                skipped,
+            } => {
+                let mut j = ok_base(*id, "cursor_done")
+                    .with("cells", *cells)
+                    .with("cache_hits", *cache_hits)
+                    .with("sims", *sims)
+                    .with("failed", *failed);
+                if *skipped > 0 {
+                    j.push("skipped", *skipped);
+                }
+                j
+            }
+            Response::Health {
+                id,
+                active,
+                queue,
+                shed,
+                net_faults,
+                disk_faults,
+                append_failures,
+                store_entries,
+                store_bytes,
+            } => ok_base(*id, "health")
+                .with("active", *active)
+                .with("queue", *queue)
+                .with("shed", *shed)
+                .with("net_faults", *net_faults)
+                .with("disk_faults", *disk_faults)
+                .with("append_failures", *append_failures)
+                .with("store_entries", *store_entries)
+                .with("store_bytes", *store_bytes),
         }
     }
 }

@@ -20,7 +20,7 @@
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cluster_study::checkpoint::JournalEntry;
@@ -28,9 +28,11 @@ use cluster_study::manifest::{RunRecord, ServedBy};
 use cluster_study::parallel::{run_items, run_items_streamed, RunStatus};
 use cluster_study::run_config;
 use coherence::config::CacheSpec;
+use simcore::fault::IoFaultPlan;
 use simcore::ops::Trace;
 use simcore::Json;
 
+use crate::chaos::ChaosCounters;
 use crate::protocol::{
     parse_request, read_bounded_line, write_response, BatchJob, CellResult, ErrorKind, JobSpec,
     LineRead, Op, ProtoVersion, ProtocolError, Request, Response, ServeStats, DEFAULT_MAX_LINE,
@@ -40,6 +42,14 @@ use crate::store::{size_label, ResultStore, TraceStore};
 
 /// Default bound on concurrently executing `run` requests.
 pub const DEFAULT_QUEUE: usize = 4;
+
+/// Default per-connection pipelined-op budget (the event loop sheds
+/// parsed-but-unserved requests beyond it with `overloaded`).
+pub const DEFAULT_OP_BUDGET: usize = 256;
+
+/// Backoff hint carried by `queue_full` (v2 only) and `overloaded`
+/// responses.
+pub const RETRY_AFTER_MS: u64 = 25;
 
 /// Tunables for a server instance.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +61,10 @@ pub struct ServeOptions {
     /// Bound on concurrently executing `run` requests; excess answers
     /// `queue_full` instead of piling unbounded work onto the pool.
     pub queue: usize,
+    /// Per-connection bound on pipelined ops parsed but not yet
+    /// served; excess requests are shed with `overloaded` instead of
+    /// accumulating unbounded state for one greedy peer.
+    pub op_budget: usize,
 }
 
 impl Default for ServeOptions {
@@ -59,6 +73,7 @@ impl Default for ServeOptions {
             jobs: cluster_study::resolve_jobs(None),
             max_line: DEFAULT_MAX_LINE,
             queue: DEFAULT_QUEUE,
+            op_budget: DEFAULT_OP_BUDGET,
         }
     }
 }
@@ -97,6 +112,9 @@ pub struct ServeState {
     active: AtomicUsize,
     requests: AtomicU64,
     shutdown: AtomicBool,
+    shed: AtomicU64,
+    chaos: Mutex<IoFaultPlan>,
+    chaos_counters: Arc<ChaosCounters>,
 }
 
 /// Releases a job-queue slot when a `run` request finishes, on every
@@ -121,7 +139,28 @@ impl ServeState {
             active: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            chaos: Mutex::new(IoFaultPlan::disabled()),
+            chaos_counters: Arc::new(ChaosCounters::default()),
         }
+    }
+
+    /// Installs (or replaces) the chaos plan. Socket faults apply to
+    /// connections accepted *after* this call; disk faults are
+    /// forwarded to the store and apply to every later append.
+    pub fn set_chaos_plan(&self, plan: IoFaultPlan) {
+        *self.chaos.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+        self.store.set_fault_plan(plan);
+    }
+
+    /// The chaos plan in force for newly accepted connections.
+    pub fn chaos_plan(&self) -> IoFaultPlan {
+        *self.chaos.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Counters the event loop's [`crate::chaos::ChaosStream`]s share.
+    pub fn chaos_counters(&self) -> Arc<ChaosCounters> {
+        Arc::clone(&self.chaos_counters)
     }
 
     /// The underlying result store.
@@ -152,6 +191,12 @@ impl ServeState {
         .traces(tc.hits, tc.gens)
         .store(sc.entries as u64, sc.bytes, sc.shards as u64)
         .eviction(sc.evictions, sc.compactions)
+        .faults(
+            self.shed.load(Ordering::SeqCst),
+            self.chaos_counters.total(),
+            sc.disk_faults,
+            sc.append_failures,
+        )
     }
 
     /// Counts one request (any op, including unparseable and
@@ -175,16 +220,41 @@ impl ServeState {
         .to_json()
     }
 
-    fn acquire_slot(&self) -> Result<SlotGuard<'_>, ProtocolError> {
+    fn acquire_slot(&self, version: ProtoVersion) -> Result<SlotGuard<'_>, ProtocolError> {
         let prev = self.active.fetch_add(1, Ordering::SeqCst);
         if prev >= self.opts.queue {
             self.active.fetch_sub(1, Ordering::SeqCst);
-            return Err(ProtocolError::new(
+            let mut err = ProtocolError::new(
                 ErrorKind::QueueFull,
                 format!("job queue full ({} run requests active)", self.opts.queue),
-            ));
+            );
+            // Additive backoff hint: v2 only, so v1 responses stay
+            // byte-identical to the PR 6 shape.
+            if version == ProtoVersion::V2 {
+                err = err.with_retry_after(RETRY_AFTER_MS);
+            }
+            return Err(err);
         }
         Ok(SlotGuard { state: self })
+    }
+
+    /// The typed response for a request shed under the per-connection
+    /// op budget; counts the shed. `overloaded` is a new (v2-era)
+    /// error kind, so it always carries the backoff hint.
+    pub(crate) fn shed_response(&self, line: &str) -> Json {
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        Response::Error {
+            id: lenient_id(line),
+            err: ProtocolError::new(
+                ErrorKind::Overloaded,
+                format!(
+                    "connection exceeded {} pipelined ops; request shed",
+                    self.opts.op_budget
+                ),
+            )
+            .with_retry_after(RETRY_AFTER_MS),
+        }
+        .to_json()
     }
 
     fn require_v2(&self, sess: &Session, op: &str) -> Result<(), ProtocolError> {
@@ -251,6 +321,24 @@ impl ServeState {
                 );
                 false
             }
+            Op::Health => {
+                let sc = self.store.counters();
+                emit(
+                    Response::Health {
+                        id,
+                        active: self.active.load(Ordering::SeqCst) as u64,
+                        queue: self.opts.queue as u64,
+                        shed: self.shed.load(Ordering::SeqCst),
+                        net_faults: self.chaos_counters.total(),
+                        disk_faults: sc.disk_faults,
+                        append_failures: sc.append_failures,
+                        store_entries: sc.entries as u64,
+                        store_bytes: sc.bytes,
+                    }
+                    .to_json(),
+                );
+                false
+            }
             Op::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 emit(Response::ShutdownAck { id }.to_json());
@@ -262,7 +350,7 @@ impl ServeState {
                 false
             }
             Op::Run(spec) => {
-                emit(self.run_json(id, &spec));
+                emit(self.run_json(id, &spec, sess.version()));
                 false
             }
             Op::Batch(specs) => {
@@ -272,9 +360,9 @@ impl ServeState {
                 });
                 false
             }
-            Op::Cursor(spec) => {
+            Op::Cursor { spec, from } => {
                 match self.require_v2(sess, "cursor") {
-                    Ok(()) => self.handle_cursor(id, &spec, emit),
+                    Ok(()) => self.handle_cursor(id, &spec, from, emit),
                     Err(e) => emit(Response::Error { id, err: e }.to_json()),
                 }
                 false
@@ -389,8 +477,8 @@ impl ServeState {
         Ok(cells)
     }
 
-    fn run_json(&self, id: Option<u64>, spec: &JobSpec) -> Json {
-        let _slot = match self.acquire_slot() {
+    fn run_json(&self, id: Option<u64>, spec: &JobSpec, version: ProtoVersion) -> Json {
+        let _slot = match self.acquire_slot(version) {
             Ok(s) => s,
             Err(e) => return Response::Error { id, err: e }.to_json(),
         };
@@ -410,7 +498,8 @@ impl ServeState {
     /// single error line (specs are already schema-validated, so the
     /// only failures left are `unknown_app` and store I/O).
     fn batch_json(&self, id: Option<u64>, specs: &[JobSpec]) -> Json {
-        let _slot = match self.acquire_slot() {
+        // Batch is v2-only, so the queue-full hint is unconditional.
+        let _slot = match self.acquire_slot(ProtoVersion::V2) {
             Ok(s) => s,
             Err(e) => return Response::Error { id, err: e }.to_json(),
         };
@@ -431,8 +520,19 @@ impl ServeState {
     /// line per finished cell **in request order** (each carrying the
     /// full journal document), inline error lines for failed cells,
     /// and a `cursor_done` trailer.
-    fn handle_cursor(&self, id: Option<u64>, spec: &JobSpec, emit: &mut dyn FnMut(Json)) {
-        let _slot = match self.acquire_slot() {
+    ///
+    /// A resume request (`from > 0`) skips the first `from` cells —
+    /// the client already acked them on a previous connection, and
+    /// content-addressed keys make recomputing the rest idempotent —
+    /// then streams the remainder with their original `seq` numbers.
+    fn handle_cursor(
+        &self,
+        id: Option<u64>,
+        spec: &JobSpec,
+        from: u64,
+        emit: &mut dyn FnMut(Json),
+    ) {
+        let _slot = match self.acquire_slot(ProtoVersion::V2) {
             Ok(s) => s,
             Err(e) => return emit(Response::Error { id, err: e }.to_json()),
         };
@@ -453,6 +553,18 @@ impl ServeState {
         };
         let size = size_label(spec.size);
         let items = Self::cell_items(spec);
+        if from > items.len() as u64 {
+            return emit(
+                Response::Error {
+                    id,
+                    err: ProtocolError::new(
+                        ErrorKind::Protocol,
+                        format!("`from` ({from}) beyond the {}-cell matrix", items.len()),
+                    ),
+                }
+                .to_json(),
+            );
+        }
         emit(
             Response::CursorStart {
                 id,
@@ -461,11 +573,12 @@ impl ServeState {
             }
             .to_json(),
         );
+        let rest = &items[from as usize..];
         let mut hits = 0u64;
         let mut sims = 0u64;
         let mut failed = 0u64;
         let results = run_items_streamed(
-            &items,
+            rest,
             self.opts.jobs,
             |&(cache, cluster)| self.compute_cell(spec, &trace, size, cache, cluster, true),
             |i, result| match result {
@@ -478,7 +591,7 @@ impl ServeState {
                     emit(
                         Response::CursorCell {
                             id,
-                            seq: i as u64,
+                            seq: i as u64 + from,
                             cell: cell.clone(),
                         }
                         .to_json(),
@@ -504,6 +617,7 @@ impl ServeState {
                 cache_hits: hits,
                 sims,
                 failed,
+                skipped: from,
             }
             .to_json(),
         );

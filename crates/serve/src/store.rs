@@ -68,6 +68,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cluster_study::checkpoint::JournalEntry;
 use cluster_study::manifest::{write_atomic, SEED_SCHEME};
+use simcore::fault::{DiskFault, IoFaultPlan};
 use simcore::ops::Trace;
 use simcore::{stable_key, Json};
 use splash::ProblemSize;
@@ -306,6 +307,11 @@ pub struct StoreCounters {
     pub compactions: u64,
     /// Shard journals backing the store.
     pub shards: usize,
+    /// Disk faults injected by the chaos plan (`SERVE_FAULT_DISK_*`).
+    pub disk_faults: u64,
+    /// Appends that failed to reach disk durably (injected or real);
+    /// each degraded to a memory-only entry instead of an error.
+    pub append_failures: u64,
 }
 
 struct Slot {
@@ -323,9 +329,11 @@ struct ShardInner {
     misses: u64,
     evictions: u64,
     compactions: u64,
+    appends: u64,
 }
 
 struct Shard {
+    idx: usize,
     path: PathBuf,
     header: Json,
     inner: Mutex<ShardInner>,
@@ -344,6 +352,9 @@ pub struct ResultStore {
     clock: AtomicU64,
     appended: AtomicUsize,
     kill_after: AtomicUsize, // 0 = disarmed
+    fault: Mutex<IoFaultPlan>,
+    disk_faults: AtomicU64,
+    append_failures: AtomicU64,
 }
 
 /// Recovers poisoned locks: a panic inside a lock scope here can only
@@ -379,11 +390,21 @@ fn entry_line(e: &StoreEntry) -> String {
 /// reopen reconstructs the same eviction order) and reopens the
 /// append handle. The caller updates counters.
 fn rewrite_shard(inner: &mut ShardInner, path: &Path, header: &Json) -> Result<(), StoreError> {
-    let mut slots: Vec<&Slot> = inner.map.values().collect();
-    slots.sort_by_key(|s| s.last_served);
+    let mut order: Vec<(u64, String)> = inner
+        .map
+        .iter()
+        .map(|(k, s)| (s.last_served, k.clone()))
+        .collect();
+    order.sort();
     let mut body = format!("{header}\n");
-    for s in slots {
-        body.push_str(&entry_line(&s.entry));
+    for (_, key) in &order {
+        if let Some(s) = inner.map.get_mut(key) {
+            let line = entry_line(&s.entry);
+            // A memory-only entry (degraded append, line_len 0) is
+            // persisted by this rewrite; refresh its byte accounting.
+            s.line_len = line.len() as u64;
+            body.push_str(&line);
+        }
     }
     write_atomic(path, body.as_bytes())?;
     inner.file = OpenOptions::new().append(true).open(path)?;
@@ -511,6 +532,7 @@ impl ResultStore {
                 misses: 0,
                 evictions: 0,
                 compactions: 0,
+                appends: 0,
             };
             for e in entries {
                 let line_len = entry_line(&e).len() as u64;
@@ -536,6 +558,7 @@ impl ResultStore {
                 enforce_budget(&mut inner, &path, &header, high, low)?;
             }
             loaded.push(Shard {
+                idx: i,
                 path,
                 header,
                 inner: Mutex::new(inner),
@@ -550,6 +573,9 @@ impl ResultStore {
             clock: AtomicU64::new(clock + 1),
             appended: AtomicUsize::new(0),
             kill_after: AtomicUsize::new(0),
+            fault: Mutex::new(IoFaultPlan::disabled()),
+            disk_faults: AtomicU64::new(0),
+            append_failures: AtomicU64::new(0),
         })
     }
 
@@ -593,6 +619,20 @@ impl ResultStore {
         self.kill_after.store(n, Ordering::SeqCst);
     }
 
+    /// Installs (or replaces) the chaos plan consulted on every
+    /// append. Disk faults degrade the append to a memory-only entry
+    /// — the cell is still served, and a later compaction or restart
+    /// recomputation makes it durable — so an injected (or real) disk
+    /// failure can never corrupt the journal or kill the server.
+    pub fn set_fault_plan(&self, plan: IoFaultPlan) {
+        *lock(&self.fault) = plan;
+    }
+
+    /// The currently installed chaos plan (disabled by default).
+    pub fn fault_plan(&self) -> IoFaultPlan {
+        *lock(&self.fault)
+    }
+
     fn shard(&self, key: &str) -> &Shard {
         &self.shards[shard_of(key, self.shards.len())]
     }
@@ -631,6 +671,8 @@ impl ResultStore {
             c.evictions += g.evictions;
             c.compactions += g.compactions;
         }
+        c.disk_faults = self.disk_faults.load(Ordering::Relaxed);
+        c.append_failures = self.append_failures.load(Ordering::Relaxed);
         c
     }
 
@@ -718,7 +760,14 @@ impl ResultStore {
 
     /// Appends an entry to its shard under the shard lock, publishes
     /// it to the map, releases the single-flight claim, and enforces
-    /// the byte budget. Honors the kill hook.
+    /// the byte budget. Honors the kill hook and the chaos plan.
+    ///
+    /// A failed append — injected by the plan or a real I/O error —
+    /// *degrades* instead of erroring: any partial line is truncated
+    /// away (so the journal stays strictly parseable) and the entry
+    /// is published in memory only, to be persisted by a later
+    /// compaction or recomputed after a restart. The only hard error
+    /// left is a failed truncation repair.
     fn record_entry(
         &self,
         entry: StoreEntry,
@@ -728,51 +777,93 @@ impl ResultStore {
         let key = entry.key.clone();
         let mut g = lock(&shard.inner);
         let line = entry_line(&entry);
-        let io = g
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|()| g.file.sync_data());
-        match io {
-            Ok(()) => {
-                g.bytes += line.len() as u64;
-                g.map.insert(
-                    key.clone(),
-                    Slot {
-                        entry,
-                        line_len: line.len() as u64,
-                        last_served: self.clock.fetch_add(1, Ordering::Relaxed),
-                    },
-                );
-                g.inflight.remove(&key);
-                guard.armed = false;
-                if let Some(budget) = self.byte_budget {
-                    let high = (budget / self.shards.len() as u64).max(1);
-                    let low = high.saturating_sub(high / 4);
-                    enforce_budget(&mut g, &shard.path, &shard.header, high, low)?;
-                }
-                let appended = self.appended.fetch_add(1, Ordering::SeqCst) + 1;
-                let target = self.kill_after.load(Ordering::SeqCst);
-                let kill = target != 0 && appended >= target;
-                drop(g);
-                shard.done.notify_all();
-                if kill {
-                    // Not eprintln!: a closed stderr (the harness may
-                    // have dropped the pipe) must not panic this
-                    // thread before the exit below gets to run.
-                    let _ = writeln!(
-                        std::io::stderr(),
-                        "cluster_serve: kill_after hook tripped; exiting {KILL_EXIT_CODE}"
-                    );
-                    std::process::exit(KILL_EXIT_CODE);
-                }
-                Ok(())
+        g.appends += 1;
+        let fault = self
+            .fault_plan()
+            .disk_fault(shard.idx as u64, g.appends, line.len());
+        if fault.is_some() {
+            self.disk_faults.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase 1: get the line onto disk. `on_disk` = the full line
+        // landed; `durable` = its fdatasync succeeded too.
+        let (on_disk, durable) = match fault {
+            Some(DiskFault::WriteErr) => (false, false),
+            Some(DiskFault::Torn { keep }) => {
+                // A torn append: only a prefix reaches the file (the
+                // write "failed" partway). Repaired by truncation
+                // below, exactly like a real partial write.
+                let _ = g.file.write_all(&line.as_bytes()[..keep]);
+                (false, false)
             }
-            Err(e) => {
-                // The guard (still armed) releases the claim on drop.
+            Some(DiskFault::FsyncErr) => (g.file.write_all(line.as_bytes()).is_ok(), false),
+            None => match g.file.write_all(line.as_bytes()) {
+                Ok(()) => (true, g.file.sync_data().is_ok()),
+                Err(_) => (false, false),
+            },
+        };
+
+        if on_disk {
+            g.bytes += line.len() as u64;
+        } else {
+            // Truncate any partial write so every line before EOF
+            // stays well formed (a torn tail mid-journal would turn
+            // later appends into malformed *middle* lines). `g.bytes`
+            // tracks the exact pre-append file length.
+            let repair_to = g.bytes;
+            if let Err(e) = g.file.set_len(repair_to) {
+                // The journal may hold a torn line we cannot remove;
+                // reopen-time healing still recovers it, but this
+                // append must report the failure.
                 drop(g);
-                Err(StoreError::Io(e))
+                return Err(StoreError::Io(e));
             }
         }
+        if !durable {
+            self.append_failures.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase 2: publish. Even a failed append serves its cell —
+        // the entry just lives in memory only (line_len 0: it holds
+        // no journal bytes) until a compaction rewrite or a restart
+        // recomputation makes it durable.
+        g.map.insert(
+            key.clone(),
+            Slot {
+                entry,
+                line_len: if on_disk { line.len() as u64 } else { 0 },
+                last_served: self.clock.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        g.inflight.remove(&key);
+        guard.armed = false;
+        if on_disk {
+            if let Some(budget) = self.byte_budget {
+                let high = (budget / self.shards.len() as u64).max(1);
+                let low = high.saturating_sub(high / 4);
+                enforce_budget(&mut g, &shard.path, &shard.header, high, low)?;
+            }
+        }
+        let kill = if on_disk {
+            let appended = self.appended.fetch_add(1, Ordering::SeqCst) + 1;
+            let target = self.kill_after.load(Ordering::SeqCst);
+            target != 0 && appended >= target
+        } else {
+            false
+        };
+        drop(g);
+        shard.done.notify_all();
+        if kill {
+            // Not eprintln!: a closed stderr (the harness may
+            // have dropped the pipe) must not panic this
+            // thread before the exit below gets to run.
+            let _ = writeln!(
+                std::io::stderr(),
+                "cluster_serve: kill_after hook tripped; exiting {KILL_EXIT_CODE}"
+            );
+            std::process::exit(KILL_EXIT_CODE);
+        }
+        Ok(())
     }
 }
 

@@ -166,6 +166,7 @@ fn served_cells_match_direct_study_runs_byte_for_byte() {
                 jobs: 2,
                 max_line: 1 << 16,
                 queue: 2,
+                op_budget: 256,
             };
             let request = case.request();
 

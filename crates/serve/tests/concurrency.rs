@@ -117,6 +117,7 @@ fn overlapping_server_connections_share_one_simulation_per_cell() {
             jobs: 2,
             max_line: 1 << 16,
             queue: 8,
+            op_budget: 256,
         },
     );
     // Three clients, overlapping matrices. The union covers 4 unique
@@ -310,6 +311,7 @@ fn killed_server_restarts_with_a_valid_store_and_serves_the_prefix() {
             jobs: 1,
             max_line: 1 << 16,
             queue: 1,
+            op_budget: 256,
         },
     );
     let fresh = drive(&st, RUN_REQ);

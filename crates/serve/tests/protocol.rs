@@ -35,6 +35,7 @@ fn small_opts() -> ServeOptions {
         jobs: 2,
         max_line: 4096,
         queue: 2,
+        op_budget: 256,
     }
 }
 
@@ -522,19 +523,34 @@ fn stats_gains_store_counters_only_after_the_v2_handshake() {
     let (v1, _) = drive(&st, "{\"op\":\"stats\"}\n");
     assert!(v1[0].get("store_bytes").is_none());
     assert!(v1[0].get("shards").is_none());
-    // v2 session: the same counters plus store shape and eviction.
+    assert!(v1[0].get("shed").is_none());
+    // v2 session: the same counters plus store shape, eviction, and
+    // the degradation ledger (shed requests, injected faults).
     let (v2, _) = drive(
         &st,
         &format!("{HELLO_V2}{}", "{\"op\":\"stats\",\"id\":2}\n"),
     );
     let s = &v2[1];
     assert_ok(s, "stats");
-    for key in ["store_bytes", "evictions", "compactions", "shards"] {
+    for key in [
+        "store_bytes",
+        "evictions",
+        "compactions",
+        "shards",
+        "shed",
+        "net_faults",
+        "disk_faults",
+        "append_failures",
+    ] {
         assert!(
             s.get(key).and_then(Json::as_u64).is_some(),
             "v2 stats must carry `{key}`"
         );
     }
+    assert_eq!(s.get("shed").and_then(Json::as_u64), Some(0));
+    assert_eq!(s.get("net_faults").and_then(Json::as_u64), Some(0));
+    assert_eq!(s.get("disk_faults").and_then(Json::as_u64), Some(0));
+    assert_eq!(s.get("append_failures").and_then(Json::as_u64), Some(0));
     assert_eq!(s.get("store_entries").and_then(Json::as_u64), Some(1));
     assert!(s.get("store_bytes").and_then(Json::as_u64).unwrap_or(0) > 0);
     assert_eq!(s.get("evictions").and_then(Json::as_u64), Some(0));
@@ -597,6 +613,124 @@ fn deprecated_writers_match_the_response_enum_byte_for_byte() {
         .to_json()
         .to_string()
     );
+}
+
+#[test]
+fn health_reports_load_and_degradation_counters() {
+    let (st, dir) = state("health", small_opts());
+    drive(
+        &st,
+        "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n",
+    );
+    let (resps, _) = drive(&st, "{\"op\":\"health\",\"id\":6}\n");
+    let h = &resps[0];
+    assert_ok(h, "health");
+    assert_eq!(h.get("id").and_then(Json::as_u64), Some(6));
+    for key in [
+        "active",
+        "queue",
+        "shed",
+        "net_faults",
+        "disk_faults",
+        "append_failures",
+        "store_entries",
+        "store_bytes",
+    ] {
+        assert!(
+            h.get(key).and_then(Json::as_u64).is_some(),
+            "health response must carry `{key}`"
+        );
+    }
+    assert_eq!(h.get("active").and_then(Json::as_u64), Some(0));
+    assert_eq!(h.get("queue").and_then(Json::as_u64), Some(2));
+    assert_eq!(h.get("shed").and_then(Json::as_u64), Some(0));
+    assert_eq!(h.get("store_entries").and_then(Json::as_u64), Some(1));
+    // Strictness holds for the new op too: stray fields are rejected.
+    let (resps, _) = drive(&st, "{\"op\":\"health\",\"spec\":{}}\n");
+    assert_eq!(error_kind(&resps[0]), "protocol");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queue_full_backoff_hint_is_v2_only() {
+    let (st, dir) = state(
+        "queue-hint",
+        ServeOptions {
+            queue: 0,
+            ..small_opts()
+        },
+    );
+    let run = "{\"op\":\"run\",\"spec\":{\"app\":\"lu\",\"caches\":[\"inf\"],\"clusters\":[1]}}\n";
+    // v1 stays byte-compatible with PR 6: no hint field.
+    let (v1, _) = drive(&st, run);
+    assert_eq!(error_kind(&v1[0]), "queue_full");
+    assert!(v1[0]
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .is_none());
+    // v2 sessions get the additive `retry_after_ms` hint.
+    let (v2, _) = drive(&st, &format!("{HELLO_V2}{run}"));
+    assert_eq!(error_kind(&v2[1]), "queue_full");
+    let hint = v2[1]
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Json::as_u64);
+    assert!(hint.is_some_and(|ms| ms > 0), "v2 queue_full hints backoff");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cursor_from_resumes_the_stream_and_reports_skipped() {
+    let (st, dir) = state("cursor-resume", small_opts());
+    let spec = "{\"app\":\"lu\",\"caches\":[\"inf\",\"4k\"],\"clusters\":[1,2]}";
+    // Warm the 4-cell matrix so the resumed segment is all hits.
+    drive(&st, &format!("{{\"op\":\"run\",\"spec\":{spec}}}\n"));
+
+    // A resumed cursor: skip the first two cells, stream the rest.
+    let (resps, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{{\"op\":\"cursor\",\"id\":2,\"spec\":{spec},\"from\":2}}\n"),
+    );
+    assert_eq!(resps.len(), 1 + 1 + 2 + 1, "hello + start + 2 cells + done");
+    let start = &resps[1];
+    assert_ok(start, "cursor");
+    assert_eq!(
+        start.get("total").and_then(Json::as_u64),
+        Some(4),
+        "the start line still promises the full matrix"
+    );
+    for (line, want_seq) in resps[2..4].iter().zip([2u64, 3]) {
+        assert_ok(line, "cell");
+        assert_eq!(line.get("seq").and_then(Json::as_u64), Some(want_seq));
+    }
+    let done = &resps[4];
+    assert_ok(done, "cursor_done");
+    assert_eq!(done.get("cells").and_then(Json::as_u64), Some(4));
+    assert_eq!(done.get("skipped").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("cache_hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(done.get("sims").and_then(Json::as_u64), Some(0));
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(0));
+
+    // `from: 0` keeps the PR 8 wire shape: no `skipped` key at all.
+    let (resps, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{{\"op\":\"cursor\",\"id\":3,\"spec\":{spec},\"from\":0}}\n"),
+    );
+    let done = resps.last().expect("trailer");
+    assert_ok(done, "cursor_done");
+    assert!(done.get("skipped").is_none(), "from 0 is byte-identical");
+
+    // A cursor past the end of the matrix is a typed protocol error.
+    let (resps, _) = drive(
+        &st,
+        &format!("{HELLO_V2}{{\"op\":\"cursor\",\"id\":4,\"spec\":{spec},\"from\":9}}\n"),
+    );
+    assert_eq!(error_kind(&resps[1]), "protocol");
+    assert!(error_detail(&resps[1]).contains("from"));
+    // `from` is a v2/cursor-only field.
+    let (resps, _) = drive(&st, "{\"op\":\"ping\",\"from\":1}\n");
+    assert_eq!(error_kind(&resps[0]), "protocol");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

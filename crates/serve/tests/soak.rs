@@ -58,6 +58,7 @@ fn thirty_two_mixed_clients_soak_the_poll_loop() {
             jobs: 1,
             max_line: 1 << 20,
             queue: 64,
+            op_budget: 256,
         },
     );
 

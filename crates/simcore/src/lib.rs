@@ -50,7 +50,7 @@ pub mod stats;
 
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use cache::{CacheError, CacheKind, EvictedLine, FullLruCache, SetAssocCache};
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{DiskFault, DiskFaultKind, FaultKind, FaultPlan, IoFaultPlan, NetFault};
 pub use hash::{fnv1a128, stable_key};
 pub use json::Json;
 pub use metrics::{MetricValue, Metrics};
