@@ -15,8 +15,21 @@
 //! * [`lint`] — a source-level **workspace lint pass** enforcing repo
 //!   invariants the compiler can't: no panicking calls in the
 //!   simulation library crates, no wall-clock values in simulation
-//!   results, atomic artifact writes only, and schema agreement
-//!   between the manifest writers and the golden schema test.
+//!   results, no lossy `as` casts in the simulation kernel, atomic
+//!   artifact writes only, and schema agreement between the artifact
+//!   writers and the golden schema tests.
+//!
+//! Plus the `cluster_race` analysis layer (DESIGN.md §15):
+//!
+//! * [`race`] — **happens-before race detection** over `simcore::ops`
+//!   traces: per-processor vector clocks, barrier/lock sync edges, and
+//!   propcheck-shrunk minimal witness schedules for every race.
+//! * [`certify`] — **replay-order certification**: a shadow directory
+//!   over the witness stream of a real `tango` replay, checking
+//!   single-writer-per-epoch, per-line write serialization, and
+//!   reads-see-latest-serialized-write on every committed access.
 
+pub mod certify;
 pub mod lint;
 pub mod model;
+pub mod race;

@@ -11,14 +11,22 @@
 //! |              | values must never flow into simulation results     |
 //! | `atomic-io`  | direct `fs::write` of artifacts anywhere outside   |
 //! |              | `write_atomic` (crate `src/` trees and `examples/`)|
+//! | `no-lossy-cast` | bare `as u32` / `as usize` in non-test code of  |
+//! |              | `simcore`, `coherence`, and `tango` — width        |
+//! |              | conversions go through `try_from` or the helpers   |
+//! |              | in `simcore::cast`, so a count overflowing the     |
+//! |              | target width can never silently wrap               |
 //! | `schema-sync`| drift between a writer key set and its golden      |
 //! |              | schema test, per pairing: the manifest writers     |
 //! |              | (`manifest.rs`, `parallel.rs`) against             |
 //! |              | `crates/bench/tests/manifest_schema.rs`, the serve |
 //! |              | protocol writer (`serve/src/protocol.rs`) against  |
-//! |              | `crates/serve/tests/protocol.rs`, and the sampling |
+//! |              | `crates/serve/tests/protocol.rs`, the sampling     |
 //! |              | writer (`simcore/src/sample.rs`) against           |
-//! |              | `crates/simcore/tests/prop_sample.rs`              |
+//! |              | `crates/simcore/tests/prop_sample.rs`, and the     |
+//! |              | race/certificate writers (`simcore/src/witness.rs`,|
+//! |              | `simcore/src/ops.rs`) against                      |
+//! |              | `crates/check/tests/schema_race.rs`                |
 //!
 //! Scanning is token-based over comment-stripped source with
 //! `#[cfg(test)]` modules skipped, so the pass needs no compiler
@@ -76,6 +84,28 @@ fn split_comment(line: &str) -> (&str, &str) {
     (line, "")
 }
 
+/// Counts `{` / `}` in `code` outside string literals. A brace inside
+/// a literal (`let b = "{";`) must not perturb the `#[cfg(test)]` skip
+/// depth — an unmatched one would otherwise make the skipper swallow
+/// (or leak) the rest of the file.
+fn code_braces(code: &str) -> (i64, i64) {
+    let bytes = code.as_bytes();
+    let (mut opens, mut closes) = (0i64, 0i64);
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped char
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => opens += 1,
+            b'}' if !in_str => closes += 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    (opens, closes)
+}
+
 /// Lines of `text` with `#[cfg(test)]`-gated blocks removed, as
 /// `(line_number, raw_line)` pairs. Tracks brace depth from the first
 /// `{` after the attribute to the matching `}`.
@@ -91,8 +121,7 @@ fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
             continue;
         }
         if pending_attr {
-            let opens = code.matches('{').count() as i64;
-            let closes = code.matches('}').count() as i64;
+            let (opens, closes) = code_braces(code);
             if opens > 0 {
                 pending_attr = false;
                 skipping = true;
@@ -104,8 +133,8 @@ fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
             continue;
         }
         if skipping {
-            depth += code.matches('{').count() as i64;
-            depth -= code.matches('}').count() as i64;
+            let (opens, closes) = code_braces(code);
+            depth += opens - closes;
             if depth <= 0 {
                 skipping = false;
             }
@@ -271,7 +300,7 @@ struct SchemaPair {
 /// the warm-cycle fields of the embedded `sampling` object, which the
 /// sampling writer emits and its own golden pins — the manifest
 /// golden reads them back only to close the cycle-coverage sum.
-const SCHEMA_PAIRS: [SchemaPair; 3] = [
+const SCHEMA_PAIRS: [SchemaPair; 4] = [
     SchemaPair {
         writers: &["crates/core/src/manifest.rs", "crates/core/src/parallel.rs"],
         golden: "crates/bench/tests/manifest_schema.rs",
@@ -297,6 +326,13 @@ const SCHEMA_PAIRS: [SchemaPair; 3] = [
         writer_exempt: &[],
         golden_exempt: &[],
         what: "sampling writer",
+    },
+    SchemaPair {
+        writers: &["crates/simcore/src/witness.rs", "crates/simcore/src/ops.rs"],
+        golden: "crates/check/tests/schema_race.rs",
+        writer_exempt: &[],
+        golden_exempt: &[],
+        what: "race/certificate writer",
     },
 ];
 
@@ -405,6 +441,28 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
         }
     }
 
+    // no-lossy-cast: silent-truncation guard — the simulation crates
+    // convert widths with `try_from` or the checked helpers in
+    // `simcore::cast`, so an overflowing count is a typed error (or a
+    // documented `allow`), never a wrap.
+    for crate_dir in [
+        "crates/simcore/src",
+        "crates/coherence/src",
+        "crates/tango/src",
+    ] {
+        for file in rs_files(&root.join(crate_dir)) {
+            if let Ok(text) = std::fs::read_to_string(&file) {
+                scan_tokens(
+                    "no-lossy-cast",
+                    &["as u32", "as usize"],
+                    &file,
+                    &text,
+                    &mut findings,
+                );
+            }
+        }
+    }
+
     // atomic-io: manifests/reports must go through write_atomic
     // (tmp + fsync + rename), never bare fs::write.
     let mut io_dirs: Vec<PathBuf> = vec![root.join("src"), root.join("examples")];
@@ -446,6 +504,29 @@ mod tests {
         let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
         let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
         assert_eq!(lines, vec![1, 6]);
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_desync_test_skipping() {
+        // A `"{"` literal inside the skipped block must not extend the
+        // region past its real closing brace — with naive counting the
+        // line after the module would be swallowed and its finding lost.
+        let src = "#[cfg(test)]\nmod tests {\n    fn b() { let s = \"{\"; x.unwrap(); }\n}\nfn after() { y.unwrap(); }\n";
+        let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(lines, vec![5]);
+        let mut f = Vec::new();
+        scan_tokens("no-panic", &[".unwrap()"], Path::new("t.rs"), src, &mut f);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn escaped_quotes_and_closing_brace_literals_count_correctly() {
+        // The mirror failure: a stray `"}"` literal must not terminate
+        // the skip early and leak test-only code into the scan.
+        let src = "#[cfg(test)]\nmod tests {\n    fn b() { let s = \"}\\\"}\"; }\n    fn c() { x.unwrap(); }\n}\n";
+        let lines: Vec<usize> = non_test_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert!(lines.is_empty(), "whole file is the test module: {lines:?}");
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Lint fixture: the race golden pinning a key no race/certificate
+//! writer emits (`schema-sync`, golden direction).
+
+pub fn race_golden_fixture(doc: &Json) {
+    assert!(doc.get("race_free").is_some());
+    assert!(doc.get("race_missing_key").is_some());
+}

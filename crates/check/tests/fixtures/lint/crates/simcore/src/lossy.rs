@@ -1,0 +1,16 @@
+//! Lint fixture: both `no-lossy-cast` tokens in non-test code,
+//! unsuppressed, plus one suppressed site that must stay quiet.
+
+pub fn truncates(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn indexes(x: u32) -> usize {
+    x as usize
+}
+
+pub fn documented(x: u64) -> usize {
+    // cluster_check: allow(no-lossy-cast) — fixture for the suppressed
+    // direction.
+    x as usize
+}

@@ -1,0 +1,8 @@
+//! Lint fixture: the race-report writer emitting a key the race golden
+//! never checks (`schema-sync`, writer direction).
+
+pub fn race_report_fixture() -> String {
+    let mut j = String::new();
+    j.with("race_free", true).with("race_bogus_key", 1);
+    j
+}

@@ -64,6 +64,13 @@ fn fixture_tree_trips_every_rule() {
     assert_eq!(chaos_panics.len(), 1, "{chaos_panics:?}");
     assert!(chaos_panics[0].detail.contains(".expect("));
 
+    // no-lossy-cast: both cast tokens report; the allow-annotated site
+    // in the same file stays quiet (so the count is exactly two).
+    let lossy = findings_for(&findings, "no-lossy-cast", "simcore/src/lossy.rs");
+    assert_eq!(lossy.len(), 2, "{lossy:?}");
+    assert!(lossy.iter().any(|f| f.detail.contains("as u32")));
+    assert!(lossy.iter().any(|f| f.detail.contains("as usize")));
+
     // schema-sync: both drift directions report, for both pairings.
     let schema: Vec<&Finding> = findings
         .iter()
@@ -110,6 +117,21 @@ fn fixture_tree_trips_every_rule() {
             .any(|f| f.detail.contains("\"sample_missing_key\"")
                 && f.detail.contains("no sampling writer")),
         "sampling golden-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"race_bogus_key\"")
+                && f.detail.contains("race/certificate writer")
+                && f.detail.contains("never checks")),
+        "race writer-side drift reports: {schema:?}"
+    );
+    assert!(
+        schema
+            .iter()
+            .any(|f| f.detail.contains("\"race_missing_key\"")
+                && f.detail.contains("no race/certificate writer")),
+        "race golden-side drift reports: {schema:?}"
     );
 }
 

@@ -1,0 +1,220 @@
+//! Property tests for the happens-before race detector (DESIGN.md §15):
+//! on arbitrary *well-synchronized* random traces the detector stays
+//! quiet, and deleting any single synchronization edge from such a
+//! trace makes it noisy — with the shrunk witness landing exactly on
+//! the access pair the deleted edge used to order.
+//!
+//! The generated workload combines the three sharing idioms the SPLASH
+//! generators use: a line whose ownership rotates between processors at
+//! phase barriers, per-processor private lines, and a lock-protected
+//! hot counter every processor updates.
+
+use cluster_check::race;
+use simcore::propcheck::{check, check_cases, Gen};
+use simcore::{line_of, Trace, TraceBuilder};
+use splash::mutate::{self, Mutation};
+
+/// One generated well-synchronized workload shape.
+#[derive(Debug, Clone)]
+struct Workload {
+    n_procs: u32,
+    phases: u32,
+    /// Rotating-line accesses by each phase's owner.
+    writes_per_phase: u32,
+    /// Lock-protected hot-counter rounds per processor per phase.
+    hot_rounds: u32,
+}
+
+fn gen_workload(g: &mut Gen) -> Workload {
+    Workload {
+        n_procs: g.u32_in(2..5),
+        phases: g.u32_in(2..5),
+        writes_per_phase: g.u32_in(1..4),
+        hot_rounds: g.u32_in(0..3),
+    }
+}
+
+/// Builds the trace; returns it plus the rotating line's base address.
+/// Every cross-processor conflict is ordered: the rotating line changes
+/// hands only across a barrier, the private lines never change hands,
+/// and the hot counter is only touched inside the lock.
+fn build(w: &Workload) -> (Trace, u64) {
+    let n = w.n_procs;
+    let mut b = TraceBuilder::new(n as usize);
+    let rotating = b.space_mut().alloc_shared(64);
+    let hot = b.space_mut().alloc_shared(64);
+    let private: Vec<u64> = (0..n).map(|_| b.space_mut().alloc_shared(64)).collect();
+    let lock = b.new_lock();
+    for phase in 0..w.phases {
+        let owner = phase % n;
+        for _ in 0..w.writes_per_phase {
+            b.read(owner, rotating);
+            b.write(owner, rotating);
+        }
+        for p in 0..n {
+            b.read(p, private[p as usize]);
+            b.write(p, private[p as usize]);
+            for _ in 0..w.hot_rounds {
+                b.lock(p, lock);
+                b.read(p, hot);
+                b.write(p, hot);
+                b.unlock(p, lock);
+            }
+        }
+        b.barrier_all();
+    }
+    (b.finish(), rotating)
+}
+
+#[test]
+fn detector_is_quiet_on_well_synchronized_traces() {
+    check(
+        "well-synchronized traces are race-free",
+        gen_workload,
+        |_| Vec::new(),
+        |w| {
+            let (trace, _) = build(w);
+            let races = race::detect(&trace);
+            if races.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} spurious race(s) on {w:?}: {races:?}",
+                    races.len()
+                ))
+            }
+        },
+    );
+}
+
+#[test]
+fn deleting_one_barrier_arrival_is_caught_at_the_deleted_edge() {
+    check_cases(
+        32,
+        "sync-removal mutants race exactly at the severed handoff",
+        |g| {
+            // No hot-counter rounds here: the lock chain adds its own
+            // release→acquire edges, which can transitively re-order
+            // the severed handoff and mask the deleted barrier (the
+            // lock-deletion property below covers that idiom).
+            let mut w = gen_workload(g);
+            w.hot_rounds = 0;
+            // Barrier `k` hands the rotating line from owner k%n to
+            // owner (k+1)%n; drop the *receiving* processor's arrival.
+            let k = g.u32_in(0..w.phases - 1);
+            (w, k)
+        },
+        |_| Vec::new(),
+        |(w, k)| {
+            let (trace, rotating) = build(w);
+            let giver = k % w.n_procs;
+            let taker = (k + 1) % w.n_procs;
+            let mutant = mutate::apply(
+                &trace,
+                Mutation::DropBarrier {
+                    proc: taker,
+                    nth: *k,
+                },
+            )
+            .map_err(|e| format!("mutation must apply: {e}"))?;
+
+            let reports = race::analyze(&mutant);
+            if reports.is_empty() {
+                return Err(format!("mutant must race: {w:?}, dropped barrier {k}"));
+            }
+            // The only unordered conflict is the rotating-line handoff
+            // the dropped arrival used to order: one report, on that
+            // line, between the giving and taking owners.
+            if reports.len() != 1 {
+                return Err(format!("expected 1 deduped report, got {}", reports.len()));
+            }
+            let r = &reports[0];
+            if r.line != line_of(rotating) {
+                return Err(format!(
+                    "race on line {:#x}, expected the rotating line {:#x}",
+                    r.line,
+                    line_of(rotating)
+                ));
+            }
+            let mut procs = [r.first.proc, r.second.proc];
+            procs.sort_unstable();
+            let mut expect = [giver, taker];
+            expect.sort_unstable();
+            if procs != expect {
+                return Err(format!(
+                    "race between procs {procs:?}, expected the handoff pair {expect:?}"
+                ));
+            }
+            // The shrunk witness is minimal: a handful of ops, every
+            // access on the contested line.
+            if r.witness.len() < 2 || r.witness.len() > 4 {
+                return Err(format!("witness not minimal: {:?}", r.witness));
+            }
+            for (p, op) in &r.witness {
+                if let simcore::Op::Read(a) | simcore::Op::Write(a) = op {
+                    if line_of(*a) != line_of(rotating) {
+                        return Err(format!(
+                            "witness access by proc {p} off the contested line: {op:?}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn deleting_one_lock_acquire_is_caught_on_the_unguarded_line() {
+    check_cases(
+        32,
+        "an unguarded critical section races on its hot line",
+        |g| {
+            // Exactly one hot round per processor per phase: the
+            // deleted acquire then leaves its critical section with no
+            // other lock edge into that barrier epoch, so the race
+            // cannot be masked by the rest of the chain.
+            let mut w = gen_workload(g);
+            w.hot_rounds = 1;
+            let p = g.u32_in(0..w.n_procs);
+            let phase = g.u32_in(0..w.phases);
+            (w, p, phase)
+        },
+        |_| Vec::new(),
+        |(w, p, phase)| {
+            let (trace, rotating) = build(w);
+            // With one round per phase, proc p's nth acquire is its
+            // phase-n critical section.
+            let mutant = mutate::apply(
+                &trace,
+                Mutation::SkipLock {
+                    proc: *p,
+                    nth: *phase,
+                },
+            )
+            .map_err(|e| format!("mutation must apply: {e}"))?;
+
+            let reports = race::analyze(&mutant);
+            if reports.len() != 1 {
+                return Err(format!(
+                    "expected exactly the hot-line race, got {reports:?} for {w:?}, \
+                     proc {p}, phase {phase}"
+                ));
+            }
+            let r = &reports[0];
+            if r.line == line_of(rotating) {
+                return Err("race reported on the rotating line, not the hot line".to_string());
+            }
+            if r.first.proc != *p && r.second.proc != *p {
+                return Err(format!(
+                    "race must involve the unguarded proc {p}: {:?} vs {:?}",
+                    r.first, r.second
+                ));
+            }
+            if r.witness.len() < 2 || r.witness.len() > 4 {
+                return Err(format!("witness not minimal: {:?}", r.witness));
+            }
+            Ok(())
+        },
+    );
+}

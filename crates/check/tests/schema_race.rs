@@ -1,0 +1,172 @@
+//! Golden-schema tests for the verification-layer documents
+//! (DESIGN.md §15): race reports, order certificates, and the trace
+//! documents the race CLI reads back. Each emitted JSON body is parsed
+//! with the in-tree `simcore::json` reader and validated field by
+//! field; the `schema-sync` lint pins the writer key sets of
+//! `crates/simcore/src/witness.rs` and `crates/simcore/src/ops.rs`
+//! against the `.get(` calls in this file, so a writer key added
+//! without extending this test fails `cluster_check lint`.
+
+use cluster_check::race;
+use simcore::json::{self, Json};
+use simcore::ops::TRACE_SCHEMA;
+use simcore::witness::{
+    certificate_json, race_report_json, CERTIFICATE_SCHEMA, RACE_REPORT_SCHEMA,
+};
+use simcore::TraceBuilder;
+
+/// One run record of the race-report document, field by field.
+fn validate_race(r: &Json) {
+    assert!(
+        r.get("line").and_then(Json::as_u64).is_some(),
+        "race missing line"
+    );
+    let first = r.get("first").expect("race missing first");
+    let second = r.get("second").expect("race missing second");
+    for acc in [first, second] {
+        assert!(
+            acc.get("proc").and_then(Json::as_u64).is_some(),
+            "access missing proc"
+        );
+        assert!(
+            acc.get("addr").and_then(Json::as_u64).is_some(),
+            "access missing addr"
+        );
+        assert!(
+            matches!(
+                acc.get("kind").and_then(Json::as_str),
+                Some("read" | "write")
+            ),
+            "access has bad kind"
+        );
+    }
+    let witness = r
+        .get("witness")
+        .and_then(Json::as_arr)
+        .expect("race missing witness schedule");
+    assert!(!witness.is_empty(), "witness schedule is empty");
+    for step in witness {
+        assert!(
+            step.get("proc").and_then(Json::as_u64).is_some(),
+            "witness step missing proc"
+        );
+        assert!(
+            step.get("op").and_then(Json::as_str).is_some(),
+            "witness step missing op"
+        );
+        assert!(
+            step.get("arg").and_then(Json::as_u64).is_some(),
+            "witness step missing arg"
+        );
+    }
+}
+
+#[test]
+fn race_report_document_has_every_schema_field() {
+    // A genuinely racy two-processor trace: conflicting same-line
+    // accesses with no intervening synchronization.
+    let mut b = TraceBuilder::new(2);
+    let a = b.space_mut().alloc_shared(64);
+    b.write(0, a);
+    b.read(1, a);
+    let races = race::analyze(&b.finish());
+    assert!(!races.is_empty(), "synthetic conflict must race");
+
+    let body = race_report_json("synthetic", 2, &races).to_string();
+    let doc = json::parse(&body).expect("race report must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(RACE_REPORT_SCHEMA)
+    );
+    assert_eq!(doc.get("app").and_then(Json::as_str), Some("synthetic"));
+    assert_eq!(doc.get("n_procs").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("race_free").and_then(Json::as_bool), Some(false));
+    let races = doc
+        .get("races")
+        .and_then(Json::as_arr)
+        .expect("races array");
+    assert!(!races.is_empty());
+    for r in races {
+        validate_race(r);
+    }
+}
+
+#[test]
+fn certificate_document_has_every_schema_field() {
+    let body = certificate_json(
+        "ocean",
+        4,
+        "4k",
+        false,
+        77,
+        &["line 3: two writers in one epoch".to_string()],
+    )
+    .to_string();
+    let doc = json::parse(&body).expect("certificate must parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(CERTIFICATE_SCHEMA)
+    );
+    assert_eq!(doc.get("app").and_then(Json::as_str), Some("ocean"));
+    assert_eq!(doc.get("per_cluster").and_then(Json::as_u64), Some(4));
+    assert_eq!(doc.get("cache").and_then(Json::as_str), Some("4k"));
+    assert_eq!(doc.get("certified").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("events_checked").and_then(Json::as_u64), Some(77));
+    assert_eq!(
+        doc.get("violations")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+}
+
+#[test]
+fn trace_document_has_every_schema_field() {
+    // Both placement flavors so `owner` exercises null and integer.
+    let mut b = TraceBuilder::new(2);
+    let shared = b.space_mut().alloc_shared(128);
+    let owned = b.space_mut().alloc_owned(64, 1);
+    let l = b.new_lock();
+    b.read(0, shared);
+    b.lock(1, l);
+    b.write(1, owned);
+    b.unlock(1, l);
+    b.barrier_all();
+    let t = b.finish();
+
+    let doc = json::parse(&t.to_json().to_string()).expect("trace doc must parse");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(TRACE_SCHEMA));
+    assert!(
+        doc.get("n_barriers").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "trace missing n_barriers"
+    );
+    assert_eq!(doc.get("n_locks").and_then(Json::as_u64), Some(1));
+    let regions = doc
+        .get("regions")
+        .and_then(Json::as_arr)
+        .expect("regions array");
+    assert_eq!(regions.len(), 2);
+    let mut owners = Vec::new();
+    for r in regions {
+        assert!(
+            r.get("base").and_then(Json::as_u64).is_some(),
+            "region missing base"
+        );
+        assert!(
+            r.get("bytes").and_then(Json::as_u64).is_some(),
+            "region missing bytes"
+        );
+        owners.push(r.get("owner").cloned().expect("region missing owner"));
+    }
+    assert!(owners.contains(&Json::Null), "shared region owner is null");
+    assert!(
+        owners.contains(&Json::UInt(1)),
+        "owned region records its owner"
+    );
+    assert_eq!(
+        doc.get("per_proc")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(2)
+    );
+}

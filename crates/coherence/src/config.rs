@@ -116,11 +116,12 @@ impl CacheSpec {
         match self {
             CacheSpec::Infinite => CacheKind::Infinite,
             CacheSpec::PerProcBytes(b) => {
-                CacheKind::full_lru_per_proc(b, procs_per_cluster as usize)
+                CacheKind::full_lru_per_proc(b, simcore::cast::usize_from(procs_per_cluster))
             }
             CacheSpec::PerProcSetAssoc { bytes, ways } => {
-                let lines =
-                    (bytes / simcore::addr::LINE_BYTES) as usize * procs_per_cluster as usize;
+                let lines = usize::try_from(bytes / simcore::addr::LINE_BYTES)
+                    .unwrap_or(usize::MAX)
+                    .saturating_mul(simcore::cast::usize_from(procs_per_cluster));
                 CacheKind::SetAssoc {
                     lines: lines.max(ways),
                     ways,

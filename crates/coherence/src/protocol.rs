@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use simcore::addr::{line_base, line_of, LineAddr};
 use simcore::cache::{CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+use simcore::cast::usize_from;
 use simcore::space::{AddressSpace, Placement, ProcId};
 use simcore::stats::{LatencyClass, MissStats};
 
@@ -363,19 +364,19 @@ impl MemorySystem {
     #[inline]
     fn cache_of(&self, p: ProcId) -> usize {
         if self.private {
-            p as usize
+            usize_from(p)
         } else {
-            self.cfg.cluster_of(p) as usize
+            usize_from(self.cfg.cluster_of(p))
         }
     }
 
     /// Cache indices belonging to cluster `c`.
     fn member_caches(&self, c: u32) -> std::ops::Range<usize> {
         if self.private {
-            let start = (c * self.cfg.per_cluster) as usize;
-            start..start + self.cfg.per_cluster as usize
+            let start = usize_from(c) * usize_from(self.cfg.per_cluster);
+            start..start + usize_from(self.cfg.per_cluster)
         } else {
-            c as usize..c as usize + 1
+            usize_from(c)..usize_from(c) + 1
         }
     }
 
@@ -731,7 +732,7 @@ impl MemorySystem {
     /// mode, a processor's private cache in shared-memory-cluster mode
     /// (for tests and working-set inspection).
     pub fn resident_lines(&self, i: u32) -> usize {
-        self.caches[i as usize].len()
+        self.caches[usize_from(i)].len()
     }
 
     /// A complete, canonical view of the protocol state (caches,

@@ -349,6 +349,38 @@ pub struct Manifest {
     pub metrics: Metrics,
     /// Fan-out timing of the run, when the tool measured one.
     pub timing: Option<FanoutTiming>,
+    /// Verification outcome of the `cluster_race` passes over this
+    /// matrix, when the tool ran them (additive; absent otherwise).
+    pub certification: Option<CertificationSummary>,
+}
+
+/// Summary of the `cluster_race` verification passes (DESIGN.md §15)
+/// over a manifest's configuration matrix: whether the traces were
+/// race-checked, whether every replay's witness stream certified, and
+/// what observation cost on top of a plain replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CertificationSummary {
+    /// Every trace in the matrix passed happens-before race detection.
+    pub race_checked: bool,
+    /// Every replay's committed-access stream passed the shadow
+    /// directory's ordering invariants.
+    pub order_certified: bool,
+    /// Total committed accesses checked across the matrix.
+    pub events_checked: u64,
+    /// Observed-replay wall time over plain-replay wall time (medians);
+    /// the certify budget is ≤ 2.0.
+    pub overhead_ratio: f64,
+}
+
+impl CertificationSummary {
+    /// The JSON block emitted under the manifest's `certification` key.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("race_checked", self.race_checked)
+            .with("order_certified", self.order_certified)
+            .with("events_checked", self.events_checked)
+            .with("overhead_ratio", self.overhead_ratio)
+    }
 }
 
 impl Manifest {
@@ -364,6 +396,7 @@ impl Manifest {
             errors: Vec::new(),
             metrics: Metrics::new(),
             timing: None,
+            certification: None,
         }
     }
 
@@ -447,9 +480,18 @@ impl Manifest {
         }
     }
 
+    /// Records the `cluster_race` verification outcome for this
+    /// manifest's matrix (DESIGN.md §15).
+    pub fn set_certification(&mut self, c: CertificationSummary) {
+        self.certification = Some(c);
+    }
+
     /// The full manifest, provenance and timing included.
     pub fn to_json(&self) -> Json {
         let mut doc = self.stats_json_inner(true);
+        if let Some(c) = self.certification {
+            doc.push("certification", c.to_json());
+        }
         if let Some(t) = self.timing {
             doc.push("timing", t.to_json());
         }

@@ -153,7 +153,9 @@ impl<V> FullLruCache<V> {
 
     /// Payload of `line` without touching recency.
     pub fn peek(&self, line: LineAddr) -> Option<&V> {
-        self.map.get(&line).map(|&i| &self.slots[i as usize].val)
+        self.map
+            .get(&line)
+            .map(|&i| &self.slots[crate::cast::usize_from(i)].val)
     }
 
     /// Mutable payload of `line`, promoting it to most-recently-used.
@@ -161,13 +163,13 @@ impl<V> FullLruCache<V> {
         let &idx = self.map.get(&line)?;
         self.unlink(idx);
         self.push_front(idx);
-        Some(&mut self.slots[idx as usize].val)
+        Some(&mut self.slots[crate::cast::usize_from(idx)].val)
     }
 
     /// Mutable payload of `line` without touching recency.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut V> {
         let &idx = self.map.get(&line)?;
-        Some(&mut self.slots[idx as usize].val)
+        Some(&mut self.slots[crate::cast::usize_from(idx)].val)
     }
 
     /// Inserts `line` as most-recently-used. The line must not already
@@ -183,7 +185,7 @@ impl<V> FullLruCache<V> {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
-            let slot = &mut self.slots[victim as usize];
+            let slot = &mut self.slots[crate::cast::usize_from(victim)];
             let old_line = slot.line;
             self.map.remove(&old_line);
             slot.line = line;
@@ -197,7 +199,7 @@ impl<V> FullLruCache<V> {
         } else {
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.slots[i as usize] = Slot {
+                    self.slots[crate::cast::usize_from(i)] = Slot {
                         line,
                         val,
                         prev: NIL,
@@ -212,6 +214,9 @@ impl<V> FullLruCache<V> {
                         prev: NIL,
                         next: NIL,
                     });
+                    // cluster_check: allow(no-lossy-cast) — slot
+                    // count is bounded by the line capacity, far below
+                    // u32::MAX for any configurable cache.
                     (self.slots.len() - 1) as u32
                 }
             };
@@ -229,7 +234,9 @@ impl<V> FullLruCache<V> {
         let idx = self.map.remove(&line)?;
         self.unlink(idx);
         self.free.push(idx);
-        Some(std::mem::take(&mut self.slots[idx as usize].val))
+        Some(std::mem::take(
+            &mut self.slots[crate::cast::usize_from(idx)].val,
+        ))
     }
 
     /// Iterates resident lines from most- to least-recently-used.
@@ -239,7 +246,7 @@ impl<V> FullLruCache<V> {
             if cur == NIL {
                 return None;
             }
-            let slot = &self.slots[cur as usize];
+            let slot = &self.slots[crate::cast::usize_from(cur)];
             cur = slot.next;
             Some((slot.line, &slot.val))
         })
@@ -247,29 +254,29 @@ impl<V> FullLruCache<V> {
 
     fn unlink(&mut self, idx: u32) {
         let (prev, next) = {
-            let s = &self.slots[idx as usize];
+            let s = &self.slots[crate::cast::usize_from(idx)];
             (s.prev, s.next)
         };
         if prev != NIL {
-            self.slots[prev as usize].next = next;
+            self.slots[crate::cast::usize_from(prev)].next = next;
         } else if self.head == idx {
             self.head = next;
         }
         if next != NIL {
-            self.slots[next as usize].prev = prev;
+            self.slots[crate::cast::usize_from(next)].prev = prev;
         } else if self.tail == idx {
             self.tail = prev;
         }
-        let s = &mut self.slots[idx as usize];
+        let s = &mut self.slots[crate::cast::usize_from(idx)];
         s.prev = NIL;
         s.next = NIL;
     }
 
     fn push_front(&mut self, idx: u32) {
-        self.slots[idx as usize].prev = NIL;
-        self.slots[idx as usize].next = self.head;
+        self.slots[crate::cast::usize_from(idx)].prev = NIL;
+        self.slots[crate::cast::usize_from(idx)].next = self.head;
         if self.head != NIL {
-            self.slots[self.head as usize].prev = idx;
+            self.slots[crate::cast::usize_from(self.head)].prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {
@@ -350,6 +357,8 @@ impl<V> SetAssocCache<V> {
 
     #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
+        // cluster_check: allow(no-lossy-cast) — masked to the set-index
+        // bits, which fit any usize (set counts are small powers of 2).
         (line & self.set_mask) as usize
     }
 
@@ -450,7 +459,9 @@ impl CacheKind {
     /// fixed: an 8-processor cluster with 4 KB/processor has one 32 KB
     /// shared cache).
     pub fn full_lru_per_proc(bytes_per_proc: u64, procs_per_cluster: usize) -> CacheKind {
-        let lines = (bytes_per_proc / crate::addr::LINE_BYTES) as usize * procs_per_cluster;
+        let lines = usize::try_from(bytes_per_proc / crate::addr::LINE_BYTES)
+            .unwrap_or(usize::MAX)
+            .saturating_mul(procs_per_cluster);
         CacheKind::FullLru {
             lines: lines.max(1),
         }

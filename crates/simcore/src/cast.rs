@@ -1,0 +1,31 @@
+//! Lossless integer conversions, named so the `no-lossy-cast` lint can
+//! tell them apart from truncating `as` casts.
+//!
+//! The simulation crates promise that no value flowing into results is
+//! silently truncated: every narrowing conversion goes through
+//! `try_from` with explicit handling, and every `u32 → usize` widening
+//! goes through [`usize_from`]. The helper exists because Rust provides
+//! no `impl From<u32> for usize` (16-bit targets could not honor it);
+//! this workspace only supports targets where `usize` is at least 32
+//! bits wide, so the conversion below is the single audited cast site.
+
+/// `u32 → usize`, lossless on every supported target.
+#[inline]
+pub fn usize_from(v: u32) -> usize {
+    // cluster_check: allow(no-lossy-cast) — u32 → usize is a widening
+    // conversion on every target the workspace supports (usize ≥ 32
+    // bits); this helper is the single audited site.
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_from_is_identity_on_values() {
+        assert_eq!(usize_from(0), 0usize);
+        assert_eq!(usize_from(7), 7usize);
+        assert_eq!(usize_from(u32::MAX), u32::MAX as usize);
+    }
+}

@@ -103,7 +103,7 @@ impl FaultPlan {
             plan.seed = seed;
         }
         if let Some(depth) = parse("STUDY_FAULT_DEPTH") {
-            plan.depth = depth.min(u32::MAX as u64) as u32;
+            plan.depth = u32::try_from(depth).unwrap_or(u32::MAX);
         }
         match get("STUDY_FAULT_KIND").as_deref().map(str::trim) {
             Some("delay") => plan.kind = FaultKind::Delay,
@@ -336,6 +336,8 @@ impl IoFaultPlan {
             0 => DiskFault::WriteErr,
             1 => DiskFault::FsyncErr,
             _ => DiskFault::Torn {
+                // cluster_check: allow(no-lossy-cast) — bounded by
+                // line_len, which is itself a usize.
                 keep: rng.bounded_u64(line_len as u64) as usize,
             },
         })

@@ -34,9 +34,16 @@
 //! * [`sample`] — sampled/interval simulation plans: periodic,
 //!   reservoir and phase-detecting interval selection with warmup
 //!   windows replayed for cache state but excluded from statistics.
+//! * [`vclock`] — vector clocks and FastTrack-style epochs for
+//!   happens-before analysis of traces.
+//! * [`witness`] — race-report and order-certificate types shared by
+//!   the `cluster_check` race detector and replay certifier.
+//! * [`cast`] — named lossless integer conversions (the `no-lossy-cast`
+//!   lint forbids bare `as u32`/`as usize` in the simulation crates).
 
 pub mod addr;
 pub mod cache;
+pub mod cast;
 pub mod fault;
 pub mod hash;
 pub mod json;
@@ -47,9 +54,12 @@ pub mod rng;
 pub mod sample;
 pub mod space;
 pub mod stats;
+pub mod vclock;
+pub mod witness;
 
 pub use addr::{line_of, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use cache::{CacheError, CacheKind, EvictedLine, FullLruCache, SetAssocCache};
+pub use cast::usize_from;
 pub use fault::{DiskFault, DiskFaultKind, FaultKind, FaultPlan, IoFaultPlan, NetFault};
 pub use hash::{fnv1a128, stable_key};
 pub use json::Json;
@@ -59,3 +69,8 @@ pub use rng::Rng64;
 pub use sample::{OpClass, SampleError, SampleMode, SamplePlan, SampleSpec, SamplingStats};
 pub use space::{AddressSpace, Placement, ProcId, Region, SharedArray};
 pub use stats::{Breakdown, MissClass, MissStats, RunStats};
+pub use vclock::{Epoch, VectorClock};
+pub use witness::{
+    certificate_json, race_report_json, AccessKind, CommitKind, RaceAccess, RaceReport,
+    WitnessEvent,
+};

@@ -9,11 +9,16 @@
 //! Traces routinely reach tens of millions of operations, so each
 //! operation packs into a single `u64`: a 3-bit tag and a 61-bit payload.
 
+use crate::json::Json;
 use crate::space::AddressSpace;
+use crate::space::Placement;
 use crate::space::ProcId;
 
 /// Maximum encodable payload (61 bits).
 pub const MAX_PAYLOAD: u64 = (1 << 61) - 1;
+
+/// Schema tag of the serialized trace document.
+pub const TRACE_SCHEMA: &str = "clustered-smp/trace/v1";
 
 const TAG_READ: u64 = 0;
 const TAG_WRITE: u64 = 1;
@@ -72,8 +77,12 @@ impl PackedOp {
             TAG_READ => Op::Read(payload),
             TAG_WRITE => Op::Write(payload),
             TAG_COMPUTE => Op::Compute(payload),
+            // cluster_check: allow(no-lossy-cast) — sync payloads were
+            // packed from a u32 id, so the low 32 bits round-trip.
             TAG_BARRIER => Op::Barrier(payload as u32),
+            // cluster_check: allow(no-lossy-cast) — same as above.
             TAG_LOCK => Op::Lock(payload as u32),
+            // cluster_check: allow(no-lossy-cast) — same as above.
             TAG_UNLOCK => Op::Unlock(payload as u32),
             _ => unreachable!("invalid op tag {tag}"),
         }
@@ -179,7 +188,7 @@ impl Trace {
             }
         }
         if let Some(seq) = &barrier_seq {
-            if seq.len() as u32 != self.n_barriers {
+            if seq.len() != crate::cast::usize_from(self.n_barriers) {
                 return Err(format!(
                     "barrier count mismatch: streams have {} but trace says {}",
                     seq.len(),
@@ -188,6 +197,117 @@ impl Trace {
             }
         }
         Ok(())
+    }
+
+    /// Serializes the trace (streams, sync counts, and the address-space
+    /// layout needed to replay it) as a JSON document. The inverse is
+    /// [`Trace::from_json`]; the `schema-sync` lint pins the key set
+    /// against `crates/check/tests/schema_race.rs`.
+    pub fn to_json(&self) -> Json {
+        let regions: Vec<Json> = self
+            .space
+            .regions()
+            .map(|r| {
+                let owner = match r.placement {
+                    Placement::RoundRobin => Json::Null,
+                    Placement::Owner(p) => Json::UInt(u64::from(p)),
+                };
+                Json::obj()
+                    .with("base", r.base)
+                    .with("bytes", r.bytes)
+                    .with("owner", owner)
+            })
+            .collect();
+        let per_proc: Vec<Json> = self
+            .per_proc
+            .iter()
+            .map(|ops| Json::Arr(ops.iter().map(|p| Json::UInt(p.0)).collect()))
+            .collect();
+        Json::obj()
+            .with("schema", TRACE_SCHEMA)
+            .with("n_barriers", self.n_barriers)
+            .with("n_locks", self.n_locks)
+            .with("regions", Json::Arr(regions))
+            .with("per_proc", Json::Arr(per_proc))
+    }
+
+    /// Rebuilds a trace from its [`Trace::to_json`] form, re-allocating
+    /// the address space in recorded order and checking that every base
+    /// address and op tag round-trips.
+    pub fn from_json(doc: &Json) -> Result<Trace, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some(TRACE_SCHEMA) {
+            return Err(format!("not a {TRACE_SCHEMA} document"));
+        }
+        let field_u64 = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let n_barriers = u32::try_from(field_u64("n_barriers")?)
+            .map_err(|_| "n_barriers overflows u32".to_string())?;
+        let n_locks = u32::try_from(field_u64("n_locks")?)
+            .map_err(|_| "n_locks overflows u32".to_string())?;
+
+        let mut space = AddressSpace::new();
+        let regions = doc
+            .get("regions")
+            .and_then(Json::as_arr)
+            .ok_or("missing regions array")?;
+        for (i, r) in regions.iter().enumerate() {
+            let base = r
+                .get("base")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("region {i}: missing base"))?;
+            let bytes = r
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("region {i}: missing bytes"))?;
+            let placement = match r.get("owner") {
+                Some(Json::Null) | None => Placement::RoundRobin,
+                Some(v) => {
+                    let p = v
+                        .as_u64()
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| format!("region {i}: bad owner"))?;
+                    Placement::Owner(p)
+                }
+            };
+            let got = space.alloc(bytes, placement);
+            if got != base {
+                return Err(format!(
+                    "region {i}: base {base:#x} does not round-trip (allocator produced {got:#x})"
+                ));
+            }
+        }
+
+        let streams = doc
+            .get("per_proc")
+            .and_then(Json::as_arr)
+            .ok_or("missing per_proc array")?;
+        let mut per_proc = Vec::with_capacity(streams.len());
+        for (p, stream) in streams.iter().enumerate() {
+            let raw = stream
+                .as_arr()
+                .ok_or_else(|| format!("proc {p}: stream is not an array"))?;
+            let mut ops = Vec::with_capacity(raw.len());
+            for (i, word) in raw.iter().enumerate() {
+                let w = word
+                    .as_u64()
+                    .ok_or_else(|| format!("proc {p} op {i}: not a u64"))?;
+                if w >> 61 > TAG_UNLOCK {
+                    return Err(format!("proc {p} op {i}: invalid op tag"));
+                }
+                ops.push(PackedOp(w));
+            }
+            per_proc.push(ops);
+        }
+
+        Ok(Trace {
+            per_proc,
+            space,
+            n_barriers,
+            n_locks,
+        })
     }
 }
 
@@ -230,13 +350,13 @@ impl TraceBuilder {
     /// Emits a load of byte address `addr` on processor `p`.
     #[inline]
     pub fn read(&mut self, p: ProcId, addr: u64) {
-        self.per_proc[p as usize].push(PackedOp::pack(Op::Read(addr)));
+        self.per_proc[crate::cast::usize_from(p)].push(PackedOp::pack(Op::Read(addr)));
     }
 
     /// Emits a store to byte address `addr` on processor `p`.
     #[inline]
     pub fn write(&mut self, p: ProcId, addr: u64) {
-        self.per_proc[p as usize].push(PackedOp::pack(Op::Write(addr)));
+        self.per_proc[crate::cast::usize_from(p)].push(PackedOp::pack(Op::Write(addr)));
     }
 
     /// Emits `cycles` of CPU-busy work on processor `p`, merging with an
@@ -246,7 +366,7 @@ impl TraceBuilder {
         if cycles == 0 {
             return;
         }
-        let ops = &mut self.per_proc[p as usize];
+        let ops = &mut self.per_proc[crate::cast::usize_from(p)];
         if let Some(last) = ops.last_mut() {
             if let Op::Compute(n) = last.unpack() {
                 *last = PackedOp::pack(Op::Compute(n + cycles));
@@ -309,13 +429,13 @@ impl TraceBuilder {
     /// Emits a lock acquire on processor `p`.
     pub fn lock(&mut self, p: ProcId, id: u32) {
         debug_assert!(id < self.next_lock);
-        self.per_proc[p as usize].push(PackedOp::pack(Op::Lock(id)));
+        self.per_proc[crate::cast::usize_from(p)].push(PackedOp::pack(Op::Lock(id)));
     }
 
     /// Emits a lock release on processor `p`.
     pub fn unlock(&mut self, p: ProcId, id: u32) {
         debug_assert!(id < self.next_lock);
-        self.per_proc[p as usize].push(PackedOp::pack(Op::Unlock(id)));
+        self.per_proc[crate::cast::usize_from(p)].push(PackedOp::pack(Op::Unlock(id)));
     }
 
     /// Finalizes the trace. A terminal barrier is appended so that all
@@ -443,6 +563,55 @@ mod tests {
         b.lock(0, l);
         b.unlock(0, l);
         assert!(b.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_trace() {
+        let mut b = TraceBuilder::new(2);
+        let a = b.space_mut().alloc_shared(100);
+        let o = b.space_mut().alloc_owned(64, 1);
+        let l = b.new_lock();
+        b.read(0, a);
+        b.lock(1, l);
+        b.write(1, o);
+        b.unlock(1, l);
+        b.compute(0, 9);
+        b.barrier_all();
+        let t = b.finish();
+        let doc = t.to_json();
+        let back = Trace::from_json(&doc).unwrap();
+        assert_eq!(back.per_proc, t.per_proc);
+        assert_eq!(back.n_barriers, t.n_barriers);
+        assert_eq!(back.n_locks, t.n_locks);
+        assert_eq!(back.space.region_count(), t.space.region_count());
+        assert_eq!(back.space.placement_of(o), Some(Placement::Owner(1)));
+        // Textual round-trip too (what the CLI file mode does).
+        let text = doc.pretty();
+        let reparsed = Trace::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed.per_proc, t.per_proc);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        let t = TraceBuilder::new(1).finish();
+        let doc = t.to_json();
+        assert!(Trace::from_json(&Json::obj()).is_err());
+        let mut wrong = doc.clone();
+        if let Json::Obj(pairs) = &mut wrong {
+            pairs.retain(|(k, _)| k != "per_proc");
+        }
+        assert!(Trace::from_json(&wrong).is_err());
+        // An op word with an invalid tag is rejected.
+        let bad = Json::obj()
+            .with("schema", TRACE_SCHEMA)
+            .with("n_barriers", 0u64)
+            .with("n_locks", 0u64)
+            .with("regions", Json::Arr(vec![]))
+            .with(
+                "per_proc",
+                Json::Arr(vec![Json::Arr(vec![Json::UInt(7 << 61)])]),
+            );
+        assert!(Trace::from_json(&bad).is_err());
     }
 
     #[test]

@@ -132,6 +132,8 @@ impl Gen {
     /// `prop::sample::select`).
     pub fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
         assert!(!xs.is_empty());
+        // cluster_check: allow(no-lossy-cast) — bounded by the slice
+        // length, which is itself a usize.
         xs[self.rng.bounded_u64(xs.len() as u64) as usize]
     }
 

@@ -74,6 +74,8 @@ impl Rng64 {
     /// Next 32-bit output (the high half, which has the best quality).
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
+        // cluster_check: allow(no-lossy-cast) — shifted right 32, so
+        // the value provably fits in 32 bits.
         (self.next_u64() >> 32) as u32
     }
 
@@ -119,6 +121,8 @@ impl Rng64 {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
+            // cluster_check: allow(no-lossy-cast) — bounded by i + 1,
+            // which is itself a usize.
             let j = self.bounded_u64(i as u64 + 1) as usize;
             xs.swap(i, j);
         }

@@ -247,6 +247,8 @@ fn periodic_period(rate: f64) -> usize {
     if rate <= 0.0 {
         return 1;
     }
+    // cluster_check: allow(no-lossy-cast) — float-to-int casts
+    // saturate in Rust, and the period is clamped to >= 1 anyway.
     ((1.0 / rate).round() as usize).max(1)
 }
 
@@ -264,6 +266,8 @@ fn reservoir_pick(n_iv: usize, rate: f64, seed: u64) -> Vec<usize> {
     if n_iv == 0 {
         return Vec::new();
     }
+    // cluster_check: allow(no-lossy-cast) — float-to-int casts
+    // saturate in Rust, and k is clamped into [1, n_iv].
     let k = ((n_iv as f64 * rate).ceil() as usize).clamp(1, n_iv);
     let mut rng = Rng64::new(seed);
     let mut res: Vec<usize> = Vec::with_capacity(k);
@@ -333,8 +337,8 @@ impl SamplePlan {
     /// and spec always yield the same plan, and a rate of `1.0` (any
     /// mode) measures every operation with no warm ranges.
     pub fn for_trace(trace: &Trace, spec: &SampleSpec) -> SamplePlan {
-        let interval = spec.interval_ops.max(1) as usize;
-        let warmup = spec.warmup_ops as usize;
+        let interval = usize::try_from(spec.interval_ops.max(1)).unwrap_or(usize::MAX);
+        let warmup = usize::try_from(spec.warmup_ops).unwrap_or(usize::MAX);
         let full = spec.rate >= 1.0;
         let mut per_proc = Vec::with_capacity(trace.n_procs());
         let (mut ops_total, mut ops_measured, mut ops_warm) = (0u64, 0u64, 0u64);

@@ -1,0 +1,144 @@
+//! Vector clocks and epochs for happens-before analysis over traces.
+//!
+//! The race detector (crate `cluster_check`) orders trace operations by
+//! the classic happens-before relation: program order within a
+//! processor, plus the synchronization edges a barrier (all-to-all
+//! join) or a lock (release → next acquire) induces. A [`VectorClock`]
+//! holds one logical-clock component per processor; an [`Epoch`] is the
+//! FastTrack-style compressed form `(proc, clock)` identifying a single
+//! point in one processor's history.
+//!
+//! An access at epoch `e` happens-before a processor whose current
+//! clock is `C` iff `e.clock <= C[e.proc]` ([`VectorClock::dominates`]).
+
+use crate::cast::usize_from;
+use crate::space::ProcId;
+
+/// One point in one processor's logical history: the value of that
+/// processor's own clock component when the event occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// The processor whose event this is.
+    pub proc: ProcId,
+    /// That processor's own clock component at the event.
+    pub clock: u64,
+}
+
+/// A per-processor vector of logical clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for `n_procs` processors.
+    pub fn new(n_procs: usize) -> VectorClock {
+        VectorClock {
+            c: vec![0; n_procs],
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Whether the clock has zero components.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Component for processor `p` (0 when out of range: an absent
+    /// processor has an eternally-zero history).
+    #[inline]
+    pub fn get(&self, p: ProcId) -> u64 {
+        self.c.get(usize_from(p)).copied().unwrap_or(0)
+    }
+
+    /// Advances processor `p`'s own component by one. Out-of-range `p`
+    /// is ignored.
+    #[inline]
+    pub fn bump(&mut self, p: ProcId) {
+        if let Some(slot) = self.c.get_mut(usize_from(p)) {
+            *slot += 1;
+        }
+    }
+
+    /// Component-wise maximum with `other` (the receive half of a
+    /// synchronization edge).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.c.iter_mut().zip(other.c.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The epoch of processor `p` under this clock.
+    #[inline]
+    pub fn epoch_of(&self, p: ProcId) -> Epoch {
+        Epoch {
+            proc: p,
+            clock: self.get(p),
+        }
+    }
+
+    /// Whether the event at `e` happens-before (or is) this clock:
+    /// `e.clock <= self[e.proc]`.
+    #[inline]
+    pub fn dominates(&self, e: Epoch) -> bool {
+        e.clock <= self.get(e.proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut v = VectorClock::new(3);
+        assert_eq!(v.get(1), 0);
+        v.bump(1);
+        v.bump(1);
+        assert_eq!(v.get(1), 2);
+        assert_eq!(v.get(0), 0);
+        v.bump(99); // out of range: ignored
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.bump(0);
+        a.bump(0);
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn dominates_tracks_happens_before() {
+        let mut writer = VectorClock::new(2);
+        writer.bump(0);
+        let w = writer.epoch_of(0); // write at proc 0, clock 1
+
+        // Unsynchronized reader: does not dominate the write.
+        let reader = VectorClock::new(2);
+        assert!(!reader.dominates(w));
+
+        // After receiving the writer's clock, it does.
+        let mut synced = VectorClock::new(2);
+        synced.join(&writer);
+        assert!(synced.dominates(w));
+    }
+
+    #[test]
+    fn out_of_range_component_is_zero() {
+        let v = VectorClock::new(1);
+        assert_eq!(v.get(5), 0);
+        assert!(v.dominates(Epoch { proc: 5, clock: 0 }));
+        assert!(!v.dominates(Epoch { proc: 5, clock: 1 }));
+    }
+}

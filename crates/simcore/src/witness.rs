@@ -1,0 +1,279 @@
+//! Witness types for the race detector and the replay-order certifier.
+//!
+//! Two verification passes (crate `cluster_check`, DESIGN.md §15) share
+//! these types:
+//!
+//! * **Race detection** consumes raw traces and produces
+//!   [`RaceReport`]s: a pair of conflicting accesses to the same cache
+//!   line that no happens-before path orders, plus a minimal replayable
+//!   schedule ([`RaceReport::witness`]) shrunk by `propcheck`.
+//! * **Order certification** consumes a stream of [`WitnessEvent`]s —
+//!   one per *committed* memory access, emitted by the `tango` replay
+//!   observation hook — and checks the §3.1 serialization invariants on
+//!   a real full-scale run.
+//!
+//! Both reports serialize through the writers at the bottom of this
+//! file; the `schema-sync` lint pins their key sets against
+//! `crates/check/tests/schema_race.rs`.
+
+use crate::addr::{line_of, LineAddr};
+use crate::json::Json;
+use crate::ops::Op;
+use crate::space::ProcId;
+
+/// Schema tag of the race-report document.
+pub const RACE_REPORT_SCHEMA: &str = "clustered-smp/race-report/v1";
+/// Schema tag of the order-certificate document.
+pub const CERTIFICATE_SCHEMA: &str = "clustered-smp/order-certificate/v1";
+
+/// Whether a memory access loads or stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
+}
+
+/// How the memory system committed an access (the subset of coherence
+/// outcomes that complete an access; retried merge waits never appear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitKind {
+    /// Load hit in the local cache.
+    ReadHit,
+    /// Load missed and was served through the directory.
+    ReadMiss,
+    /// Load missed locally but a bus mate supplied the line
+    /// (shared-memory-cluster mode).
+    ReadBus,
+    /// Store found the line already EXCLUSIVE locally.
+    WriteHit,
+    /// Store fetched the line EXCLUSIVE through the directory.
+    WriteMiss,
+    /// Store found the line SHARED and invalidated the other copies.
+    Upgrade,
+}
+
+impl CommitKind {
+    /// Whether this commit grants (or requires) exclusive ownership.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            CommitKind::WriteHit | CommitKind::WriteMiss | CommitKind::Upgrade
+        )
+    }
+}
+
+/// One committed memory access observed during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessEvent {
+    /// Global replay clock at which the access was issued.
+    pub time: u64,
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// How the memory system committed it.
+    pub commit: CommitKind,
+}
+
+impl WitnessEvent {
+    /// Cache line of the access.
+    #[inline]
+    pub fn line(&self) -> LineAddr {
+        line_of(self.addr)
+    }
+}
+
+/// One side of a racing pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Processor issuing the access.
+    pub proc: ProcId,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+/// A detected data race: two conflicting same-line accesses that no
+/// happens-before path orders, plus a minimal schedule reproducing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The contested cache line.
+    pub line: LineAddr,
+    /// The access the detector saw first (in canonical schedule order).
+    pub first: RaceAccess,
+    /// The later, conflicting access.
+    pub second: RaceAccess,
+    /// Minimal witness schedule: `(proc, op)` in an order that still
+    /// exhibits the race, shrunk by `propcheck` (typically just the two
+    /// conflicting accesses).
+    pub witness: Vec<(ProcId, Op)>,
+}
+
+/// Stable lowercase name of an op for reports.
+pub fn op_name(op: Op) -> &'static str {
+    match op {
+        Op::Read(_) => "read",
+        Op::Write(_) => "write",
+        Op::Compute(_) => "compute",
+        Op::Barrier(_) => "barrier",
+        Op::Lock(_) => "lock",
+        Op::Unlock(_) => "unlock",
+    }
+}
+
+/// Payload of an op (address, cycles, or sync id) for reports.
+pub fn op_arg(op: Op) -> u64 {
+    match op {
+        Op::Read(a) | Op::Write(a) | Op::Compute(a) => a,
+        Op::Barrier(id) | Op::Lock(id) | Op::Unlock(id) => u64::from(id),
+    }
+}
+
+fn access_json(a: &RaceAccess) -> Json {
+    Json::obj()
+        .with("proc", a.proc)
+        .with("addr", a.addr)
+        .with("kind", a.kind.name())
+}
+
+impl RaceReport {
+    /// JSON form of one race, including the minimal witness schedule.
+    pub fn to_json(&self) -> Json {
+        let witness: Vec<Json> = self
+            .witness
+            .iter()
+            .map(|(p, op)| {
+                Json::obj()
+                    .with("proc", *p)
+                    .with("op", op_name(*op))
+                    .with("arg", op_arg(*op))
+            })
+            .collect();
+        Json::obj()
+            .with("line", self.line)
+            .with("first", access_json(&self.first))
+            .with("second", access_json(&self.second))
+            .with("witness", Json::Arr(witness))
+    }
+}
+
+/// The race-report document for one analyzed trace.
+pub fn race_report_json(app: &str, n_procs: usize, races: &[RaceReport]) -> Json {
+    let races_json: Vec<Json> = races.iter().map(RaceReport::to_json).collect();
+    Json::obj()
+        .with("schema", RACE_REPORT_SCHEMA)
+        .with("app", app)
+        .with("n_procs", n_procs)
+        .with("race_free", races.is_empty())
+        .with("races", Json::Arr(races_json))
+}
+
+/// The order-certificate document for one replayed configuration.
+pub fn certificate_json(
+    app: &str,
+    per_cluster: u32,
+    cache: &str,
+    certified: bool,
+    events_checked: u64,
+    violations: &[String],
+) -> Json {
+    let violations_json: Vec<Json> = violations.iter().map(|v| Json::from(v.as_str())).collect();
+    Json::obj()
+        .with("schema", CERTIFICATE_SCHEMA)
+        .with("app", app)
+        .with("per_cluster", per_cluster)
+        .with("cache", cache)
+        .with("certified", certified)
+        .with("events_checked", events_checked)
+        .with("violations", Json::Arr(violations_json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_event_line_and_write_class() {
+        let e = WitnessEvent {
+            time: 10,
+            proc: 3,
+            addr: 130,
+            commit: CommitKind::Upgrade,
+        };
+        assert_eq!(e.line(), 2);
+        assert!(e.commit.is_write());
+        assert!(!CommitKind::ReadBus.is_write());
+    }
+
+    #[test]
+    fn race_report_serializes_all_fields() {
+        let r = RaceReport {
+            line: 4,
+            first: RaceAccess {
+                proc: 0,
+                addr: 256,
+                kind: AccessKind::Write,
+            },
+            second: RaceAccess {
+                proc: 1,
+                addr: 260,
+                kind: AccessKind::Read,
+            },
+            witness: vec![(0, Op::Write(256)), (1, Op::Read(260))],
+        };
+        let doc = race_report_json("mp3d", 4, &[r]);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(RACE_REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("race_free").and_then(Json::as_bool), Some(false));
+        let races = doc.get("races").and_then(Json::as_arr).unwrap();
+        assert_eq!(races.len(), 1);
+        let first = races[0].get("first").unwrap();
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("write"));
+        let w = races[0].get("witness").and_then(Json::as_arr).unwrap();
+        assert_eq!(w[1].get("op").and_then(Json::as_str), Some("read"));
+        assert_eq!(w[1].get("arg").and_then(Json::as_u64), Some(260));
+    }
+
+    #[test]
+    fn clean_report_is_race_free() {
+        let doc = race_report_json("fft", 16, &[]);
+        assert_eq!(doc.get("race_free").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("races").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn certificate_serializes_all_fields() {
+        let doc = certificate_json("ocean", 4, "16k", true, 1234, &[]);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(CERTIFICATE_SCHEMA)
+        );
+        assert_eq!(doc.get("certified").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("events_checked").and_then(Json::as_u64), Some(1234));
+        let bad = certificate_json("ocean", 4, "16k", false, 10, &["v".to_string()]);
+        assert_eq!(
+            bad.get("violations")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

@@ -446,14 +446,20 @@ impl SplashApp for Barnes {
 
             // Phase 1: concurrent tree build. Each processor inserts
             // its bodies: read the child pointers along the recorded
-            // path, then lock and update the insertion cell.
+            // path, then update the insertion cell. Every child-pointer
+            // access — reads included — takes the cell-hashed lock,
+            // because another processor may be splitting that very cell
+            // concurrently (an unlocked path read races its write).
             for (p, mine) in owner_of.iter().enumerate() {
                 let pid = p as u32;
                 for &b in mine {
                     let path = &tree.insert_paths[b];
                     t.read(pid, body_pos(b as u64));
                     for &c in path {
+                        let lock = (c as u32) % N_LOCKS;
+                        t.lock(pid, lock);
                         t.read(pid, cell_children(c));
+                        t.unlock(pid, lock);
                         t.compute(pid, 12);
                     }
                     if let Some(&last) = path.last() {
@@ -477,21 +483,31 @@ impl SplashApp for Barnes {
                     body_owner[b] = p as u32;
                 }
             }
+            // Cell owners run concurrently, so a parent's read of a
+            // child's center-of-mass races the child owner's write of
+            // it unless both sides hold the child's cell-hashed lock
+            // (the SPLASH code's per-cell locks).
             for c in 0..tree.n_cells() {
                 let pid = body_owner[tree.creator(c)];
                 t.read(pid, cell_children(c));
                 for o in 0..8 {
                     let ch = tree.cells[c].children[o];
                     if ch >= 0 {
+                        let lock = (ch as u32) % N_LOCKS;
+                        t.lock(pid, lock);
                         t.read(pid, cell_com(ch as usize));
                         t.read(pid, cell_moments(ch as usize));
+                        t.unlock(pid, lock);
                     } else if ch != EMPTY {
                         t.read(pid, body_pos((-ch - 2) as u64));
                     }
                 }
                 t.compute(pid, 200);
+                let lock = (c as u32) % N_LOCKS;
+                t.lock(pid, lock);
                 t.write(pid, cell_com(c));
                 t.write(pid, cell_moments(c));
+                t.unlock(pid, lock);
             }
             t.barrier_all();
 

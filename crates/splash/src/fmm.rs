@@ -495,7 +495,11 @@ impl SplashApp for Fmm {
             t.barrier_all();
         }
 
-        // Phase 5: leaf evaluation + P2P with adjacent leaves.
+        // Phase 5: leaf evaluation + P2P with adjacent leaves. The
+        // gather half reads neighbor leaves' particles — foreign data
+        // when the neighbor has a different owner — so a barrier
+        // separates it from the write-back of the accumulated forces:
+        // without it a P2P read of particle i races its owner's store.
         for m in 0..n_leaves {
             let pid = leaf_owner(m);
             t.read_span(pid, local_addr(d, m), EXPANSION_BYTES);
@@ -511,6 +515,12 @@ impl SplashApp for Fmm {
                         t.compute(pid, CYCLES_P2P);
                     }
                 }
+            }
+        }
+        t.barrier_all();
+        for m in 0..n_leaves {
+            let pid = leaf_owner(m);
+            for &i in &solver.leaf_particles[m] {
                 t.write(pid, particle_addr[i]);
             }
         }

@@ -37,6 +37,7 @@ pub mod fft;
 pub mod fmm;
 pub mod lu;
 pub mod mp3d;
+pub mod mutate;
 pub mod ocean;
 pub mod radix;
 pub mod raytrace;

@@ -33,6 +33,15 @@ const PARTICLE_BYTES: u64 = 32;
 /// per cache line, so false sharing on the cell array is represented).
 const CELL_BYTES: u64 = 32;
 
+/// Locks hashed over particle-array lines. The original MP3D tolerates
+/// its races; this port is the MP3D-L locking variant, so the same
+/// unstructured sharing (including the two-records-per-line false
+/// sharing) stays, but every conflicting access pair is lock-ordered.
+const N_PART_LOCKS: u32 = 256;
+
+/// Locks hashed over cell-array lines.
+const N_CELL_LOCKS: u32 = 128;
+
 /// MP3D workload configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Mp3d {
@@ -101,6 +110,8 @@ impl SplashApp for Mp3d {
             .collect();
 
         let mut t = TraceBuilder::new(n_procs);
+        let part_locks = t.new_locks(N_PART_LOCKS);
+        let cell_locks = t.new_locks(N_CELL_LOCKS);
 
         // Particle chunks are owner-local (the assignment is static; its
         // mismatch with the spatial cell structure is MP3D's defining
@@ -161,8 +172,17 @@ impl SplashApp for Mp3d {
             for p in 0..n_procs {
                 let pid = p as u32;
                 let range = chunk_range(n, n_procs, p);
+                let part_lock =
+                    |a: u64| part_locks + (simcore::line_of(a) % N_PART_LOCKS as u64) as u32;
+                let cell_lock =
+                    |a: u64| cell_locks + (simcore::line_of(a) % N_CELL_LOCKS as u64) as u32;
                 for i in range {
-                    // Move: read + write own particle record.
+                    // Move: read + write own particle record, under the
+                    // line-hashed particle lock — a collision partner
+                    // write (or a line-mate's traffic) may hit the same
+                    // line concurrently.
+                    let li = part_lock(part_addr(i));
+                    t.lock(pid, li);
                     t.read(pid, part_addr(i));
                     t.compute(pid, CYCLES_PER_MOVE);
 
@@ -181,19 +201,27 @@ impl SplashApp for Mp3d {
                         }
                     }
                     t.write(pid, part_addr(i));
+                    t.unlock(pid, li);
 
-                    // Unsynchronized read-modify-write of the cell
-                    // record (the unstructured shared traffic).
+                    // Read-modify-write of the cell record (the
+                    // unstructured shared traffic), lock-ordered per
+                    // cell line.
                     let c = cell_of(&parts[i].pos);
+                    let lc = cell_lock(cells.addr(c as u64));
+                    t.lock(pid, lc);
                     t.read(pid, cells.addr(c as u64));
                     t.write(pid, cells.addr(c as u64));
+                    t.unlock(pid, lc);
 
                     // Collision with this particle's paired partner,
                     // wherever (whosever) it is.
                     if let Some(j) = partner_of[i] {
+                        let lj = part_lock(part_addr(j));
+                        t.lock(pid, lj);
                         t.read(pid, part_addr(j));
                         t.compute(pid, CYCLES_PER_COLLISION);
                         t.write(pid, part_addr(j));
+                        t.unlock(pid, lj);
                         // Head-on hard-sphere exchange: swap the two
                         // velocity vectors (momentum conserving for
                         // equal masses).

@@ -1,0 +1,131 @@
+//! Test-only trace mutations that *remove* synchronization.
+//!
+//! The race detector (`cluster_check race`) is proven effective the
+//! same way the PR 5 model checker was: plant a known defect and demand
+//! the tool finds it, shrunk to a minimal counterexample. A [`Mutation`]
+//! deletes one synchronization edge from a generated trace — one
+//! processor's arrival at one barrier, or one lock/unlock pair —
+//! exactly the class of bug a hand-parallelized SPLASH port ships with.
+//!
+//! Mutated traces deliberately fail [`simcore::Trace::validate`] (the
+//! barrier sequences no longer agree) and must never reach the `tango`
+//! replay engine, which asserts on barrier-id order. They exist solely
+//! as detector input; nothing outside test and CI harness code should
+//! apply one.
+
+use simcore::ops::{Op, PackedOp};
+use simcore::space::ProcId;
+use simcore::Trace;
+
+/// One synchronization-removal mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Remove processor `proc`'s `nth` (0-based) `Barrier` op, as if
+    /// that processor forgot to arrive at the barrier.
+    DropBarrier { proc: ProcId, nth: u32 },
+    /// Remove processor `proc`'s `nth` (0-based) `Lock` op *and* its
+    /// matching `Unlock`, as if the critical section was never guarded.
+    SkipLock { proc: ProcId, nth: u32 },
+}
+
+/// Applies `m` to a copy of `trace`. Fails when the named processor or
+/// sync op does not exist, so a planted mutation can never silently
+/// turn into a no-op.
+pub fn apply(trace: &Trace, m: Mutation) -> Result<Trace, String> {
+    let mut out = trace.clone();
+    match m {
+        Mutation::DropBarrier { proc, nth } => {
+            let ops = out
+                .per_proc
+                .get_mut(proc as usize)
+                .ok_or_else(|| format!("no processor {proc}"))?;
+            let pos = nth_matching(ops, nth, |op| matches!(op, Op::Barrier(_)))
+                .ok_or_else(|| format!("proc {proc} has no barrier #{nth}"))?;
+            ops.remove(pos);
+        }
+        Mutation::SkipLock { proc, nth } => {
+            let ops = out
+                .per_proc
+                .get_mut(proc as usize)
+                .ok_or_else(|| format!("no processor {proc}"))?;
+            let pos = nth_matching(ops, nth, |op| matches!(op, Op::Lock(_)))
+                .ok_or_else(|| format!("proc {proc} has no lock acquire #{nth}"))?;
+            let Op::Lock(id) = ops[pos].unpack() else {
+                return Err("lock scan desynced".to_string());
+            };
+            // Locks are non-recursive (Trace::validate), so the matching
+            // release is the first Unlock(id) after the acquire.
+            let rel = ops[pos + 1..]
+                .iter()
+                .position(|p| p.unpack() == Op::Unlock(id))
+                .map(|off| pos + 1 + off)
+                .ok_or_else(|| format!("proc {proc}: lock {id} is never released"))?;
+            ops.remove(rel);
+            ops.remove(pos);
+        }
+    }
+    Ok(out)
+}
+
+/// Index of the `nth` op satisfying `pred`, if any.
+fn nth_matching(ops: &[PackedOp], nth: u32, pred: impl Fn(&Op) -> bool) -> Option<usize> {
+    ops.iter()
+        .enumerate()
+        .filter(|(_, p)| pred(&p.unpack()))
+        .nth(nth as usize)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let a = b.space_mut().alloc_shared(64);
+        let l = b.new_lock();
+        b.write(0, a);
+        b.barrier_all();
+        b.lock(1, l);
+        b.read(1, a);
+        b.unlock(1, l);
+        b.barrier_all();
+        b.finish() // appends a terminal barrier: 3 barriers total
+    }
+
+    #[test]
+    fn drop_barrier_removes_one_arrival() {
+        let t = sample_trace();
+        let m = apply(&t, Mutation::DropBarrier { proc: 1, nth: 0 }).unwrap();
+        let barriers = |tr: &Trace, p: usize| {
+            tr.per_proc[p]
+                .iter()
+                .filter(|o| matches!(o.unpack(), Op::Barrier(_)))
+                .count()
+        };
+        assert_eq!(barriers(&m, 0), 3);
+        assert_eq!(barriers(&m, 1), 2);
+        assert!(m.validate().is_err(), "mutant must fail validation");
+        assert!(t.validate().is_ok(), "original is untouched");
+    }
+
+    #[test]
+    fn skip_lock_removes_acquire_and_release() {
+        let t = sample_trace();
+        let m = apply(&t, Mutation::SkipLock { proc: 1, nth: 0 }).unwrap();
+        assert!(!m.per_proc[1]
+            .iter()
+            .any(|o| matches!(o.unpack(), Op::Lock(_) | Op::Unlock(_))));
+        // Everything else survives in order.
+        assert_eq!(m.per_proc[1].len(), t.per_proc[1].len() - 2);
+    }
+
+    #[test]
+    fn out_of_range_mutations_fail_loudly() {
+        let t = sample_trace();
+        assert!(apply(&t, Mutation::DropBarrier { proc: 9, nth: 0 }).is_err());
+        assert!(apply(&t, Mutation::DropBarrier { proc: 0, nth: 99 }).is_err());
+        assert!(apply(&t, Mutation::SkipLock { proc: 0, nth: 0 }).is_err());
+    }
+}

@@ -349,11 +349,15 @@ impl SplashApp for Ocean {
             .map(|_| SubgridSet::alloc(&mut t, n, pr, pc))
             .collect();
 
-        // Two multigrid pyramids (solution u and rhs f per level).
+        // Two multigrid pyramids (solution u and rhs f per level), plus
+        // a shadow of u per level: relaxations ping-pong u ↔ shadow so
+        // a neighbor-border read never races the neighbor's update of
+        // the same sweep (an in-place sweep would be a data race).
         let mut levels = Vec::new();
         let mut ln = n;
         while ln >= pr.max(pc) * 2 && ln >= 8 {
             levels.push((
+                SubgridSet::alloc(&mut t, ln, pr, pc),
                 SubgridSet::alloc(&mut t, ln, pr, pc),
                 SubgridSet::alloc(&mut t, ln, pr, pc),
             ));
@@ -373,10 +377,10 @@ impl SplashApp for Ocean {
             for _solve in 0..2 {
                 // Down sweep: relax twice per level, then restrict.
                 for li in 0..levels.len() {
-                    let (u, f) = &levels[li];
-                    for _ in 0..2 {
+                    let (u, f, s) = &levels[li];
+                    for (src, dst) in [(u, s), (s, u)] {
                         for p in 0..n_procs {
-                            u.emit_sweep(&mut t, u, p);
+                            src.emit_sweep(&mut t, dst, p);
                             // The rhs is read during relaxation.
                             t.read_span(p as u32, f.per_proc[p].base, (f.sgr * f.sgc * 8) as u64);
                         }
@@ -420,10 +424,10 @@ impl SplashApp for Ocean {
                         );
                     }
                     t.barrier_all();
-                    let (u, f) = &levels[li];
-                    for _ in 0..2 {
+                    let (u, f, s) = &levels[li];
+                    for (src, dst) in [(u, s), (s, u)] {
                         for p in 0..n_procs {
-                            u.emit_sweep(&mut t, u, p);
+                            src.emit_sweep(&mut t, dst, p);
                             t.read_span(p as u32, f.per_proc[p].base, (f.sgr * f.sgc * 8) as u64);
                         }
                         t.barrier_all();

@@ -24,6 +24,9 @@ use crate::SplashApp;
 /// Cycles charged per key per pass for digit extraction and counting.
 const CYCLES_PER_KEY: u64 = 12;
 
+/// Locks hashed over destination lines shared by two scatter writers.
+const N_SCATTER_LOCKS: u32 = 128;
+
 /// Radix-sort workload configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Radix {
@@ -85,6 +88,7 @@ impl SplashApp for Radix {
         let passes = self.passes();
 
         let mut t = TraceBuilder::new(n_procs);
+        let scatter_locks = t.new_locks(N_SCATTER_LOCKS);
 
         // Key arrays: each processor's chunk is owner-local.
         let alloc_keys = |t: &mut TraceBuilder| -> Vec<SharedArray> {
@@ -227,9 +231,42 @@ impl SplashApp for Radix {
                 }
             }
 
+            // Destination lines written by more than one processor this
+            // pass: adjacent rank segments abut mid-line (16 keys per
+            // line), so the boundary lines are genuinely write-shared.
+            // Segments are contiguous in (digit, proc) rank order, so
+            // only a segment's first line can be shared with the
+            // previous writer's last line.
+            let dest_line = |dest: u64| {
+                let dp = crate::util::chunk_owner(n, n_procs, dest as usize);
+                let local = dest as usize - chunk_range(n, n_procs, dp).start;
+                simcore::line_of(dst_arr[dp].addr(local as u64))
+            };
+            let mut shared_lines = std::collections::HashSet::new();
+            let mut prev: Option<(usize, u64)> = None;
+            for d in 0..r {
+                for p in 0..n_procs {
+                    let cnt = hists[p][d] as u64;
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let start = proc_digit_base[p][d];
+                    let first = dest_line(start);
+                    if let Some((pw, pl)) = prev {
+                        if pw != p && pl == first {
+                            shared_lines.insert(first);
+                        }
+                    }
+                    prev = Some((p, dest_line(start + cnt - 1)));
+                }
+            }
+
             // Phase 4: permutation. Each processor re-reads its keys
             // and writes each to its destination slot (scattered,
-            // largely remote, hidden-latency writes).
+            // largely remote, hidden-latency writes). Writes landing on
+            // a shared boundary line take a line-hashed scatter lock —
+            // the trace-level analogue of the SPLASH rank locks — so
+            // the false sharing stays but is ordered.
             let mut new_keys = vec![0u32; n];
             for p in 0..n_procs {
                 let pid = p as u32;
@@ -243,7 +280,16 @@ impl SplashApp for Radix {
                     new_keys[dest] = k;
                     let dp = crate::util::chunk_owner(n, n_procs, dest);
                     let local = dest - chunk_range(n, n_procs, dp).start;
-                    t.write(pid, dst_arr[dp].addr(local as u64));
+                    let addr = dst_arr[dp].addr(local as u64);
+                    if shared_lines.contains(&simcore::line_of(addr)) {
+                        let lid = scatter_locks
+                            + (simcore::line_of(addr) % N_SCATTER_LOCKS as u64) as u32;
+                        t.lock(pid, lid);
+                        t.write(pid, addr);
+                        t.unlock(pid, lid);
+                    } else {
+                        t.write(pid, addr);
+                    }
                     t.compute(pid, CYCLES_PER_KEY);
                 }
             }

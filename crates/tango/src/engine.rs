@@ -4,9 +4,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use coherence::{MachineConfig, MemorySystem, Outcome, ProtocolError};
+use simcore::cast::usize_from;
 use simcore::ops::{Op, Trace};
 use simcore::sample::{OpClass, SamplePlan};
 use simcore::stats::{Breakdown, MissStats, RunStats};
+use simcore::witness::{CommitKind, WitnessEvent};
 
 /// A replay failure reachable from user input: a trace whose shape
 /// does not match the machine, or one that touches unallocated memory.
@@ -201,7 +203,53 @@ pub fn try_run_with(
     machine: MachineConfig,
     opts: EngineOptions,
 ) -> Result<RunStats, EngineError> {
-    replay(trace, machine, opts, None).map(|r| r.stats)
+    replay(trace, machine, opts, None, None).map(|r| r.stats)
+}
+
+/// Full replay with a witness observer: `observer` is called once for
+/// every *committed* memory access, in the engine's serialization
+/// order, with the access's issue time, processor, byte address, and
+/// functional outcome. Merge waits retry and are not commits, so they
+/// never reach the observer. The replay itself is bit-identical to
+/// [`try_run_with`] — observation cannot perturb timing.
+///
+/// This is the certification tap (DESIGN.md §15): `cluster_check
+/// certify` replays a trace observed and checks coherence ordering
+/// invariants over the event stream.
+pub fn try_run_observed(
+    trace: &Trace,
+    machine: MachineConfig,
+    opts: EngineOptions,
+    observer: &mut dyn FnMut(WitnessEvent),
+) -> Result<RunStats, EngineError> {
+    replay(trace, machine, opts, None, Some(observer)).map(|r| r.stats)
+}
+
+/// Panicking convenience wrapper over [`try_run_observed`], same
+/// contract as [`run`].
+pub fn run_observed(
+    trace: &Trace,
+    machine: MachineConfig,
+    observer: &mut dyn FnMut(WitnessEvent),
+) -> RunStats {
+    try_run_observed(trace, machine, EngineOptions::default(), observer)
+        // cluster_check: allow(no-panic) — documented panicking
+        // convenience wrapper over the typed try_run_observed.
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The witness classification of a memory outcome: `None` for a merge
+/// wait (the access retries; nothing committed yet).
+fn commit_of(o: &Outcome) -> Option<CommitKind> {
+    match o {
+        Outcome::ReadHit => Some(CommitKind::ReadHit),
+        Outcome::ReadMiss { .. } => Some(CommitKind::ReadMiss),
+        Outcome::ReadBus { .. } => Some(CommitKind::ReadBus),
+        Outcome::WriteHit => Some(CommitKind::WriteHit),
+        Outcome::WriteMiss => Some(CommitKind::WriteMiss),
+        Outcome::Upgrade => Some(CommitKind::Upgrade),
+        Outcome::MergeWait { .. } => None,
+    }
 }
 
 /// Sampled replay under a [`SamplePlan`]: measured operations run
@@ -225,7 +273,7 @@ pub fn try_run_sampled(
     opts: EngineOptions,
     plan: &SamplePlan,
 ) -> Result<SampledRun, EngineError> {
-    replay(trace, machine, opts, Some(plan))
+    replay(trace, machine, opts, Some(plan), None)
 }
 
 /// Field-wise counter difference `after - before`, for isolating what
@@ -257,9 +305,10 @@ fn replay(
     machine: MachineConfig,
     opts: EngineOptions,
     plan: Option<&SamplePlan>,
+    mut observer: Option<&mut dyn FnMut(WitnessEvent)>,
 ) -> Result<SampledRun, EngineError> {
     let n = trace.n_procs();
-    if n as u32 != machine.n_procs {
+    if n != usize_from(machine.n_procs) {
         return Err(EngineError::ProcCountMismatch {
             trace: n,
             machine: machine.n_procs,
@@ -288,12 +337,12 @@ fn replay(
     let mut barrier_id: u32 = 0;
 
     let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
-        (0..n as u32).map(|p| Reverse((0, p))).collect();
+        (0..machine.n_procs).map(|p| Reverse((0, p))).collect();
     let mut done = 0usize;
     let extra_load = opts.load_latency - 1;
 
     while let Some(Reverse((t, pid))) = heap.pop() {
-        let pidx = pid as usize;
+        let pidx = usize_from(pid);
         debug_assert_eq!(procs[pidx].clock, t, "stale heap entry");
         debug_assert_eq!(procs[pidx].status, ProcStatus::Runnable);
 
@@ -365,6 +414,14 @@ fn replay(
                             let outcome = mem.try_read(pid, a, now)?;
                             warm_mem += miss_delta(&mem.stats, &saved);
                             mem.stats = saved;
+                            if let (Some(obs), Some(k)) = (observer.as_mut(), commit_of(&outcome)) {
+                                obs(WitnessEvent {
+                                    time: now,
+                                    proc: pid,
+                                    addr: a,
+                                    commit: k,
+                                });
+                            }
                             let p = &mut procs[pidx];
                             match outcome {
                                 Outcome::MergeWait { ready_at } => {
@@ -389,7 +446,16 @@ fn replay(
                         }
                         OpClass::Measure => {}
                     }
-                    match mem.try_read(pid, a, now)? {
+                    let outcome = mem.try_read(pid, a, now)?;
+                    if let (Some(obs), Some(k)) = (observer.as_mut(), commit_of(&outcome)) {
+                        obs(WitnessEvent {
+                            time: now,
+                            proc: pid,
+                            addr: a,
+                            commit: k,
+                        });
+                    }
+                    match outcome {
                         Outcome::ReadHit => {
                             let p = &mut procs[pidx];
                             p.bd.cpu += 1;
@@ -447,7 +513,15 @@ fn replay(
                             let r = mem.try_write(pid, a, now);
                             warm_mem += miss_delta(&mem.stats, &saved);
                             mem.stats = saved;
-                            r?;
+                            let outcome = r?;
+                            if let (Some(obs), Some(k)) = (observer.as_mut(), commit_of(&outcome)) {
+                                obs(WitnessEvent {
+                                    time: now,
+                                    proc: pid,
+                                    addr: a,
+                                    commit: k,
+                                });
+                            }
                             let p = &mut procs[pidx];
                             p.clock += 1;
                             p.warm_bd.cpu += 1;
@@ -456,7 +530,15 @@ fn replay(
                         }
                         OpClass::Measure => {}
                     }
-                    let _ = mem.try_write(pid, a, now)?;
+                    let outcome = mem.try_write(pid, a, now)?;
+                    if let (Some(obs), Some(k)) = (observer.as_mut(), commit_of(&outcome)) {
+                        obs(WitnessEvent {
+                            time: now,
+                            proc: pid,
+                            addr: a,
+                            commit: k,
+                        });
+                    }
                     let p = &mut procs[pidx];
                     p.bd.cpu += 1;
                     p.clock += 1;
@@ -476,7 +558,7 @@ fn replay(
                         let release = p.clock;
                         barrier_id += 1;
                         for w in barrier_waiting.drain(..) {
-                            let wp = &mut procs[w as usize];
+                            let wp = &mut procs[usize_from(w)];
                             debug_assert!(wp.blocked_at <= release);
                             wp.bd.sync += release - wp.blocked_at;
                             wp.clock = release;
@@ -491,7 +573,7 @@ fn replay(
                     }
                 }
                 Op::Lock(id) => {
-                    let lock = &mut locks[id as usize];
+                    let lock = &mut locks[usize_from(id)];
                     if lock.holder.is_none() {
                         lock.holder = Some(pid);
                         let p = &mut procs[pidx];
@@ -515,12 +597,12 @@ fn replay(
                         p.idx += 1;
                     }
                     let release = procs[pidx].clock;
-                    let lock = &mut locks[id as usize];
+                    let lock = &mut locks[usize_from(id)];
                     debug_assert_eq!(lock.holder, Some(pid), "unlock by non-holder");
                     match lock.queue.pop_front() {
                         Some(w) => {
                             lock.holder = Some(w);
-                            let wp = &mut procs[w as usize];
+                            let wp = &mut procs[usize_from(w)];
                             debug_assert!(wp.blocked_at <= release);
                             wp.bd.sync += release - wp.blocked_at;
                             // The grant itself costs the acquire cycle.
